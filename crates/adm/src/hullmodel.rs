@@ -1,0 +1,349 @@
+use std::collections::HashMap;
+
+use shatter_dataset::episodes::{extract_episodes, Episode};
+use shatter_dataset::Dataset;
+use shatter_geometry::{convex_hull, Hull, Point};
+use shatter_smarthome::{OccupantId, ZoneId};
+
+use crate::dbscan::{dbscan, DbscanParams};
+use crate::kmeans::{kmeans, KMeansParams};
+
+/// Padding (minutes) applied when a cluster is too small or collinear to
+/// form a proper convex hull; the cluster is then represented by its padded
+/// bounding box. The paper sidesteps this by requiring ≥3 points per hull;
+/// we keep degenerate clusters so no learned habit is silently dropped.
+const DEGENERATE_PAD: f64 = 1.0;
+
+/// Which clustering algorithm backs the ADM, with its hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AdmKind {
+    /// DBSCAN-backed (noise points excluded from hulls).
+    Dbscan(DbscanParams),
+    /// K-Means-backed (every training point lands in a hull).
+    KMeans(KMeansParams),
+}
+
+impl AdmKind {
+    /// DBSCAN with the evaluation defaults.
+    pub fn default_dbscan() -> Self {
+        AdmKind::Dbscan(DbscanParams::default())
+    }
+
+    /// K-Means with the evaluation defaults.
+    pub fn default_kmeans() -> Self {
+        AdmKind::KMeans(KMeansParams::default())
+    }
+
+    /// Short display label ("DBSCAN" / "K-Means").
+    pub fn label(&self) -> &'static str {
+        match self {
+            AdmKind::Dbscan(_) => "DBSCAN",
+            AdmKind::KMeans(_) => "K-Means",
+        }
+    }
+}
+
+/// The trained cluster hulls for one (occupant, zone) pair —
+/// `C_{o,z}` in the paper's notation.
+#[derive(Debug, Clone)]
+pub struct ZoneModel {
+    /// Convex hulls, one per cluster (paper Fig. 7).
+    pub hulls: Vec<Hull>,
+    /// Number of training episodes behind this model.
+    pub n_points: usize,
+}
+
+impl ZoneModel {
+    /// Total hull area — the attack head-room metric of paper Fig. 6.
+    pub fn coverage_area(&self) -> f64 {
+        self.hulls.iter().map(Hull::area).sum()
+    }
+}
+
+/// Builds a hull from a cluster, falling back to a padded bounding box for
+/// degenerate (tiny or collinear) clusters.
+fn cluster_hull(points: &[Point]) -> Option<Hull> {
+    if points.is_empty() {
+        return None;
+    }
+    if let Ok(h) = convex_hull(points) {
+        return Some(h);
+    }
+    let (mut min_x, mut max_x) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut min_y, mut max_y) = (f64::INFINITY, f64::NEG_INFINITY);
+    for p in points {
+        min_x = min_x.min(p.x);
+        max_x = max_x.max(p.x);
+        min_y = min_y.min(p.y);
+        max_y = max_y.max(p.y);
+    }
+    let rect = vec![
+        Point::new(min_x - DEGENERATE_PAD, min_y - DEGENERATE_PAD),
+        Point::new(max_x + DEGENERATE_PAD, min_y - DEGENERATE_PAD),
+        Point::new(max_x + DEGENERATE_PAD, max_y + DEGENERATE_PAD),
+        Point::new(min_x - DEGENERATE_PAD, max_y + DEGENERATE_PAD),
+    ];
+    Hull::from_ccw_vertices(rect).ok()
+}
+
+/// The trained, convex-hull-linearized anomaly detection model.
+///
+/// `consistent(S^OT)` (paper Eq. 8) holds for a trace iff [`HullAdm::within`]
+/// holds for each of its stay episodes.
+#[derive(Debug, Clone)]
+pub struct HullAdm {
+    kind: AdmKind,
+    models: HashMap<(OccupantId, ZoneId), ZoneModel>,
+}
+
+impl HullAdm {
+    /// Trains an ADM from a per-minute dataset by extracting stay episodes
+    /// and clustering each (occupant, zone) feature set.
+    pub fn train(dataset: &Dataset, kind: AdmKind) -> HullAdm {
+        Self::train_from_episodes(&extract_episodes(dataset), kind)
+    }
+
+    /// Trains from pre-extracted episodes.
+    pub fn train_from_episodes(episodes: &[Episode], kind: AdmKind) -> HullAdm {
+        let mut by_key: HashMap<(OccupantId, ZoneId), Vec<Point>> = HashMap::new();
+        for e in episodes {
+            by_key
+                .entry((e.occupant, e.zone))
+                .or_default()
+                .push(Point::new(e.arrival as f64, e.stay as f64));
+        }
+        let mut models = HashMap::new();
+        for (key, pts) in by_key {
+            let clusters: Vec<Vec<Point>> = match &kind {
+                AdmKind::Dbscan(p) => dbscan(&pts, p).clusters(&pts),
+                AdmKind::KMeans(p) => kmeans(&pts, p).clusters(&pts),
+            };
+            let hulls: Vec<Hull> = clusters
+                .iter()
+                .filter_map(|c| cluster_hull(c))
+                .collect();
+            models.insert(
+                key,
+                ZoneModel {
+                    hulls,
+                    n_points: pts.len(),
+                },
+            );
+        }
+        HullAdm { kind, models }
+    }
+
+    /// The backing algorithm.
+    pub fn kind(&self) -> &AdmKind {
+        &self.kind
+    }
+
+    /// The per-(occupant, zone) model, if any episodes were observed there.
+    pub fn zone_model(&self, occupant: OccupantId, zone: ZoneId) -> Option<&ZoneModel> {
+        self.models.get(&(occupant, zone))
+    }
+
+    /// The paper's `withinCluster(t1, t2, C_{z,o})` predicate (Eq. 9): the
+    /// (arrival, stay) point lies inside at least one cluster hull.
+    ///
+    /// A pair with *no* trained model (the occupant was never seen in that
+    /// zone) is anomalous by definition.
+    pub fn within(&self, occupant: OccupantId, zone: ZoneId, arrival: f64, stay: f64) -> bool {
+        self.zone_model(occupant, zone)
+            .map(|m| {
+                let p = Point::new(arrival, stay);
+                m.hulls.iter().any(|h| h.contains(p))
+            })
+            .unwrap_or(false)
+    }
+
+    /// Stealthy stay ranges at an arrival time: for each hull crossing the
+    /// vertical line `x = arrival`, the `[min, max]` stay interval. These
+    /// are the "Range Threshold" rows of the paper's Table III.
+    pub fn stay_ranges(
+        &self,
+        occupant: OccupantId,
+        zone: ZoneId,
+        arrival: f64,
+    ) -> Vec<(f64, f64)> {
+        let mut ranges: Vec<(f64, f64)> = self
+            .zone_model(occupant, zone)
+            .map(|m| {
+                m.hulls
+                    .iter()
+                    .filter_map(|h| h.y_range_at(arrival))
+                    .collect()
+            })
+            .unwrap_or_default();
+        ranges.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        ranges
+    }
+
+    /// The paper's `maxStay(t, o, z)`: the maximum stay duration at `zone`
+    /// arriving at `arrival` that evades the ADM, or `None` when arriving
+    /// at that time is itself anomalous.
+    pub fn max_stay(&self, occupant: OccupantId, zone: ZoneId, arrival: f64) -> Option<f64> {
+        self.stay_ranges(occupant, zone, arrival)
+            .into_iter()
+            .map(|(_, hi)| hi)
+            .fold(None, |acc, hi| Some(acc.map_or(hi, |a: f64| a.max(hi))))
+    }
+
+    /// The paper's `minStay(t, o, z)`: the minimum ADM-consistent stay
+    /// duration for the arrival time.
+    pub fn min_stay(&self, occupant: OccupantId, zone: ZoneId, arrival: f64) -> Option<f64> {
+        self.stay_ranges(occupant, zone, arrival)
+            .into_iter()
+            .map(|(lo, _)| lo)
+            .fold(None, |acc, lo| Some(acc.map_or(lo, |a: f64| a.min(lo))))
+    }
+
+    /// The paper's `inRangeStay(t, o, z, stay)`: leaving after `stay`
+    /// minutes is stealthy (equivalently, the episode is within a cluster).
+    pub fn in_range_stay(
+        &self,
+        occupant: OccupantId,
+        zone: ZoneId,
+        arrival: f64,
+        stay: f64,
+    ) -> bool {
+        self.within(occupant, zone, arrival, stay)
+    }
+
+    /// Checks a full trace (set of episodes) — the paper's
+    /// `consistent(S^OT)` (Eq. 8). Returns the offending episodes.
+    pub fn inconsistent_episodes<'e>(&self, episodes: &'e [Episode]) -> Vec<&'e Episode> {
+        episodes
+            .iter()
+            .filter(|e| !self.within(e.occupant, e.zone, e.arrival as f64, e.stay as f64))
+            .collect()
+    }
+
+    /// Total hull area across all (occupant, zone) models (Fig. 6 metric).
+    pub fn total_coverage_area(&self) -> f64 {
+        self.models.values().map(ZoneModel::coverage_area).sum()
+    }
+
+    /// Iterates over all trained (occupant, zone) models.
+    pub fn models(&self) -> impl Iterator<Item = (&(OccupantId, ZoneId), &ZoneModel)> {
+        self.models.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shatter_dataset::{synthesize, HouseKind, SynthConfig};
+
+    fn train(kind: AdmKind) -> (Dataset, HullAdm) {
+        let ds = synthesize(&SynthConfig::new(HouseKind::A, 15, 3));
+        let adm = HullAdm::train(&ds, kind);
+        (ds, adm)
+    }
+
+    #[test]
+    fn training_data_is_mostly_consistent_dbscan() {
+        let (ds, adm) = train(AdmKind::default_dbscan());
+        let eps = extract_episodes(&ds);
+        let bad = adm.inconsistent_episodes(&eps);
+        // DBSCAN drops noise points, so a few training episodes fall
+        // outside the hulls — but the bulk must be covered.
+        let frac = bad.len() as f64 / eps.len() as f64;
+        assert!(frac < 0.35, "inconsistent fraction {frac}");
+    }
+
+    #[test]
+    fn kmeans_covers_all_training_data() {
+        let (ds, adm) = train(AdmKind::default_kmeans());
+        let eps = extract_episodes(&ds);
+        let bad = adm.inconsistent_episodes(&eps);
+        // K-Means clusters everything; every training point is inside its
+        // own cluster's hull by convexity.
+        assert!(bad.is_empty(), "{} inconsistent", bad.len());
+    }
+
+    #[test]
+    fn kmeans_hulls_cover_more_area_than_dbscan() {
+        // Paper Fig. 6 / §III-A: K-Means clusters cover a larger area.
+        let ds = synthesize(&SynthConfig::new(HouseKind::A, 20, 3));
+        let db = HullAdm::train(&ds, AdmKind::default_dbscan());
+        let km = HullAdm::train(&ds, AdmKind::default_kmeans());
+        assert!(
+            km.total_coverage_area() > db.total_coverage_area(),
+            "km {} vs db {}",
+            km.total_coverage_area(),
+            db.total_coverage_area()
+        );
+    }
+
+    #[test]
+    fn unseen_zone_pair_is_anomalous() {
+        let (_, adm) = train(AdmKind::default_dbscan());
+        // Occupant 7 does not exist.
+        assert!(!adm.within(OccupantId(7), ZoneId(1), 400.0, 30.0));
+    }
+
+    #[test]
+    fn max_stay_bounds_within() {
+        let (_, adm) = train(AdmKind::default_kmeans());
+        let (o, z) = (OccupantId(0), ZoneId(1));
+        // Find an arrival with a model.
+        for arrival in (0..1440).step_by(10) {
+            if let Some(max) = adm.max_stay(o, z, arrival as f64) {
+                assert!(!adm.within(o, z, arrival as f64, max + 5.0));
+                let min = adm.min_stay(o, z, arrival as f64).unwrap();
+                assert!(min <= max);
+                return;
+            }
+        }
+        panic!("no arrival time with a trained model");
+    }
+
+    #[test]
+    fn stay_ranges_sorted_and_consistent() {
+        let (_, adm) = train(AdmKind::default_dbscan());
+        for arrival in (0..1440).step_by(60) {
+            let ranges = adm.stay_ranges(OccupantId(0), ZoneId(2), arrival as f64);
+            for w in ranges.windows(2) {
+                assert!(w[0].0 <= w[1].0);
+            }
+            for (lo, hi) in &ranges {
+                assert!(lo <= hi);
+                let mid = (lo + hi) / 2.0;
+                assert!(adm.within(OccupantId(0), ZoneId(2), arrival as f64, mid));
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_cluster_fallback() {
+        // Three collinear episodes form no convex hull; the padded bbox
+        // must still admit them.
+        let eps: Vec<Episode> = (0..3)
+            .map(|i| Episode {
+                occupant: OccupantId(0),
+                zone: ZoneId(1),
+                day: 0,
+                arrival: 100 + i * 10,
+                stay: 50,
+            })
+            .collect();
+        let adm = HullAdm::train_from_episodes(
+            &eps,
+            AdmKind::Dbscan(DbscanParams {
+                eps: 50.0,
+                min_pts: 2,
+            }),
+        );
+        assert!(adm.within(OccupantId(0), ZoneId(1), 110.0, 50.0));
+    }
+
+    #[test]
+    fn more_training_days_grow_coverage() {
+        let short = synthesize(&SynthConfig::new(HouseKind::A, 5, 3));
+        let long = synthesize(&SynthConfig::new(HouseKind::A, 25, 3));
+        let a_short = HullAdm::train(&short, AdmKind::default_kmeans()).total_coverage_area();
+        let a_long = HullAdm::train(&long, AdmKind::default_kmeans()).total_coverage_area();
+        assert!(a_long > a_short);
+    }
+}

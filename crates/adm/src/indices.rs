@@ -1,0 +1,222 @@
+//! Internal cluster-validity indices for hyperparameter tuning.
+//!
+//! The paper tunes its ADM hyperparameters with three label-free indices
+//! (Fig. 4): Davies-Bouldin (lower is better), Silhouette (higher is
+//! better) and Calinski-Harabasz (higher is better), "since the ground
+//! truth of the clusters are not known".
+//!
+//! All three functions take the point set and a parallel cluster-index
+//! slice; points may be omitted (noise) by passing `None` for their label.
+
+use shatter_geometry::Point;
+
+fn groups(points: &[Point], labels: &[Option<usize>]) -> Vec<Vec<Point>> {
+    let k = labels.iter().flatten().copied().max().map_or(0, |m| m + 1);
+    let mut out = vec![Vec::new(); k];
+    for (p, l) in points.iter().zip(labels) {
+        if let Some(c) = l {
+            out[*c].push(*p);
+        }
+    }
+    out.retain(|g| !g.is_empty());
+    out
+}
+
+fn centroid(g: &[Point]) -> Point {
+    let n = g.len() as f64;
+    let s = g.iter().fold(Point::default(), |acc, &p| acc + p);
+    Point::new(s.x / n, s.y / n)
+}
+
+/// Davies-Bouldin index: mean over clusters of the worst
+/// (intra_i + intra_j) / centroid-distance ratio. Lower is better.
+/// Returns `None` with fewer than two clusters.
+pub fn davies_bouldin(points: &[Point], labels: &[Option<usize>]) -> Option<f64> {
+    let gs = groups(points, labels);
+    if gs.len() < 2 {
+        return None;
+    }
+    let cents: Vec<Point> = gs.iter().map(|g| centroid(g)).collect();
+    let scatter: Vec<f64> = gs
+        .iter()
+        .zip(&cents)
+        .map(|(g, c)| g.iter().map(|p| p.distance(*c)).sum::<f64>() / g.len() as f64)
+        .collect();
+    let mut total = 0.0;
+    for i in 0..gs.len() {
+        let mut worst: f64 = 0.0;
+        for j in 0..gs.len() {
+            if i == j {
+                continue;
+            }
+            let d = cents[i].distance(cents[j]).max(1e-12);
+            worst = worst.max((scatter[i] + scatter[j]) / d);
+        }
+        total += worst;
+    }
+    Some(total / gs.len() as f64)
+}
+
+/// Mean Silhouette coefficient in `[-1, 1]`. Higher is better. Returns
+/// `None` with fewer than two clusters or fewer than two labelled points.
+pub fn silhouette(points: &[Point], labels: &[Option<usize>]) -> Option<f64> {
+    let gs = groups(points, labels);
+    if gs.len() < 2 {
+        return None;
+    }
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for (p, l) in points.iter().zip(labels) {
+        let Some(own_label) = l else { continue };
+        // Mean distance to own cluster (excluding self) and to the nearest
+        // other cluster.
+        let mut a = 0.0;
+        let mut b = f64::INFINITY;
+        for (ci, g) in gs.iter().enumerate() {
+            // `groups` drops empty clusters, so re-identify own group by
+            // membership of the point itself.
+            let is_own = {
+                // own cluster is the group that contains this point's label;
+                // match on centroid membership is fragile, so recompute:
+                // group ci is "own" iff any point of own label maps here.
+                // Simpler: compare against label by rebuilding the same
+                // retained order.
+                ci == own_group_index(labels, *own_label)
+            };
+            let sum: f64 = g.iter().map(|q| p.distance(*q)).sum();
+            if is_own {
+                if g.len() > 1 {
+                    a = sum / (g.len() - 1) as f64;
+                } else {
+                    a = 0.0;
+                }
+            } else {
+                b = b.min(sum / g.len() as f64);
+            }
+        }
+        if b.is_finite() {
+            let s = if a.max(b) > 0.0 {
+                (b - a) / a.max(b)
+            } else {
+                0.0
+            };
+            total += s;
+            count += 1;
+        }
+    }
+    if count == 0 {
+        None
+    } else {
+        Some(total / count as f64)
+    }
+}
+
+/// Index of a label within the retained (non-empty) group ordering.
+fn own_group_index(labels: &[Option<usize>], label: usize) -> usize {
+    let k = labels.iter().flatten().copied().max().map_or(0, |m| m + 1);
+    let mut counts = vec![0usize; k];
+    for l in labels.iter().flatten() {
+        counts[*l] += 1;
+    }
+    counts[..label].iter().filter(|&&c| c > 0).count()
+}
+
+/// Calinski-Harabasz index (variance-ratio criterion). Higher is better.
+/// Returns `None` with fewer than two clusters or when all points
+/// coincide.
+pub fn calinski_harabasz(points: &[Point], labels: &[Option<usize>]) -> Option<f64> {
+    let gs = groups(points, labels);
+    let k = gs.len();
+    if k < 2 {
+        return None;
+    }
+    let labelled: Vec<Point> = points
+        .iter()
+        .zip(labels)
+        .filter_map(|(p, l)| l.map(|_| *p))
+        .collect();
+    let n = labelled.len();
+    if n <= k {
+        return None;
+    }
+    let grand = centroid(&labelled);
+    let mut between = 0.0;
+    let mut within = 0.0;
+    for g in &gs {
+        let c = centroid(g);
+        between += g.len() as f64 * c.distance_sq(grand);
+        within += g.iter().map(|p| p.distance_sq(c)).sum::<f64>();
+    }
+    if within <= 0.0 {
+        return None;
+    }
+    Some((between / (k - 1) as f64) / (within / (n - k) as f64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blob(cx: f64, cy: f64, n: usize) -> Vec<Point> {
+        (0..n)
+            .map(|i| {
+                let a = i as f64 * 2.39996;
+                let r = (i as f64).sqrt();
+                Point::new(cx + r * a.cos(), cy + r * a.sin())
+            })
+            .collect()
+    }
+
+    fn two_blob_setup(sep: f64) -> (Vec<Point>, Vec<Option<usize>>) {
+        let mut pts = blob(0.0, 0.0, 25);
+        pts.extend(blob(sep, 0.0, 25));
+        let labels = (0..50).map(|i| Some(usize::from(i >= 25))).collect();
+        (pts, labels)
+    }
+
+    #[test]
+    fn well_separated_blobs_score_better() {
+        let (p1, l1) = two_blob_setup(200.0);
+        let (p2, l2) = two_blob_setup(12.0);
+        assert!(davies_bouldin(&p1, &l1).unwrap() < davies_bouldin(&p2, &l2).unwrap());
+        assert!(silhouette(&p1, &l1).unwrap() > silhouette(&p2, &l2).unwrap());
+        assert!(calinski_harabasz(&p1, &l1).unwrap() > calinski_harabasz(&p2, &l2).unwrap());
+    }
+
+    #[test]
+    fn single_cluster_yields_none() {
+        let pts = blob(0.0, 0.0, 20);
+        let labels: Vec<Option<usize>> = vec![Some(0); 20];
+        assert_eq!(davies_bouldin(&pts, &labels), None);
+        assert_eq!(silhouette(&pts, &labels), None);
+        assert_eq!(calinski_harabasz(&pts, &labels), None);
+    }
+
+    #[test]
+    fn noise_points_ignored() {
+        let (mut pts, mut labels) = two_blob_setup(200.0);
+        let base = silhouette(&pts, &labels).unwrap();
+        pts.push(Point::new(1e6, 1e6));
+        labels.push(None);
+        let with_noise = silhouette(&pts, &labels).unwrap();
+        assert!((base - with_noise).abs() < 1e-9);
+    }
+
+    #[test]
+    fn silhouette_in_range() {
+        let (pts, labels) = two_blob_setup(60.0);
+        let s = silhouette(&pts, &labels).unwrap();
+        assert!((-1.0..=1.0).contains(&s));
+    }
+
+    #[test]
+    fn handles_sparse_label_indices() {
+        // Labels 0 and 5 with gaps (e.g. after DBSCAN cluster pruning).
+        let mut pts = blob(0.0, 0.0, 10);
+        pts.extend(blob(100.0, 0.0, 10));
+        let labels: Vec<Option<usize>> =
+            (0..20).map(|i| Some(if i < 10 { 0 } else { 5 })).collect();
+        assert!(silhouette(&pts, &labels).unwrap() > 0.5);
+        assert!(davies_bouldin(&pts, &labels).is_some());
+    }
+}

@@ -1,0 +1,244 @@
+//! K-Means clustering (Lloyd's algorithm with k-means++ seeding), the
+//! paper's second ADM back-end. K-Means assigns *every* training sample to
+//! a cluster — no noise — which is why K-Means-backed ADM hulls "cover a
+//! larger area than DBSCAN clustering" (paper §III-A, Fig. 6) and admit
+//! more attack head-room (Table V).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use shatter_geometry::Point;
+
+/// K-Means hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KMeansParams {
+    /// Number of clusters `k`; the paper tunes this to ~29 on a full month
+    /// of ARAS data (Fig. 4b).
+    pub k: usize,
+    /// Maximum Lloyd iterations.
+    pub max_iter: usize,
+    /// RNG seed for k-means++ initialization.
+    pub seed: u64,
+}
+
+impl Default for KMeansParams {
+    fn default() -> Self {
+        KMeansParams {
+            k: 8,
+            max_iter: 100,
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// Result of a K-Means run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KMeansModel {
+    /// Final centroids (length ≤ `k`; empty clusters are dropped).
+    pub centroids: Vec<Point>,
+    /// Per-point cluster assignment, parallel to the input slice.
+    pub assignments: Vec<usize>,
+}
+
+impl KMeansModel {
+    /// Collects the member points of each cluster.
+    pub fn clusters(&self, points: &[Point]) -> Vec<Vec<Point>> {
+        let mut out = vec![Vec::new(); self.centroids.len()];
+        for (p, &c) in points.iter().zip(&self.assignments) {
+            out[c].push(*p);
+        }
+        out
+    }
+
+    /// Within-cluster sum of squared distances (inertia).
+    pub fn inertia(&self, points: &[Point]) -> f64 {
+        points
+            .iter()
+            .zip(&self.assignments)
+            .map(|(p, &c)| p.distance_sq(self.centroids[c]))
+            .sum()
+    }
+}
+
+fn nearest(centroids: &[Point], p: Point) -> (usize, f64) {
+    let mut best = (0usize, f64::INFINITY);
+    for (i, c) in centroids.iter().enumerate() {
+        let d = p.distance_sq(*c);
+        if d < best.1 {
+            best = (i, d);
+        }
+    }
+    best
+}
+
+/// Runs K-Means over a point set.
+///
+/// `k` is clamped to the number of *distinct* points. Deterministic for a
+/// fixed seed.
+///
+/// ```
+/// use shatter_adm::kmeans::{kmeans, KMeansParams};
+/// use shatter_geometry::Point;
+///
+/// let pts: Vec<Point> = (0..10)
+///     .map(|i| Point::new(if i < 5 { 0.0 } else { 100.0 } + i as f64 * 0.1, 0.0))
+///     .collect();
+/// let m = kmeans(&pts, &KMeansParams { k: 2, ..KMeansParams::default() });
+/// assert_eq!(m.centroids.len(), 2);
+/// assert_eq!(m.assignments[0], m.assignments[4]);
+/// assert_ne!(m.assignments[0], m.assignments[9]);
+/// ```
+pub fn kmeans(points: &[Point], params: &KMeansParams) -> KMeansModel {
+    if points.is_empty() || params.k == 0 {
+        return KMeansModel {
+            centroids: Vec::new(),
+            assignments: Vec::new(),
+        };
+    }
+    let mut distinct: Vec<Point> = points.to_vec();
+    distinct.sort_by(|a, b| a.lex_cmp(*b));
+    distinct.dedup_by(|a, b| a.distance_sq(*b) < 1e-18);
+    let k = params.k.min(distinct.len()).max(1);
+
+    // k-means++ seeding.
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut centroids: Vec<Point> = Vec::with_capacity(k);
+    centroids.push(points[rng.random_range(0..points.len())]);
+    while centroids.len() < k {
+        let d2: Vec<f64> = points
+            .iter()
+            .map(|p| nearest(&centroids, *p).1)
+            .collect();
+        let total: f64 = d2.iter().sum();
+        if total <= 0.0 {
+            break;
+        }
+        let mut target = rng.random::<f64>() * total;
+        let mut chosen = points.len() - 1;
+        for (i, w) in d2.iter().enumerate() {
+            target -= w;
+            if target <= 0.0 {
+                chosen = i;
+                break;
+            }
+        }
+        // Avoid duplicate centroids.
+        if d2[chosen] > 0.0 {
+            centroids.push(points[chosen]);
+        }
+    }
+
+    // Lloyd iterations.
+    let mut assignments = vec![0usize; points.len()];
+    for _ in 0..params.max_iter {
+        let mut changed = false;
+        for (i, p) in points.iter().enumerate() {
+            let (c, _) = nearest(&centroids, *p);
+            if assignments[i] != c {
+                assignments[i] = c;
+                changed = true;
+            }
+        }
+        let mut sums = vec![(Point::default(), 0usize); centroids.len()];
+        for (p, &c) in points.iter().zip(&assignments) {
+            sums[c].0 = sums[c].0 + *p;
+            sums[c].1 += 1;
+        }
+        for (c, (sum, count)) in sums.iter().enumerate() {
+            if *count > 0 {
+                centroids[c] = Point::new(sum.x / *count as f64, sum.y / *count as f64);
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Drop empty clusters and re-index.
+    let mut counts = vec![0usize; centroids.len()];
+    for &a in &assignments {
+        counts[a] += 1;
+    }
+    let mut remap = vec![usize::MAX; centroids.len()];
+    let mut kept = Vec::new();
+    for (i, c) in centroids.into_iter().enumerate() {
+        if counts[i] > 0 {
+            remap[i] = kept.len();
+            kept.push(c);
+        }
+    }
+    for a in &mut assignments {
+        *a = remap[*a];
+    }
+
+    KMeansModel {
+        centroids: kept,
+        assignments,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blob(cx: f64, cy: f64, n: usize) -> Vec<Point> {
+        (0..n)
+            .map(|i| {
+                let a = i as f64 * 2.39996;
+                let r = (i as f64).sqrt();
+                Point::new(cx + r * a.cos(), cy + r * a.sin())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let mut pts = blob(0.0, 0.0, 40);
+        pts.extend(blob(200.0, 0.0, 40));
+        let m = kmeans(&pts, &KMeansParams { k: 2, ..Default::default() });
+        assert_eq!(m.centroids.len(), 2);
+        assert!(m.assignments[..40].iter().all(|&a| a == m.assignments[0]));
+        assert!(m.assignments[40..].iter().all(|&a| a == m.assignments[40]));
+    }
+
+    #[test]
+    fn k_clamped_to_distinct_points() {
+        let pts = vec![Point::new(1.0, 1.0); 10];
+        let m = kmeans(&pts, &KMeansParams { k: 5, ..Default::default() });
+        assert_eq!(m.centroids.len(), 1);
+        assert!(m.assignments.iter().all(|&a| a == 0));
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let pts = blob(0.0, 0.0, 50);
+        let p = KMeansParams { k: 4, ..Default::default() };
+        assert_eq!(kmeans(&pts, &p), kmeans(&pts, &p));
+    }
+
+    #[test]
+    fn empty_input() {
+        let m = kmeans(&[], &KMeansParams::default());
+        assert!(m.centroids.is_empty());
+    }
+
+    #[test]
+    fn inertia_decreases_with_k() {
+        let mut pts = blob(0.0, 0.0, 30);
+        pts.extend(blob(100.0, 50.0, 30));
+        pts.extend(blob(-80.0, 90.0, 30));
+        let i1 = kmeans(&pts, &KMeansParams { k: 1, ..Default::default() }).inertia(&pts);
+        let i3 = kmeans(&pts, &KMeansParams { k: 3, ..Default::default() }).inertia(&pts);
+        assert!(i3 < i1);
+    }
+
+    #[test]
+    fn every_point_assigned() {
+        let pts = blob(0.0, 0.0, 25);
+        let m = kmeans(&pts, &KMeansParams { k: 4, ..Default::default() });
+        assert_eq!(m.assignments.len(), pts.len());
+        for &a in &m.assignments {
+            assert!(a < m.centroids.len());
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! Clustering-based anomaly detection models (ADMs) for SHATTER.
+//!
+//! The paper's ADM (§III-A, §IV-B) learns the valid (arrival-time,
+//! stay-duration) pairs per occupant and zone from historical data, using
+//! either DBSCAN or K-Means clustering, then linearizes each cluster into a
+//! convex hull (Fig. 7) so that membership is a conjunction of linear
+//! `leftOfLineSegment` constraints (Eq. 9–10). A sensor trace is *benign*
+//! when every stay episode falls inside some hull of its (occupant, zone)
+//! model (Eq. 8).
+//!
+//! Provided here:
+//!
+//! - [`dbscan`] and [`kmeans`]: the two clustering algorithms,
+//! - [`indices`]: Davies-Bouldin, Silhouette and Calinski-Harabasz scores
+//!   for hyperparameter tuning (paper Fig. 4),
+//! - [`HullAdm`]: the trained, hull-linearized ADM with the paper's
+//!   `withinCluster`, `maxStay`, `minStay` and `inRangeStay` primitives,
+//! - [`metrics`]: confusion-matrix scoring against attack samples
+//!   (paper Table IV, Fig. 5).
+//!
+//! # Examples
+//!
+//! ```
+//! use shatter_adm::{AdmKind, HullAdm};
+//! use shatter_dataset::{synthesize, HouseKind, SynthConfig};
+//!
+//! let data = synthesize(&SynthConfig::new(HouseKind::A, 10, 1));
+//! let adm = HullAdm::train(&data, AdmKind::default_dbscan());
+//! // Sleeping all night in the bedroom is a learned habit:
+//! use shatter_smarthome::{OccupantId, ZoneId};
+//! assert!(adm.max_stay(OccupantId(0), ZoneId(1), 0.0).is_some());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dbscan;
+mod hullmodel;
+pub mod indices;
+pub mod kmeans;
+pub mod metrics;
+
+pub use hullmodel::{AdmKind, HullAdm, ZoneModel};

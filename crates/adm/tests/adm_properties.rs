@@ -1,0 +1,130 @@
+//! Property-based tests on the hull-linearized ADM.
+
+use proptest::prelude::*;
+
+use shatter_adm::dbscan::{dbscan, DbscanParams, Label};
+use shatter_adm::kmeans::{kmeans, KMeansParams};
+use shatter_adm::{AdmKind, HullAdm};
+use shatter_dataset::episodes::Episode;
+use shatter_geometry::Point;
+use shatter_smarthome::{OccupantId, ZoneId};
+
+fn arb_episodes() -> impl Strategy<Value = Vec<Episode>> {
+    prop::collection::vec(
+        (0u32..1380, 1u32..60, 0usize..2, 1usize..5),
+        8..80,
+    )
+    .prop_map(|v| {
+        v.into_iter()
+            .map(|(arrival, stay, o, z)| Episode {
+                occupant: OccupantId(o),
+                zone: ZoneId(z),
+                day: 0,
+                arrival,
+                stay,
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    /// K-Means-backed ADMs accept every training episode (convexity:
+    /// each point is inside its own cluster's hull).
+    #[test]
+    fn kmeans_adm_accepts_training_data(eps in arb_episodes()) {
+        let adm = HullAdm::train_from_episodes(&eps, AdmKind::default_kmeans());
+        for e in &eps {
+            prop_assert!(
+                adm.within(e.occupant, e.zone, e.arrival as f64, e.stay as f64),
+                "training episode {e:?} rejected"
+            );
+        }
+    }
+
+    /// min_stay <= max_stay wherever both exist, and any stay strictly
+    /// outside [min, max] is rejected.
+    #[test]
+    fn stay_bounds_are_consistent(eps in arb_episodes(), probe in 0u32..1380) {
+        let adm = HullAdm::train_from_episodes(&eps, AdmKind::default_kmeans());
+        for o in 0..2 {
+            for z in 1..5 {
+                let (o, z) = (OccupantId(o), ZoneId(z));
+                let arrival = probe as f64;
+                match (adm.min_stay(o, z, arrival), adm.max_stay(o, z, arrival)) {
+                    (Some(lo), Some(hi)) => {
+                        prop_assert!(lo <= hi + 1e-9);
+                        prop_assert!(!adm.within(o, z, arrival, hi + 1.0));
+                        if lo > 1.0 {
+                            prop_assert!(!adm.within(o, z, arrival, lo - 1.0));
+                        }
+                    }
+                    (None, None) => {
+                        // No hull crosses this arrival: everything rejected.
+                        prop_assert!(!adm.within(o, z, arrival, 10.0));
+                    }
+                    other => prop_assert!(false, "half-defined bounds {other:?}"),
+                }
+            }
+        }
+    }
+
+    /// Stay ranges partition membership: within() holds iff the stay falls
+    /// in one of the reported ranges.
+    #[test]
+    fn ranges_characterize_within(eps in arb_episodes(), probe_a in 0u32..1380, probe_s in 1u32..100) {
+        let adm = HullAdm::train_from_episodes(&eps, AdmKind::default_dbscan());
+        for o in 0..2 {
+            for z in 1..5 {
+                let (o, z) = (OccupantId(o), ZoneId(z));
+                let (a, s) = (probe_a as f64, probe_s as f64);
+                let in_ranges = adm
+                    .stay_ranges(o, z, a)
+                    .iter()
+                    .any(|&(lo, hi)| s >= lo - 1e-9 && s <= hi + 1e-9);
+                prop_assert_eq!(adm.within(o, z, a, s), in_ranges);
+            }
+        }
+    }
+
+    /// DBSCAN labels are a partition of non-noise points, and every
+    /// cluster has at least min_pts members (core-point guarantee relaxed
+    /// to: clusters are non-empty and labels in range).
+    #[test]
+    fn dbscan_labels_well_formed(
+        pts in prop::collection::vec((0.0f64..1440.0, 0.0f64..300.0), 5..60),
+        eps in 5.0f64..120.0,
+        min_pts in 1usize..8,
+    ) {
+        let points: Vec<Point> = pts.iter().map(|&(x, y)| Point::new(x, y)).collect();
+        let c = dbscan(&points, &DbscanParams { eps, min_pts });
+        prop_assert_eq!(c.labels.len(), points.len());
+        let groups = c.clusters(&points);
+        prop_assert_eq!(groups.len(), c.n_clusters);
+        let total: usize = groups.iter().map(Vec::len).sum();
+        prop_assert_eq!(total + c.n_noise(), points.len());
+        for g in &groups {
+            prop_assert!(!g.is_empty());
+        }
+        for l in &c.labels {
+            if let Label::Cluster(i) = l {
+                prop_assert!(*i < c.n_clusters);
+            }
+        }
+    }
+
+    /// K-Means inertia never increases when k grows (same seed family).
+    #[test]
+    fn kmeans_inertia_monotone_in_k(
+        pts in prop::collection::vec((0.0f64..1440.0, 0.0f64..300.0), 12..60),
+    ) {
+        let points: Vec<Point> = pts.iter().map(|&(x, y)| Point::new(x, y)).collect();
+        let mut last = f64::INFINITY;
+        for k in [1usize, 2, 4, 8] {
+            let m = kmeans(&points, &KMeansParams { k, ..KMeansParams::default() });
+            let inertia = m.inertia(&points);
+            // Lloyd is a local optimizer; allow mild non-monotonicity.
+            prop_assert!(inertia <= last * 1.25 + 1e-6, "k={k}: {inertia} vs {last}");
+            last = last.min(inertia);
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! Criterion bench behind paper Figs. 4–6: ADM training (clustering +
+//! hull linearization) for both back-ends.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use shatter_adm::{AdmKind, HullAdm};
+use shatter_bench::common::HouseFixture;
+use shatter_dataset::episodes::extract_episodes;
+use shatter_dataset::HouseKind;
+
+fn bench_adm_training(c: &mut Criterion) {
+    let fx = HouseFixture::new(HouseKind::A, 15);
+    let episodes = extract_episodes(&fx.month);
+    let mut group = c.benchmark_group("adm_training");
+    group.sample_size(10);
+    group.bench_function("dbscan_train", |b| {
+        b.iter(|| {
+            black_box(HullAdm::train_from_episodes(
+                black_box(&episodes),
+                AdmKind::default_dbscan(),
+            ))
+        })
+    });
+    group.bench_function("kmeans_train", |b| {
+        b.iter(|| {
+            black_box(HullAdm::train_from_episodes(
+                black_box(&episodes),
+                AdmKind::default_kmeans(),
+            ))
+        })
+    });
+    group.finish();
+}
+
+fn bench_adm_query(c: &mut Criterion) {
+    let fx = HouseFixture::new(HouseKind::A, 15);
+    let adm = fx.adm(AdmKind::default_dbscan(), 15);
+    let mut group = c.benchmark_group("adm_query");
+    group.bench_function("within", |b| {
+        b.iter(|| {
+            let mut hits = 0u32;
+            for t in (0..1440).step_by(20) {
+                if adm.within(
+                    shatter_smarthome::OccupantId(0),
+                    shatter_smarthome::ZoneId(1),
+                    t as f64,
+                    30.0,
+                ) {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_adm_training, bench_adm_query);
+criterion_main!(benches);

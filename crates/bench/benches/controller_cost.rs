@@ -1,0 +1,27 @@
+//! Criterion bench behind paper Fig. 3: daily control-cost evaluation of
+//! the ASHRAE baseline vs the activity-aware DCHVAC controller.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use shatter_bench::common::HouseFixture;
+use shatter_dataset::HouseKind;
+use shatter_hvac::{AshraeController, DchvacController};
+
+fn bench_controllers(c: &mut Criterion) {
+    let fx = HouseFixture::new(HouseKind::A, 2);
+    let day = &fx.month.days[0];
+    let mut group = c.benchmark_group("controller_day_cost");
+    group.sample_size(10);
+    group.bench_function("dchvac", |b| {
+        b.iter(|| black_box(fx.model.day_cost(&DchvacController, black_box(day))))
+    });
+    group.bench_function("ashrae", |b| {
+        let ctl = AshraeController::default();
+        b.iter(|| black_box(fx.model.day_cost(&ctl, black_box(day))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_controllers);
+criterion_main!(benches);

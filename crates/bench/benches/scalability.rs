@@ -1,0 +1,90 @@
+//! Criterion bench behind paper Fig. 11: SMT attack-schedule synthesis
+//! time vs optimization horizon (a) and zone count (b), plus the DP
+//! scheduler for contrast.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use shatter_adm::AdmKind;
+use shatter_bench::common::HouseFixture;
+use shatter_core::{
+    AttackerCapability, RewardTable, Scheduler, SmtScheduler, WindowDpScheduler,
+};
+use shatter_dataset::HouseKind;
+use shatter_hvac::EnergyModel;
+use shatter_smarthome::{houses, OccupantId};
+
+fn bench_horizon(c: &mut Criterion) {
+    let fx = HouseFixture::new(HouseKind::A, 12);
+    let adm = fx.adm(AdmKind::default_kmeans(), 10);
+    let table = RewardTable::build(&fx.model);
+    let cap = AttackerCapability::full(&fx.home);
+    let day = &fx.month.days[10];
+    let mut group = c.benchmark_group("smt_horizon");
+    group.sample_size(10);
+    for horizon in [10usize, 14, 18] {
+        group.bench_with_input(BenchmarkId::from_parameter(horizon), &horizon, |b, &h| {
+            let sched = SmtScheduler {
+                horizon: h,
+                ..SmtScheduler::default()
+            };
+            b.iter(|| {
+                black_box(sched.schedule_occupant(
+                    OccupantId(0),
+                    &table,
+                    &adm,
+                    &cap,
+                    day,
+                    36,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_zones(c: &mut Criterion) {
+    let fx = HouseFixture::new(HouseKind::A, 12);
+    let adm = fx.adm(AdmKind::default_kmeans(), 10);
+    let day = &fx.month.days[10];
+    let mut group = c.benchmark_group("smt_zones");
+    group.sample_size(10);
+    for n_zones in [4usize, 12, 24] {
+        let home = houses::scaled_home(n_zones);
+        let model = EnergyModel::standard(home.clone());
+        let table = RewardTable::build(&model);
+        let cap = AttackerCapability::full(&home);
+        group.bench_with_input(BenchmarkId::from_parameter(n_zones), &n_zones, |b, _| {
+            let sched = SmtScheduler::default();
+            b.iter(|| {
+                black_box(sched.schedule_occupant(
+                    OccupantId(0),
+                    &table,
+                    &adm,
+                    &cap,
+                    day,
+                    30,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_dp_full_day(c: &mut Criterion) {
+    let fx = HouseFixture::new(HouseKind::A, 12);
+    let adm = fx.adm(AdmKind::default_kmeans(), 10);
+    let table = RewardTable::build(&fx.model);
+    let cap = AttackerCapability::full(&fx.home);
+    let day = &fx.month.days[10];
+    let mut group = c.benchmark_group("dp_scheduler");
+    group.sample_size(10);
+    group.bench_function("full_day", |b| {
+        let sched = WindowDpScheduler::default();
+        b.iter(|| black_box(sched.schedule(&table, &adm, &cap, day)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_horizon, bench_zones, bench_dp_full_day);
+criterion_main!(benches);

@@ -1,0 +1,115 @@
+//! `repro` — regenerates every table and figure of the SHATTER paper's
+//! evaluation (see `DESIGN.md` §4 and `EXPERIMENTS.md`).
+//!
+//! Usage:
+//!
+//! ```text
+//! repro [--days N] [--span N] [--out DIR] [exhibit...]
+//! repro all          # everything (default)
+//! repro tab5 fig10   # selected exhibits
+//! ```
+//!
+//! Exhibits: fig3 fig4 fig5 fig6 tab3 tab4 tab5 fig10 tab6 tab7 fig11
+//! testbed. Each prints an aligned table and writes `results/<id>.csv`.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use shatter_bench::exhibits;
+use shatter_bench::{write_csv, Table};
+
+struct Options {
+    days: usize,
+    span: usize,
+    out: PathBuf,
+    wanted: Vec<String>,
+}
+
+const ALL: [&str; 13] = [
+    "fig3", "fig4", "fig5", "fig6", "tab3", "tab4", "tab5", "fig10", "tab6", "tab7", "fig11",
+    "testbed", "ablation",
+];
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        days: 30,
+        span: 60,
+        out: PathBuf::from("results"),
+        wanted: Vec::new(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--days" => {
+                opts.days = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--days needs a number"));
+            }
+            "--span" => {
+                opts.span = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--span needs a number"));
+            }
+            "--out" => {
+                opts.out = PathBuf::from(args.next().unwrap_or_else(|| die("--out needs a path")));
+            }
+            "all" => opts.wanted.extend(ALL.iter().map(|s| s.to_string())),
+            "--help" | "-h" => {
+                println!("usage: repro [--days N] [--span N] [--out DIR] [exhibit...]");
+                println!("exhibits: {}", ALL.join(" "));
+                std::process::exit(0);
+            }
+            other if ALL.contains(&other) => opts.wanted.push(other.to_string()),
+            other => die(&format!("unknown argument {other:?} (try --help)")),
+        }
+    }
+    if opts.wanted.is_empty() {
+        opts.wanted.extend(ALL.iter().map(|s| s.to_string()));
+    }
+    opts
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("repro: {msg}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let opts = parse_args();
+    println!(
+        "SHATTER reproduction harness — days={}, span={}, out={}",
+        opts.days,
+        opts.span,
+        opts.out.display()
+    );
+    for id in &opts.wanted {
+        let start = Instant::now();
+        let table: Table = match id.as_str() {
+            "fig3" => exhibits::fig3(opts.days),
+            "fig4" => exhibits::fig4(opts.days),
+            "fig5" => exhibits::fig5(opts.days),
+            "fig6" => exhibits::fig6(opts.days),
+            "tab3" => exhibits::tab3(),
+            "tab4" => exhibits::tab4(opts.days),
+            "tab5" => exhibits::tab5(opts.days),
+            "fig10" => exhibits::fig10(opts.days),
+            "tab6" => exhibits::tab6(opts.days),
+            "tab7" => exhibits::tab7(opts.days),
+            "fig11" => exhibits::fig11(opts.span),
+            "testbed" => exhibits::testbed(),
+            "ablation" => exhibits::ablation(opts.days),
+            other => die(&format!("unknown exhibit {other}")),
+        };
+        println!("{}", table.render());
+        match write_csv(&table, &opts.out) {
+            Ok(path) => println!(
+                "[{id}] wrote {} in {:.1}s\n",
+                path.display(),
+                start.elapsed().as_secs_f64()
+            ),
+            Err(e) => eprintln!("[{id}] csv write failed: {e}"),
+        }
+    }
+}

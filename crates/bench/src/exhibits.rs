@@ -1,0 +1,850 @@
+//! One function per paper exhibit. See `DESIGN.md` §4 for the index.
+
+use std::time::Instant;
+
+use shatter_adm::dbscan::DbscanParams;
+use shatter_adm::kmeans::KMeansParams;
+use shatter_adm::{indices, metrics, AdmKind, HullAdm};
+use shatter_core::{
+    biota::detection_rate, impact, trigger, AttackSchedule, AttackerCapability, BiotaScheduler,
+    GreedyScheduler, RewardTable, Scheduler, SmtScheduler, WindowDpScheduler,
+};
+use shatter_dataset::attacks::{biota_attack_episodes, AttackerKnowledge, BiotaConfig};
+use shatter_dataset::episodes::{extract_episodes, features_for, Episode};
+use shatter_dataset::HouseKind;
+use shatter_geometry::Point;
+use shatter_hvac::{AshraeController, DchvacController, EnergyModel};
+use shatter_smarthome::{houses, ApplianceId, Minute, OccupantId, ZoneId};
+use shatter_testbed::experiment::{run_validation, ValidationConfig};
+
+use crate::common::{dataset_label, HouseFixture, Table};
+
+fn fmt2(x: f64) -> String {
+    format!("{x:.2}")
+}
+fn fmt3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Fig. 3 — ASHRAE vs proposed control cost per day, both houses.
+pub fn fig3(days: usize) -> Table {
+    let mut t = Table::new(
+        "fig3",
+        "ASHRAE vs SHATTER control cost ($/day)",
+        &["house", "day", "ashrae_usd", "dchvac_usd"],
+    );
+    for kind in [HouseKind::A, HouseKind::B] {
+        let fx = HouseFixture::new(kind, days);
+        let ashrae = fx
+            .model
+            .dataset_costs(&AshraeController::default(), &fx.month.days);
+        let dchvac = fx.model.dataset_costs(&DchvacController, &fx.month.days);
+        let mut a_total = 0.0;
+        let mut d_total = 0.0;
+        for (day, (a, d)) in ashrae.iter().zip(&dchvac).enumerate() {
+            a_total += a.total_usd();
+            d_total += d.total_usd();
+            t.push(vec![
+                format!("{kind:?}"),
+                day.to_string(),
+                fmt2(a.total_usd()),
+                fmt2(d.total_usd()),
+            ]);
+        }
+        t.push(vec![
+            format!("{kind:?}"),
+            "TOTAL".into(),
+            fmt2(a_total),
+            fmt2(d_total),
+        ]);
+        t.push(vec![
+            format!("{kind:?}"),
+            "SAVINGS%".into(),
+            String::new(),
+            fmt2(100.0 * (1.0 - d_total / a_total)),
+        ]);
+    }
+    t
+}
+
+/// Pools per-zone clusterings for one occupant and averages the three
+/// validity indices, weighted by zone point count.
+fn tuning_scores(points_by_zone: &[Vec<Point>], kind: &AdmKind) -> (f64, f64, f64) {
+    let mut dbi_sum = 0.0;
+    let mut sc_sum = 0.0;
+    let mut chi_sum = 0.0;
+    let mut weight = 0.0;
+    for pts in points_by_zone {
+        if pts.len() < 8 {
+            continue;
+        }
+        let labels: Vec<Option<usize>> = match kind {
+            AdmKind::Dbscan(p) => shatter_adm::dbscan::dbscan(pts, p)
+                .labels
+                .iter()
+                .map(|l| match l {
+                    shatter_adm::dbscan::Label::Cluster(c) => Some(*c),
+                    shatter_adm::dbscan::Label::Noise => None,
+                })
+                .collect(),
+            AdmKind::KMeans(p) => shatter_adm::kmeans::kmeans(pts, p)
+                .assignments
+                .iter()
+                .map(|&a| Some(a))
+                .collect(),
+        };
+        let (Some(dbi), Some(sc), Some(chi)) = (
+            indices::davies_bouldin(pts, &labels),
+            indices::silhouette(pts, &labels),
+            indices::calinski_harabasz(pts, &labels),
+        ) else {
+            continue;
+        };
+        let w = pts.len() as f64;
+        dbi_sum += dbi * w;
+        sc_sum += sc * w;
+        chi_sum += chi * w;
+        weight += w;
+    }
+    if weight == 0.0 {
+        (f64::NAN, f64::NAN, f64::NAN)
+    } else {
+        (dbi_sum / weight, sc_sum / weight, chi_sum / weight)
+    }
+}
+
+/// Fig. 4 — ADM hyperparameter tuning on HAO1 (Davies-Bouldin,
+/// Silhouette, Calinski-Harabasz vs DBSCAN `minPts` and K-Means `k`).
+pub fn fig4(days: usize) -> Table {
+    let fx = HouseFixture::new(HouseKind::A, days);
+    let eps = extract_episodes(&fx.month);
+    let points_by_zone: Vec<Vec<Point>> = (0..fx.home.zones().len())
+        .map(|z| {
+            features_for(&eps, OccupantId(0), ZoneId(z))
+                .into_iter()
+                .map(|(x, y)| Point::new(x, y))
+                .collect()
+        })
+        .collect();
+    let mut t = Table::new(
+        "fig4",
+        "ADM hyperparameter tuning (HAO1)",
+        &["algorithm", "param", "davies_bouldin", "silhouette", "calinski_harabasz"],
+    );
+    for min_pts in (2..=50).step_by(4) {
+        let kind = AdmKind::Dbscan(DbscanParams {
+            eps: 45.0,
+            min_pts,
+        });
+        let (dbi, sc, chi) = tuning_scores(&points_by_zone, &kind);
+        t.push(vec![
+            "DBSCAN".into(),
+            min_pts.to_string(),
+            fmt3(dbi),
+            fmt3(sc),
+            fmt3(chi),
+        ]);
+    }
+    for k in (2..=40).step_by(4) {
+        let kind = AdmKind::KMeans(KMeansParams {
+            k,
+            ..KMeansParams::default()
+        });
+        let (dbi, sc, chi) = tuning_scores(&points_by_zone, &kind);
+        t.push(vec![
+            "K-Means".into(),
+            k.to_string(),
+            fmt3(dbi),
+            fmt3(sc),
+            fmt3(chi),
+        ]);
+    }
+    t
+}
+
+/// Occupant-filtered ADM evaluation against BIoTA attack samples.
+fn score_occupant(
+    adm: &HullAdm,
+    occupant: OccupantId,
+    benign: &[Episode],
+    attacks: &[Episode],
+) -> metrics::Confusion {
+    let b: Vec<Episode> = benign
+        .iter()
+        .filter(|e| e.occupant == occupant)
+        .copied()
+        .collect();
+    let a: Vec<Episode> = attacks
+        .iter()
+        .filter(|e| e.occupant == occupant)
+        .copied()
+        .collect();
+    metrics::evaluate(adm, &b, &a)
+}
+
+/// Fig. 5 — progressive F1 vs number of training days, both ADMs × all
+/// four datasets (HAO1/HAO2/HBO1/HBO2).
+pub fn fig5(days: usize) -> Table {
+    let mut t = Table::new(
+        "fig5",
+        "Progressive F1 (%) vs training days",
+        &["adm", "dataset", "train_days", "f1_pct"],
+    );
+    let train_points: Vec<usize> = [10usize, 15, 20, 25]
+        .into_iter()
+        .filter(|&d| d + 5 <= days)
+        .collect();
+    for kind_label in ["DBSCAN", "K-Means"] {
+        for house in [HouseKind::A, HouseKind::B] {
+            let fx = HouseFixture::new(house, days);
+            for occupant in 0..2usize {
+                for &td in &train_points {
+                    let (train, test) = fx.month.split_at_day(td);
+                    let kind = if kind_label == "DBSCAN" {
+                        AdmKind::default_dbscan()
+                    } else {
+                        AdmKind::default_kmeans()
+                    };
+                    let adm = HullAdm::train(&train, kind);
+                    let attacks = biota_attack_episodes(&train, &BiotaConfig::default());
+                    let benign = extract_episodes(&test);
+                    let c = score_occupant(&adm, OccupantId(occupant), &benign, &attacks);
+                    t.push(vec![
+                        kind_label.into(),
+                        dataset_label(house, occupant),
+                        td.to_string(),
+                        fmt2(100.0 * c.f1()),
+                    ]);
+                }
+            }
+        }
+    }
+    t
+}
+
+/// Fig. 6 — cluster hull geometry for HAO1 under both ADMs, with
+/// coverage areas (K-Means hulls cover more area).
+pub fn fig6(days: usize) -> Table {
+    let fx = HouseFixture::new(HouseKind::A, days);
+    let mut t = Table::new(
+        "fig6",
+        "ADM cluster hulls (HAO1): vertices and coverage",
+        &["adm", "zone", "cluster", "vertex", "arrival_min", "stay_min"],
+    );
+    for (label, kind) in [
+        ("DBSCAN", AdmKind::default_dbscan()),
+        ("K-Means", AdmKind::default_kmeans()),
+    ] {
+        let adm = fx.adm(kind, days);
+        let mut area = 0.0;
+        for z in 0..fx.home.zones().len() {
+            let Some(zm) = adm.zone_model(OccupantId(0), ZoneId(z)) else {
+                continue;
+            };
+            for (ci, hull) in zm.hulls.iter().enumerate() {
+                area += hull.area();
+                for (vi, v) in hull.vertices().iter().enumerate() {
+                    t.push(vec![
+                        label.into(),
+                        z.to_string(),
+                        ci.to_string(),
+                        vi.to_string(),
+                        fmt2(v.x),
+                        fmt2(v.y),
+                    ]);
+                }
+            }
+        }
+        t.push(vec![
+            label.into(),
+            "ALL".into(),
+            "AREA".into(),
+            String::new(),
+            String::new(),
+            fmt2(area),
+        ]);
+    }
+    t
+}
+
+/// Table III — the §V case study: actual vs greedy vs SHATTER schedules
+/// over ten evening slots, with stay-range thresholds and trigger status.
+pub fn tab3() -> Table {
+    let days = 12;
+    let fx = HouseFixture::new(HouseKind::A, days);
+    let adm = fx.adm(AdmKind::default_kmeans(), 10);
+    let table = RewardTable::build(&fx.model);
+    let cap = AttackerCapability::full(&fx.home);
+    let day = &fx.month.days[3]; // "day 4"
+    let start = 1080usize;
+    let span = 10usize;
+
+    let actual = AttackSchedule::from_actual(day);
+    let greedy = GreedyScheduler.schedule(&table, &adm, &cap, day);
+    let shatter = WindowDpScheduler::default().schedule(&table, &adm, &cap, day);
+    let triggers = trigger::plan_triggers(&fx.home, &adm, &cap, day, &shatter);
+
+    let mut header: Vec<String> = vec!["row".into(), "occupant".into()];
+    for s in 0..span {
+        header.push(format!("t{}", start + s));
+    }
+    let mut t = Table {
+        id: "tab3".into(),
+        title: "Case study: 18:00–18:09, actual vs greedy vs SHATTER".into(),
+        header,
+        rows: Vec::new(),
+    };
+    let names = ["Alice", "Bob"];
+    for (label, sched) in [
+        ("Actual", &actual),
+        ("Greedy", &greedy),
+        ("SHATTER", &shatter),
+    ] {
+        for o in 0..2usize {
+            let mut row = vec![label.to_string(), names[o].to_string()];
+            for s in 0..span {
+                row.push(sched.zones[o][start + s].index().to_string());
+            }
+            t.push(row);
+        }
+    }
+    // Stay-range thresholds for the SHATTER-reported zone at each slot.
+    for o in 0..2usize {
+        let mut row = vec!["RangeThresh".to_string(), names[o].to_string()];
+        for s in 0..span {
+            let z = shatter.zones[o][start + s];
+            let mut arrival = start + s;
+            while arrival > 0 && shatter.zones[o][arrival - 1] == z {
+                arrival -= 1;
+            }
+            let ranges = adm.stay_ranges(OccupantId(o), z, arrival as f64);
+            row.push(match ranges.first() {
+                Some(&(lo, hi)) => format!("[{:.0}-{:.0}]", lo, hi),
+                None => "[]".into(),
+            });
+        }
+        t.push(row);
+    }
+    // Trigger status per occupant per slot.
+    for o in 0..2usize {
+        let mut row = vec!["Trigger".to_string(), names[o].to_string()];
+        for s in 0..span {
+            let z = shatter.zones[o][start + s];
+            let fired = triggers.on[start + s]
+                .iter()
+                .any(|aid| fx.home.appliance(*aid).zone == z);
+            row.push(fired.to_string());
+        }
+        t.push(row);
+    }
+    // Cost rows over the window.
+    let window_cost = |sched: &AttackSchedule, o: usize| -> f64 {
+        (start..start + span)
+            .map(|s| table.rate(OccupantId(o), sched.zones[o][s], s as Minute))
+            .sum::<f64>()
+            * 100.0 // cents
+    };
+    for (label, sched) in [
+        ("ActualCost_c", &actual),
+        ("GreedyCost_c", &greedy),
+        ("ShatterCost_c", &shatter),
+    ] {
+        for o in 0..2usize {
+            let mut row = vec![label.to_string(), names[o].to_string()];
+            row.push(fmt3(window_cost(sched, o)));
+            row.extend(std::iter::repeat_n(String::new(), span - 1));
+            t.push(row);
+        }
+    }
+    t
+}
+
+/// Table IV — ADM detection quality (accuracy / precision / recall / F1)
+/// for both ADMs × four datasets × attacker knowledge.
+pub fn tab4(days: usize) -> Table {
+    let mut t = Table::new(
+        "tab4",
+        "ADM comparison vs attacker knowledge",
+        &["adm", "knowledge", "dataset", "accuracy", "precision", "recall", "f1"],
+    );
+    let train_days = (days * 2) / 3;
+    for (kind_label, kind) in [
+        ("DBSCAN", AdmKind::default_dbscan()),
+        ("K-Means", AdmKind::default_kmeans()),
+    ] {
+        for knowledge in [AttackerKnowledge::All, AttackerKnowledge::half()] {
+            for house in [HouseKind::A, HouseKind::B] {
+                let fx = HouseFixture::new(house, days);
+                let (train, test) = fx.month.split_at_day(train_days);
+                let adm = HullAdm::train(&train, kind);
+                let attacks = biota_attack_episodes(
+                    &train,
+                    &BiotaConfig {
+                        knowledge,
+                        ..BiotaConfig::default()
+                    },
+                );
+                let benign = extract_episodes(&test);
+                for occupant in 0..2usize {
+                    let c = score_occupant(&adm, OccupantId(occupant), &benign, &attacks);
+                    t.push(vec![
+                        kind_label.into(),
+                        match knowledge {
+                            AttackerKnowledge::All => "All".into(),
+                            AttackerKnowledge::Partial(_) => "Partial".into(),
+                        },
+                        dataset_label(house, occupant),
+                        fmt2(c.accuracy()),
+                        fmt2(c.precision()),
+                        fmt2(c.recall()),
+                        fmt2(c.f1()),
+                    ]);
+                }
+            }
+        }
+    }
+    t
+}
+
+/// Monthly attacked cost of a scheduler against an (attacker-side) ADM,
+/// with detection measured against the defender's ADM.
+fn monthly_attack(
+    fx: &HouseFixture,
+    attacker_adm: &HullAdm,
+    defender_adm: &HullAdm,
+    scheduler: &dyn Scheduler,
+    with_triggering: bool,
+) -> (f64, f64, f64) {
+    let cap = AttackerCapability::full(&fx.home);
+    let table = RewardTable::build(&fx.model);
+    let mut attacked = 0.0;
+    let mut benign = 0.0;
+    let mut detect_sum = 0.0;
+    for day in &fx.month.days {
+        let out = impact::evaluate_day_with_table(
+            &fx.model,
+            &table,
+            attacker_adm,
+            &cap,
+            day,
+            scheduler,
+            with_triggering,
+        );
+        detect_sum += detection_rate(defender_adm, &out.schedule, day);
+        attacked += out.attacked_cost_usd;
+        benign += out.benign_cost_usd;
+    }
+    (attacked, benign, detect_sum / fx.month.days.len() as f64)
+}
+
+/// Table V — BIoTA vs Greedy vs SHATTER monthly energy cost under both
+/// ADMs and both knowledge levels.
+pub fn tab5(days: usize) -> Table {
+    let mut t = Table::new(
+        "tab5",
+        "Attack impact: BIoTA vs Greedy vs SHATTER (monthly $, no triggering)",
+        &["framework", "adm", "knowledge", "house_a_usd", "house_b_usd", "detect_a", "detect_b"],
+    );
+    let fx_a = HouseFixture::new(HouseKind::A, days);
+    let fx_b = HouseFixture::new(HouseKind::B, days);
+
+    // Benign reference rows.
+    let benign_a: f64 = fx_a
+        .model
+        .dataset_costs(&DchvacController, &fx_a.month.days)
+        .iter()
+        .map(|c| c.total_usd())
+        .sum();
+    let benign_b: f64 = fx_b
+        .model
+        .dataset_costs(&DchvacController, &fx_b.month.days)
+        .iter()
+        .map(|c| c.total_usd())
+        .sum();
+    t.push(vec![
+        "Benign".into(),
+        "-".into(),
+        "-".into(),
+        fmt2(benign_a),
+        fmt2(benign_b),
+        "-".into(),
+        "-".into(),
+    ]);
+
+    for (kind_label, kind) in [
+        ("DBSCAN", AdmKind::default_dbscan()),
+        ("K-Means", AdmKind::default_kmeans()),
+    ] {
+        let def_a = fx_a.adm(kind, days);
+        let def_b = fx_b.adm(kind, days);
+
+        // BIoTA ignores the ADM entirely (rules-based world): one row.
+        if kind_label == "DBSCAN" {
+            let (a, _, da) = monthly_attack(&fx_a, &def_a, &def_a, &BiotaScheduler, false);
+            let (b, _, db) = monthly_attack(&fx_b, &def_b, &def_b, &BiotaScheduler, false);
+            t.push(vec![
+                "BIoTA".into(),
+                "Rules".into(),
+                "-".into(),
+                fmt2(a),
+                fmt2(b),
+                fmt2(da),
+                fmt2(db),
+            ]);
+        }
+
+        for knowledge in ["All", "Partial"] {
+            let atk_days = if knowledge == "All" { days } else { days / 2 };
+            let atk_a = fx_a.adm(kind, atk_days);
+            let atk_b = fx_b.adm(kind, atk_days);
+            for (framework, sched) in [
+                ("Greedy", &GreedyScheduler as &dyn Scheduler),
+                ("SHATTER", &WindowDpScheduler::default()),
+            ] {
+                let (a, _, da) = monthly_attack(&fx_a, &atk_a, &def_a, sched, false);
+                let (b, _, db) = monthly_attack(&fx_b, &atk_b, &def_b, sched, false);
+                t.push(vec![
+                    framework.into(),
+                    kind_label.into(),
+                    knowledge.into(),
+                    fmt2(a),
+                    fmt2(b),
+                    fmt2(da),
+                    fmt2(db),
+                ]);
+            }
+        }
+    }
+    t
+}
+
+/// Fig. 10 — daily control cost with and without appliance triggering
+/// (DBSCAN ADM, full access).
+pub fn fig10(days: usize) -> Table {
+    let mut t = Table::new(
+        "fig10",
+        "Daily cost: benign vs attack without/with appliance triggering",
+        &["house", "day", "benign_usd", "without_trig_usd", "with_trig_usd"],
+    );
+    for kind in [HouseKind::A, HouseKind::B] {
+        let fx = HouseFixture::new(kind, days);
+        let adm = fx.adm(AdmKind::default_dbscan(), days);
+        let cap = AttackerCapability::full(&fx.home);
+        let table = RewardTable::build(&fx.model);
+        let sched = WindowDpScheduler::default();
+        let mut sums = (0.0, 0.0, 0.0);
+        for (d, day) in fx.month.days.iter().enumerate() {
+            let without = impact::evaluate_day_with_table(
+                &fx.model, &table, &adm, &cap, day, &sched, false,
+            );
+            let with = impact::evaluate_day_with_table(
+                &fx.model, &table, &adm, &cap, day, &sched, true,
+            );
+            sums.0 += without.benign_cost_usd;
+            sums.1 += without.attacked_cost_usd;
+            sums.2 += with.attacked_cost_usd;
+            t.push(vec![
+                format!("{kind:?}"),
+                d.to_string(),
+                fmt2(without.benign_cost_usd),
+                fmt2(without.attacked_cost_usd),
+                fmt2(with.attacked_cost_usd),
+            ]);
+        }
+        t.push(vec![
+            format!("{kind:?}"),
+            "TOTAL".into(),
+            fmt2(sums.0),
+            fmt2(sums.1),
+            fmt2(sums.2),
+        ]);
+        t.push(vec![
+            format!("{kind:?}"),
+            "TRIG_GAIN".into(),
+            String::new(),
+            String::new(),
+            format!("{:.2} (+{:.1}%)", sums.2 - sums.1, 100.0 * (sums.2 - sums.1) / sums.1),
+        ]);
+    }
+    t
+}
+
+/// Shared sweep core for Tables VI and VII: appliance-triggering impact
+/// (cost with triggering − cost without) under a restricted capability.
+fn triggering_impact(fx: &HouseFixture, adm: &HullAdm, cap: &AttackerCapability) -> f64 {
+    let table = RewardTable::build(&fx.model);
+    let sched = WindowDpScheduler::default();
+    let mut without = 0.0;
+    let mut with = 0.0;
+    for day in &fx.month.days {
+        without += impact::evaluate_day_with_table(&fx.model, &table, adm, cap, day, &sched, false)
+            .attacked_cost_usd;
+        with += impact::evaluate_day_with_table(&fx.model, &table, adm, cap, day, &sched, true)
+            .attacked_cost_usd;
+    }
+    with - without
+}
+
+/// Table VI — triggering-attack impact vs number of accessible zones.
+pub fn tab6(days: usize) -> Table {
+    let mut t = Table::new(
+        "tab6",
+        "Appliance-triggering impact vs accessible zones ($/month)",
+        &["zones", "house_a_usd", "house_b_usd"],
+    );
+    // For each access budget, an optimal attacker picks the *best* zone
+    // subset; enumerate all subsets of that size and take the maximum.
+    let all_zones = [ZoneId(1), ZoneId(2), ZoneId(3), ZoneId(4)];
+    let fx_a = HouseFixture::new(HouseKind::A, days);
+    let fx_b = HouseFixture::new(HouseKind::B, days);
+    let adm_a = fx_a.adm(AdmKind::default_dbscan(), days);
+    let adm_b = fx_b.adm(AdmKind::default_dbscan(), days);
+    for size in [4usize, 3, 2] {
+        let mut best = (f64::NEG_INFINITY, f64::NEG_INFINITY);
+        for mask in 0u32..16 {
+            if mask.count_ones() as usize != size {
+                continue;
+            }
+            let zones: Vec<ZoneId> = all_zones
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask >> i & 1 == 1)
+                .map(|(_, z)| *z)
+                .collect();
+            let cap_a = AttackerCapability::full(&fx_a.home).with_zone_access(zones.clone());
+            let cap_b = AttackerCapability::full(&fx_b.home).with_zone_access(zones);
+            best.0 = best.0.max(triggering_impact(&fx_a, &adm_a, &cap_a));
+            best.1 = best.1.max(triggering_impact(&fx_b, &adm_b, &cap_b));
+        }
+        t.push(vec![size.to_string(), fmt2(best.0), fmt2(best.1)]);
+    }
+    t
+}
+
+/// Table VII — triggering-attack impact vs number of accessible
+/// appliances.
+pub fn tab7(days: usize) -> Table {
+    let mut t = Table::new(
+        "tab7",
+        "Appliance-triggering impact vs accessible appliances ($/month)",
+        &["appliances", "house_a_usd", "house_b_usd"],
+    );
+    let all: Vec<ApplianceId> = (0..13).map(ApplianceId).collect();
+    // "8": drop the livingroom/bedroom electronics; "3": highest-power trio.
+    let eight: Vec<ApplianceId> = (3..11).map(ApplianceId).collect();
+    let three: Vec<ApplianceId> = [4usize, 10, 5].into_iter().map(ApplianceId).collect();
+    let fx_a = HouseFixture::new(HouseKind::A, days);
+    let fx_b = HouseFixture::new(HouseKind::B, days);
+    let adm_a = fx_a.adm(AdmKind::default_dbscan(), days);
+    let adm_b = fx_b.adm(AdmKind::default_dbscan(), days);
+    for (label, set) in [("13", all), ("8", eight), ("3", three)] {
+        let cap_a = AttackerCapability::full(&fx_a.home).with_appliance_access(set.clone());
+        let cap_b = AttackerCapability::full(&fx_b.home).with_appliance_access(set);
+        t.push(vec![
+            label.into(),
+            fmt2(triggering_impact(&fx_a, &adm_a, &cap_a)),
+            fmt2(triggering_impact(&fx_b, &adm_b, &cap_b)),
+        ]);
+    }
+    t
+}
+
+/// Fig. 11 — scalability: SMT scheduling time vs optimization horizon
+/// (exponential trend) and vs number of zones (linear trend).
+pub fn fig11(span: usize) -> Table {
+    let mut t = Table::new(
+        "fig11",
+        "SMT scheduler scalability",
+        &["sweep", "value", "house", "total_ms", "per_window_us", "theory_conflicts"],
+    );
+    // (a) time-horizon sweep on the two ARAS houses.
+    for kind in [HouseKind::A, HouseKind::B] {
+        let fx = HouseFixture::new(kind, 12);
+        let adm = fx.adm(AdmKind::default_kmeans(), 10);
+        let table = RewardTable::build(&fx.model);
+        let cap = AttackerCapability::full(&fx.home);
+        let day = &fx.month.days[10];
+        for horizon in [10usize, 14, 18, 22, 26] {
+            let sched = SmtScheduler {
+                horizon,
+                ..SmtScheduler::default()
+            };
+            // Solve windows of exactly `horizon` slots covering `span`
+            // minutes, normalizing to time *per window* so the sweep
+            // isolates the per-window encoding blow-up (the paper's
+            // lookback-time axis).
+            let start = Instant::now();
+            let (_, stats) =
+                sched.schedule_occupant(OccupantId(0), &table, &adm, &cap, day, span);
+            let elapsed = start.elapsed();
+            let per_window_us =
+                elapsed.as_micros() as f64 / stats.windows.max(1) as f64;
+            t.push(vec![
+                "horizon".into(),
+                horizon.to_string(),
+                format!("{kind:?}"),
+                elapsed.as_millis().to_string(),
+                format!("{per_window_us:.0}"),
+                stats.theory_conflicts.to_string(),
+            ]);
+        }
+    }
+    // (b) horizontal scaling: number of zones (lookback 10).
+    for n_zones in [4usize, 8, 12, 16, 20, 24] {
+        let home = houses::scaled_home(n_zones);
+        let model = EnergyModel::standard(home.clone());
+        let table = RewardTable::build(&model);
+        let fx = HouseFixture::new(HouseKind::A, 12);
+        let adm = fx.adm(AdmKind::default_kmeans(), 10);
+        let cap = AttackerCapability::full(&home);
+        let day = &fx.month.days[10];
+        let sched = SmtScheduler::default();
+        let start = Instant::now();
+        let (_, stats) = sched.schedule_occupant(OccupantId(0), &table, &adm, &cap, day, span);
+        let elapsed = start.elapsed();
+        let per_window_us = elapsed.as_micros() as f64 / stats.windows.max(1) as f64;
+        t.push(vec![
+            "zones".into(),
+            n_zones.to_string(),
+            "A".into(),
+            elapsed.as_millis().to_string(),
+            format!("{per_window_us:.0}"),
+            stats.theory_conflicts.to_string(),
+        ]);
+    }
+    t
+}
+
+/// Ablation study of SHATTER's design choices (not a paper exhibit; see
+/// DESIGN.md §6): optimization-horizon sweep, trigger-aware scheduling
+/// on/off, ADM cluster-radius sweep, and battery-size sweep.
+pub fn ablation(days: usize) -> Table {
+    let mut t = Table::new(
+        "ablation",
+        "Design-choice ablations (House A)",
+        &["ablation", "setting", "attacked_usd", "benign_usd", "detect"],
+    );
+    let fx = HouseFixture::new(HouseKind::A, days);
+    let adm = fx.adm(AdmKind::default_dbscan(), days);
+    let cap = AttackerCapability::full(&fx.home);
+    let table = RewardTable::build(&fx.model);
+
+    let run = |sched: &dyn Scheduler, adm: &HullAdm, with_trig: bool| -> (f64, f64, f64) {
+        let mut attacked = 0.0;
+        let mut benign = 0.0;
+        let mut detect = 0.0;
+        for day in &fx.month.days {
+            let out = impact::evaluate_day_with_table(
+                &fx.model, &table, adm, &cap, day, sched, with_trig,
+            );
+            attacked += out.attacked_cost_usd;
+            benign += out.benign_cost_usd;
+            detect += out.detection_rate;
+        }
+        (attacked, benign, detect / fx.month.days.len() as f64)
+    };
+
+    // (1) optimization horizon: the knob behind the paper's "would create
+    // more impact if the optimization window was larger".
+    for horizon in [5usize, 10, 30, 120] {
+        let sched = WindowDpScheduler {
+            horizon,
+            ..Default::default()
+        };
+        let (a, b, d) = run(&sched, &adm, true);
+        t.push(vec![
+            "horizon".into(),
+            horizon.to_string(),
+            fmt2(a),
+            fmt2(b),
+            fmt2(d),
+        ]);
+    }
+
+    // (2) trigger-aware scheduling on/off.
+    for aware in [false, true] {
+        let sched = WindowDpScheduler {
+            trigger_aware: aware,
+            ..Default::default()
+        };
+        let (a, b, d) = run(&sched, &adm, true);
+        t.push(vec![
+            "trigger_aware".into(),
+            aware.to_string(),
+            fmt2(a),
+            fmt2(b),
+            fmt2(d),
+        ]);
+    }
+
+    // (3) defender cluster radius: tighter eps = tighter hulls = less
+    // attack head-room.
+    for eps in [20.0f64, 45.0, 90.0] {
+        let tight = HullAdm::train(
+            &fx.month,
+            AdmKind::Dbscan(DbscanParams {
+                eps,
+                ..DbscanParams::default()
+            }),
+        );
+        let sched = WindowDpScheduler::default();
+        let (a, b, d) = run(&sched, &tight, true);
+        t.push(vec![
+            "adm_eps".into(),
+            format!("{eps}"),
+            fmt2(a),
+            fmt2(b),
+            fmt2(d),
+        ]);
+    }
+
+    // (4) battery size: how much peak-shaving hides the attack's cost.
+    for batt in [0.0f64, 1.5, 6.0] {
+        let mut model = fx.model.clone();
+        model.pricing.battery_kwh = batt;
+        let table_b = RewardTable::build(&model);
+        let sched = WindowDpScheduler::default();
+        let mut attacked = 0.0;
+        let mut benign = 0.0;
+        for day in &fx.month.days {
+            let out = impact::evaluate_day_with_table(
+                &model, &table_b, &adm, &cap, day, &sched, true,
+            );
+            attacked += out.attacked_cost_usd;
+            benign += out.benign_cost_usd;
+        }
+        t.push(vec![
+            "battery_kwh".into(),
+            format!("{batt}"),
+            fmt2(attacked),
+            fmt2(benign),
+            String::new(),
+        ]);
+    }
+    t
+}
+
+/// §VI — testbed validation: energy increment and model fit error.
+pub fn testbed() -> Table {
+    let mut t = Table::new(
+        "testbed",
+        "Prototype-testbed validation (§VI)",
+        &["metric", "value"],
+    );
+    let out = run_validation(&ValidationConfig::default());
+    t.push(vec!["benign_fan_kwh".into(), format!("{:.6}", out.benign_kwh)]);
+    t.push(vec![
+        "attacked_fan_kwh".into(),
+        format!("{:.6}", out.attacked_kwh),
+    ]);
+    t.push(vec![
+        "energy_increment_pct".into(),
+        fmt2(out.increment_pct()),
+    ]);
+    t.push(vec!["fit_error_pct".into(), fmt3(out.fit_error_pct)]);
+    t.push(vec![
+        "rewritten_packets".into(),
+        out.rewritten_packets.to_string(),
+    ]);
+    t
+}

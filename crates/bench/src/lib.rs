@@ -1,0 +1,13 @@
+//! Reproduction harness for every table and figure in the SHATTER paper's
+//! evaluation (§V–§VII), plus shared fixtures for the Criterion benches.
+//!
+//! Each `fig_*`/`tab_*` function regenerates one exhibit and returns it as
+//! a [`Table`]; the `repro` binary renders them to stdout and CSV files
+//! under `results/`.
+
+#![forbid(unsafe_code)]
+
+pub mod common;
+pub mod exhibits;
+
+pub use common::{write_csv, Table};

@@ -1,0 +1,153 @@
+//! Smoke tests for the reproduction harness: every exhibit must produce a
+//! well-formed table at reduced scale, and the key claim encoded in each
+//! exhibit must hold even on the quick configuration.
+
+use shatter_bench::exhibits;
+use shatter_bench::Table;
+
+fn assert_well_formed(t: &Table) {
+    assert!(!t.id.is_empty());
+    assert!(!t.header.is_empty());
+    assert!(!t.rows.is_empty(), "{} produced no rows", t.id);
+    for row in &t.rows {
+        assert_eq!(row.len(), t.header.len(), "{}: ragged row {row:?}", t.id);
+    }
+    // Render and CSV paths must not panic and must contain every header.
+    let rendered = t.render();
+    let csv = t.to_csv();
+    for h in &t.header {
+        assert!(csv.starts_with(&t.header.join(",")) || csv.contains(h));
+    }
+    assert!(rendered.contains(&t.id));
+}
+
+fn cell(t: &Table, row_match: &[(usize, &str)], col: usize) -> f64 {
+    t.rows
+        .iter()
+        .find(|r| row_match.iter().all(|&(i, v)| r[i] == v))
+        .unwrap_or_else(|| panic!("{}: no row matching {row_match:?}", t.id))[col]
+        .parse()
+        .expect("numeric cell")
+}
+
+#[test]
+fn fig3_savings_positive() {
+    let t = exhibits::fig3(6);
+    assert_well_formed(&t);
+    for house in ["A", "B"] {
+        let savings = cell(&t, &[(0, house), (1, "SAVINGS%")], 3);
+        assert!(savings > 20.0, "house {house} savings {savings}");
+    }
+}
+
+#[test]
+fn fig5_f1_grows_with_training_days() {
+    let t = exhibits::fig5(20); // train points 10, 15
+    assert_well_formed(&t);
+    let f1_10 = cell(&t, &[(0, "DBSCAN"), (1, "HAO1"), (2, "10")], 3);
+    let f1_15 = cell(&t, &[(0, "DBSCAN"), (1, "HAO1"), (2, "15")], 3);
+    assert!(f1_15 >= f1_10 - 8.0, "f1 {f1_10} -> {f1_15}");
+}
+
+#[test]
+fn fig6_kmeans_covers_more_area() {
+    let t = exhibits::fig6(10);
+    assert_well_formed(&t);
+    let db = cell(&t, &[(0, "DBSCAN"), (2, "AREA")], 5);
+    let km = cell(&t, &[(0, "K-Means"), (2, "AREA")], 5);
+    assert!(km > db, "km {km} vs db {db}");
+}
+
+#[test]
+fn tab3_has_all_schedule_rows() {
+    let t = exhibits::tab3();
+    assert_well_formed(&t);
+    for label in ["Actual", "Greedy", "SHATTER", "RangeThresh", "Trigger"] {
+        assert!(
+            t.rows.iter().any(|r| r[0] == label),
+            "missing row {label}"
+        );
+    }
+}
+
+#[test]
+fn tab4_partial_knowledge_not_easier_to_detect() {
+    let t = exhibits::tab4(15);
+    assert_well_formed(&t);
+    // Averaged F1: partial <= all + slack.
+    let avg = |knowledge: &str| -> f64 {
+        let rows: Vec<&Vec<String>> =
+            t.rows.iter().filter(|r| r[1] == knowledge).collect();
+        rows.iter().map(|r| r[6].parse::<f64>().unwrap()).sum::<f64>() / rows.len() as f64
+    };
+    assert!(avg("Partial") <= avg("All") + 0.05);
+}
+
+#[test]
+fn tab5_biota_highest_and_detected() {
+    let t = exhibits::tab5(6);
+    assert_well_formed(&t);
+    let biota_a = cell(&t, &[(0, "BIoTA")], 3);
+    let benign_a = cell(&t, &[(0, "Benign")], 3);
+    assert!(biota_a > benign_a);
+    let detect = cell(&t, &[(0, "BIoTA")], 5);
+    assert!(detect >= 0.6);
+}
+
+#[test]
+fn fig10_with_triggering_dominates() {
+    let t = exhibits::fig10(4);
+    assert_well_formed(&t);
+    for house in ["A", "B"] {
+        let without = cell(&t, &[(0, house), (1, "TOTAL")], 3);
+        let with = cell(&t, &[(0, house), (1, "TOTAL")], 4);
+        assert!(with >= without - 1e-9);
+    }
+}
+
+#[test]
+fn tab6_tab7_monotone_in_access() {
+    let t6 = exhibits::tab6(4);
+    assert_well_formed(&t6);
+    let v4 = cell(&t6, &[(0, "4")], 1);
+    let v2 = cell(&t6, &[(0, "2")], 1);
+    assert!(v4 >= v2 - 1e-9, "tab6 A: {v4} < {v2}");
+    let t7 = exhibits::tab7(4);
+    assert_well_formed(&t7);
+    let a13 = cell(&t7, &[(0, "13")], 1);
+    let a3 = cell(&t7, &[(0, "3")], 1);
+    assert!(a13 >= a3 - 1e-9, "tab7 A: {a13} < {a3}");
+}
+
+#[test]
+fn fig11_produces_both_sweeps() {
+    let t = exhibits::fig11(20);
+    assert_well_formed(&t);
+    assert!(t.rows.iter().any(|r| r[0] == "horizon"));
+    assert!(t.rows.iter().any(|r| r[0] == "zones"));
+}
+
+#[test]
+fn testbed_exhibit_reports_increment() {
+    let t = exhibits::testbed();
+    assert_well_formed(&t);
+    let inc = cell(&t, &[(0, "energy_increment_pct")], 1);
+    assert!(inc > 10.0, "increment {inc}");
+}
+
+#[test]
+fn ablation_rows_cover_all_axes() {
+    let t = exhibits::ablation(3);
+    assert_well_formed(&t);
+    for axis in ["horizon", "trigger_aware", "adm_eps", "battery_kwh"] {
+        assert!(t.rows.iter().any(|r| r[0] == axis), "missing axis {axis}");
+    }
+}
+
+#[test]
+fn fig4_reports_scores_for_small_minpts() {
+    let t = exhibits::fig4(10);
+    assert_well_formed(&t);
+    let dbi = cell(&t, &[(0, "DBSCAN"), (1, "2")], 2);
+    assert!(dbi.is_finite());
+}

@@ -1,0 +1,148 @@
+use std::collections::BTreeSet;
+
+use shatter_dataset::attacks::AttackerKnowledge;
+use shatter_smarthome::{ApplianceId, Home, Minute, OccupantId, ZoneId};
+
+/// The attacker's accessibility profile (paper §III-B.4): which sensor
+/// measurements can be read/altered and which appliances can be triggered.
+///
+/// - `zones` (`Z^A`): zones whose IAQ/occupancy measurements the attacker
+///   can falsify. Altering an occupant's reported zone requires access to
+///   *both* the actual and the reported zone (paper §IV-C "Real-time
+///   Attack").
+/// - `timeslots` (`T^A`): minutes of day during which injection is
+///   possible.
+/// - `occupants` (`O^A`): occupants whose RFID tracking can be falsified.
+/// - `appliances` (`D^A`): appliances reachable by inaudible voice
+///   commands.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttackerCapability {
+    /// Accessible zones `Z^A`.
+    pub zones: BTreeSet<ZoneId>,
+    /// Accessible timeslot window `T^A` as `[start, end)` minutes; `None`
+    /// means all day.
+    pub timeslots: Option<(Minute, Minute)>,
+    /// Occupants with falsifiable tracking `O^A`.
+    pub occupants: BTreeSet<OccupantId>,
+    /// Triggerable appliances `D^A`.
+    pub appliances: BTreeSet<ApplianceId>,
+    /// Share of ADM training data the attacker observed.
+    pub knowledge: AttackerKnowledge,
+}
+
+impl AttackerCapability {
+    /// Full access to every zone, occupant, appliance and timeslot of a
+    /// home, with complete data knowledge — the paper's default threat
+    /// model.
+    pub fn full(home: &Home) -> AttackerCapability {
+        AttackerCapability {
+            zones: home.zones().iter().map(|z| z.id).collect(),
+            timeslots: None,
+            occupants: home.occupants().iter().map(|o| o.id).collect(),
+            appliances: home.appliances().iter().map(|a| a.id).collect(),
+            knowledge: AttackerKnowledge::All,
+        }
+    }
+
+    /// Restricts zone access to the given conditioned zones (the Outside
+    /// pseudo-zone stays accessible: "seeing" an occupant leave costs
+    /// nothing). Used for the paper's Table VI sweep.
+    pub fn with_zone_access(mut self, zones: impl IntoIterator<Item = ZoneId>) -> Self {
+        self.zones = zones.into_iter().collect();
+        self.zones.insert(ZoneId(0));
+        self
+    }
+
+    /// Restricts appliance access (paper Table VII sweep).
+    pub fn with_appliance_access(
+        mut self,
+        appliances: impl IntoIterator<Item = ApplianceId>,
+    ) -> Self {
+        self.appliances = appliances.into_iter().collect();
+        self
+    }
+
+    /// Restricts the injection window (`T^A`).
+    pub fn with_timeslots(mut self, start: Minute, end: Minute) -> Self {
+        self.timeslots = Some((start, end));
+        self
+    }
+
+    /// Whether a minute is attackable.
+    pub fn can_attack_at(&self, minute: Minute) -> bool {
+        match self.timeslots {
+            None => true,
+            Some((s, e)) => (s..e).contains(&minute),
+        }
+    }
+
+    /// Whether the attacker can move occupant `o`'s reported location from
+    /// `actual` to `reported` at `minute`.
+    pub fn can_relocate(
+        &self,
+        o: OccupantId,
+        actual: ZoneId,
+        reported: ZoneId,
+        minute: Minute,
+    ) -> bool {
+        if actual == reported {
+            return true;
+        }
+        self.can_attack_at(minute)
+            && self.occupants.contains(&o)
+            && self.zones.contains(&actual)
+            && self.zones.contains(&reported)
+    }
+
+    /// Whether the attacker can trigger an appliance at a minute.
+    pub fn can_trigger(&self, appliance: ApplianceId, minute: Minute) -> bool {
+        self.can_attack_at(minute) && self.appliances.contains(&appliance)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shatter_smarthome::houses;
+
+    #[test]
+    fn full_capability_covers_everything() {
+        let home = houses::aras_house_a();
+        let cap = AttackerCapability::full(&home);
+        assert_eq!(cap.zones.len(), 5);
+        assert_eq!(cap.appliances.len(), 13);
+        assert!(cap.can_attack_at(0));
+        assert!(cap.can_relocate(OccupantId(0), ZoneId(1), ZoneId(3), 600));
+    }
+
+    #[test]
+    fn zone_restriction_blocks_relocation() {
+        let home = houses::aras_house_a();
+        let cap = AttackerCapability::full(&home).with_zone_access([ZoneId(1), ZoneId(2)]);
+        // Actual zone inaccessible -> cannot lie about it.
+        assert!(!cap.can_relocate(OccupantId(0), ZoneId(3), ZoneId(1), 600));
+        // Target zone inaccessible -> cannot report it.
+        assert!(!cap.can_relocate(OccupantId(0), ZoneId(1), ZoneId(3), 600));
+        assert!(cap.can_relocate(OccupantId(0), ZoneId(1), ZoneId(2), 600));
+        // Unchanged reporting is always fine.
+        assert!(cap.can_relocate(OccupantId(0), ZoneId(3), ZoneId(3), 600));
+    }
+
+    #[test]
+    fn timeslot_restriction() {
+        let home = houses::aras_house_a();
+        let cap = AttackerCapability::full(&home).with_timeslots(600, 700);
+        assert!(!cap.can_attack_at(599));
+        assert!(cap.can_attack_at(650));
+        assert!(!cap.can_attack_at(700));
+        assert!(!cap.can_relocate(OccupantId(0), ZoneId(1), ZoneId(2), 500));
+    }
+
+    #[test]
+    fn appliance_restriction() {
+        let home = houses::aras_house_a();
+        let cap = AttackerCapability::full(&home).with_appliance_access([ApplianceId(3)]);
+        assert!(cap.can_trigger(ApplianceId(3), 100));
+        assert!(!cap.can_trigger(ApplianceId(4), 100));
+    }
+}

@@ -1,0 +1,236 @@
+//! End-to-end attack-impact evaluation: synthesize a schedule, derive the
+//! triggering plan, build the falsified sensor trace the controller
+//! consumes, and price the result (paper Tables V–VII, Fig. 10).
+
+use shatter_adm::HullAdm;
+use shatter_dataset::{DayTrace, MinuteRecord, OccupantState};
+use shatter_hvac::{DchvacController, EnergyModel};
+use shatter_smarthome::MINUTES_PER_DAY;
+
+use crate::biota::detection_rate;
+use crate::schedule::{AttackSchedule, Scheduler};
+use crate::trigger::{plan_triggers, TriggerPlan};
+use crate::{AttackerCapability, RewardTable};
+
+/// Result of evaluating an attack on one day.
+#[derive(Debug, Clone)]
+pub struct AttackOutcome {
+    /// Control cost under genuine behaviour, $.
+    pub benign_cost_usd: f64,
+    /// Control cost with the attack in place, $.
+    pub attacked_cost_usd: f64,
+    /// Minutes of adversarial appliance activation.
+    pub triggered_minutes: usize,
+    /// Occupant-minutes where the schedule diverges from actual.
+    pub divergence: usize,
+    /// Fraction of diverging reported episodes the ADM flags (0 = fully
+    /// stealthy).
+    pub detection_rate: f64,
+    /// The synthesized schedule.
+    pub schedule: AttackSchedule,
+}
+
+impl AttackOutcome {
+    /// Attack-induced extra cost, $.
+    pub fn impact_usd(&self) -> f64 {
+        self.attacked_cost_usd - self.benign_cost_usd
+    }
+}
+
+/// Builds the sensor trace the controller sees (and the loads the home
+/// really pays for) during the attack: occupant measurements follow the
+/// falsified schedule, appliance states are the genuine ones plus the
+/// adversarially triggered activations (which draw real power).
+pub fn attacked_day_trace(
+    actual: &DayTrace,
+    schedule: &AttackSchedule,
+    triggers: &TriggerPlan,
+) -> DayTrace {
+    let minutes = (0..MINUTES_PER_DAY)
+        .map(|t| {
+            let rec = &actual.minutes[t];
+            let occupants = (0..schedule.n_occupants())
+                .map(|o| OccupantState {
+                    zone: schedule.zones[o][t],
+                    activity: schedule.activities[o][t],
+                })
+                .collect();
+            let mut appliances = rec.appliances.clone();
+            for aid in &triggers.on[t] {
+                appliances[aid.index()] = true;
+            }
+            MinuteRecord {
+                occupants,
+                appliances,
+            }
+        })
+        .collect();
+    DayTrace {
+        day: actual.day,
+        minutes,
+    }
+}
+
+/// Evaluates one day of attack: schedule synthesis, optional appliance
+/// triggering, pricing of the attacked vs. benign trace.
+pub fn evaluate_day(
+    model: &EnergyModel,
+    adm: &HullAdm,
+    cap: &AttackerCapability,
+    actual: &DayTrace,
+    scheduler: &dyn Scheduler,
+    with_triggering: bool,
+) -> AttackOutcome {
+    let table = RewardTable::build(model);
+    evaluate_day_with_table(model, &table, adm, cap, actual, scheduler, with_triggering)
+}
+
+/// Like [`evaluate_day`] but reusing a prebuilt [`RewardTable`] (the table
+/// only depends on the energy model, so month-scale sweeps build it once).
+pub fn evaluate_day_with_table(
+    model: &EnergyModel,
+    table: &RewardTable,
+    adm: &HullAdm,
+    cap: &AttackerCapability,
+    actual: &DayTrace,
+    scheduler: &dyn Scheduler,
+    with_triggering: bool,
+) -> AttackOutcome {
+    let schedule = scheduler.schedule(table, adm, cap, actual);
+    let triggers = if with_triggering {
+        plan_triggers(model.home(), adm, cap, actual, &schedule)
+    } else {
+        TriggerPlan {
+            on: vec![Vec::new(); MINUTES_PER_DAY],
+        }
+    };
+    let attacked = attacked_day_trace(actual, &schedule, &triggers);
+    let benign_cost = model.day_cost(&DchvacController, actual).total_usd();
+    let attacked_cost = model.day_cost(&DchvacController, &attacked).total_usd();
+    AttackOutcome {
+        benign_cost_usd: benign_cost,
+        attacked_cost_usd: attacked_cost,
+        triggered_minutes: triggers.total_minutes(),
+        divergence: schedule.divergence(actual),
+        detection_rate: detection_rate(adm, &schedule, actual),
+        schedule,
+    }
+}
+
+/// Evaluates an attack over many days (e.g. a month), reusing one reward
+/// table.
+pub fn evaluate_days(
+    model: &EnergyModel,
+    adm: &HullAdm,
+    cap: &AttackerCapability,
+    days: &[DayTrace],
+    scheduler: &dyn Scheduler,
+    with_triggering: bool,
+) -> Vec<AttackOutcome> {
+    let table = RewardTable::build(model);
+    days.iter()
+        .map(|d| {
+            evaluate_day_with_table(model, &table, adm, cap, d, scheduler, with_triggering)
+        })
+        .collect()
+}
+
+/// Sums attacked cost over outcomes, $.
+pub fn total_attacked_usd(outcomes: &[AttackOutcome]) -> f64 {
+    outcomes.iter().map(|o| o.attacked_cost_usd).sum()
+}
+
+/// Sums benign cost over outcomes, $.
+pub fn total_benign_usd(outcomes: &[AttackOutcome]) -> f64 {
+    outcomes.iter().map(|o| o.benign_cost_usd).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BiotaScheduler, GreedyScheduler, WindowDpScheduler};
+    use shatter_adm::AdmKind;
+    use shatter_dataset::{synthesize, HouseKind, SynthConfig};
+    use shatter_smarthome::houses;
+
+    fn setup() -> (EnergyModel, shatter_dataset::Dataset, HullAdm, AttackerCapability) {
+        let home = houses::aras_house_a();
+        let ds = synthesize(&SynthConfig::new(HouseKind::A, 12, 61));
+        let adm = HullAdm::train(&ds.prefix_days(10), AdmKind::default_kmeans());
+        let model = EnergyModel::standard(home.clone());
+        let cap = AttackerCapability::full(&home);
+        (model, ds, adm, cap)
+    }
+
+    #[test]
+    fn attack_increases_cost() {
+        let (model, ds, adm, cap) = setup();
+        let out = evaluate_day(
+            &model,
+            &adm,
+            &cap,
+            &ds.days[10],
+            &WindowDpScheduler::default(),
+            true,
+        );
+        assert!(
+            out.attacked_cost_usd > out.benign_cost_usd,
+            "attack {} vs benign {}",
+            out.attacked_cost_usd,
+            out.benign_cost_usd
+        );
+        assert!(out.detection_rate <= 0.05);
+    }
+
+    #[test]
+    fn triggering_adds_impact() {
+        // Paper Fig. 10: appliance triggering raises cost further (~20%).
+        let (model, ds, adm, cap) = setup();
+        let day = &ds.days[11];
+        let without = evaluate_day(&model, &adm, &cap, day, &WindowDpScheduler::default(), false);
+        let with = evaluate_day(&model, &adm, &cap, day, &WindowDpScheduler::default(), true);
+        assert!(with.attacked_cost_usd >= without.attacked_cost_usd);
+    }
+
+    #[test]
+    fn biota_raw_cost_highest_but_detected() {
+        let (model, ds, adm, cap) = setup();
+        let day = &ds.days[10];
+        let biota = evaluate_day(&model, &adm, &cap, day, &BiotaScheduler, false);
+        let shatter = evaluate_day(&model, &adm, &cap, day, &WindowDpScheduler::default(), false);
+        assert!(biota.attacked_cost_usd >= shatter.attacked_cost_usd * 0.9);
+        assert!(biota.detection_rate >= 0.5, "biota detection {}", biota.detection_rate);
+        assert!(shatter.detection_rate <= 0.05);
+    }
+
+    #[test]
+    fn greedy_weaker_than_dp_over_days() {
+        let (model, ds, adm, cap) = setup();
+        let dp = evaluate_days(
+            &model,
+            &adm,
+            &cap,
+            &ds.days[10..12],
+            &WindowDpScheduler::default(),
+            false,
+        );
+        let greedy = evaluate_days(&model, &adm, &cap, &ds.days[10..12], &GreedyScheduler, false);
+        assert!(total_attacked_usd(&dp) >= total_attacked_usd(&greedy) * 0.95);
+    }
+
+    #[test]
+    fn attacked_trace_preserves_genuine_appliances() {
+        let (model, ds, adm, cap) = setup();
+        let day = &ds.days[10];
+        let out = evaluate_day(&model, &adm, &cap, day, &WindowDpScheduler::default(), true);
+        let triggers = plan_triggers(model.home(), &adm, &cap, day, &out.schedule);
+        let attacked = attacked_day_trace(day, &out.schedule, &triggers);
+        for (t, rec) in attacked.minutes.iter().enumerate() {
+            for (a, &on) in day.minutes[t].appliances.iter().enumerate() {
+                if on {
+                    assert!(rec.appliances[a], "genuine appliance state dropped");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! Real-time attack execution (paper §IV-C "Real-time Attack").
+//!
+//! The attack schedule is *pre-computed* — in practice from predicted
+//! occupant behaviour — but the measurements the attacker must overwrite
+//! are produced by the occupants' *actual* behaviour, which deviates from
+//! any prediction. The paper's real-time stage therefore makes per-slot
+//! decisions: the falsification "can be carried out at a time-instance if
+//! the attacker has access to both the actual occupant zone and the zone
+//! from the attack schedule"; otherwise the genuine measurement passes
+//! through.
+//!
+//! [`execute_realtime`] runs that policy minute by minute, with one
+//! safeguard the paper leaves implicit: a planned relocation is only
+//! committed when the reported episode it closes is ADM-consistent (the
+//! attacker can check this online — it knows the ADM), so prediction error
+//! degrades the attack's *value*, not its *stealth*.
+
+use shatter_adm::HullAdm;
+use shatter_dataset::DayTrace;
+use shatter_smarthome::{Minute, OccupantId, ZoneId, MINUTES_PER_DAY};
+
+use crate::schedule::AttackSchedule;
+use crate::{AttackerCapability, RewardTable};
+
+/// Result of executing a planned schedule against live behaviour.
+#[derive(Debug, Clone)]
+pub struct RealtimeOutcome {
+    /// The schedule as actually injected (may fall back to genuine
+    /// measurements wherever the plan was unexecutable).
+    pub executed: AttackSchedule,
+    /// Slots where the plan wanted a lie the attacker could not commit
+    /// (capability or stealth blocked it).
+    pub blocked_slots: usize,
+    /// Slots where a lie was injected.
+    pub injected_slots: usize,
+}
+
+/// Executes `planned` against the `actual` day under `cap`, keeping every
+/// *closed* reported episode ADM-consistent.
+pub fn execute_realtime(
+    planned: &AttackSchedule,
+    adm: &HullAdm,
+    cap: &AttackerCapability,
+    actual: &DayTrace,
+    table: &RewardTable,
+) -> RealtimeOutcome {
+    let n_occupants = planned.n_occupants();
+    let mut zones: Vec<Vec<ZoneId>> = vec![Vec::with_capacity(MINUTES_PER_DAY); n_occupants];
+    let mut blocked = 0usize;
+    let mut injected = 0usize;
+
+    for o in 0..n_occupants {
+        let occupant = OccupantId(o);
+        // Current reported stay: (zone, arrival).
+        let mut cur: Option<(ZoneId, u32)> = None;
+        for t in 0..MINUTES_PER_DAY {
+            let actual_zone = actual.minutes[t].occupants[o].zone;
+            let wanted = planned.zones[o][t];
+            let reported = {
+                let can = cap.can_relocate(occupant, actual_zone, wanted, t as Minute);
+                // Committing `wanted` may close the current stay; only do
+                // so stealthily.
+                let closes_ok = match cur {
+                    Some((z, a)) if z != wanted => {
+                        let stay = t as u32 - a;
+                        // Closing is fine when the closed episode is
+                        // in-cluster, or when it exactly mirrored actual
+                        // behaviour so far.
+                        adm.in_range_stay(occupant, z, a as f64, stay as f64)
+                            || (a..t as u32).all(|u| {
+                                actual.minutes[u as usize].occupants[o].zone == z
+                            })
+                    }
+                    _ => true,
+                };
+                if can && closes_ok {
+                    wanted
+                } else {
+                    blocked += usize::from(wanted != actual_zone);
+                    actual_zone
+                }
+            };
+            if reported != actual_zone {
+                injected += 1;
+            }
+            match cur {
+                Some((z, _)) if z == reported => {}
+                _ => cur = Some((reported, t as u32)),
+            }
+            zones[o].push(reported);
+        }
+    }
+
+    let activities = zones
+        .iter()
+        .enumerate()
+        .map(|(o, row)| {
+            row.iter()
+                .enumerate()
+                .map(|(t, &z)| {
+                    let reported_real = actual.minutes[t].occupants[o].zone == z;
+                    if reported_real {
+                        actual.minutes[t].occupants[o].activity
+                    } else {
+                        table.best_activity(OccupantId(o), z, t as Minute)
+                    }
+                })
+                .collect()
+        })
+        .collect();
+
+    RealtimeOutcome {
+        executed: AttackSchedule { zones, activities },
+        blocked_slots: blocked,
+        injected_slots: injected,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::biota::detection_rate;
+    use crate::{Scheduler, WindowDpScheduler};
+    use shatter_adm::AdmKind;
+    use shatter_dataset::{synthesize, HouseKind, SynthConfig};
+    use shatter_hvac::EnergyModel;
+    use shatter_smarthome::houses;
+
+    fn setup() -> (
+        shatter_dataset::Dataset,
+        HullAdm,
+        RewardTable,
+        AttackerCapability,
+    ) {
+        let ds = synthesize(&SynthConfig::new(HouseKind::A, 14, 17));
+        let adm = HullAdm::train(&ds.prefix_days(12), AdmKind::default_kmeans());
+        let model = EnergyModel::standard(houses::aras_house_a());
+        let table = RewardTable::build(&model);
+        let cap = AttackerCapability::full(&houses::aras_house_a());
+        (ds, adm, table, cap)
+    }
+
+    #[test]
+    fn prescient_plan_executes_verbatim() {
+        // A plan computed on the actual day is fully executable.
+        let (ds, adm, table, cap) = setup();
+        let day = &ds.days[12];
+        let planned = WindowDpScheduler::default().schedule(&table, &adm, &cap, day);
+        let out = execute_realtime(&planned, &adm, &cap, day, &table);
+        assert_eq!(out.executed.zones, planned.zones);
+        assert_eq!(out.blocked_slots, 0);
+    }
+
+    #[test]
+    fn mispredicted_plan_degrades_value_not_stealth() {
+        // Plan on day 12 (the "prediction"), execute against day 13.
+        let (ds, adm, table, cap) = setup();
+        let predicted = &ds.days[12];
+        let actual = &ds.days[13];
+        let planned = WindowDpScheduler::default().schedule(&table, &adm, &cap, predicted);
+        let out = execute_realtime(&planned, &adm, &cap, actual, &table);
+        // Value: executed reward lands in the prescient attack's
+        // neighbourhood (the prescient window-DP is itself sub-optimal, so
+        // an executed mis-prediction can occasionally edge past it — but
+        // not by much, and it never beats it systematically).
+        let prescient = WindowDpScheduler::default().schedule(&table, &adm, &cap, actual);
+        assert!(
+            out.executed.reward(&table) <= prescient.reward(&table) * 1.15,
+            "executed {} vs prescient {}",
+            out.executed.reward(&table),
+            prescient.reward(&table)
+        );
+        // Stealth: the ADM flags (almost) nothing.
+        let d = detection_rate(&adm, &out.executed, actual);
+        assert!(d <= 0.10, "realtime detection {d}");
+    }
+
+    #[test]
+    fn blocked_slots_appear_under_restricted_capability() {
+        let (ds, adm, table, cap) = setup();
+        let predicted = &ds.days[12];
+        let actual = &ds.days[13];
+        let planned = WindowDpScheduler::default().schedule(&table, &adm, &cap, predicted);
+        let restricted = cap.clone().with_zone_access([ZoneId(2), ZoneId(3)]);
+        let out = execute_realtime(&planned, &adm, &restricted, actual, &table);
+        // Every injection in the executed schedule honours the capability.
+        out.executed
+            .validate(&adm, &restricted, actual)
+            .map_err(|e| format!("{e}"))
+            .ok(); // stealth may be imperfect; capability must hold:
+        for t in 0..MINUTES_PER_DAY {
+            for o in 0..2 {
+                let az = actual.minutes[t].occupants[o].zone;
+                let rz = out.executed.zones[o][t];
+                assert!(restricted.can_relocate(OccupantId(o), az, rz, t as Minute));
+            }
+        }
+        assert!(out.blocked_slots > 0 || out.injected_slots == 0);
+    }
+
+    #[test]
+    fn injected_plus_mirrored_covers_day() {
+        let (ds, adm, table, cap) = setup();
+        let planned = WindowDpScheduler::default().schedule(&table, &adm, &cap, &ds.days[12]);
+        let out = execute_realtime(&planned, &adm, &cap, &ds.days[13], &table);
+        assert_eq!(out.executed.zones[0].len(), MINUTES_PER_DAY);
+        assert!(out.injected_slots <= 2 * MINUTES_PER_DAY);
+    }
+}

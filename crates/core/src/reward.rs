@@ -1,0 +1,212 @@
+use shatter_dataset::default_zone_for;
+use shatter_hvac::EnergyModel;
+use shatter_smarthome::{Activity, Minute, OccupantId, ZoneId, MINUTES_PER_DAY};
+
+/// Activities an occupant can plausibly be *reported* to perform in a
+/// zone — the attacker must report a (zone, activity) pair the activity
+/// recognizer would accept (paper §II "Activity-Appliance Relationship").
+pub fn plausible_activities(zone: ZoneId) -> Vec<Activity> {
+    Activity::ALL
+        .iter()
+        .copied()
+        .filter(|&a| default_zone_for(a) == zone)
+        .collect()
+}
+
+/// Precomputed attack rewards: for every (occupant, zone, minute), the
+/// marginal HVAC cost ($/slot) of *reporting* that occupant in that zone
+/// doing the most expensive plausible activity — the coefficients of the
+/// paper's objective (Eq. 17).
+///
+/// Prefix sums make any stay's reward an O(1) lookup, which the schedulers
+/// rely on.
+#[derive(Debug, Clone)]
+pub struct RewardTable {
+    n_zones: usize,
+    /// `rate[o][z][t]` in dollars per minute.
+    rate: Vec<Vec<Vec<f64>>>,
+    /// `prefix[o][z][t]` = Σ_{u<t} rate[o][z][u].
+    prefix: Vec<Vec<Vec<f64>>>,
+    /// Best (most expensive) reported activity per zone and minute,
+    /// shared across occupants of equal profile but stored per occupant
+    /// for generality.
+    best_activity: Vec<Vec<Vec<Activity>>>,
+    /// `appliance_rate[d][t]`: marginal cost ($/min) of appliance `d`
+    /// running at minute `t` (power draw + induced cooling).
+    appliance_rate: Vec<Vec<f64>>,
+    /// Home zone of each appliance.
+    appliance_zone: Vec<ZoneId>,
+    /// Linked activities of each appliance (legitimate-use set).
+    appliance_linked: Vec<Vec<Activity>>,
+}
+
+impl RewardTable {
+    /// Builds the table from the energy model for `n_occupants` occupants
+    /// and all zones of the model's home.
+    pub fn build(model: &EnergyModel) -> RewardTable {
+        let n_occupants = model.home().occupants().len();
+        let n_zones = model.home().zones().len();
+        let mut rate = vec![vec![vec![0.0; MINUTES_PER_DAY]; n_zones]; n_occupants];
+        let mut best_activity =
+            vec![vec![vec![Activity::Other; MINUTES_PER_DAY]; n_zones]; n_occupants];
+        for o in 0..n_occupants {
+            for z in 0..n_zones {
+                let plausible = plausible_activities(ZoneId(z));
+                if plausible.is_empty() {
+                    continue;
+                }
+                for t in 0..MINUTES_PER_DAY {
+                    if let Some((act, r)) = model.best_activity_for(
+                        OccupantId(o),
+                        ZoneId(z),
+                        t as Minute,
+                        &plausible,
+                    ) {
+                        rate[o][z][t] = r;
+                        best_activity[o][z][t] = act;
+                    }
+                }
+            }
+        }
+        let prefix = rate
+            .iter()
+            .map(|per_zone| {
+                per_zone
+                    .iter()
+                    .map(|r| {
+                        let mut p = vec![0.0; MINUTES_PER_DAY + 1];
+                        for t in 0..MINUTES_PER_DAY {
+                            p[t + 1] = p[t] + r[t];
+                        }
+                        p
+                    })
+                    .collect()
+            })
+            .collect();
+        let appliance_rate = model
+            .home()
+            .appliances()
+            .iter()
+            .map(|a| {
+                (0..MINUTES_PER_DAY)
+                    .map(|t| model.appliance_cost_rate(a.id, t as Minute))
+                    .collect()
+            })
+            .collect();
+        let appliance_zone = model.home().appliances().iter().map(|a| a.zone).collect();
+        let appliance_linked = model
+            .home()
+            .appliances()
+            .iter()
+            .map(|a| a.linked_activities.clone())
+            .collect();
+        RewardTable {
+            n_zones,
+            rate,
+            prefix,
+            best_activity,
+            appliance_rate,
+            appliance_zone,
+            appliance_linked,
+        }
+    }
+
+    /// Number of appliances covered.
+    pub fn n_appliances(&self) -> usize {
+        self.appliance_zone.len()
+    }
+
+    /// Marginal cost rate ($/min) of appliance `d` running at minute `t`.
+    pub fn appliance_rate(&self, d: shatter_smarthome::ApplianceId, t: Minute) -> f64 {
+        self.appliance_rate[d.index()][t as usize]
+    }
+
+    /// Zone an appliance is installed in.
+    pub fn appliance_zone(&self, d: shatter_smarthome::ApplianceId) -> ZoneId {
+        self.appliance_zone[d.index()]
+    }
+
+    /// Whether `activity` is a legitimate use of appliance `d`.
+    pub fn appliance_linked_to(&self, d: shatter_smarthome::ApplianceId, activity: Activity) -> bool {
+        self.appliance_linked[d.index()].contains(&activity)
+    }
+
+    /// Number of zones covered.
+    pub fn n_zones(&self) -> usize {
+        self.n_zones
+    }
+
+    /// Reward rate ($/min) for reporting `o` in `z` at minute `t`.
+    pub fn rate(&self, o: OccupantId, z: ZoneId, t: Minute) -> f64 {
+        self.rate[o.index()][z.index()][t as usize]
+    }
+
+    /// Total reward of reporting `o` in `z` for minutes `[from, to)`.
+    pub fn stay_reward(&self, o: OccupantId, z: ZoneId, from: Minute, to: Minute) -> f64 {
+        let p = &self.prefix[o.index()][z.index()];
+        p[(to as usize).min(MINUTES_PER_DAY)] - p[(from as usize).min(MINUTES_PER_DAY)]
+    }
+
+    /// The most expensive plausible activity to report for `o` in `z` at
+    /// minute `t`.
+    pub fn best_activity(&self, o: OccupantId, z: ZoneId, t: Minute) -> Activity {
+        self.best_activity[o.index()][z.index()][t as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shatter_smarthome::houses;
+
+    #[test]
+    fn plausible_activity_zones_are_consistent() {
+        for z in 0..5 {
+            for a in plausible_activities(ZoneId(z)) {
+                assert_eq!(default_zone_for(a), ZoneId(z));
+            }
+        }
+        // Kitchen includes cooking.
+        assert!(plausible_activities(ZoneId(3)).contains(&Activity::PreparingDinner));
+        // Outside only contains GoingOut.
+        assert_eq!(plausible_activities(ZoneId(0)), vec![Activity::GoingOut]);
+    }
+
+    #[test]
+    fn prefix_sums_match_direct_sums() {
+        let model = EnergyModel::standard(houses::aras_house_a());
+        let table = RewardTable::build(&model);
+        let o = OccupantId(0);
+        let z = ZoneId(3);
+        let direct: f64 = (100..200).map(|t| table.rate(o, z, t)).sum();
+        let fast = table.stay_reward(o, z, 100, 200);
+        assert!((direct - fast).abs() < 1e-9);
+    }
+
+    #[test]
+    fn kitchen_beats_bedroom() {
+        let model = EnergyModel::standard(houses::aras_house_a());
+        let table = RewardTable::build(&model);
+        let o = OccupantId(0);
+        assert!(
+            table.stay_reward(o, ZoneId(3), 0, 1440) > table.stay_reward(o, ZoneId(1), 0, 1440)
+        );
+    }
+
+    #[test]
+    fn outside_has_zero_reward() {
+        let model = EnergyModel::standard(houses::aras_house_a());
+        let table = RewardTable::build(&model);
+        assert_eq!(table.stay_reward(OccupantId(0), ZoneId(0), 0, 1440), 0.0);
+    }
+
+    #[test]
+    fn best_activity_is_plausible() {
+        let model = EnergyModel::standard(houses::aras_house_a());
+        let table = RewardTable::build(&model);
+        for z in 1..5usize {
+            let a = table.best_activity(OccupantId(0), ZoneId(z), 700);
+            assert_eq!(default_zone_for(a), ZoneId(z));
+        }
+    }
+}

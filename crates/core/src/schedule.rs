@@ -1,0 +1,293 @@
+use shatter_adm::HullAdm;
+use shatter_dataset::episodes::Episode;
+use shatter_dataset::DayTrace;
+use shatter_smarthome::{Activity, Minute, OccupantId, ZoneId, MINUTES_PER_DAY};
+
+use crate::{AttackerCapability, RewardTable};
+
+/// A falsified per-occupant zone/activity timeline for one day — the
+/// attack schedule `S̄^OT` of the paper's §IV-C.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttackSchedule {
+    /// `zones[o][t]`: reported zone of occupant `o` during minute `t`.
+    pub zones: Vec<Vec<ZoneId>>,
+    /// `activities[o][t]`: reported activity backing the zone claim.
+    pub activities: Vec<Vec<Activity>>,
+}
+
+/// Violation found by [`AttackSchedule::validate`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScheduleError {
+    /// A reported stay episode falls outside every ADM cluster while
+    /// differing from the occupant's actual behaviour.
+    NotStealthy {
+        /// The offending episode.
+        episode: Episode,
+    },
+    /// A relocation the attacker lacks access to perform.
+    CapabilityViolation {
+        /// Occupant being relocated.
+        occupant: OccupantId,
+        /// Minute of the violation.
+        minute: Minute,
+    },
+    /// A reported activity implausible for its reported zone.
+    ImplausibleActivity {
+        /// Occupant index.
+        occupant: OccupantId,
+        /// Minute of the violation.
+        minute: Minute,
+    },
+    /// Schedule dimensions do not match the day trace.
+    ShapeMismatch,
+}
+
+impl std::fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScheduleError::NotStealthy { episode } => write!(
+                f,
+                "episode (o={}, z={}, arrival={}, stay={}) outside all ADM clusters",
+                episode.occupant, episode.zone, episode.arrival, episode.stay
+            ),
+            ScheduleError::CapabilityViolation { occupant, minute } => {
+                write!(f, "occupant {occupant} relocated without access at minute {minute}")
+            }
+            ScheduleError::ImplausibleActivity { occupant, minute } => {
+                write!(f, "occupant {occupant} reports implausible activity at minute {minute}")
+            }
+            ScheduleError::ShapeMismatch => write!(f, "schedule shape mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+impl AttackSchedule {
+    /// The identity schedule: report exactly the actual behaviour.
+    pub fn from_actual(day: &DayTrace) -> AttackSchedule {
+        let n_occupants = day.minutes[0].occupants.len();
+        let mut zones = vec![Vec::with_capacity(MINUTES_PER_DAY); n_occupants];
+        let mut activities = vec![Vec::with_capacity(MINUTES_PER_DAY); n_occupants];
+        for rec in &day.minutes {
+            for (o, os) in rec.occupants.iter().enumerate() {
+                zones[o].push(os.zone);
+                activities[o].push(os.activity);
+            }
+        }
+        AttackSchedule { zones, activities }
+    }
+
+    /// Number of occupants covered.
+    pub fn n_occupants(&self) -> usize {
+        self.zones.len()
+    }
+
+    /// Extracts the reported stay episodes (day index 0).
+    pub fn episodes(&self) -> Vec<Episode> {
+        let mut out = Vec::new();
+        for (o, row) in self.zones.iter().enumerate() {
+            let mut start = 0usize;
+            for t in 1..row.len() {
+                if row[t] != row[start] {
+                    out.push(Episode {
+                        occupant: OccupantId(o),
+                        zone: row[start],
+                        day: 0,
+                        arrival: start as u32,
+                        stay: (t - start) as u32,
+                    });
+                    start = t;
+                }
+            }
+            out.push(Episode {
+                occupant: OccupantId(o),
+                zone: row[start],
+                day: 0,
+                arrival: start as u32,
+                stay: (row.len() - start) as u32,
+            });
+        }
+        out
+    }
+
+    /// Total scheduler reward of this schedule under a reward table.
+    pub fn reward(&self, table: &RewardTable) -> f64 {
+        let mut total = 0.0;
+        for (o, row) in self.zones.iter().enumerate() {
+            for (t, z) in row.iter().enumerate() {
+                total += table.rate(OccupantId(o), *z, t as Minute);
+            }
+        }
+        total
+    }
+
+    /// Minutes where the schedule diverges from actual behaviour.
+    pub fn divergence(&self, actual: &DayTrace) -> usize {
+        let mut n = 0;
+        for (t, rec) in actual.minutes.iter().enumerate() {
+            for (o, os) in rec.occupants.iter().enumerate() {
+                if self.zones[o][t] != os.zone {
+                    n += 1;
+                }
+            }
+        }
+        n
+    }
+
+    /// Checks the three stealth/feasibility invariants (paper Eq. 12,
+    /// Eq. 16–20 aftermath):
+    ///
+    /// 1. every reported episode that *differs from actual behaviour* lies
+    ///    within an ADM cluster,
+    /// 2. every relocation is within the attacker's capability,
+    /// 3. every reported activity is plausible for its reported zone.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found.
+    pub fn validate(
+        &self,
+        adm: &HullAdm,
+        cap: &AttackerCapability,
+        actual: &DayTrace,
+    ) -> Result<(), ScheduleError> {
+        let n_occupants = self.zones.len();
+        if actual.minutes.len() != MINUTES_PER_DAY
+            || self.zones.iter().any(|r| r.len() != MINUTES_PER_DAY)
+            || self.activities.iter().any(|r| r.len() != MINUTES_PER_DAY)
+        {
+            return Err(ScheduleError::ShapeMismatch);
+        }
+        // (2) capability.
+        for t in 0..MINUTES_PER_DAY {
+            for o in 0..n_occupants {
+                let actual_zone = actual.minutes[t].occupants[o].zone;
+                let reported = self.zones[o][t];
+                if !cap.can_relocate(OccupantId(o), actual_zone, reported, t as Minute) {
+                    return Err(ScheduleError::CapabilityViolation {
+                        occupant: OccupantId(o),
+                        minute: t as Minute,
+                    });
+                }
+            }
+        }
+        // (3) plausibility.
+        for o in 0..n_occupants {
+            for t in 0..MINUTES_PER_DAY {
+                let z = self.zones[o][t];
+                let a = self.activities[o][t];
+                if shatter_dataset::default_zone_for(a) != z {
+                    return Err(ScheduleError::ImplausibleActivity {
+                        occupant: OccupantId(o),
+                        minute: t as Minute,
+                    });
+                }
+            }
+        }
+        // (1) ADM stealth, with actual-mirroring episodes exempt (an alarm
+        // raised on genuine behaviour is not attributable to the attack).
+        let actual_sched = AttackSchedule::from_actual(actual);
+        let actual_eps: std::collections::HashSet<(usize, usize, u32, u32)> = actual_sched
+            .episodes()
+            .into_iter()
+            .map(|e| (e.occupant.index(), e.zone.index(), e.arrival, e.stay))
+            .collect();
+        for e in self.episodes() {
+            let key = (e.occupant.index(), e.zone.index(), e.arrival, e.stay);
+            if actual_eps.contains(&key) {
+                continue;
+            }
+            if !adm.within(e.occupant, e.zone, e.arrival as f64, e.stay as f64) {
+                return Err(ScheduleError::NotStealthy { episode: e });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// An attack-schedule generator (DP, greedy, or SMT-backed).
+pub trait Scheduler {
+    /// Synthesizes a one-day attack schedule against the given actual
+    /// behaviour, ADM and capability.
+    fn schedule(
+        &self,
+        table: &RewardTable,
+        adm: &HullAdm,
+        cap: &AttackerCapability,
+        actual: &DayTrace,
+    ) -> AttackSchedule;
+
+    /// Display name for reports.
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shatter_adm::AdmKind;
+    use shatter_dataset::{synthesize, HouseKind, SynthConfig};
+    use shatter_hvac::EnergyModel;
+    use shatter_smarthome::houses;
+
+    #[test]
+    fn identity_schedule_roundtrip() {
+        let ds = synthesize(&SynthConfig::new(HouseKind::A, 1, 8));
+        let s = AttackSchedule::from_actual(&ds.days[0]);
+        assert_eq!(s.n_occupants(), 2);
+        assert_eq!(s.divergence(&ds.days[0]), 0);
+        // Episodes tile the day.
+        for o in 0..2 {
+            let total: u32 = s
+                .episodes()
+                .iter()
+                .filter(|e| e.occupant.index() == o)
+                .map(|e| e.stay)
+                .sum();
+            assert_eq!(total, MINUTES_PER_DAY as u32);
+        }
+    }
+
+    #[test]
+    fn identity_schedule_validates_with_full_cap() {
+        let ds = synthesize(&SynthConfig::new(HouseKind::A, 10, 8));
+        let adm = HullAdm::train(&ds, AdmKind::default_kmeans());
+        let home = houses::aras_house_a();
+        let cap = AttackerCapability::full(&home);
+        let s = AttackSchedule::from_actual(&ds.days[0]);
+        s.validate(&adm, &cap, &ds.days[0]).unwrap();
+    }
+
+    #[test]
+    fn implausible_activity_detected() {
+        let ds = synthesize(&SynthConfig::new(HouseKind::A, 3, 8));
+        let adm = HullAdm::train(&ds, AdmKind::default_kmeans());
+        let home = houses::aras_house_a();
+        let cap = AttackerCapability::full(&home);
+        let mut s = AttackSchedule::from_actual(&ds.days[0]);
+        // Claim cooking in the bathroom.
+        s.zones[0][700] = ZoneId(4);
+        s.activities[0][700] = Activity::PreparingLunch;
+        let err = s.validate(&adm, &cap, &ds.days[0]).unwrap_err();
+        assert!(matches!(
+            err,
+            ScheduleError::ImplausibleActivity { .. } | ScheduleError::NotStealthy { .. }
+        ));
+    }
+
+    #[test]
+    fn reward_matches_table() {
+        let ds = synthesize(&SynthConfig::new(HouseKind::A, 1, 8));
+        let model = EnergyModel::standard(houses::aras_house_a());
+        let table = RewardTable::build(&model);
+        let s = AttackSchedule::from_actual(&ds.days[0]);
+        let direct: f64 = (0..MINUTES_PER_DAY)
+            .map(|t| {
+                (0..2)
+                    .map(|o| table.rate(OccupantId(o), s.zones[o][t], t as Minute))
+                    .sum::<f64>()
+            })
+            .sum();
+        assert!((s.reward(&table) - direct).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,219 @@
+//! Real-time appliance-triggering decisions (paper Algorithm 1 and
+//! Eq. 16).
+//!
+//! The pre-computed attack schedule evades the ADM; evading the *occupants*
+//! requires real-time decisions, because real behaviour diverges from the
+//! schedule. An appliance may be adversarially activated (by inaudible
+//! voice command) only when:
+//!
+//! 1. the attacker can reach it (`D^A`, `T^A`),
+//! 2. the appliance's zone is *actually* unoccupied — or everyone actually
+//!    there is unaware (deep sleep / shower) — so nobody notices (Eq. 16),
+//! 3. the attack schedule *reports* an occupant in that zone performing an
+//!    activity linked to the appliance, so the controller sees a coherent
+//!    activity–appliance picture,
+//! 4. the reported occupant is still within the ADM's minimum expected
+//!    stay (`minStay`) for their reported arrival (Algorithm 1's `thresh`),
+//!    after which a real interaction pattern would be expected.
+
+use shatter_adm::HullAdm;
+use shatter_dataset::DayTrace;
+use shatter_smarthome::{ApplianceId, Home, OccupantId, MINUTES_PER_DAY};
+
+use crate::{AttackSchedule, AttackerCapability};
+
+/// Per-minute adversarial appliance activations for one day.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TriggerPlan {
+    /// `on[t]` = appliances adversarially activated during minute `t`.
+    pub on: Vec<Vec<ApplianceId>>,
+}
+
+impl TriggerPlan {
+    /// Total appliance-minutes triggered.
+    pub fn total_minutes(&self) -> usize {
+        self.on.iter().map(Vec::len).sum()
+    }
+
+    /// Whether anything is triggered at all.
+    pub fn is_empty(&self) -> bool {
+        self.total_minutes() == 0
+    }
+}
+
+/// Computes the paper's per-slot `trig` predicate for one occupant: the
+/// reported stay at the reported zone has not exceeded `minStay`, and the
+/// occupant is not actually in the reported zone.
+fn trig_window(
+    adm: &HullAdm,
+    schedule: &AttackSchedule,
+    actual: &DayTrace,
+    o: OccupantId,
+    t: usize,
+) -> bool {
+    let zone = schedule.zones[o.index()][t];
+    // Reported arrival time for the current reported stay.
+    let mut arrival = t;
+    while arrival > 0 && schedule.zones[o.index()][arrival - 1] == zone {
+        arrival -= 1;
+    }
+    let Some(thresh) = adm.min_stay(o, zone, arrival as f64) else {
+        return false;
+    };
+    let within_thresh = (t - arrival) as f64 <= thresh;
+    let actually_there = actual.minutes[t].occupants[o.index()].zone == zone;
+    within_thresh && !actually_there
+}
+
+/// Derives the day's appliance-triggering plan (Algorithm 1 + Eq. 16).
+pub fn plan_triggers(
+    home: &Home,
+    adm: &HullAdm,
+    cap: &AttackerCapability,
+    actual: &DayTrace,
+    schedule: &AttackSchedule,
+) -> TriggerPlan {
+    let n_occupants = schedule.n_occupants();
+    let mut on: Vec<Vec<ApplianceId>> = vec![Vec::new(); MINUTES_PER_DAY];
+
+    for t in 0..MINUTES_PER_DAY {
+        let rec = &actual.minutes[t];
+        for o in 0..n_occupants {
+            let o = OccupantId(o);
+            if !trig_window(adm, schedule, actual, o, t) {
+                continue;
+            }
+            let zone = schedule.zones[o.index()][t];
+            let activity = schedule.activities[o.index()][t];
+            // Eq. 16: every occupant actually in the zone must be unaware.
+            let zone_safe = rec
+                .occupants
+                .iter()
+                .all(|os| os.zone != zone || os.activity.is_unaware());
+            if !zone_safe {
+                continue;
+            }
+            for a in home.appliances_in(zone) {
+                if !cap.can_trigger(a.id, t as u32) {
+                    continue;
+                }
+                if !a.linked_to(activity) {
+                    continue;
+                }
+                // Already genuinely on? Then triggering adds nothing.
+                if rec.appliances[a.id.index()] {
+                    continue;
+                }
+                if !on[t].contains(&a.id) {
+                    on[t].push(a.id);
+                }
+            }
+        }
+    }
+    TriggerPlan { on }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{RewardTable, Scheduler, WindowDpScheduler};
+    use shatter_adm::AdmKind;
+    use shatter_dataset::{synthesize, HouseKind, SynthConfig};
+    use shatter_hvac::EnergyModel;
+    use shatter_smarthome::houses;
+
+    fn setup() -> (
+        Home,
+        shatter_dataset::Dataset,
+        HullAdm,
+        RewardTable,
+        AttackerCapability,
+    ) {
+        let home = houses::aras_house_a();
+        let ds = synthesize(&SynthConfig::new(HouseKind::A, 12, 41));
+        let adm = HullAdm::train(&ds.prefix_days(10), AdmKind::default_kmeans());
+        let model = EnergyModel::standard(home.clone());
+        let table = RewardTable::build(&model);
+        let cap = AttackerCapability::full(&home);
+        (home, ds, adm, table, cap)
+    }
+
+    #[test]
+    fn triggers_never_fire_in_actually_occupied_aware_zones() {
+        let (home, ds, adm, table, cap) = setup();
+        let day = &ds.days[10];
+        let sched = WindowDpScheduler::default().schedule(&table, &adm, &cap, day);
+        let plan = plan_triggers(&home, &adm, &cap, day, &sched);
+        for (t, apps) in plan.on.iter().enumerate() {
+            for aid in apps {
+                let zone = home.appliance(*aid).zone;
+                for os in &day.minutes[t].occupants {
+                    assert!(
+                        os.zone != zone || os.activity.is_unaware(),
+                        "minute {t}: {} triggered in occupied zone",
+                        home.appliance(*aid).name
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn triggers_respect_appliance_capability() {
+        let (home, ds, adm, table, cap) = setup();
+        let day = &ds.days[10];
+        let sched = WindowDpScheduler::default().schedule(&table, &adm, &cap, day);
+        let restricted = cap
+            .clone()
+            .with_appliance_access([ApplianceId(0), ApplianceId(1)]);
+        let plan = plan_triggers(&home, &adm, &restricted, day, &sched);
+        for apps in &plan.on {
+            for aid in apps {
+                assert!(aid.index() < 2);
+            }
+        }
+    }
+
+    #[test]
+    fn triggers_match_reported_activity() {
+        let (home, ds, adm, table, cap) = setup();
+        let day = &ds.days[11];
+        let sched = WindowDpScheduler::default().schedule(&table, &adm, &cap, day);
+        let plan = plan_triggers(&home, &adm, &cap, day, &sched);
+        for (t, apps) in plan.on.iter().enumerate() {
+            for aid in apps {
+                let a = home.appliance(*aid);
+                let matched = (0..sched.n_occupants()).any(|o| {
+                    sched.zones[o][t] == a.zone && a.linked_to(sched.activities[o][t])
+                });
+                assert!(matched, "minute {t}: {} has no reporting occupant", a.name);
+            }
+        }
+    }
+
+    #[test]
+    fn schedule_with_divergence_usually_triggers_something() {
+        let (home, ds, adm, table, cap) = setup();
+        let mut total = 0usize;
+        for day in &ds.days[10..12] {
+            let sched = WindowDpScheduler::default().schedule(&table, &adm, &cap, day);
+            if sched.divergence(day) > 100 {
+                total += plan_triggers(&home, &adm, &cap, day, &sched).total_minutes();
+            }
+        }
+        assert!(total > 0, "no triggering despite diverging schedules");
+    }
+
+    #[test]
+    fn no_trigger_when_appliance_already_on() {
+        let (home, ds, adm, table, cap) = setup();
+        let day = &ds.days[10];
+        let sched = WindowDpScheduler::default().schedule(&table, &adm, &cap, day);
+        let plan = plan_triggers(&home, &adm, &cap, day, &sched);
+        for (t, apps) in plan.on.iter().enumerate() {
+            for aid in apps {
+                assert!(!day.minutes[t].appliances[aid.index()]);
+            }
+        }
+    }
+}

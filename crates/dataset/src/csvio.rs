@@ -1,0 +1,256 @@
+//! Flat CSV serialization of ARAS-schema datasets.
+//!
+//! Layout: one row per (day, minute) with per-occupant zone/activity codes
+//! and appliance bits:
+//!
+//! ```text
+//! day,minute,o0_zone,o0_act,o1_zone,o1_act,...,app0,...,appN
+//! ```
+//!
+//! The format is self-describing through its header and round-trips through
+//! [`write_csv`] / [`read_csv`].
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use shatter_smarthome::{Activity, ZoneId, MINUTES_PER_DAY};
+
+use crate::{Dataset, DayTrace, MinuteRecord, OccupantState};
+
+/// Error for CSV round-tripping.
+#[derive(Debug)]
+pub enum CsvError {
+    /// Underlying filesystem error.
+    Io(io::Error),
+    /// The file content does not parse as a dataset.
+    Parse {
+        /// 1-based line number of the failure.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "io error: {e}"),
+            CsvError::Parse { line, message } => write!(f, "line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CsvError::Io(e) => Some(e),
+            CsvError::Parse { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for CsvError {
+    fn from(e: io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+/// Serializes a dataset to a CSV string.
+pub fn to_csv_string(ds: &Dataset) -> String {
+    let mut s = String::new();
+    s.push_str("day,minute");
+    for o in 0..ds.n_occupants {
+        let _ = write!(s, ",o{o}_zone,o{o}_act");
+    }
+    for a in 0..ds.n_appliances {
+        let _ = write!(s, ",app{a}");
+    }
+    s.push('\n');
+    for day in &ds.days {
+        for (m, rec) in day.minutes.iter().enumerate() {
+            let _ = write!(s, "{},{}", day.day, m);
+            for os in &rec.occupants {
+                let _ = write!(s, ",{},{}", os.zone.index(), os.activity.code());
+            }
+            for &on in &rec.appliances {
+                let _ = write!(s, ",{}", u8::from(on));
+            }
+            s.push('\n');
+        }
+    }
+    s
+}
+
+/// Writes a dataset to a CSV file.
+///
+/// # Errors
+///
+/// Returns [`CsvError::Io`] when the file cannot be written.
+pub fn write_csv(ds: &Dataset, path: &Path) -> Result<(), CsvError> {
+    fs::write(path, to_csv_string(ds))?;
+    Ok(())
+}
+
+/// Parses a dataset from CSV text previously produced by
+/// [`to_csv_string`]. The `house` label is not stored in the CSV and must
+/// be resupplied.
+///
+/// # Errors
+///
+/// Returns [`CsvError::Parse`] with a line number on malformed input.
+pub fn from_csv_string(text: &str, house: impl Into<String>) -> Result<Dataset, CsvError> {
+    let mut lines = text.lines().enumerate();
+    let (_, header) = lines.next().ok_or(CsvError::Parse {
+        line: 1,
+        message: "empty file".into(),
+    })?;
+    let cols: Vec<&str> = header.split(',').collect();
+    let n_occupants = cols.iter().filter(|c| c.ends_with("_zone")).count();
+    let n_appliances = cols.iter().filter(|c| c.starts_with("app")).count();
+    if cols.len() != 2 + 2 * n_occupants + n_appliances {
+        return Err(CsvError::Parse {
+            line: 1,
+            message: "inconsistent header".into(),
+        });
+    }
+
+    let mut days: Vec<DayTrace> = Vec::new();
+    for (idx, line) in lines {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let lineno = idx + 1;
+        let parse_err = |message: String| CsvError::Parse {
+            line: lineno,
+            message,
+        };
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != cols.len() {
+            return Err(parse_err(format!(
+                "expected {} fields, got {}",
+                cols.len(),
+                fields.len()
+            )));
+        }
+        let day: u32 = fields[0]
+            .parse()
+            .map_err(|e| parse_err(format!("bad day: {e}")))?;
+        let minute: usize = fields[1]
+            .parse()
+            .map_err(|e| parse_err(format!("bad minute: {e}")))?;
+        let mut occupants = Vec::with_capacity(n_occupants);
+        for o in 0..n_occupants {
+            let zi: usize = fields[2 + 2 * o]
+                .parse()
+                .map_err(|e| parse_err(format!("bad zone: {e}")))?;
+            let code: u8 = fields[3 + 2 * o]
+                .parse()
+                .map_err(|e| parse_err(format!("bad activity: {e}")))?;
+            let activity = Activity::from_code(code)
+                .ok_or_else(|| parse_err(format!("unknown activity code {code}")))?;
+            occupants.push(OccupantState {
+                zone: ZoneId(zi),
+                activity,
+            });
+        }
+        let mut appliances = Vec::with_capacity(n_appliances);
+        for a in 0..n_appliances {
+            match fields[2 + 2 * n_occupants + a] {
+                "0" => appliances.push(false),
+                "1" => appliances.push(true),
+                other => return Err(parse_err(format!("bad appliance bit {other:?}"))),
+            }
+        }
+        if days.last().map(|d| d.day) != Some(day) {
+            days.push(DayTrace {
+                day,
+                minutes: Vec::with_capacity(MINUTES_PER_DAY),
+            });
+        }
+        let trace = days.last_mut().expect("pushed above");
+        if trace.minutes.len() != minute {
+            return Err(parse_err(format!(
+                "minute {minute} out of order (expected {})",
+                trace.minutes.len()
+            )));
+        }
+        trace.minutes.push(MinuteRecord {
+            occupants,
+            appliances,
+        });
+    }
+
+    let ds = Dataset {
+        house: house.into(),
+        n_occupants,
+        n_appliances,
+        days,
+    };
+    ds.validate().map_err(|message| CsvError::Parse {
+        line: 0,
+        message,
+    })?;
+    Ok(ds)
+}
+
+/// Reads a dataset from a CSV file.
+///
+/// # Errors
+///
+/// Returns [`CsvError`] on I/O failure or malformed content.
+pub fn read_csv(path: &Path, house: impl Into<String>) -> Result<Dataset, CsvError> {
+    let text = fs::read_to_string(path)?;
+    from_csv_string(&text, house)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{synthesize, HouseKind, SynthConfig};
+
+    #[test]
+    fn csv_roundtrip() {
+        let ds = synthesize(&SynthConfig::new(HouseKind::A, 2, 4));
+        let text = to_csv_string(&ds);
+        let back = from_csv_string(&text, ds.house.clone()).unwrap();
+        assert_eq!(ds, back);
+    }
+
+    #[test]
+    fn rejects_truncated_rows() {
+        let ds = synthesize(&SynthConfig::new(HouseKind::A, 1, 4));
+        let mut text = to_csv_string(&ds);
+        let cut = text.len() - 10;
+        text.truncate(cut);
+        assert!(matches!(
+            from_csv_string(&text, "x"),
+            Err(CsvError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_activity_code() {
+        let text = "day,minute,o0_zone,o0_act,app0\n0,0,0,99,0\n";
+        let err = from_csv_string(text, "x").unwrap_err();
+        assert!(matches!(err, CsvError::Parse { line: 2, .. }), "{err}");
+    }
+
+    #[test]
+    fn rejects_out_of_order_minutes() {
+        let text = "day,minute,o0_zone,o0_act,app0\n0,5,0,1,0\n";
+        assert!(from_csv_string(text, "x").is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("shatter_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ds.csv");
+        let ds = synthesize(&SynthConfig::new(HouseKind::B, 1, 9));
+        write_csv(&ds, &path).unwrap();
+        let back = read_csv(&path, ds.house.clone()).unwrap();
+        assert_eq!(ds, back);
+    }
+}

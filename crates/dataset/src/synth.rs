@@ -1,0 +1,443 @@
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use shatter_smarthome::{Activity, ZoneId, MINUTES_PER_DAY};
+
+use crate::{Dataset, DayTrace, MinuteRecord, OccupantState};
+
+/// Which of the two ARAS evaluation houses to synthesize.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HouseKind {
+    /// ARAS House A — occupants spend more time at home.
+    A,
+    /// ARAS House B — occupants are away for longer work blocks, giving the
+    /// paper's lower House-B control costs.
+    B,
+}
+
+impl HouseKind {
+    /// Dataset label prefix (`"HA"` / `"HB"`), matching the paper's
+    /// HAO1/HAO2/HBO1/HBO2 naming.
+    pub fn label(self) -> &'static str {
+        match self {
+            HouseKind::A => "HA",
+            HouseKind::B => "HB",
+        }
+    }
+}
+
+/// Configuration of the synthetic ARAS-schema generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SynthConfig {
+    /// Which house's behavioural parameters to use.
+    pub house: HouseKind,
+    /// Number of days to generate (the paper uses a 30-day month).
+    pub days: usize,
+    /// RNG seed; identical configs produce identical datasets.
+    pub seed: u64,
+}
+
+impl SynthConfig {
+    /// Creates a config.
+    pub fn new(house: HouseKind, days: usize, seed: u64) -> Self {
+        SynthConfig { house, days, seed }
+    }
+
+    /// The standard month-long configuration used by the evaluation.
+    pub fn month(house: HouseKind, seed: u64) -> Self {
+        SynthConfig::new(house, 30, seed)
+    }
+}
+
+/// The canonical zone an activity takes place in, for the ARAS room layout
+/// (Outside, Bedroom, Livingroom, Kitchen, Bathroom).
+pub fn default_zone_for(activity: Activity) -> ZoneId {
+    use Activity::*;
+    match activity {
+        GoingOut => ZoneId(0),
+        Sleeping | Napping | ChangingClothes => ZoneId(1),
+        WatchingTv | Studying | UsingInternet | ReadingBook | ListeningToMusic
+        | TalkingOnPhone | HavingConversation | HavingGuest | HavingSnack | Other | Cleaning => {
+            ZoneId(2)
+        }
+        PreparingBreakfast | HavingBreakfast | PreparingLunch | HavingLunch | PreparingDinner
+        | HavingDinner | WashingDishes => ZoneId(3),
+        HavingShower | Toileting | Shaving | BrushingTeeth | Laundry => ZoneId(4),
+    }
+}
+
+/// Box–Muller Gaussian sample clamped to `[min, max]`, rounded to minutes.
+fn gauss_minutes(rng: &mut StdRng, mean: f64, sd: f64, min: f64, max: f64) -> u32 {
+    let u1: f64 = rng.random::<f64>().max(1e-12);
+    let u2: f64 = rng.random();
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    (mean + sd * z).clamp(min, max).round() as u32
+}
+
+/// One contiguous activity block in a day plan.
+#[derive(Debug, Clone, Copy)]
+struct Segment {
+    activity: Activity,
+    duration: u32,
+}
+
+/// Behavioural parameters for one occupant of one house.
+struct Persona {
+    wake_mean: f64,
+    work_prob_weekday: f64,
+    work_duration_mean: f64,
+    evening_tv_mean: f64,
+    shower_in_morning: bool,
+}
+
+fn persona(house: HouseKind, occupant: usize) -> Persona {
+    match (house, occupant) {
+        // House A occupant 1 ("Alice"): mostly home, studies.
+        (HouseKind::A, 0) => Persona {
+            wake_mean: 430.0,
+            work_prob_weekday: 0.30,
+            work_duration_mean: 310.0,
+            evening_tv_mean: 100.0,
+            shower_in_morning: false,
+        },
+        // House A occupant 2 ("Bob"): office worker.
+        (HouseKind::A, _) => Persona {
+            wake_mean: 395.0,
+            work_prob_weekday: 0.85,
+            work_duration_mean: 540.0,
+            evening_tv_mean: 80.0,
+            shower_in_morning: true,
+        },
+        // House B occupants are away longer (lower benign cost).
+        (HouseKind::B, 0) => Persona {
+            wake_mean: 410.0,
+            work_prob_weekday: 0.80,
+            work_duration_mean: 580.0,
+            evening_tv_mean: 70.0,
+            shower_in_morning: true,
+        },
+        (HouseKind::B, _) => Persona {
+            wake_mean: 380.0,
+            work_prob_weekday: 0.90,
+            work_duration_mean: 620.0,
+            evening_tv_mean: 60.0,
+            shower_in_morning: true,
+        },
+    }
+}
+
+/// Idle home activities to fill gaps with (livingroom-centric).
+const IDLE: [Activity; 5] = [
+    Activity::WatchingTv,
+    Activity::UsingInternet,
+    Activity::Studying,
+    Activity::ReadingBook,
+    Activity::ListeningToMusic,
+];
+
+fn idle_segment(rng: &mut StdRng) -> Segment {
+    let activity = IDLE[rng.random_range(0..IDLE.len())];
+    Segment {
+        activity,
+        duration: gauss_minutes(rng, 55.0, 18.0, 20.0, 120.0),
+    }
+}
+
+/// Builds one occupant's full-day plan as a sequence of segments summing to
+/// exactly [`MINUTES_PER_DAY`] minutes.
+fn day_plan(rng: &mut StdRng, house: HouseKind, occupant: usize, day: u32) -> Vec<Segment> {
+    let p = persona(house, occupant);
+    let weekend = matches!(day % 7, 5 | 6);
+    let mut plan: Vec<Segment> = Vec::new();
+    let mut t: u32 = 0;
+
+    let push = |plan: &mut Vec<Segment>, t: &mut u32, s: Segment| {
+        if *t >= MINUTES_PER_DAY as u32 || s.duration == 0 {
+            return;
+        }
+        let dur = s.duration.min(MINUTES_PER_DAY as u32 - *t);
+        plan.push(Segment {
+            activity: s.activity,
+            duration: dur,
+        });
+        *t += dur;
+    };
+
+    // Night sleep carried over from the previous evening.
+    let wake_mean = if weekend { p.wake_mean + 50.0 } else { p.wake_mean };
+    let wake = gauss_minutes(rng, wake_mean, 14.0, 300.0, 600.0);
+    push(&mut plan, &mut t, Segment { activity: Activity::Sleeping, duration: wake });
+
+    // Morning routine.
+    push(&mut plan, &mut t, Segment {
+        activity: Activity::Toileting,
+        duration: gauss_minutes(rng, 7.0, 2.0, 3.0, 14.0),
+    });
+    if p.shower_in_morning || rng.random::<f64>() < 0.35 {
+        push(&mut plan, &mut t, Segment {
+            activity: Activity::HavingShower,
+            duration: gauss_minutes(rng, 22.0, 4.0, 12.0, 34.0),
+        });
+    }
+    push(&mut plan, &mut t, Segment {
+        activity: Activity::PreparingBreakfast,
+        duration: gauss_minutes(rng, 17.0, 4.0, 8.0, 30.0),
+    });
+    push(&mut plan, &mut t, Segment {
+        activity: Activity::HavingBreakfast,
+        duration: gauss_minutes(rng, 14.0, 3.0, 7.0, 25.0),
+    });
+
+    // Work block.
+    let works = !weekend && rng.random::<f64>() < p.work_prob_weekday;
+    if works {
+        push(&mut plan, &mut t, Segment {
+            activity: Activity::GoingOut,
+            duration: gauss_minutes(rng, p.work_duration_mean, 35.0, 180.0, 700.0),
+        });
+    }
+
+    // Daytime at home until dinner prep (~18:20).
+    let dinner_prep_start = gauss_minutes(rng, 1100.0, 12.0, 1050.0, 1160.0);
+    while t + 20 < dinner_prep_start {
+        // Lunch window for occupants who are home around 12:15.
+        if !works && (730..790).contains(&t) {
+            push(&mut plan, &mut t, Segment {
+                activity: Activity::PreparingLunch,
+                duration: gauss_minutes(rng, 20.0, 4.0, 10.0, 32.0),
+            });
+            push(&mut plan, &mut t, Segment {
+                activity: Activity::HavingLunch,
+                duration: gauss_minutes(rng, 17.0, 3.0, 9.0, 28.0),
+            });
+            push(&mut plan, &mut t, Segment {
+                activity: Activity::WashingDishes,
+                duration: gauss_minutes(rng, 8.0, 2.0, 4.0, 14.0),
+            });
+            continue;
+        }
+        // Occasional chores.
+        let roll: f64 = rng.random();
+        if roll < 0.10 {
+            push(&mut plan, &mut t, Segment {
+                activity: Activity::Cleaning,
+                duration: gauss_minutes(rng, 32.0, 8.0, 15.0, 55.0),
+            });
+        } else if roll < 0.17 {
+            push(&mut plan, &mut t, Segment {
+                activity: Activity::Laundry,
+                duration: gauss_minutes(rng, 24.0, 5.0, 12.0, 40.0),
+            });
+        } else if roll < 0.25 && (780..1020).contains(&t) {
+            push(&mut plan, &mut t, Segment {
+                activity: Activity::Napping,
+                duration: gauss_minutes(rng, 45.0, 12.0, 20.0, 90.0),
+            });
+        } else {
+            push(&mut plan, &mut t, idle_segment(rng));
+        }
+    }
+    // Align to dinner prep.
+    if t < dinner_prep_start {
+        let gap = dinner_prep_start - t;
+        push(&mut plan, &mut t, Segment {
+            activity: IDLE[rng.random_range(0..IDLE.len())],
+            duration: gap,
+        });
+    }
+
+    // Evening routine.
+    push(&mut plan, &mut t, Segment {
+        activity: Activity::PreparingDinner,
+        duration: gauss_minutes(rng, 24.0, 5.0, 12.0, 38.0),
+    });
+    push(&mut plan, &mut t, Segment {
+        activity: Activity::HavingDinner,
+        duration: gauss_minutes(rng, 23.0, 4.0, 12.0, 35.0),
+    });
+    push(&mut plan, &mut t, Segment {
+        activity: Activity::WashingDishes,
+        duration: gauss_minutes(rng, 9.0, 2.0, 4.0, 15.0),
+    });
+    push(&mut plan, &mut t, Segment {
+        activity: Activity::WatchingTv,
+        duration: gauss_minutes(rng, p.evening_tv_mean, 20.0, 30.0, 170.0),
+    });
+    push(&mut plan, &mut t, Segment {
+        activity: Activity::BrushingTeeth,
+        duration: gauss_minutes(rng, 5.0, 1.5, 2.0, 9.0),
+    });
+    // Sleep fills the rest of the day.
+    if t < MINUTES_PER_DAY as u32 {
+        let rest = MINUTES_PER_DAY as u32 - t;
+        push(&mut plan, &mut t, Segment {
+            activity: Activity::Sleeping,
+            duration: rest,
+        });
+    }
+    debug_assert_eq!(
+        plan.iter().map(|s| s.duration).sum::<u32>(),
+        MINUTES_PER_DAY as u32
+    );
+    plan
+}
+
+/// Generates a synthetic ARAS-schema dataset for the given configuration.
+///
+/// Appliance states are derived from occupant activity: an appliance is on
+/// during a minute iff some occupant in its zone performs one of its linked
+/// activities (the paper's activity–appliance relationship, §II reason 2).
+pub fn synthesize(config: &SynthConfig) -> Dataset {
+    let home = match config.house {
+        HouseKind::A => shatter_smarthome::houses::aras_house_a(),
+        HouseKind::B => shatter_smarthome::houses::aras_house_b(),
+    };
+    let n_occupants = home.occupants().len();
+    let n_appliances = home.appliances().len();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    let mut days = Vec::with_capacity(config.days);
+    for day in 0..config.days as u32 {
+        // Expand each occupant's plan into a per-minute state row.
+        let mut states: Vec<Vec<OccupantState>> = Vec::with_capacity(n_occupants);
+        for o in 0..n_occupants {
+            let plan = day_plan(&mut rng, config.house, o, day);
+            let mut row = Vec::with_capacity(MINUTES_PER_DAY);
+            for seg in plan {
+                let zone = default_zone_for(seg.activity);
+                for _ in 0..seg.duration {
+                    row.push(OccupantState {
+                        zone,
+                        activity: seg.activity,
+                    });
+                }
+            }
+            debug_assert_eq!(row.len(), MINUTES_PER_DAY);
+            states.push(row);
+        }
+
+        let minutes = (0..MINUTES_PER_DAY)
+            .map(|m| {
+                let occupants: Vec<OccupantState> =
+                    (0..n_occupants).map(|o| states[o][m]).collect();
+                let appliances = home
+                    .appliances()
+                    .iter()
+                    .map(|a| {
+                        occupants
+                            .iter()
+                            .any(|os| os.zone == a.zone && a.linked_to(os.activity))
+                    })
+                    .collect();
+                MinuteRecord {
+                    occupants,
+                    appliances,
+                }
+            })
+            .collect();
+        days.push(DayTrace { day, minutes });
+    }
+
+    let ds = Dataset {
+        house: home.name().to_owned(),
+        n_occupants,
+        n_appliances,
+        days,
+    };
+    debug_assert!(ds.validate().is_ok());
+    ds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let c = SynthConfig::new(HouseKind::A, 2, 7);
+        assert_eq!(synthesize(&c), synthesize(&c));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = synthesize(&SynthConfig::new(HouseKind::A, 2, 1));
+        let b = synthesize(&SynthConfig::new(HouseKind::A, 2, 2));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn validates_and_has_shape() {
+        let d = synthesize(&SynthConfig::new(HouseKind::B, 4, 3));
+        d.validate().unwrap();
+        assert_eq!(d.days.len(), 4);
+        assert_eq!(d.n_occupants, 2);
+        assert_eq!(d.n_appliances, 13);
+    }
+
+    #[test]
+    fn occupants_sleep_at_night() {
+        let d = synthesize(&SynthConfig::month(HouseKind::A, 5));
+        // At 03:00 nearly every occupant-day should be asleep in the bedroom.
+        let mut asleep = 0usize;
+        let mut total = 0usize;
+        for day in &d.days {
+            for os in &day.minutes[180].occupants {
+                total += 1;
+                if os.activity == Activity::Sleeping && os.zone == ZoneId(1) {
+                    asleep += 1;
+                }
+            }
+        }
+        assert!(asleep as f64 / total as f64 > 0.95, "{asleep}/{total}");
+    }
+
+    #[test]
+    fn house_b_more_away_time_than_a() {
+        let a = synthesize(&SynthConfig::month(HouseKind::A, 11));
+        let b = synthesize(&SynthConfig::month(HouseKind::B, 11));
+        let away = |d: &Dataset| -> usize {
+            d.days
+                .iter()
+                .flat_map(|day| day.minutes.iter())
+                .flat_map(|m| m.occupants.iter())
+                .filter(|os| os.zone == ZoneId(0))
+                .count()
+        };
+        assert!(away(&b) > away(&a));
+    }
+
+    #[test]
+    fn appliances_track_linked_activities() {
+        let d = synthesize(&SynthConfig::new(HouseKind::A, 3, 9));
+        let home = shatter_smarthome::houses::aras_house_a();
+        for day in &d.days {
+            for rec in &day.minutes {
+                for (ai, on) in rec.appliances.iter().enumerate() {
+                    let a = &home.appliances()[ai];
+                    let expected = rec
+                        .occupants
+                        .iter()
+                        .any(|os| os.zone == a.zone && a.linked_to(os.activity));
+                    assert_eq!(*on, expected);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cooking_happens_in_kitchen_in_evening() {
+        let d = synthesize(&SynthConfig::month(HouseKind::A, 13));
+        let mut dinner_minutes = 0usize;
+        for day in &d.days {
+            for m in 1050..1250 {
+                for os in &day.minutes[m].occupants {
+                    if os.activity == Activity::PreparingDinner {
+                        assert_eq!(os.zone, ZoneId(3));
+                        dinner_minutes += 1;
+                    }
+                }
+            }
+        }
+        assert!(dinner_minutes > 100, "dinner minutes = {dinner_minutes}");
+    }
+}

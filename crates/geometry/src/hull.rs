@@ -1,0 +1,447 @@
+use std::fmt;
+
+use crate::segment::{orientation, Orientation, EPS};
+use crate::{HalfPlane, Point, Segment};
+
+/// Error produced when a convex hull cannot be constructed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HullError {
+    /// Fewer than three input points were supplied.
+    TooFewPoints {
+        /// Number of (distinct) points that were available.
+        got: usize,
+    },
+    /// All input points are collinear, so the hull would be degenerate.
+    Degenerate,
+    /// An input coordinate was NaN or infinite.
+    NonFinite,
+}
+
+impl fmt::Display for HullError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HullError::TooFewPoints { got } => {
+                write!(f, "convex hull needs at least 3 distinct points, got {got}")
+            }
+            HullError::Degenerate => write!(f, "all points are collinear"),
+            HullError::NonFinite => write!(f, "input contains non-finite coordinates"),
+        }
+    }
+}
+
+impl std::error::Error for HullError {}
+
+/// A convex polygon stored as counter-clockwise vertices.
+///
+/// This is SHATTER's linearized cluster representation (paper Fig. 7): the
+/// boundary segments, taken counter-clockwise, give the
+/// `leftOfLineSegment` constraints of Eq. 10, and a point is *within* the
+/// cluster (Eq. 9) iff it is left of every segment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hull {
+    vertices: Vec<Point>,
+}
+
+impl Hull {
+    /// Builds a hull directly from counter-clockwise vertices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HullError`] when fewer than three vertices are given, when
+    /// any coordinate is non-finite, or when the polygon has (numerically)
+    /// zero area.
+    pub fn from_ccw_vertices(vertices: Vec<Point>) -> Result<Self, HullError> {
+        if vertices.iter().any(|p| !p.is_finite()) {
+            return Err(HullError::NonFinite);
+        }
+        if vertices.len() < 3 {
+            return Err(HullError::TooFewPoints {
+                got: vertices.len(),
+            });
+        }
+        let hull = Hull { vertices };
+        if hull.area() <= EPS {
+            return Err(HullError::Degenerate);
+        }
+        Ok(hull)
+    }
+
+    /// The counter-clockwise vertex list.
+    pub fn vertices(&self) -> &[Point] {
+        &self.vertices
+    }
+
+    /// Number of boundary segments (equals the number of vertices).
+    pub fn len(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// A hull is never empty; provided for API completeness.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Iterates over the counter-clockwise directed boundary segments
+    /// (`K_{o,z,i}` in the paper's notation).
+    pub fn segments(&self) -> impl Iterator<Item = Segment> + '_ {
+        let n = self.vertices.len();
+        (0..n).map(move |i| Segment::new(self.vertices[i], self.vertices[(i + 1) % n]))
+    }
+
+    /// The half-plane (linear constraint) view of the boundary; their
+    /// conjunction defines hull membership for the SMT encoding.
+    pub fn half_planes(&self) -> Vec<HalfPlane> {
+        self.segments().map(|s| s.half_plane()).collect()
+    }
+
+    /// The paper's `withinCluster(t1, t2, C)` predicate: `true` iff the point
+    /// is left of every counter-clockwise boundary segment.
+    pub fn contains(&self, p: Point) -> bool {
+        self.segments().all(|s| s.left_of(p))
+    }
+
+    /// Polygon area by the shoelace formula (positive for ccw ordering).
+    pub fn area(&self) -> f64 {
+        let n = self.vertices.len();
+        let mut twice = 0.0;
+        for i in 0..n {
+            let a = self.vertices[i];
+            let b = self.vertices[(i + 1) % n];
+            twice += a.x * b.y - b.x * a.y;
+        }
+        twice / 2.0
+    }
+
+    /// Vertex centroid of the polygon.
+    pub fn centroid(&self) -> Point {
+        let n = self.vertices.len() as f64;
+        let sum = self
+            .vertices
+            .iter()
+            .fold(Point::default(), |acc, &p| acc + p);
+        Point::new(sum.x / n, sum.y / n)
+    }
+
+    /// Axis-aligned bounding box as `(min, max)` corners.
+    pub fn bounding_box(&self) -> (Point, Point) {
+        let mut min = Point::new(f64::INFINITY, f64::INFINITY);
+        let mut max = Point::new(f64::NEG_INFINITY, f64::NEG_INFINITY);
+        for p in &self.vertices {
+            min.x = min.x.min(p.x);
+            min.y = min.y.min(p.y);
+            max.x = max.x.max(p.x);
+            max.y = max.y.max(p.y);
+        }
+        (min, max)
+    }
+
+    /// Given an arrival time `x`, returns the `[y_min, y_max]` range of stay
+    /// durations inside the hull at that abscissa, or `None` when the
+    /// vertical line misses the hull.
+    ///
+    /// This implements the paper's `minStay`/`maxStay` primitives: the
+    /// minimum/maximum stealthy stay duration for an arrival time.
+    pub fn y_range_at(&self, x: f64) -> Option<(f64, f64)> {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        let n = self.vertices.len();
+        for i in 0..n {
+            let a = self.vertices[i];
+            let b = self.vertices[(i + 1) % n];
+            let (xa, xb) = (a.x, b.x);
+            if (xa - x).abs() <= EPS {
+                lo = lo.min(a.y);
+                hi = hi.max(a.y);
+            }
+            if (xa < x && xb > x) || (xb < x && xa > x) {
+                let t = (x - xa) / (xb - xa);
+                let y = a.y + t * (b.y - a.y);
+                lo = lo.min(y);
+                hi = hi.max(y);
+            }
+        }
+        if lo.is_finite() && hi.is_finite() && lo <= hi + EPS {
+            Some((lo.min(hi), hi.max(lo)))
+        } else {
+            None
+        }
+    }
+}
+
+fn distinct_lex_sorted(points: &[Point]) -> Vec<Point> {
+    let mut pts: Vec<Point> = points.to_vec();
+    pts.sort_by(|a, b| a.lex_cmp(*b));
+    pts.dedup_by(|a, b| (a.x - b.x).abs() <= EPS && (a.y - b.y).abs() <= EPS);
+    pts
+}
+
+/// Computes the convex hull of a point set with Andrew's monotone chain.
+///
+/// Returns counter-clockwise vertices with collinear boundary points
+/// removed.
+///
+/// # Errors
+///
+/// Returns [`HullError`] for fewer than three distinct points, collinear
+/// input, or non-finite coordinates.
+pub fn convex_hull(points: &[Point]) -> Result<Hull, HullError> {
+    if points.iter().any(|p| !p.is_finite()) {
+        return Err(HullError::NonFinite);
+    }
+    let pts = distinct_lex_sorted(points);
+    if pts.len() < 3 {
+        return Err(HullError::TooFewPoints { got: pts.len() });
+    }
+
+    let mut lower: Vec<Point> = Vec::new();
+    for &p in &pts {
+        while lower.len() >= 2
+            && orientation(lower[lower.len() - 2], lower[lower.len() - 1], p)
+                != Orientation::CounterClockwise
+        {
+            lower.pop();
+        }
+        lower.push(p);
+    }
+    let mut upper: Vec<Point> = Vec::new();
+    for &p in pts.iter().rev() {
+        while upper.len() >= 2
+            && orientation(upper[upper.len() - 2], upper[upper.len() - 1], p)
+                != Orientation::CounterClockwise
+        {
+            upper.pop();
+        }
+        upper.push(p);
+    }
+    lower.pop();
+    upper.pop();
+    lower.extend(upper);
+    Hull::from_ccw_vertices(lower)
+}
+
+/// Computes the convex hull with the quickhull algorithm (Barber, Dobkin,
+/// Huhdanpaa 1996), which the paper cites for ADM linearization.
+///
+/// Produces the same hull as [`convex_hull`] (up to vertex rotation); kept as
+/// an independent implementation so the two can cross-check each other in
+/// property tests.
+///
+/// # Errors
+///
+/// Same failure conditions as [`convex_hull`].
+pub fn quickhull(points: &[Point]) -> Result<Hull, HullError> {
+    if points.iter().any(|p| !p.is_finite()) {
+        return Err(HullError::NonFinite);
+    }
+    let pts = distinct_lex_sorted(points);
+    if pts.len() < 3 {
+        return Err(HullError::TooFewPoints { got: pts.len() });
+    }
+    let leftmost = pts[0];
+    let rightmost = *pts.last().expect("non-empty");
+
+    // Split into points strictly right of L->R (the lower chain candidates)
+    // and strictly right of R->L (the upper chain candidates).
+    let base = Segment::new(leftmost, rightmost);
+    let below: Vec<Point> = pts.iter().copied().filter(|&p| base.side(p) < -EPS).collect();
+    let above: Vec<Point> = pts.iter().copied().filter(|&p| base.side(p) > EPS).collect();
+
+    // Counter-clockwise: leftmost, lower chain left->right, rightmost,
+    // upper chain right->left.
+    let mut ccw: Vec<Point> = Vec::new();
+    ccw.push(leftmost);
+    quickhull_rec(leftmost, rightmost, &below, &mut |p| ccw.push(p));
+    ccw.push(rightmost);
+    quickhull_rec(rightmost, leftmost, &above, &mut |p| ccw.push(p));
+    Hull::from_ccw_vertices(ccw)
+}
+
+/// Emits, in chain order from `a` to `b` (both exclusive), the hull points
+/// among `pts`, which must all lie strictly to the right of the directed
+/// segment `a -> b`.
+fn quickhull_rec(a: Point, b: Point, pts: &[Point], emit: &mut impl FnMut(Point)) {
+    if pts.is_empty() {
+        return;
+    }
+    let seg = Segment::new(a, b);
+    // Farthest to the right = most negative side value.
+    let far = *pts
+        .iter()
+        .min_by(|p, q| {
+            seg.side(**p)
+                .partial_cmp(&seg.side(**q))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
+        .expect("non-empty");
+
+    let seg1 = Segment::new(a, far);
+    let seg2 = Segment::new(far, b);
+    let outside1: Vec<Point> = pts
+        .iter()
+        .copied()
+        .filter(|&p| seg1.side(p) < -EPS)
+        .collect();
+    let outside2: Vec<Point> = pts
+        .iter()
+        .copied()
+        .filter(|&p| seg2.side(p) < -EPS)
+        .collect();
+
+    quickhull_rec(a, far, &outside1, emit);
+    emit(far);
+    quickhull_rec(far, b, &outside2, emit);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square() -> Vec<Point> {
+        vec![
+            Point::new(0.0, 0.0),
+            Point::new(4.0, 0.0),
+            Point::new(4.0, 4.0),
+            Point::new(0.0, 4.0),
+        ]
+    }
+
+    #[test]
+    fn hull_of_square_with_interior_points() {
+        let mut pts = square();
+        pts.push(Point::new(2.0, 2.0));
+        pts.push(Point::new(1.0, 3.0));
+        let hull = convex_hull(&pts).unwrap();
+        assert_eq!(hull.len(), 4);
+        assert!((hull.area() - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hull_is_counter_clockwise() {
+        let hull = convex_hull(&square()).unwrap();
+        assert!(hull.area() > 0.0);
+    }
+
+    #[test]
+    fn containment_closed_boundary() {
+        let hull = convex_hull(&square()).unwrap();
+        assert!(hull.contains(Point::new(0.0, 0.0))); // vertex
+        assert!(hull.contains(Point::new(2.0, 0.0))); // edge
+        assert!(hull.contains(Point::new(2.0, 2.0))); // interior
+        assert!(!hull.contains(Point::new(4.1, 2.0)));
+        assert!(!hull.contains(Point::new(-0.1, 2.0)));
+    }
+
+    #[test]
+    fn collinear_input_is_degenerate() {
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 1.0),
+            Point::new(2.0, 2.0),
+            Point::new(3.0, 3.0),
+        ];
+        assert!(matches!(
+            convex_hull(&pts),
+            Err(HullError::TooFewPoints { .. }) | Err(HullError::Degenerate)
+        ));
+    }
+
+    #[test]
+    fn too_few_points_error() {
+        let pts = vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0)];
+        assert_eq!(convex_hull(&pts), Err(HullError::TooFewPoints { got: 2 }));
+    }
+
+    #[test]
+    fn duplicate_points_deduplicated() {
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(0.0, 1.0),
+        ];
+        let hull = convex_hull(&pts).unwrap();
+        assert_eq!(hull.len(), 3);
+    }
+
+    #[test]
+    fn non_finite_rejected() {
+        let pts = vec![
+            Point::new(f64::NAN, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(0.0, 1.0),
+        ];
+        assert_eq!(convex_hull(&pts), Err(HullError::NonFinite));
+    }
+
+    #[test]
+    fn quickhull_matches_monotone_chain_on_grid() {
+        let mut pts = Vec::new();
+        for i in 0..7 {
+            for j in 0..5 {
+                pts.push(Point::new(i as f64, (j * j) as f64 * 0.5));
+            }
+        }
+        let h1 = convex_hull(&pts).unwrap();
+        let h2 = quickhull(&pts).unwrap();
+        assert!((h1.area() - h2.area()).abs() < 1e-9, "areas {} vs {}", h1.area(), h2.area());
+        for v in h1.vertices() {
+            assert!(h2.contains(*v));
+        }
+        for v in h2.vertices() {
+            assert!(h1.contains(*v));
+        }
+    }
+
+    #[test]
+    fn y_range_at_square() {
+        let hull = convex_hull(&square()).unwrap();
+        let (lo, hi) = hull.y_range_at(2.0).unwrap();
+        assert!((lo - 0.0).abs() < 1e-9);
+        assert!((hi - 4.0).abs() < 1e-9);
+        assert!(hull.y_range_at(5.0).is_none());
+        assert!(hull.y_range_at(-1.0).is_none());
+    }
+
+    #[test]
+    fn y_range_at_triangle_interpolates() {
+        let hull = convex_hull(&[
+            Point::new(0.0, 0.0),
+            Point::new(4.0, 0.0),
+            Point::new(2.0, 4.0),
+        ])
+        .unwrap();
+        let (lo, hi) = hull.y_range_at(1.0).unwrap();
+        assert!((lo - 0.0).abs() < 1e-9);
+        assert!((hi - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn centroid_and_bbox() {
+        let hull = convex_hull(&square()).unwrap();
+        let c = hull.centroid();
+        assert!((c.x - 2.0).abs() < 1e-9 && (c.y - 2.0).abs() < 1e-9);
+        let (min, max) = hull.bounding_box();
+        assert_eq!((min.x, min.y, max.x, max.y), (0.0, 0.0, 4.0, 4.0));
+    }
+
+    #[test]
+    fn half_planes_conjunction_equals_containment() {
+        let hull = convex_hull(&[
+            Point::new(0.0, 0.0),
+            Point::new(6.0, 1.0),
+            Point::new(4.0, 5.0),
+            Point::new(-1.0, 3.0),
+        ])
+        .unwrap();
+        let hps = hull.half_planes();
+        for p in [
+            Point::new(2.0, 2.0),
+            Point::new(10.0, 10.0),
+            Point::new(0.0, 0.0),
+            Point::new(-2.0, 1.0),
+        ] {
+            let by_hps = hps.iter().all(|hp| hp.contains(p));
+            assert_eq!(by_hps, hull.contains(p), "disagree at {p}");
+        }
+    }
+}

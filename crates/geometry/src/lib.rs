@@ -1,0 +1,41 @@
+//! 2-D computational geometry used by SHATTER's anomaly-detection layer.
+//!
+//! The SHATTER framework (DSN 2023) linearizes clustering-based anomaly
+//! detection models into convex hulls so that cluster membership becomes a
+//! conjunction of *left-of-line-segment* linear constraints (paper Eq. 9–10,
+//! Fig. 7). This crate provides the geometric substrate:
+//!
+//! - [`Point`]: a 2-D point in the (arrival-time, stay-duration) plane,
+//! - [`convex_hull`]: Andrew's monotone-chain hull construction,
+//! - [`quickhull`]: the quickhull algorithm the paper cites (Barber et al.),
+//! - [`Hull`]: a counter-clockwise convex polygon with containment tests,
+//!   area, and the half-plane (line-segment) view used by the formal model.
+//!
+//! # Examples
+//!
+//! ```
+//! use shatter_geometry::{convex_hull, Point};
+//!
+//! let pts = vec![
+//!     Point::new(0.0, 0.0),
+//!     Point::new(4.0, 0.0),
+//!     Point::new(4.0, 3.0),
+//!     Point::new(0.0, 3.0),
+//!     Point::new(2.0, 1.5), // interior
+//! ];
+//! let hull = convex_hull(&pts).expect("non-degenerate input");
+//! assert_eq!(hull.vertices().len(), 4);
+//! assert!(hull.contains(shatter_geometry::Point::new(1.0, 1.0)));
+//! assert!(!hull.contains(shatter_geometry::Point::new(5.0, 1.0)));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod hull;
+mod point;
+mod segment;
+
+pub use hull::{convex_hull, quickhull, Hull, HullError};
+pub use point::Point;
+pub use segment::{orientation, HalfPlane, Orientation, Segment};

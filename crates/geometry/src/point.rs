@@ -1,0 +1,162 @@
+use std::fmt;
+use std::ops::{Add, Mul, Sub};
+
+/// A point in the 2-D plane.
+///
+/// In SHATTER's anomaly-detection model the `x` coordinate is the arrival
+/// time of an occupant at a zone (minute of day) and the `y` coordinate is
+/// the stay duration (minutes), but the type is domain-agnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point {
+    /// Horizontal coordinate (arrival time in the ADM use case).
+    pub x: f64,
+    /// Vertical coordinate (stay duration in the ADM use case).
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point from its coordinates.
+    pub fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to another point.
+    ///
+    /// ```
+    /// use shatter_geometry::Point;
+    /// let d = Point::new(0.0, 0.0).distance(Point::new(3.0, 4.0));
+    /// assert!((d - 5.0).abs() < 1e-12);
+    /// ```
+    pub fn distance(self, other: Point) -> f64 {
+        self.distance_sq(other).sqrt()
+    }
+
+    /// Squared Euclidean distance (avoids the square root).
+    pub fn distance_sq(self, other: Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// 2-D cross product `(self - origin) × (other - origin)`.
+    ///
+    /// Positive when the turn `origin -> self -> other` is counter-clockwise.
+    pub fn cross(self, origin: Point, other: Point) -> f64 {
+        (self.x - origin.x) * (other.y - origin.y) - (self.y - origin.y) * (other.x - origin.x)
+    }
+
+    /// Dot product treating the points as vectors.
+    pub fn dot(self, other: Point) -> f64 {
+        self.x * other.x + self.y * other.y
+    }
+
+    /// Returns `true` when both coordinates are finite.
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+
+    /// Lexicographic comparison by `(x, y)`; used by hull construction.
+    pub fn lex_cmp(self, other: Point) -> std::cmp::Ordering {
+        self.x
+            .partial_cmp(&other.x)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(
+                self.y
+                    .partial_cmp(&other.y)
+                    .unwrap_or(std::cmp::Ordering::Equal),
+            )
+    }
+}
+
+impl Add for Point {
+    type Output = Point;
+    fn add(self, rhs: Point) -> Point {
+        Point::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl Sub for Point {
+    type Output = Point;
+    fn sub(self, rhs: Point) -> Point {
+        Point::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl Mul<f64> for Point {
+    type Output = Point;
+    fn mul(self, rhs: f64) -> Point {
+        Point::new(self.x * rhs, self.y * rhs)
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+impl From<(f64, f64)> for Point {
+    fn from((x, y): (f64, f64)) -> Self {
+        Point::new(x, y)
+    }
+}
+
+impl From<Point> for (f64, f64) {
+    fn from(p: Point) -> Self {
+        (p.x, p.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(-3.0, 5.5);
+        assert_eq!(a.distance(b), b.distance(a));
+    }
+
+    #[test]
+    fn cross_sign_encodes_turn_direction() {
+        let o = Point::new(0.0, 0.0);
+        let a = Point::new(1.0, 0.0);
+        let b = Point::new(0.0, 1.0);
+        assert!(a.cross(o, b) > 0.0); // ccw
+        assert!(b.cross(o, a) < 0.0); // cw
+    }
+
+    #[test]
+    fn arithmetic_ops() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(3.0, -1.0);
+        assert_eq!(a + b, Point::new(4.0, 1.0));
+        assert_eq!(a - b, Point::new(-2.0, 3.0));
+        assert_eq!(a * 2.0, Point::new(2.0, 4.0));
+    }
+
+    #[test]
+    fn conversions_roundtrip() {
+        let p: Point = (4.0, 7.0).into();
+        let t: (f64, f64) = p.into();
+        assert_eq!(t, (4.0, 7.0));
+    }
+
+    #[test]
+    fn lex_cmp_orders_by_x_then_y() {
+        use std::cmp::Ordering::*;
+        assert_eq!(
+            Point::new(0.0, 5.0).lex_cmp(Point::new(1.0, 0.0)),
+            Less
+        );
+        assert_eq!(
+            Point::new(1.0, 0.0).lex_cmp(Point::new(1.0, 2.0)),
+            Less
+        );
+        assert_eq!(
+            Point::new(1.0, 2.0).lex_cmp(Point::new(1.0, 2.0)),
+            Equal
+        );
+    }
+}

@@ -1,0 +1,171 @@
+use crate::Point;
+
+/// Tolerance used for collinearity decisions throughout the crate.
+pub(crate) const EPS: f64 = 1e-9;
+
+/// Relative orientation of an ordered point triple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Orientation {
+    /// The triple turns counter-clockwise (positive cross product).
+    CounterClockwise,
+    /// The triple turns clockwise (negative cross product).
+    Clockwise,
+    /// The three points are (numerically) collinear.
+    Collinear,
+}
+
+/// Computes the orientation of the ordered triple `(a, b, c)`.
+///
+/// ```
+/// use shatter_geometry::{orientation, Orientation, Point};
+/// let o = orientation(
+///     Point::new(0.0, 0.0),
+///     Point::new(1.0, 0.0),
+///     Point::new(1.0, 1.0),
+/// );
+/// assert_eq!(o, Orientation::CounterClockwise);
+/// ```
+pub fn orientation(a: Point, b: Point, c: Point) -> Orientation {
+    let cross = b.cross(a, c);
+    if cross > EPS {
+        Orientation::CounterClockwise
+    } else if cross < -EPS {
+        Orientation::Clockwise
+    } else {
+        Orientation::Collinear
+    }
+}
+
+/// A directed line segment between two points.
+///
+/// SHATTER's formal ADM model (paper Eq. 10) represents each convex-hull
+/// cluster as a conjunction of `leftOfLineSegment` predicates over the
+/// directed boundary segments.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Segment {
+    /// Segment start point.
+    pub start: Point,
+    /// Segment end point.
+    pub end: Point,
+}
+
+impl Segment {
+    /// Creates a directed segment.
+    pub fn new(start: Point, end: Point) -> Self {
+        Segment { start, end }
+    }
+
+    /// Signed distance-like quantity: positive when `p` lies strictly to the
+    /// left of the directed segment, negative to the right, ~0 on the line.
+    pub fn side(&self, p: Point) -> f64 {
+        self.end.cross(self.start, p)
+    }
+
+    /// The paper's `leftOfLineSegment(t1, t2, K)` predicate: is the point on
+    /// the left of (or exactly on) the directed segment?
+    pub fn left_of(&self, p: Point) -> bool {
+        self.side(p) >= -EPS
+    }
+
+    /// Segment length.
+    pub fn length(&self) -> f64 {
+        self.start.distance(self.end)
+    }
+
+    /// The half-plane `a*x + b*y <= c` consisting of points left of (or on)
+    /// this directed segment. This is the linear-constraint form handed to
+    /// the SMT encoding.
+    pub fn half_plane(&self) -> HalfPlane {
+        // left_of: (end - start) × (p - start) >= 0
+        //  => (ex-sx)(py-sy) - (ey-sy)(px-sx) >= 0
+        //  => -(ey-sy) px + (ex-sx) py >= -(ey-sy) sx + (ex-sx) sy
+        // normalized to a*x + b*y <= c with (a, b, c) below.
+        let dx = self.end.x - self.start.x;
+        let dy = self.end.y - self.start.y;
+        HalfPlane {
+            a: dy,
+            b: -dx,
+            c: dy * self.start.x - dx * self.start.y,
+        }
+    }
+}
+
+/// A closed half-plane `a*x + b*y <= c`.
+///
+/// Produced by [`Segment::half_plane`]; a convex hull is the intersection of
+/// the half-planes of its counter-clockwise boundary segments.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HalfPlane {
+    /// Coefficient of `x`.
+    pub a: f64,
+    /// Coefficient of `y`.
+    pub b: f64,
+    /// Right-hand side.
+    pub c: f64,
+}
+
+impl HalfPlane {
+    /// Returns `true` when the point satisfies `a*x + b*y <= c` (within
+    /// tolerance).
+    pub fn contains(&self, p: Point) -> bool {
+        self.a * p.x + self.b * p.y <= self.c + EPS
+    }
+
+    /// Slack `c - (a*x + b*y)`; non-negative inside the half-plane.
+    pub fn slack(&self, p: Point) -> f64 {
+        self.c - (self.a * p.x + self.b * p.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn side_sign_matches_left_right() {
+        let s = Segment::new(Point::new(0.0, 0.0), Point::new(1.0, 0.0));
+        assert!(s.side(Point::new(0.5, 1.0)) > 0.0);
+        assert!(s.side(Point::new(0.5, -1.0)) < 0.0);
+        assert!(s.left_of(Point::new(0.5, 1.0)));
+        assert!(!s.left_of(Point::new(0.5, -1.0)));
+        // On the line counts as left (closed half-plane).
+        assert!(s.left_of(Point::new(0.5, 0.0)));
+    }
+
+    #[test]
+    fn half_plane_agrees_with_left_of() {
+        let s = Segment::new(Point::new(1.0, 2.0), Point::new(4.0, -1.0));
+        let hp = s.half_plane();
+        for p in [
+            Point::new(0.0, 0.0),
+            Point::new(3.0, 3.0),
+            Point::new(-2.0, -5.0),
+            Point::new(10.0, 0.1),
+        ] {
+            assert_eq!(s.left_of(p), hp.contains(p), "disagree at {p}");
+        }
+    }
+
+    #[test]
+    fn half_plane_slack_is_zero_on_boundary() {
+        let s = Segment::new(Point::new(0.0, 0.0), Point::new(2.0, 2.0));
+        let hp = s.half_plane();
+        assert!(hp.slack(Point::new(1.0, 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn collinear_triples_detected() {
+        let o = orientation(
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 1.0),
+            Point::new(2.0, 2.0),
+        );
+        assert_eq!(o, Orientation::Collinear);
+    }
+
+    #[test]
+    fn segment_length() {
+        let s = Segment::new(Point::new(0.0, 0.0), Point::new(3.0, 4.0));
+        assert!((s.length() - 5.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,86 @@
+//! Property-based tests for the geometry substrate: hull invariants and
+//! agreement between the two hull algorithms.
+
+use proptest::prelude::*;
+use shatter_geometry::{convex_hull, quickhull, Point};
+
+fn arb_points() -> impl Strategy<Value = Vec<Point>> {
+    prop::collection::vec((0.0f64..1440.0, 0.0f64..600.0), 3..60)
+        .prop_map(|v| v.into_iter().map(|(x, y)| Point::new(x, y)).collect())
+}
+
+proptest! {
+    #[test]
+    fn hull_contains_all_generating_points(pts in arb_points()) {
+        if let Ok(hull) = convex_hull(&pts) {
+            for p in &pts {
+                prop_assert!(hull.contains(*p), "hull must contain input {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn hull_is_convex(pts in arb_points()) {
+        if let Ok(hull) = convex_hull(&pts) {
+            // Midpoint of any two vertices stays inside.
+            let vs = hull.vertices();
+            for i in 0..vs.len() {
+                for j in 0..vs.len() {
+                    let mid = Point::new(
+                        (vs[i].x + vs[j].x) / 2.0,
+                        (vs[i].y + vs[j].y) / 2.0,
+                    );
+                    prop_assert!(hull.contains(mid));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hull_area_positive_and_bounded(pts in arb_points()) {
+        if let Ok(hull) = convex_hull(&pts) {
+            prop_assert!(hull.area() > 0.0);
+            // Bounded by the bounding box of its input domain.
+            prop_assert!(hull.area() <= 1440.0 * 600.0 + 1.0);
+        }
+    }
+
+    #[test]
+    fn quickhull_agrees_with_monotone_chain(pts in arb_points()) {
+        match (convex_hull(&pts), quickhull(&pts)) {
+            (Ok(h1), Ok(h2)) => {
+                prop_assert!((h1.area() - h2.area()).abs() < 1e-6 * (1.0 + h1.area()));
+                for v in h1.vertices() {
+                    prop_assert!(h2.contains(*v));
+                }
+            }
+            (Err(_), Err(_)) => {}
+            // One algorithm may treat a near-degenerate input slightly
+            // differently; both succeeding or both failing is the norm, a
+            // split is acceptable only for ~zero-area inputs.
+            (Ok(h), Err(_)) | (Err(_), Ok(h)) => {
+                prop_assert!(h.area() < 1.0, "split verdict on non-degenerate input");
+            }
+        }
+    }
+
+    #[test]
+    fn y_range_consistent_with_containment(pts in arb_points(), x in 0.0f64..1440.0) {
+        if let Ok(hull) = convex_hull(&pts) {
+            if let Some((lo, hi)) = hull.y_range_at(x) {
+                prop_assert!(lo <= hi + 1e-9);
+                let mid = (lo + hi) / 2.0;
+                prop_assert!(hull.contains(Point::new(x, mid)));
+                prop_assert!(!hull.contains(Point::new(x, hi + 1.0)));
+                prop_assert!(!hull.contains(Point::new(x, lo - 1.0)));
+            }
+        }
+    }
+
+    #[test]
+    fn centroid_inside_hull(pts in arb_points()) {
+        if let Ok(hull) = convex_hull(&pts) {
+            prop_assert!(hull.contains(hull.centroid()));
+        }
+    }
+}

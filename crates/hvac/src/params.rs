@@ -1,0 +1,155 @@
+use shatter_smarthome::Minute;
+
+/// Fixed control-loop parameters (paper Table II "Variable/Fixed
+/// Parameters").
+#[derive(Debug, Clone, PartialEq)]
+pub struct ControllerParams {
+    /// Zone CO₂ setpoint `P^CS` in ppm.
+    pub co2_setpoint_ppm: f64,
+    /// Outdoor CO₂ concentration `P^OC` in ppm.
+    pub outdoor_co2_ppm: f64,
+    /// Supply-air temperature `P^TSP` in °F (constant cold-deck).
+    pub supply_temp_f: f64,
+    /// Zone temperature setpoint `P^TS` in °F.
+    pub zone_setpoint_f: f64,
+    /// Per-zone maximum supply airflow in CFM (VAV box limit).
+    pub max_zone_cfm: f64,
+    /// Controller sampling period `Δt` in minutes.
+    pub sample_minutes: f64,
+}
+
+impl Default for ControllerParams {
+    fn default() -> Self {
+        ControllerParams {
+            co2_setpoint_ppm: 800.0,
+            outdoor_co2_ppm: 420.0,
+            supply_temp_f: 55.0,
+            zone_setpoint_f: 72.0,
+            max_zone_cfm: 900.0,
+            sample_minutes: 1.0,
+        }
+    }
+}
+
+/// Diurnal outdoor-weather model: a sinusoid peaking mid-afternoon.
+///
+/// The paper assumes a cooling-dominated climate (the attack goal is to
+/// force *more* supply air); the default peaks at 93 °F around 15:00.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OutdoorModel {
+    /// Daily mean outdoor temperature in °F.
+    pub mean_temp_f: f64,
+    /// Half peak-to-trough amplitude in °F.
+    pub amplitude_f: f64,
+    /// Minute of day at which temperature peaks.
+    pub peak_minute: f64,
+}
+
+impl Default for OutdoorModel {
+    fn default() -> Self {
+        OutdoorModel {
+            mean_temp_f: 84.0,
+            amplitude_f: 9.0,
+            peak_minute: 900.0, // 15:00
+        }
+    }
+}
+
+impl OutdoorModel {
+    /// Outdoor temperature `P^OT_t` at a minute of day.
+    pub fn temp_at(&self, minute: Minute) -> f64 {
+        let phase =
+            2.0 * std::f64::consts::PI * (minute as f64 - self.peak_minute) / 1440.0;
+        self.mean_temp_f + self.amplitude_f * phase.cos()
+    }
+}
+
+/// Time-of-use energy pricing with battery peak-shaving (paper Eq. 4).
+///
+/// The home battery is charged during off-peak hours (assumed full at the
+/// start of each peak window) and discharges during peak hours, so the
+/// first [`Pricing::battery_kwh`] of peak consumption each day is billed at
+/// the off-peak rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pricing {
+    /// Off-peak rate `P^COP` in $/kWh.
+    pub offpeak_usd_per_kwh: f64,
+    /// Peak rate `P^CP` in $/kWh.
+    pub peak_usd_per_kwh: f64,
+    /// First minute of the peak window (inclusive).
+    pub peak_start: Minute,
+    /// Last minute of the peak window (exclusive).
+    pub peak_end: Minute,
+    /// Battery storage `P^BS` in kWh.
+    pub battery_kwh: f64,
+}
+
+impl Default for Pricing {
+    fn default() -> Self {
+        // PG&E residential TOU shape: peak 16:00–21:00.
+        Pricing {
+            offpeak_usd_per_kwh: 0.31,
+            peak_usd_per_kwh: 0.42,
+            peak_start: 960,
+            peak_end: 1260,
+            battery_kwh: 1.5,
+        }
+    }
+}
+
+impl Pricing {
+    /// Whether a minute falls in the peak window.
+    pub fn is_peak(&self, minute: Minute) -> bool {
+        (self.peak_start..self.peak_end).contains(&minute)
+    }
+
+    /// Price in $/kWh for consumption at `minute`, given the cumulative
+    /// peak-window energy (kWh) already drawn today. Peak consumption up to
+    /// the battery capacity is served at the off-peak rate (Eq. 4).
+    pub fn price_at(&self, minute: Minute, peak_kwh_so_far: f64) -> f64 {
+        if self.is_peak(minute) && peak_kwh_so_far > self.battery_kwh {
+            self.peak_usd_per_kwh
+        } else {
+            self.offpeak_usd_per_kwh
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outdoor_peaks_at_configured_minute() {
+        let w = OutdoorModel::default();
+        let at_peak = w.temp_at(900);
+        assert!(at_peak > w.temp_at(300));
+        assert!((at_peak - (w.mean_temp_f + w.amplitude_f)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn outdoor_always_above_supply_temp() {
+        let w = OutdoorModel::default();
+        let p = ControllerParams::default();
+        for m in 0..1440u32 {
+            assert!(w.temp_at(m) > p.supply_temp_f);
+        }
+    }
+
+    #[test]
+    fn pricing_peak_window() {
+        let p = Pricing::default();
+        assert!(!p.is_peak(959));
+        assert!(p.is_peak(960));
+        assert!(p.is_peak(1259));
+        assert!(!p.is_peak(1260));
+    }
+
+    #[test]
+    fn battery_shaves_initial_peak_energy() {
+        let p = Pricing::default();
+        assert_eq!(p.price_at(1000, 0.0), p.offpeak_usd_per_kwh);
+        assert_eq!(p.price_at(1000, 2.0), p.peak_usd_per_kwh);
+        assert_eq!(p.price_at(100, 99.0), p.offpeak_usd_per_kwh);
+    }
+}

@@ -1,0 +1,133 @@
+//! Property-based tests on the control model: monotonicity and physical
+//! sanity of the DCHVAC equations under arbitrary occupant states.
+
+use proptest::prelude::*;
+
+use shatter_dataset::{MinuteRecord, OccupantState};
+use shatter_hvac::{AshraeController, Controller, ControllerParams, DchvacController, EnergyModel, OutdoorModel};
+use shatter_smarthome::{houses, Activity, ZoneId};
+
+fn arb_record() -> impl Strategy<Value = MinuteRecord> {
+    let occ = (0usize..5, 0usize..27).prop_map(|(z, a)| OccupantState {
+        zone: ZoneId(z),
+        activity: Activity::ALL[a],
+    });
+    (
+        prop::collection::vec(occ, 2..=2),
+        prop::collection::vec(any::<bool>(), 13..=13),
+    )
+        .prop_map(|(occupants, appliances)| MinuteRecord {
+            occupants,
+            appliances,
+        })
+}
+
+proptest! {
+    /// Airflow is always within [0, max_zone_cfm] per zone and zero for
+    /// unconditioned zones, for both controllers.
+    #[test]
+    fn airflow_bounds(rec in arb_record(), minute in 0u32..1440) {
+        let home = houses::aras_house_a();
+        let p = ControllerParams::default();
+        let w = OutdoorModel::default();
+        for ctl in [&DchvacController as &dyn Controller, &AshraeController::default()] {
+            let d = ctl.control(&home, &rec, minute, &p, &w);
+            for z in home.zones() {
+                let q = d.zone_cfm[z.id.index()];
+                prop_assert!((0.0..=p.max_zone_cfm).contains(&q));
+                if !z.conditioned {
+                    prop_assert_eq!(q, 0.0);
+                }
+                let f = d.fresh_fraction[z.id.index()];
+                prop_assert!((0.0..=1.0).contains(&f));
+            }
+        }
+    }
+
+    /// Adding an occupant to a conditioned zone never reduces that zone's
+    /// airflow under the demand-controlled policy.
+    #[test]
+    fn extra_occupant_monotonicity(rec in arb_record(), minute in 0u32..1440, act_i in 0usize..27) {
+        let home = houses::aras_house_a();
+        let p = ControllerParams::default();
+        let w = OutdoorModel::default();
+        // Base: occupant 0 pinned outside (so the variant strictly adds a
+        // person to the livingroom).
+        let mut base_rec = rec.clone();
+        base_rec.occupants[0] = OccupantState {
+            zone: ZoneId(0),
+            activity: Activity::GoingOut,
+        };
+        let base = DchvacController.control(&home, &base_rec, minute, &p, &w);
+        let mut more = base_rec.clone();
+        more.occupants[0] = OccupantState {
+            zone: ZoneId(2),
+            activity: Activity::ALL[act_i],
+        };
+        let after = DchvacController.control(&home, &more, minute, &p, &w);
+        prop_assert!(after.zone_cfm[2] >= base.zone_cfm[2] - 1e-9);
+    }
+
+    /// Energy accounting is non-negative and appliance energy matches the
+    /// sum of running appliance wattages exactly.
+    #[test]
+    fn energy_accounting(rec in arb_record(), minute in 0u32..1440) {
+        let home = houses::aras_house_a();
+        let model = EnergyModel::standard(home.clone());
+        let e = model.minute_energy(&DchvacController, &rec, minute);
+        prop_assert!(e.hvac_kwh >= 0.0);
+        let expect_w: f64 = rec
+            .appliances
+            .iter()
+            .zip(home.appliances())
+            .filter(|(&on, _)| on)
+            .map(|(_, a)| a.power_watts)
+            .sum();
+        prop_assert!((e.appliance_kwh - expect_w / 60_000.0).abs() < 1e-12);
+    }
+
+    /// The ASHRAE baseline never ventilates a conditioned zone below its
+    /// 62.1 floor.
+    #[test]
+    fn ashrae_respects_ventilation_floor(rec in arb_record(), minute in 0u32..1440) {
+        let home = houses::aras_house_a();
+        let p = ControllerParams::default();
+        let w = OutdoorModel::default();
+        let ctl = AshraeController::default();
+        let d = ctl.control(&home, &rec, minute, &p, &w);
+        for z in home.indoor_zones() {
+            let occupancy = rec
+                .occupants
+                .iter()
+                .filter(|o| o.zone == z.id)
+                .count() as f64;
+            let floor = ctl.cfm_per_person * occupancy
+                + ctl.cfm_per_ft2 * z.volume_ft3 / ctl.ceiling_ft;
+            let q = d.zone_cfm[z.id.index()];
+            prop_assert!(
+                q >= floor.min(p.max_zone_cfm) - 1e-9,
+                "zone {} q {} < floor {}",
+                z.name,
+                q,
+                floor
+            );
+        }
+    }
+
+    /// Marginal occupant cost rates are finite, non-negative, and zero
+    /// only outside or for zero-load activity.
+    #[test]
+    fn cost_rates_sane(z in 0usize..5, a in 0usize..27, minute in 0u32..1440) {
+        let model = EnergyModel::standard(houses::aras_house_a());
+        let rate = model.occupant_cost_rate(
+            shatter_smarthome::OccupantId(0),
+            ZoneId(z),
+            Activity::ALL[a],
+            minute,
+        );
+        prop_assert!(rate.is_finite() && rate >= 0.0);
+        if z == 0 {
+            prop_assert_eq!(rate, 0.0);
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! Smart-home domain model for the SHATTER attack-analytics framework.
+//!
+//! This crate defines the entities of the paper's problem statement (§III-A,
+//! Table II): a home `H` with zones `Z`, occupants `O`, activities `D`/`A`,
+//! smart appliances, and the fixed physical parameters (CO₂ emission and
+//! heat radiation per activity, zone volumes, appliance power draws) that
+//! the demand-controlled HVAC model consumes.
+//!
+//! Concrete instances of the two evaluation homes — ARAS House A and
+//! House B — are provided by [`houses::aras_house_a`] and
+//! [`houses::aras_house_b`].
+//!
+//! # Units
+//!
+//! Following the paper (ASHRAE conventions), volumes are cubic feet,
+//! airflow is CFM (ft³/min), temperatures are °F, power is watts and energy
+//! is kWh.
+//!
+//! # Examples
+//!
+//! ```
+//! use shatter_smarthome::houses;
+//!
+//! let home = houses::aras_house_a();
+//! assert_eq!(home.zones().len(), 5); // Outside + 4 indoor zones
+//! assert_eq!(home.appliances().len(), 13);
+//! assert_eq!(home.occupants().len(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod activity;
+mod appliance;
+mod home;
+pub mod houses;
+mod ids;
+mod metabolic;
+mod occupant;
+mod zone;
+
+pub use activity::{Activity, ACTIVITY_COUNT};
+pub use appliance::Appliance;
+pub use home::{Home, HomeBuilder, HomeError};
+pub use ids::{ApplianceId, Minute, OccupantId, ZoneId, MINUTES_PER_DAY};
+pub use metabolic::{activity_pollutant_cfm, co2_emission_cfm, heat_radiation_watts, MetabolicProfile};
+pub use occupant::{AgeGroup, Occupant};
+pub use zone::Zone;

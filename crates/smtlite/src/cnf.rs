@@ -1,0 +1,273 @@
+//! Tseitin transformation from [`Formula`] to CNF over the CDCL solver's
+//! variables, with a registry mapping theory atoms to propositional
+//! variables (the "Boolean skeleton" of lazy SMT).
+
+use std::collections::HashMap;
+
+use crate::ast::{Atom, BoolVar, Formula, LinExpr, Rel};
+use crate::sat::{Lit, SatSolver};
+use crate::Rat;
+
+/// Canonical hash key for an atom (sorted coefficient list + constant + op).
+type AtomKey = (Vec<(usize, Rat)>, Rat, u8);
+
+fn atom_key(a: &Atom) -> AtomKey {
+    let coeffs: Vec<(usize, Rat)> = a.expr.coeffs.iter().map(|(v, c)| (v.index(), *c)).collect();
+    let op = match a.op {
+        Rel::Le => 0u8,
+        Rel::Lt => 1,
+        Rel::Eq => 2,
+    };
+    (coeffs, a.expr.constant, op)
+}
+
+/// Incremental Tseitin encoder: owns the SAT solver and the atom registry.
+#[derive(Debug, Default, Clone)]
+pub struct Encoder {
+    /// The underlying CDCL solver.
+    pub sat: SatSolver,
+    /// SAT variable per registered theory atom (Le/Lt only; Eq is split).
+    atom_vars: HashMap<AtomKey, usize>,
+    /// Registered atoms, indexed by their SAT variable.
+    atoms_by_var: HashMap<usize, Atom>,
+    /// SAT variable per user-facing Boolean variable.
+    bool_vars: HashMap<usize, usize>,
+    /// Cached constant-true literal.
+    lit_true: Option<Lit>,
+}
+
+impl Encoder {
+    /// Creates an empty encoder.
+    pub(crate) fn new() -> Encoder {
+        Encoder::default()
+    }
+
+    /// The literal fixed to true.
+    pub fn true_lit(&mut self) -> Lit {
+        if let Some(l) = self.lit_true {
+            return l;
+        }
+        let v = self.sat.new_var();
+        let l = Lit::pos(v);
+        self.sat.add_clause(&[l]);
+        self.lit_true = Some(l);
+        l
+    }
+
+    /// SAT variable backing a user Boolean variable.
+    pub fn bool_sat_var(&mut self, b: BoolVar) -> usize {
+        if let Some(&v) = self.bool_vars.get(&b.index()) {
+            return v;
+        }
+        let v = self.sat.new_var();
+        self.bool_vars.insert(b.index(), v);
+        v
+    }
+
+    /// SAT variable for a (Le/Lt) atom, registering it on first sight.
+    fn atom_sat_var(&mut self, a: &Atom) -> usize {
+        debug_assert!(a.op != Rel::Eq, "Eq atoms are split before encoding");
+        let key = atom_key(a);
+        if let Some(&v) = self.atom_vars.get(&key) {
+            return v;
+        }
+        let v = self.sat.new_var();
+        self.atom_vars.insert(key, v);
+        self.atoms_by_var.insert(v, a.clone());
+        v
+    }
+
+    /// All registered atoms with their SAT variables.
+    pub fn registered_atoms(&self) -> impl Iterator<Item = (usize, &Atom)> {
+        self.atoms_by_var.iter().map(|(&v, a)| (v, a))
+    }
+
+    /// The SAT value of a user Boolean variable in a model, if allocated.
+    pub fn bool_value(&self, b: BoolVar, model: &[bool]) -> Option<bool> {
+        self.bool_vars.get(&b.index()).map(|&v| model[v])
+    }
+
+    /// Encodes a formula to a literal equisatisfiable with it.
+    pub fn encode(&mut self, f: &Formula) -> Lit {
+        match f {
+            Formula::True => self.true_lit(),
+            Formula::False => self.true_lit().negated(),
+            Formula::Bool(b) => Lit::pos(self.bool_sat_var(*b)),
+            Formula::Atom(a) => self.encode_atom(a),
+            Formula::Not(g) => self.encode(g).negated(),
+            Formula::And(gs) => {
+                let lits: Vec<Lit> = gs.iter().map(|g| self.encode(g)).collect();
+                self.tseitin_and(&lits)
+            }
+            Formula::Or(gs) => {
+                let lits: Vec<Lit> = gs.iter().map(|g| self.encode(g)).collect();
+                self.tseitin_and(&lits.iter().map(|l| l.negated()).collect::<Vec<_>>())
+                    .negated()
+            }
+            Formula::Implies(a, b) => {
+                let la = self.encode(a).negated();
+                let lb = self.encode(b);
+                self.tseitin_and(&[la.negated(), lb.negated()]).negated()
+            }
+            Formula::Iff(a, b) => {
+                let la = self.encode(a);
+                let lb = self.encode(b);
+                let y = Lit::pos(self.sat.new_var());
+                // y <-> (la <-> lb)
+                self.sat.add_clause(&[y.negated(), la.negated(), lb]);
+                self.sat.add_clause(&[y.negated(), la, lb.negated()]);
+                self.sat.add_clause(&[y, la, lb]);
+                self.sat.add_clause(&[y, la.negated(), lb.negated()]);
+                y
+            }
+        }
+    }
+
+    fn encode_atom(&mut self, a: &Atom) -> Lit {
+        if a.expr.is_constant() {
+            let k = a.expr.constant;
+            let truth = match a.op {
+                Rel::Le => k <= Rat::ZERO,
+                Rel::Lt => k < Rat::ZERO,
+                Rel::Eq => k == Rat::ZERO,
+            };
+            let t = self.true_lit();
+            return if truth { t } else { t.negated() };
+        }
+        match a.op {
+            Rel::Eq => {
+                // e = 0  <=>  e <= 0  &  -e <= 0
+                let le = Atom {
+                    expr: a.expr.clone(),
+                    op: Rel::Le,
+                };
+                let ge = Atom {
+                    expr: a.expr.scaled(Rat::int(-1)),
+                    op: Rel::Le,
+                };
+                let l1 = Lit::pos(self.atom_sat_var(&le));
+                let l2 = Lit::pos(self.atom_sat_var(&ge));
+                self.tseitin_and(&[l1, l2])
+            }
+            _ => Lit::pos(self.atom_sat_var(a)),
+        }
+    }
+
+    /// `y <-> AND(lits)` via fresh `y`.
+    fn tseitin_and(&mut self, lits: &[Lit]) -> Lit {
+        match lits.len() {
+            0 => self.true_lit(),
+            1 => lits[0],
+            _ => {
+                let y = Lit::pos(self.sat.new_var());
+                for &l in lits {
+                    self.sat.add_clause(&[y.negated(), l]);
+                }
+                let mut big: Vec<Lit> = lits.iter().map(|l| l.negated()).collect();
+                big.push(y);
+                self.sat.add_clause(&big);
+                y
+            }
+        }
+    }
+
+    /// Asserts a formula (encode + unit clause).
+    pub fn assert_formula(&mut self, f: &Formula) {
+        let l = self.encode(f);
+        self.sat.add_clause(&[l]);
+    }
+}
+
+/// Re-export used by the solver driver: a linear expression without its
+/// constant (folded into the bound), as (coeff, var-index) pairs.
+pub(crate) fn strip_expr(e: &LinExpr) -> (Vec<(Rat, usize)>, Rat) {
+    (
+        e.coeffs.iter().map(|(v, c)| (*c, v.index())).collect(),
+        e.constant,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::RealVar;
+    use crate::sat::SatVerdict;
+
+    #[test]
+    fn and_of_bools_sat() {
+        let mut enc = Encoder::new();
+        let a = BoolVar(0);
+        let b = BoolVar(1);
+        enc.assert_formula(&Formula::and([Formula::Bool(a), Formula::Bool(b)]));
+        let SatVerdict::Sat(m) = enc.sat.solve() else {
+            panic!()
+        };
+        assert_eq!(enc.bool_value(a, &m), Some(true));
+        assert_eq!(enc.bool_value(b, &m), Some(true));
+    }
+
+    #[test]
+    fn contradiction_unsat() {
+        let mut enc = Encoder::new();
+        let a = BoolVar(0);
+        enc.assert_formula(&Formula::Bool(a));
+        enc.assert_formula(&Formula::not(Formula::Bool(a)));
+        assert_eq!(enc.sat.solve(), SatVerdict::Unsat);
+    }
+
+    #[test]
+    fn atoms_deduplicated() {
+        let mut enc = Encoder::new();
+        let x = RealVar(0);
+        let f1 = LinExpr::var(x).le(3);
+        let f2 = LinExpr::var(x).le(3);
+        enc.assert_formula(&f1);
+        enc.assert_formula(&f2);
+        assert_eq!(enc.registered_atoms().count(), 1);
+    }
+
+    #[test]
+    fn eq_atom_splits_into_two_inequalities() {
+        let mut enc = Encoder::new();
+        let x = RealVar(0);
+        enc.assert_formula(&LinExpr::var(x).eq(5));
+        assert_eq!(enc.registered_atoms().count(), 2);
+    }
+
+    #[test]
+    fn constant_atoms_fold() {
+        let mut enc = Encoder::new();
+        enc.assert_formula(&LinExpr::constant(-1).le(0)); // trivially true
+        assert!(matches!(enc.sat.solve(), SatVerdict::Sat(_)));
+        enc.assert_formula(&LinExpr::constant(1).le(0)); // trivially false
+        assert_eq!(enc.sat.solve(), SatVerdict::Unsat);
+    }
+
+    #[test]
+    fn exactly_one_enforced() {
+        let mut enc = Encoder::new();
+        let vars = [BoolVar(0), BoolVar(1), BoolVar(2)];
+        enc.assert_formula(&Formula::exactly_one(&vars));
+        let SatVerdict::Sat(m) = enc.sat.solve() else {
+            panic!()
+        };
+        let on = vars
+            .iter()
+            .filter(|&&v| enc.bool_value(v, &m) == Some(true))
+            .count();
+        assert_eq!(on, 1);
+    }
+
+    #[test]
+    fn iff_encoding() {
+        let mut enc = Encoder::new();
+        let a = BoolVar(0);
+        let b = BoolVar(1);
+        enc.assert_formula(&Formula::iff(Formula::Bool(a), Formula::Bool(b)));
+        enc.assert_formula(&Formula::Bool(a));
+        let SatVerdict::Sat(m) = enc.sat.solve() else {
+            panic!()
+        };
+        assert_eq!(enc.bool_value(b, &m), Some(true));
+    }
+}

@@ -1,0 +1,296 @@
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// An exact rational number over `i128`.
+///
+/// Always stored normalized: `gcd(num, den) == 1`, `den > 0`. The simplex
+/// tableau pivots on these; exactness is what keeps hull-boundary
+/// constraints from mis-classifying points the way floats would.
+///
+/// # Panics
+///
+/// Arithmetic panics on `i128` overflow (checked internally). The SHATTER
+/// encodings use small coefficients (minutes, half-plane coefficients from
+/// minute-scale hulls), far inside the safe range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Rat {
+    num: i128,
+    den: i128,
+}
+
+fn gcd(mut a: i128, mut b: i128) -> i128 {
+    a = a.abs();
+    b = b.abs();
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+impl Rat {
+    /// Zero.
+    pub const ZERO: Rat = Rat { num: 0, den: 1 };
+    /// One.
+    pub const ONE: Rat = Rat { num: 1, den: 1 };
+
+    /// Creates `num / den`, normalizing sign and common factors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den == 0`.
+    pub fn new(num: i128, den: i128) -> Rat {
+        assert!(den != 0, "rational with zero denominator");
+        let g = gcd(num, den).max(1);
+        let sign = if den < 0 { -1 } else { 1 };
+        Rat {
+            num: sign * num / g,
+            den: sign * den / g,
+        }
+    }
+
+    /// Integer constant.
+    pub const fn int(n: i128) -> Rat {
+        Rat { num: n, den: 1 }
+    }
+
+    /// Converts a finite `f64` with limited precision (6 decimal places) —
+    /// used to import hull coordinates, which are minute-valued anyway.
+    ///
+    /// # Panics
+    ///
+    /// Panics on NaN/infinite input.
+    pub fn from_f64_approx(x: f64) -> Rat {
+        assert!(x.is_finite(), "cannot convert non-finite float");
+        const SCALE: f64 = 1e6;
+        Rat::new((x * SCALE).round() as i128, SCALE as i128)
+    }
+
+    /// Numerator (normalized).
+    pub fn numer(self) -> i128 {
+        self.num
+    }
+
+    /// Denominator (normalized, always positive).
+    pub fn denom(self) -> i128 {
+        self.den
+    }
+
+    /// Conversion to `f64` (may round).
+    pub fn to_f64(self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+
+    /// True iff the value is zero.
+    pub fn is_zero(self) -> bool {
+        self.num == 0
+    }
+
+    /// True iff the value is strictly positive.
+    pub fn is_positive(self) -> bool {
+        self.num > 0
+    }
+
+    /// True iff the value is strictly negative.
+    pub fn is_negative(self) -> bool {
+        self.num < 0
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is zero.
+    pub fn recip(self) -> Rat {
+        assert!(self.num != 0, "reciprocal of zero");
+        Rat::new(self.den, self.num)
+    }
+
+    /// Absolute value.
+    pub fn abs(self) -> Rat {
+        Rat {
+            num: self.num.abs(),
+            den: self.den,
+        }
+    }
+
+    fn checked(num: Option<i128>, den: Option<i128>) -> Rat {
+        let (Some(n), Some(d)) = (num, den) else {
+            panic!("rational arithmetic overflow");
+        };
+        Rat::new(n, d)
+    }
+}
+
+impl Add for Rat {
+    type Output = Rat;
+    fn add(self, rhs: Rat) -> Rat {
+        // a/b + c/d = (a*d + c*b) / (b*d), reduced via gcd(b, d) first.
+        let g = gcd(self.den, rhs.den).max(1);
+        let lb = self.den / g;
+        let rb = rhs.den / g;
+        Rat::checked(
+            self.num
+                .checked_mul(rb)
+                .and_then(|x| rhs.num.checked_mul(lb).and_then(|y| x.checked_add(y))),
+            self.den.checked_mul(rb),
+        )
+    }
+}
+
+impl Sub for Rat {
+    type Output = Rat;
+    fn sub(self, rhs: Rat) -> Rat {
+        self + (-rhs)
+    }
+}
+
+impl Mul for Rat {
+    type Output = Rat;
+    fn mul(self, rhs: Rat) -> Rat {
+        let g1 = gcd(self.num, rhs.den).max(1);
+        let g2 = gcd(rhs.num, self.den).max(1);
+        Rat::checked(
+            (self.num / g1).checked_mul(rhs.num / g2),
+            (self.den / g2).checked_mul(rhs.den / g1),
+        )
+    }
+}
+
+impl Div for Rat {
+    type Output = Rat;
+    fn div(self, rhs: Rat) -> Rat {
+        self * rhs.recip()
+    }
+}
+
+impl Neg for Rat {
+    type Output = Rat;
+    fn neg(self) -> Rat {
+        Rat {
+            num: -self.num,
+            den: self.den,
+        }
+    }
+}
+
+impl PartialOrd for Rat {
+    fn partial_cmp(&self, other: &Rat) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rat {
+    fn cmp(&self, other: &Rat) -> Ordering {
+        // Compare a/b vs c/d  <=>  a*d vs c*b (b, d > 0).
+        let left = self.num.checked_mul(other.den);
+        let right = other.num.checked_mul(self.den);
+        match (left, right) {
+            (Some(l), Some(r)) => l.cmp(&r),
+            // Fall back to float comparison on overflow (distant values).
+            _ => self
+                .to_f64()
+                .partial_cmp(&other.to_f64())
+                .unwrap_or(Ordering::Equal),
+        }
+    }
+}
+
+impl From<i64> for Rat {
+    fn from(n: i64) -> Rat {
+        Rat::int(n as i128)
+    }
+}
+
+impl fmt::Display for Rat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization() {
+        assert_eq!(Rat::new(2, 4), Rat::new(1, 2));
+        assert_eq!(Rat::new(-2, -4), Rat::new(1, 2));
+        assert_eq!(Rat::new(2, -4), Rat::new(-1, 2));
+        assert_eq!(Rat::new(0, 7), Rat::ZERO);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Rat::new(1, 3);
+        let b = Rat::new(1, 6);
+        assert_eq!(a + b, Rat::new(1, 2));
+        assert_eq!(a - b, Rat::new(1, 6));
+        assert_eq!(a * b, Rat::new(1, 18));
+        assert_eq!(a / b, Rat::int(2));
+        assert_eq!(-a, Rat::new(-1, 3));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Rat::new(1, 3) < Rat::new(1, 2));
+        assert!(Rat::new(-1, 2) < Rat::ZERO);
+        assert_eq!(Rat::new(3, 9), Rat::new(1, 3));
+    }
+
+    #[test]
+    fn from_f64_roundtrip_on_minutes() {
+        for v in [0.0, 1.0, 719.5, 1440.0, -3.25] {
+            assert!((Rat::from_f64_approx(v).to_f64() - v).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn zero_denominator_panics() {
+        let _ = Rat::new(1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "reciprocal of zero")]
+    fn zero_reciprocal_panics() {
+        let _ = Rat::ZERO.recip();
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Rat::int(5).to_string(), "5");
+        assert_eq!(Rat::new(1, 2).to_string(), "1/2");
+        assert_eq!(Rat::new(-3, 6).to_string(), "-1/2");
+    }
+
+    #[test]
+    fn field_axioms_spot_checks() {
+        let vals = [
+            Rat::new(1, 2),
+            Rat::new(-3, 7),
+            Rat::int(4),
+            Rat::ZERO,
+            Rat::new(22, 7),
+        ];
+        for &a in &vals {
+            for &b in &vals {
+                assert_eq!(a + b, b + a);
+                assert_eq!(a * b, b * a);
+                assert_eq!(a + Rat::ZERO, a);
+                assert_eq!(a * Rat::ONE, a);
+                assert_eq!(a - a, Rat::ZERO);
+                for &c in &vals {
+                    assert_eq!((a + b) + c, a + (b + c));
+                    assert_eq!(a * (b + c), a * b + a * c);
+                }
+            }
+        }
+    }
+}

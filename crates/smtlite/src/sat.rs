@@ -1,0 +1,598 @@
+//! A CDCL SAT solver: two-watched-literal propagation, first-UIP conflict
+//! learning, VSIDS-style variable activity, phase saving and Luby
+//! restarts. MiniSat-shaped, sized for the few-thousand-variable encodings
+//! the SHATTER attack windows produce.
+
+/// A literal: variable index with a sign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// Positive literal of a variable.
+    pub fn pos(var: usize) -> Lit {
+        Lit((var as u32) << 1)
+    }
+
+    /// Negative literal of a variable.
+    pub fn neg(var: usize) -> Lit {
+        Lit(((var as u32) << 1) | 1)
+    }
+
+    /// The underlying variable index.
+    pub fn var(self) -> usize {
+        (self.0 >> 1) as usize
+    }
+
+    /// Whether this is the negated polarity.
+    pub fn is_neg(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// The opposite literal.
+    #[must_use]
+    pub fn negated(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Verdict of a SAT call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SatVerdict {
+    /// Satisfiable, with a full assignment per variable.
+    Sat(Vec<bool>),
+    /// Unsatisfiable.
+    Unsat,
+}
+
+const UNASSIGNED: i8 = -1;
+
+/// The CDCL solver. Clauses may be added between [`SatSolver::solve`]
+/// calls (incremental use by the DPLL(T) loop).
+#[derive(Debug, Default, Clone)]
+pub struct SatSolver {
+    n_vars: usize,
+    clauses: Vec<Vec<Lit>>,
+    /// watches[lit] = clause indices watching `lit`.
+    watches: Vec<Vec<usize>>,
+    /// Per-variable value: 0 false, 1 true, -1 unassigned.
+    assign: Vec<i8>,
+    /// Saved phase for decision polarity.
+    phase: Vec<bool>,
+    /// Assignment trail (in order).
+    trail: Vec<Lit>,
+    /// Trail indices at each decision level.
+    trail_lim: Vec<usize>,
+    /// Propagation queue head.
+    qhead: usize,
+    /// Reason clause per variable (implied assignments).
+    reason: Vec<Option<usize>>,
+    /// Decision level per variable.
+    level: Vec<u32>,
+    /// VSIDS activity.
+    activity: Vec<f64>,
+    var_inc: f64,
+    /// Top-level (level-0) conflict detected while adding clauses.
+    unsat: bool,
+}
+
+impl SatSolver {
+    /// Creates an empty solver.
+    pub fn new() -> SatSolver {
+        SatSolver {
+            var_inc: 1.0,
+            ..SatSolver::default()
+        }
+    }
+
+    /// Number of variables allocated.
+    pub fn n_vars(&self) -> usize {
+        self.n_vars
+    }
+
+    /// Allocates a fresh variable and returns its index.
+    pub fn new_var(&mut self) -> usize {
+        let v = self.n_vars;
+        self.n_vars += 1;
+        self.assign.push(UNASSIGNED);
+        self.phase.push(false);
+        self.reason.push(None);
+        self.level.push(0);
+        self.activity.push(0.0);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        v
+    }
+
+    fn value(&self, l: Lit) -> i8 {
+        match self.assign[l.var()] {
+            UNASSIGNED => UNASSIGNED,
+            v => {
+                if l.is_neg() {
+                    1 - v
+                } else {
+                    v
+                }
+            }
+        }
+    }
+
+    /// Adds a clause. Returns `false` when the solver becomes trivially
+    /// unsatisfiable at the top level.
+    pub fn add_clause(&mut self, lits: &[Lit]) -> bool {
+        if self.unsat {
+            return false;
+        }
+        // Backtrack to level 0 so incremental additions are sound.
+        self.backtrack_to(0);
+        let mut c: Vec<Lit> = lits.to_vec();
+        c.sort();
+        c.dedup();
+        // Tautology?
+        if c.windows(2).any(|w| w[0].var() == w[1].var()) {
+            return true;
+        }
+        // Remove literals already false at level 0; satisfied clause is a no-op.
+        c.retain(|&l| self.value(l) != 0);
+        if c.iter().any(|&l| self.value(l) == 1) {
+            return true;
+        }
+        match c.len() {
+            0 => {
+                self.unsat = true;
+                false
+            }
+            1 => {
+                if !self.enqueue(c[0], None) {
+                    self.unsat = true;
+                    return false;
+                }
+                if self.propagate().is_some() {
+                    self.unsat = true;
+                    return false;
+                }
+                true
+            }
+            _ => {
+                let idx = self.clauses.len();
+                self.watches[c[0].index()].push(idx);
+                self.watches[c[1].index()].push(idx);
+                self.clauses.push(c);
+                true
+            }
+        }
+    }
+
+    fn enqueue(&mut self, l: Lit, reason: Option<usize>) -> bool {
+        match self.value(l) {
+            0 => false,
+            1 => true,
+            _ => {
+                let v = l.var();
+                self.assign[v] = i8::from(!l.is_neg());
+                self.phase[v] = !l.is_neg();
+                self.reason[v] = reason;
+                self.level[v] = self.trail_lim.len() as u32;
+                self.trail.push(l);
+                true
+            }
+        }
+    }
+
+    /// Unit propagation; returns a conflicting clause index on conflict.
+    fn propagate(&mut self) -> Option<usize> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            let false_lit = p.negated();
+            let mut i = 0;
+            // Take the watch list to sidestep aliasing; rebuild as we go.
+            let mut watch = std::mem::take(&mut self.watches[false_lit.index()]);
+            while i < watch.len() {
+                let ci = watch[i];
+                // Ensure false_lit is at position 1.
+                let (w0, w1) = (self.clauses[ci][0], self.clauses[ci][1]);
+                if w0 == false_lit {
+                    self.clauses[ci].swap(0, 1);
+                }
+                let first = self.clauses[ci][0];
+                debug_assert_eq!(self.clauses[ci][1], false_lit);
+                if self.value(first) == 1 {
+                    i += 1;
+                    continue;
+                }
+                // Look for a new literal to watch.
+                let mut moved = false;
+                for k in 2..self.clauses[ci].len() {
+                    if self.value(self.clauses[ci][k]) != 0 {
+                        self.clauses[ci].swap(1, k);
+                        let new_watch = self.clauses[ci][1];
+                        self.watches[new_watch.index()].push(ci);
+                        watch.swap_remove(i);
+                        moved = true;
+                        break;
+                    }
+                }
+                if moved {
+                    continue;
+                }
+                // Clause is unit or conflicting.
+                if !self.enqueue(first, Some(ci)) {
+                    // Conflict: restore remaining watches.
+                    self.watches[false_lit.index()].extend_from_slice(&watch);
+                    return Some(ci);
+                }
+                i += 1;
+                let _ = w1;
+            }
+            self.watches[false_lit.index()] = watch;
+        }
+        None
+    }
+
+    fn bump(&mut self, var: usize) {
+        self.activity[var] += self.var_inc;
+        if self.activity[var] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+    }
+
+    fn decay(&mut self) {
+        self.var_inc /= 0.95;
+    }
+
+    /// First-UIP conflict analysis. Returns (learnt clause, backjump level).
+    fn analyze(&mut self, mut conflict: usize) -> (Vec<Lit>, u32) {
+        let cur_level = self.trail_lim.len() as u32;
+        let mut learnt: Vec<Lit> = Vec::new();
+        let mut seen = vec![false; self.n_vars];
+        let mut counter = 0usize;
+        let mut trail_idx = self.trail.len();
+        let mut asserting: Option<Lit> = None;
+
+        loop {
+            for idx in 0..self.clauses[conflict].len() {
+                let q = self.clauses[conflict][idx];
+                // Skip the literal we just resolved on (it is asserted by
+                // this reason clause).
+                if asserting == Some(q) {
+                    continue;
+                }
+                let v = q.var();
+                if !seen[v] && self.level[v] > 0 {
+                    seen[v] = true;
+                    self.bump(v);
+                    if self.level[v] >= cur_level {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Find the next seen literal on the trail.
+            loop {
+                trail_idx -= 1;
+                if seen[self.trail[trail_idx].var()] {
+                    break;
+                }
+            }
+            let p = self.trail[trail_idx];
+            seen[p.var()] = false;
+            counter -= 1;
+            if counter == 0 {
+                asserting = Some(p);
+                break;
+            }
+            conflict = self.reason[p.var()].expect("non-decision has a reason");
+            asserting = Some(p);
+        }
+        let uip = asserting.expect("loop sets asserting").negated();
+        learnt.insert(0, uip);
+
+        let back_level = learnt[1..]
+            .iter()
+            .map(|l| self.level[l.var()])
+            .max()
+            .unwrap_or(0);
+        // Put a max-level literal at position 1 for watching.
+        if learnt.len() > 1 {
+            let mi = 1 + learnt[1..]
+                .iter()
+                .position(|l| self.level[l.var()] == back_level)
+                .expect("max exists");
+            learnt.swap(1, mi);
+        }
+        (learnt, back_level)
+    }
+
+    fn backtrack_to(&mut self, level: usize) {
+        while self.trail_lim.len() > level {
+            let lim = self.trail_lim.pop().expect("non-empty");
+            while self.trail.len() > lim {
+                let l = self.trail.pop().expect("non-empty");
+                self.assign[l.var()] = UNASSIGNED;
+                self.reason[l.var()] = None;
+            }
+        }
+        self.qhead = self.trail.len().min(self.qhead);
+        if self.trail_lim.is_empty() {
+            self.qhead = self.qhead.min(self.trail.len());
+        }
+        // Re-propagate from scratch is unnecessary: trail below `level` is
+        // untouched and fully propagated.
+        self.qhead = self.trail.len();
+    }
+
+    fn decide(&mut self) -> Option<Lit> {
+        let mut best: Option<usize> = None;
+        for v in 0..self.n_vars {
+            if self.assign[v] == UNASSIGNED
+                && best.is_none_or(|b| self.activity[v] > self.activity[b])
+            {
+                best = Some(v);
+            }
+        }
+        best.map(|v| {
+            if self.phase[v] {
+                Lit::pos(v)
+            } else {
+                Lit::neg(v)
+            }
+        })
+    }
+
+    /// Solves the current clause set.
+    pub fn solve(&mut self) -> SatVerdict {
+        if self.unsat {
+            return SatVerdict::Unsat;
+        }
+        self.backtrack_to(0);
+        self.qhead = 0;
+        if self.propagate().is_some() {
+            self.unsat = true;
+            return SatVerdict::Unsat;
+        }
+
+        let mut conflicts_until_restart = luby(1) * 100;
+        let mut restarts = 1u32;
+        loop {
+            if let Some(conflict) = self.propagate() {
+                if self.trail_lim.is_empty() {
+                    self.unsat = true;
+                    return SatVerdict::Unsat;
+                }
+                let (learnt, back) = self.analyze(conflict);
+                self.backtrack_to(back as usize);
+                let asserting = learnt[0];
+                if learnt.len() == 1 {
+                    if !self.enqueue(asserting, None) {
+                        self.unsat = true;
+                        return SatVerdict::Unsat;
+                    }
+                } else {
+                    let ci = self.clauses.len();
+                    self.watches[learnt[0].index()].push(ci);
+                    self.watches[learnt[1].index()].push(ci);
+                    self.clauses.push(learnt);
+                    let ok = self.enqueue(asserting, Some(ci));
+                    debug_assert!(ok, "asserting literal must be enqueueable");
+                }
+                self.decay();
+                if conflicts_until_restart == 0 {
+                    continue;
+                }
+                conflicts_until_restart -= 1;
+                if conflicts_until_restart == 0 {
+                    restarts += 1;
+                    conflicts_until_restart = luby(restarts) * 100;
+                    self.backtrack_to(0);
+                }
+            } else {
+                match self.decide() {
+                    None => {
+                        let model = self.assign.iter().map(|&v| v == 1).collect();
+                        return SatVerdict::Sat(model);
+                    }
+                    Some(l) => {
+                        self.trail_lim.push(self.trail.len());
+                        let ok = self.enqueue(l, None);
+                        debug_assert!(ok, "decision variable was unassigned");
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Luby restart sequence (1,1,2,1,1,2,4,...), 1-indexed.
+fn luby(i: u32) -> u64 {
+    let mut i = i as u64;
+    loop {
+        if (i + 1).is_power_of_two() {
+            return (i + 1) / 2;
+        }
+        let k = 63 - (i + 1).leading_zeros() as u64; // floor(log2(i+1))
+        i -= (1u64 << k) - 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lits(spec: &[i32]) -> Vec<Lit> {
+        spec.iter()
+            .map(|&s| {
+                let v = (s.unsigned_abs() - 1) as usize;
+                if s > 0 {
+                    Lit::pos(v)
+                } else {
+                    Lit::neg(v)
+                }
+            })
+            .collect()
+    }
+
+    fn solver_with(n: usize, clauses: &[&[i32]]) -> SatSolver {
+        let mut s = SatSolver::new();
+        for _ in 0..n {
+            s.new_var();
+        }
+        for c in clauses {
+            s.add_clause(&lits(c));
+        }
+        s
+    }
+
+    #[test]
+    fn trivial_sat() {
+        let mut s = solver_with(2, &[&[1, 2]]);
+        let SatVerdict::Sat(m) = s.solve() else {
+            panic!("expected sat")
+        };
+        assert!(m[0] || m[1]);
+    }
+
+    #[test]
+    fn trivial_unsat() {
+        let mut s = solver_with(1, &[&[1], &[-1]]);
+        assert_eq!(s.solve(), SatVerdict::Unsat);
+    }
+
+    #[test]
+    fn empty_clause_unsat() {
+        let mut s = SatSolver::new();
+        assert!(!s.add_clause(&[]));
+        assert_eq!(s.solve(), SatVerdict::Unsat);
+    }
+
+    #[test]
+    fn chain_of_implications() {
+        // x1 & (x1->x2) & ... & (x9->x10) & -x10 is unsat.
+        let mut cl: Vec<Vec<i32>> = vec![vec![1]];
+        for i in 1..10 {
+            cl.push(vec![-i, i + 1]);
+        }
+        cl.push(vec![-10]);
+        let refs: Vec<&[i32]> = cl.iter().map(|c| c.as_slice()).collect();
+        let mut s = solver_with(10, &refs);
+        assert_eq!(s.solve(), SatVerdict::Unsat);
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_unsat() {
+        // p_{i,j}: pigeon i in hole j; vars 1..=6.
+        let var = |i: usize, j: usize| (i * 2 + j + 1) as i32;
+        let mut clauses: Vec<Vec<i32>> = Vec::new();
+        for i in 0..3 {
+            clauses.push(vec![var(i, 0), var(i, 1)]);
+        }
+        for j in 0..2 {
+            for a in 0..3 {
+                for b in (a + 1)..3 {
+                    clauses.push(vec![-var(a, j), -var(b, j)]);
+                }
+            }
+        }
+        let refs: Vec<&[i32]> = clauses.iter().map(|c| c.as_slice()).collect();
+        let mut s = solver_with(6, &refs);
+        assert_eq!(s.solve(), SatVerdict::Unsat);
+    }
+
+    #[test]
+    fn model_satisfies_all_clauses() {
+        let clauses: Vec<Vec<i32>> = vec![
+            vec![1, 2, -3],
+            vec![-1, 3],
+            vec![2, 3],
+            vec![-2, -3, 4],
+            vec![-4, 1],
+        ];
+        let refs: Vec<&[i32]> = clauses.iter().map(|c| c.as_slice()).collect();
+        let mut s = solver_with(4, &refs);
+        let SatVerdict::Sat(m) = s.solve() else {
+            panic!("expected sat")
+        };
+        for c in &clauses {
+            assert!(
+                c.iter().any(|&l| {
+                    let v = (l.unsigned_abs() - 1) as usize;
+                    (l > 0) == m[v]
+                }),
+                "clause {c:?} falsified"
+            );
+        }
+    }
+
+    #[test]
+    fn incremental_blocking_clauses_enumerate_models() {
+        // 3 free variables -> 8 models; block each as found.
+        let mut s = solver_with(3, &[&[1, 2, 3, -1]]); // tautology, no constraint
+        let mut count = 0;
+        while let SatVerdict::Sat(m) = s.solve() {
+            count += 1;
+            assert!(count <= 8, "more models than possible");
+            let block: Vec<Lit> = (0..3)
+                .map(|v| if m[v] { Lit::neg(v) } else { Lit::pos(v) })
+                .collect();
+            s.add_clause(&block);
+        }
+        assert_eq!(count, 8);
+    }
+
+    #[test]
+    fn luby_sequence_prefix() {
+        let expect = [1u64, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8];
+        for (i, &e) in expect.iter().enumerate() {
+            assert_eq!(luby(i as u32 + 1), e, "luby({})", i + 1);
+        }
+    }
+
+    #[test]
+    fn exhaustive_cross_check_small_random() {
+        // Brute-force comparison on random 3-SAT instances with 8 vars.
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..40 {
+            let n = 8usize;
+            let m = rng.random_range(10..40);
+            let clauses: Vec<Vec<i32>> = (0..m)
+                .map(|_| {
+                    (0..3)
+                        .map(|_| {
+                            let v = rng.random_range(1..=n as i32);
+                            if rng.random::<bool>() {
+                                v
+                            } else {
+                                -v
+                            }
+                        })
+                        .collect()
+                })
+                .collect();
+            // Brute force.
+            let brute_sat = (0..(1u32 << n)).any(|mask| {
+                clauses.iter().all(|c| {
+                    c.iter().any(|&l| {
+                        let v = (l.unsigned_abs() - 1) as u32;
+                        ((mask >> v) & 1 == 1) == (l > 0)
+                    })
+                })
+            });
+            let refs: Vec<&[i32]> = clauses.iter().map(|c| c.as_slice()).collect();
+            let mut s = solver_with(n, &refs);
+            let verdict = s.solve();
+            match (brute_sat, verdict) {
+                (true, SatVerdict::Sat(_)) | (false, SatVerdict::Unsat) => {}
+                (b, v) => panic!("disagreement: brute {b}, solver {v:?}\n{clauses:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,634 @@
+//! A general simplex decision procedure for conjunctions of linear-real
+//! bounds, after Dutertre & de Moura, *A Fast Linear-Arithmetic Solver for
+//! DPLL(T)* (CAV 2006).
+//!
+//! Strict inequalities are handled with *delta-rationals* `r + d·ε`
+//! (symbolic infinitesimal ε); Bland's rule guarantees termination; an
+//! infeasibility is explained by the set of asserted bound ids in the
+//! violated row, which the DPLL(T) driver turns into a blocking clause.
+
+use std::cmp::Ordering;
+use std::collections::HashMap;
+use std::ops::{Add, Mul, Neg, Sub};
+
+use crate::Rat;
+
+/// A rational extended with a symbolic infinitesimal: `r + d·ε`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeltaRat {
+    /// Standard part.
+    pub r: Rat,
+    /// Coefficient of ε.
+    pub d: Rat,
+}
+
+impl DeltaRat {
+    /// Zero.
+    pub const ZERO: DeltaRat = DeltaRat {
+        r: Rat::ZERO,
+        d: Rat::ZERO,
+    };
+
+    /// A standard rational (no infinitesimal part).
+    pub fn standard(r: Rat) -> DeltaRat {
+        DeltaRat { r, d: Rat::ZERO }
+    }
+
+    /// `r + ε` (used for strict lower bounds).
+    pub fn plus_eps(r: Rat) -> DeltaRat {
+        DeltaRat { r, d: Rat::ONE }
+    }
+
+    /// `r - ε` (used for strict upper bounds).
+    pub fn minus_eps(r: Rat) -> DeltaRat {
+        DeltaRat {
+            r,
+            d: -Rat::ONE,
+        }
+    }
+
+    /// Concretizes with a specific ε value.
+    pub fn concretize(self, eps: Rat) -> Rat {
+        self.r + self.d * eps
+    }
+}
+
+impl PartialOrd for DeltaRat {
+    fn partial_cmp(&self, other: &DeltaRat) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for DeltaRat {
+    fn cmp(&self, other: &DeltaRat) -> Ordering {
+        self.r.cmp(&other.r).then(self.d.cmp(&other.d))
+    }
+}
+
+impl Add for DeltaRat {
+    type Output = DeltaRat;
+    fn add(self, o: DeltaRat) -> DeltaRat {
+        DeltaRat {
+            r: self.r + o.r,
+            d: self.d + o.d,
+        }
+    }
+}
+
+impl Sub for DeltaRat {
+    type Output = DeltaRat;
+    fn sub(self, o: DeltaRat) -> DeltaRat {
+        DeltaRat {
+            r: self.r - o.r,
+            d: self.d - o.d,
+        }
+    }
+}
+
+impl Mul<Rat> for DeltaRat {
+    type Output = DeltaRat;
+    fn mul(self, c: Rat) -> DeltaRat {
+        DeltaRat {
+            r: self.r * c,
+            d: self.d * c,
+        }
+    }
+}
+
+impl Neg for DeltaRat {
+    type Output = DeltaRat;
+    fn neg(self) -> DeltaRat {
+        DeltaRat {
+            r: -self.r,
+            d: -self.d,
+        }
+    }
+}
+
+/// Which side a bound constrains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BoundKind {
+    /// `expr ≥ bound`.
+    Lower,
+    /// `expr ≤ bound`.
+    Upper,
+}
+
+/// One asserted bound on a linear form, tagged with the asserting atom's id
+/// (the SAT variable of the theory literal) for conflict explanations.
+#[derive(Debug, Clone)]
+pub struct BoundConstraint {
+    /// The linear form `Σ cᵢ·xᵢ` (no constant; folded into the bound).
+    pub expr: Vec<(Rat, usize)>,
+    /// The bound value (possibly with an ε part for strict bounds).
+    pub bound: DeltaRat,
+    /// Which side is constrained.
+    pub kind: BoundKind,
+    /// Identifier echoed back in conflict explanations.
+    pub id: usize,
+}
+
+/// Result of a feasibility check.
+#[derive(Debug, Clone)]
+pub enum SimplexResult {
+    /// Feasible, with a concrete rational assignment per variable index.
+    Feasible(HashMap<usize, Rat>),
+    /// Infeasible; the ids of a conflicting subset of bounds.
+    Infeasible(Vec<usize>),
+}
+
+struct Tableau {
+    /// Total columns = original vars + one slack per distinct form.
+    n_total: usize,
+    /// For basic variables: their row as dense-ish map col -> coeff
+    /// (only over nonbasic columns).
+    rows: HashMap<usize, HashMap<usize, Rat>>,
+    value: Vec<DeltaRat>,
+    lower: Vec<Option<(DeltaRat, usize)>>,
+    upper: Vec<Option<(DeltaRat, usize)>>,
+}
+
+impl Tableau {
+    fn is_basic(&self, v: usize) -> bool {
+        self.rows.contains_key(&v)
+    }
+
+    /// Recomputes a basic variable's value from its row.
+    fn row_value(&self, row: &HashMap<usize, Rat>) -> DeltaRat {
+        let mut v = DeltaRat::ZERO;
+        for (&c, &a) in row {
+            v = v + self.value[c] * a;
+        }
+        v
+    }
+
+    /// Pivot basic `bi` with nonbasic `nj`, then set `bi`'s value to
+    /// `target` by adjusting `nj`.
+    fn pivot_and_update(&mut self, bi: usize, nj: usize, target: DeltaRat) {
+        let row = self.rows.remove(&bi).expect("bi is basic");
+        let a_ij = row[&nj];
+        let theta = (target - self.value[bi]) * a_ij.recip();
+        self.value[nj] = self.value[nj] + theta;
+        self.value[bi] = target;
+
+        // Express nj in terms of bi and the rest of the row:
+        // bi = Σ a_k x_k  =>  nj = bi/a_ij - Σ_{k≠j} (a_k/a_ij) x_k
+        let mut new_row: HashMap<usize, Rat> = HashMap::new();
+        new_row.insert(bi, a_ij.recip());
+        for (&k, &a) in &row {
+            if k != nj {
+                let c = -(a / a_ij);
+                if !c.is_zero() {
+                    new_row.insert(k, c);
+                }
+            }
+        }
+
+        // Substitute into every other row containing nj, and refresh values.
+        let basics: Vec<usize> = self.rows.keys().copied().collect();
+        for b in basics {
+            let a_bj = match self.rows[&b].get(&nj) {
+                Some(&c) => c,
+                None => continue,
+            };
+            let r = self.rows.get_mut(&b).expect("exists");
+            r.remove(&nj);
+            for (&k, &c) in &new_row {
+                let entry = r.entry(k).or_insert(Rat::ZERO);
+                *entry = *entry + a_bj * c;
+                if entry.is_zero() {
+                    r.remove(&k);
+                }
+            }
+            self.value[b] = self.value[b] + DeltaRat::standard(Rat::ZERO); // no-op; recomputed below
+        }
+        // Update basic values directly: x_b changes by a_bj * theta.
+        // (Done via full recomputation for robustness.)
+        self.rows.insert(nj, new_row);
+        let basics: Vec<usize> = self.rows.keys().copied().collect();
+        for b in basics {
+            let row = self.rows[&b].clone();
+            self.value[b] = self.row_value(&row);
+        }
+    }
+}
+
+/// Decides the conjunction of the given bounds.
+///
+/// Bounds over the *same* linear form share a slack variable; directly
+/// conflicting bounds (`lower > upper`) are reported without pivoting.
+///
+/// ```
+/// use shatter_smt::simplex::{check, BoundConstraint, BoundKind, DeltaRat};
+/// use shatter_smt::Rat;
+///
+/// // x >= 3  and  x <= 2  is infeasible.
+/// let bounds = vec![
+///     BoundConstraint {
+///         expr: vec![(Rat::ONE, 0)],
+///         bound: DeltaRat::standard(Rat::int(3)),
+///         kind: BoundKind::Lower,
+///         id: 0,
+///     },
+///     BoundConstraint {
+///         expr: vec![(Rat::ONE, 0)],
+///         bound: DeltaRat::standard(Rat::int(2)),
+///         kind: BoundKind::Upper,
+///         id: 1,
+///     },
+/// ];
+/// match check(&bounds) {
+///     shatter_smt::simplex::SimplexResult::Infeasible(ids) => {
+///         assert_eq!(ids, vec![0, 1]);
+///     }
+///     _ => panic!("expected infeasible"),
+/// }
+/// ```
+pub fn check(bounds: &[BoundConstraint]) -> SimplexResult {
+    // Map each distinct linear form to a column (original var or slack).
+    let mut max_var = 0usize;
+    for b in bounds {
+        for &(_, v) in &b.expr {
+            max_var = max_var.max(v + 1);
+        }
+    }
+    let mut n_total = max_var;
+    let mut form_slack: HashMap<Vec<(Rat, usize)>, usize> = HashMap::new();
+    let mut slack_rows: Vec<(usize, HashMap<usize, Rat>)> = Vec::new();
+
+    // Column for a bound: single positive-unit term binds the var itself.
+    let mut column_of = Vec::with_capacity(bounds.len());
+    for b in bounds {
+        if b.expr.len() == 1 && b.expr[0].0 == Rat::ONE {
+            column_of.push(b.expr[0].1);
+            continue;
+        }
+        let mut key = b.expr.clone();
+        key.sort_by_key(|&(_, v)| v);
+        let col = *form_slack.entry(key.clone()).or_insert_with(|| {
+            let s = n_total;
+            n_total += 1;
+            let row: HashMap<usize, Rat> = key.iter().map(|&(c, v)| (v, c)).collect();
+            slack_rows.push((s, row));
+            s
+        });
+        column_of.push(col);
+    }
+
+    let mut t = Tableau {
+        n_total,
+        rows: slack_rows.into_iter().collect(),
+        value: vec![DeltaRat::ZERO; n_total],
+        lower: vec![None; n_total],
+        upper: vec![None; n_total],
+    };
+
+    // Assert bounds, detecting immediate lower>upper conflicts.
+    for (b, &col) in bounds.iter().zip(&column_of) {
+        match b.kind {
+            BoundKind::Lower => {
+                if let Some((u, uid)) = t.upper[col] {
+                    if b.bound > u {
+                        return SimplexResult::Infeasible(vec![b.id, uid]);
+                    }
+                }
+                if t.lower[col].is_none_or(|(l, _)| b.bound > l) {
+                    t.lower[col] = Some((b.bound, b.id));
+                }
+            }
+            BoundKind::Upper => {
+                if let Some((l, lid)) = t.lower[col] {
+                    if b.bound < l {
+                        return SimplexResult::Infeasible(vec![lid, b.id]);
+                    }
+                }
+                if t.upper[col].is_none_or(|(u, _)| b.bound < u) {
+                    t.upper[col] = Some((b.bound, b.id));
+                }
+            }
+        }
+    }
+
+    // Initialize nonbasic values inside their bounds.
+    for v in 0..t.n_total {
+        if t.is_basic(v) {
+            continue;
+        }
+        t.value[v] = match (t.lower[v], t.upper[v]) {
+            (Some((l, _)), _) => l,
+            (None, Some((u, _))) => u,
+            (None, None) => DeltaRat::ZERO,
+        };
+    }
+    let basics: Vec<usize> = t.rows.keys().copied().collect();
+    for b in basics {
+        let row = t.rows[&b].clone();
+        t.value[b] = t.row_value(&row);
+    }
+
+    // Main Bland-rule loop.
+    loop {
+        // Smallest-index basic variable violating a bound.
+        let mut violated: Option<(usize, bool)> = None; // (var, too_low)
+        let mut basic_sorted: Vec<usize> = t.rows.keys().copied().collect();
+        basic_sorted.sort_unstable();
+        for &b in &basic_sorted {
+            if let Some((l, _)) = t.lower[b] {
+                if t.value[b] < l {
+                    violated = Some((b, true));
+                    break;
+                }
+            }
+            if let Some((u, _)) = t.upper[b] {
+                if t.value[b] > u {
+                    violated = Some((b, false));
+                    break;
+                }
+            }
+        }
+        let Some((bi, too_low)) = violated else {
+            // Feasible: concretize ε and return original-variable values.
+            return SimplexResult::Feasible(concretize(&t, max_var));
+        };
+
+        let row = t.rows[&bi].clone();
+        let mut cols: Vec<usize> = row.keys().copied().collect();
+        cols.sort_unstable();
+        let mut pivot_col: Option<usize> = None;
+        for &j in &cols {
+            let a = row[&j];
+            let can = if too_low {
+                // Need to increase bi.
+                (a.is_positive() && t.upper[j].is_none_or(|(u, _)| t.value[j] < u))
+                    || (a.is_negative() && t.lower[j].is_none_or(|(l, _)| t.value[j] > l))
+            } else {
+                // Need to decrease bi.
+                (a.is_positive() && t.lower[j].is_none_or(|(l, _)| t.value[j] > l))
+                    || (a.is_negative() && t.upper[j].is_none_or(|(u, _)| t.value[j] < u))
+            };
+            if can {
+                pivot_col = Some(j);
+                break;
+            }
+        }
+
+        match pivot_col {
+            Some(nj) => {
+                let target = if too_low {
+                    t.lower[bi].expect("violated lower").0
+                } else {
+                    t.upper[bi].expect("violated upper").0
+                };
+                t.pivot_and_update(bi, nj, target);
+            }
+            None => {
+                // Conflict: violated bound of bi plus the limiting bounds of
+                // every nonbasic in the row.
+                let mut ids = Vec::new();
+                if too_low {
+                    ids.push(t.lower[bi].expect("violated lower").1);
+                    for &j in &cols {
+                        let a = row[&j];
+                        if a.is_positive() {
+                            ids.push(t.upper[j].expect("limited above").1);
+                        } else {
+                            ids.push(t.lower[j].expect("limited below").1);
+                        }
+                    }
+                } else {
+                    ids.push(t.upper[bi].expect("violated upper").1);
+                    for &j in &cols {
+                        let a = row[&j];
+                        if a.is_positive() {
+                            ids.push(t.lower[j].expect("limited below").1);
+                        } else {
+                            ids.push(t.upper[j].expect("limited above").1);
+                        }
+                    }
+                }
+                ids.sort_unstable();
+                ids.dedup();
+                return SimplexResult::Infeasible(ids);
+            }
+        }
+    }
+}
+
+/// Chooses a concrete ε small enough that all strict bounds stay strict,
+/// then maps the delta-valued assignment to plain rationals.
+fn concretize(t: &Tableau, n_original: usize) -> HashMap<usize, Rat> {
+    let mut eps = Rat::ONE;
+    for v in 0..t.n_total {
+        let val = t.value[v];
+        if let Some((l, _)) = t.lower[v] {
+            // need val.r + val.d e >= l.r + l.d e  =>  (val.d - l.d) e >= l.r - val.r
+            let dd = val.d - l.d;
+            let rr = val.r - l.r;
+            if dd.is_negative() && rr.is_positive() {
+                eps = eps.min(rr / (-dd));
+            }
+        }
+        if let Some((u, _)) = t.upper[v] {
+            let dd = u.d - val.d;
+            let rr = u.r - val.r;
+            if dd.is_negative() && rr.is_positive() {
+                eps = eps.min(rr / (-dd));
+            }
+        }
+    }
+    let eps = eps * Rat::new(1, 2);
+    (0..n_original)
+        .map(|v| (v, t.value[v].concretize(eps)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lower(expr: Vec<(i128, usize)>, b: i128, id: usize) -> BoundConstraint {
+        BoundConstraint {
+            expr: expr.into_iter().map(|(c, v)| (Rat::int(c), v)).collect(),
+            bound: DeltaRat::standard(Rat::int(b)),
+            kind: BoundKind::Lower,
+            id,
+        }
+    }
+
+    fn upper(expr: Vec<(i128, usize)>, b: i128, id: usize) -> BoundConstraint {
+        BoundConstraint {
+            expr: expr.into_iter().map(|(c, v)| (Rat::int(c), v)).collect(),
+            bound: DeltaRat::standard(Rat::int(b)),
+            kind: BoundKind::Upper,
+            id,
+        }
+    }
+
+    fn assert_feasible(bounds: &[BoundConstraint]) -> HashMap<usize, Rat> {
+        match check(bounds) {
+            SimplexResult::Feasible(m) => {
+                // Verify every bound holds on the concrete assignment.
+                for b in bounds {
+                    let val: Rat = b
+                        .expr
+                        .iter()
+                        .map(|&(c, v)| c * m.get(&v).copied().unwrap_or(Rat::ZERO))
+                        .fold(Rat::ZERO, |a, x| a + x);
+                    match b.kind {
+                        BoundKind::Lower => {
+                            if b.bound.d.is_zero() {
+                                assert!(val >= b.bound.r, "bound {} violated", b.id);
+                            } else {
+                                assert!(val > b.bound.r, "strict bound {} violated", b.id);
+                            }
+                        }
+                        BoundKind::Upper => {
+                            if b.bound.d.is_zero() {
+                                assert!(val <= b.bound.r, "bound {} violated", b.id);
+                            } else {
+                                assert!(val < b.bound.r, "strict bound {} violated", b.id);
+                            }
+                        }
+                    }
+                }
+                m
+            }
+            SimplexResult::Infeasible(ids) => panic!("unexpected infeasible: {ids:?}"),
+        }
+    }
+
+    #[test]
+    fn simple_feasible_box() {
+        assert_feasible(&[
+            lower(vec![(1, 0)], 1, 0),
+            upper(vec![(1, 0)], 5, 1),
+            lower(vec![(1, 1)], 2, 2),
+            upper(vec![(1, 1)], 3, 3),
+        ]);
+    }
+
+    #[test]
+    fn direct_bound_conflict() {
+        let r = check(&[lower(vec![(1, 0)], 3, 7), upper(vec![(1, 0)], 2, 9)]);
+        let SimplexResult::Infeasible(ids) = r else {
+            panic!()
+        };
+        assert_eq!(ids, vec![7, 9]);
+    }
+
+    #[test]
+    fn sum_constraint_feasible() {
+        // x + y <= 4, x >= 1, y >= 2.
+        let m = assert_feasible(&[
+            upper(vec![(1, 0), (1, 1)], 4, 0),
+            lower(vec![(1, 0)], 1, 1),
+            lower(vec![(1, 1)], 2, 2),
+        ]);
+        assert!(m[&0] + m[&1] <= Rat::int(4));
+    }
+
+    #[test]
+    fn sum_constraint_infeasible_with_explanation() {
+        // x + y <= 3, x >= 2, y >= 2.
+        let r = check(&[
+            upper(vec![(1, 0), (1, 1)], 3, 0),
+            lower(vec![(1, 0)], 2, 1),
+            lower(vec![(1, 1)], 2, 2),
+        ]);
+        let SimplexResult::Infeasible(ids) = r else {
+            panic!()
+        };
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn strict_bounds_respected() {
+        // x > 0, x < 1 is feasible with a concrete witness strictly inside.
+        let m = assert_feasible(&[
+            BoundConstraint {
+                expr: vec![(Rat::ONE, 0)],
+                bound: DeltaRat::plus_eps(Rat::ZERO),
+                kind: BoundKind::Lower,
+                id: 0,
+            },
+            BoundConstraint {
+                expr: vec![(Rat::ONE, 0)],
+                bound: DeltaRat::minus_eps(Rat::ONE),
+                kind: BoundKind::Upper,
+                id: 1,
+            },
+        ]);
+        assert!(m[&0] > Rat::ZERO && m[&0] < Rat::ONE);
+    }
+
+    #[test]
+    fn strict_vs_nonstrict_conflict() {
+        // x <= 2 and x > 2.
+        let r = check(&[
+            upper(vec![(1, 0)], 2, 0),
+            BoundConstraint {
+                expr: vec![(Rat::ONE, 0)],
+                bound: DeltaRat::plus_eps(Rat::int(2)),
+                kind: BoundKind::Lower,
+                id: 1,
+            },
+        ]);
+        assert!(matches!(r, SimplexResult::Infeasible(_)));
+    }
+
+    #[test]
+    fn chained_equalities() {
+        // x = y, y = z, z >= 5, x <= 5  => all equal 5.
+        let m = assert_feasible(&[
+            upper(vec![(1, 0), (-1, 1)], 0, 0),
+            lower(vec![(1, 0), (-1, 1)], 0, 1),
+            upper(vec![(1, 1), (-1, 2)], 0, 2),
+            lower(vec![(1, 1), (-1, 2)], 0, 3),
+            lower(vec![(1, 2)], 5, 4),
+            upper(vec![(1, 0)], 5, 5),
+        ]);
+        assert_eq!(m[&0], Rat::int(5));
+        assert_eq!(m[&1], Rat::int(5));
+        assert_eq!(m[&2], Rat::int(5));
+    }
+
+    #[test]
+    fn triangle_infeasibility() {
+        // x - y <= -1, y - z <= -1, z - x <= -1 sums to 0 <= -3.
+        let r = check(&[
+            upper(vec![(1, 0), (-1, 1)], -1, 0),
+            upper(vec![(1, 1), (-1, 2)], -1, 1),
+            upper(vec![(1, 2), (-1, 0)], -1, 2),
+        ]);
+        let SimplexResult::Infeasible(ids) = r else {
+            panic!()
+        };
+        assert_eq!(ids.len(), 3);
+    }
+
+    #[test]
+    fn redundant_bounds_keep_tightest() {
+        let m = assert_feasible(&[
+            lower(vec![(1, 0)], 1, 0),
+            lower(vec![(1, 0)], 3, 1),
+            upper(vec![(1, 0)], 10, 2),
+            upper(vec![(1, 0)], 7, 3),
+        ]);
+        assert!(m[&0] >= Rat::int(3) && m[&0] <= Rat::int(7));
+    }
+
+    #[test]
+    fn fractional_coefficients() {
+        // 0.5x + 0.25y >= 10, x <= 4  =>  y >= 32.
+        let m = assert_feasible(&[
+            BoundConstraint {
+                expr: vec![(Rat::new(1, 2), 0), (Rat::new(1, 4), 1)],
+                bound: DeltaRat::standard(Rat::int(10)),
+                kind: BoundKind::Lower,
+                id: 0,
+            },
+            upper(vec![(1, 0)], 4, 1),
+        ]);
+        assert!(m[&0] * Rat::new(1, 2) + m[&1] * Rat::new(1, 4) >= Rat::int(10));
+    }
+}

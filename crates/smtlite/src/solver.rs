@@ -1,0 +1,381 @@
+use std::collections::HashMap;
+
+use crate::ast::{Atom, BoolVar, Formula, LinExpr, RealVar, Rel};
+use crate::cnf::{strip_expr, Encoder};
+use crate::sat::{Lit, SatVerdict};
+use crate::simplex::{check, BoundConstraint, BoundKind, DeltaRat, SimplexResult};
+use crate::Rat;
+
+/// A satisfying assignment.
+#[derive(Debug, Clone)]
+pub struct Model {
+    bools: HashMap<usize, bool>,
+    reals: HashMap<usize, Rat>,
+}
+
+impl Model {
+    /// Value of a Boolean variable (false when never constrained).
+    pub fn bool(&self, b: BoolVar) -> bool {
+        self.bools.get(&b.index()).copied().unwrap_or(false)
+    }
+
+    /// Value of a real variable as `f64` (0 when never constrained).
+    pub fn real(&self, x: RealVar) -> f64 {
+        self.real_exact(x).to_f64()
+    }
+
+    /// Exact rational value of a real variable.
+    pub fn real_exact(&self, x: RealVar) -> Rat {
+        self.reals.get(&x.index()).copied().unwrap_or(Rat::ZERO)
+    }
+
+    /// Evaluates a linear expression under this model.
+    pub fn eval(&self, e: &LinExpr) -> Rat {
+        e.eval(&|v| self.real_exact(v))
+    }
+}
+
+/// Outcome of a `check` call (kept for API clarity; `check` returns an
+/// `Option<Model>`).
+#[derive(Debug, Clone)]
+pub enum SatResult {
+    /// Satisfiable with a model.
+    Sat(Model),
+    /// Unsatisfiable.
+    Unsat,
+}
+
+/// The lazy DPLL(T) SMT solver for QF_LRA + Booleans.
+///
+/// Asserted formulas are Tseitin-encoded; the CDCL core enumerates Boolean
+/// skeleton models; the simplex theory solver validates the implied
+/// conjunction of linear bounds, contributing blocking clauses built from
+/// its infeasibility explanations until the loop converges.
+#[derive(Debug, Default, Clone)]
+pub struct Solver {
+    enc: Encoder,
+    n_reals: usize,
+    n_bools: usize,
+    real_names: Vec<String>,
+    /// Statistics: theory conflicts encountered across `check` calls.
+    pub theory_conflicts: u64,
+}
+
+impl Solver {
+    /// Creates an empty solver.
+    pub fn new() -> Solver {
+        Solver {
+            enc: Encoder::new(),
+            ..Solver::default()
+        }
+    }
+
+    /// Allocates a real-valued theory variable.
+    pub fn new_real(&mut self, name: impl Into<String>) -> RealVar {
+        let v = RealVar(self.n_reals);
+        self.n_reals += 1;
+        self.real_names.push(name.into());
+        v
+    }
+
+    /// Allocates a propositional variable.
+    pub fn new_bool(&mut self, _name: impl Into<String>) -> BoolVar {
+        let v = BoolVar(self.n_bools);
+        self.n_bools += 1;
+        v
+    }
+
+    /// Asserts a formula.
+    pub fn assert_formula(&mut self, f: Formula) {
+        self.enc.assert_formula(&f);
+    }
+
+    /// Decides the asserted conjunction. Returns a model when satisfiable.
+    pub fn check(&mut self) -> Option<Model> {
+        loop {
+            let SatVerdict::Sat(assignment) = self.enc.sat.solve() else {
+                return None;
+            };
+            // Gather asserted theory literals.
+            let mut bounds: Vec<BoundConstraint> = Vec::new();
+            for (sat_var, atom) in self.enc.registered_atoms() {
+                let positive = assignment[sat_var];
+                bounds.push(atom_to_bound(atom, positive, sat_var));
+            }
+            match check(&bounds) {
+                SimplexResult::Feasible(reals) => {
+                    let mut bools = HashMap::new();
+                    for b in 0..self.n_bools {
+                        if let Some(v) = self.enc.bool_value(BoolVar(b), &assignment) {
+                            bools.insert(b, v);
+                        }
+                    }
+                    let reals = reals
+                        .into_iter()
+                        .filter(|(v, _)| *v < self.n_reals)
+                        .collect();
+                    return Some(Model { bools, reals });
+                }
+                SimplexResult::Infeasible(conflict_vars) => {
+                    self.theory_conflicts += 1;
+                    // Block this combination of theory literals.
+                    let clause: Vec<Lit> = conflict_vars
+                        .iter()
+                        .map(|&v| {
+                            if assignment[v] {
+                                Lit::neg(v)
+                            } else {
+                                Lit::pos(v)
+                            }
+                        })
+                        .collect();
+                    if !self.enc.sat.add_clause(&clause) {
+                        return None;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Maximizes a linear objective subject to the asserted formulas, by
+    /// iterative strengthening (binary search on the objective bound) —
+    /// the OMT loop SHATTER runs per attack window (paper Eq. 17).
+    ///
+    /// `lo`/`hi` bracket the objective; `tol` is the termination gap.
+    /// Returns the best model found and its objective value, or `None`
+    /// when the constraints are unsatisfiable.
+    pub fn maximize(
+        &mut self,
+        objective: &LinExpr,
+        lo: f64,
+        hi: f64,
+        tol: f64,
+    ) -> Option<(f64, Model)> {
+        let base_model = self.check()?;
+        let mut best_val = base_model.eval(objective).to_f64();
+        let mut best_model = base_model;
+        let mut lo = best_val.max(lo);
+        let mut hi = hi.max(lo);
+        while hi - lo > tol {
+            let mid = lo + (hi - lo) / 2.0;
+            let mut probe = self.clone();
+            probe.assert_formula(objective.ge(Rat::from_f64_approx(mid)));
+            match probe.check() {
+                Some(m) => {
+                    let v = m.eval(objective).to_f64();
+                    self.theory_conflicts = probe.theory_conflicts;
+                    if v > best_val {
+                        best_val = v;
+                        best_model = m;
+                    }
+                    lo = best_val.max(mid);
+                }
+                None => {
+                    self.theory_conflicts = probe.theory_conflicts;
+                    hi = mid;
+                }
+            }
+        }
+        Some((best_val, best_model))
+    }
+}
+
+/// Converts an asserted theory literal into a simplex bound.
+///
+/// Atom is `expr ⋈ 0` with `⋈ ∈ {≤, <}` (equalities were split by the
+/// encoder). With constant `k` folded out: `Σcx ⋈ −k`.
+fn atom_to_bound(atom: &Atom, positive: bool, id: usize) -> BoundConstraint {
+    let (expr, k) = strip_expr(&atom.expr);
+    let rhs = -k;
+    let (kind, bound) = match (atom.op, positive) {
+        // Σcx <= rhs
+        (Rel::Le, true) => (BoundKind::Upper, DeltaRat::standard(rhs)),
+        // ¬(Σcx <= rhs)  =>  Σcx > rhs
+        (Rel::Le, false) => (BoundKind::Lower, DeltaRat::plus_eps(rhs)),
+        // Σcx < rhs
+        (Rel::Lt, true) => (BoundKind::Upper, DeltaRat::minus_eps(rhs)),
+        // ¬(Σcx < rhs)  =>  Σcx >= rhs
+        (Rel::Lt, false) => (BoundKind::Lower, DeltaRat::standard(rhs)),
+        (Rel::Eq, _) => unreachable!("Eq atoms split during encoding"),
+    };
+    BoundConstraint {
+        expr,
+        bound,
+        kind,
+        id,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Formula;
+
+    #[test]
+    fn pure_boolean_sat() {
+        let mut s = Solver::new();
+        let a = s.new_bool("a");
+        let b = s.new_bool("b");
+        s.assert_formula(Formula::or([Formula::Bool(a), Formula::Bool(b)]));
+        s.assert_formula(Formula::not(Formula::Bool(a)));
+        let m = s.check().expect("sat");
+        assert!(!m.bool(a));
+        assert!(m.bool(b));
+    }
+
+    #[test]
+    fn linear_system_solved() {
+        let mut s = Solver::new();
+        let x = s.new_real("x");
+        let y = s.new_real("y");
+        s.assert_formula(LinExpr::var(x).plus(&LinExpr::var(y)).eq(10));
+        s.assert_formula(LinExpr::var(x).minus(&LinExpr::var(y)).eq(4));
+        let m = s.check().expect("sat");
+        assert!((m.real(x) - 7.0).abs() < 1e-9);
+        assert!((m.real(y) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn theory_conflict_forces_boolean_backtrack() {
+        let mut s = Solver::new();
+        let x = s.new_real("x");
+        let p = s.new_bool("p");
+        // p -> x >= 5;  !p -> x >= 7;  x <= 6. Must pick p.
+        s.assert_formula(Formula::implies(
+            Formula::Bool(p),
+            LinExpr::var(x).ge(5),
+        ));
+        s.assert_formula(Formula::implies(
+            Formula::not(Formula::Bool(p)),
+            LinExpr::var(x).ge(7),
+        ));
+        s.assert_formula(LinExpr::var(x).le(6));
+        let m = s.check().expect("sat");
+        assert!(m.bool(p));
+        assert!(m.real(x) >= 5.0 - 1e-9 && m.real(x) <= 6.0 + 1e-9);
+    }
+
+    #[test]
+    fn unsat_conjunction() {
+        let mut s = Solver::new();
+        let x = s.new_real("x");
+        s.assert_formula(LinExpr::var(x).ge(5));
+        s.assert_formula(LinExpr::var(x).le(4));
+        assert!(s.check().is_none());
+    }
+
+    #[test]
+    fn disjunction_of_regions() {
+        let mut s = Solver::new();
+        let x = s.new_real("x");
+        // (x <= -10 or x >= 10) and -5 <= x <= 15  => x in [10, 15].
+        s.assert_formula(Formula::or([
+            LinExpr::var(x).le(-10),
+            LinExpr::var(x).ge(10),
+        ]));
+        s.assert_formula(LinExpr::var(x).ge(-5));
+        s.assert_formula(LinExpr::var(x).le(15));
+        let m = s.check().expect("sat");
+        assert!(m.real(x) >= 10.0 - 1e-9 && m.real(x) <= 15.0 + 1e-9);
+    }
+
+    #[test]
+    fn strict_inequalities() {
+        let mut s = Solver::new();
+        let x = s.new_real("x");
+        s.assert_formula(LinExpr::var(x).gt(0));
+        s.assert_formula(LinExpr::var(x).lt(1));
+        let m = s.check().expect("sat");
+        let v = m.real(x);
+        assert!(v > 0.0 && v < 1.0, "witness {v}");
+    }
+
+    #[test]
+    fn strict_contradiction_unsat() {
+        let mut s = Solver::new();
+        let x = s.new_real("x");
+        s.assert_formula(LinExpr::var(x).gt(3));
+        s.assert_formula(LinExpr::var(x).le(3));
+        assert!(s.check().is_none());
+    }
+
+    #[test]
+    fn negated_equality_splits() {
+        let mut s = Solver::new();
+        let x = s.new_real("x");
+        s.assert_formula(Formula::not(LinExpr::var(x).eq(5)));
+        s.assert_formula(LinExpr::var(x).ge(5));
+        s.assert_formula(LinExpr::var(x).le(6));
+        let m = s.check().expect("sat");
+        assert!(m.real(x) > 5.0 && m.real(x) <= 6.0 + 1e-9);
+    }
+
+    #[test]
+    fn maximize_simple_lp() {
+        let mut s = Solver::new();
+        let x = s.new_real("x");
+        let y = s.new_real("y");
+        s.assert_formula(LinExpr::var(x).le(4));
+        s.assert_formula(LinExpr::var(y).le(3));
+        s.assert_formula(LinExpr::var(x).ge(0));
+        s.assert_formula(LinExpr::var(y).ge(0));
+        let obj = LinExpr::var(x).plus(&LinExpr::var(y));
+        let (v, m) = s.maximize(&obj, 0.0, 100.0, 1e-3).expect("sat");
+        assert!((v - 7.0).abs() < 0.01, "max {v}");
+        assert!((m.real(x) - 4.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn maximize_with_boolean_choice() {
+        // Choosing p gives reward 10, else 3; p forces cost x >= 8 <= budget.
+        let mut s = Solver::new();
+        let p = s.new_bool("p");
+        let x = s.new_real("x");
+        let reward = s.new_real("reward");
+        s.assert_formula(Formula::implies(
+            Formula::Bool(p),
+            Formula::and([LinExpr::var(reward).eq(10), LinExpr::var(x).ge(8)]),
+        ));
+        s.assert_formula(Formula::implies(
+            Formula::not(Formula::Bool(p)),
+            Formula::and([LinExpr::var(reward).eq(3), LinExpr::var(x).eq(0)]),
+        ));
+        s.assert_formula(LinExpr::var(x).le(9));
+        let (v, m) = s
+            .maximize(&LinExpr::var(reward), 0.0, 20.0, 1e-3)
+            .expect("sat");
+        assert!((v - 10.0).abs() < 0.01);
+        assert!(m.bool(p));
+    }
+
+    #[test]
+    fn maximize_infeasible_returns_none() {
+        let mut s = Solver::new();
+        let x = s.new_real("x");
+        s.assert_formula(LinExpr::var(x).ge(1));
+        s.assert_formula(LinExpr::var(x).le(0));
+        assert!(s.maximize(&LinExpr::var(x), 0.0, 10.0, 1e-3).is_none());
+    }
+
+    #[test]
+    fn hull_membership_style_constraints() {
+        // Triangle (0,0)-(4,0)-(2,4) as half-planes over (a, b); point
+        // inside must exist with b maximized at 4.
+        let mut s = Solver::new();
+        let a = s.new_real("a");
+        let b = s.new_real("b");
+        // y >= 0: -b <= 0
+        s.assert_formula(LinExpr::var(b).ge(0));
+        // right edge: from (4,0) to (2,4): 2x + y <= 8
+        s.assert_formula(
+            LinExpr::term(2, a).plus(&LinExpr::var(b)).le(8),
+        );
+        // left edge: from (2,4) to (0,0): -2x + y <= 0
+        s.assert_formula(
+            LinExpr::term(-2, a).plus(&LinExpr::var(b)).le(0),
+        );
+        let (v, m) = s.maximize(&LinExpr::var(b), 0.0, 10.0, 1e-4).expect("sat");
+        assert!((v - 4.0).abs() < 0.01, "max y = {v}");
+        assert!((m.real(a) - 2.0).abs() < 0.1);
+    }
+}

@@ -1,0 +1,162 @@
+//! Property-based tests for the SMT stack: random instances cross-checked
+//! against brute force / direct reasoning.
+
+use proptest::prelude::*;
+
+use shatter_smt::ast::{Formula, LinExpr};
+use shatter_smt::sat::{Lit, SatSolver, SatVerdict};
+use shatter_smt::{Rat, Solver};
+
+// ---------- SAT layer -----------------------------------------------------
+
+fn arb_cnf() -> impl Strategy<Value = (usize, Vec<Vec<i32>>)> {
+    (3usize..9).prop_flat_map(|n| {
+        let clause = prop::collection::vec((1..=n as i32, any::<bool>()), 1..4).prop_map(
+            |lits| {
+                lits.into_iter()
+                    .map(|(v, s)| if s { v } else { -v })
+                    .collect::<Vec<i32>>()
+            },
+        );
+        (Just(n), prop::collection::vec(clause, 1..30))
+    })
+}
+
+fn brute_force_sat(n: usize, clauses: &[Vec<i32>]) -> bool {
+    (0..1u32 << n).any(|mask| {
+        clauses.iter().all(|c| {
+            c.iter().any(|&l| {
+                let v = (l.unsigned_abs() - 1) as u32;
+                ((mask >> v) & 1 == 1) == (l > 0)
+            })
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn cdcl_agrees_with_brute_force((n, clauses) in arb_cnf()) {
+        let mut s = SatSolver::new();
+        for _ in 0..n {
+            s.new_var();
+        }
+        for c in &clauses {
+            let lits: Vec<Lit> = c
+                .iter()
+                .map(|&l| {
+                    let v = (l.unsigned_abs() - 1) as usize;
+                    if l > 0 { Lit::pos(v) } else { Lit::neg(v) }
+                })
+                .collect();
+            s.add_clause(&lits);
+        }
+        let expected = brute_force_sat(n, &clauses);
+        match s.solve() {
+            SatVerdict::Sat(model) => {
+                prop_assert!(expected, "solver SAT, brute force UNSAT");
+                for c in &clauses {
+                    prop_assert!(c.iter().any(|&l| {
+                        let v = (l.unsigned_abs() - 1) as usize;
+                        (l > 0) == model[v]
+                    }), "model violates clause {c:?}");
+                }
+            }
+            SatVerdict::Unsat => prop_assert!(!expected, "solver UNSAT, brute force SAT"),
+        }
+    }
+}
+
+// ---------- LRA layer ------------------------------------------------------
+
+proptest! {
+    /// Random interval constraints on independent variables: satisfiable
+    /// iff every interval is non-empty; the model must sit inside.
+    #[test]
+    fn box_constraints(bounds in prop::collection::vec((-50i64..50, -50i64..50), 1..8)) {
+        let mut s = Solver::new();
+        let mut vars = Vec::new();
+        let mut feasible = true;
+        for &(a, b) in &bounds {
+            let (lo, hi) = (a.min(b), a.max(b));
+            // Every interval [lo, hi] here is non-empty by construction;
+            // flip half of them to force emptiness.
+            let x = s.new_real("x");
+            s.assert_formula(LinExpr::var(x).ge(lo));
+            s.assert_formula(LinExpr::var(x).le(hi));
+            vars.push((x, lo, hi));
+            feasible &= lo <= hi;
+        }
+        let model = s.check();
+        prop_assert_eq!(model.is_some(), feasible);
+        if let Some(m) = model {
+            for (x, lo, hi) in vars {
+                let v = m.real_exact(x);
+                prop_assert!(v >= Rat::int(lo as i128) && v <= Rat::int(hi as i128));
+            }
+        }
+    }
+
+    /// Difference chains: x0 <= x1 - d1 <= ... ; feasible for any d when
+    /// unbounded, infeasible once a cycle with positive total weight is
+    /// closed.
+    #[test]
+    fn difference_cycle(ds in prop::collection::vec(-10i64..10, 2..6)) {
+        let mut s = Solver::new();
+        let n = ds.len();
+        let vars: Vec<_> = (0..n).map(|i| s.new_real(format!("x{i}"))).collect();
+        // x_{i+1} >= x_i + d_i, cyclically.
+        let mut total = 0i64;
+        for (i, &d) in ds.iter().enumerate() {
+            let a = vars[i];
+            let b = vars[(i + 1) % n];
+            s.assert_formula(
+                LinExpr::var(b).minus(&LinExpr::var(a)).ge(d),
+            );
+            total += d;
+        }
+        // Feasible iff the cycle's total required gain is <= 0.
+        prop_assert_eq!(s.check().is_some(), total <= 0, "cycle total {}", total);
+    }
+
+    /// maximize() returns a value no less than any feasible witness we can
+    /// construct by hand, and the model achieves the reported value.
+    #[test]
+    fn maximize_is_sound(caps in prop::collection::vec(0i64..20, 1..6)) {
+        let mut s = Solver::new();
+        let mut obj = LinExpr::constant(0);
+        for (i, &c) in caps.iter().enumerate() {
+            let x = s.new_real(format!("x{i}"));
+            s.assert_formula(LinExpr::var(x).ge(0));
+            s.assert_formula(LinExpr::var(x).le(c));
+            obj = obj.plus(&LinExpr::var(x));
+        }
+        let total: i64 = caps.iter().sum();
+        let (v, m) = s.maximize(&obj, 0.0, total as f64 + 5.0, 1e-3).expect("feasible");
+        prop_assert!((v - total as f64).abs() < 0.01, "max {v} expected {total}");
+        prop_assert!((m.eval(&obj).to_f64() - v).abs() < 1e-9);
+    }
+
+    /// Boolean structure + theory: implication chains force the tightest
+    /// asserted bound.
+    #[test]
+    fn guarded_bounds(guards in prop::collection::vec(any::<bool>(), 1..6)) {
+        let mut s = Solver::new();
+        let x = s.new_real("x");
+        let mut forced_min = 0i64;
+        for (i, &on) in guards.iter().enumerate() {
+            let p = s.new_bool(format!("p{i}"));
+            let bound = (i as i64 + 1) * 3;
+            s.assert_formula(Formula::implies(
+                Formula::Bool(p),
+                LinExpr::var(x).ge(bound),
+            ));
+            if on {
+                s.assert_formula(Formula::Bool(p));
+                forced_min = forced_min.max(bound);
+            }
+        }
+        s.assert_formula(LinExpr::var(x).le(100));
+        let m = s.check().expect("always satisfiable");
+        prop_assert!(m.real(x) >= forced_min as f64 - 1e-9);
+    }
+}

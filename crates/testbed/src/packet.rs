@@ -1,0 +1,128 @@
+//! Binary wire format for testbed messages.
+//!
+//! The physical testbed speaks MQTT over an ESP8266/router link; the
+//! attacker crafts raw packets (Polymorph/Scapy). This module gives the
+//! simulated transport the same property: messages cross the broker as
+//! bytes, so the MITM interceptor must *parse and re-encode* packets just
+//! like the real attack tooling.
+//!
+//! Layout (big-endian):
+//!
+//! ```text
+//! u16 topic_len | topic bytes (UTF-8) | u16 n_values | n × f64
+//! ```
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// A decoded testbed message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Packet {
+    /// Topic path, e.g. `"sensor/temp/2"` or `"actuate/fan/3"`.
+    pub topic: String,
+    /// Numeric payload.
+    pub values: Vec<f64>,
+}
+
+/// Error from [`Packet::decode`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PacketError {
+    /// The buffer ended before the announced length.
+    Truncated,
+    /// The topic bytes are not valid UTF-8.
+    BadTopic,
+}
+
+impl std::fmt::Display for PacketError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PacketError::Truncated => write!(f, "packet truncated"),
+            PacketError::BadTopic => write!(f, "topic is not valid UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for PacketError {}
+
+impl Packet {
+    /// Creates a packet.
+    pub fn new(topic: impl Into<String>, values: Vec<f64>) -> Packet {
+        Packet {
+            topic: topic.into(),
+            values,
+        }
+    }
+
+    /// Serializes to the wire format.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(4 + self.topic.len() + 8 * self.values.len());
+        buf.put_u16(self.topic.len() as u16);
+        buf.put_slice(self.topic.as_bytes());
+        buf.put_u16(self.values.len() as u16);
+        for v in &self.values {
+            buf.put_f64(*v);
+        }
+        buf.freeze()
+    }
+
+    /// Parses from the wire format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PacketError`] on truncation or invalid topic bytes.
+    pub fn decode(mut buf: Bytes) -> Result<Packet, PacketError> {
+        if buf.remaining() < 2 {
+            return Err(PacketError::Truncated);
+        }
+        let tlen = buf.get_u16() as usize;
+        if buf.remaining() < tlen {
+            return Err(PacketError::Truncated);
+        }
+        let topic_bytes = buf.split_to(tlen);
+        let topic =
+            String::from_utf8(topic_bytes.to_vec()).map_err(|_| PacketError::BadTopic)?;
+        if buf.remaining() < 2 {
+            return Err(PacketError::Truncated);
+        }
+        let n = buf.get_u16() as usize;
+        if buf.remaining() < 8 * n {
+            return Err(PacketError::Truncated);
+        }
+        let values = (0..n).map(|_| buf.get_f64()).collect();
+        Ok(Packet { topic, values })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let p = Packet::new("sensor/temp/2", vec![72.5, -1.0, 0.0]);
+        assert_eq!(Packet::decode(p.encode()).unwrap(), p);
+    }
+
+    #[test]
+    fn empty_values_roundtrip() {
+        let p = Packet::new("heartbeat", vec![]);
+        assert_eq!(Packet::decode(p.encode()).unwrap(), p);
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let enc = Packet::new("sensor/temp/2", vec![1.0]).encode();
+        for cut in [0, 1, 3, enc.len() - 1] {
+            let sliced = enc.slice(0..cut);
+            assert_eq!(Packet::decode(sliced), Err(PacketError::Truncated), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn bad_utf8_rejected() {
+        let mut raw = BytesMut::new();
+        raw.put_u16(2);
+        raw.put_slice(&[0xff, 0xfe]);
+        raw.put_u16(0);
+        assert_eq!(Packet::decode(raw.freeze()), Err(PacketError::BadTopic));
+    }
+}

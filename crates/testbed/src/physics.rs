@@ -1,0 +1,223 @@
+//! Thermal physics of the 1:24-scale testbed.
+//!
+//! Each zone is a small enclosure heated by LED bulbs (emulated occupants
+//! and appliances) and cooled by a 1.4 CFM supply fan. Zones are *not*
+//! perfectly insulated — heat leaks to ambient with a convection-like
+//! super-linear term — which is exactly why the paper found the testbed
+//! dynamics nonlinear and resorted to a degree-2 regression model (§VI).
+
+/// Testbed physical parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TestbedParams {
+    /// Geometric scale factor relative to the real home (paper: 24).
+    pub scale: f64,
+    /// Supply-fan airflow in CFM (paper: 1.4).
+    pub fan_cfm: f64,
+    /// Supply-air temperature, °F.
+    pub supply_temp_f: f64,
+    /// Ambient (room) temperature around the testbed, °F.
+    pub ambient_f: f64,
+    /// Zone setpoint temperature, °F.
+    pub setpoint_f: f64,
+    /// Electrical power of one emulation LED, watts (paper: 5 W).
+    pub led_watts: f64,
+    /// Electrical power of one supply fan at full duty, watts.
+    pub fan_watts: f64,
+    /// Linear leakage coefficient, W/°F.
+    pub leak_w_per_f: f64,
+    /// Quadratic leakage coefficient, W/°F² (the nonlinearity).
+    pub leak_w_per_f2: f64,
+    /// Zone thermal mass, J/°F (small for a scale model).
+    pub thermal_mass_j_per_f: f64,
+}
+
+impl Default for TestbedParams {
+    fn default() -> Self {
+        TestbedParams {
+            scale: 24.0,
+            fan_cfm: 1.4,
+            supply_temp_f: 55.0,
+            ambient_f: 77.0,
+            setpoint_f: 72.0,
+            led_watts: 5.0,
+            fan_watts: 3.0,
+            leak_w_per_f: 0.35,
+            leak_w_per_f2: 0.02,
+            thermal_mass_j_per_f: 600.0,
+        }
+    }
+}
+
+/// State of one scaled zone.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ZoneState {
+    /// Current air temperature, °F.
+    pub temp_f: f64,
+}
+
+/// The scaled multi-zone thermal simulator.
+#[derive(Debug, Clone)]
+pub struct TestbedSim {
+    /// Physical parameters.
+    pub params: TestbedParams,
+    zones: Vec<ZoneState>,
+    /// Cumulative fan (HVAC) electrical energy, kWh.
+    pub fan_kwh: f64,
+    /// Cumulative LED (occupant/appliance emulation) energy, kWh.
+    pub led_kwh: f64,
+}
+
+/// Fan cooling capacity in watts at a given zone temperature:
+/// `Q × (T_zone − T_supply) × 0.3167`, slightly degraded at higher ΔT
+/// (duct losses) — a second nonlinearity.
+fn fan_cooling_watts(params: &TestbedParams, duty: f64, temp_f: f64) -> f64 {
+    let dt = (temp_f - params.supply_temp_f).max(0.0);
+    let degradation = 1.0 / (1.0 + 0.01 * dt);
+    duty * params.fan_cfm * dt * 0.3167 * degradation * 8.0
+    // ×8: the scale model's fan moves a far larger fraction of the tiny
+    // zone volume per minute than a real AHU does.
+}
+
+impl TestbedSim {
+    /// Creates a simulator with all zones at ambient temperature.
+    pub fn new(params: TestbedParams, n_zones: usize) -> TestbedSim {
+        TestbedSim {
+            zones: vec![
+                ZoneState {
+                    temp_f: params.ambient_f,
+                };
+                n_zones
+            ],
+            params,
+            fan_kwh: 0.0,
+            led_kwh: 0.0,
+        }
+    }
+
+    /// Zone states.
+    pub fn zones(&self) -> &[ZoneState] {
+        &self.zones
+    }
+
+    /// Advances one minute. `leds[z]` is the number of lit emulation LEDs
+    /// in zone `z` (occupants + appliances); `fan_duty[z] ∈ [0, 1]` is the
+    /// commanded fan on-fraction for the minute.
+    ///
+    /// # Panics
+    ///
+    /// Panics if slice lengths do not match the zone count.
+    pub fn step_minute(&mut self, leds: &[usize], fan_duty: &[f64]) {
+        assert_eq!(leds.len(), self.zones.len());
+        assert_eq!(fan_duty.len(), self.zones.len());
+        let p = self.params;
+        for (z, zone) in self.zones.iter_mut().enumerate() {
+            let duty = fan_duty[z].clamp(0.0, 1.0);
+            let heat_w = leds[z] as f64 * p.led_watts;
+            let cool_w = fan_cooling_watts(&p, duty, zone.temp_f);
+            let dt_amb = zone.temp_f - p.ambient_f;
+            let leak_w = p.leak_w_per_f * dt_amb + p.leak_w_per_f2 * dt_amb * dt_amb.abs();
+            // 60 J per W·minute.
+            let net_j = (heat_w - cool_w - leak_w) * 60.0;
+            zone.temp_f += net_j / p.thermal_mass_j_per_f;
+            self.fan_kwh += duty * p.fan_watts / 60_000.0;
+            self.led_kwh += heat_w / 60_000.0;
+        }
+    }
+
+    /// Runs `minutes` steps with constant inputs; returns final zone
+    /// temperatures. Convenience for regression-training experiments.
+    pub fn run_constant(&mut self, leds: &[usize], fan_duty: &[f64], minutes: usize) -> Vec<f64> {
+        for _ in 0..minutes {
+            self.step_minute(leds, fan_duty);
+        }
+        self.zones.iter().map(|z| z.temp_f).collect()
+    }
+
+    /// Generates training data for the dynamics model: for a sweep of LED
+    /// heat loads, the steady-state fan duty needed to hold the setpoint.
+    /// This is the (load → airflow) curve the paper's degree-2 regression
+    /// learns.
+    pub fn training_curve(params: &TestbedParams, max_leds: usize) -> (Vec<f64>, Vec<f64>) {
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for leds in 0..=max_leds {
+            // Bisect the duty that holds the setpoint at equilibrium.
+            let heat_w = leds as f64 * params.led_watts;
+            let dt_amb = params.setpoint_f - params.ambient_f;
+            let leak_w = params.leak_w_per_f * dt_amb + params.leak_w_per_f2 * dt_amb * dt_amb.abs();
+            let needed_w = (heat_w - leak_w).max(0.0);
+            let full = fan_cooling_watts(params, 1.0, params.setpoint_f);
+            let duty = if full > 0.0 { (needed_w / full).min(1.0) } else { 0.0 };
+            xs.push(leds as f64);
+            ys.push(duty);
+        }
+        (xs, ys)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unheated_zone_settles_at_ambient() {
+        let p = TestbedParams::default();
+        let mut sim = TestbedSim::new(p, 4);
+        let temps = sim.run_constant(&[0; 4], &[0.0; 4], 240);
+        for t in temps {
+            assert!((t - p.ambient_f).abs() < 0.5, "temp {t}");
+        }
+    }
+
+    #[test]
+    fn leds_heat_the_zone() {
+        let p = TestbedParams::default();
+        let mut sim = TestbedSim::new(p, 1);
+        let temps = sim.run_constant(&[4], &[0.0], 120);
+        assert!(temps[0] > p.ambient_f + 3.0, "temp {}", temps[0]);
+    }
+
+    #[test]
+    fn fan_cools_a_heated_zone() {
+        let p = TestbedParams::default();
+        let mut hot = TestbedSim::new(p, 1);
+        hot.run_constant(&[4], &[0.0], 120);
+        let without = hot.zones()[0].temp_f;
+        let mut cooled = TestbedSim::new(p, 1);
+        cooled.run_constant(&[4], &[1.0], 120);
+        let with = cooled.zones()[0].temp_f;
+        assert!(with < without - 2.0, "with {with} without {without}");
+    }
+
+    #[test]
+    fn energy_accumulates_with_duty() {
+        let p = TestbedParams::default();
+        let mut idle = TestbedSim::new(p, 2);
+        idle.run_constant(&[0, 0], &[0.0, 0.0], 60);
+        let mut busy = TestbedSim::new(p, 2);
+        busy.run_constant(&[2, 1], &[1.0, 0.5], 60);
+        assert_eq!(idle.fan_kwh + idle.led_kwh, 0.0);
+        assert!(busy.fan_kwh > 0.0 && busy.led_kwh > 0.0);
+    }
+
+    #[test]
+    fn training_curve_is_monotone_and_nonlinear() {
+        let p = TestbedParams::default();
+        let (xs, ys) = TestbedSim::training_curve(&p, 8);
+        assert_eq!(xs.len(), 9);
+        for w in ys.windows(2) {
+            assert!(w[1] >= w[0] - 1e-12, "duty must grow with load");
+        }
+        // The regression target: a quadratic fits it to < 2%.
+        let c = crate::polyfit::polyfit(&xs, &ys, 2).unwrap();
+        let err = crate::polyfit::mape(&c, &xs[1..], &ys[1..]);
+        assert!(err < 2.0, "fit error {err}%");
+    }
+
+    #[test]
+    #[should_panic(expected = "assertion")]
+    fn mismatched_slices_panic() {
+        let mut sim = TestbedSim::new(TestbedParams::default(), 2);
+        sim.step_minute(&[0], &[0.0, 0.0]);
+    }
+}

@@ -1,0 +1,140 @@
+//! Polynomial least-squares fitting (normal equations + Gaussian
+//! elimination). The paper trains a degree-2 polynomial regression to
+//! model the testbed's nonlinear airflow/heat dynamics, reporting < 2%
+//! error against measurements (§VI).
+
+/// Fits `ys ≈ Σ_k coeffs[k]·xs^k` of the given degree by least squares.
+///
+/// Returns `None` when the system is under-determined (fewer points than
+/// coefficients) or numerically singular.
+pub fn polyfit(xs: &[f64], ys: &[f64], degree: usize) -> Option<Vec<f64>> {
+    let n = degree + 1;
+    if xs.len() != ys.len() || xs.len() < n {
+        return None;
+    }
+    // Normal equations: A^T A c = A^T y, with A the Vandermonde matrix.
+    let mut ata = vec![vec![0.0f64; n]; n];
+    let mut aty = vec![0.0f64; n];
+    for (&x, &y) in xs.iter().zip(ys) {
+        let mut powers = vec![1.0; 2 * n - 1];
+        for k in 1..2 * n - 1 {
+            powers[k] = powers[k - 1] * x;
+        }
+        for i in 0..n {
+            for j in 0..n {
+                ata[i][j] += powers[i + j];
+            }
+            aty[i] += powers[i] * y;
+        }
+    }
+    solve(ata, aty)
+}
+
+/// Solves a small dense linear system by Gaussian elimination with partial
+/// pivoting. Returns `None` on singularity.
+fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
+    let n = b.len();
+    for col in 0..n {
+        // Pivot.
+        let pivot = (col..n).max_by(|&i, &j| {
+            a[i][col]
+                .abs()
+                .partial_cmp(&a[j][col].abs())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })?;
+        if a[pivot][col].abs() < 1e-12 {
+            return None;
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        // Eliminate below.
+        for row in (col + 1)..n {
+            let f = a[row][col] / a[col][col];
+            for k in col..n {
+                a[row][k] -= f * a[col][k];
+            }
+            b[row] -= f * b[col];
+        }
+    }
+    // Back-substitute.
+    let mut x = vec![0.0; n];
+    for col in (0..n).rev() {
+        let mut s = b[col];
+        for k in (col + 1)..n {
+            s -= a[col][k] * x[k];
+        }
+        x[col] = s / a[col][col];
+    }
+    Some(x)
+}
+
+/// Evaluates a polynomial with coefficients in ascending-power order.
+pub fn polyval(coeffs: &[f64], x: f64) -> f64 {
+    coeffs.iter().rev().fold(0.0, |acc, &c| acc * x + c)
+}
+
+/// Mean absolute percentage error of a fitted polynomial on data.
+pub fn mape(coeffs: &[f64], xs: &[f64], ys: &[f64]) -> f64 {
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for (&x, &y) in xs.iter().zip(ys) {
+        if y.abs() > 1e-9 {
+            total += ((polyval(coeffs, x) - y) / y).abs();
+            count += 1;
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        100.0 * total / count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_quadratic_recovered() {
+        let xs: Vec<f64> = (0..20).map(|i| i as f64 * 0.5).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| 2.0 - 3.0 * x + 0.5 * x * x).collect();
+        let c = polyfit(&xs, &ys, 2).unwrap();
+        assert!((c[0] - 2.0).abs() < 1e-9);
+        assert!((c[1] + 3.0).abs() < 1e-9);
+        assert!((c[2] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn underdetermined_returns_none() {
+        assert!(polyfit(&[1.0, 2.0], &[1.0, 2.0], 2).is_none());
+    }
+
+    #[test]
+    fn mismatched_lengths_return_none() {
+        assert!(polyfit(&[1.0, 2.0, 3.0], &[1.0], 1).is_none());
+    }
+
+    #[test]
+    fn singular_system_returns_none() {
+        // All identical x values.
+        let xs = vec![2.0; 5];
+        let ys = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        assert!(polyfit(&xs, &ys, 2).is_none());
+    }
+
+    #[test]
+    fn polyval_horner() {
+        // 1 + 2x + 3x^2 at x = 2 -> 17.
+        assert_eq!(polyval(&[1.0, 2.0, 3.0], 2.0), 17.0);
+    }
+
+    #[test]
+    fn quadratic_fits_mild_nonlinearity_under_two_percent() {
+        // x^1.25-style convection curve on the operating range (relative
+        // error is meaningless near y = 0, so start away from the origin).
+        let xs: Vec<f64> = (8..40).map(|i| i as f64 * 0.25).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| x.powf(1.25)).collect();
+        let c = polyfit(&xs, &ys, 2).unwrap();
+        assert!(mape(&c, &xs, &ys) < 2.0, "mape {}", mape(&c, &xs, &ys));
+    }
+}

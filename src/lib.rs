@@ -1,0 +1,30 @@
+//! SHATTER — control- and defense-aware attack analytics for activity-driven
+//! smart home systems (reproduction of Haque et al., DSN 2023).
+//!
+//! This facade crate re-exports the workspace's public API so downstream
+//! users depend on a single crate:
+//!
+//! - [`geometry`] — convex hulls for ADM cluster linearization,
+//! - [`smarthome`] — the smart-home domain model,
+//! - [`dataset`] — the ARAS-compatible dataset substrate,
+//! - [`hvac`] — the demand-controlled HVAC controller and energy pricing,
+//! - [`adm`] — clustering-based anomaly detection models,
+//! - [`smt`] — the CDCL(T) solver used for formal attack synthesis,
+//! - [`analytics`] — the SHATTER attack analytics core,
+//! - [`testbed`] — the simulated prototype testbed.
+//!
+//! # Quickstart
+//!
+//! See `examples/quickstart.rs` for an end-to-end run: synthesize a month of
+//! ARAS-like data, train an ADM, and synthesize a stealthy attack schedule.
+
+#![forbid(unsafe_code)]
+
+pub use shatter_adm as adm;
+pub use shatter_core as analytics;
+pub use shatter_dataset as dataset;
+pub use shatter_geometry as geometry;
+pub use shatter_hvac as hvac;
+pub use shatter_smarthome as smarthome;
+pub use shatter_smt as smt;
+pub use shatter_testbed as testbed;

@@ -1,0 +1,182 @@
+//! End-to-end integration tests: synthesize → train ADM → attack →
+//! validate stealth and impact, across crates.
+
+use shatter::adm::{AdmKind, HullAdm};
+use shatter::analytics::{
+    biota::detection_rate, impact, AttackSchedule, AttackerCapability, BiotaScheduler,
+    GreedyScheduler, Scheduler, SmtScheduler, WindowDpScheduler,
+};
+use shatter::dataset::episodes::extract_episodes;
+use shatter::dataset::{synthesize, HouseKind, SynthConfig};
+use shatter::hvac::{DchvacController, EnergyModel};
+use shatter::smarthome::{houses, OccupantId, MINUTES_PER_DAY};
+
+fn fixture(
+    house: HouseKind,
+    seed: u64,
+) -> (
+    EnergyModel,
+    shatter::dataset::Dataset,
+    HullAdm,
+    AttackerCapability,
+) {
+    let home = match house {
+        HouseKind::A => houses::aras_house_a(),
+        HouseKind::B => houses::aras_house_b(),
+    };
+    let ds = synthesize(&SynthConfig::new(house, 14, seed));
+    let adm = HullAdm::train(&ds.prefix_days(12), AdmKind::default_kmeans());
+    let model = EnergyModel::standard(home.clone());
+    let cap = AttackerCapability::full(&home);
+    (model, ds, adm, cap)
+}
+
+#[test]
+fn dp_attack_is_stealthy_across_seeds_and_houses() {
+    for house in [HouseKind::A, HouseKind::B] {
+        for seed in [1u64, 2, 3] {
+            let (model, ds, adm, cap) = fixture(house, seed);
+            let table = shatter::analytics::RewardTable::build(&model);
+            for day in &ds.days[12..14] {
+                let sched = WindowDpScheduler::default().schedule(&table, &adm, &cap, day);
+                sched
+                    .validate(&adm, &cap, day)
+                    .unwrap_or_else(|e| panic!("{house:?} seed {seed} day {}: {e}", day.day));
+            }
+        }
+    }
+}
+
+#[test]
+fn attack_cost_ordering_matches_paper_table5() {
+    // BIoTA (no ADM) >= SHATTER >= benign; BIoTA heavily detected,
+    // SHATTER essentially undetected.
+    let (model, ds, adm, cap) = fixture(HouseKind::A, 7);
+    let days = &ds.days[12..14];
+    let biota = impact::evaluate_days(&model, &adm, &cap, days, &BiotaScheduler, false);
+    let shatter = impact::evaluate_days(
+        &model,
+        &adm,
+        &cap,
+        days,
+        &WindowDpScheduler::default(),
+        false,
+    );
+    let biota_cost = impact::total_attacked_usd(&biota);
+    let shatter_cost = impact::total_attacked_usd(&shatter);
+    let benign = impact::total_benign_usd(&shatter);
+    assert!(biota_cost >= shatter_cost, "{biota_cost} vs {shatter_cost}");
+    assert!(shatter_cost >= benign, "{shatter_cost} vs {benign}");
+    let biota_detect: f64 =
+        biota.iter().map(|o| o.detection_rate).sum::<f64>() / biota.len() as f64;
+    let shatter_detect: f64 =
+        shatter.iter().map(|o| o.detection_rate).sum::<f64>() / shatter.len() as f64;
+    assert!(biota_detect >= 0.6, "biota detection {biota_detect}");
+    assert!(shatter_detect <= 0.05, "shatter detection {shatter_detect}");
+}
+
+#[test]
+fn occupant_count_is_conserved_by_every_scheduler() {
+    // Paper Eq. 13/18: every occupant is reported in exactly one zone per
+    // slot, so total reported presence equals total actual presence.
+    let (model, ds, adm, cap) = fixture(HouseKind::B, 9);
+    let table = shatter::analytics::RewardTable::build(&model);
+    let day = &ds.days[12];
+    for sched in [
+        WindowDpScheduler::default().schedule(&table, &adm, &cap, day),
+        GreedyScheduler.schedule(&table, &adm, &cap, day),
+        BiotaScheduler.schedule(&table, &adm, &cap, day),
+    ] {
+        for row in &sched.zones {
+            assert_eq!(row.len(), MINUTES_PER_DAY);
+        }
+        assert_eq!(sched.n_occupants(), 2);
+    }
+}
+
+#[test]
+fn smt_and_dp_windows_agree_on_committed_value() {
+    let (model, ds, adm, cap) = fixture(HouseKind::A, 4);
+    let table = shatter::analytics::RewardTable::build(&model);
+    let day = &ds.days[12];
+    let (smt_row, stats) = SmtScheduler::default().schedule_occupant(
+        OccupantId(0),
+        &table,
+        &adm,
+        &cap,
+        day,
+        40,
+    );
+    assert_eq!(stats.windows, 4);
+    // DP with triggers disabled shares the SMT objective exactly.
+    let dp = WindowDpScheduler {
+        trigger_aware: false,
+        ..Default::default()
+    }
+    .schedule(&table, &adm, &cap, day);
+    let value = |row: &[shatter::smarthome::ZoneId]| -> f64 {
+        row.iter()
+            .enumerate()
+            .map(|(t, &z)| table.rate(OccupantId(0), z, t as u32))
+            .sum()
+    };
+    let smt_v = value(&smt_row);
+    let dp_v = value(&dp.zones[0][..40]);
+    assert!(
+        (smt_v - dp_v).abs() <= 0.25 * dp_v.max(1e-9) + 1e-9,
+        "smt {smt_v} vs dp {dp_v}"
+    );
+}
+
+#[test]
+fn triggering_never_decreases_cost_and_stays_unnoticed() {
+    let (model, ds, adm, cap) = fixture(HouseKind::A, 12);
+    let day = &ds.days[13];
+    let without = impact::evaluate_day(&model, &adm, &cap, day, &WindowDpScheduler::default(), false);
+    let with = impact::evaluate_day(&model, &adm, &cap, day, &WindowDpScheduler::default(), true);
+    assert!(with.attacked_cost_usd >= without.attacked_cost_usd - 1e-9);
+    assert!(with.detection_rate <= 0.05);
+}
+
+#[test]
+fn benign_trace_raises_no_alarm_for_kmeans_adm() {
+    // K-Means clusters every training point; a benign trace from the
+    // training distribution should pass almost entirely.
+    let (_, ds, adm, _) = fixture(HouseKind::A, 3);
+    let eps = extract_episodes(&ds.prefix_days(12));
+    let bad = adm.inconsistent_episodes(&eps);
+    assert!(bad.is_empty(), "{} training episodes flagged", bad.len());
+}
+
+#[test]
+fn identity_attack_costs_exactly_benign() {
+    let (model, ds, adm, _) = fixture(HouseKind::A, 5);
+    let day = &ds.days[12];
+    let identity = AttackSchedule::from_actual(day);
+    assert_eq!(detection_rate(&adm, &identity, day), 0.0);
+    let benign_cost = model.day_cost(&DchvacController, day).total_usd();
+    // Re-pricing the identical trace gives the identical cost.
+    let plan = shatter::analytics::trigger::TriggerPlan {
+        on: vec![Vec::new(); MINUTES_PER_DAY],
+    };
+    let attacked = impact::attacked_day_trace(day, &identity, &plan);
+    let replay_cost = model.day_cost(&DchvacController, &attacked).total_usd();
+    assert!((benign_cost - replay_cost).abs() < 1e-9);
+}
+
+#[test]
+fn restricted_capabilities_shrink_impact_monotonically() {
+    use shatter::smarthome::ZoneId;
+    let (model, ds, adm, full) = fixture(HouseKind::A, 8);
+    let days = &ds.days[12..14];
+    let sched = WindowDpScheduler::default();
+    let impact_of = |cap: &AttackerCapability| -> f64 {
+        let o = impact::evaluate_days(&model, &adm, cap, days, &sched, true);
+        impact::total_attacked_usd(&o) - impact::total_benign_usd(&o)
+    };
+    let all = impact_of(&full);
+    let three = impact_of(&full.clone().with_zone_access([ZoneId(1), ZoneId(2), ZoneId(3)]));
+    let two = impact_of(&full.clone().with_zone_access([ZoneId(2), ZoneId(3)]));
+    assert!(all >= three - 1e-6, "all {all} < three {three}");
+    assert!(three >= two - 1e-6, "three {three} < two {two}");
+}
