@@ -44,7 +44,7 @@ pub struct Clustering {
 
 impl Clustering {
     /// Collects the points of each cluster (noise excluded).
-    pub fn clusters<'a>(&self, points: &'a [Point]) -> Vec<Vec<Point>> {
+    pub fn clusters(&self, points: &[Point]) -> Vec<Vec<Point>> {
         let mut out = vec![Vec::new(); self.n_clusters];
         for (p, l) in points.iter().zip(&self.labels) {
             if let Label::Cluster(c) = l {
@@ -153,7 +153,13 @@ mod tests {
     fn two_blobs_two_clusters() {
         let mut pts = blob(0.0, 0.0, 30);
         pts.extend(blob(100.0, 100.0, 30));
-        let c = dbscan(&pts, &DbscanParams { eps: 6.0, min_pts: 4 });
+        let c = dbscan(
+            &pts,
+            &DbscanParams {
+                eps: 6.0,
+                min_pts: 4,
+            },
+        );
         assert_eq!(c.n_clusters, 2);
         assert_eq!(c.n_noise(), 0);
         // Points of the same blob share a label.
@@ -169,7 +175,13 @@ mod tests {
             Point::new(50.0, 0.0),
             Point::new(100.0, 0.0),
         ];
-        let c = dbscan(&pts, &DbscanParams { eps: 5.0, min_pts: 2 });
+        let c = dbscan(
+            &pts,
+            &DbscanParams {
+                eps: 5.0,
+                min_pts: 2,
+            },
+        );
         assert_eq!(c.n_clusters, 0);
         assert_eq!(c.n_noise(), 3);
     }
@@ -184,7 +196,13 @@ mod tests {
     #[test]
     fn min_pts_one_clusters_everything() {
         let pts = vec![Point::new(0.0, 0.0), Point::new(1000.0, 0.0)];
-        let c = dbscan(&pts, &DbscanParams { eps: 1.0, min_pts: 1 });
+        let c = dbscan(
+            &pts,
+            &DbscanParams {
+                eps: 1.0,
+                min_pts: 1,
+            },
+        );
         assert_eq!(c.n_clusters, 2);
         assert_eq!(c.n_noise(), 0);
     }
@@ -194,7 +212,13 @@ mod tests {
         // A dense core with one border point within eps of the core.
         let mut pts = blob(0.0, 0.0, 20);
         pts.push(Point::new(8.0, 0.0));
-        let c = dbscan(&pts, &DbscanParams { eps: 6.0, min_pts: 5 });
+        let c = dbscan(
+            &pts,
+            &DbscanParams {
+                eps: 6.0,
+                min_pts: 5,
+            },
+        );
         assert_eq!(c.n_clusters, 1);
         assert!(matches!(c.labels[20], Label::Cluster(0)));
     }
@@ -203,7 +227,13 @@ mod tests {
     fn clusters_collects_members() {
         let mut pts = blob(0.0, 0.0, 15);
         pts.push(Point::new(500.0, 500.0));
-        let c = dbscan(&pts, &DbscanParams { eps: 6.0, min_pts: 3 });
+        let c = dbscan(
+            &pts,
+            &DbscanParams {
+                eps: 6.0,
+                min_pts: 3,
+            },
+        );
         let groups = c.clusters(&pts);
         assert_eq!(groups.len(), c.n_clusters);
         let total: usize = groups.iter().map(Vec::len).sum();

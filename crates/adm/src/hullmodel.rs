@@ -118,10 +118,7 @@ impl HullAdm {
                 AdmKind::Dbscan(p) => dbscan(&pts, p).clusters(&pts),
                 AdmKind::KMeans(p) => kmeans(&pts, p).clusters(&pts),
             };
-            let hulls: Vec<Hull> = clusters
-                .iter()
-                .filter_map(|c| cluster_hull(c))
-                .collect();
+            let hulls: Vec<Hull> = clusters.iter().filter_map(|c| cluster_hull(c)).collect();
             models.insert(
                 key,
                 ZoneModel {
@@ -160,12 +157,7 @@ impl HullAdm {
     /// Stealthy stay ranges at an arrival time: for each hull crossing the
     /// vertical line `x = arrival`, the `[min, max]` stay interval. These
     /// are the "Range Threshold" rows of the paper's Table III.
-    pub fn stay_ranges(
-        &self,
-        occupant: OccupantId,
-        zone: ZoneId,
-        arrival: f64,
-    ) -> Vec<(f64, f64)> {
+    pub fn stay_ranges(&self, occupant: OccupantId, zone: ZoneId, arrival: f64) -> Vec<(f64, f64)> {
         let mut ranges: Vec<(f64, f64)> = self
             .zone_model(occupant, zone)
             .map(|m| {

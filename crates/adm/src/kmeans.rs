@@ -105,10 +105,7 @@ pub fn kmeans(points: &[Point], params: &KMeansParams) -> KMeansModel {
     let mut centroids: Vec<Point> = Vec::with_capacity(k);
     centroids.push(points[rng.random_range(0..points.len())]);
     while centroids.len() < k {
-        let d2: Vec<f64> = points
-            .iter()
-            .map(|p| nearest(&centroids, *p).1)
-            .collect();
+        let d2: Vec<f64> = points.iter().map(|p| nearest(&centroids, *p).1).collect();
         let total: f64 = d2.iter().sum();
         if total <= 0.0 {
             break;
@@ -195,7 +192,13 @@ mod tests {
     fn separates_two_blobs() {
         let mut pts = blob(0.0, 0.0, 40);
         pts.extend(blob(200.0, 0.0, 40));
-        let m = kmeans(&pts, &KMeansParams { k: 2, ..Default::default() });
+        let m = kmeans(
+            &pts,
+            &KMeansParams {
+                k: 2,
+                ..Default::default()
+            },
+        );
         assert_eq!(m.centroids.len(), 2);
         assert!(m.assignments[..40].iter().all(|&a| a == m.assignments[0]));
         assert!(m.assignments[40..].iter().all(|&a| a == m.assignments[40]));
@@ -204,7 +207,13 @@ mod tests {
     #[test]
     fn k_clamped_to_distinct_points() {
         let pts = vec![Point::new(1.0, 1.0); 10];
-        let m = kmeans(&pts, &KMeansParams { k: 5, ..Default::default() });
+        let m = kmeans(
+            &pts,
+            &KMeansParams {
+                k: 5,
+                ..Default::default()
+            },
+        );
         assert_eq!(m.centroids.len(), 1);
         assert!(m.assignments.iter().all(|&a| a == 0));
     }
@@ -212,7 +221,10 @@ mod tests {
     #[test]
     fn deterministic_for_seed() {
         let pts = blob(0.0, 0.0, 50);
-        let p = KMeansParams { k: 4, ..Default::default() };
+        let p = KMeansParams {
+            k: 4,
+            ..Default::default()
+        };
         assert_eq!(kmeans(&pts, &p), kmeans(&pts, &p));
     }
 
@@ -227,15 +239,35 @@ mod tests {
         let mut pts = blob(0.0, 0.0, 30);
         pts.extend(blob(100.0, 50.0, 30));
         pts.extend(blob(-80.0, 90.0, 30));
-        let i1 = kmeans(&pts, &KMeansParams { k: 1, ..Default::default() }).inertia(&pts);
-        let i3 = kmeans(&pts, &KMeansParams { k: 3, ..Default::default() }).inertia(&pts);
+        let i1 = kmeans(
+            &pts,
+            &KMeansParams {
+                k: 1,
+                ..Default::default()
+            },
+        )
+        .inertia(&pts);
+        let i3 = kmeans(
+            &pts,
+            &KMeansParams {
+                k: 3,
+                ..Default::default()
+            },
+        )
+        .inertia(&pts);
         assert!(i3 < i1);
     }
 
     #[test]
     fn every_point_assigned() {
         let pts = blob(0.0, 0.0, 25);
-        let m = kmeans(&pts, &KMeansParams { k: 4, ..Default::default() });
+        let m = kmeans(
+            &pts,
+            &KMeansParams {
+                k: 4,
+                ..Default::default()
+            },
+        );
         assert_eq!(m.assignments.len(), pts.len());
         for &a in &m.assignments {
             assert!(a < m.centroids.len());

@@ -10,11 +10,7 @@ use shatter_geometry::Point;
 use shatter_smarthome::{OccupantId, ZoneId};
 
 fn arb_episodes() -> impl Strategy<Value = Vec<Episode>> {
-    prop::collection::vec(
-        (0u32..1380, 1u32..60, 0usize..2, 1usize..5),
-        8..80,
-    )
-    .prop_map(|v| {
+    prop::collection::vec((0u32..1380, 1u32..60, 0usize..2, 1usize..5), 8..80).prop_map(|v| {
         v.into_iter()
             .map(|(arrival, stay, o, z)| Episode {
                 occupant: OccupantId(o),

@@ -7,9 +7,7 @@ use std::hint::black_box;
 
 use shatter_adm::AdmKind;
 use shatter_bench::common::HouseFixture;
-use shatter_core::{
-    AttackerCapability, RewardTable, Scheduler, SmtScheduler, WindowDpScheduler,
-};
+use shatter_core::{AttackerCapability, RewardTable, Scheduler, SmtScheduler, WindowDpScheduler};
 use shatter_dataset::HouseKind;
 use shatter_hvac::EnergyModel;
 use shatter_smarthome::{houses, OccupantId};
@@ -29,14 +27,7 @@ fn bench_horizon(c: &mut Criterion) {
                 ..SmtScheduler::default()
             };
             b.iter(|| {
-                black_box(sched.schedule_occupant(
-                    OccupantId(0),
-                    &table,
-                    &adm,
-                    &cap,
-                    day,
-                    36,
-                ))
+                black_box(sched.schedule_occupant(OccupantId(0), &table, &adm, &cap, day, 36))
             })
         });
     }
@@ -57,14 +48,7 @@ fn bench_zones(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(n_zones), &n_zones, |b, _| {
             let sched = SmtScheduler::default();
             b.iter(|| {
-                black_box(sched.schedule_occupant(
-                    OccupantId(0),
-                    &table,
-                    &adm,
-                    &cap,
-                    day,
-                    30,
-                ))
+                black_box(sched.schedule_occupant(OccupantId(0), &table, &adm, &cap, day, 30))
             })
         });
     }

@@ -1,74 +1,39 @@
-//! `repro` — regenerates every table and figure of the SHATTER paper's
-//! evaluation (see `DESIGN.md` §4 and `EXPERIMENTS.md`).
+//! `repro` — regenerates the SHATTER paper's evaluation through the
+//! scenario engine's registry, fixture cache and parallel runner.
 //!
 //! Usage:
 //!
 //! ```text
-//! repro [--days N] [--span N] [--out DIR] [exhibit...]
-//! repro all          # everything (default)
-//! repro tab5 fig10   # selected exhibits
+//! repro [--list] [--only ID[,ID...]] [--threads N] [--serial]
+//!       [--days N] [--span N] [--seed N]
+//!       [--json] [--no-text] [--out DIR] [--no-csv]
+//!       [--baseline PATH] [exhibit...]
+//! repro                 # full suite, parallel, text + CSV
+//! repro --only tab5,fig10 --threads 4 --json
+//! repro --baseline BENCH_engine.json --days 6 --span 20
 //! ```
-//!
-//! Exhibits: fig3 fig4 fig5 fig6 tab3 tab4 tab5 fig10 tab6 tab7 fig11
-//! testbed. Each prints an aligned table and writes `results/<id>.csv`.
 
 use std::path::PathBuf;
-use std::time::Instant;
 
-use shatter_bench::exhibits;
-use shatter_bench::{write_csv, Table};
+use shatter_bench::scenarios::builtin_registry;
+use shatter_engine::baseline::measure;
+use shatter_engine::runner::run_scenarios;
+use shatter_engine::{
+    CsvReporter, FixtureCache, JsonLinesReporter, Reporter, RunConfig, RunParams, TextReporter,
+};
 
 struct Options {
+    list: bool,
+    wanted: Vec<String>,
+    threads: usize,
     days: usize,
     span: usize,
+    seed: u64,
+    json: bool,
+    text: bool,
+    csv: bool,
     out: PathBuf,
-    wanted: Vec<String>,
-}
-
-const ALL: [&str; 13] = [
-    "fig3", "fig4", "fig5", "fig6", "tab3", "tab4", "tab5", "fig10", "tab6", "tab7", "fig11",
-    "testbed", "ablation",
-];
-
-fn parse_args() -> Options {
-    let mut opts = Options {
-        days: 30,
-        span: 60,
-        out: PathBuf::from("results"),
-        wanted: Vec::new(),
-    };
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
-        match a.as_str() {
-            "--days" => {
-                opts.days = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| die("--days needs a number"));
-            }
-            "--span" => {
-                opts.span = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| die("--span needs a number"));
-            }
-            "--out" => {
-                opts.out = PathBuf::from(args.next().unwrap_or_else(|| die("--out needs a path")));
-            }
-            "all" => opts.wanted.extend(ALL.iter().map(|s| s.to_string())),
-            "--help" | "-h" => {
-                println!("usage: repro [--days N] [--span N] [--out DIR] [exhibit...]");
-                println!("exhibits: {}", ALL.join(" "));
-                std::process::exit(0);
-            }
-            other if ALL.contains(&other) => opts.wanted.push(other.to_string()),
-            other => die(&format!("unknown argument {other:?} (try --help)")),
-        }
-    }
-    if opts.wanted.is_empty() {
-        opts.wanted.extend(ALL.iter().map(|s| s.to_string()));
-    }
-    opts
+    baseline: Option<PathBuf>,
 }
 
 fn die(msg: &str) -> ! {
@@ -76,40 +41,153 @@ fn die(msg: &str) -> ! {
     std::process::exit(2);
 }
 
+fn parse_args(known_ids: &[String]) -> Options {
+    let mut opts = Options {
+        list: false,
+        wanted: Vec::new(),
+        threads: 0,
+        days: 30,
+        span: 60,
+        seed: 0,
+        json: false,
+        text: true,
+        csv: true,
+        out: PathBuf::from("results"),
+        baseline: None,
+    };
+    let mut args = std::env::args().skip(1);
+    let next_num = |args: &mut dyn Iterator<Item = String>, what: &str| -> usize {
+        args.next()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| die(&format!("{what} needs a number")))
+    };
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--list" => opts.list = true,
+            "--only" => {
+                let ids = args.next().unwrap_or_else(|| die("--only needs ids"));
+                opts.wanted
+                    .extend(ids.split(',').map(|s| s.trim().to_string()));
+            }
+            "--threads" => opts.threads = next_num(&mut args, "--threads"),
+            "--serial" => opts.threads = 1,
+            "--days" => opts.days = next_num(&mut args, "--days"),
+            "--span" => opts.span = next_num(&mut args, "--span"),
+            // --seed offsets every dataset seed (XORed into the canonical
+            // per-house seeds), regenerating the synthetic months.
+            "--seed" => opts.seed = next_num(&mut args, "--seed") as u64,
+            "--json" => opts.json = true,
+            "--no-text" => opts.text = false,
+            "--no-csv" => opts.csv = false,
+            "--out" => {
+                opts.out = PathBuf::from(args.next().unwrap_or_else(|| die("--out needs a path")));
+            }
+            "--baseline" => {
+                opts.baseline = Some(PathBuf::from(
+                    args.next()
+                        .unwrap_or_else(|| die("--baseline needs a path")),
+                ));
+            }
+            "all" => opts.wanted.extend(known_ids.iter().cloned()),
+            "--help" | "-h" => {
+                println!(
+                    "usage: repro [--list] [--only ID[,ID...]] [--threads N] [--serial]\n\
+                     \x20            [--days N] [--span N] [--seed N] [--json] [--no-text]\n\
+                     \x20            [--out DIR] [--no-csv] [--baseline PATH] [exhibit...]"
+                );
+                println!("exhibits: {}", known_ids.join(" "));
+                std::process::exit(0);
+            }
+            other if known_ids.iter().any(|id| id == other) => {
+                opts.wanted.push(other.to_string());
+            }
+            other => die(&format!("unknown argument {other:?} (try --help)")),
+        }
+    }
+    opts
+}
+
 fn main() {
-    let opts = parse_args();
-    println!(
-        "SHATTER reproduction harness — days={}, span={}, out={}",
+    let registry = builtin_registry();
+    let ids = registry.ids();
+    let opts = parse_args(&ids);
+
+    if opts.list {
+        println!("{:<12} {:<38} description", "id", "title");
+        for s in registry.all() {
+            println!("{:<12} {:<38} {}", s.id(), s.title(), s.description());
+        }
+        return;
+    }
+
+    let scenarios = if opts.wanted.is_empty() {
+        registry.all()
+    } else {
+        registry
+            .select(&opts.wanted)
+            .unwrap_or_else(|bad| die(&format!("unknown exhibit {bad:?} (try --list)")))
+    };
+
+    let cfg = RunConfig {
+        threads: opts.threads,
+        params: RunParams {
+            days: opts.days,
+            span: opts.span,
+            base_seed: opts.seed,
+        },
+    };
+
+    if let Some(path) = &opts.baseline {
+        eprintln!(
+            "measuring baseline over {} scenarios (days={}, span={}) ...",
+            scenarios.len(),
+            opts.days,
+            opts.span
+        );
+        let baseline = measure(&scenarios, &cfg);
+        if let Err(e) = std::fs::write(path, baseline.to_json()) {
+            die(&format!("writing {}: {e}", path.display()));
+        }
+        eprintln!(
+            "serial+uncached {:.2}s -> parallel+cached {:.2}s ({:.2}x, {} threads); wrote {}",
+            baseline.serial_uncached_wall.as_secs_f64(),
+            baseline.parallel_cached_wall.as_secs_f64(),
+            baseline.speedup(),
+            baseline.threads,
+            path.display()
+        );
+        return;
+    }
+
+    eprintln!(
+        "SHATTER scenario engine — {} scenario(s), days={}, span={}, threads={}",
+        scenarios.len(),
         opts.days,
         opts.span,
-        opts.out.display()
+        cfg.effective_threads()
     );
-    for id in &opts.wanted {
-        let start = Instant::now();
-        let table: Table = match id.as_str() {
-            "fig3" => exhibits::fig3(opts.days),
-            "fig4" => exhibits::fig4(opts.days),
-            "fig5" => exhibits::fig5(opts.days),
-            "fig6" => exhibits::fig6(opts.days),
-            "tab3" => exhibits::tab3(),
-            "tab4" => exhibits::tab4(opts.days),
-            "tab5" => exhibits::tab5(opts.days),
-            "fig10" => exhibits::fig10(opts.days),
-            "tab6" => exhibits::tab6(opts.days),
-            "tab7" => exhibits::tab7(opts.days),
-            "fig11" => exhibits::fig11(opts.span),
-            "testbed" => exhibits::testbed(),
-            "ablation" => exhibits::ablation(opts.days),
-            other => die(&format!("unknown exhibit {other}")),
-        };
-        println!("{}", table.render());
-        match write_csv(&table, &opts.out) {
-            Ok(path) => println!(
-                "[{id}] wrote {} in {:.1}s\n",
-                path.display(),
-                start.elapsed().as_secs_f64()
-            ),
-            Err(e) => eprintln!("[{id}] csv write failed: {e}"),
+
+    let cache = FixtureCache::new();
+    let outcome = run_scenarios(&scenarios, &cache, &cfg);
+
+    let mut reporters: Vec<Box<dyn Reporter>> = Vec::new();
+    if opts.text {
+        reporters.push(Box::new(TextReporter::new(std::io::stdout())));
+    }
+    if opts.json {
+        reporters.push(Box::new(JsonLinesReporter::new(std::io::stdout())));
+    }
+    if opts.csv {
+        reporters.push(Box::new(CsvReporter::new(&opts.out)));
+    }
+    for r in &mut reporters {
+        for report in &outcome.reports {
+            if let Err(e) = r.scenario(report) {
+                die(&format!("reporter error: {e}"));
+            }
+        }
+        if let Err(e) = r.finish(&outcome) {
+            die(&format!("reporter error: {e}"));
         }
     }
 }

@@ -1,122 +1,11 @@
-//! Shared fixtures: canonical datasets, trained ADMs, and a tiny table
-//! type the exhibits return.
+//! Shared fixture/table types, now provided by `shatter-engine` and
+//! re-exported here for continuity, plus small labeling helpers.
 
-use std::fmt::Write as _;
-use std::path::Path;
+pub use shatter_engine::{
+    write_csv, FixtureCache, HouseFixture, Table, HOUSE_A_SEED, HOUSE_B_SEED,
+};
 
-use shatter_adm::{AdmKind, HullAdm};
-use shatter_dataset::{synthesize, Dataset, HouseKind, SynthConfig};
-use shatter_hvac::EnergyModel;
-use shatter_smarthome::{houses, Home};
-
-/// Seed of the canonical House-A month.
-pub const HOUSE_A_SEED: u64 = 11;
-/// Seed of the canonical House-B month.
-pub const HOUSE_B_SEED: u64 = 22;
-
-/// A rendered exhibit: header row plus data rows.
-#[derive(Debug, Clone, Default)]
-pub struct Table {
-    /// Exhibit identifier, e.g. `"tab5"`.
-    pub id: String,
-    /// Human title.
-    pub title: String,
-    /// Column names.
-    pub header: Vec<String>,
-    /// Data rows.
-    pub rows: Vec<Vec<String>>,
-}
-
-impl Table {
-    /// Creates an empty table.
-    pub fn new(id: &str, title: &str, header: &[&str]) -> Table {
-        Table {
-            id: id.to_owned(),
-            title: title.to_owned(),
-            header: header.iter().map(|s| s.to_string()).collect(),
-            rows: Vec::new(),
-        }
-    }
-
-    /// Appends a row.
-    pub fn push(&mut self, row: Vec<String>) {
-        debug_assert_eq!(row.len(), self.header.len());
-        self.rows.push(row);
-    }
-
-    /// Renders as an aligned text table.
-    pub fn render(&self) -> String {
-        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
-        for row in &self.rows {
-            for (i, cell) in row.iter().enumerate() {
-                widths[i] = widths[i].max(cell.len());
-            }
-        }
-        let mut out = String::new();
-        let _ = writeln!(out, "== {} — {} ==", self.id, self.title);
-        let line = |cells: &[String], widths: &[usize]| -> String {
-            cells
-                .iter()
-                .zip(widths)
-                .map(|(c, w)| format!("{c:>w$}"))
-                .collect::<Vec<_>>()
-                .join("  ")
-        };
-        let _ = writeln!(out, "{}", line(&self.header, &widths));
-        let _ = writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
-        for row in &self.rows {
-            let _ = writeln!(out, "{}", line(row, &widths));
-        }
-        out
-    }
-
-    /// CSV form.
-    pub fn to_csv(&self) -> String {
-        let mut out = String::new();
-        let _ = writeln!(out, "{}", self.header.join(","));
-        for row in &self.rows {
-            let _ = writeln!(out, "{}", row.join(","));
-        }
-        out
-    }
-}
-
-/// Writes a table's CSV under `dir/<id>.csv`.
-pub fn write_csv(table: &Table, dir: &Path) -> std::io::Result<std::path::PathBuf> {
-    std::fs::create_dir_all(dir)?;
-    let path = dir.join(format!("{}.csv", table.id));
-    std::fs::write(&path, table.to_csv())?;
-    Ok(path)
-}
-
-/// The canonical evaluation fixture for one house.
-pub struct HouseFixture {
-    /// The home.
-    pub home: Home,
-    /// Canonical month of behaviour.
-    pub month: Dataset,
-    /// Energy/cost model.
-    pub model: EnergyModel,
-}
-
-impl HouseFixture {
-    /// Builds the fixture for a house, optionally with fewer days (quick
-    /// mode).
-    pub fn new(kind: HouseKind, days: usize) -> HouseFixture {
-        let (home, seed) = match kind {
-            HouseKind::A => (houses::aras_house_a(), HOUSE_A_SEED),
-            HouseKind::B => (houses::aras_house_b(), HOUSE_B_SEED),
-        };
-        let month = synthesize(&SynthConfig::new(kind, days, seed));
-        let model = EnergyModel::standard(home.clone());
-        HouseFixture { home, month, model }
-    }
-
-    /// Trains an ADM on the first `days` days of the month (defender view).
-    pub fn adm(&self, kind: AdmKind, days: usize) -> HullAdm {
-        HullAdm::train(&self.month.prefix_days(days), kind)
-    }
-}
+use shatter_dataset::HouseKind;
 
 /// Dataset label in the paper's HAO1/HBO2 convention.
 pub fn dataset_label(kind: HouseKind, occupant: usize) -> String {

@@ -1,23 +1,34 @@
-//! One function per paper exhibit. See `DESIGN.md` §4 for the index.
+//! One function per paper exhibit, each a [`Scenario`] body taking the
+//! engine's [`ScenarioCtx`]. See `DESIGN.md` §4 for the exhibit index and
+//! `scenarios::register_builtin` for the registry wiring.
+//!
+//! All fixture-scale work (dataset synthesis, episode extraction, ADM
+//! training) is pulled through the context's [`FixtureCache`], so a
+//! full-suite run pays each shared fixture once.
+//!
+//! [`Scenario`]: shatter_engine::Scenario
+//! [`FixtureCache`]: shatter_engine::FixtureCache
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use shatter_adm::dbscan::DbscanParams;
 use shatter_adm::kmeans::KMeansParams;
 use shatter_adm::{indices, metrics, AdmKind, HullAdm};
 use shatter_core::{
-    biota::detection_rate, impact, trigger, AttackSchedule, AttackerCapability, BiotaScheduler,
-    GreedyScheduler, RewardTable, Scheduler, SmtScheduler, WindowDpScheduler,
+    biota::detection_rate, impact, trigger, AttackSchedule, AttackerCapability, RewardTable,
+    Scheduler, SmtScheduler, StrategyRegistry,
 };
 use shatter_dataset::attacks::{biota_attack_episodes, AttackerKnowledge, BiotaConfig};
 use shatter_dataset::episodes::{extract_episodes, features_for, Episode};
 use shatter_dataset::HouseKind;
+use shatter_engine::{HouseFixture, ScenarioCtx, Table};
 use shatter_geometry::Point;
 use shatter_hvac::{AshraeController, DchvacController, EnergyModel};
 use shatter_smarthome::{houses, ApplianceId, Minute, OccupantId, ZoneId};
 use shatter_testbed::experiment::{run_validation, ValidationConfig};
 
-use crate::common::{dataset_label, HouseFixture, Table};
+use crate::common::dataset_label;
 
 fn fmt2(x: f64) -> String {
     format!("{x:.2}")
@@ -26,15 +37,74 @@ fn fmt3(x: f64) -> String {
     format!("{x:.3}")
 }
 
+/// Stable memo-key fragment describing a trained ADM configuration.
+fn adm_tag(kind: &AdmKind, train_days: usize) -> String {
+    match kind {
+        AdmKind::Dbscan(p) => format!("dbscan:{}:{}@{train_days}", p.eps, p.min_pts),
+        AdmKind::KMeans(p) => format!("kmeans:{}:{}:{}@{train_days}", p.k, p.max_iter, p.seed),
+    }
+}
+
+/// Cached reward table of a fixture's energy model.
+fn reward_table(cx: &ScenarioCtx<'_>, fx: &HouseFixture) -> Arc<RewardTable> {
+    cx.cache.memo(
+        &format!("rtable/{:?}/{}/{}", fx.kind, fx.days, fx.seed),
+        || RewardTable::build(&fx.model),
+    )
+}
+
+/// Cached benign per-day control costs ($) of a fixture's month.
+fn benign_day_costs(cx: &ScenarioCtx<'_>, fx: &HouseFixture) -> Arc<Vec<f64>> {
+    cx.cache.memo(
+        &format!("benign/{:?}/{}/{}", fx.kind, fx.days, fx.seed),
+        || {
+            fx.model
+                .dataset_costs(&DchvacController, &fx.month.days)
+                .iter()
+                .map(|c| c.total_usd())
+                .collect()
+        },
+    )
+}
+
+/// Cached attack schedule for one day of a fixture's month. The key
+/// carries the ADM tag, strategy key, capability signature and day, so
+/// triggering on/off comparisons and overlapping exhibits synthesize
+/// each schedule once.
+#[allow(clippy::too_many_arguments)]
+fn day_schedule(
+    cx: &ScenarioCtx<'_>,
+    fx: &HouseFixture,
+    adm: &HullAdm,
+    adm_tag: &str,
+    strategy_key: &str,
+    scheduler: &dyn Scheduler,
+    cap: &AttackerCapability,
+    table: &RewardTable,
+    day_idx: usize,
+) -> Arc<AttackSchedule> {
+    cx.cache.memo(
+        &format!(
+            "sched/{:?}/{}/{}/{adm_tag}/{strategy_key}/{:016x}/{day_idx}",
+            fx.kind,
+            fx.days,
+            fx.seed,
+            cap.signature()
+        ),
+        || scheduler.schedule(table, adm, cap, &fx.month.days[day_idx]),
+    )
+}
+
 /// Fig. 3 — ASHRAE vs proposed control cost per day, both houses.
-pub fn fig3(days: usize) -> Table {
+pub fn fig3(cx: &ScenarioCtx<'_>) -> Table {
+    let days = cx.days();
     let mut t = Table::new(
         "fig3",
         "ASHRAE vs SHATTER control cost ($/day)",
         &["house", "day", "ashrae_usd", "dchvac_usd"],
     );
     for kind in [HouseKind::A, HouseKind::B] {
-        let fx = HouseFixture::new(kind, days);
+        let fx = cx.fixture(kind, days);
         let ashrae = fx
             .model
             .dataset_costs(&AshraeController::default(), &fx.month.days);
@@ -115,9 +185,10 @@ fn tuning_scores(points_by_zone: &[Vec<Point>], kind: &AdmKind) -> (f64, f64, f6
 
 /// Fig. 4 — ADM hyperparameter tuning on HAO1 (Davies-Bouldin,
 /// Silhouette, Calinski-Harabasz vs DBSCAN `minPts` and K-Means `k`).
-pub fn fig4(days: usize) -> Table {
-    let fx = HouseFixture::new(HouseKind::A, days);
-    let eps = extract_episodes(&fx.month);
+pub fn fig4(cx: &ScenarioCtx<'_>) -> Table {
+    let days = cx.days();
+    let fx = cx.fixture(HouseKind::A, days);
+    let eps = cx.episodes(HouseKind::A, days);
     let points_by_zone: Vec<Vec<Point>> = (0..fx.home.zones().len())
         .map(|z| {
             features_for(&eps, OccupantId(0), ZoneId(z))
@@ -129,13 +200,16 @@ pub fn fig4(days: usize) -> Table {
     let mut t = Table::new(
         "fig4",
         "ADM hyperparameter tuning (HAO1)",
-        &["algorithm", "param", "davies_bouldin", "silhouette", "calinski_harabasz"],
+        &[
+            "algorithm",
+            "param",
+            "davies_bouldin",
+            "silhouette",
+            "calinski_harabasz",
+        ],
     );
     for min_pts in (2..=50).step_by(4) {
-        let kind = AdmKind::Dbscan(DbscanParams {
-            eps: 45.0,
-            min_pts,
-        });
+        let kind = AdmKind::Dbscan(DbscanParams { eps: 45.0, min_pts });
         let (dbi, sc, chi) = tuning_scores(&points_by_zone, &kind);
         t.push(vec![
             "DBSCAN".into(),
@@ -184,7 +258,8 @@ fn score_occupant(
 
 /// Fig. 5 — progressive F1 vs number of training days, both ADMs × all
 /// four datasets (HAO1/HAO2/HBO1/HBO2).
-pub fn fig5(days: usize) -> Table {
+pub fn fig5(cx: &ScenarioCtx<'_>) -> Table {
+    let days = cx.days();
     let mut t = Table::new(
         "fig5",
         "Progressive F1 (%) vs training days",
@@ -196,7 +271,7 @@ pub fn fig5(days: usize) -> Table {
         .collect();
     for kind_label in ["DBSCAN", "K-Means"] {
         for house in [HouseKind::A, HouseKind::B] {
-            let fx = HouseFixture::new(house, days);
+            let fx = cx.fixture(house, days);
             for occupant in 0..2usize {
                 for &td in &train_points {
                     let (train, test) = fx.month.split_at_day(td);
@@ -205,7 +280,7 @@ pub fn fig5(days: usize) -> Table {
                     } else {
                         AdmKind::default_kmeans()
                     };
-                    let adm = HullAdm::train(&train, kind);
+                    let adm = cx.adm(house, days, kind, td);
                     let attacks = biota_attack_episodes(&train, &BiotaConfig::default());
                     let benign = extract_episodes(&test);
                     let c = score_occupant(&adm, OccupantId(occupant), &benign, &attacks);
@@ -224,18 +299,26 @@ pub fn fig5(days: usize) -> Table {
 
 /// Fig. 6 — cluster hull geometry for HAO1 under both ADMs, with
 /// coverage areas (K-Means hulls cover more area).
-pub fn fig6(days: usize) -> Table {
-    let fx = HouseFixture::new(HouseKind::A, days);
+pub fn fig6(cx: &ScenarioCtx<'_>) -> Table {
+    let days = cx.days();
+    let fx = cx.fixture(HouseKind::A, days);
     let mut t = Table::new(
         "fig6",
         "ADM cluster hulls (HAO1): vertices and coverage",
-        &["adm", "zone", "cluster", "vertex", "arrival_min", "stay_min"],
+        &[
+            "adm",
+            "zone",
+            "cluster",
+            "vertex",
+            "arrival_min",
+            "stay_min",
+        ],
     );
     for (label, kind) in [
         ("DBSCAN", AdmKind::default_dbscan()),
         ("K-Means", AdmKind::default_kmeans()),
     ] {
-        let adm = fx.adm(kind, days);
+        let adm = cx.adm(HouseKind::A, days, kind, days);
         let mut area = 0.0;
         for z in 0..fx.home.zones().len() {
             let Some(zm) = adm.zone_model(OccupantId(0), ZoneId(z)) else {
@@ -269,19 +352,24 @@ pub fn fig6(days: usize) -> Table {
 
 /// Table III — the §V case study: actual vs greedy vs SHATTER schedules
 /// over ten evening slots, with stay-range thresholds and trigger status.
-pub fn tab3() -> Table {
+#[allow(clippy::needless_range_loop)] // occupant index addresses schedules, names, triggers
+pub fn tab3(cx: &ScenarioCtx<'_>) -> Table {
     let days = 12;
-    let fx = HouseFixture::new(HouseKind::A, days);
-    let adm = fx.adm(AdmKind::default_kmeans(), 10);
-    let table = RewardTable::build(&fx.model);
+    let fx = cx.fixture(HouseKind::A, days);
+    let adm = cx.adm(HouseKind::A, days, AdmKind::default_kmeans(), 10);
+    let table = reward_table(cx, &fx);
     let cap = AttackerCapability::full(&fx.home);
     let day = &fx.month.days[3]; // "day 4"
     let start = 1080usize;
     let span = 10usize;
 
+    let strategies = StrategyRegistry::builtin();
+    let greedy_sched = &strategies.get("greedy").expect("builtin greedy").scheduler;
+    let shatter_sched = &strategies.get("dp").expect("builtin dp").scheduler;
+
     let actual = AttackSchedule::from_actual(day);
-    let greedy = GreedyScheduler.schedule(&table, &adm, &cap, day);
-    let shatter = WindowDpScheduler::default().schedule(&table, &adm, &cap, day);
+    let greedy = greedy_sched.schedule(&table, &adm, &cap, day);
+    let shatter = shatter_sched.schedule(&table, &adm, &cap, day);
     let triggers = trigger::plan_triggers(&fx.home, &adm, &cap, day, &shatter);
 
     let mut header: Vec<String> = vec!["row".into(), "occupant".into()];
@@ -361,11 +449,20 @@ pub fn tab3() -> Table {
 
 /// Table IV — ADM detection quality (accuracy / precision / recall / F1)
 /// for both ADMs × four datasets × attacker knowledge.
-pub fn tab4(days: usize) -> Table {
+pub fn tab4(cx: &ScenarioCtx<'_>) -> Table {
+    let days = cx.days();
     let mut t = Table::new(
         "tab4",
         "ADM comparison vs attacker knowledge",
-        &["adm", "knowledge", "dataset", "accuracy", "precision", "recall", "f1"],
+        &[
+            "adm",
+            "knowledge",
+            "dataset",
+            "accuracy",
+            "precision",
+            "recall",
+            "f1",
+        ],
     );
     let train_days = (days * 2) / 3;
     for (kind_label, kind) in [
@@ -374,9 +471,9 @@ pub fn tab4(days: usize) -> Table {
     ] {
         for knowledge in [AttackerKnowledge::All, AttackerKnowledge::half()] {
             for house in [HouseKind::A, HouseKind::B] {
-                let fx = HouseFixture::new(house, days);
+                let fx = cx.fixture(house, days);
                 let (train, test) = fx.month.split_at_day(train_days);
-                let adm = HullAdm::train(&train, kind);
+                let adm = cx.adm(house, days, kind, train_days);
                 let attacks = biota_attack_episodes(
                     &train,
                     &BiotaConfig {
@@ -407,28 +504,45 @@ pub fn tab4(days: usize) -> Table {
 }
 
 /// Monthly attacked cost of a scheduler against an (attacker-side) ADM,
-/// with detection measured against the defender's ADM.
+/// with detection measured against the defender's ADM. Schedules,
+/// reward table and benign day costs come from the fixture cache.
+#[allow(clippy::too_many_arguments)]
 fn monthly_attack(
+    cx: &ScenarioCtx<'_>,
     fx: &HouseFixture,
     attacker_adm: &HullAdm,
+    atk_tag: &str,
     defender_adm: &HullAdm,
+    strategy_key: &str,
     scheduler: &dyn Scheduler,
     with_triggering: bool,
 ) -> (f64, f64, f64) {
     let cap = AttackerCapability::full(&fx.home);
-    let table = RewardTable::build(&fx.model);
+    let table = reward_table(cx, fx);
+    let benign_costs = benign_day_costs(cx, fx);
     let mut attacked = 0.0;
     let mut benign = 0.0;
     let mut detect_sum = 0.0;
-    for day in &fx.month.days {
-        let out = impact::evaluate_day_with_table(
-            &fx.model,
+    for (d, day) in fx.month.days.iter().enumerate() {
+        let sched = day_schedule(
+            cx,
+            fx,
+            attacker_adm,
+            atk_tag,
+            strategy_key,
+            scheduler,
+            &cap,
             &table,
+            d,
+        );
+        let out = impact::evaluate_day_with_schedule(
+            &fx.model,
             attacker_adm,
             &cap,
             day,
-            scheduler,
+            &sched,
             with_triggering,
+            Some(benign_costs[d]),
         );
         detect_sum += detection_rate(defender_adm, &out.schedule, day);
         attacked += out.attacked_cost_usd;
@@ -438,29 +552,45 @@ fn monthly_attack(
 }
 
 /// Table V — BIoTA vs Greedy vs SHATTER monthly energy cost under both
-/// ADMs and both knowledge levels.
-pub fn tab5(days: usize) -> Table {
+/// ADMs and both knowledge levels. Strategies come from the core
+/// [`StrategyRegistry`] rather than being hard-coded.
+pub fn tab5(cx: &ScenarioCtx<'_>) -> Table {
+    let days = cx.days();
     let mut t = Table::new(
         "tab5",
         "Attack impact: BIoTA vs Greedy vs SHATTER (monthly $, no triggering)",
-        &["framework", "adm", "knowledge", "house_a_usd", "house_b_usd", "detect_a", "detect_b"],
+        &[
+            "framework",
+            "adm",
+            "knowledge",
+            "house_a_usd",
+            "house_b_usd",
+            "detect_a",
+            "detect_b",
+        ],
     );
-    let fx_a = HouseFixture::new(HouseKind::A, days);
-    let fx_b = HouseFixture::new(HouseKind::B, days);
+    let fx_a = cx.fixture(HouseKind::A, days);
+    let fx_b = cx.fixture(HouseKind::B, days);
+    let strategies = StrategyRegistry::builtin();
+    // Month-scale sweep: the SMT scheduler is orders of magnitude slower
+    // per day (Fig. 11) and is excluded here exactly as in the paper.
+    let month_scale: Vec<_> = strategies
+        .iter()
+        .filter(|e| e.adm_aware && e.key != "smt")
+        .collect();
+    let framework_label = |key: &'static str| -> &'static str {
+        match key {
+            "biota" => "BIoTA",
+            "greedy" => "Greedy",
+            "dp" => "SHATTER",
+            "smt" => "SHATTER-SMT",
+            other => other,
+        }
+    };
 
     // Benign reference rows.
-    let benign_a: f64 = fx_a
-        .model
-        .dataset_costs(&DchvacController, &fx_a.month.days)
-        .iter()
-        .map(|c| c.total_usd())
-        .sum();
-    let benign_b: f64 = fx_b
-        .model
-        .dataset_costs(&DchvacController, &fx_b.month.days)
-        .iter()
-        .map(|c| c.total_usd())
-        .sum();
+    let benign_a: f64 = benign_day_costs(cx, &fx_a).iter().sum();
+    let benign_b: f64 = benign_day_costs(cx, &fx_b).iter().sum();
     t.push(vec![
         "Benign".into(),
         "-".into(),
@@ -475,36 +605,44 @@ pub fn tab5(days: usize) -> Table {
         ("DBSCAN", AdmKind::default_dbscan()),
         ("K-Means", AdmKind::default_kmeans()),
     ] {
-        let def_a = fx_a.adm(kind, days);
-        let def_b = fx_b.adm(kind, days);
+        let def_a = cx.adm(HouseKind::A, days, kind, days);
+        let def_b = cx.adm(HouseKind::B, days, kind, days);
 
-        // BIoTA ignores the ADM entirely (rules-based world): one row.
+        // ADM-oblivious strategies (BIoTA's rules-based world): one row
+        // each, independent of the defender's ADM choice.
         if kind_label == "DBSCAN" {
-            let (a, _, da) = monthly_attack(&fx_a, &def_a, &def_a, &BiotaScheduler, false);
-            let (b, _, db) = monthly_attack(&fx_b, &def_b, &def_b, &BiotaScheduler, false);
-            t.push(vec![
-                "BIoTA".into(),
-                "Rules".into(),
-                "-".into(),
-                fmt2(a),
-                fmt2(b),
-                fmt2(da),
-                fmt2(db),
-            ]);
+            let def_tag = adm_tag(&kind, days);
+            for entry in strategies.iter().filter(|e| !e.adm_aware) {
+                let sched: &dyn Scheduler = &*entry.scheduler;
+                let (a, _, da) =
+                    monthly_attack(cx, &fx_a, &def_a, &def_tag, &def_a, entry.key, sched, false);
+                let (b, _, db) =
+                    monthly_attack(cx, &fx_b, &def_b, &def_tag, &def_b, entry.key, sched, false);
+                t.push(vec![
+                    framework_label(entry.key).into(),
+                    "Rules".into(),
+                    "-".into(),
+                    fmt2(a),
+                    fmt2(b),
+                    fmt2(da),
+                    fmt2(db),
+                ]);
+            }
         }
 
         for knowledge in ["All", "Partial"] {
             let atk_days = if knowledge == "All" { days } else { days / 2 };
-            let atk_a = fx_a.adm(kind, atk_days);
-            let atk_b = fx_b.adm(kind, atk_days);
-            for (framework, sched) in [
-                ("Greedy", &GreedyScheduler as &dyn Scheduler),
-                ("SHATTER", &WindowDpScheduler::default()),
-            ] {
-                let (a, _, da) = monthly_attack(&fx_a, &atk_a, &def_a, sched, false);
-                let (b, _, db) = monthly_attack(&fx_b, &atk_b, &def_b, sched, false);
+            let atk_a = cx.adm(HouseKind::A, days, kind, atk_days);
+            let atk_b = cx.adm(HouseKind::B, days, kind, atk_days);
+            let atk_tag = adm_tag(&kind, atk_days);
+            for entry in &month_scale {
+                let sched: &dyn Scheduler = &*entry.scheduler;
+                let (a, _, da) =
+                    monthly_attack(cx, &fx_a, &atk_a, &atk_tag, &def_a, entry.key, sched, false);
+                let (b, _, db) =
+                    monthly_attack(cx, &fx_b, &atk_b, &atk_tag, &def_b, entry.key, sched, false);
                 t.push(vec![
-                    framework.into(),
+                    framework_label(entry.key).into(),
                     kind_label.into(),
                     knowledge.into(),
                     fmt2(a),
@@ -518,27 +656,95 @@ pub fn tab5(days: usize) -> Table {
     t
 }
 
+/// `strategies` — one-day shootout across *every* registered attack
+/// strategy (including SMT, affordable at day scale): reward, divergence
+/// from actual behaviour, stealth validation, and detection rate.
+pub fn strategies(cx: &ScenarioCtx<'_>) -> Table {
+    let days = 12;
+    let fx = cx.fixture(HouseKind::A, days);
+    let adm = cx.adm(HouseKind::A, days, AdmKind::default_kmeans(), 10);
+    let table = reward_table(cx, &fx);
+    let cap = AttackerCapability::full(&fx.home);
+    let day = &fx.month.days[10];
+    let mut t = Table::new(
+        "strategies",
+        "Attack-strategy shootout (House A, one day, registry-enumerated)",
+        &[
+            "key",
+            "name",
+            "reward",
+            "divergence_min",
+            "stealthy",
+            "detect",
+        ],
+    );
+    for entry in StrategyRegistry::builtin().iter() {
+        let sched = entry.scheduler.schedule(&table, &adm, &cap, day);
+        let stealthy = sched.validate(&adm, &cap, day).is_ok();
+        t.push(vec![
+            entry.key.into(),
+            entry.scheduler.name().into(),
+            fmt3(sched.reward(&table)),
+            sched.divergence(day).to_string(),
+            stealthy.to_string(),
+            fmt2(detection_rate(&adm, &sched, day)),
+        ]);
+    }
+    t
+}
+
 /// Fig. 10 — daily control cost with and without appliance triggering
 /// (DBSCAN ADM, full access).
-pub fn fig10(days: usize) -> Table {
+pub fn fig10(cx: &ScenarioCtx<'_>) -> Table {
+    let days = cx.days();
     let mut t = Table::new(
         "fig10",
         "Daily cost: benign vs attack without/with appliance triggering",
-        &["house", "day", "benign_usd", "without_trig_usd", "with_trig_usd"],
+        &[
+            "house",
+            "day",
+            "benign_usd",
+            "without_trig_usd",
+            "with_trig_usd",
+        ],
     );
     for kind in [HouseKind::A, HouseKind::B] {
-        let fx = HouseFixture::new(kind, days);
-        let adm = fx.adm(AdmKind::default_dbscan(), days);
+        let fx = cx.fixture(kind, days);
+        let adm_kind = AdmKind::default_dbscan();
+        let adm = cx.adm(kind, days, adm_kind, days);
+        let tag = adm_tag(&adm_kind, days);
         let cap = AttackerCapability::full(&fx.home);
-        let table = RewardTable::build(&fx.model);
-        let sched = WindowDpScheduler::default();
+        let table = reward_table(cx, &fx);
+        let benign_costs = benign_day_costs(cx, &fx);
+        let sched = StrategyRegistry::builtin()
+            .get("dp")
+            .expect("builtin dp")
+            .scheduler
+            .clone();
         let mut sums = (0.0, 0.0, 0.0);
         for (d, day) in fx.month.days.iter().enumerate() {
-            let without = impact::evaluate_day_with_table(
-                &fx.model, &table, &adm, &cap, day, &sched, false,
+            // Both legs pull the day's schedule through the cache, so it
+            // is synthesized once and shared (also with tab5/tab6/tab7,
+            // which evaluate the same full-capability DP attack).
+            let schedule = day_schedule(cx, &fx, &adm, &tag, "dp", &*sched, &cap, &table, d);
+            let without = impact::evaluate_day_with_schedule(
+                &fx.model,
+                &adm,
+                &cap,
+                day,
+                &schedule,
+                false,
+                Some(benign_costs[d]),
             );
-            let with = impact::evaluate_day_with_table(
-                &fx.model, &table, &adm, &cap, day, &sched, true,
+            let schedule = day_schedule(cx, &fx, &adm, &tag, "dp", &*sched, &cap, &table, d);
+            let with = impact::evaluate_day_with_schedule(
+                &fx.model,
+                &adm,
+                &cap,
+                day,
+                &schedule,
+                true,
+                Some(benign_costs[d]),
             );
             sums.0 += without.benign_cost_usd;
             sums.1 += without.attacked_cost_usd;
@@ -563,7 +769,11 @@ pub fn fig10(days: usize) -> Table {
             "TRIG_GAIN".into(),
             String::new(),
             String::new(),
-            format!("{:.2} (+{:.1}%)", sums.2 - sums.1, 100.0 * (sums.2 - sums.1) / sums.1),
+            format!(
+                "{:.2} (+{:.1}%)",
+                sums.2 - sums.1,
+                100.0 * (sums.2 - sums.1) / sums.1
+            ),
         ]);
     }
     t
@@ -571,22 +781,57 @@ pub fn fig10(days: usize) -> Table {
 
 /// Shared sweep core for Tables VI and VII: appliance-triggering impact
 /// (cost with triggering − cost without) under a restricted capability.
-fn triggering_impact(fx: &HouseFixture, adm: &HullAdm, cap: &AttackerCapability) -> f64 {
-    let table = RewardTable::build(&fx.model);
-    let sched = WindowDpScheduler::default();
+/// Each day's schedule is synthesized once and priced for both legs; the
+/// capability signature keys the cached schedules.
+fn triggering_impact(
+    cx: &ScenarioCtx<'_>,
+    fx: &HouseFixture,
+    adm: &HullAdm,
+    tag: &str,
+    cap: &AttackerCapability,
+) -> f64 {
+    let table = reward_table(cx, fx);
+    let benign_costs = benign_day_costs(cx, fx);
+    let sched = StrategyRegistry::builtin()
+        .get("dp")
+        .expect("builtin dp")
+        .scheduler
+        .clone();
     let mut without = 0.0;
     let mut with = 0.0;
-    for day in &fx.month.days {
-        without += impact::evaluate_day_with_table(&fx.model, &table, adm, cap, day, &sched, false)
-            .attacked_cost_usd;
-        with += impact::evaluate_day_with_table(&fx.model, &table, adm, cap, day, &sched, true)
-            .attacked_cost_usd;
+    for (d, day) in fx.month.days.iter().enumerate() {
+        // Each leg requests its schedule through the cache; a warm cache
+        // synthesizes once, a disabled cache reproduces the legacy
+        // compute-per-leg cost model.
+        let schedule = day_schedule(cx, fx, adm, tag, "dp", &*sched, cap, &table, d);
+        without += impact::evaluate_day_with_schedule(
+            &fx.model,
+            adm,
+            cap,
+            day,
+            &schedule,
+            false,
+            Some(benign_costs[d]),
+        )
+        .attacked_cost_usd;
+        let schedule = day_schedule(cx, fx, adm, tag, "dp", &*sched, cap, &table, d);
+        with += impact::evaluate_day_with_schedule(
+            &fx.model,
+            adm,
+            cap,
+            day,
+            &schedule,
+            true,
+            Some(benign_costs[d]),
+        )
+        .attacked_cost_usd;
     }
     with - without
 }
 
 /// Table VI — triggering-attack impact vs number of accessible zones.
-pub fn tab6(days: usize) -> Table {
+pub fn tab6(cx: &ScenarioCtx<'_>) -> Table {
+    let days = cx.days();
     let mut t = Table::new(
         "tab6",
         "Appliance-triggering impact vs accessible zones ($/month)",
@@ -595,10 +840,12 @@ pub fn tab6(days: usize) -> Table {
     // For each access budget, an optimal attacker picks the *best* zone
     // subset; enumerate all subsets of that size and take the maximum.
     let all_zones = [ZoneId(1), ZoneId(2), ZoneId(3), ZoneId(4)];
-    let fx_a = HouseFixture::new(HouseKind::A, days);
-    let fx_b = HouseFixture::new(HouseKind::B, days);
-    let adm_a = fx_a.adm(AdmKind::default_dbscan(), days);
-    let adm_b = fx_b.adm(AdmKind::default_dbscan(), days);
+    let fx_a = cx.fixture(HouseKind::A, days);
+    let fx_b = cx.fixture(HouseKind::B, days);
+    let adm_kind = AdmKind::default_dbscan();
+    let adm_a = cx.adm(HouseKind::A, days, adm_kind, days);
+    let adm_b = cx.adm(HouseKind::B, days, adm_kind, days);
+    let tag = adm_tag(&adm_kind, days);
     for size in [4usize, 3, 2] {
         let mut best = (f64::NEG_INFINITY, f64::NEG_INFINITY);
         for mask in 0u32..16 {
@@ -613,8 +860,12 @@ pub fn tab6(days: usize) -> Table {
                 .collect();
             let cap_a = AttackerCapability::full(&fx_a.home).with_zone_access(zones.clone());
             let cap_b = AttackerCapability::full(&fx_b.home).with_zone_access(zones);
-            best.0 = best.0.max(triggering_impact(&fx_a, &adm_a, &cap_a));
-            best.1 = best.1.max(triggering_impact(&fx_b, &adm_b, &cap_b));
+            best.0 = best
+                .0
+                .max(triggering_impact(cx, &fx_a, &adm_a, &tag, &cap_a));
+            best.1 = best
+                .1
+                .max(triggering_impact(cx, &fx_b, &adm_b, &tag, &cap_b));
         }
         t.push(vec![size.to_string(), fmt2(best.0), fmt2(best.1)]);
     }
@@ -623,7 +874,8 @@ pub fn tab6(days: usize) -> Table {
 
 /// Table VII — triggering-attack impact vs number of accessible
 /// appliances.
-pub fn tab7(days: usize) -> Table {
+pub fn tab7(cx: &ScenarioCtx<'_>) -> Table {
+    let days = cx.days();
     let mut t = Table::new(
         "tab7",
         "Appliance-triggering impact vs accessible appliances ($/month)",
@@ -633,34 +885,45 @@ pub fn tab7(days: usize) -> Table {
     // "8": drop the livingroom/bedroom electronics; "3": highest-power trio.
     let eight: Vec<ApplianceId> = (3..11).map(ApplianceId).collect();
     let three: Vec<ApplianceId> = [4usize, 10, 5].into_iter().map(ApplianceId).collect();
-    let fx_a = HouseFixture::new(HouseKind::A, days);
-    let fx_b = HouseFixture::new(HouseKind::B, days);
-    let adm_a = fx_a.adm(AdmKind::default_dbscan(), days);
-    let adm_b = fx_b.adm(AdmKind::default_dbscan(), days);
+    let fx_a = cx.fixture(HouseKind::A, days);
+    let fx_b = cx.fixture(HouseKind::B, days);
+    let adm_kind = AdmKind::default_dbscan();
+    let adm_a = cx.adm(HouseKind::A, days, adm_kind, days);
+    let adm_b = cx.adm(HouseKind::B, days, adm_kind, days);
+    let tag = adm_tag(&adm_kind, days);
     for (label, set) in [("13", all), ("8", eight), ("3", three)] {
         let cap_a = AttackerCapability::full(&fx_a.home).with_appliance_access(set.clone());
         let cap_b = AttackerCapability::full(&fx_b.home).with_appliance_access(set);
         t.push(vec![
             label.into(),
-            fmt2(triggering_impact(&fx_a, &adm_a, &cap_a)),
-            fmt2(triggering_impact(&fx_b, &adm_b, &cap_b)),
+            fmt2(triggering_impact(cx, &fx_a, &adm_a, &tag, &cap_a)),
+            fmt2(triggering_impact(cx, &fx_b, &adm_b, &tag, &cap_b)),
         ]);
     }
     t
 }
 
 /// Fig. 11 — scalability: SMT scheduling time vs optimization horizon
-/// (exponential trend) and vs number of zones (linear trend).
-pub fn fig11(span: usize) -> Table {
+/// (exponential trend) and vs number of zones (linear trend). Timing
+/// columns make this exhibit non-byte-stable across runs.
+pub fn fig11(cx: &ScenarioCtx<'_>) -> Table {
+    let span = cx.span();
     let mut t = Table::new(
         "fig11",
         "SMT scheduler scalability",
-        &["sweep", "value", "house", "total_ms", "per_window_us", "theory_conflicts"],
+        &[
+            "sweep",
+            "value",
+            "house",
+            "total_ms",
+            "per_window_us",
+            "theory_conflicts",
+        ],
     );
     // (a) time-horizon sweep on the two ARAS houses.
     for kind in [HouseKind::A, HouseKind::B] {
-        let fx = HouseFixture::new(kind, 12);
-        let adm = fx.adm(AdmKind::default_kmeans(), 10);
+        let fx = cx.fixture(kind, 12);
+        let adm = cx.adm(kind, 12, AdmKind::default_kmeans(), 10);
         let table = RewardTable::build(&fx.model);
         let cap = AttackerCapability::full(&fx.home);
         let day = &fx.month.days[10];
@@ -674,11 +937,9 @@ pub fn fig11(span: usize) -> Table {
             // isolates the per-window encoding blow-up (the paper's
             // lookback-time axis).
             let start = Instant::now();
-            let (_, stats) =
-                sched.schedule_occupant(OccupantId(0), &table, &adm, &cap, day, span);
+            let (_, stats) = sched.schedule_occupant(OccupantId(0), &table, &adm, &cap, day, span);
             let elapsed = start.elapsed();
-            let per_window_us =
-                elapsed.as_micros() as f64 / stats.windows.max(1) as f64;
+            let per_window_us = elapsed.as_micros() as f64 / stats.windows.max(1) as f64;
             t.push(vec![
                 "horizon".into(),
                 horizon.to_string(),
@@ -694,8 +955,8 @@ pub fn fig11(span: usize) -> Table {
         let home = houses::scaled_home(n_zones);
         let model = EnergyModel::standard(home.clone());
         let table = RewardTable::build(&model);
-        let fx = HouseFixture::new(HouseKind::A, 12);
-        let adm = fx.adm(AdmKind::default_kmeans(), 10);
+        let fx = cx.fixture(HouseKind::A, 12);
+        let adm = cx.adm(HouseKind::A, 12, AdmKind::default_kmeans(), 10);
         let cap = AttackerCapability::full(&home);
         let day = &fx.month.days[10];
         let sched = SmtScheduler::default();
@@ -718,24 +979,41 @@ pub fn fig11(span: usize) -> Table {
 /// Ablation study of SHATTER's design choices (not a paper exhibit; see
 /// DESIGN.md §6): optimization-horizon sweep, trigger-aware scheduling
 /// on/off, ADM cluster-radius sweep, and battery-size sweep.
-pub fn ablation(days: usize) -> Table {
+pub fn ablation(cx: &ScenarioCtx<'_>) -> Table {
+    let days = cx.days();
     let mut t = Table::new(
         "ablation",
         "Design-choice ablations (House A)",
-        &["ablation", "setting", "attacked_usd", "benign_usd", "detect"],
+        &[
+            "ablation",
+            "setting",
+            "attacked_usd",
+            "benign_usd",
+            "detect",
+        ],
     );
-    let fx = HouseFixture::new(HouseKind::A, days);
-    let adm = fx.adm(AdmKind::default_dbscan(), days);
+    let fx = cx.fixture(HouseKind::A, days);
+    let adm = cx.adm(HouseKind::A, days, AdmKind::default_dbscan(), days);
     let cap = AttackerCapability::full(&fx.home);
-    let table = RewardTable::build(&fx.model);
+    let table = reward_table(cx, &fx);
+    let benign_costs = benign_day_costs(cx, &fx);
 
     let run = |sched: &dyn Scheduler, adm: &HullAdm, with_trig: bool| -> (f64, f64, f64) {
         let mut attacked = 0.0;
         let mut benign = 0.0;
         let mut detect = 0.0;
-        for day in &fx.month.days {
-            let out = impact::evaluate_day_with_table(
-                &fx.model, &table, adm, &cap, day, sched, with_trig,
+        for (d, day) in fx.month.days.iter().enumerate() {
+            // Ablation configurations are all distinct scheduler/ADM
+            // settings, so schedules are synthesized directly (no memo).
+            let schedule = sched.schedule(&table, adm, &cap, day);
+            let out = impact::evaluate_day_with_schedule(
+                &fx.model,
+                adm,
+                &cap,
+                day,
+                &schedule,
+                with_trig,
+                Some(benign_costs[d]),
             );
             attacked += out.attacked_cost_usd;
             benign += out.benign_cost_usd;
@@ -747,7 +1025,7 @@ pub fn ablation(days: usize) -> Table {
     // (1) optimization horizon: the knob behind the paper's "would create
     // more impact if the optimization window was larger".
     for horizon in [5usize, 10, 30, 120] {
-        let sched = WindowDpScheduler {
+        let sched = shatter_core::WindowDpScheduler {
             horizon,
             ..Default::default()
         };
@@ -763,7 +1041,7 @@ pub fn ablation(days: usize) -> Table {
 
     // (2) trigger-aware scheduling on/off.
     for aware in [false, true] {
-        let sched = WindowDpScheduler {
+        let sched = shatter_core::WindowDpScheduler {
             trigger_aware: aware,
             ..Default::default()
         };
@@ -780,14 +1058,16 @@ pub fn ablation(days: usize) -> Table {
     // (3) defender cluster radius: tighter eps = tighter hulls = less
     // attack head-room.
     for eps in [20.0f64, 45.0, 90.0] {
-        let tight = HullAdm::train(
-            &fx.month,
+        let tight = cx.adm(
+            HouseKind::A,
+            days,
             AdmKind::Dbscan(DbscanParams {
                 eps,
                 ..DbscanParams::default()
             }),
+            days,
         );
-        let sched = WindowDpScheduler::default();
+        let sched = shatter_core::WindowDpScheduler::default();
         let (a, b, d) = run(&sched, &tight, true);
         t.push(vec![
             "adm_eps".into(),
@@ -803,13 +1083,12 @@ pub fn ablation(days: usize) -> Table {
         let mut model = fx.model.clone();
         model.pricing.battery_kwh = batt;
         let table_b = RewardTable::build(&model);
-        let sched = WindowDpScheduler::default();
+        let sched = shatter_core::WindowDpScheduler::default();
         let mut attacked = 0.0;
         let mut benign = 0.0;
         for day in &fx.month.days {
-            let out = impact::evaluate_day_with_table(
-                &model, &table_b, &adm, &cap, day, &sched, true,
-            );
+            let out =
+                impact::evaluate_day_with_table(&model, &table_b, &adm, &cap, day, &sched, true);
             attacked += out.attacked_cost_usd;
             benign += out.benign_cost_usd;
         }
@@ -825,14 +1104,17 @@ pub fn ablation(days: usize) -> Table {
 }
 
 /// §VI — testbed validation: energy increment and model fit error.
-pub fn testbed() -> Table {
+pub fn testbed(_cx: &ScenarioCtx<'_>) -> Table {
     let mut t = Table::new(
         "testbed",
         "Prototype-testbed validation (§VI)",
         &["metric", "value"],
     );
     let out = run_validation(&ValidationConfig::default());
-    t.push(vec!["benign_fan_kwh".into(), format!("{:.6}", out.benign_kwh)]);
+    t.push(vec![
+        "benign_fan_kwh".into(),
+        format!("{:.6}", out.benign_kwh),
+    ]);
     t.push(vec![
         "attacked_fan_kwh".into(),
         format!("{:.6}", out.attacked_kwh),

@@ -1,0 +1,67 @@
+//! Engine determinism over the real exhibit registry: the same scenario
+//! set must render byte-identically across repeated runs and across
+//! thread counts, with the fixture cache active.
+
+use shatter_bench::builtin_registry;
+use shatter_engine::runner::run_scenarios;
+use shatter_engine::{FixtureCache, RunConfig, RunParams};
+
+fn quick_cfg(threads: usize) -> RunConfig {
+    RunConfig {
+        threads,
+        params: RunParams {
+            days: 3,
+            span: 10,
+            base_seed: 0,
+        },
+    }
+}
+
+fn rendered_deterministic(threads: usize) -> Vec<(String, String)> {
+    let reg = builtin_registry();
+    let scenarios: Vec<_> = reg
+        .all()
+        .into_iter()
+        .filter(|s| s.deterministic())
+        // The testbed replay is deterministic but slow in debug builds
+        // and exercises no cache path; covered by exhibit_smoke.
+        .filter(|s| s.id() != "testbed")
+        .collect();
+    let cache = FixtureCache::new();
+    let out = run_scenarios(&scenarios, &cache, &quick_cfg(threads));
+    assert!(out.cache.hits > 0, "cache never hit across the suite");
+    out.reports
+        .into_iter()
+        .map(|r| (r.id, r.table.render()))
+        .collect()
+}
+
+#[test]
+fn suite_is_byte_identical_across_runs_and_thread_counts() {
+    let serial_a = rendered_deterministic(1);
+    let serial_b = rendered_deterministic(1);
+    assert_eq!(serial_a, serial_b, "repeat serial runs diverged");
+    let parallel = rendered_deterministic(4);
+    assert_eq!(serial_a, parallel, "parallel run diverged from serial");
+}
+
+#[test]
+fn cached_run_matches_uncached_run() {
+    let reg = builtin_registry();
+    let scenarios = reg
+        .select(&["fig3".to_string(), "fig6".to_string(), "tab6".to_string()])
+        .expect("known ids");
+    let shared = FixtureCache::new();
+    let cached = run_scenarios(&scenarios, &shared, &quick_cfg(2));
+    // Fresh cache per scenario: every fixture/ADM retrained from scratch.
+    let mut uncached = Vec::new();
+    for s in &scenarios {
+        let fresh = FixtureCache::new();
+        let one = run_scenarios(std::slice::from_ref(s), &fresh, &quick_cfg(1));
+        uncached.extend(one.reports);
+    }
+    let a: Vec<String> = cached.reports.iter().map(|r| r.table.render()).collect();
+    let b: Vec<String> = uncached.iter().map(|r| r.table.render()).collect();
+    assert_eq!(a, b, "fixture caching changed exhibit output");
+    assert!(cached.cache.hits > 0);
+}

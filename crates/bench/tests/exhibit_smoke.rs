@@ -1,8 +1,9 @@
 //! Smoke tests for the reproduction harness: every exhibit must produce a
-//! well-formed table at reduced scale, and the key claim encoded in each
-//! exhibit must hold even on the quick configuration.
+//! well-formed table at reduced scale through the scenario registry, and
+//! the key claim encoded in each exhibit must hold even on the quick
+//! configuration.
 
-use shatter_bench::exhibits;
+use shatter_bench::run_exhibit;
 use shatter_bench::Table;
 
 fn assert_well_formed(t: &Table) {
@@ -32,7 +33,7 @@ fn cell(t: &Table, row_match: &[(usize, &str)], col: usize) -> f64 {
 
 #[test]
 fn fig3_savings_positive() {
-    let t = exhibits::fig3(6);
+    let t = run_exhibit("fig3", 6, 20);
     assert_well_formed(&t);
     for house in ["A", "B"] {
         let savings = cell(&t, &[(0, house), (1, "SAVINGS%")], 3);
@@ -42,7 +43,7 @@ fn fig3_savings_positive() {
 
 #[test]
 fn fig5_f1_grows_with_training_days() {
-    let t = exhibits::fig5(20); // train points 10, 15
+    let t = run_exhibit("fig5", 20, 20); // train points 10, 15
     assert_well_formed(&t);
     let f1_10 = cell(&t, &[(0, "DBSCAN"), (1, "HAO1"), (2, "10")], 3);
     let f1_15 = cell(&t, &[(0, "DBSCAN"), (1, "HAO1"), (2, "15")], 3);
@@ -51,7 +52,7 @@ fn fig5_f1_grows_with_training_days() {
 
 #[test]
 fn fig6_kmeans_covers_more_area() {
-    let t = exhibits::fig6(10);
+    let t = run_exhibit("fig6", 12, 20);
     assert_well_formed(&t);
     let db = cell(&t, &[(0, "DBSCAN"), (2, "AREA")], 5);
     let km = cell(&t, &[(0, "K-Means"), (2, "AREA")], 5);
@@ -60,32 +61,31 @@ fn fig6_kmeans_covers_more_area() {
 
 #[test]
 fn tab3_has_all_schedule_rows() {
-    let t = exhibits::tab3();
+    let t = run_exhibit("tab3", 12, 20);
     assert_well_formed(&t);
     for label in ["Actual", "Greedy", "SHATTER", "RangeThresh", "Trigger"] {
-        assert!(
-            t.rows.iter().any(|r| r[0] == label),
-            "missing row {label}"
-        );
+        assert!(t.rows.iter().any(|r| r[0] == label), "missing row {label}");
     }
 }
 
 #[test]
 fn tab4_partial_knowledge_not_easier_to_detect() {
-    let t = exhibits::tab4(15);
+    let t = run_exhibit("tab4", 15, 20);
     assert_well_formed(&t);
     // Averaged F1: partial <= all + slack.
     let avg = |knowledge: &str| -> f64 {
-        let rows: Vec<&Vec<String>> =
-            t.rows.iter().filter(|r| r[1] == knowledge).collect();
-        rows.iter().map(|r| r[6].parse::<f64>().unwrap()).sum::<f64>() / rows.len() as f64
+        let rows: Vec<&Vec<String>> = t.rows.iter().filter(|r| r[1] == knowledge).collect();
+        rows.iter()
+            .map(|r| r[6].parse::<f64>().unwrap())
+            .sum::<f64>()
+            / rows.len() as f64
     };
     assert!(avg("Partial") <= avg("All") + 0.05);
 }
 
 #[test]
 fn tab5_biota_highest_and_detected() {
-    let t = exhibits::tab5(6);
+    let t = run_exhibit("tab5", 6, 20);
     assert_well_formed(&t);
     let biota_a = cell(&t, &[(0, "BIoTA")], 3);
     let benign_a = cell(&t, &[(0, "Benign")], 3);
@@ -95,8 +95,20 @@ fn tab5_biota_highest_and_detected() {
 }
 
 #[test]
+fn strategies_enumerates_registry_and_dp_is_stealthy() {
+    let t = run_exhibit("strategies", 12, 20);
+    assert_well_formed(&t);
+    for key in ["biota", "greedy", "dp", "smt"] {
+        assert!(t.rows.iter().any(|r| r[0] == key), "missing strategy {key}");
+    }
+    // The SHATTER window optimizer must validate as stealthy.
+    let dp_row = t.rows.iter().find(|r| r[0] == "dp").expect("dp row");
+    assert_eq!(dp_row[4], "true");
+}
+
+#[test]
 fn fig10_with_triggering_dominates() {
-    let t = exhibits::fig10(4);
+    let t = run_exhibit("fig10", 4, 20);
     assert_well_formed(&t);
     for house in ["A", "B"] {
         let without = cell(&t, &[(0, house), (1, "TOTAL")], 3);
@@ -107,12 +119,12 @@ fn fig10_with_triggering_dominates() {
 
 #[test]
 fn tab6_tab7_monotone_in_access() {
-    let t6 = exhibits::tab6(4);
+    let t6 = run_exhibit("tab6", 4, 20);
     assert_well_formed(&t6);
     let v4 = cell(&t6, &[(0, "4")], 1);
     let v2 = cell(&t6, &[(0, "2")], 1);
     assert!(v4 >= v2 - 1e-9, "tab6 A: {v4} < {v2}");
-    let t7 = exhibits::tab7(4);
+    let t7 = run_exhibit("tab7", 4, 20);
     assert_well_formed(&t7);
     let a13 = cell(&t7, &[(0, "13")], 1);
     let a3 = cell(&t7, &[(0, "3")], 1);
@@ -121,7 +133,7 @@ fn tab6_tab7_monotone_in_access() {
 
 #[test]
 fn fig11_produces_both_sweeps() {
-    let t = exhibits::fig11(20);
+    let t = run_exhibit("fig11", 12, 20);
     assert_well_formed(&t);
     assert!(t.rows.iter().any(|r| r[0] == "horizon"));
     assert!(t.rows.iter().any(|r| r[0] == "zones"));
@@ -129,7 +141,7 @@ fn fig11_produces_both_sweeps() {
 
 #[test]
 fn testbed_exhibit_reports_increment() {
-    let t = exhibits::testbed();
+    let t = run_exhibit("testbed", 4, 20);
     assert_well_formed(&t);
     let inc = cell(&t, &[(0, "energy_increment_pct")], 1);
     assert!(inc > 10.0, "increment {inc}");
@@ -137,7 +149,7 @@ fn testbed_exhibit_reports_increment() {
 
 #[test]
 fn ablation_rows_cover_all_axes() {
-    let t = exhibits::ablation(3);
+    let t = run_exhibit("ablation", 3, 20);
     assert_well_formed(&t);
     for axis in ["horizon", "trigger_aware", "adm_eps", "battery_kwh"] {
         assert!(t.rows.iter().any(|r| r[0] == axis), "missing axis {axis}");
@@ -146,7 +158,7 @@ fn ablation_rows_cover_all_axes() {
 
 #[test]
 fn fig4_reports_scores_for_small_minpts() {
-    let t = exhibits::fig4(10);
+    let t = run_exhibit("fig4", 10, 20);
     assert_well_formed(&t);
     let dbi = cell(&t, &[(0, "DBSCAN"), (1, "2")], 2);
     assert!(dbi.is_finite());

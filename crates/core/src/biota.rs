@@ -123,7 +123,9 @@ mod tests {
         // Unconstrained by the ADM, BIoTA claims more reward...
         let (ds, adm, table, cap) = setup();
         let day = &ds.days[10];
-        let biota = BiotaScheduler.schedule(&table, &adm, &cap, day).reward(&table);
+        let biota = BiotaScheduler
+            .schedule(&table, &adm, &cap, day)
+            .reward(&table);
         let shatter = WindowDpScheduler::default()
             .schedule(&table, &adm, &cap, day)
             .reward(&table);
@@ -156,10 +158,7 @@ mod tests {
         let sched = BiotaScheduler.schedule(&table, &adm, &cap, day);
         // Kitchen (zone 3) is the highest-rate zone; BIoTA should report it
         // for the large majority of slots.
-        let kitchen_slots = sched.zones[0]
-            .iter()
-            .filter(|&&z| z == ZoneId(3))
-            .count();
+        let kitchen_slots = sched.zones[0].iter().filter(|&&z| z == ZoneId(3)).count();
         assert!(kitchen_slots > 1200, "kitchen slots {kitchen_slots}");
     }
 }

@@ -44,6 +44,41 @@ impl AttackerCapability {
         }
     }
 
+    /// Stable FNV-1a signature over the accessibility sets, usable as a
+    /// memoization-key component (e.g. for cached attack schedules).
+    /// `BTreeSet` iteration order makes it deterministic.
+    pub fn signature(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |v: u64| {
+            h ^= v.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        };
+        for z in &self.zones {
+            mix(z.index() as u64);
+        }
+        mix(u64::MAX); // separator between sets
+        match self.timeslots {
+            None => mix(u64::MAX - 1),
+            Some((a, b)) => {
+                mix(u64::from(a));
+                mix(u64::from(b));
+            }
+        }
+        for o in &self.occupants {
+            mix(o.index() as u64);
+        }
+        mix(u64::MAX);
+        for a in &self.appliances {
+            mix(a.index() as u64);
+        }
+        mix(u64::MAX);
+        match self.knowledge {
+            AttackerKnowledge::All => mix(1),
+            AttackerKnowledge::Partial(f) => mix(f.to_bits()),
+        }
+        h
+    }
+
     /// Restricts zone access to the given conditioned zones (the Outside
     /// pseudo-zone stays accessible: "seeing" an occupant leave costs
     /// nothing). Used for the paper's Table VI sweep.

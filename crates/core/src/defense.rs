@@ -139,7 +139,12 @@ mod tests {
     use shatter_dataset::{synthesize, HouseKind, SynthConfig};
     use shatter_smarthome::houses;
 
-    fn setup() -> (EnergyModel, shatter_dataset::Dataset, HullAdm, AttackerCapability) {
+    fn setup() -> (
+        EnergyModel,
+        shatter_dataset::Dataset,
+        HullAdm,
+        AttackerCapability,
+    ) {
         let home = houses::aras_house_a();
         let ds = synthesize(&SynthConfig::new(HouseKind::A, 12, 91));
         let adm = HullAdm::train(&ds.prefix_days(10), AdmKind::default_dbscan());
@@ -196,7 +201,10 @@ mod tests {
         let baseline = attack_impact_usd(&model, &adm, &cap, days, &sched);
         let (plan, residual) = greedy_hardening_plan(&model, &adm, &cap, days, &sched, 3);
         assert!(!plan.is_empty());
-        assert!(residual <= baseline + 1e-9, "residual {residual} vs baseline {baseline}");
+        assert!(
+            residual <= baseline + 1e-9,
+            "residual {residual} vs baseline {baseline}"
+        );
     }
 
     #[test]

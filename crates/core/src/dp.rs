@@ -129,9 +129,8 @@ impl WindowDpScheduler {
             }
         };
 
-        let has_future = |z: ZoneId, t: usize| -> bool {
-            !adm.stay_ranges(o, z, t as f64).is_empty()
-        };
+        let has_future =
+            |z: ZoneId, t: usize| -> bool { !adm.stay_ranges(o, z, t as f64).is_empty() };
         let can_extend = |z: ZoneId, arrival: u32, t_next_len: u32| -> bool {
             adm.max_stay(o, z, arrival as f64)
                 .is_some_and(|m| (t_next_len as f64) <= m + 1e-9)
@@ -178,8 +177,8 @@ impl WindowDpScheduler {
             let mut index: std::collections::HashMap<(usize, u32), usize> =
                 std::collections::HashMap::new();
             let push = |next: &mut Vec<Node>,
-                            index: &mut std::collections::HashMap<(usize, u32), usize>,
-                            n: Node| {
+                        index: &mut std::collections::HashMap<(usize, u32), usize>,
+                        n: Node| {
                 if n.shadow {
                     next.push(n);
                     return;
@@ -494,12 +493,18 @@ mod tests {
         // small non-monotonicity from boundary effects.
         let (ds, adm, table, cap) = setup();
         let day = &ds.days[11];
-        let short = WindowDpScheduler { horizon: 5, ..Default::default() }
-            .schedule(&table, &adm, &cap, day)
-            .reward(&table);
-        let long = WindowDpScheduler { horizon: 60, ..Default::default() }
-            .schedule(&table, &adm, &cap, day)
-            .reward(&table);
+        let short = WindowDpScheduler {
+            horizon: 5,
+            ..Default::default()
+        }
+        .schedule(&table, &adm, &cap, day)
+        .reward(&table);
+        let long = WindowDpScheduler {
+            horizon: 60,
+            ..Default::default()
+        }
+        .schedule(&table, &adm, &cap, day)
+        .reward(&table);
         assert!(long >= short * 0.9, "long {long} vs short {short}");
     }
 
@@ -514,7 +519,10 @@ mod tests {
         let sched = WindowDpScheduler::default().schedule(&table, &adm, &restricted_cap, day);
         sched.validate(&adm, &restricted_cap, day).unwrap();
         let restricted = sched.reward(&table);
-        assert!(restricted <= full + 1e-9, "restricted {restricted} vs full {full}");
+        assert!(
+            restricted <= full + 1e-9,
+            "restricted {restricted} vs full {full}"
+        );
     }
 
     #[test]

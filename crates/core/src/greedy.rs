@@ -162,7 +162,9 @@ mod tests {
             dp_total += WindowDpScheduler::default()
                 .schedule(&table, &adm, &cap, day)
                 .reward(&table);
-            greedy_total += GreedyScheduler.schedule(&table, &adm, &cap, day).reward(&table);
+            greedy_total += GreedyScheduler
+                .schedule(&table, &adm, &cap, day)
+                .reward(&table);
         }
         assert!(
             dp_total >= greedy_total * 0.95,
@@ -182,9 +184,8 @@ mod tests {
             if e.exit() == MINUTES_PER_DAY as u32 {
                 continue;
             }
-            let mirrors_actual = (e.arrival..e.exit()).all(|t| {
-                day.minutes[t as usize].occupants[e.occupant.index()].zone == e.zone
-            });
+            let mirrors_actual = (e.arrival..e.exit())
+                .all(|t| day.minutes[t as usize].occupants[e.occupant.index()].zone == e.zone);
             if mirrors_actual {
                 continue;
             }

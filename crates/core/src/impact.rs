@@ -97,23 +97,45 @@ pub fn evaluate_day_with_table(
     with_triggering: bool,
 ) -> AttackOutcome {
     let schedule = scheduler.schedule(table, adm, cap, actual);
+    evaluate_day_with_schedule(model, adm, cap, actual, &schedule, with_triggering, None)
+}
+
+/// Evaluates a *precomputed* schedule: derive the triggering plan, build
+/// the falsified trace, and price it. Schedule synthesis dominates
+/// attack evaluation, so callers comparing triggering on/off (Fig. 10,
+/// Tables VI–VII) or sweeping defenses against a fixed attack should
+/// synthesize once and price both legs through this entry point.
+///
+/// `benign_cost_usd` optionally supplies the (schedule-independent)
+/// benign day cost so month-scale sweeps can price each genuine day
+/// once.
+pub fn evaluate_day_with_schedule(
+    model: &EnergyModel,
+    adm: &HullAdm,
+    cap: &AttackerCapability,
+    actual: &DayTrace,
+    schedule: &AttackSchedule,
+    with_triggering: bool,
+    benign_cost_usd: Option<f64>,
+) -> AttackOutcome {
     let triggers = if with_triggering {
-        plan_triggers(model.home(), adm, cap, actual, &schedule)
+        plan_triggers(model.home(), adm, cap, actual, schedule)
     } else {
         TriggerPlan {
             on: vec![Vec::new(); MINUTES_PER_DAY],
         }
     };
-    let attacked = attacked_day_trace(actual, &schedule, &triggers);
-    let benign_cost = model.day_cost(&DchvacController, actual).total_usd();
+    let attacked = attacked_day_trace(actual, schedule, &triggers);
+    let benign_cost =
+        benign_cost_usd.unwrap_or_else(|| model.day_cost(&DchvacController, actual).total_usd());
     let attacked_cost = model.day_cost(&DchvacController, &attacked).total_usd();
     AttackOutcome {
         benign_cost_usd: benign_cost,
         attacked_cost_usd: attacked_cost,
         triggered_minutes: triggers.total_minutes(),
         divergence: schedule.divergence(actual),
-        detection_rate: detection_rate(adm, &schedule, actual),
-        schedule,
+        detection_rate: detection_rate(adm, schedule, actual),
+        schedule: schedule.clone(),
     }
 }
 
@@ -129,9 +151,7 @@ pub fn evaluate_days(
 ) -> Vec<AttackOutcome> {
     let table = RewardTable::build(model);
     days.iter()
-        .map(|d| {
-            evaluate_day_with_table(model, &table, adm, cap, d, scheduler, with_triggering)
-        })
+        .map(|d| evaluate_day_with_table(model, &table, adm, cap, d, scheduler, with_triggering))
         .collect()
 }
 
@@ -153,7 +173,12 @@ mod tests {
     use shatter_dataset::{synthesize, HouseKind, SynthConfig};
     use shatter_smarthome::houses;
 
-    fn setup() -> (EnergyModel, shatter_dataset::Dataset, HullAdm, AttackerCapability) {
+    fn setup() -> (
+        EnergyModel,
+        shatter_dataset::Dataset,
+        HullAdm,
+        AttackerCapability,
+    ) {
         let home = houses::aras_house_a();
         let ds = synthesize(&SynthConfig::new(HouseKind::A, 12, 61));
         let adm = HullAdm::train(&ds.prefix_days(10), AdmKind::default_kmeans());
@@ -187,7 +212,14 @@ mod tests {
         // Paper Fig. 10: appliance triggering raises cost further (~20%).
         let (model, ds, adm, cap) = setup();
         let day = &ds.days[11];
-        let without = evaluate_day(&model, &adm, &cap, day, &WindowDpScheduler::default(), false);
+        let without = evaluate_day(
+            &model,
+            &adm,
+            &cap,
+            day,
+            &WindowDpScheduler::default(),
+            false,
+        );
         let with = evaluate_day(&model, &adm, &cap, day, &WindowDpScheduler::default(), true);
         assert!(with.attacked_cost_usd >= without.attacked_cost_usd);
     }
@@ -197,9 +229,20 @@ mod tests {
         let (model, ds, adm, cap) = setup();
         let day = &ds.days[10];
         let biota = evaluate_day(&model, &adm, &cap, day, &BiotaScheduler, false);
-        let shatter = evaluate_day(&model, &adm, &cap, day, &WindowDpScheduler::default(), false);
+        let shatter = evaluate_day(
+            &model,
+            &adm,
+            &cap,
+            day,
+            &WindowDpScheduler::default(),
+            false,
+        );
         assert!(biota.attacked_cost_usd >= shatter.attacked_cost_usd * 0.9);
-        assert!(biota.detection_rate >= 0.5, "biota detection {}", biota.detection_rate);
+        assert!(
+            biota.detection_rate >= 0.5,
+            "biota detection {}",
+            biota.detection_rate
+        );
         assert!(shatter.detection_rate <= 0.05);
     }
 
@@ -214,8 +257,31 @@ mod tests {
             &WindowDpScheduler::default(),
             false,
         );
-        let greedy = evaluate_days(&model, &adm, &cap, &ds.days[10..12], &GreedyScheduler, false);
+        let greedy = evaluate_days(
+            &model,
+            &adm,
+            &cap,
+            &ds.days[10..12],
+            &GreedyScheduler,
+            false,
+        );
         assert!(total_attacked_usd(&dp) >= total_attacked_usd(&greedy) * 0.95);
+    }
+
+    #[test]
+    fn schedule_reuse_matches_direct_evaluation() {
+        let (model, ds, adm, cap) = setup();
+        let day = &ds.days[10];
+        let table = RewardTable::build(&model);
+        let scheduler = WindowDpScheduler::default();
+        let direct = evaluate_day_with_table(&model, &table, &adm, &cap, day, &scheduler, true);
+        let sched = scheduler.schedule(&table, &adm, &cap, day);
+        let benign = model.day_cost(&DchvacController, day).total_usd();
+        let reused =
+            evaluate_day_with_schedule(&model, &adm, &cap, day, &sched, true, Some(benign));
+        assert_eq!(direct.attacked_cost_usd, reused.attacked_cost_usd);
+        assert_eq!(direct.benign_cost_usd, reused.benign_cost_usd);
+        assert_eq!(direct.schedule, reused.schedule);
     }
 
     #[test]

@@ -60,6 +60,7 @@ pub mod realtime;
 mod reward;
 mod schedule;
 mod smt_sched;
+pub mod strategy;
 pub mod trigger;
 
 pub use biota::BiotaScheduler;
@@ -69,3 +70,4 @@ pub use greedy::GreedyScheduler;
 pub use reward::{plausible_activities, RewardTable};
 pub use schedule::{AttackSchedule, ScheduleError, Scheduler};
 pub use smt_sched::SmtScheduler;
+pub use strategy::{SharedScheduler, StrategyEntry, StrategyRegistry};

@@ -49,6 +49,7 @@ pub fn execute_realtime(
     let mut blocked = 0usize;
     let mut injected = 0usize;
 
+    #[allow(clippy::needless_range_loop)]
     for o in 0..n_occupants {
         let occupant = OccupantId(o);
         // Current reported stay: (zone, arrival).
@@ -67,9 +68,8 @@ pub fn execute_realtime(
                         // in-cluster, or when it exactly mirrored actual
                         // behaviour so far.
                         adm.in_range_stay(occupant, z, a as f64, stay as f64)
-                            || (a..t as u32).all(|u| {
-                                actual.minutes[u as usize].occupants[o].zone == z
-                            })
+                            || (a..t as u32)
+                                .all(|u| actual.minutes[u as usize].occupants[o].zone == z)
                     }
                     _ => true,
                 };

@@ -56,12 +56,9 @@ impl RewardTable {
                     continue;
                 }
                 for t in 0..MINUTES_PER_DAY {
-                    if let Some((act, r)) = model.best_activity_for(
-                        OccupantId(o),
-                        ZoneId(z),
-                        t as Minute,
-                        &plausible,
-                    ) {
+                    if let Some((act, r)) =
+                        model.best_activity_for(OccupantId(o), ZoneId(z), t as Minute, &plausible)
+                    {
                         rate[o][z][t] = r;
                         best_activity[o][z][t] = act;
                     }
@@ -127,7 +124,11 @@ impl RewardTable {
     }
 
     /// Whether `activity` is a legitimate use of appliance `d`.
-    pub fn appliance_linked_to(&self, d: shatter_smarthome::ApplianceId, activity: Activity) -> bool {
+    pub fn appliance_linked_to(
+        &self,
+        d: shatter_smarthome::ApplianceId,
+        activity: Activity,
+    ) -> bool {
         self.appliance_linked[d.index()].contains(&activity)
     }
 

@@ -51,10 +51,16 @@ impl std::fmt::Display for ScheduleError {
                 episode.occupant, episode.zone, episode.arrival, episode.stay
             ),
             ScheduleError::CapabilityViolation { occupant, minute } => {
-                write!(f, "occupant {occupant} relocated without access at minute {minute}")
+                write!(
+                    f,
+                    "occupant {occupant} relocated without access at minute {minute}"
+                )
             }
             ScheduleError::ImplausibleActivity { occupant, minute } => {
-                write!(f, "occupant {occupant} reports implausible activity at minute {minute}")
+                write!(
+                    f,
+                    "occupant {occupant} reports implausible activity at minute {minute}"
+                )
             }
             ScheduleError::ShapeMismatch => write!(f, "schedule shape mismatch"),
         }

@@ -108,14 +108,26 @@ impl SmtScheduler {
             let horizon = self.horizon.min(until - w);
             stats.windows += 1;
             match self.solve_window(
-                o, table, cap, &act_zone, w, horizon, boundary, until,
-                &in_range, &can_extend, &has_future, &micro, &mut stats,
+                o,
+                table,
+                cap,
+                &act_zone,
+                w,
+                horizon,
+                boundary,
+                until,
+                &in_range,
+                &can_extend,
+                &has_future,
+                &micro,
+                &mut stats,
             ) {
                 Some(window_zones) => {
                     zones.extend_from_slice(&window_zones);
                 }
                 None => {
                     stats.fallbacks += 1;
+                    #[allow(clippy::needless_range_loop)]
                     for t in w..w + horizon {
                         zones.push(act_zone[t]);
                     }
@@ -194,8 +206,7 @@ impl SmtScheduler {
             for e in w..w + horizon {
                 // Run continues through [w, e) then leaves at e.
                 if !in_range(z0, a0, e as u32 - a0) {
-                    let mut clause: Vec<Formula> =
-                        (w..e).map(|t| nlit(t, z0i)).collect();
+                    let mut clause: Vec<Formula> = (w..e).map(|t| nlit(t, z0i)).collect();
                     clause.push(lit(e, z0i));
                     solver.assert_formula(Formula::or(clause));
                 }
@@ -208,8 +219,7 @@ impl SmtScheduler {
                 can_extend(z0, a0, end_len)
             };
             if !ok {
-                let clause: Vec<Formula> =
-                    (w..w + horizon).map(|t| nlit(t, z0i)).collect();
+                let clause: Vec<Formula> = (w..w + horizon).map(|t| nlit(t, z0i)).collect();
                 solver.assert_formula(Formula::or(clause));
             }
         }
@@ -219,8 +229,7 @@ impl SmtScheduler {
             for z in 0..n_zones {
                 let zid = ZoneId(z);
                 // Arrival condition A(s, z).
-                let arrival_cond = |solverless: ()| -> Vec<Formula> {
-                    let _ = solverless;
+                let arrival_cond = |_: ()| -> Vec<Formula> {
                     let mut c = vec![lit(s, z)];
                     if s > w {
                         c.push(nlit(s - 1, z));
@@ -307,14 +316,8 @@ impl Scheduler for SmtScheduler {
         let mut zones = Vec::with_capacity(n_occupants);
         let mut activities = Vec::with_capacity(n_occupants);
         for o in 0..n_occupants {
-            let (row, _) = self.schedule_occupant(
-                OccupantId(o),
-                table,
-                adm,
-                cap,
-                actual,
-                MINUTES_PER_DAY,
-            );
+            let (row, _) =
+                self.schedule_occupant(OccupantId(o), table, adm, cap, actual, MINUTES_PER_DAY);
             let acts = row
                 .iter()
                 .enumerate()
@@ -359,14 +362,8 @@ mod tests {
         let (ds, adm, table, cap) = setup();
         let day = &ds.days[10];
         // Schedule the first 2 hours only (SMT is the slow path).
-        let (row, stats) = SmtScheduler::default().schedule_occupant(
-            OccupantId(0),
-            &table,
-            &adm,
-            &cap,
-            day,
-            120,
-        );
+        let (row, stats) =
+            SmtScheduler::default().schedule_occupant(OccupantId(0), &table, &adm, &cap, day, 120);
         assert_eq!(row.len(), 120);
         assert_eq!(stats.windows, 12);
         // Every completed run in the prefix must be ADM-consistent or
@@ -374,11 +371,9 @@ mod tests {
         let mut s = 0usize;
         for t in 1..row.len() {
             if row[t] != row[s] {
-                let matches_actual = (s..t)
-                    .all(|u| row[u] == day.minutes[u].occupants[0].zone);
+                let matches_actual = (s..t).all(|u| row[u] == day.minutes[u].occupants[0].zone);
                 assert!(
-                    matches_actual
-                        || adm.within(OccupantId(0), row[s], s as f64, (t - s) as f64),
+                    matches_actual || adm.within(OccupantId(0), row[s], s as f64, (t - s) as f64),
                     "run ({s}, {}) in {:?} not stealthy",
                     t - s,
                     row[s]

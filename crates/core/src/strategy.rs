@@ -1,0 +1,116 @@
+//! A small registry over the object-safe [`Scheduler`] trait, so
+//! evaluation scenarios can *enumerate* attack strategies instead of
+//! hard-coding each one.
+//!
+//! Every entry pairs a stable key (CLI/table-friendly) with a shared,
+//! thread-safe scheduler instance. The builtin set covers the paper's
+//! four schedule generators; downstream code can register more.
+
+use std::sync::Arc;
+
+use crate::{BiotaScheduler, GreedyScheduler, Scheduler, SmtScheduler, WindowDpScheduler};
+
+/// A shared, thread-safe scheduler usable from parallel scenario runs.
+pub type SharedScheduler = Arc<dyn Scheduler + Send + Sync>;
+
+/// One registered attack strategy.
+#[derive(Clone)]
+pub struct StrategyEntry {
+    /// Stable lookup key, e.g. `"greedy"` or `"dp"`.
+    pub key: &'static str,
+    /// Whether the strategy consults the ADM (BIoTA does not).
+    pub adm_aware: bool,
+    /// The scheduler instance.
+    pub scheduler: SharedScheduler,
+}
+
+/// Ordered registry of attack strategies.
+#[derive(Clone, Default)]
+pub struct StrategyRegistry {
+    entries: Vec<StrategyEntry>,
+}
+
+impl StrategyRegistry {
+    /// Empty registry.
+    pub fn new() -> StrategyRegistry {
+        StrategyRegistry::default()
+    }
+
+    /// The paper's four schedule generators: `biota`, `greedy`, `dp`
+    /// (the SHATTER window optimizer), and `smt` (the formal encoding).
+    pub fn builtin() -> StrategyRegistry {
+        let mut reg = StrategyRegistry::new();
+        reg.register("biota", false, Arc::new(BiotaScheduler));
+        reg.register("greedy", true, Arc::new(GreedyScheduler));
+        reg.register("dp", true, Arc::new(WindowDpScheduler::default()));
+        reg.register("smt", true, Arc::new(SmtScheduler::default()));
+        reg
+    }
+
+    /// Registers a strategy at the end of the order.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a duplicate key.
+    pub fn register(&mut self, key: &'static str, adm_aware: bool, scheduler: SharedScheduler) {
+        assert!(self.get(key).is_none(), "duplicate strategy key {key:?}");
+        self.entries.push(StrategyEntry {
+            key,
+            adm_aware,
+            scheduler,
+        });
+    }
+
+    /// Looks up a strategy by key.
+    pub fn get(&self, key: &str) -> Option<&StrategyEntry> {
+        self.entries.iter().find(|e| e.key == key)
+    }
+
+    /// All entries in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = &StrategyEntry> {
+        self.entries.iter()
+    }
+
+    /// Registered keys in order.
+    pub fn keys(&self) -> Vec<&'static str> {
+        self.entries.iter().map(|e| e.key).collect()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_covers_the_papers_generators() {
+        let reg = StrategyRegistry::builtin();
+        assert_eq!(reg.keys(), ["biota", "greedy", "dp", "smt"]);
+        assert!(!reg.get("biota").expect("biota registered").adm_aware);
+        assert!(reg.get("dp").expect("dp registered").adm_aware);
+        assert_eq!(
+            reg.get("greedy")
+                .expect("greedy registered")
+                .scheduler
+                .name(),
+            "Greedy (Algorithm 2)"
+        );
+        assert!(reg.get("nope").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate strategy key")]
+    fn duplicate_key_rejected() {
+        let mut reg = StrategyRegistry::builtin();
+        reg.register("dp", true, Arc::new(WindowDpScheduler::default()));
+    }
+}

@@ -76,6 +76,7 @@ pub fn plan_triggers(
     let n_occupants = schedule.n_occupants();
     let mut on: Vec<Vec<ApplianceId>> = vec![Vec::new(); MINUTES_PER_DAY];
 
+    #[allow(clippy::needless_range_loop)]
     for t in 0..MINUTES_PER_DAY {
         let rec = &actual.minutes[t];
         for o in 0..n_occupants {
@@ -183,9 +184,8 @@ mod tests {
         for (t, apps) in plan.on.iter().enumerate() {
             for aid in apps {
                 let a = home.appliance(*aid);
-                let matched = (0..sched.n_occupants()).any(|o| {
-                    sched.zones[o][t] == a.zone && a.linked_to(sched.activities[o][t])
-                });
+                let matched = (0..sched.n_occupants())
+                    .any(|o| sched.zones[o][t] == a.zone && a.linked_to(sched.activities[o][t]));
                 assert!(matched, "minute {t}: {} has no reporting occupant", a.name);
             }
         }

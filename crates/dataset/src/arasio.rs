@@ -194,6 +194,7 @@ mod tests {
         let ds = synthesize(&SynthConfig::new(HouseKind::A, 1, 7));
         for rec in &ds.days[0].minutes {
             let row = sensor_row(rec);
+            #[allow(clippy::needless_range_loop)]
             for z in 0..5usize {
                 let expect = rec.occupants.iter().any(|o| o.zone.index() == z);
                 assert_eq!(row[z] == 1, expect);
@@ -203,8 +204,7 @@ mod tests {
 
     #[test]
     fn rejects_short_day() {
-        let err = day_from_aras("0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 10 10\n", 0)
-            .unwrap_err();
+        let err = day_from_aras("0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 10 10\n", 0).unwrap_err();
         assert!(err.message.contains("expected 1440"));
     }
 

@@ -82,11 +82,7 @@ struct Ranges {
     stay_max: u32,
 }
 
-fn observed_ranges(
-    episodes: &[Episode],
-    occupant: OccupantId,
-    zone: ZoneId,
-) -> Option<Ranges> {
+fn observed_ranges(episodes: &[Episode], occupant: OccupantId, zone: ZoneId) -> Option<Ranges> {
     let mut r: Option<Ranges> = None;
     for e in episodes
         .iter()
@@ -156,8 +152,8 @@ pub fn biota_attack_episodes(train: &Dataset, cfg: &BiotaConfig) -> Vec<Episode>
             for _ in 0..cfg.samples_per_zone {
                 let base = top[rng.random_range(0..top.len())];
                 let jitter: i64 = rng.random_range(-15..=15);
-                let arrival = (base.arrival as i64 + jitter)
-                    .clamp(0, MINUTES_PER_DAY as i64 - 2) as u32;
+                let arrival =
+                    (base.arrival as i64 + jitter).clamp(0, MINUTES_PER_DAY as i64 - 2) as u32;
                 let margin = rng.random_range(cfg.margin.0..cfg.margin.1);
                 // Stretch the chosen stay. Whether the result escapes the
                 // learned clusters depends on how close the chosen base is

@@ -188,10 +188,8 @@ pub fn from_csv_string(text: &str, house: impl Into<String>) -> Result<Dataset, 
         n_appliances,
         days,
     };
-    ds.validate().map_err(|message| CsvError::Parse {
-        line: 0,
-        message,
-    })?;
+    ds.validate()
+        .map_err(|message| CsvError::Parse { line: 0, message })?;
     Ok(ds)
 }
 

@@ -91,11 +91,7 @@ pub fn extract_episodes(ds: &Dataset) -> Vec<Episode> {
 
 /// Filters episodes down to one occupant and zone, as (arrival, stay)
 /// feature pairs — the input to one per-(occupant, zone) ADM cluster model.
-pub fn features_for(
-    episodes: &[Episode],
-    occupant: OccupantId,
-    zone: ZoneId,
-) -> Vec<(f64, f64)> {
+pub fn features_for(episodes: &[Episode], occupant: OccupantId, zone: ZoneId) -> Vec<(f64, f64)> {
     episodes
         .iter()
         .filter(|e| e.occupant == occupant && e.zone == zone)

@@ -56,10 +56,8 @@ pub fn default_zone_for(activity: Activity) -> ZoneId {
     match activity {
         GoingOut => ZoneId(0),
         Sleeping | Napping | ChangingClothes => ZoneId(1),
-        WatchingTv | Studying | UsingInternet | ReadingBook | ListeningToMusic
-        | TalkingOnPhone | HavingConversation | HavingGuest | HavingSnack | Other | Cleaning => {
-            ZoneId(2)
-        }
+        WatchingTv | Studying | UsingInternet | ReadingBook | ListeningToMusic | TalkingOnPhone
+        | HavingConversation | HavingGuest | HavingSnack | Other | Cleaning => ZoneId(2),
         PreparingBreakfast | HavingBreakfast | PreparingLunch | HavingLunch | PreparingDinner
         | HavingDinner | WashingDishes => ZoneId(3),
         HavingShower | Toileting | Shaving | BrushingTeeth | Laundry => ZoneId(4),
@@ -164,37 +162,68 @@ fn day_plan(rng: &mut StdRng, house: HouseKind, occupant: usize, day: u32) -> Ve
     };
 
     // Night sleep carried over from the previous evening.
-    let wake_mean = if weekend { p.wake_mean + 50.0 } else { p.wake_mean };
+    let wake_mean = if weekend {
+        p.wake_mean + 50.0
+    } else {
+        p.wake_mean
+    };
     let wake = gauss_minutes(rng, wake_mean, 14.0, 300.0, 600.0);
-    push(&mut plan, &mut t, Segment { activity: Activity::Sleeping, duration: wake });
+    push(
+        &mut plan,
+        &mut t,
+        Segment {
+            activity: Activity::Sleeping,
+            duration: wake,
+        },
+    );
 
     // Morning routine.
-    push(&mut plan, &mut t, Segment {
-        activity: Activity::Toileting,
-        duration: gauss_minutes(rng, 7.0, 2.0, 3.0, 14.0),
-    });
+    push(
+        &mut plan,
+        &mut t,
+        Segment {
+            activity: Activity::Toileting,
+            duration: gauss_minutes(rng, 7.0, 2.0, 3.0, 14.0),
+        },
+    );
     if p.shower_in_morning || rng.random::<f64>() < 0.35 {
-        push(&mut plan, &mut t, Segment {
-            activity: Activity::HavingShower,
-            duration: gauss_minutes(rng, 22.0, 4.0, 12.0, 34.0),
-        });
+        push(
+            &mut plan,
+            &mut t,
+            Segment {
+                activity: Activity::HavingShower,
+                duration: gauss_minutes(rng, 22.0, 4.0, 12.0, 34.0),
+            },
+        );
     }
-    push(&mut plan, &mut t, Segment {
-        activity: Activity::PreparingBreakfast,
-        duration: gauss_minutes(rng, 17.0, 4.0, 8.0, 30.0),
-    });
-    push(&mut plan, &mut t, Segment {
-        activity: Activity::HavingBreakfast,
-        duration: gauss_minutes(rng, 14.0, 3.0, 7.0, 25.0),
-    });
+    push(
+        &mut plan,
+        &mut t,
+        Segment {
+            activity: Activity::PreparingBreakfast,
+            duration: gauss_minutes(rng, 17.0, 4.0, 8.0, 30.0),
+        },
+    );
+    push(
+        &mut plan,
+        &mut t,
+        Segment {
+            activity: Activity::HavingBreakfast,
+            duration: gauss_minutes(rng, 14.0, 3.0, 7.0, 25.0),
+        },
+    );
 
     // Work block.
     let works = !weekend && rng.random::<f64>() < p.work_prob_weekday;
     if works {
-        push(&mut plan, &mut t, Segment {
-            activity: Activity::GoingOut,
-            duration: gauss_minutes(rng, p.work_duration_mean, 35.0, 180.0, 700.0),
-        });
+        push(
+            &mut plan,
+            &mut t,
+            Segment {
+                activity: Activity::GoingOut,
+                duration: gauss_minutes(rng, p.work_duration_mean, 35.0, 180.0, 700.0),
+            },
+        );
     }
 
     // Daytime at home until dinner prep (~18:20).
@@ -202,37 +231,61 @@ fn day_plan(rng: &mut StdRng, house: HouseKind, occupant: usize, day: u32) -> Ve
     while t + 20 < dinner_prep_start {
         // Lunch window for occupants who are home around 12:15.
         if !works && (730..790).contains(&t) {
-            push(&mut plan, &mut t, Segment {
-                activity: Activity::PreparingLunch,
-                duration: gauss_minutes(rng, 20.0, 4.0, 10.0, 32.0),
-            });
-            push(&mut plan, &mut t, Segment {
-                activity: Activity::HavingLunch,
-                duration: gauss_minutes(rng, 17.0, 3.0, 9.0, 28.0),
-            });
-            push(&mut plan, &mut t, Segment {
-                activity: Activity::WashingDishes,
-                duration: gauss_minutes(rng, 8.0, 2.0, 4.0, 14.0),
-            });
+            push(
+                &mut plan,
+                &mut t,
+                Segment {
+                    activity: Activity::PreparingLunch,
+                    duration: gauss_minutes(rng, 20.0, 4.0, 10.0, 32.0),
+                },
+            );
+            push(
+                &mut plan,
+                &mut t,
+                Segment {
+                    activity: Activity::HavingLunch,
+                    duration: gauss_minutes(rng, 17.0, 3.0, 9.0, 28.0),
+                },
+            );
+            push(
+                &mut plan,
+                &mut t,
+                Segment {
+                    activity: Activity::WashingDishes,
+                    duration: gauss_minutes(rng, 8.0, 2.0, 4.0, 14.0),
+                },
+            );
             continue;
         }
         // Occasional chores.
         let roll: f64 = rng.random();
         if roll < 0.10 {
-            push(&mut plan, &mut t, Segment {
-                activity: Activity::Cleaning,
-                duration: gauss_minutes(rng, 32.0, 8.0, 15.0, 55.0),
-            });
+            push(
+                &mut plan,
+                &mut t,
+                Segment {
+                    activity: Activity::Cleaning,
+                    duration: gauss_minutes(rng, 32.0, 8.0, 15.0, 55.0),
+                },
+            );
         } else if roll < 0.17 {
-            push(&mut plan, &mut t, Segment {
-                activity: Activity::Laundry,
-                duration: gauss_minutes(rng, 24.0, 5.0, 12.0, 40.0),
-            });
+            push(
+                &mut plan,
+                &mut t,
+                Segment {
+                    activity: Activity::Laundry,
+                    duration: gauss_minutes(rng, 24.0, 5.0, 12.0, 40.0),
+                },
+            );
         } else if roll < 0.25 && (780..1020).contains(&t) {
-            push(&mut plan, &mut t, Segment {
-                activity: Activity::Napping,
-                duration: gauss_minutes(rng, 45.0, 12.0, 20.0, 90.0),
-            });
+            push(
+                &mut plan,
+                &mut t,
+                Segment {
+                    activity: Activity::Napping,
+                    duration: gauss_minutes(rng, 45.0, 12.0, 20.0, 90.0),
+                },
+            );
         } else {
             push(&mut plan, &mut t, idle_segment(rng));
         }
@@ -240,40 +293,68 @@ fn day_plan(rng: &mut StdRng, house: HouseKind, occupant: usize, day: u32) -> Ve
     // Align to dinner prep.
     if t < dinner_prep_start {
         let gap = dinner_prep_start - t;
-        push(&mut plan, &mut t, Segment {
-            activity: IDLE[rng.random_range(0..IDLE.len())],
-            duration: gap,
-        });
+        push(
+            &mut plan,
+            &mut t,
+            Segment {
+                activity: IDLE[rng.random_range(0..IDLE.len())],
+                duration: gap,
+            },
+        );
     }
 
     // Evening routine.
-    push(&mut plan, &mut t, Segment {
-        activity: Activity::PreparingDinner,
-        duration: gauss_minutes(rng, 24.0, 5.0, 12.0, 38.0),
-    });
-    push(&mut plan, &mut t, Segment {
-        activity: Activity::HavingDinner,
-        duration: gauss_minutes(rng, 23.0, 4.0, 12.0, 35.0),
-    });
-    push(&mut plan, &mut t, Segment {
-        activity: Activity::WashingDishes,
-        duration: gauss_minutes(rng, 9.0, 2.0, 4.0, 15.0),
-    });
-    push(&mut plan, &mut t, Segment {
-        activity: Activity::WatchingTv,
-        duration: gauss_minutes(rng, p.evening_tv_mean, 20.0, 30.0, 170.0),
-    });
-    push(&mut plan, &mut t, Segment {
-        activity: Activity::BrushingTeeth,
-        duration: gauss_minutes(rng, 5.0, 1.5, 2.0, 9.0),
-    });
+    push(
+        &mut plan,
+        &mut t,
+        Segment {
+            activity: Activity::PreparingDinner,
+            duration: gauss_minutes(rng, 24.0, 5.0, 12.0, 38.0),
+        },
+    );
+    push(
+        &mut plan,
+        &mut t,
+        Segment {
+            activity: Activity::HavingDinner,
+            duration: gauss_minutes(rng, 23.0, 4.0, 12.0, 35.0),
+        },
+    );
+    push(
+        &mut plan,
+        &mut t,
+        Segment {
+            activity: Activity::WashingDishes,
+            duration: gauss_minutes(rng, 9.0, 2.0, 4.0, 15.0),
+        },
+    );
+    push(
+        &mut plan,
+        &mut t,
+        Segment {
+            activity: Activity::WatchingTv,
+            duration: gauss_minutes(rng, p.evening_tv_mean, 20.0, 30.0, 170.0),
+        },
+    );
+    push(
+        &mut plan,
+        &mut t,
+        Segment {
+            activity: Activity::BrushingTeeth,
+            duration: gauss_minutes(rng, 5.0, 1.5, 2.0, 9.0),
+        },
+    );
     // Sleep fills the rest of the day.
     if t < MINUTES_PER_DAY as u32 {
         let rest = MINUTES_PER_DAY as u32 - t;
-        push(&mut plan, &mut t, Segment {
-            activity: Activity::Sleeping,
-            duration: rest,
-        });
+        push(
+            &mut plan,
+            &mut t,
+            Segment {
+                activity: Activity::Sleeping,
+                duration: rest,
+            },
+        );
     }
     debug_assert_eq!(
         plan.iter().map(|s| s.duration).sum::<u32>(),

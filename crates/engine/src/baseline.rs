@@ -1,0 +1,178 @@
+//! Machine-readable performance baseline: serial-uncached vs
+//! parallel-cached execution of a scenario set (the `BENCH_engine.json`
+//! artifact).
+//!
+//! The serial-uncached leg reproduces the pre-engine evaluation harness
+//! (one fresh fixture world per exhibit, one thread); the
+//! parallel-cached leg is the engine's normal mode (shared
+//! [`FixtureCache`], worker pool).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::fixtures::{CacheStats, FixtureCache};
+use crate::runner::{run_scenarios, RunConfig};
+use crate::scenario::Scenario;
+use crate::table::json_string;
+
+/// Per-scenario timings of the two legs.
+#[derive(Debug, Clone)]
+pub struct BaselineEntry {
+    /// Scenario id.
+    pub id: String,
+    /// Wall-clock in the serial-uncached leg.
+    pub serial_uncached: Duration,
+    /// Wall-clock in the parallel-cached leg.
+    pub parallel_cached: Duration,
+}
+
+/// The full baseline measurement.
+#[derive(Debug, Clone)]
+pub struct Baseline {
+    /// Days parameter of the run.
+    pub days: usize,
+    /// Span parameter of the run.
+    pub span: usize,
+    /// Threads used in the parallel leg.
+    pub threads: usize,
+    /// Total wall-clock of the serial-uncached leg.
+    pub serial_uncached_wall: Duration,
+    /// Total wall-clock of the parallel-cached leg.
+    pub parallel_cached_wall: Duration,
+    /// Cache counters accumulated during the parallel-cached leg.
+    pub cache: CacheStats,
+    /// Per-scenario timings.
+    pub entries: Vec<BaselineEntry>,
+}
+
+impl Baseline {
+    /// Wall-clock speedup of parallel+cached over serial+uncached.
+    pub fn speedup(&self) -> f64 {
+        let p = self.parallel_cached_wall.as_secs_f64();
+        if p <= 0.0 {
+            return f64::INFINITY;
+        }
+        self.serial_uncached_wall.as_secs_f64() / p
+    }
+
+    /// Renders as a pretty-printed JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"days\": {},\n", self.days));
+        out.push_str(&format!("  \"span\": {},\n", self.span));
+        out.push_str(&format!("  \"threads\": {},\n", self.threads));
+        out.push_str(&format!(
+            "  \"serial_uncached_s\": {:.3},\n",
+            self.serial_uncached_wall.as_secs_f64()
+        ));
+        out.push_str(&format!(
+            "  \"parallel_cached_s\": {:.3},\n",
+            self.parallel_cached_wall.as_secs_f64()
+        ));
+        out.push_str(&format!("  \"speedup\": {:.2},\n", self.speedup()));
+        out.push_str(&format!(
+            "  \"cache\": {{\"hits\": {}, \"misses\": {}, \"hit_rate\": {:.3}}},\n",
+            self.cache.hits,
+            self.cache.misses,
+            self.cache.hit_rate()
+        ));
+        out.push_str("  \"scenarios\": [\n");
+        for (i, e) in self.entries.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"id\": {}, \"serial_uncached_s\": {:.3}, \"parallel_cached_s\": {:.3}}}{}\n",
+                json_string(&e.id),
+                e.serial_uncached.as_secs_f64(),
+                e.parallel_cached.as_secs_f64(),
+                if i + 1 < self.entries.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// Measures both legs over the same scenario set.
+///
+/// The serial leg hands every scenario a [`FixtureCache::disabled`]
+/// cache — every fixture, model and memoized intermediate (schedules,
+/// reward tables, benign day costs) is recomputed on demand, which is
+/// exactly how the pre-engine ad-hoc harness executed — on one thread.
+/// The parallel leg runs the engine's normal shared-cache pool with
+/// `cfg.threads`.
+pub fn measure(scenarios: &[Arc<dyn Scenario>], cfg: &RunConfig) -> Baseline {
+    // Serial, uncached: memoization off, one thread.
+    let mut serial = Vec::with_capacity(scenarios.len());
+    let serial_start = std::time::Instant::now();
+    for s in scenarios {
+        let off = FixtureCache::disabled();
+        let one = run_scenarios(
+            std::slice::from_ref(s),
+            &off,
+            &RunConfig {
+                threads: 1,
+                params: cfg.params,
+            },
+        );
+        serial.push(one.reports.into_iter().next().expect("one report"));
+    }
+    let serial_wall = serial_start.elapsed();
+
+    // Parallel, cached.
+    let shared = FixtureCache::new();
+    let parallel = run_scenarios(scenarios, &shared, cfg);
+
+    let entries = serial
+        .iter()
+        .zip(&parallel.reports)
+        .map(|(s, p)| {
+            debug_assert_eq!(s.id, p.id);
+            BaselineEntry {
+                id: s.id.clone(),
+                serial_uncached: s.wall,
+                parallel_cached: p.wall,
+            }
+        })
+        .collect();
+
+    Baseline {
+        days: cfg.params.days,
+        span: cfg.params.span,
+        threads: parallel.threads,
+        serial_uncached_wall: serial_wall,
+        parallel_cached_wall: parallel.total_wall,
+        cache: parallel.cache,
+        entries,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::CacheStats;
+
+    #[test]
+    fn json_shape_and_speedup() {
+        let b = Baseline {
+            days: 6,
+            span: 20,
+            threads: 4,
+            serial_uncached_wall: Duration::from_secs(10),
+            parallel_cached_wall: Duration::from_secs(4),
+            cache: CacheStats {
+                hits: 10,
+                misses: 5,
+            },
+            entries: vec![BaselineEntry {
+                id: "fig3".into(),
+                serial_uncached: Duration::from_secs(2),
+                parallel_cached: Duration::from_secs(1),
+            }],
+        };
+        assert!((b.speedup() - 2.5).abs() < 1e-9);
+        let j = b.to_json();
+        assert!(j.contains("\"speedup\": 2.50"));
+        assert!(j.contains("\"id\": \"fig3\""));
+        assert!(j.contains("\"hit_rate\": 0.667"));
+    }
+}

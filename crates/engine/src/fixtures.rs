@@ -1,0 +1,405 @@
+//! Shared evaluation fixtures and the memoizing [`FixtureCache`].
+//!
+//! Dataset synthesis, episode extraction and ADM training dominate the
+//! cost of every exhibit; the cache keys them by `(HouseKind, days,
+//! seed)` and `(dataset key, AdmKind, train_days)` respectively so a
+//! full-suite run pays each once. All entries are `Arc`-shared and the
+//! cache is internally locked, so scenarios on parallel runner threads
+//! share one cache safely.
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use shatter_adm::{AdmKind, HullAdm};
+use shatter_dataset::episodes::{extract_episodes, Episode};
+use shatter_dataset::{synthesize, Dataset, HouseKind, SynthConfig};
+use shatter_hvac::EnergyModel;
+use shatter_smarthome::{houses, Home};
+
+/// Seed of the canonical House-A month.
+pub const HOUSE_A_SEED: u64 = 11;
+/// Seed of the canonical House-B month.
+pub const HOUSE_B_SEED: u64 = 22;
+
+/// Canonical dataset seed for a house.
+pub fn canonical_seed(kind: HouseKind) -> u64 {
+    match kind {
+        HouseKind::A => HOUSE_A_SEED,
+        HouseKind::B => HOUSE_B_SEED,
+    }
+}
+
+/// The canonical evaluation fixture for one house.
+pub struct HouseFixture {
+    /// House identity of this fixture.
+    pub kind: HouseKind,
+    /// Days synthesized.
+    pub days: usize,
+    /// Dataset seed used.
+    pub seed: u64,
+    /// The home.
+    pub home: Home,
+    /// Canonical month of behaviour (shared with the cache).
+    pub month: Arc<Dataset>,
+    /// Energy/cost model.
+    pub model: EnergyModel,
+}
+
+impl HouseFixture {
+    /// Builds the fixture for a house with the canonical seed, outside
+    /// any cache (each call re-synthesizes).
+    pub fn new(kind: HouseKind, days: usize) -> HouseFixture {
+        HouseFixture::with_seed(kind, days, canonical_seed(kind))
+    }
+
+    /// Builds the fixture with an explicit dataset seed.
+    pub fn with_seed(kind: HouseKind, days: usize, seed: u64) -> HouseFixture {
+        let home = match kind {
+            HouseKind::A => houses::aras_house_a(),
+            HouseKind::B => houses::aras_house_b(),
+        };
+        let month = Arc::new(synthesize(&SynthConfig::new(kind, days, seed)));
+        let model = EnergyModel::standard(home.clone());
+        HouseFixture {
+            kind,
+            days,
+            seed,
+            home,
+            month,
+            model,
+        }
+    }
+
+    /// Trains an ADM on the first `days` days of the month (defender
+    /// view), outside any cache.
+    pub fn adm(&self, kind: AdmKind, days: usize) -> HullAdm {
+        HullAdm::train(&self.month.prefix_days(days), kind)
+    }
+}
+
+/// Key of one synthesized dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct DatasetKey {
+    kind: HouseKind,
+    days: usize,
+    seed: u64,
+}
+
+/// Hashable encoding of an [`AdmKind`] (f64 params by bit pattern).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct AdmKey {
+    tag: u8,
+    a: u64,
+    b: u64,
+    c: u64,
+}
+
+fn adm_key(kind: &AdmKind) -> AdmKey {
+    match kind {
+        AdmKind::Dbscan(p) => AdmKey {
+            tag: 0,
+            a: p.eps.to_bits(),
+            b: p.min_pts as u64,
+            c: 0,
+        },
+        AdmKind::KMeans(p) => AdmKey {
+            tag: 1,
+            a: p.k as u64,
+            b: p.max_iter as u64,
+            c: p.seed,
+        },
+    }
+}
+
+/// Hit/miss counters of a [`FixtureCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that computed and stored a fresh entry.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Hit fraction in `[0, 1]` (`0` when empty).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Memoizes dataset synthesis, fixture construction, episode extraction,
+/// ADM training, and arbitrary keyed intermediates (via [`memo`]) across
+/// scenarios.
+///
+/// A cache built with [`FixtureCache::disabled`] never stores or serves
+/// entries — every request recomputes, reproducing the pre-engine
+/// harness's cost model (used as the "serial uncached" baseline leg).
+///
+/// [`memo`]: FixtureCache::memo
+#[derive(Default)]
+pub struct FixtureCache {
+    fixtures: Mutex<HashMap<DatasetKey, Arc<HouseFixture>>>,
+    episodes: Mutex<HashMap<DatasetKey, Arc<Vec<Episode>>>>,
+    adms: Mutex<HashMap<(DatasetKey, AdmKey, usize), Arc<HullAdm>>>,
+    memos: Mutex<HashMap<String, Arc<dyn Any + Send + Sync>>>,
+    disabled: bool,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl FixtureCache {
+    /// Creates an empty cache.
+    pub fn new() -> FixtureCache {
+        FixtureCache::default()
+    }
+
+    /// Creates a cache that never memoizes: every request recomputes and
+    /// counts as a miss. Scenarios run against it exactly like the
+    /// pre-engine ad-hoc harness.
+    pub fn disabled() -> FixtureCache {
+        FixtureCache {
+            disabled: true,
+            ..FixtureCache::default()
+        }
+    }
+
+    /// Whether this cache is in the never-memoize mode.
+    pub fn is_disabled(&self) -> bool {
+        self.disabled
+    }
+
+    fn hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Memoizes an arbitrary shared intermediate under a caller-chosen
+    /// key. The key must capture *all* inputs of `compute` (scenarios use
+    /// e.g. `"sched/{house}/{days}/{adm}/{strategy}/{cap:x}/{day}"` for
+    /// attack schedules). On a type mismatch for an existing key the
+    /// value is recomputed and replaced.
+    pub fn memo<T, F>(&self, key: &str, compute: F) -> Arc<T>
+    where
+        T: Send + Sync + 'static,
+        F: FnOnce() -> T,
+    {
+        if !self.disabled {
+            if let Some(v) = self.memos.lock().expect("memo cache lock").get(key) {
+                if let Ok(t) = Arc::clone(v).downcast::<T>() {
+                    self.hit();
+                    return t;
+                }
+            }
+        }
+        self.miss();
+        let t = Arc::new(compute());
+        if !self.disabled {
+            self.memos.lock().expect("memo cache lock").insert(
+                key.to_string(),
+                Arc::clone(&t) as Arc<dyn Any + Send + Sync>,
+            );
+        }
+        t
+    }
+
+    /// The canonical fixture for `(kind, days)` (canonical seed).
+    pub fn fixture(&self, kind: HouseKind, days: usize) -> Arc<HouseFixture> {
+        self.fixture_with_seed(kind, days, canonical_seed(kind))
+    }
+
+    /// The fixture for `(kind, days, seed)`.
+    pub fn fixture_with_seed(&self, kind: HouseKind, days: usize, seed: u64) -> Arc<HouseFixture> {
+        let key = DatasetKey { kind, days, seed };
+        if !self.disabled {
+            if let Some(fx) = self.fixtures.lock().expect("fixture cache lock").get(&key) {
+                self.hit();
+                return Arc::clone(fx);
+            }
+        }
+        // Synthesize outside the lock: other keys stay available while
+        // this month is built, and a racing duplicate insert is benign
+        // (identical content, last writer wins).
+        self.miss();
+        let fx = Arc::new(HouseFixture::with_seed(kind, days, seed));
+        if !self.disabled {
+            self.fixtures
+                .lock()
+                .expect("fixture cache lock")
+                .insert(key, Arc::clone(&fx));
+        }
+        fx
+    }
+
+    /// The dataset behind the canonical fixture.
+    pub fn dataset(&self, kind: HouseKind, days: usize) -> Arc<Dataset> {
+        Arc::clone(&self.fixture(kind, days).month)
+    }
+
+    /// Extracted episodes of the canonical `(kind, days)` dataset.
+    pub fn episodes(&self, kind: HouseKind, days: usize) -> Arc<Vec<Episode>> {
+        self.episodes_with_seed(kind, days, canonical_seed(kind))
+    }
+
+    /// Extracted episodes of the `(kind, days, seed)` dataset.
+    pub fn episodes_with_seed(&self, kind: HouseKind, days: usize, seed: u64) -> Arc<Vec<Episode>> {
+        let key = DatasetKey { kind, days, seed };
+        if !self.disabled {
+            if let Some(eps) = self.episodes.lock().expect("episode cache lock").get(&key) {
+                self.hit();
+                return Arc::clone(eps);
+            }
+        }
+        self.miss();
+        let fx = self.fixture_with_seed(kind, days, seed);
+        let eps = Arc::new(extract_episodes(&fx.month));
+        if !self.disabled {
+            self.episodes
+                .lock()
+                .expect("episode cache lock")
+                .insert(key, Arc::clone(&eps));
+        }
+        eps
+    }
+
+    /// A trained ADM for the canonical `(kind, days)` dataset: `adm_kind`
+    /// trained on the first `train_days` days. Identical to
+    /// `HouseFixture::adm` but memoized.
+    pub fn adm(
+        &self,
+        kind: HouseKind,
+        days: usize,
+        adm_kind: AdmKind,
+        train_days: usize,
+    ) -> Arc<HullAdm> {
+        self.adm_with_seed(kind, days, canonical_seed(kind), adm_kind, train_days)
+    }
+
+    /// A trained ADM for the `(kind, days, seed)` dataset.
+    pub fn adm_with_seed(
+        &self,
+        kind: HouseKind,
+        days: usize,
+        seed: u64,
+        adm_kind: AdmKind,
+        train_days: usize,
+    ) -> Arc<HullAdm> {
+        let key = (
+            DatasetKey { kind, days, seed },
+            adm_key(&adm_kind),
+            train_days,
+        );
+        if !self.disabled {
+            if let Some(adm) = self.adms.lock().expect("adm cache lock").get(&key) {
+                self.hit();
+                return Arc::clone(adm);
+            }
+        }
+        self.miss();
+        let fx = self.fixture_with_seed(kind, days, seed);
+        let adm = Arc::new(fx.adm(adm_kind, train_days));
+        if !self.disabled {
+            self.adms
+                .lock()
+                .expect("adm cache lock")
+                .insert(key, Arc::clone(&adm));
+        }
+        adm
+    }
+
+    /// Current hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixture_is_cached() {
+        let cache = FixtureCache::new();
+        let a = cache.fixture(HouseKind::A, 3);
+        let b = cache.fixture(HouseKind::A, 3);
+        assert!(Arc::ptr_eq(&a, &b));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    #[test]
+    fn distinct_keys_distinct_entries() {
+        let cache = FixtureCache::new();
+        let a = cache.fixture(HouseKind::A, 3);
+        let b = cache.fixture(HouseKind::B, 3);
+        let c = cache.fixture(HouseKind::A, 4);
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(cache.stats().misses, 3);
+    }
+
+    #[test]
+    fn cached_adm_matches_uncached_training() {
+        let cache = FixtureCache::new();
+        let cached = cache.adm(HouseKind::A, 4, AdmKind::default_kmeans(), 3);
+        let again = cache.adm(HouseKind::A, 4, AdmKind::default_kmeans(), 3);
+        assert!(Arc::ptr_eq(&cached, &again));
+        let fx = HouseFixture::new(HouseKind::A, 4);
+        let direct = fx.adm(AdmKind::default_kmeans(), 3);
+        // HullAdm has no PartialEq and its Debug form iterates a hash
+        // map; compare the learned geometry keyed and sorted instead.
+        let geometry = |adm: &HullAdm| -> Vec<String> {
+            let mut v: Vec<String> = adm
+                .models()
+                .map(|((o, z), zm)| format!("{}/{}: {zm:?}", o.index(), z.index()))
+                .collect();
+            v.sort();
+            v
+        };
+        assert_eq!(geometry(&cached), geometry(&direct));
+    }
+
+    #[test]
+    fn memo_caches_by_key_and_recomputes_when_disabled() {
+        let cache = FixtureCache::new();
+        let a = cache.memo("k1", || 41usize + 1);
+        let b = cache.memo("k1", || unreachable!("must be served from cache"));
+        assert_eq!((*a, *b), (42, 42));
+        assert!(Arc::ptr_eq(&a, &b));
+        let other = cache.memo("k2", || 7usize);
+        assert_eq!(*other, 7);
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 2 });
+
+        let off = FixtureCache::disabled();
+        assert!(off.is_disabled());
+        let x = off.memo("k1", || 1usize);
+        let y = off.memo("k1", || 2usize);
+        assert_eq!((*x, *y), (1, 2));
+        assert_eq!(off.stats().hits, 0);
+        let f1 = off.fixture(HouseKind::A, 2);
+        let f2 = off.fixture(HouseKind::A, 2);
+        assert!(!Arc::ptr_eq(&f1, &f2));
+    }
+
+    #[test]
+    fn episodes_cached_and_consistent() {
+        let cache = FixtureCache::new();
+        let e1 = cache.episodes(HouseKind::B, 2);
+        let e2 = cache.episodes(HouseKind::B, 2);
+        assert!(Arc::ptr_eq(&e1, &e2));
+        let direct = extract_episodes(&HouseFixture::new(HouseKind::B, 2).month);
+        assert_eq!(*e1, direct);
+    }
+}

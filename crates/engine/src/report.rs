@@ -1,0 +1,187 @@
+//! Pluggable output sinks for runner results: aligned text, per-exhibit
+//! CSV files, and JSON lines.
+
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+use crate::runner::{RunOutcome, ScenarioReport};
+use crate::table::{json_string, write_csv};
+
+/// A sink consuming scenario reports as they are emitted, plus a final
+/// run summary.
+pub trait Reporter {
+    /// Consumes one scenario's report.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors of the underlying sink.
+    fn scenario(&mut self, report: &ScenarioReport) -> io::Result<()>;
+
+    /// Consumes the run summary after all scenarios.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors of the underlying sink.
+    fn finish(&mut self, _outcome: &RunOutcome) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Renders aligned text tables plus a timing summary to a writer.
+pub struct TextReporter<W: Write> {
+    w: W,
+}
+
+impl<W: Write> TextReporter<W> {
+    /// Builds a text reporter over any writer (e.g. stdout).
+    pub fn new(w: W) -> TextReporter<W> {
+        TextReporter { w }
+    }
+}
+
+impl<W: Write> Reporter for TextReporter<W> {
+    fn scenario(&mut self, report: &ScenarioReport) -> io::Result<()> {
+        writeln!(self.w, "{}", report.table.render())?;
+        writeln!(
+            self.w,
+            "[{}] {:.2}s\n",
+            report.id,
+            report.wall.as_secs_f64()
+        )
+    }
+
+    fn finish(&mut self, outcome: &RunOutcome) -> io::Result<()> {
+        writeln!(
+            self.w,
+            "ran {} scenarios in {:.2}s wall ({:.2}s scenario-seconds) on {} thread(s); \
+             fixture cache: {} hits / {} misses",
+            outcome.reports.len(),
+            outcome.total_wall.as_secs_f64(),
+            outcome.scenario_wall_sum().as_secs_f64(),
+            outcome.threads,
+            outcome.cache.hits,
+            outcome.cache.misses,
+        )
+    }
+}
+
+/// Writes each exhibit to `dir/<id>.csv`.
+pub struct CsvReporter {
+    dir: PathBuf,
+    /// Paths written so far.
+    pub written: Vec<PathBuf>,
+}
+
+impl CsvReporter {
+    /// Builds a CSV reporter writing under `dir`.
+    pub fn new(dir: &Path) -> CsvReporter {
+        CsvReporter {
+            dir: dir.to_path_buf(),
+            written: Vec::new(),
+        }
+    }
+}
+
+impl Reporter for CsvReporter {
+    fn scenario(&mut self, report: &ScenarioReport) -> io::Result<()> {
+        let path = write_csv(&report.table, &self.dir)?;
+        self.written.push(path);
+        Ok(())
+    }
+}
+
+/// Emits one JSON object per scenario (JSON lines), then a summary
+/// object with `"kind":"summary"`.
+pub struct JsonLinesReporter<W: Write> {
+    w: W,
+}
+
+impl<W: Write> JsonLinesReporter<W> {
+    /// Builds a JSON-lines reporter over any writer.
+    pub fn new(w: W) -> JsonLinesReporter<W> {
+        JsonLinesReporter { w }
+    }
+}
+
+impl<W: Write> Reporter for JsonLinesReporter<W> {
+    fn scenario(&mut self, report: &ScenarioReport) -> io::Result<()> {
+        writeln!(
+            self.w,
+            "{{\"kind\":\"scenario\",\"id\":{},\"title\":{},\"deterministic\":{},\"wall_s\":{:.6},\"table\":{}}}",
+            json_string(&report.id),
+            json_string(&report.title),
+            report.deterministic,
+            report.wall.as_secs_f64(),
+            report.table.to_json(),
+        )
+    }
+
+    fn finish(&mut self, outcome: &RunOutcome) -> io::Result<()> {
+        writeln!(
+            self.w,
+            "{{\"kind\":\"summary\",\"scenarios\":{},\"wall_s\":{:.6},\"scenario_wall_sum_s\":{:.6},\"threads\":{},\"cache_hits\":{},\"cache_misses\":{}}}",
+            outcome.reports.len(),
+            outcome.total_wall.as_secs_f64(),
+            outcome.scenario_wall_sum().as_secs_f64(),
+            outcome.threads,
+            outcome.cache.hits,
+            outcome.cache.misses,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::CacheStats;
+    use crate::table::Table;
+    use std::time::Duration;
+
+    fn outcome() -> RunOutcome {
+        let mut t = Table::new("x", "X probe", &["v"]);
+        t.push(vec!["1".into()]);
+        RunOutcome {
+            reports: vec![ScenarioReport {
+                id: "x".into(),
+                title: "X probe".into(),
+                deterministic: true,
+                wall: Duration::from_millis(1500),
+                table: t,
+            }],
+            total_wall: Duration::from_secs(2),
+            cache: CacheStats { hits: 3, misses: 1 },
+            threads: 2,
+        }
+    }
+
+    #[test]
+    fn text_reporter_includes_summary() {
+        let out = outcome();
+        let mut buf = Vec::new();
+        {
+            let mut r = TextReporter::new(&mut buf);
+            r.scenario(&out.reports[0]).unwrap();
+            r.finish(&out).unwrap();
+        }
+        let s = String::from_utf8(buf).unwrap();
+        assert!(s.contains("== x — X probe =="));
+        assert!(s.contains("3 hits / 1 misses"));
+    }
+
+    #[test]
+    fn json_lines_are_emitted_per_scenario() {
+        let out = outcome();
+        let mut buf = Vec::new();
+        {
+            let mut r = JsonLinesReporter::new(&mut buf);
+            r.scenario(&out.reports[0]).unwrap();
+            r.finish(&out).unwrap();
+        }
+        let s = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("{\"kind\":\"scenario\",\"id\":\"x\""));
+        assert!(lines[1].contains("\"kind\":\"summary\""));
+        assert!(lines[1].contains("\"cache_hits\":3"));
+    }
+}

@@ -1,0 +1,210 @@
+//! The parallel scenario runner.
+//!
+//! Scenarios are pure functions of their [`ScenarioCtx`], so the runner
+//! executes them on a fixed-size pool of scoped threads pulling from an
+//! atomic work queue. Results are reported in *submission* order
+//! regardless of thread interleaving, and every scenario receives the
+//! same deterministic seed it would get in a serial run — output is
+//! therefore byte-identical across `--threads` settings.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::fixtures::{CacheStats, FixtureCache};
+use crate::scenario::{scenario_seed, RunParams, Scenario, ScenarioCtx};
+use crate::table::Table;
+
+/// Runner configuration.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunConfig {
+    /// Worker threads; `0` means one per available CPU.
+    pub threads: usize,
+    /// Parameters forwarded to every scenario.
+    pub params: RunParams,
+}
+
+impl RunConfig {
+    /// Resolves `threads == 0` to the machine's parallelism.
+    pub fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        }
+    }
+}
+
+/// One executed scenario.
+#[derive(Debug, Clone)]
+pub struct ScenarioReport {
+    /// Scenario id.
+    pub id: String,
+    /// Scenario title.
+    pub title: String,
+    /// Whether the scenario declares byte-stable output.
+    pub deterministic: bool,
+    /// Wall-clock of this scenario's `run`.
+    pub wall: Duration,
+    /// The produced exhibit.
+    pub table: Table,
+}
+
+/// Result of a full runner invocation.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Per-scenario reports in submission order.
+    pub reports: Vec<ScenarioReport>,
+    /// Wall-clock of the whole run (parallel section).
+    pub total_wall: Duration,
+    /// Cache counters accumulated on the shared cache during the run.
+    pub cache: CacheStats,
+    /// Worker threads actually used.
+    pub threads: usize,
+}
+
+impl RunOutcome {
+    /// Sum of per-scenario wall-clocks (the serial-equivalent cost).
+    pub fn scenario_wall_sum(&self) -> Duration {
+        self.reports.iter().map(|r| r.wall).sum()
+    }
+}
+
+fn run_one(scenario: &dyn Scenario, cache: &FixtureCache, params: RunParams) -> ScenarioReport {
+    let cx = ScenarioCtx {
+        cache,
+        params,
+        seed: scenario_seed(scenario.id(), params.base_seed),
+    };
+    let start = Instant::now();
+    let table = scenario.run(&cx);
+    ScenarioReport {
+        id: scenario.id().to_string(),
+        title: scenario.title().to_string(),
+        deterministic: scenario.deterministic(),
+        wall: start.elapsed(),
+        table,
+    }
+}
+
+/// Runs `scenarios` against a shared `cache`, in parallel when the
+/// config allows, returning reports in submission order.
+pub fn run_scenarios(
+    scenarios: &[Arc<dyn Scenario>],
+    cache: &FixtureCache,
+    cfg: &RunConfig,
+) -> RunOutcome {
+    let before = cache.stats();
+    let start = Instant::now();
+    let threads = cfg.effective_threads().min(scenarios.len()).max(1);
+
+    let mut slots: Vec<Option<ScenarioReport>> = Vec::new();
+    slots.resize_with(scenarios.len(), || None);
+
+    if threads <= 1 {
+        for (i, s) in scenarios.iter().enumerate() {
+            slots[i] = Some(run_one(s.as_ref(), cache, cfg.params));
+        }
+    } else {
+        let next = AtomicUsize::new(0);
+        let slots_shared = Mutex::new(&mut slots);
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(s) = scenarios.get(i) else { break };
+                    let report = run_one(s.as_ref(), cache, cfg.params);
+                    slots_shared.lock().expect("runner result lock")[i] = Some(report);
+                });
+            }
+        });
+    }
+
+    let after = cache.stats();
+    RunOutcome {
+        reports: slots
+            .into_iter()
+            .map(|r| r.expect("every scenario slot filled"))
+            .collect(),
+        total_wall: start.elapsed(),
+        cache: CacheStats {
+            hits: after.hits - before.hits,
+            misses: after.misses - before.misses,
+        },
+        threads,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{FnScenario, Registry};
+    use shatter_dataset::HouseKind;
+
+    fn registry() -> Registry {
+        let mut reg = Registry::new();
+        for (i, id) in ["s1", "s2", "s3", "s4", "s5"].iter().enumerate() {
+            reg.register(FnScenario::new(id, "probe", move |cx| {
+                let fx = cx.fixture(HouseKind::A, 2);
+                let mut t = Table::new(id, "probe", &["seed", "days", "idx"]);
+                t.push(vec![
+                    cx.seed.to_string(),
+                    fx.month.days.len().to_string(),
+                    i.to_string(),
+                ]);
+                t
+            }));
+        }
+        reg
+    }
+
+    fn rendered(out: &RunOutcome) -> Vec<String> {
+        out.reports.iter().map(|r| r.table.render()).collect()
+    }
+
+    #[test]
+    fn parallel_output_matches_serial_and_orders_reports() {
+        let reg = registry();
+        let cache_a = crate::FixtureCache::new();
+        let cache_b = crate::FixtureCache::new();
+        let serial = run_scenarios(
+            &reg.all(),
+            &cache_a,
+            &RunConfig {
+                threads: 1,
+                ..Default::default()
+            },
+        );
+        let parallel = run_scenarios(
+            &reg.all(),
+            &cache_b,
+            &RunConfig {
+                threads: 4,
+                ..Default::default()
+            },
+        );
+        assert_eq!(rendered(&serial), rendered(&parallel));
+        let ids: Vec<&str> = parallel.reports.iter().map(|r| r.id.as_str()).collect();
+        assert_eq!(ids, ["s1", "s2", "s3", "s4", "s5"]);
+        // Five fixture lookups total; racing workers may each miss the
+        // first lookup (compute-outside-lock), but at least one hit must
+        // land once the entry is published.
+        assert_eq!(parallel.cache.hits + parallel.cache.misses, 5);
+        assert!(parallel.cache.misses >= 1);
+        assert_eq!(serial.cache.misses, 1);
+        assert_eq!(serial.cache.hits, 4);
+    }
+
+    #[test]
+    fn effective_threads_bounds() {
+        let cfg = RunConfig {
+            threads: 3,
+            ..Default::default()
+        };
+        assert_eq!(cfg.effective_threads(), 3);
+        let auto = RunConfig::default();
+        assert!(auto.effective_threads() >= 1);
+    }
+}

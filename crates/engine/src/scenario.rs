@@ -1,0 +1,314 @@
+//! The [`Scenario`] abstraction and the scenario [`Registry`].
+//!
+//! A scenario is a named, self-describing evaluation workload producing
+//! a [`Table`]. Scenarios receive a [`ScenarioCtx`] carrying the shared
+//! [`FixtureCache`], the run parameters (days/span), and a deterministic
+//! per-scenario RNG seed, so the same registry run with any thread count
+//! yields identical tables.
+
+use std::sync::Arc;
+
+use shatter_adm::{AdmKind, HullAdm};
+use shatter_dataset::episodes::Episode;
+use shatter_dataset::{Dataset, HouseKind};
+
+use crate::fixtures::{FixtureCache, HouseFixture};
+use crate::table::Table;
+
+/// Shared run parameters every scenario sees.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunParams {
+    /// Dataset length in days for month-scale exhibits.
+    pub days: usize,
+    /// Minutes-long window for the scalability exhibits.
+    pub span: usize,
+    /// Base seed mixed into each scenario's deterministic seed.
+    pub base_seed: u64,
+}
+
+impl Default for RunParams {
+    fn default() -> RunParams {
+        RunParams {
+            days: 30,
+            span: 60,
+            base_seed: 0,
+        }
+    }
+}
+
+/// Execution context handed to [`Scenario::run`].
+pub struct ScenarioCtx<'a> {
+    /// The shared fixture cache.
+    pub cache: &'a FixtureCache,
+    /// Run parameters.
+    pub params: RunParams,
+    /// Deterministic per-scenario seed (`fnv1a(id) ^ base_seed`).
+    pub seed: u64,
+}
+
+impl ScenarioCtx<'_> {
+    /// Convenience: `days` from the run parameters.
+    pub fn days(&self) -> usize {
+        self.params.days
+    }
+
+    /// Convenience: `span` from the run parameters.
+    pub fn span(&self) -> usize {
+        self.params.span
+    }
+
+    /// Dataset seed for a house in this run: the canonical seed XORed
+    /// with the run's `base_seed`, so `--seed` regenerates every fixture
+    /// while `base_seed == 0` keeps the canonical months byte-stable.
+    pub fn dataset_seed(&self, kind: HouseKind) -> u64 {
+        crate::fixtures::canonical_seed(kind) ^ self.params.base_seed
+    }
+
+    /// Cached fixture for `(kind, days)` under this run's dataset seed.
+    pub fn fixture(&self, kind: HouseKind, days: usize) -> Arc<HouseFixture> {
+        self.cache
+            .fixture_with_seed(kind, days, self.dataset_seed(kind))
+    }
+
+    /// Cached dataset for `(kind, days)` under this run's dataset seed.
+    pub fn dataset(&self, kind: HouseKind, days: usize) -> Arc<Dataset> {
+        Arc::clone(&self.fixture(kind, days).month)
+    }
+
+    /// Cached episode extraction for this run's `(kind, days)` dataset.
+    pub fn episodes(&self, kind: HouseKind, days: usize) -> Arc<Vec<Episode>> {
+        self.cache
+            .episodes_with_seed(kind, days, self.dataset_seed(kind))
+    }
+
+    /// Cached ADM trained on the first `train_days` days of this run's
+    /// `(kind, days)` dataset.
+    pub fn adm(
+        &self,
+        kind: HouseKind,
+        days: usize,
+        adm_kind: AdmKind,
+        train_days: usize,
+    ) -> Arc<HullAdm> {
+        self.cache
+            .adm_with_seed(kind, days, self.dataset_seed(kind), adm_kind, train_days)
+    }
+}
+
+/// A named evaluation workload.
+pub trait Scenario: Send + Sync {
+    /// Stable identifier (`"fig11"`, `"tab5"`, ...).
+    fn id(&self) -> &str;
+
+    /// One-line human title.
+    fn title(&self) -> &str;
+
+    /// Longer description for `--list` output.
+    fn description(&self) -> &str {
+        ""
+    }
+
+    /// Whether the produced table is byte-identical across runs and
+    /// thread counts. Timing-measuring scenarios return `false`.
+    fn deterministic(&self) -> bool {
+        true
+    }
+
+    /// Produces the exhibit table.
+    fn run(&self, cx: &ScenarioCtx<'_>) -> Table;
+}
+
+type ScenarioFn = Box<dyn Fn(&ScenarioCtx<'_>) -> Table + Send + Sync>;
+
+/// Adapter building a [`Scenario`] from a closure — the ~5-line path for
+/// registering a new workload.
+pub struct FnScenario {
+    id: &'static str,
+    title: &'static str,
+    description: &'static str,
+    deterministic: bool,
+    f: ScenarioFn,
+}
+
+impl FnScenario {
+    /// Builds a deterministic scenario from a closure.
+    pub fn new(
+        id: &'static str,
+        title: &'static str,
+        f: impl Fn(&ScenarioCtx<'_>) -> Table + Send + Sync + 'static,
+    ) -> FnScenario {
+        FnScenario {
+            id,
+            title,
+            description: "",
+            deterministic: true,
+            f: Box::new(f),
+        }
+    }
+
+    /// Sets the long description.
+    pub fn describe(mut self, description: &'static str) -> FnScenario {
+        self.description = description;
+        self
+    }
+
+    /// Marks the scenario output as timing-dependent (not byte-stable).
+    pub fn nondeterministic(mut self) -> FnScenario {
+        self.deterministic = false;
+        self
+    }
+}
+
+impl Scenario for FnScenario {
+    fn id(&self) -> &str {
+        self.id
+    }
+
+    fn title(&self) -> &str {
+        self.title
+    }
+
+    fn description(&self) -> &str {
+        self.description
+    }
+
+    fn deterministic(&self) -> bool {
+        self.deterministic
+    }
+
+    fn run(&self, cx: &ScenarioCtx<'_>) -> Table {
+        (self.f)(cx)
+    }
+}
+
+/// Ordered collection of registered scenarios.
+#[derive(Default, Clone)]
+pub struct Registry {
+    items: Vec<Arc<dyn Scenario>>,
+}
+
+impl Registry {
+    /// Empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Registers a scenario at the end of the order.
+    ///
+    /// # Panics
+    ///
+    /// Panics when another scenario with the same id is already present.
+    pub fn register(&mut self, scenario: impl Scenario + 'static) {
+        self.register_arc(Arc::new(scenario));
+    }
+
+    /// Registers an already-shared scenario.
+    ///
+    /// # Panics
+    ///
+    /// Panics when another scenario with the same id is already present.
+    pub fn register_arc(&mut self, scenario: Arc<dyn Scenario>) {
+        assert!(
+            self.get(scenario.id()).is_none(),
+            "duplicate scenario id {:?}",
+            scenario.id()
+        );
+        self.items.push(scenario);
+    }
+
+    /// Looks up a scenario by id.
+    pub fn get(&self, id: &str) -> Option<Arc<dyn Scenario>> {
+        self.items.iter().find(|s| s.id() == id).cloned()
+    }
+
+    /// All scenarios in registration order.
+    pub fn all(&self) -> Vec<Arc<dyn Scenario>> {
+        self.items.clone()
+    }
+
+    /// Scenarios selected by id, in registration order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first unknown id.
+    pub fn select(&self, ids: &[String]) -> Result<Vec<Arc<dyn Scenario>>, String> {
+        for id in ids {
+            if self.get(id).is_none() {
+                return Err(id.clone());
+            }
+        }
+        Ok(self
+            .items
+            .iter()
+            .filter(|s| ids.iter().any(|id| id == s.id()))
+            .cloned()
+            .collect())
+    }
+
+    /// Registered ids in order.
+    pub fn ids(&self) -> Vec<String> {
+        self.items.iter().map(|s| s.id().to_string()).collect()
+    }
+
+    /// Number of scenarios.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+/// FNV-1a hash of a scenario id, mixed with the base seed to give each
+/// scenario an independent deterministic RNG stream.
+pub fn scenario_seed(id: &str, base_seed: u64) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in id.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h ^ base_seed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial(id: &'static str) -> FnScenario {
+        FnScenario::new(id, "t", |_cx| Table::new(id, "t", &["c"]))
+    }
+
+    #[test]
+    fn register_select_preserves_order() {
+        let mut reg = Registry::new();
+        reg.register(trivial("a"));
+        reg.register(trivial("b"));
+        reg.register(trivial("c"));
+        let sel = reg
+            .select(&["c".to_string(), "a".to_string()])
+            .expect("known ids");
+        let ids: Vec<&str> = sel.iter().map(|s| s.id()).collect();
+        assert_eq!(ids, ["a", "c"]);
+        match reg.select(&["zzz".to_string()]) {
+            Err(bad) => assert_eq!(bad, "zzz"),
+            Ok(_) => panic!("unknown id accepted"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate scenario id")]
+    fn duplicate_id_rejected() {
+        let mut reg = Registry::new();
+        reg.register(trivial("a"));
+        reg.register(trivial("a"));
+    }
+
+    #[test]
+    fn seeds_differ_by_id_and_base() {
+        assert_ne!(scenario_seed("fig3", 0), scenario_seed("fig4", 0));
+        assert_ne!(scenario_seed("fig3", 0), scenario_seed("fig3", 1));
+        assert_eq!(scenario_seed("fig3", 7), scenario_seed("fig3", 7));
+    }
+}

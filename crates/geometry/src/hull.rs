@@ -243,8 +243,16 @@ pub fn quickhull(points: &[Point]) -> Result<Hull, HullError> {
     // Split into points strictly right of L->R (the lower chain candidates)
     // and strictly right of R->L (the upper chain candidates).
     let base = Segment::new(leftmost, rightmost);
-    let below: Vec<Point> = pts.iter().copied().filter(|&p| base.side(p) < -EPS).collect();
-    let above: Vec<Point> = pts.iter().copied().filter(|&p| base.side(p) > EPS).collect();
+    let below: Vec<Point> = pts
+        .iter()
+        .copied()
+        .filter(|&p| base.side(p) < -EPS)
+        .collect();
+    let above: Vec<Point> = pts
+        .iter()
+        .copied()
+        .filter(|&p| base.side(p) > EPS)
+        .collect();
 
     // Counter-clockwise: leftmost, lower chain left->right, rightmost,
     // upper chain right->left.
@@ -383,7 +391,12 @@ mod tests {
         }
         let h1 = convex_hull(&pts).unwrap();
         let h2 = quickhull(&pts).unwrap();
-        assert!((h1.area() - h2.area()).abs() < 1e-9, "areas {} vs {}", h1.area(), h2.area());
+        assert!(
+            (h1.area() - h2.area()).abs() < 1e-9,
+            "areas {} vs {}",
+            h1.area(),
+            h2.area()
+        );
         for v in h1.vertices() {
             assert!(h2.contains(*v));
         }

@@ -146,17 +146,8 @@ mod tests {
     #[test]
     fn lex_cmp_orders_by_x_then_y() {
         use std::cmp::Ordering::*;
-        assert_eq!(
-            Point::new(0.0, 5.0).lex_cmp(Point::new(1.0, 0.0)),
-            Less
-        );
-        assert_eq!(
-            Point::new(1.0, 0.0).lex_cmp(Point::new(1.0, 2.0)),
-            Less
-        );
-        assert_eq!(
-            Point::new(1.0, 2.0).lex_cmp(Point::new(1.0, 2.0)),
-            Equal
-        );
+        assert_eq!(Point::new(0.0, 5.0).lex_cmp(Point::new(1.0, 0.0)), Less);
+        assert_eq!(Point::new(1.0, 0.0).lex_cmp(Point::new(1.0, 2.0)), Less);
+        assert_eq!(Point::new(1.0, 2.0).lex_cmp(Point::new(1.0, 2.0)), Equal);
     }
 }

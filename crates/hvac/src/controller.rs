@@ -197,10 +197,7 @@ impl Controller for AshraeController {
             let co2 = occupancy * 0.011 * self.average_met;
             let heat_occ = occupancy * 63.0 * self.average_met;
             // (2) fixed average appliance load, on or off.
-            let installed: f64 = home
-                .appliances_in(z.id)
-                .map(|a| a.heat_watts())
-                .sum();
+            let installed: f64 = home.appliances_in(z.id).map(|a| a.heat_watts()).sum();
             let heat = heat_occ + installed * self.appliance_duty;
             // (3) ASHRAE 62.1 ventilation floor.
             let floor_area = z.volume_ft3 / self.ceiling_ft;

@@ -150,11 +150,7 @@ impl EnergyModel {
     }
 
     /// Cost of every day in a dataset, in order.
-    pub fn dataset_costs(
-        &self,
-        controller: &dyn Controller,
-        days: &[DayTrace],
-    ) -> Vec<DayCost> {
+    pub fn dataset_costs(&self, controller: &dyn Controller, days: &[DayTrace]) -> Vec<DayCost> {
         days.iter().map(|d| self.day_cost(controller, d)).collect()
     }
 

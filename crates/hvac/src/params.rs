@@ -58,8 +58,7 @@ impl Default for OutdoorModel {
 impl OutdoorModel {
     /// Outdoor temperature `P^OT_t` at a minute of day.
     pub fn temp_at(&self, minute: Minute) -> f64 {
-        let phase =
-            2.0 * std::f64::consts::PI * (minute as f64 - self.peak_minute) / 1440.0;
+        let phase = 2.0 * std::f64::consts::PI * (minute as f64 - self.peak_minute) / 1440.0;
         self.mean_temp_f + self.amplitude_f * phase.cos()
     }
 }

@@ -4,7 +4,9 @@
 use proptest::prelude::*;
 
 use shatter_dataset::{MinuteRecord, OccupantState};
-use shatter_hvac::{AshraeController, Controller, ControllerParams, DchvacController, EnergyModel, OutdoorModel};
+use shatter_hvac::{
+    AshraeController, Controller, ControllerParams, DchvacController, EnergyModel, OutdoorModel,
+};
 use shatter_smarthome::{houses, Activity, ZoneId};
 
 fn arb_record() -> impl Strategy<Value = MinuteRecord> {

@@ -6,9 +6,7 @@
 //! - [`scaled_home`]: a parameterized home with `n` indoor zones used by the
 //!   horizontal-scalability study (paper Fig. 11b).
 
-use crate::{
-    Activity, Appliance, ApplianceId, Home, Occupant, OccupantId, Zone, ZoneId,
-};
+use crate::{Activity, Appliance, ApplianceId, Home, Occupant, OccupantId, Zone, ZoneId};
 
 /// Zone index of the Outside pseudo-zone (`Z-0`).
 pub const OUTSIDE: ZoneId = ZoneId(0);
@@ -23,9 +21,11 @@ pub const BATHROOM: ZoneId = ZoneId(4);
 
 use Activity::*;
 
+type ApplianceDef = (&'static str, ZoneId, f64, f64, Vec<Activity>, bool);
+
 fn thirteen_appliances() -> Vec<Appliance> {
     // (name, zone, watts, heat fraction, linked activities, audible)
-    let defs: Vec<(&str, ZoneId, f64, f64, Vec<Activity>, bool)> = vec![
+    let defs: Vec<ApplianceDef> = vec![
         ("Television", LIVINGROOM, 120.0, 0.9, vec![WatchingTv], true),
         (
             "Computer",
@@ -48,7 +48,12 @@ fn thirteen_appliances() -> Vec<Appliance> {
             KITCHEN,
             1100.0,
             0.35,
-            vec![PreparingBreakfast, PreparingLunch, PreparingDinner, HavingSnack],
+            vec![
+                PreparingBreakfast,
+                PreparingLunch,
+                PreparingDinner,
+                HavingSnack,
+            ],
             true,
         ),
         (
@@ -169,8 +174,8 @@ pub fn scaled_home(n_zones: usize) -> Home {
         ("Kitchen", 840.0),
         ("Bathroom", 480.0),
     ];
-    let mut b = Home::builder(format!("Scaled home ({n_zones} zones)"))
-        .zone(Zone::outside(OUTSIDE));
+    let mut b =
+        Home::builder(format!("Scaled home ({n_zones} zones)")).zone(Zone::outside(OUTSIDE));
     for i in 0..n_zones {
         let (kind, vol) = archetypes[i % archetypes.len()];
         b = b.zone(Zone::indoor(
@@ -212,10 +217,7 @@ mod tests {
     fn house_b_differs_from_a() {
         let a = aras_house_a();
         let b = aras_house_b();
-        assert_ne!(
-            a.zone(BEDROOM).volume_ft3,
-            b.zone(BEDROOM).volume_ft3
-        );
+        assert_ne!(a.zone(BEDROOM).volume_ft3, b.zone(BEDROOM).volume_ft3);
     }
 
     #[test]

@@ -43,6 +43,8 @@ pub use activity::{Activity, ACTIVITY_COUNT};
 pub use appliance::Appliance;
 pub use home::{Home, HomeBuilder, HomeError};
 pub use ids::{ApplianceId, Minute, OccupantId, ZoneId, MINUTES_PER_DAY};
-pub use metabolic::{activity_pollutant_cfm, co2_emission_cfm, heat_radiation_watts, MetabolicProfile};
+pub use metabolic::{
+    activity_pollutant_cfm, co2_emission_cfm, heat_radiation_watts, MetabolicProfile,
+};
 pub use occupant::{AgeGroup, Occupant};
 pub use zone::Zone;

@@ -232,6 +232,7 @@ pub enum Formula {
 
 impl Formula {
     /// Negation helper.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(f: Formula) -> Formula {
         Formula::Not(Box::new(f))
     }

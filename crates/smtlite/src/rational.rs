@@ -162,7 +162,10 @@ impl Mul for Rat {
 impl Div for Rat {
     type Output = Rat;
     fn div(self, rhs: Rat) -> Rat {
-        self * rhs.recip()
+        #[allow(clippy::suspicious_arithmetic_impl)]
+        {
+            self * rhs.recip()
+        }
     }
 }
 

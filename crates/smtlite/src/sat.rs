@@ -415,7 +415,7 @@ fn luby(i: u32) -> u64 {
     let mut i = i as u64;
     loop {
         if (i + 1).is_power_of_two() {
-            return (i + 1) / 2;
+            return i.div_ceil(2);
         }
         let k = 63 - (i + 1).leading_zeros() as u64; // floor(log2(i+1))
         i -= (1u64 << k) - 1;
@@ -581,7 +581,7 @@ mod tests {
             let brute_sat = (0..(1u32 << n)).any(|mask| {
                 clauses.iter().all(|c| {
                     c.iter().any(|&l| {
-                        let v = (l.unsigned_abs() - 1) as u32;
+                        let v = l.unsigned_abs() - 1;
                         ((mask >> v) & 1 == 1) == (l > 0)
                     })
                 })

@@ -41,10 +41,7 @@ impl DeltaRat {
 
     /// `r - ε` (used for strict upper bounds).
     pub fn minus_eps(r: Rat) -> DeltaRat {
-        DeltaRat {
-            r,
-            d: -Rat::ONE,
-        }
+        DeltaRat { r, d: -Rat::ONE }
     }
 
     /// Concretizes with a specific ε value.

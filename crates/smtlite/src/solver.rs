@@ -241,10 +241,7 @@ mod tests {
         let x = s.new_real("x");
         let p = s.new_bool("p");
         // p -> x >= 5;  !p -> x >= 7;  x <= 6. Must pick p.
-        s.assert_formula(Formula::implies(
-            Formula::Bool(p),
-            LinExpr::var(x).ge(5),
-        ));
+        s.assert_formula(Formula::implies(Formula::Bool(p), LinExpr::var(x).ge(5)));
         s.assert_formula(Formula::implies(
             Formula::not(Formula::Bool(p)),
             LinExpr::var(x).ge(7),
@@ -367,13 +364,9 @@ mod tests {
         // y >= 0: -b <= 0
         s.assert_formula(LinExpr::var(b).ge(0));
         // right edge: from (4,0) to (2,4): 2x + y <= 8
-        s.assert_formula(
-            LinExpr::term(2, a).plus(&LinExpr::var(b)).le(8),
-        );
+        s.assert_formula(LinExpr::term(2, a).plus(&LinExpr::var(b)).le(8));
         // left edge: from (2,4) to (0,0): -2x + y <= 0
-        s.assert_formula(
-            LinExpr::term(-2, a).plus(&LinExpr::var(b)).le(0),
-        );
+        s.assert_formula(LinExpr::term(-2, a).plus(&LinExpr::var(b)).le(0));
         let (v, m) = s.maximize(&LinExpr::var(b), 0.0, 10.0, 1e-4).expect("sat");
         assert!((v - 4.0).abs() < 0.01, "max y = {v}");
         assert!((m.real(a) - 2.0).abs() < 0.1);

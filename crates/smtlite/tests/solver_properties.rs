@@ -11,13 +11,11 @@ use shatter_smt::{Rat, Solver};
 
 fn arb_cnf() -> impl Strategy<Value = (usize, Vec<Vec<i32>>)> {
     (3usize..9).prop_flat_map(|n| {
-        let clause = prop::collection::vec((1..=n as i32, any::<bool>()), 1..4).prop_map(
-            |lits| {
-                lits.into_iter()
-                    .map(|(v, s)| if s { v } else { -v })
-                    .collect::<Vec<i32>>()
-            },
-        );
+        let clause = prop::collection::vec((1..=n as i32, any::<bool>()), 1..4).prop_map(|lits| {
+            lits.into_iter()
+                .map(|(v, s)| if s { v } else { -v })
+                .collect::<Vec<i32>>()
+        });
         (Just(n), prop::collection::vec(clause, 1..30))
     })
 }
@@ -26,7 +24,7 @@ fn brute_force_sat(n: usize, clauses: &[Vec<i32>]) -> bool {
     (0..1u32 << n).any(|mask| {
         clauses.iter().all(|c| {
             c.iter().any(|&l| {
-                let v = (l.unsigned_abs() - 1) as u32;
+                let v = l.unsigned_abs() - 1;
                 ((mask >> v) & 1 == 1) == (l > 0)
             })
         })

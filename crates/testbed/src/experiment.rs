@@ -146,15 +146,14 @@ fn run_replay(
         let leds = led_counts(home, day, minute, n_zones);
 
         // 1. Sensor nodes publish raw packets.
+        #[allow(clippy::needless_range_loop)]
         for z in 0..n_zones {
             broker
                 .publish_raw(Packet::new(format!("sensor/leds/{z}"), vec![leds[z] as f64]).encode())
                 .expect("well-formed sensor packet");
             let reading = noisy(sim.zones()[z].temp_f);
             broker
-                .publish_raw(
-                    Packet::new(format!("sensor/temp/{z}"), vec![reading]).encode(),
-                )
+                .publish_raw(Packet::new(format!("sensor/temp/{z}"), vec![reading]).encode())
                 .expect("well-formed sensor packet");
         }
 

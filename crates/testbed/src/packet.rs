@@ -78,8 +78,7 @@ impl Packet {
             return Err(PacketError::Truncated);
         }
         let topic_bytes = buf.split_to(tlen);
-        let topic =
-            String::from_utf8(topic_bytes.to_vec()).map_err(|_| PacketError::BadTopic)?;
+        let topic = String::from_utf8(topic_bytes.to_vec()).map_err(|_| PacketError::BadTopic)?;
         if buf.remaining() < 2 {
             return Err(PacketError::Truncated);
         }
@@ -113,7 +112,11 @@ mod tests {
         let enc = Packet::new("sensor/temp/2", vec![1.0]).encode();
         for cut in [0, 1, 3, enc.len() - 1] {
             let sliced = enc.slice(0..cut);
-            assert_eq!(Packet::decode(sliced), Err(PacketError::Truncated), "cut {cut}");
+            assert_eq!(
+                Packet::decode(sliced),
+                Err(PacketError::Truncated),
+                "cut {cut}"
+            );
         }
     }
 

@@ -144,10 +144,15 @@ impl TestbedSim {
             // Bisect the duty that holds the setpoint at equilibrium.
             let heat_w = leds as f64 * params.led_watts;
             let dt_amb = params.setpoint_f - params.ambient_f;
-            let leak_w = params.leak_w_per_f * dt_amb + params.leak_w_per_f2 * dt_amb * dt_amb.abs();
+            let leak_w =
+                params.leak_w_per_f * dt_amb + params.leak_w_per_f2 * dt_amb * dt_amb.abs();
             let needed_w = (heat_w - leak_w).max(0.0);
             let full = fan_cooling_watts(params, 1.0, params.setpoint_f);
-            let duty = if full > 0.0 { (needed_w / full).min(1.0) } else { 0.0 };
+            let duty = if full > 0.0 {
+                (needed_w / full).min(1.0)
+            } else {
+                0.0
+            };
             xs.push(leds as f64);
             ys.push(duty);
         }

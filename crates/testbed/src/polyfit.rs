@@ -50,6 +50,7 @@ fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
         // Eliminate below.
         for row in (col + 1)..n {
             let f = a[row][col] / a[col][col];
+            #[allow(clippy::needless_range_loop)]
             for k in col..n {
                 a[row][k] -= f * a[col][k];
             }

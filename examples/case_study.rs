@@ -36,12 +36,13 @@ fn main() {
     let names = ["Alice", "Bob"];
     let start: usize = 1080; // 18:00
     println!("Evening schedule (zones 0=Outside 1=Bed 2=Living 3=Kitchen 4=Bath)");
-    println!("{:<10}{:<7}{}", "schedule", "who", "18:00 .. 18:09");
+    println!("{:<10}{:<7}18:00 .. 18:09", "schedule", "who");
     for (label, sched) in [
         ("actual", &actual),
         ("greedy", &greedy),
         ("SHATTER", &shatter),
     ] {
+        #[allow(clippy::needless_range_loop)]
         for o in 0..2 {
             let zones: Vec<String> = (start..start + 10)
                 .map(|t| sched.zones[o][t].index().to_string())
@@ -85,13 +86,11 @@ fn main() {
     // The stay-range thresholds the ADM enforces at 18:00 arrivals.
     println!();
     println!("ADM stay ranges for an 18:00 arrival (minutes):");
+    #[allow(clippy::needless_range_loop)]
     for o in 0..2usize {
         for z in 1..5usize {
-            let ranges = adm.stay_ranges(
-                OccupantId(o),
-                shatter::smarthome::ZoneId(z),
-                start as f64,
-            );
+            let ranges =
+                adm.stay_ranges(OccupantId(o), shatter::smarthome::ZoneId(z), start as f64);
             let txt: Vec<String> = ranges
                 .iter()
                 .map(|(lo, hi)| format!("[{lo:.0}-{hi:.0}]"))
@@ -100,9 +99,12 @@ fn main() {
                 "  {:<6} {:<12} {}",
                 names[o],
                 home.zones()[z].name,
-                if txt.is_empty() { "(no habit)".into() } else { txt.join(" ") }
+                if txt.is_empty() {
+                    "(no habit)".into()
+                } else {
+                    txt.join(" ")
+                }
             );
         }
     }
-
 }

@@ -18,7 +18,8 @@ fn monthly_impact(
     cap: &AttackerCapability,
     days: &[shatter::dataset::DayTrace],
 ) -> f64 {
-    let outcomes = impact::evaluate_days(model, adm, cap, days, &WindowDpScheduler::default(), true);
+    let outcomes =
+        impact::evaluate_days(model, adm, cap, days, &WindowDpScheduler::default(), true);
     impact::total_attacked_usd(&outcomes) - impact::total_benign_usd(&outcomes)
 }
 
@@ -31,17 +32,17 @@ fn main() {
 
     let full = AttackerCapability::full(&home);
     let baseline = monthly_impact(&model, &adm, &full, eval_days);
-    println!("Attack impact with an unprotected home: ${baseline:.2} over {} days", eval_days.len());
+    println!(
+        "Attack impact with an unprotected home: ${baseline:.2} over {} days",
+        eval_days.len()
+    );
     println!();
 
     // Question 1: which single *zone's* sensors are most worth hardening?
     println!("If we harden one zone's sensors (attacker loses access to it):");
     let mut zone_rank: Vec<(String, f64)> = Vec::new();
     for z in 1..5usize {
-        let remaining: Vec<ZoneId> = (1..5usize)
-            .filter(|&k| k != z)
-            .map(ZoneId)
-            .collect();
+        let remaining: Vec<ZoneId> = (1..5usize).filter(|&k| k != z).map(ZoneId).collect();
         let cap = AttackerCapability::full(&home).with_zone_access(remaining);
         let left = monthly_impact(&model, &adm, &cap, eval_days);
         zone_rank.push((home.zones()[z].name.clone(), baseline - left));

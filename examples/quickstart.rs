@@ -16,11 +16,19 @@ fn main() {
     // 1. The home under analysis: ARAS House A (4 indoor zones,
     //    2 occupants, 13 smart appliances).
     let home = houses::aras_house_a();
-    println!("Home: {} ({} zones, {} appliances)", home.name(), home.zones().len(), home.appliances().len());
+    println!(
+        "Home: {} ({} zones, {} appliances)",
+        home.name(),
+        home.zones().len(),
+        home.appliances().len()
+    );
 
     // 2. A month of per-minute occupant behaviour (seeded, reproducible).
     let month = synthesize(&SynthConfig::month(HouseKind::A, 42));
-    println!("Synthesized {} days of ARAS-schema behaviour", month.days.len());
+    println!(
+        "Synthesized {} days of ARAS-schema behaviour",
+        month.days.len()
+    );
 
     // 3. Train the clustering-based anomaly detection model the defender
     //    deploys: DBSCAN clusters over (arrival-time, stay-duration)
@@ -41,14 +49,8 @@ fn main() {
     //    appliances where nobody will notice.
     let model = EnergyModel::standard(home);
     let day = &test.days[0];
-    let outcome = impact::evaluate_day(
-        &model,
-        &adm,
-        &cap,
-        day,
-        &WindowDpScheduler::default(),
-        true,
-    );
+    let outcome =
+        impact::evaluate_day(&model, &adm, &cap, day, &WindowDpScheduler::default(), true);
 
     println!();
     println!("=== Attack outcome for day {} ===", day.day);

@@ -11,7 +11,9 @@
 //! - [`adm`] — clustering-based anomaly detection models,
 //! - [`smt`] — the CDCL(T) solver used for formal attack synthesis,
 //! - [`analytics`] — the SHATTER attack analytics core,
-//! - [`testbed`] — the simulated prototype testbed.
+//! - [`testbed`] — the simulated prototype testbed,
+//! - [`engine`] — the scenario engine (registry, fixture cache,
+//!   parallel runner, reporters) every evaluation workload runs on.
 //!
 //! # Quickstart
 //!
@@ -23,6 +25,7 @@
 pub use shatter_adm as adm;
 pub use shatter_core as analytics;
 pub use shatter_dataset as dataset;
+pub use shatter_engine as engine;
 pub use shatter_geometry as geometry;
 pub use shatter_hvac as hvac;
 pub use shatter_smarthome as smarthome;

@@ -99,14 +99,8 @@ fn smt_and_dp_windows_agree_on_committed_value() {
     let (model, ds, adm, cap) = fixture(HouseKind::A, 4);
     let table = shatter::analytics::RewardTable::build(&model);
     let day = &ds.days[12];
-    let (smt_row, stats) = SmtScheduler::default().schedule_occupant(
-        OccupantId(0),
-        &table,
-        &adm,
-        &cap,
-        day,
-        40,
-    );
+    let (smt_row, stats) =
+        SmtScheduler::default().schedule_occupant(OccupantId(0), &table, &adm, &cap, day, 40);
     assert_eq!(stats.windows, 4);
     // DP with triggers disabled shares the SMT objective exactly.
     let dp = WindowDpScheduler {
@@ -132,7 +126,14 @@ fn smt_and_dp_windows_agree_on_committed_value() {
 fn triggering_never_decreases_cost_and_stays_unnoticed() {
     let (model, ds, adm, cap) = fixture(HouseKind::A, 12);
     let day = &ds.days[13];
-    let without = impact::evaluate_day(&model, &adm, &cap, day, &WindowDpScheduler::default(), false);
+    let without = impact::evaluate_day(
+        &model,
+        &adm,
+        &cap,
+        day,
+        &WindowDpScheduler::default(),
+        false,
+    );
     let with = impact::evaluate_day(&model, &adm, &cap, day, &WindowDpScheduler::default(), true);
     assert!(with.attacked_cost_usd >= without.attacked_cost_usd - 1e-9);
     assert!(with.detection_rate <= 0.05);
@@ -175,7 +176,11 @@ fn restricted_capabilities_shrink_impact_monotonically() {
         impact::total_attacked_usd(&o) - impact::total_benign_usd(&o)
     };
     let all = impact_of(&full);
-    let three = impact_of(&full.clone().with_zone_access([ZoneId(1), ZoneId(2), ZoneId(3)]));
+    let three = impact_of(
+        &full
+            .clone()
+            .with_zone_access([ZoneId(1), ZoneId(2), ZoneId(3)]),
+    );
     let two = impact_of(&full.clone().with_zone_access([ZoneId(2), ZoneId(3)]));
     assert!(all >= three - 1e-6, "all {all} < three {three}");
     assert!(three >= two - 1e-6, "three {three} < two {two}");

@@ -3,9 +3,7 @@
 use proptest::prelude::*;
 
 use shatter::adm::{AdmKind, HullAdm};
-use shatter::analytics::{
-    trigger, AttackerCapability, RewardTable, Scheduler, WindowDpScheduler,
-};
+use shatter::analytics::{trigger, AttackerCapability, RewardTable, Scheduler, WindowDpScheduler};
 use shatter::dataset::episodes::extract_episodes;
 use shatter::dataset::{synthesize, HouseKind, SynthConfig};
 use shatter::hvac::{DchvacController, EnergyModel};

@@ -1,0 +1,185 @@
+//! Offline shim for the `bytes` crate subset this workspace uses:
+//! [`Bytes`]/[`BytesMut`] big-endian cursor reads/writes, `freeze`,
+//! `slice`, `split_to`, `from_static`. Backed by plain `Vec<u8>` — no
+//! zero-copy sharing, which the in-process testbed transport does not
+//! need.
+
+#![forbid(unsafe_code)]
+
+/// Immutable byte buffer with a read cursor.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Bytes {
+    data: Vec<u8>,
+    pos: usize,
+}
+
+/// Growable byte buffer for encoding.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+/// Read-side cursor operations (subset of `bytes::Buf`).
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+    /// Reads a big-endian `u16`, advancing the cursor.
+    fn get_u16(&mut self) -> u16;
+    /// Reads a big-endian `f64`, advancing the cursor.
+    fn get_f64(&mut self) -> f64;
+}
+
+/// Write-side operations (subset of `bytes::BufMut`).
+pub trait BufMut {
+    /// Appends a big-endian `u16`.
+    fn put_u16(&mut self, v: u16);
+    /// Appends a big-endian `f64`.
+    fn put_f64(&mut self, v: f64);
+    /// Appends raw bytes.
+    fn put_slice(&mut self, s: &[u8]);
+}
+
+impl Bytes {
+    /// Wraps a static byte slice.
+    pub fn from_static(s: &'static [u8]) -> Bytes {
+        Bytes {
+            data: s.to_vec(),
+            pos: 0,
+        }
+    }
+
+    /// Unread length.
+    pub fn len(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// Whether no unread bytes remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Returns a new buffer over the given unread-byte range.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
+        Bytes {
+            data: self.data[self.pos..][range].to_vec(),
+            pos: 0,
+        }
+    }
+
+    /// Splits off and returns the first `n` unread bytes, advancing self.
+    ///
+    /// # Panics
+    ///
+    /// Panics when fewer than `n` bytes remain.
+    pub fn split_to(&mut self, n: usize) -> Bytes {
+        assert!(n <= self.len(), "split_to out of bounds");
+        let head = Bytes {
+            data: self.data[self.pos..self.pos + n].to_vec(),
+            pos: 0,
+        };
+        self.pos += n;
+        head
+    }
+
+    /// Copies the unread bytes into a `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data[self.pos..].to_vec()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Bytes {
+        Bytes { data, pos: 0 }
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn get_u16(&mut self) -> u16 {
+        let b = self.split_to(2);
+        u16::from_be_bytes([b.data[0], b.data[1]])
+    }
+
+    fn get_f64(&mut self) -> f64 {
+        let b = self.split_to(8);
+        let mut a = [0u8; 8];
+        a.copy_from_slice(&b.data);
+        f64::from_be_bytes(a)
+    }
+}
+
+impl BytesMut {
+    /// Empty buffer.
+    pub fn new() -> BytesMut {
+        BytesMut::default()
+    }
+
+    /// Empty buffer with reserved capacity.
+    pub fn with_capacity(n: usize) -> BytesMut {
+        BytesMut {
+            data: Vec::with_capacity(n),
+        }
+    }
+
+    /// Converts into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes {
+            data: self.data,
+            pos: 0,
+        }
+    }
+
+    /// Current length.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_u16(&mut self, v: u16) {
+        self.data.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_f64(&mut self, v: f64) {
+        self.data.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_slice(&mut self, s: &[u8]) {
+        self.data.extend_from_slice(s);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_u16_f64() {
+        let mut b = BytesMut::with_capacity(10);
+        b.put_u16(513);
+        b.put_f64(-2.5);
+        b.put_slice(b"ab");
+        let mut r = b.freeze();
+        assert_eq!(r.remaining(), 12);
+        assert_eq!(r.get_u16(), 513);
+        assert_eq!(r.get_f64(), -2.5);
+        assert_eq!(r.to_vec(), b"ab");
+    }
+
+    #[test]
+    fn slice_and_split() {
+        let mut r = Bytes::from(vec![1, 2, 3, 4, 5]);
+        let head = r.split_to(2);
+        assert_eq!(head.to_vec(), vec![1, 2]);
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.slice(1..3).to_vec(), vec![4, 5]);
+    }
+}

@@ -1,0 +1,29 @@
+//! Offline shim for the `crossbeam::channel` subset this workspace uses
+//! (`unbounded`, `Sender::send`, `Receiver::{try_recv, try_iter}`),
+//! implemented over `std::sync::mpsc`.
+
+#![forbid(unsafe_code)]
+
+/// Multi-producer channels (subset of `crossbeam-channel`).
+pub mod channel {
+    pub use std::sync::mpsc::{Receiver, Sender};
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::unbounded;
+
+    #[test]
+    fn send_try_iter_roundtrip() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.try_iter().collect::<Vec<_>>(), vec![1, 2]);
+        assert!(rx.try_recv().is_err());
+    }
+}

@@ -1,0 +1,51 @@
+//! Offline shim for the `parking_lot::Mutex` subset this workspace uses:
+//! an infallible `lock()` built on `std::sync::Mutex` (poisoning is
+//! ignored, matching parking_lot's semantics).
+
+#![forbid(unsafe_code)]
+
+use std::sync::MutexGuard;
+
+/// Mutex with parking_lot's panic-transparent `lock()` signature.
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a mutex holding `value`.
+    pub fn new(value: T) -> Mutex<T> {
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Acquires the lock, ignoring poisoning.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        match self.inner.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        match self.inner.into_inner() {
+            Ok(v) => v,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Mutex;
+
+    #[test]
+    fn lock_and_mutate() {
+        let m = Mutex::new(0);
+        *m.lock() += 41;
+        *m.lock() += 1;
+        assert_eq!(m.into_inner(), 42);
+    }
+}

@@ -1,0 +1,16 @@
+//! Offline shim for `serde`: marker `Serialize`/`Deserialize` traits with
+//! no required items, plus the matching marker derives. The workspace
+//! only *derives* these traits on domain types (no serializer is ever
+//! invoked — CSV and JSON output are hand-rolled), so empty markers
+//! preserve the API without pulling in the real crate. Swap the `path`
+//! dependency for registry serde to restore full functionality.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

@@ -1,0 +1,46 @@
+//! Offline shim for `serde_derive`: the derives emit *marker* trait
+//! impls (the shim `serde::Serialize`/`serde::Deserialize` traits have no
+//! required items). This keeps `#[derive(Serialize, Deserialize)]`
+//! compiling without network access; swapping in the real serde restores
+//! full (de)serialization.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the type name following the first `struct` or `enum` keyword,
+/// skipping attributes and doc comments.
+fn type_name(input: &TokenStream) -> Option<String> {
+    let mut saw_kw = false;
+    for tt in input.clone() {
+        match tt {
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                if saw_kw {
+                    return Some(s);
+                }
+                if s == "struct" || s == "enum" {
+                    saw_kw = true;
+                }
+            }
+            _ => continue,
+        }
+    }
+    None
+}
+
+/// Marker derive for `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(&input).expect("serde_derive shim: no struct/enum name");
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("serde_derive shim: generated impl parses")
+}
+
+/// Marker derive for `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(&input).expect("serde_derive shim: no struct/enum name");
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("serde_derive shim: generated impl parses")
+}
