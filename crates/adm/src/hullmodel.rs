@@ -1,4 +1,5 @@
 use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
 use shatter_dataset::episodes::{extract_episodes, Episode};
 use shatter_dataset::Dataset;
@@ -7,6 +8,7 @@ use shatter_smarthome::{OccupantId, ZoneId};
 
 use crate::dbscan::{dbscan, DbscanParams};
 use crate::kmeans::{kmeans, KMeansParams};
+use crate::profile::StayProfile;
 
 /// Padding (minutes) applied when a cluster is too small or collinear to
 /// form a proper convex hull; the cluster is then represented by its padded
@@ -90,10 +92,26 @@ fn cluster_hull(points: &[Point]) -> Option<Hull> {
 ///
 /// `consistent(S^OT)` (paper Eq. 8) holds for a trace iff [`HullAdm::within`]
 /// holds for each of its stay episodes.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct HullAdm {
     kind: AdmKind,
     models: HashMap<(OccupantId, ZoneId), ZoneModel>,
+    /// Lazily built full-day [`StayProfile`]s, shared across the parallel
+    /// schedule synthesizers (the DP/SMT hot kernels query these instead
+    /// of hull geometry).
+    profiles: Mutex<HashMap<(OccupantId, ZoneId), Arc<StayProfile>>>,
+}
+
+impl Clone for HullAdm {
+    fn clone(&self) -> HullAdm {
+        // The profile cache is a lazy derivative of `models`; clones
+        // start cold rather than copying it.
+        HullAdm {
+            kind: self.kind,
+            models: self.models.clone(),
+            profiles: Mutex::new(HashMap::new()),
+        }
+    }
 }
 
 impl HullAdm {
@@ -127,7 +145,38 @@ impl HullAdm {
                 },
             );
         }
-        HullAdm { kind, models }
+        HullAdm {
+            kind,
+            models,
+            profiles: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The full-day stay-bound lookup table for `(occupant, zone)`,
+    /// built on first request and memoized for this ADM instance
+    /// (clones start with a cold profile cache).
+    ///
+    /// The profile answers [`HullAdm::min_stay`]/[`HullAdm::max_stay`]/
+    /// [`HullAdm::stay_ranges`]/[`HullAdm::in_range_stay`] for integer
+    /// arrival minutes in O(1)/O(#hulls) without touching hull geometry.
+    pub fn stay_profile(&self, occupant: OccupantId, zone: ZoneId) -> Arc<StayProfile> {
+        if let Some(p) = self
+            .profiles
+            .lock()
+            .expect("profile cache lock")
+            .get(&(occupant, zone))
+        {
+            return Arc::clone(p);
+        }
+        // Build outside the lock: a racing duplicate build is benign
+        // (identical content, last writer wins) and other pairs stay
+        // available meanwhile.
+        let p = Arc::new(StayProfile::build_day(self, occupant, zone));
+        self.profiles
+            .lock()
+            .expect("profile cache lock")
+            .insert((occupant, zone), Arc::clone(&p));
+        p
     }
 
     /// The backing algorithm.

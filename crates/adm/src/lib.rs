@@ -39,5 +39,7 @@ mod hullmodel;
 pub mod indices;
 pub mod kmeans;
 pub mod metrics;
+mod profile;
 
 pub use hullmodel::{AdmKind, HullAdm, ZoneModel};
+pub use profile::StayProfile;

@@ -124,3 +124,54 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The precomputed [`shatter_adm::StayProfile`] is answer-equivalent
+    /// to direct hull queries: `min_stay`, `max_stay`, `stay_ranges` and
+    /// `in_range_stay` agree at every sampled integer arrival, with the
+    /// stays probed at and just outside every stealthy interval's edges.
+    #[test]
+    fn stay_profile_matches_direct_queries(eps in arb_episodes()) {
+        for kind in [AdmKind::default_kmeans(), AdmKind::default_dbscan()] {
+            let adm = HullAdm::train_from_episodes(&eps, kind);
+            for o in 0..2usize {
+                for z in 1..5usize {
+                    let (o, z) = (OccupantId(o), ZoneId(z));
+                    let profile = adm.stay_profile(o, z);
+                    for arrival in (0..1440usize).step_by(13) {
+                        prop_assert_eq!(profile.min_stay(arrival), adm.min_stay(o, z, arrival as f64));
+                        prop_assert_eq!(profile.max_stay(arrival), adm.max_stay(o, z, arrival as f64));
+                        prop_assert_eq!(
+                            profile.stay_ranges(arrival),
+                            &adm.stay_ranges(o, z, arrival as f64)[..]
+                        );
+                        prop_assert_eq!(
+                            profile.has_future(arrival),
+                            !adm.stay_ranges(o, z, arrival as f64).is_empty()
+                        );
+                        let mut probes: Vec<f64> = vec![0.0, 1.0, 30.0, 720.0];
+                        for &(lo, hi) in profile.stay_ranges(arrival) {
+                            probes.extend([
+                                (lo.floor() - 1.0).max(0.0),
+                                lo.ceil(),
+                                ((lo + hi) / 2.0).round(),
+                                hi.floor(),
+                                hi.ceil() + 1.0,
+                            ]);
+                        }
+                        for stay in probes {
+                            prop_assert_eq!(
+                                profile.in_range_stay(arrival, stay),
+                                adm.in_range_stay(o, z, arrival as f64, stay),
+                                "kind={:?} o={:?} z={:?} arrival={} stay={}",
+                                adm.kind(), o, z, arrival, stay
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! Criterion microbench of the DP schedule-synthesis kernel — the hot
+//! path of every month-scale exhibit (tab5/tab6/tab7/fig10/ablation).
+//!
+//! `full_day` measures `WindowDpScheduler::schedule` end to end (both
+//! occupants, stay profiles warm after the first iteration, exactly like
+//! a suite run); `single_occupant` isolates one DP sweep; `cold_profiles`
+//! retrains nothing but clones the ADM each iteration so the per-zone
+//! [`StayProfile`] build cost is included — the difference between the
+//! two quantifies what the lookup tables save.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use shatter_adm::AdmKind;
+use shatter_bench::common::HouseFixture;
+use shatter_core::{AttackerCapability, RewardTable, Scheduler, WindowDpScheduler};
+use shatter_dataset::HouseKind;
+use shatter_smarthome::OccupantId;
+
+fn bench_dp_kernel(c: &mut Criterion) {
+    let fx = HouseFixture::new(HouseKind::A, 12);
+    let adm = fx.adm(AdmKind::default_kmeans(), 10);
+    let table = RewardTable::build(&fx.model);
+    let cap = AttackerCapability::full(&fx.home);
+    let day = &fx.month.days[10];
+    let sched = WindowDpScheduler::default();
+
+    let mut group = c.benchmark_group("dp_kernel");
+    group.sample_size(20);
+    group.bench_function("full_day", |b| {
+        b.iter(|| black_box(sched.schedule(&table, &adm, &cap, day)))
+    });
+    group.bench_function("single_occupant", |b| {
+        b.iter(|| black_box(sched.schedule_occupant_zones(OccupantId(0), &table, &adm, &cap, day)))
+    });
+    group.bench_function("cold_profiles", |b| {
+        b.iter(|| {
+            let cold = adm.clone();
+            black_box(sched.schedule_occupant_zones(OccupantId(0), &table, &cold, &cap, day))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dp_kernel);
+criterion_main!(benches);

@@ -7,10 +7,11 @@
 //! repro [--list] [--only ID[,ID...]] [--threads N] [--serial]
 //!       [--days N] [--span N] [--seed N]
 //!       [--json] [--no-text] [--out DIR] [--no-csv]
-//!       [--baseline PATH] [exhibit...]
+//!       [--baseline PATH] [--gate-against PATH] [exhibit...]
 //! repro                 # full suite, parallel, text + CSV
 //! repro --only tab5,fig10 --threads 4 --json
 //! repro --baseline BENCH_engine.json --days 6 --span 20
+//! repro --baseline ci.json --gate-against BENCH_engine.json  # perf gate
 //! ```
 
 use std::path::PathBuf;
@@ -34,6 +35,21 @@ struct Options {
     csv: bool,
     out: PathBuf,
     baseline: Option<PathBuf>,
+    gate_against: Option<PathBuf>,
+}
+
+/// Fraction by which the measured serial suite wall-clock may exceed the
+/// committed baseline before `--gate-against` fails the run.
+const GATE_SLACK: f64 = 0.30;
+
+/// Extracts a numeric field from a baseline JSON document (our own
+/// `Baseline::to_json` output — a flat `"field": value` scan suffices).
+fn json_f64_field(text: &str, field: &str) -> Option<f64> {
+    let pat = format!("\"{field}\":");
+    let start = text.find(&pat)? + pat.len();
+    let rest = text[start..].trim_start();
+    let end = rest.find([',', '}', '\n'])?;
+    rest[..end].trim().parse().ok()
 }
 
 fn die(msg: &str) -> ! {
@@ -54,6 +70,7 @@ fn parse_args(known_ids: &[String]) -> Options {
         csv: true,
         out: PathBuf::from("results"),
         baseline: None,
+        gate_against: None,
     };
     let mut args = std::env::args().skip(1);
     let next_num = |args: &mut dyn Iterator<Item = String>, what: &str| -> usize {
@@ -86,6 +103,12 @@ fn parse_args(known_ids: &[String]) -> Options {
                 opts.baseline = Some(PathBuf::from(
                     args.next()
                         .unwrap_or_else(|| die("--baseline needs a path")),
+                ));
+            }
+            "--gate-against" => {
+                opts.gate_against = Some(PathBuf::from(
+                    args.next()
+                        .unwrap_or_else(|| die("--gate-against needs a path")),
                 ));
             }
             "all" => opts.wanted.extend(known_ids.iter().cloned()),
@@ -156,7 +179,34 @@ fn main() {
             baseline.threads,
             path.display()
         );
+        // Perf gate: the fresh serial-uncached suite wall-clock may not
+        // regress more than GATE_SLACK over the committed artifact's.
+        if let Some(gate) = &opts.gate_against {
+            let committed = std::fs::read_to_string(gate)
+                .unwrap_or_else(|e| die(&format!("reading {}: {e}", gate.display())));
+            let committed_serial = json_f64_field(&committed, "serial_uncached_s")
+                .unwrap_or_else(|| die(&format!("{}: no serial_uncached_s", gate.display())));
+            let measured = baseline.serial_uncached_wall.as_secs_f64();
+            let limit = committed_serial * (1.0 + GATE_SLACK);
+            if measured > limit {
+                eprintln!(
+                    "perf gate FAILED: serial suite {measured:.2}s exceeds {limit:.2}s \
+                     (committed {committed_serial:.2}s + {:.0}% slack) from {}",
+                    GATE_SLACK * 100.0,
+                    gate.display()
+                );
+                std::process::exit(1);
+            }
+            eprintln!(
+                "perf gate ok: serial suite {measured:.2}s within {limit:.2}s \
+                 (committed {committed_serial:.2}s + {:.0}% slack)",
+                GATE_SLACK * 100.0
+            );
+        }
         return;
+    }
+    if opts.gate_against.is_some() {
+        die("--gate-against requires --baseline");
     }
 
     eprintln!(

@@ -1,13 +1,27 @@
 //! Shared fixture/table types, now provided by `shatter-engine` and
-//! re-exported here for continuity, plus small labeling helpers.
+//! re-exported here for continuity, plus small labeling helpers and the
+//! engine↔core memo adapter.
 
 pub use shatter_engine::{
     write_csv, FixtureCache, HouseFixture, Table, HOUSE_A_SEED, HOUSE_B_SEED,
 };
 
+use shatter_core::{WindowMemo, WindowSolution};
 use shatter_dataset::HouseKind;
 
 /// Dataset label in the paper's HAO1/HBO2 convention.
 pub fn dataset_label(kind: HouseKind, occupant: usize) -> String {
     format!("{}O{}", kind.label(), occupant + 1)
+}
+
+/// Adapter exposing the engine's [`FixtureCache::memo`] to the core
+/// schedulers' [`WindowMemo`] hook, so SMT window solutions are shared
+/// across exhibits (the span sweep of fig11 re-solves the windows the
+/// strategy shootout already committed).
+pub struct EngineWindowMemo<'a>(pub &'a FixtureCache);
+
+impl WindowMemo for EngineWindowMemo<'_> {
+    fn window(&self, key: &str, compute: &mut dyn FnMut() -> WindowSolution) -> WindowSolution {
+        (*self.0.memo(key, compute)).clone()
+    }
 }

@@ -101,6 +101,7 @@ pub fn run_exhibit(id: &str, days: usize, span: usize) -> Table {
         cache: &cache,
         params: cfg.params,
         seed: shatter_engine::scenario::scenario_seed(id, params.base_seed),
+        pool: shatter_engine::WorkPool::serial(),
     };
     scenario.run(&cx)
 }

@@ -46,6 +46,24 @@ fn suite_is_byte_identical_across_runs_and_thread_counts() {
 }
 
 #[test]
+fn heavy_exhibits_byte_identical_across_pool_widths() {
+    // Running a single scenario with a wide thread budget leaves the
+    // whole surplus to `ScenarioCtx::par_map`, so this exercises real
+    // intra-scenario parallelism (the suite-level test above mostly
+    // saturates the budget with scenario workers instead).
+    let reg = builtin_registry();
+    for id in ["tab5", "tab6", "strategies", "ablation"] {
+        let one = |threads: usize| {
+            let cache = FixtureCache::new();
+            let scenarios = reg.select(&[id.to_string()]).expect("known id");
+            let out = run_scenarios(&scenarios, &cache, &quick_cfg(threads));
+            out.reports[0].table.render()
+        };
+        assert_eq!(one(1), one(6), "{id} diverged across pool widths");
+    }
+}
+
+#[test]
 fn cached_run_matches_uncached_run() {
     let reg = builtin_registry();
     let scenarios = reg

@@ -20,45 +20,33 @@ use crate::{AttackerCapability, RewardTable};
 pub struct BiotaScheduler;
 
 impl Scheduler for BiotaScheduler {
-    fn schedule(
+    fn schedule_occupant_zones(
         &self,
+        o: OccupantId,
         table: &RewardTable,
         _adm: &HullAdm,
         cap: &AttackerCapability,
         actual: &DayTrace,
-    ) -> AttackSchedule {
-        let n_occupants = actual.minutes[0].occupants.len();
+    ) -> Vec<ZoneId> {
         let n_zones = table.n_zones();
-        let mut zones = Vec::with_capacity(n_occupants);
-        let mut activities = Vec::with_capacity(n_occupants);
-        for o in 0..n_occupants {
-            let o = OccupantId(o);
-            let mut row = Vec::with_capacity(MINUTES_PER_DAY);
-            for t in 0..MINUTES_PER_DAY {
-                let actual_zone = actual.minutes[t].occupants[o.index()].zone;
-                // Most rewarding zone reachable this minute; no behavioural
-                // constraint whatsoever.
-                let best = (0..n_zones)
-                    .map(ZoneId)
-                    .filter(|&z| cap.can_relocate(o, actual_zone, z, t as Minute))
-                    .max_by(|&a, &b| {
-                        table
-                            .rate(o, a, t as Minute)
-                            .partial_cmp(&table.rate(o, b, t as Minute))
-                            .unwrap_or(std::cmp::Ordering::Equal)
-                    })
-                    .unwrap_or(actual_zone);
-                row.push(best);
-            }
-            let acts = row
-                .iter()
-                .enumerate()
-                .map(|(t, &z)| table.best_activity(o, z, t as Minute))
-                .collect();
-            zones.push(row);
-            activities.push(acts);
+        let mut row = Vec::with_capacity(MINUTES_PER_DAY);
+        for t in 0..MINUTES_PER_DAY {
+            let actual_zone = actual.minutes[t].occupants[o.index()].zone;
+            // Most rewarding zone reachable this minute; no behavioural
+            // constraint whatsoever.
+            let best = (0..n_zones)
+                .map(ZoneId)
+                .filter(|&z| cap.can_relocate(o, actual_zone, z, t as Minute))
+                .max_by(|&a, &b| {
+                    table
+                        .rate(o, a, t as Minute)
+                        .partial_cmp(&table.rate(o, b, t as Minute))
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .unwrap_or(actual_zone);
+            row.push(best);
         }
-        AttackSchedule { zones, activities }
+        row
     }
 
     fn name(&self) -> &'static str {

@@ -1,8 +1,10 @@
-use shatter_adm::HullAdm;
+use std::sync::Arc;
+
+use shatter_adm::{HullAdm, StayProfile};
 use shatter_dataset::DayTrace;
 use shatter_smarthome::{Minute, OccupantId, ZoneId, MINUTES_PER_DAY};
 
-use crate::schedule::{AttackSchedule, Scheduler};
+use crate::schedule::Scheduler;
 use crate::{AttackerCapability, RewardTable};
 
 /// The window-horizon dynamic attack-schedule optimizer.
@@ -112,31 +114,32 @@ impl WindowDpScheduler {
         } else {
             vec![vec![0.0; t_end]; n_zones]
         };
-        let mut min_stay_cache: std::collections::HashMap<(usize, u32), Option<f64>> =
-            std::collections::HashMap::new();
-        let mut slot_reward = |z: ZoneId, arrival: u32, t: usize| -> f64 {
+        // Per-zone stay-bound profiles: every ADM primitive the loops
+        // below consult answers from these flat tables instead of walking
+        // hull geometry per query.
+        let profiles: Vec<Arc<StayProfile>> = (0..n_zones)
+            .map(|z| adm.stay_profile(o, ZoneId(z)))
+            .collect();
+        let slot_reward = |z: ZoneId, arrival: u32, t: usize| -> f64 {
             let base = table.rate(o, z, t as Minute);
             let b = bonus[z.index()][t];
             if b <= 0.0 {
                 return base;
             }
-            let ms = *min_stay_cache
-                .entry((z.index(), arrival))
-                .or_insert_with(|| adm.min_stay(o, z, arrival as f64));
-            match ms {
+            match profiles[z.index()].min_stay(arrival as usize) {
                 Some(thresh) if (t as u32 - arrival) as f64 <= thresh => base + b,
                 _ => base,
             }
         };
 
-        let has_future =
-            |z: ZoneId, t: usize| -> bool { !adm.stay_ranges(o, z, t as f64).is_empty() };
+        let has_future = |z: ZoneId, t: usize| -> bool { profiles[z.index()].has_future(t) };
         let can_extend = |z: ZoneId, arrival: u32, t_next_len: u32| -> bool {
-            adm.max_stay(o, z, arrival as f64)
+            profiles[z.index()]
+                .max_stay(arrival as usize)
                 .is_some_and(|m| (t_next_len as f64) <= m + 1e-9)
         };
         let can_exit = |z: ZoneId, arrival: u32, stay: u32| -> bool {
-            adm.in_range_stay(o, z, arrival as f64, stay as f64)
+            profiles[z.index()].in_range_stay(arrival as usize, stay as f64)
         };
 
         // Layer 0: choices for slot 0.
@@ -168,32 +171,35 @@ impl WindowDpScheduler {
         });
         layers.push(first);
 
+        // (zone, arrival) dedup for each layer on flat stamped arrays:
+        // `dedup_stamp[key] == t` marks `dedup_pos[key]` as live for the
+        // layer being built, so no per-slot clearing (or hashing) is
+        // needed. Arrivals never exceed the current slot, so `t_end`
+        // bounds the arrival axis.
+        let mut dedup_stamp = vec![0u32; n_zones * t_end];
+        let mut dedup_pos = vec![0u32; n_zones * t_end];
+
         for t in 1..t_end {
             let minute = t as Minute;
             let prev = layers.last().expect("layer exists");
             let mut next: Vec<Node> = Vec::new();
-            // Key -> index in `next` for (zone, arrival) dedup; shadow kept
-            // separately (at most one).
-            let mut index: std::collections::HashMap<(usize, u32), usize> =
-                std::collections::HashMap::new();
-            let push = |next: &mut Vec<Node>,
-                        index: &mut std::collections::HashMap<(usize, u32), usize>,
-                        n: Node| {
+            // Dedup non-shadow nodes by (zone, arrival); shadow nodes are
+            // kept separately (at most one survives below).
+            let push = |next: &mut Vec<Node>, stamp: &mut Vec<u32>, pos: &mut Vec<u32>, n: Node| {
                 if n.shadow {
                     next.push(n);
                     return;
                 }
-                match index.entry((n.zone.index(), n.arrival)) {
-                    std::collections::hash_map::Entry::Occupied(e) => {
-                        let i = *e.get();
-                        if n.value > next[i].value {
-                            next[i] = n;
-                        }
+                let key = n.zone.index() * t_end + n.arrival as usize;
+                if stamp[key] == t as u32 {
+                    let i = pos[key] as usize;
+                    if n.value > next[i].value {
+                        next[i] = n;
                     }
-                    std::collections::hash_map::Entry::Vacant(e) => {
-                        e.insert(next.len());
-                        next.push(n);
-                    }
+                } else {
+                    stamp[key] = t as u32;
+                    pos[key] = next.len() as u32;
+                    next.push(n);
                 }
             };
 
@@ -202,7 +208,8 @@ impl WindowDpScheduler {
                     // Shadow continues along actual.
                     push(
                         &mut next,
-                        &mut index,
+                        &mut dedup_stamp,
+                        &mut dedup_pos,
                         Node {
                             zone: act_zone[t],
                             arrival: act_arrival[t],
@@ -225,7 +232,8 @@ impl WindowDpScheduler {
                             }
                             push(
                                 &mut next,
-                                &mut index,
+                                &mut dedup_stamp,
+                                &mut dedup_pos,
                                 Node {
                                     zone: z,
                                     arrival: t as u32,
@@ -245,7 +253,8 @@ impl WindowDpScheduler {
                 {
                     push(
                         &mut next,
-                        &mut index,
+                        &mut dedup_stamp,
+                        &mut dedup_pos,
                         Node {
                             zone: p.zone,
                             arrival: p.arrival,
@@ -268,7 +277,8 @@ impl WindowDpScheduler {
                         }
                         push(
                             &mut next,
-                            &mut index,
+                            &mut dedup_stamp,
+                            &mut dedup_pos,
                             Node {
                                 zone: z,
                                 arrival: t as u32,
@@ -284,7 +294,8 @@ impl WindowDpScheduler {
                     if act_arrival[t] == t as u32 && act_zone[t] != p.zone {
                         push(
                             &mut next,
-                            &mut index,
+                            &mut dedup_stamp,
+                            &mut dedup_pos,
                             Node {
                                 zone: act_zone[t],
                                 arrival: t as u32,
@@ -297,25 +308,23 @@ impl WindowDpScheduler {
                 }
             }
 
-            // Keep at most one shadow (best value).
+            // Keep at most one shadow (best value); parent indices point
+            // into the previous layer, so dropping the extras needs no
+            // index remapping.
             let mut best_shadow: Option<usize> = None;
             for (i, n) in next.iter().enumerate() {
                 if n.shadow && best_shadow.is_none_or(|b| n.value > next[b].value) {
                     best_shadow = Some(i);
                 }
             }
-            let mut filtered: Vec<Node> = Vec::with_capacity(next.len());
-            let mut remap: Vec<usize> = Vec::with_capacity(next.len());
-            for (i, n) in next.iter().enumerate() {
-                if n.shadow && Some(i) != best_shadow {
-                    remap.push(usize::MAX);
-                    continue;
-                }
-                remap.push(filtered.len());
-                filtered.push(*n);
+            if let Some(b) = best_shadow {
+                let mut i = 0usize;
+                next.retain(|n| {
+                    let keep = !n.shadow || i == b;
+                    i += 1;
+                    keep
+                });
             }
-            let _ = remap;
-            let mut next = filtered;
 
             // Degenerate dead end: fall back to mirroring actual.
             if next.is_empty() {
@@ -415,27 +424,15 @@ impl WindowDpScheduler {
 }
 
 impl Scheduler for WindowDpScheduler {
-    fn schedule(
+    fn schedule_occupant_zones(
         &self,
+        o: OccupantId,
         table: &RewardTable,
         adm: &HullAdm,
         cap: &AttackerCapability,
         actual: &DayTrace,
-    ) -> AttackSchedule {
-        let n_occupants = actual.minutes[0].occupants.len();
-        let mut zones = Vec::with_capacity(n_occupants);
-        let mut activities = Vec::with_capacity(n_occupants);
-        for o in 0..n_occupants {
-            let row = self.schedule_occupant(OccupantId(o), table, adm, cap, actual);
-            let acts = row
-                .iter()
-                .enumerate()
-                .map(|(t, &z)| table.best_activity(OccupantId(o), z, t as Minute))
-                .collect();
-            zones.push(row);
-            activities.push(acts);
-        }
-        AttackSchedule { zones, activities }
+    ) -> Vec<ZoneId> {
+        self.schedule_occupant(o, table, adm, cap, actual)
     }
 
     fn name(&self) -> &'static str {
@@ -446,6 +443,7 @@ impl Scheduler for WindowDpScheduler {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::AttackSchedule;
     use shatter_adm::AdmKind;
     use shatter_dataset::{synthesize, HouseKind, SynthConfig};
     use shatter_hvac::EnergyModel;

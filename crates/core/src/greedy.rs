@@ -2,7 +2,7 @@ use shatter_adm::HullAdm;
 use shatter_dataset::DayTrace;
 use shatter_smarthome::{Minute, OccupantId, ZoneId, MINUTES_PER_DAY};
 
-use crate::schedule::{AttackSchedule, Scheduler};
+use crate::schedule::Scheduler;
 use crate::{AttackerCapability, RewardTable};
 
 /// The paper's greedy baseline (Algorithm 2): at every arrival time, park
@@ -92,27 +92,15 @@ impl GreedyScheduler {
 }
 
 impl Scheduler for GreedyScheduler {
-    fn schedule(
+    fn schedule_occupant_zones(
         &self,
+        o: OccupantId,
         table: &RewardTable,
         adm: &HullAdm,
         cap: &AttackerCapability,
         actual: &DayTrace,
-    ) -> AttackSchedule {
-        let n_occupants = actual.minutes[0].occupants.len();
-        let mut zones = Vec::with_capacity(n_occupants);
-        let mut activities = Vec::with_capacity(n_occupants);
-        for o in 0..n_occupants {
-            let row = self.schedule_occupant(OccupantId(o), table, adm, cap, actual);
-            let acts = row
-                .iter()
-                .enumerate()
-                .map(|(t, &z)| table.best_activity(OccupantId(o), z, t as Minute))
-                .collect();
-            zones.push(row);
-            activities.push(acts);
-        }
-        AttackSchedule { zones, activities }
+    ) -> Vec<ZoneId> {
+        self.schedule_occupant(o, table, adm, cap, actual)
     }
 
     fn name(&self) -> &'static str {

@@ -68,6 +68,6 @@ pub use capability::AttackerCapability;
 pub use dp::WindowDpScheduler;
 pub use greedy::GreedyScheduler;
 pub use reward::{plausible_activities, RewardTable};
-pub use schedule::{AttackSchedule, ScheduleError, Scheduler};
+pub use schedule::{AttackSchedule, ScheduleError, Scheduler, WindowMemo, WindowSolution};
 pub use smt_sched::SmtScheduler;
 pub use strategy::{SharedScheduler, StrategyEntry, StrategyRegistry};

@@ -70,6 +70,22 @@ impl std::fmt::Display for ScheduleError {
 impl std::error::Error for ScheduleError {}
 
 impl AttackSchedule {
+    /// Assembles a schedule from per-occupant zone rows, backing every
+    /// zone claim with its plausibility-maximizing activity.
+    pub fn from_zone_rows(zones: Vec<Vec<ZoneId>>, table: &RewardTable) -> AttackSchedule {
+        let activities = zones
+            .iter()
+            .enumerate()
+            .map(|(o, row)| {
+                row.iter()
+                    .enumerate()
+                    .map(|(t, &z)| table.best_activity(OccupantId(o), z, t as Minute))
+                    .collect()
+            })
+            .collect();
+        AttackSchedule { zones, activities }
+    }
+
     /// The identity schedule: report exactly the actual behaviour.
     pub fn from_actual(day: &DayTrace) -> AttackSchedule {
         let n_occupants = day.minutes[0].occupants.len();
@@ -212,17 +228,84 @@ impl AttackSchedule {
     }
 }
 
+/// One memoizable schedule fragment: a window's zone row (or `None` when
+/// the window had no stealthy solution) together with the solver effort
+/// it cost, so cached hits replay the effort statistics instead of
+/// reporting zero (fig11's conflict column must not depend on which
+/// exhibit solved a window first).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WindowSolution {
+    /// The window's committed zone row; `None` marks infeasible.
+    pub zones: Option<Vec<ZoneId>>,
+    /// Theory conflicts the original solve cost.
+    pub theory_conflicts: u64,
+}
+
+/// Memoizes solved schedule fragments (SMT window solutions) across
+/// scheduler invocations. Implemented by the evaluation engine's fixture
+/// cache.
+pub trait WindowMemo: Sync {
+    /// Returns the fragment cached under `key`, or computes, stores and
+    /// returns it. `compute` is invoked at most once.
+    fn window(&self, key: &str, compute: &mut dyn FnMut() -> WindowSolution) -> WindowSolution;
+}
+
 /// An attack-schedule generator (DP, greedy, or SMT-backed).
+///
+/// Implementors supply the per-occupant synthesis
+/// ([`Scheduler::schedule_occupant_zones`]); the full-day
+/// [`Scheduler::schedule`] is derived from it, and callers that can split
+/// work across threads (the scenario engine's `par_map`) synthesize the
+/// independent occupant rows in parallel and reassemble them with
+/// [`AttackSchedule::from_zone_rows`].
 pub trait Scheduler {
-    /// Synthesizes a one-day attack schedule against the given actual
-    /// behaviour, ADM and capability.
+    /// Synthesizes the reported zone row for one occupant against the
+    /// given actual behaviour, ADM and capability.
+    fn schedule_occupant_zones(
+        &self,
+        o: OccupantId,
+        table: &RewardTable,
+        adm: &HullAdm,
+        cap: &AttackerCapability,
+        actual: &DayTrace,
+    ) -> Vec<ZoneId>;
+
+    /// Like [`Scheduler::schedule_occupant_zones`], with a
+    /// cross-invocation [`WindowMemo`] for schedulers whose synthesis
+    /// decomposes into cacheable fragments (the SMT window solver).
+    /// `prefix` must identify every solver input not encoded in the
+    /// fragment keys: the day trace, the reward table contents and the
+    /// ADM. Schedulers without cacheable structure ignore the memo.
+    #[allow(clippy::too_many_arguments)]
+    fn schedule_occupant_zones_memo(
+        &self,
+        o: OccupantId,
+        table: &RewardTable,
+        adm: &HullAdm,
+        cap: &AttackerCapability,
+        actual: &DayTrace,
+        memo: &dyn WindowMemo,
+        prefix: &str,
+    ) -> Vec<ZoneId> {
+        let _ = (memo, prefix);
+        self.schedule_occupant_zones(o, table, adm, cap, actual)
+    }
+
+    /// Synthesizes a one-day attack schedule: every occupant's zone row
+    /// plus the plausibility-maximizing activity backing each claim.
     fn schedule(
         &self,
         table: &RewardTable,
         adm: &HullAdm,
         cap: &AttackerCapability,
         actual: &DayTrace,
-    ) -> AttackSchedule;
+    ) -> AttackSchedule {
+        let n_occupants = actual.minutes[0].occupants.len();
+        let zones = (0..n_occupants)
+            .map(|o| self.schedule_occupant_zones(OccupantId(o), table, adm, cap, actual))
+            .collect();
+        AttackSchedule::from_zone_rows(zones, table)
+    }
 
     /// Display name for reports.
     fn name(&self) -> &'static str;

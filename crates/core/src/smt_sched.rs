@@ -1,10 +1,12 @@
-use shatter_adm::HullAdm;
+use std::sync::Arc;
+
+use shatter_adm::{HullAdm, StayProfile};
 use shatter_dataset::DayTrace;
 use shatter_smarthome::{Minute, OccupantId, ZoneId, MINUTES_PER_DAY};
 use shatter_smt::ast::{BoolVar, Formula, LinExpr};
 use shatter_smt::{Rat, Solver};
 
-use crate::schedule::{AttackSchedule, Scheduler};
+use crate::schedule::{Scheduler, WindowMemo, WindowSolution};
 use crate::{AttackerCapability, RewardTable};
 
 /// The formal window scheduler: encodes each optimization window
@@ -68,6 +70,26 @@ impl SmtScheduler {
         actual: &DayTrace,
         until: usize,
     ) -> (Vec<ZoneId>, SmtStats) {
+        self.schedule_occupant_memo(o, table, adm, cap, actual, until, None)
+    }
+
+    /// Like [`SmtScheduler::schedule_occupant`], memoizing each window's
+    /// solution through `memo` when given. Keys carry the window span,
+    /// boundary stay, capability signature, final-window flag and
+    /// objective tolerance; `prefix` must identify everything else the
+    /// solver sees — the day trace, the reward table contents and the
+    /// ADM — or unrelated solves will alias.
+    #[allow(clippy::too_many_arguments)]
+    pub fn schedule_occupant_memo(
+        &self,
+        o: OccupantId,
+        table: &RewardTable,
+        adm: &HullAdm,
+        cap: &AttackerCapability,
+        actual: &DayTrace,
+        until: usize,
+        memo: Option<(&dyn WindowMemo, &str)>,
+    ) -> (Vec<ZoneId>, SmtStats) {
         let until = until.min(MINUTES_PER_DAY);
         let act_zone: Vec<ZoneId> = actual
             .minutes
@@ -87,15 +109,20 @@ impl SmtScheduler {
             v
         };
 
+        // Stay-bound profiles replace per-query hull walks in the window
+        // constraint generation (same flat tables the DP kernel uses).
+        let profiles: Vec<Arc<StayProfile>> = (0..table.n_zones())
+            .map(|z| adm.stay_profile(o, ZoneId(z)))
+            .collect();
         let in_range = |z: ZoneId, s: u32, stay: u32| -> bool {
-            adm.in_range_stay(o, z, s as f64, stay as f64)
+            profiles[z.index()].in_range_stay(s as usize, stay as f64)
         };
         let can_extend = |z: ZoneId, s: u32, len: u32| -> bool {
-            adm.max_stay(o, z, s as f64)
+            profiles[z.index()]
+                .max_stay(s as usize)
                 .is_some_and(|m| (len as f64) <= m + 1e-9)
         };
-        let has_future =
-            |z: ZoneId, t: usize| -> bool { !adm.stay_ranges(o, z, t as f64).is_empty() };
+        let has_future = |z: ZoneId, t: usize| -> bool { profiles[z.index()].has_future(t) };
         let micro = |r: f64| -> i64 { (r * 1e6).round() as i64 };
 
         let mut stats = SmtStats::default();
@@ -107,21 +134,72 @@ impl SmtScheduler {
         while w < until {
             let horizon = self.horizon.min(until - w);
             stats.windows += 1;
-            match self.solve_window(
-                o,
-                table,
-                cap,
-                &act_zone,
-                w,
-                horizon,
-                boundary,
-                until,
-                &in_range,
-                &can_extend,
-                &has_future,
-                &micro,
-                &mut stats,
-            ) {
+            let solved = match memo {
+                Some((m, prefix)) => {
+                    // `until` only reaches the solver through the
+                    // final-window distinction, so the flag (not the span)
+                    // keys it — shared interior windows hit across spans.
+                    let is_final = u8::from(w + horizon >= until);
+                    let key = match boundary {
+                        Some((bz, ba)) => format!(
+                            "{prefix}/o{}/w{w}+{horizon}/b{}:{ba}/c{:016x}/f{is_final}/tol{}",
+                            o.index(),
+                            bz.index(),
+                            cap.signature(),
+                            self.tol_microusd,
+                        ),
+                        None => format!(
+                            "{prefix}/o{}/w{w}+{horizon}/b-/c{:016x}/f{is_final}/tol{}",
+                            o.index(),
+                            cap.signature(),
+                            self.tol_microusd,
+                        ),
+                    };
+                    // Solve into fresh stats so the conflict count is
+                    // stored with the fragment: a cache hit replays the
+                    // original effort instead of reporting zero.
+                    let solution = m.window(&key, &mut || {
+                        let mut fresh = SmtStats::default();
+                        let zones = self.solve_window(
+                            o,
+                            table,
+                            cap,
+                            &act_zone,
+                            w,
+                            horizon,
+                            boundary,
+                            until,
+                            &in_range,
+                            &can_extend,
+                            &has_future,
+                            &micro,
+                            &mut fresh,
+                        );
+                        WindowSolution {
+                            zones,
+                            theory_conflicts: fresh.theory_conflicts,
+                        }
+                    });
+                    stats.theory_conflicts += solution.theory_conflicts;
+                    solution.zones
+                }
+                None => self.solve_window(
+                    o,
+                    table,
+                    cap,
+                    &act_zone,
+                    w,
+                    horizon,
+                    boundary,
+                    until,
+                    &in_range,
+                    &can_extend,
+                    &has_future,
+                    &micro,
+                    &mut stats,
+                ),
+            };
+            match solved {
                 Some(window_zones) => {
                     zones.extend_from_slice(&window_zones);
                 }
@@ -305,28 +383,38 @@ impl SmtScheduler {
 }
 
 impl Scheduler for SmtScheduler {
-    fn schedule(
+    fn schedule_occupant_zones(
         &self,
+        o: OccupantId,
         table: &RewardTable,
         adm: &HullAdm,
         cap: &AttackerCapability,
         actual: &DayTrace,
-    ) -> AttackSchedule {
-        let n_occupants = actual.minutes[0].occupants.len();
-        let mut zones = Vec::with_capacity(n_occupants);
-        let mut activities = Vec::with_capacity(n_occupants);
-        for o in 0..n_occupants {
-            let (row, _) =
-                self.schedule_occupant(OccupantId(o), table, adm, cap, actual, MINUTES_PER_DAY);
-            let acts = row
-                .iter()
-                .enumerate()
-                .map(|(t, &z)| table.best_activity(OccupantId(o), z, t as Minute))
-                .collect();
-            zones.push(row);
-            activities.push(acts);
-        }
-        AttackSchedule { zones, activities }
+    ) -> Vec<ZoneId> {
+        self.schedule_occupant(o, table, adm, cap, actual, MINUTES_PER_DAY)
+            .0
+    }
+
+    fn schedule_occupant_zones_memo(
+        &self,
+        o: OccupantId,
+        table: &RewardTable,
+        adm: &HullAdm,
+        cap: &AttackerCapability,
+        actual: &DayTrace,
+        memo: &dyn WindowMemo,
+        prefix: &str,
+    ) -> Vec<ZoneId> {
+        self.schedule_occupant_memo(
+            o,
+            table,
+            adm,
+            cap,
+            actual,
+            MINUTES_PER_DAY,
+            Some((memo, prefix)),
+        )
+        .0
     }
 
     fn name(&self) -> &'static str {

@@ -143,15 +143,34 @@ impl CacheStats {
 /// harness's cost model (used as the "serial uncached" baseline leg).
 ///
 /// [`memo`]: FixtureCache::memo
-#[derive(Default)]
 pub struct FixtureCache {
     fixtures: Mutex<HashMap<DatasetKey, Arc<HouseFixture>>>,
     episodes: Mutex<HashMap<DatasetKey, Arc<Vec<Episode>>>>,
     adms: Mutex<HashMap<(DatasetKey, AdmKey, usize), Arc<HullAdm>>>,
-    memos: Mutex<HashMap<String, Arc<dyn Any + Send + Sync>>>,
+    // The memo map carries the per-day schedule and SMT-window traffic
+    // of every parallel scenario worker, so it is sharded by key hash to
+    // keep lock contention off the hot path.
+    memos: [Mutex<HashMap<String, Arc<dyn Any + Send + Sync>>>; MEMO_SHARDS],
     disabled: bool,
     hits: AtomicU64,
     misses: AtomicU64,
+}
+
+/// Number of lock shards backing [`FixtureCache::memo`].
+const MEMO_SHARDS: usize = 16;
+
+impl Default for FixtureCache {
+    fn default() -> FixtureCache {
+        FixtureCache {
+            fixtures: Mutex::default(),
+            episodes: Mutex::default(),
+            adms: Mutex::default(),
+            memos: std::array::from_fn(|_| Mutex::default()),
+            disabled: false,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
 }
 
 impl FixtureCache {
@@ -193,8 +212,9 @@ impl FixtureCache {
         T: Send + Sync + 'static,
         F: FnOnce() -> T,
     {
+        let shard = self.memo_shard(key);
         if !self.disabled {
-            if let Some(v) = self.memos.lock().expect("memo cache lock").get(key) {
+            if let Some(v) = shard.lock().expect("memo cache lock").get(key) {
                 if let Ok(t) = Arc::clone(v).downcast::<T>() {
                     self.hit();
                     return t;
@@ -204,12 +224,17 @@ impl FixtureCache {
         self.miss();
         let t = Arc::new(compute());
         if !self.disabled {
-            self.memos.lock().expect("memo cache lock").insert(
+            shard.lock().expect("memo cache lock").insert(
                 key.to_string(),
                 Arc::clone(&t) as Arc<dyn Any + Send + Sync>,
             );
         }
         t
+    }
+
+    /// The lock shard responsible for a memo key (FNV-1a of the key).
+    fn memo_shard(&self, key: &str) -> &Mutex<HashMap<String, Arc<dyn Any + Send + Sync>>> {
+        &self.memos[(crate::scenario::fnv1a(key) as usize) % MEMO_SHARDS]
     }
 
     /// The canonical fixture for `(kind, days)` (canonical seed).

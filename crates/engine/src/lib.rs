@@ -39,12 +39,14 @@
 
 pub mod baseline;
 pub mod fixtures;
+pub mod pool;
 pub mod report;
 pub mod runner;
 pub mod scenario;
 pub mod table;
 
 pub use fixtures::{CacheStats, FixtureCache, HouseFixture, HOUSE_A_SEED, HOUSE_B_SEED};
+pub use pool::WorkPool;
 pub use report::{CsvReporter, JsonLinesReporter, Reporter, TextReporter};
 pub use runner::{RunConfig, RunOutcome, ScenarioReport};
 pub use scenario::{FnScenario, Registry, RunParams, Scenario, ScenarioCtx};

@@ -1,0 +1,184 @@
+//! The [`WorkPool`]: one global slot budget shared between the scenario
+//! runner and intra-scenario parallelism.
+//!
+//! The runner sizes the budget to the configured thread count and holds
+//! one slot per worker; everything left over is lendable to scenarios
+//! through [`WorkPool::par_map`] (surfaced as `ScenarioCtx::par_map`).
+//! Retiring runner workers hand their slot back, so a heavy scenario
+//! that outlives the rest of the suite widens automatically — and nested
+//! parallelism can never oversubscribe the machine, because every helper
+//! thread anywhere is backed by a slot from the same budget.
+//!
+//! `par_map` writes results by item index and the caller always
+//! participates, so the item→result mapping is independent of how many
+//! helpers the budget lends at that moment: output is byte-identical
+//! across `--threads` settings (and across racing sibling scenarios).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Shared budget of borrowable helper slots. Cloning is cheap and all
+/// clones draw on the same budget.
+#[derive(Clone, Debug, Default)]
+pub struct WorkPool {
+    extra: Arc<AtomicUsize>,
+}
+
+impl WorkPool {
+    /// A pool lending up to `extra_slots` helper threads.
+    pub fn new(extra_slots: usize) -> WorkPool {
+        WorkPool {
+            extra: Arc::new(AtomicUsize::new(extra_slots)),
+        }
+    }
+
+    /// A pool that never lends a helper: every [`WorkPool::par_map`]
+    /// runs serially on the caller.
+    pub fn serial() -> WorkPool {
+        WorkPool::new(0)
+    }
+
+    /// Helper slots currently borrowable.
+    pub fn available(&self) -> usize {
+        self.extra.load(Ordering::Relaxed)
+    }
+
+    /// Borrows up to `want` helper slots without blocking, returning how
+    /// many were obtained. Pair with [`WorkPool::release`].
+    pub fn acquire_up_to(&self, want: usize) -> usize {
+        let mut cur = self.extra.load(Ordering::Relaxed);
+        loop {
+            let take = cur.min(want);
+            if take == 0 {
+                return 0;
+            }
+            match self.extra.compare_exchange_weak(
+                cur,
+                cur - take,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return take,
+                Err(now) => cur = now,
+            }
+        }
+    }
+
+    /// Returns `n` borrowed slots to the budget (also used by runner
+    /// workers handing their own slot back as they retire).
+    pub fn release(&self, n: usize) {
+        self.extra.fetch_add(n, Ordering::AcqRel);
+    }
+
+    /// Maps `f` over `items` on the caller plus up to `items.len() - 1`
+    /// borrowed helper threads, returning results in submission order.
+    ///
+    /// `f` receives `(index, &item)`; derive any per-item randomness from
+    /// the index (e.g. `ScenarioCtx::item_seed`), never from thread
+    /// identity, and the output is byte-identical for every budget size —
+    /// including zero, where the call degenerates to a serial map.
+    pub fn par_map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        let n = items.len();
+        let helpers = if n > 1 { self.acquire_up_to(n - 1) } else { 0 };
+        if helpers == 0 {
+            return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        }
+        let mut slots: Vec<Option<R>> = Vec::new();
+        slots.resize_with(n, || None);
+        {
+            let next = AtomicUsize::new(0);
+            let slots_shared = Mutex::new(&mut slots);
+            let worker = || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f(i, &items[i]);
+                slots_shared.lock().expect("par_map result lock")[i] = Some(r);
+            };
+            std::thread::scope(|scope| {
+                for _ in 0..helpers {
+                    // The closure only captures references, so it is Copy
+                    // and each helper gets its own handle.
+                    scope.spawn(worker);
+                }
+                worker();
+            });
+        }
+        self.release(helpers);
+        slots
+            .into_iter()
+            .map(|r| r.expect("par_map slot filled"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acquire_release_roundtrip() {
+        let pool = WorkPool::new(3);
+        assert_eq!(pool.available(), 3);
+        assert_eq!(pool.acquire_up_to(2), 2);
+        assert_eq!(pool.acquire_up_to(5), 1);
+        assert_eq!(pool.acquire_up_to(1), 0);
+        pool.release(3);
+        assert_eq!(pool.available(), 3);
+        // Clones share the budget.
+        let clone = pool.clone();
+        assert_eq!(clone.acquire_up_to(3), 3);
+        assert_eq!(pool.available(), 0);
+    }
+
+    #[test]
+    fn par_map_preserves_submission_order() {
+        let items: Vec<usize> = (0..97).collect();
+        let expect: Vec<usize> = items.iter().map(|x| x * x).collect();
+        for extra in [0usize, 1, 3, 7] {
+            let pool = WorkPool::new(extra);
+            let got = pool.par_map(&items, |i, &x| {
+                assert_eq!(i, x);
+                x * x
+            });
+            assert_eq!(got, expect, "extra={extra}");
+            assert_eq!(pool.available(), extra, "slots returned, extra={extra}");
+        }
+    }
+
+    #[test]
+    fn par_map_never_exceeds_budget() {
+        let pool = WorkPool::new(2); // caller + 2 helpers = 3 concurrent max
+        let live = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        let items: Vec<usize> = (0..64).collect();
+        pool.par_map(&items, |_, _| {
+            let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+            peak.fetch_max(now, Ordering::SeqCst);
+            std::thread::sleep(std::time::Duration::from_micros(200));
+            live.fetch_sub(1, Ordering::SeqCst);
+        });
+        assert!(peak.load(Ordering::SeqCst) <= 3);
+    }
+
+    #[test]
+    fn nested_par_map_draws_on_the_same_budget() {
+        let pool = WorkPool::new(4);
+        let outer: Vec<usize> = (0..4).collect();
+        let sums = pool.par_map(&outer, |_, &o| {
+            let inner: Vec<usize> = (0..8).collect();
+            pool.par_map(&inner, |_, &i| o * 100 + i)
+                .iter()
+                .sum::<usize>()
+        });
+        let expect: Vec<usize> = (0..4).map(|o| o * 800 + 28).collect();
+        assert_eq!(sums, expect);
+        assert_eq!(pool.available(), 4);
+    }
+}

@@ -12,6 +12,7 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use crate::fixtures::{CacheStats, FixtureCache};
+use crate::pool::WorkPool;
 use crate::scenario::{scenario_seed, RunParams, Scenario, ScenarioCtx};
 use crate::table::Table;
 
@@ -72,11 +73,17 @@ impl RunOutcome {
     }
 }
 
-fn run_one(scenario: &dyn Scenario, cache: &FixtureCache, params: RunParams) -> ScenarioReport {
+fn run_one(
+    scenario: &dyn Scenario,
+    cache: &FixtureCache,
+    params: RunParams,
+    pool: &WorkPool,
+) -> ScenarioReport {
     let cx = ScenarioCtx {
         cache,
         params,
         seed: scenario_seed(scenario.id(), params.base_seed),
+        pool: pool.clone(),
     };
     let start = Instant::now();
     let table = scenario.run(&cx);
@@ -98,14 +105,20 @@ pub fn run_scenarios(
 ) -> RunOutcome {
     let before = cache.stats();
     let start = Instant::now();
-    let threads = cfg.effective_threads().min(scenarios.len()).max(1);
+    let total = cfg.effective_threads();
+    let threads = total.min(scenarios.len()).max(1);
+    // One global slot budget: each runner worker holds a slot implicitly,
+    // the surplus is lendable to scenarios via `ScenarioCtx::par_map`,
+    // and retiring workers hand their slot back — so a heavy scenario
+    // outliving the queue widens without ever oversubscribing `total`.
+    let pool = WorkPool::new(total.saturating_sub(threads));
 
     let mut slots: Vec<Option<ScenarioReport>> = Vec::new();
     slots.resize_with(scenarios.len(), || None);
 
     if threads <= 1 {
         for (i, s) in scenarios.iter().enumerate() {
-            slots[i] = Some(run_one(s.as_ref(), cache, cfg.params));
+            slots[i] = Some(run_one(s.as_ref(), cache, cfg.params, &pool));
         }
     } else {
         let next = AtomicUsize::new(0);
@@ -114,8 +127,11 @@ pub fn run_scenarios(
             for _ in 0..threads {
                 scope.spawn(|| loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(s) = scenarios.get(i) else { break };
-                    let report = run_one(s.as_ref(), cache, cfg.params);
+                    let Some(s) = scenarios.get(i) else {
+                        pool.release(1);
+                        break;
+                    };
+                    let report = run_one(s.as_ref(), cache, cfg.params, &pool);
                     slots_shared.lock().expect("runner result lock")[i] = Some(report);
                 });
             }

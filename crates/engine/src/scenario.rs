@@ -13,6 +13,7 @@ use shatter_dataset::episodes::Episode;
 use shatter_dataset::{Dataset, HouseKind};
 
 use crate::fixtures::{FixtureCache, HouseFixture};
+use crate::pool::WorkPool;
 use crate::table::Table;
 
 /// Shared run parameters every scenario sees.
@@ -44,9 +45,41 @@ pub struct ScenarioCtx<'a> {
     pub params: RunParams,
     /// Deterministic per-scenario seed (`fnv1a(id) ^ base_seed`).
     pub seed: u64,
+    /// Slot budget shared with the runner for intra-scenario parallelism
+    /// (see [`ScenarioCtx::par_map`]).
+    pub pool: WorkPool,
 }
 
 impl ScenarioCtx<'_> {
+    /// Maps `f` over independent work items (capability cells, days,
+    /// sweep points...) on the caller plus however many helper threads
+    /// the run's shared slot budget can lend right now. Results come
+    /// back in submission order and per-item work must derive any
+    /// randomness from [`ScenarioCtx::item_seed`], so the produced table
+    /// is byte-identical across `--threads` settings.
+    pub fn par_map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        self.pool.par_map(items, f)
+    }
+
+    /// Deterministic seed for parallel work item `index`: a splitmix64
+    /// mix of the scenario seed and the index, stable across thread
+    /// counts and sibling items.
+    pub fn item_seed(&self, index: usize) -> u64 {
+        let mut x = self
+            .seed
+            .wrapping_add((index as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x ^= x >> 27;
+        x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^ (x >> 31)
+    }
+
     /// Convenience: `days` from the run parameters.
     pub fn days(&self) -> usize {
         self.params.days
@@ -261,15 +294,20 @@ impl Registry {
     }
 }
 
-/// FNV-1a hash of a scenario id, mixed with the base seed to give each
-/// scenario an independent deterministic RNG stream.
-pub fn scenario_seed(id: &str, base_seed: u64) -> u64 {
+/// FNV-1a hash of a string (also shards the fixture cache's memo map).
+pub(crate) fn fnv1a(s: &str) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in id.bytes() {
+    for b in s.bytes() {
         h ^= u64::from(b);
         h = h.wrapping_mul(0x100_0000_01b3);
     }
-    h ^ base_seed
+    h
+}
+
+/// FNV-1a hash of a scenario id, mixed with the base seed to give each
+/// scenario an independent deterministic RNG stream.
+pub fn scenario_seed(id: &str, base_seed: u64) -> u64 {
+    fnv1a(id) ^ base_seed
 }
 
 #[cfg(test)]
