@@ -52,7 +52,7 @@ fn bench_omt(c: &mut Criterion) {
                 let mut s = Solver::new();
                 let mut obj = LinExpr::constant(0);
                 for i in 0..n {
-                    let x = s.new_real(format!("x{i}"));
+                    let x = s.new_real();
                     s.assert_formula(LinExpr::var(x).ge(0));
                     s.assert_formula(LinExpr::var(x).le((i as i64 % 7) + 1));
                     obj = obj.plus(&LinExpr::var(x));
@@ -70,11 +70,11 @@ fn bench_theory_conflicts(c: &mut Criterion) {
     group.bench_function("chained_choices", |b| {
         b.iter(|| {
             let mut s = Solver::new();
-            let x = s.new_real("x");
+            let x = s.new_real();
             // Ten Boolean choices, each forcing incompatible bounds unless
             // the right polarity is picked.
             for i in 0..10 {
-                let p = s.new_bool(format!("p{i}"));
+                let p = s.new_bool();
                 s.assert_formula(Formula::implies(
                     Formula::Bool(p),
                     LinExpr::var(x).ge(i as i64),

@@ -17,7 +17,7 @@ use shatter_adm::kmeans::KMeansParams;
 use shatter_adm::{indices, metrics, AdmKind, HullAdm};
 use shatter_core::{
     biota::detection_rate, impact, trigger, AttackSchedule, AttackerCapability, RewardTable,
-    Scheduler, SmtScheduler, StrategyRegistry,
+    Scheduler, SmtScheduler, SmtStats, StrategyRegistry,
 };
 use shatter_dataset::attacks::{biota_attack_episodes, AttackerKnowledge, BiotaConfig};
 use shatter_dataset::episodes::{extract_episodes, features_for, Episode};
@@ -698,6 +698,11 @@ pub fn strategies(cx: &ScenarioCtx<'_>) -> Table {
             "divergence_min",
             "stealthy",
             "detect",
+            "theory_conflicts",
+            "sat_decisions",
+            "sat_propagations",
+            "sat_learned",
+            "sat_restarts",
         ],
     );
     let registry = StrategyRegistry::builtin();
@@ -715,7 +720,7 @@ pub fn strategies(cx: &ScenarioCtx<'_>) -> Table {
         }
     }
     let rows = cx.par_map(&cells, |_, &(ei, o)| {
-        entries[ei].scheduler.schedule_occupant_zones_memo(
+        entries[ei].scheduler.schedule_occupant_zones_memo_stats(
             OccupantId(o),
             &table,
             &adm,
@@ -727,8 +732,19 @@ pub fn strategies(cx: &ScenarioCtx<'_>) -> Table {
     });
     for (ei, entry) in entries.iter().enumerate() {
         let zones: Vec<_> = (0..n_occupants)
-            .map(|o| rows[ei * n_occupants + o].clone())
+            .map(|o| rows[ei * n_occupants + o].0.clone())
             .collect();
+        // Solver-effort counters summed over the occupant rows; the
+        // memo replays them on cache hits, so they match a cold run.
+        let mut stats = SmtStats::default();
+        for o in 0..n_occupants {
+            let s = &rows[ei * n_occupants + o].1;
+            stats.theory_conflicts += s.theory_conflicts;
+            stats.sat_decisions += s.sat_decisions;
+            stats.sat_propagations += s.sat_propagations;
+            stats.sat_learned += s.sat_learned;
+            stats.sat_restarts += s.sat_restarts;
+        }
         let sched = AttackSchedule::from_zone_rows(zones, &table);
         let stealthy = sched.validate(&adm, &cap, day).is_ok();
         t.push(vec![
@@ -738,6 +754,11 @@ pub fn strategies(cx: &ScenarioCtx<'_>) -> Table {
             sched.divergence(day).to_string(),
             stealthy.to_string(),
             fmt2(detection_rate(&adm, &sched, day)),
+            stats.theory_conflicts.to_string(),
+            stats.sat_decisions.to_string(),
+            stats.sat_propagations.to_string(),
+            stats.sat_learned.to_string(),
+            stats.sat_restarts.to_string(),
         ]);
     }
     t
@@ -983,6 +1004,10 @@ pub fn fig11(cx: &ScenarioCtx<'_>) -> Table {
             "total_ms",
             "per_window_us",
             "theory_conflicts",
+            "sat_decisions",
+            "sat_propagations",
+            "sat_learned",
+            "sat_restarts",
         ],
     );
     /// One measurement of the span sweep: (a) a time-horizon point on an
@@ -1044,6 +1069,10 @@ pub fn fig11(cx: &ScenarioCtx<'_>) -> Table {
                 elapsed.as_millis().to_string(),
                 format!("{per_window_us:.0}"),
                 stats.theory_conflicts.to_string(),
+                stats.sat_decisions.to_string(),
+                stats.sat_propagations.to_string(),
+                stats.sat_learned.to_string(),
+                stats.sat_restarts.to_string(),
             ]
         }
         Sweep::Zones(n_zones) => {
@@ -1081,6 +1110,10 @@ pub fn fig11(cx: &ScenarioCtx<'_>) -> Table {
                 elapsed.as_millis().to_string(),
                 format!("{per_window_us:.0}"),
                 stats.theory_conflicts.to_string(),
+                stats.sat_decisions.to_string(),
+                stats.sat_propagations.to_string(),
+                stats.sat_learned.to_string(),
+                stats.sat_restarts.to_string(),
             ]
         }
     });

@@ -69,5 +69,5 @@ pub use dp::WindowDpScheduler;
 pub use greedy::GreedyScheduler;
 pub use reward::{plausible_activities, RewardTable};
 pub use schedule::{AttackSchedule, ScheduleError, Scheduler, WindowMemo, WindowSolution};
-pub use smt_sched::SmtScheduler;
+pub use smt_sched::{SmtScheduler, SmtStats};
 pub use strategy::{SharedScheduler, StrategyEntry, StrategyRegistry};

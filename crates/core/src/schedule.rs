@@ -231,14 +231,23 @@ impl AttackSchedule {
 /// One memoizable schedule fragment: a window's zone row (or `None` when
 /// the window had no stealthy solution) together with the solver effort
 /// it cost, so cached hits replay the effort statistics instead of
-/// reporting zero (fig11's conflict column must not depend on which
-/// exhibit solved a window first).
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// reporting zero (the conflict and SAT-counter columns of fig11 and the
+/// strategy shootout must not depend on which exhibit solved a window
+/// first).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct WindowSolution {
     /// The window's committed zone row; `None` marks infeasible.
     pub zones: Option<Vec<ZoneId>>,
     /// Theory conflicts the original solve cost.
     pub theory_conflicts: u64,
+    /// CDCL decisions the original solve cost.
+    pub sat_decisions: u64,
+    /// CDCL unit propagations the original solve cost.
+    pub sat_propagations: u64,
+    /// Learned clauses the CDCL core kept during the original solve.
+    pub sat_learned: u64,
+    /// CDCL restarts during the original solve.
+    pub sat_restarts: u64,
 }
 
 /// Memoizes solved schedule fragments (SMT window solutions) across
@@ -289,6 +298,28 @@ pub trait Scheduler {
     ) -> Vec<ZoneId> {
         let _ = (memo, prefix);
         self.schedule_occupant_zones(o, table, adm, cap, actual)
+    }
+
+    /// Like [`Scheduler::schedule_occupant_zones_memo`], additionally
+    /// reporting solver-effort statistics. Schedulers without a solver
+    /// core (DP, greedy, rules) report zeros — only the SMT scheduler
+    /// overrides this, which is how the SAT-core counters reach the
+    /// exhibit tables.
+    #[allow(clippy::too_many_arguments)]
+    fn schedule_occupant_zones_memo_stats(
+        &self,
+        o: OccupantId,
+        table: &RewardTable,
+        adm: &HullAdm,
+        cap: &AttackerCapability,
+        actual: &DayTrace,
+        memo: &dyn WindowMemo,
+        prefix: &str,
+    ) -> (Vec<ZoneId>, crate::SmtStats) {
+        (
+            self.schedule_occupant_zones_memo(o, table, adm, cap, actual, memo, prefix),
+            crate::SmtStats::default(),
+        )
     }
 
     /// Synthesizes a one-day attack schedule: every occupant's zone row

@@ -1,9 +1,10 @@
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use shatter_adm::{HullAdm, StayProfile};
 use shatter_dataset::DayTrace;
 use shatter_smarthome::{Minute, OccupantId, ZoneId, MINUTES_PER_DAY};
-use shatter_smt::ast::{BoolVar, Formula, LinExpr};
+use shatter_smt::ast::{BoolVar, Formula, LinExpr, RealVar};
 use shatter_smt::{Rat, Solver};
 
 use crate::schedule::{Scheduler, WindowMemo, WindowSolution};
@@ -29,12 +30,33 @@ use crate::{AttackerCapability, RewardTable};
 /// Windows are solved left to right and merged, exactly like
 /// [`crate::WindowDpScheduler`]; on an infeasible window (over-restricted
 /// capability) the scheduler mirrors actual behaviour for that window.
+///
+/// # Incremental solving
+///
+/// The solver is carried across a day's windows through a
+/// [`WindowEncoder`]: the window-shape *template* (the `x`/`y` variables
+/// and the exactly-one rows, which only depend on the window span and
+/// zone count) is encoded once per span, and each window pushes only its
+/// specific reward/boundary/capability constraints onto the assertion
+/// trail, maximizes, and pops. The OMT binary search itself runs inside
+/// that one solver — probes are guarded by fresh assumption literals,
+/// clauses learned by one probe prune the next, and the simplex
+/// warm-starts from the previous feasible basis. Because
+/// [`Solver::pop`] restores the solver bit-for-bit (heuristics
+/// included), the committed schedule is byte-identical to solving every
+/// window with a fresh solver — the `reuse_solver: false` reference path
+/// the equivalence property test runs.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SmtScheduler {
     /// Optimization window `I` in slots (paper: 10).
     pub horizon: usize,
     /// Objective tolerance in micro-dollars for the OMT binary search.
     pub tol_microusd: f64,
+    /// Carry one solver (template clauses, learned-clause reuse inside a
+    /// window, warm simplex) across the day's windows. `false` rebuilds
+    /// a fresh solver per window — the slow reference path kept for the
+    /// incremental-vs-fresh equivalence tests.
+    pub reuse_solver: bool,
 }
 
 impl Default for SmtScheduler {
@@ -42,11 +64,16 @@ impl Default for SmtScheduler {
         SmtScheduler {
             horizon: 10,
             tol_microusd: 1.0,
+            reuse_solver: true,
         }
     }
 }
 
 /// Statistics of one full-schedule synthesis, for the scalability study.
+/// The SAT-core counters mirror [`shatter_smt::SatStats`]; like
+/// `theory_conflicts` they are replayed from the [`WindowMemo`] fragment
+/// on cache hits, so exhibit tables do not depend on which scenario
+/// solved a window first.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct SmtStats {
     /// Number of windows solved.
@@ -55,6 +82,218 @@ pub struct SmtStats {
     pub fallbacks: u64,
     /// Total theory conflicts across all solver invocations.
     pub theory_conflicts: u64,
+    /// CDCL branching decisions.
+    pub sat_decisions: u64,
+    /// CDCL unit propagations.
+    pub sat_propagations: u64,
+    /// Learned clauses kept by the CDCL core.
+    pub sat_learned: u64,
+    /// CDCL restarts.
+    pub sat_restarts: u64,
+}
+
+impl SmtStats {
+    fn absorb_window(&mut self, w: &WindowSolution) {
+        self.theory_conflicts += w.theory_conflicts;
+        self.sat_decisions += w.sat_decisions;
+        self.sat_propagations += w.sat_propagations;
+        self.sat_learned += w.sat_learned;
+        self.sat_restarts += w.sat_restarts;
+    }
+}
+
+/// Reusable per-span window encoder: owns the incremental [`Solver`]
+/// carried across windows, with the span-shaped template — slot×zone
+/// choice Booleans, the Eq. 18 exactly-one rows, and the per-slot reward
+/// reals — asserted once at the base level. [`WindowEncoder::solve_window`]
+/// pushes the window-specific constraints, runs the OMT search, and pops
+/// back to the template.
+struct WindowEncoder {
+    solver: Solver,
+    /// `x[t][z]`: choice Booleans, window-relative slot index.
+    x: Vec<Vec<BoolVar>>,
+    /// `y[t]`: per-slot reward reals.
+    y: Vec<RealVar>,
+}
+
+/// Everything a single window solve needs besides the encoder itself —
+/// bundled so the memoized and direct paths share one call shape.
+struct WindowProblem<'a> {
+    o: OccupantId,
+    table: &'a RewardTable,
+    cap: &'a AttackerCapability,
+    act_zone: &'a [ZoneId],
+    /// Window start slot (absolute).
+    w: usize,
+    /// Window length; equals the encoder's template span.
+    horizon: usize,
+    boundary: Option<(ZoneId, u32)>,
+    day_end: usize,
+    tol_microusd: f64,
+    in_range: &'a dyn Fn(ZoneId, u32, u32) -> bool,
+    can_extend: &'a dyn Fn(ZoneId, u32, u32) -> bool,
+    has_future: &'a dyn Fn(ZoneId, usize) -> bool,
+}
+
+impl WindowEncoder {
+    fn new(horizon: usize, n_zones: usize) -> WindowEncoder {
+        let mut solver = Solver::new();
+        let x: Vec<Vec<BoolVar>> = (0..horizon)
+            .map(|_| (0..n_zones).map(|_| solver.new_bool()).collect())
+            .collect();
+        // Eq. 18: exactly one zone per slot — the template rows shared by
+        // every window of this span.
+        for row in &x {
+            solver.assert_formula(Formula::exactly_one(row));
+        }
+        let y: Vec<RealVar> = (0..horizon).map(|_| solver.new_real()).collect();
+        WindowEncoder { solver, x, y }
+    }
+
+    /// Solves one window: push the window-specific constraints, maximize
+    /// the reward objective, extract the zone row, pop back to the
+    /// template. Solver effort (theory conflicts + SAT counters) goes
+    /// into the returned [`WindowSolution`] so memo hits can replay it.
+    fn solve_window(&mut self, p: &WindowProblem<'_>) -> WindowSolution {
+        let n_zones = p.table.n_zones();
+        debug_assert_eq!(self.x.len(), p.horizon, "encoder span mismatch");
+        let conflicts_before = self.solver.theory_conflicts;
+        let sat_before = self.solver.sat_stats();
+        self.solver.push();
+
+        let x = &self.x;
+        let w = p.w;
+        let lit = |t: usize, z: usize| Formula::Bool(x[t - w][z]);
+        let nlit = |t: usize, z: usize| Formula::not(Formula::Bool(x[t - w][z]));
+        let micro = |r: f64| -> i64 { (r * 1e6).round() as i64 };
+
+        // Capability pruning (template rows already say "exactly one").
+        for t in w..w + p.horizon {
+            for z in 0..n_zones {
+                if !p
+                    .cap
+                    .can_relocate(p.o, p.act_zone[t], ZoneId(z), t as Minute)
+                {
+                    self.solver.assert_formula(nlit(t, z));
+                }
+            }
+        }
+
+        // Boundary stay constraints.
+        if let Some((z0, a0)) = p.boundary {
+            let z0i = z0.index();
+            for e in w..w + p.horizon {
+                // Run continues through [w, e) then leaves at e.
+                if !(p.in_range)(z0, a0, e as u32 - a0) {
+                    let mut clause: Vec<Formula> = (w..e).map(|t| nlit(t, z0i)).collect();
+                    clause.push(lit(e, z0i));
+                    self.solver.assert_formula(Formula::or(clause));
+                }
+            }
+            // Run continues to the window end.
+            let end_len = (w + p.horizon) as u32 - a0;
+            let ok = if w + p.horizon >= p.day_end {
+                (p.in_range)(z0, a0, end_len)
+            } else {
+                (p.can_extend)(z0, a0, end_len)
+            };
+            if !ok {
+                let clause: Vec<Formula> = (w..w + p.horizon).map(|t| nlit(t, z0i)).collect();
+                self.solver.assert_formula(Formula::or(clause));
+            }
+        }
+
+        // Interior runs: arrival at s in zone z.
+        for s in w..w + p.horizon {
+            for z in 0..n_zones {
+                let zid = ZoneId(z);
+                // Arrival condition A(s, z).
+                let arrival_cond = |_: ()| -> Vec<Formula> {
+                    let mut c = vec![lit(s, z)];
+                    if s > w {
+                        c.push(nlit(s - 1, z));
+                    } else if let Some((z0, _)) = p.boundary {
+                        if z0.index() == z {
+                            // Boundary zone at s == w is a continuation,
+                            // not an arrival.
+                            c.push(Formula::False);
+                        }
+                    }
+                    c
+                };
+                // Arrival viability.
+                if !(p.has_future)(zid, s) {
+                    let c = arrival_cond(());
+                    self.solver.assert_formula(Formula::not(Formula::and(c)));
+                    continue;
+                }
+                // Exits at e.
+                for e in (s + 1)..(w + p.horizon) {
+                    if !(p.in_range)(zid, s as u32, (e - s) as u32) {
+                        let mut c = arrival_cond(());
+                        c.extend(((s + 1)..e).map(|t| lit(t, z)));
+                        c.push(nlit(e, z));
+                        self.solver.assert_formula(Formula::not(Formula::and(c)));
+                    }
+                }
+                // Run to the window end.
+                let end_len = (w + p.horizon - s) as u32;
+                let ok = if w + p.horizon >= p.day_end {
+                    (p.in_range)(zid, s as u32, end_len)
+                } else {
+                    (p.can_extend)(zid, s as u32, end_len)
+                };
+                if !ok {
+                    let mut c = arrival_cond(());
+                    c.extend(((s + 1)..(w + p.horizon)).map(|t| lit(t, z)));
+                    self.solver.assert_formula(Formula::not(Formula::and(c)));
+                }
+            }
+        }
+
+        // Objective: y[t] = reward of the chosen zone, in micro-dollars.
+        let mut objective = LinExpr::constant(0);
+        let mut hi = 1.0f64;
+        for t in w..w + p.horizon {
+            let y = self.y[t - w];
+            let mut best = 0i64;
+            for z in 0..n_zones {
+                let r = micro(p.table.rate(p.o, ZoneId(z), t as Minute));
+                best = best.max(r);
+                self.solver.assert_formula(Formula::implies(
+                    lit(t, z),
+                    LinExpr::var(y).eq(Rat::int(r as i128)),
+                ));
+            }
+            hi += best as f64;
+            objective = objective.plus(&LinExpr::var(y));
+        }
+
+        let zones = self
+            .solver
+            .maximize(&objective, 0.0, hi, p.tol_microusd)
+            .map(|(_, model)| {
+                let mut out = Vec::with_capacity(p.horizon);
+                for t in w..w + p.horizon {
+                    let z = (0..n_zones)
+                        .find(|&z| model.bool(x[t - w][z]))
+                        .expect("exactly-one guarantees a zone");
+                    out.push(ZoneId(z));
+                }
+                out
+            });
+        self.solver.pop();
+
+        let sat = self.solver.sat_stats().since(sat_before);
+        WindowSolution {
+            zones,
+            theory_conflicts: self.solver.theory_conflicts - conflicts_before,
+            sat_decisions: sat.decisions,
+            sat_propagations: sat.propagations,
+            sat_learned: sat.learned,
+            sat_restarts: sat.restarts,
+        }
+    }
 }
 
 impl SmtScheduler {
@@ -79,6 +318,11 @@ impl SmtScheduler {
     /// objective tolerance; `prefix` must identify everything else the
     /// solver sees — the day trace, the reward table contents and the
     /// ADM — or unrelated solves will alias.
+    ///
+    /// The keys stay valid under solver reuse because every window solve
+    /// starts from the popped template state: a window's solution is a
+    /// function of the key inputs alone, never of which windows happened
+    /// to be solved (or replayed from cache) before it.
     #[allow(clippy::too_many_arguments)]
     pub fn schedule_occupant_memo(
         &self,
@@ -123,18 +367,44 @@ impl SmtScheduler {
                 .is_some_and(|m| (len as f64) <= m + 1e-9)
         };
         let has_future = |z: ZoneId, t: usize| -> bool { profiles[z.index()].has_future(t) };
-        let micro = |r: f64| -> i64 { (r * 1e6).round() as i64 };
 
+        let n_zones = table.n_zones();
         let mut stats = SmtStats::default();
         let mut zones: Vec<ZoneId> = Vec::with_capacity(until);
         // Boundary stay carried between windows: None before the first slot.
         let mut boundary: Option<(ZoneId, u32)> = None;
+        // One encoder (and thus one carried solver) per window span; a
+        // day at horizon `I` needs at most two — the interior span and
+        // the final partial window.
+        let mut encoders: BTreeMap<usize, WindowEncoder> = BTreeMap::new();
 
         let mut w = 0usize;
         while w < until {
             let horizon = self.horizon.min(until - w);
             stats.windows += 1;
-            let solved = match memo {
+            let mut fresh_store = None;
+            let encoder: &mut WindowEncoder = if self.reuse_solver {
+                encoders
+                    .entry(horizon)
+                    .or_insert_with(|| WindowEncoder::new(horizon, n_zones))
+            } else {
+                fresh_store.insert(WindowEncoder::new(horizon, n_zones))
+            };
+            let problem = WindowProblem {
+                o,
+                table,
+                cap,
+                act_zone: &act_zone,
+                w,
+                horizon,
+                boundary,
+                day_end: until,
+                tol_microusd: self.tol_microusd,
+                in_range: &in_range,
+                can_extend: &can_extend,
+                has_future: &has_future,
+            };
+            let solution = match memo {
                 Some((m, prefix)) => {
                     // `until` only reaches the solver through the
                     // final-window distinction, so the flag (not the span)
@@ -155,51 +425,15 @@ impl SmtScheduler {
                             self.tol_microusd,
                         ),
                     };
-                    // Solve into fresh stats so the conflict count is
-                    // stored with the fragment: a cache hit replays the
-                    // original effort instead of reporting zero.
-                    let solution = m.window(&key, &mut || {
-                        let mut fresh = SmtStats::default();
-                        let zones = self.solve_window(
-                            o,
-                            table,
-                            cap,
-                            &act_zone,
-                            w,
-                            horizon,
-                            boundary,
-                            until,
-                            &in_range,
-                            &can_extend,
-                            &has_future,
-                            &micro,
-                            &mut fresh,
-                        );
-                        WindowSolution {
-                            zones,
-                            theory_conflicts: fresh.theory_conflicts,
-                        }
-                    });
-                    stats.theory_conflicts += solution.theory_conflicts;
-                    solution.zones
+                    // The fragment stores the solver effort alongside the
+                    // zones: a cache hit replays the original counters
+                    // instead of reporting zero.
+                    m.window(&key, &mut || encoder.solve_window(&problem))
                 }
-                None => self.solve_window(
-                    o,
-                    table,
-                    cap,
-                    &act_zone,
-                    w,
-                    horizon,
-                    boundary,
-                    until,
-                    &in_range,
-                    &can_extend,
-                    &has_future,
-                    &micro,
-                    &mut stats,
-                ),
+                None => encoder.solve_window(&problem),
             };
-            match solved {
+            stats.absorb_window(&solution);
+            match solution.zones {
                 Some(window_zones) => {
                     zones.extend_from_slice(&window_zones);
                 }
@@ -237,149 +471,6 @@ impl SmtScheduler {
         }
         (zones, stats)
     }
-
-    #[allow(clippy::too_many_arguments)]
-    fn solve_window(
-        &self,
-        o: OccupantId,
-        table: &RewardTable,
-        cap: &AttackerCapability,
-        act_zone: &[ZoneId],
-        w: usize,
-        horizon: usize,
-        boundary: Option<(ZoneId, u32)>,
-        day_end: usize,
-        in_range: &dyn Fn(ZoneId, u32, u32) -> bool,
-        can_extend: &dyn Fn(ZoneId, u32, u32) -> bool,
-        has_future: &dyn Fn(ZoneId, usize) -> bool,
-        micro: &dyn Fn(f64) -> i64,
-        stats: &mut SmtStats,
-    ) -> Option<Vec<ZoneId>> {
-        let n_zones = table.n_zones();
-        let mut solver = Solver::new();
-        // x[t - w][z]
-        let x: Vec<Vec<BoolVar>> = (0..horizon)
-            .map(|t| {
-                (0..n_zones)
-                    .map(|z| solver.new_bool(format!("x_{t}_{z}")))
-                    .collect()
-            })
-            .collect();
-        let lit = |t: usize, z: usize| Formula::Bool(x[t - w][z]);
-        let nlit = |t: usize, z: usize| Formula::not(Formula::Bool(x[t - w][z]));
-
-        // Eq. 18: exactly one zone per slot; capability pruning.
-        for t in w..w + horizon {
-            solver.assert_formula(Formula::exactly_one(&x[t - w]));
-            for z in 0..n_zones {
-                if !cap.can_relocate(o, act_zone[t], ZoneId(z), t as Minute) {
-                    solver.assert_formula(nlit(t, z));
-                }
-            }
-        }
-
-        // Boundary stay constraints.
-        if let Some((z0, a0)) = boundary {
-            let z0i = z0.index();
-            for e in w..w + horizon {
-                // Run continues through [w, e) then leaves at e.
-                if !in_range(z0, a0, e as u32 - a0) {
-                    let mut clause: Vec<Formula> = (w..e).map(|t| nlit(t, z0i)).collect();
-                    clause.push(lit(e, z0i));
-                    solver.assert_formula(Formula::or(clause));
-                }
-            }
-            // Run continues to the window end.
-            let end_len = (w + horizon) as u32 - a0;
-            let ok = if w + horizon >= day_end {
-                in_range(z0, a0, end_len)
-            } else {
-                can_extend(z0, a0, end_len)
-            };
-            if !ok {
-                let clause: Vec<Formula> = (w..w + horizon).map(|t| nlit(t, z0i)).collect();
-                solver.assert_formula(Formula::or(clause));
-            }
-        }
-
-        // Interior runs: arrival at s in zone z.
-        for s in w..w + horizon {
-            for z in 0..n_zones {
-                let zid = ZoneId(z);
-                // Arrival condition A(s, z).
-                let arrival_cond = |_: ()| -> Vec<Formula> {
-                    let mut c = vec![lit(s, z)];
-                    if s > w {
-                        c.push(nlit(s - 1, z));
-                    } else if let Some((z0, _)) = boundary {
-                        if z0.index() == z {
-                            // Boundary zone at s == w is a continuation,
-                            // not an arrival.
-                            c.push(Formula::False);
-                        }
-                    }
-                    c
-                };
-                // Arrival viability.
-                if !has_future(zid, s) {
-                    let c = arrival_cond(());
-                    solver.assert_formula(Formula::not(Formula::and(c)));
-                    continue;
-                }
-                // Exits at e.
-                for e in (s + 1)..(w + horizon) {
-                    if !in_range(zid, s as u32, (e - s) as u32) {
-                        let mut c = arrival_cond(());
-                        c.extend(((s + 1)..e).map(|t| lit(t, z)));
-                        c.push(nlit(e, z));
-                        solver.assert_formula(Formula::not(Formula::and(c)));
-                    }
-                }
-                // Run to the window end.
-                let end_len = (w + horizon - s) as u32;
-                let ok = if w + horizon >= day_end {
-                    in_range(zid, s as u32, end_len)
-                } else {
-                    can_extend(zid, s as u32, end_len)
-                };
-                if !ok {
-                    let mut c = arrival_cond(());
-                    c.extend(((s + 1)..(w + horizon)).map(|t| lit(t, z)));
-                    solver.assert_formula(Formula::not(Formula::and(c)));
-                }
-            }
-        }
-
-        // Objective: y[t] = reward of the chosen zone, in micro-dollars.
-        let mut objective = LinExpr::constant(0);
-        let mut hi = 1.0f64;
-        for t in w..w + horizon {
-            let y = solver.new_real(format!("y_{t}"));
-            let mut best = 0i64;
-            for z in 0..n_zones {
-                let r = micro(table.rate(o, ZoneId(z), t as Minute));
-                best = best.max(r);
-                solver.assert_formula(Formula::implies(
-                    lit(t, z),
-                    LinExpr::var(y).eq(Rat::int(r as i128)),
-                ));
-            }
-            hi += best as f64;
-            objective = objective.plus(&LinExpr::var(y));
-        }
-
-        let (_, model) = solver.maximize(&objective, 0.0, hi, self.tol_microusd)?;
-        stats.theory_conflicts += solver.theory_conflicts;
-
-        let mut out = Vec::with_capacity(horizon);
-        for t in w..w + horizon {
-            let z = (0..n_zones)
-                .find(|&z| model.bool(x[t - w][z]))
-                .expect("exactly-one guarantees a zone");
-            out.push(ZoneId(z));
-        }
-        Some(out)
-    }
 }
 
 impl Scheduler for SmtScheduler {
@@ -415,6 +506,27 @@ impl Scheduler for SmtScheduler {
             Some((memo, prefix)),
         )
         .0
+    }
+
+    fn schedule_occupant_zones_memo_stats(
+        &self,
+        o: OccupantId,
+        table: &RewardTable,
+        adm: &HullAdm,
+        cap: &AttackerCapability,
+        actual: &DayTrace,
+        memo: &dyn WindowMemo,
+        prefix: &str,
+    ) -> (Vec<ZoneId>, SmtStats) {
+        self.schedule_occupant_memo(
+            o,
+            table,
+            adm,
+            cap,
+            actual,
+            MINUTES_PER_DAY,
+            Some((memo, prefix)),
+        )
     }
 
     fn name(&self) -> &'static str {
@@ -454,6 +566,8 @@ mod tests {
             SmtScheduler::default().schedule_occupant(OccupantId(0), &table, &adm, &cap, day, 120);
         assert_eq!(row.len(), 120);
         assert_eq!(stats.windows, 12);
+        // The solver reports real effort.
+        assert!(stats.sat_propagations > 0);
         // Every completed run in the prefix must be ADM-consistent or
         // mirror actual behaviour.
         let mut s = 0usize;

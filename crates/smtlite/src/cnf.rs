@@ -21,6 +21,16 @@ fn atom_key(a: &Atom) -> AtomKey {
     (coeffs, a.expr.constant, op)
 }
 
+/// Undo record for [`Encoder::pop`]: registry entries added since the
+/// matching push (the SAT-level state is checkpointed by `SatSolver`'s
+/// own frame).
+#[derive(Debug, Default, Clone)]
+struct EncFrame {
+    n_atoms: usize,
+    added_bools: Vec<usize>,
+    lit_true: Option<Lit>,
+}
+
 /// Incremental Tseitin encoder: owns the SAT solver and the atom registry.
 #[derive(Debug, Default, Clone)]
 pub struct Encoder {
@@ -28,18 +38,46 @@ pub struct Encoder {
     pub sat: SatSolver,
     /// SAT variable per registered theory atom (Le/Lt only; Eq is split).
     atom_vars: HashMap<AtomKey, usize>,
-    /// Registered atoms, indexed by their SAT variable.
-    atoms_by_var: HashMap<usize, Atom>,
+    /// Registered atoms with their SAT variables, in registration order —
+    /// a `Vec` so the theory-bound gathering in the DPLL(T) loop iterates
+    /// deterministically (HashMap order would leak into simplex column
+    /// allocation and conflict explanations, i.e. into the models).
+    atoms: Vec<(usize, Atom)>,
     /// SAT variable per user-facing Boolean variable.
     bool_vars: HashMap<usize, usize>,
     /// Cached constant-true literal.
     lit_true: Option<Lit>,
+    /// Assertion-trail checkpoints mirroring `sat`'s frames.
+    frames: Vec<EncFrame>,
 }
 
 impl Encoder {
     /// Creates an empty encoder.
     pub(crate) fn new() -> Encoder {
         Encoder::default()
+    }
+
+    /// Checkpoints the registry and the underlying SAT solver.
+    pub(crate) fn push(&mut self) {
+        self.sat.push();
+        self.frames.push(EncFrame {
+            n_atoms: self.atoms.len(),
+            added_bools: Vec::new(),
+            lit_true: self.lit_true,
+        });
+    }
+
+    /// Restores the registry and SAT solver to the matching push.
+    pub(crate) fn pop(&mut self) {
+        let f = self.frames.pop().expect("pop without matching push");
+        for (_, a) in self.atoms.drain(f.n_atoms..) {
+            self.atom_vars.remove(&atom_key(&a));
+        }
+        for b in f.added_bools {
+            self.bool_vars.remove(&b);
+        }
+        self.lit_true = f.lit_true;
+        self.sat.pop();
     }
 
     /// The literal fixed to true.
@@ -61,6 +99,9 @@ impl Encoder {
         }
         let v = self.sat.new_var();
         self.bool_vars.insert(b.index(), v);
+        if let Some(f) = self.frames.last_mut() {
+            f.added_bools.push(b.index());
+        }
         v
     }
 
@@ -73,13 +114,14 @@ impl Encoder {
         }
         let v = self.sat.new_var();
         self.atom_vars.insert(key, v);
-        self.atoms_by_var.insert(v, a.clone());
+        self.atoms.push((v, a.clone()));
         v
     }
 
-    /// All registered atoms with their SAT variables.
+    /// All registered atoms with their SAT variables, in registration
+    /// order (deterministic).
     pub fn registered_atoms(&self) -> impl Iterator<Item = (usize, &Atom)> {
-        self.atoms_by_var.iter().map(|(&v, a)| (v, a))
+        self.atoms.iter().map(|(v, a)| (*v, a))
     }
 
     /// The SAT value of a user Boolean variable in a model, if allocated.

@@ -11,13 +11,17 @@
 //!
 //! - [`ast`]: formula AST over Boolean variables and linear-rational atoms,
 //! - [`Rat`]: exact `i128` rational arithmetic (no float drift in pivots),
-//! - [`sat`]: a CDCL SAT solver (two-watched-literals, 1UIP learning,
-//!   VSIDS-style activity, Luby restarts),
+//! - [`sat`]: an *incremental* CDCL SAT solver (two-watched-literals,
+//!   1UIP learning, VSIDS-style activity, Luby restarts) with
+//!   assumption-based solving, retained learned clauses and an
+//!   assertion-trail `push`/`pop`,
 //! - [`simplex`]: a Dutertre–de Moura general simplex for bound
-//!   consistency of linear atoms, with infeasibility explanations,
+//!   consistency of linear atoms, with infeasibility explanations and a
+//!   persistent warm-started tableau,
 //! - [`Solver`]: the lazy DPLL(T) loop tying them together, plus
 //!   [`Solver::maximize`] — objective maximization by iterative
-//!   strengthening (the OMT loop the attack scheduler calls).
+//!   strengthening run entirely inside one solver via guard assumptions
+//!   (the OMT loop the attack scheduler calls).
 //!
 //! # Examples
 //!
@@ -25,8 +29,8 @@
 //! use shatter_smt::{ast::LinExpr, Solver};
 //!
 //! let mut solver = Solver::new();
-//! let x = solver.new_real("x");
-//! let y = solver.new_real("y");
+//! let x = solver.new_real();
+//! let y = solver.new_real();
 //! // x + y <= 4, x >= 1, y >= 2
 //! solver.assert_formula(LinExpr::var(x).plus(&LinExpr::var(y)).le(4));
 //! solver.assert_formula(LinExpr::var(x).ge(1));
@@ -47,4 +51,5 @@ pub mod simplex;
 mod solver;
 
 pub use rational::Rat;
+pub use sat::SatStats;
 pub use solver::{Model, SatResult, Solver};

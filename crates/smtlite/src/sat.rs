@@ -2,6 +2,22 @@
 //! learning, VSIDS-style variable activity, phase saving and Luby
 //! restarts. MiniSat-shaped, sized for the few-thousand-variable encodings
 //! the SHATTER attack windows produce.
+//!
+//! The solver is *incremental* along three axes the DPLL(T)/OMT drivers
+//! exploit:
+//!
+//! - clauses may be added between [`SatSolver::solve`] calls, and learned
+//!   clauses are retained across calls (the OMT binary search re-solves
+//!   the same skeleton ~20 times per window);
+//! - [`SatSolver::solve_under`] decides the clause set under a list of
+//!   *assumption* literals without asserting them — the failed subset is
+//!   recoverable via [`SatSolver::last_conflict_core`];
+//! - [`SatSolver::push`]/[`SatSolver::pop`] checkpoint the assertion
+//!   trail: `pop` removes every clause and variable added since the
+//!   matching `push` and restores the heuristic state (activity, phase,
+//!   bump increment) byte-for-byte, so a popped solver replays exactly
+//!   like a fresh one — the property the scheduler's window memoization
+//!   and the incremental-vs-fresh equivalence tests rely on.
 
 /// A literal: variable index with a sign.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -48,7 +64,53 @@ pub enum SatVerdict {
     Unsat,
 }
 
+/// Cumulative search-effort counters, never reset by [`SatSolver::pop`]
+/// (they measure work done, not state held). Surfaced through
+/// `SmtStats`/`WindowMemo` into the scalability exhibits.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SatStats {
+    /// Branching decisions taken (assumption enqueues excluded).
+    pub decisions: u64,
+    /// Literals dequeued by unit propagation.
+    pub propagations: u64,
+    /// Learned clauses stored (unit learnts assert directly and are not
+    /// counted; stored learnts stay until the enclosing `pop`).
+    pub learned: u64,
+    /// Luby restarts performed.
+    pub restarts: u64,
+}
+
+impl SatStats {
+    /// Component-wise difference against an earlier snapshot.
+    #[must_use]
+    pub fn since(self, earlier: SatStats) -> SatStats {
+        SatStats {
+            decisions: self.decisions - earlier.decisions,
+            propagations: self.propagations - earlier.propagations,
+            learned: self.learned - earlier.learned,
+            restarts: self.restarts - earlier.restarts,
+        }
+    }
+}
+
 const UNASSIGNED: i8 = -1;
+
+/// Checkpoint recorded by [`SatSolver::push`]; `pop` restores it exactly.
+#[derive(Debug, Clone)]
+struct SatFrame {
+    n_vars: usize,
+    /// Full snapshot of the clause database, not just its length:
+    /// propagation permutes literal order *inside* surviving clauses
+    /// (watch maintenance swaps positions 0/1/k), and the replay
+    /// contract needs that order — it drives watch traversal — restored
+    /// too.
+    clauses: Vec<Vec<Lit>>,
+    trail_len: usize,
+    activity: Vec<f64>,
+    phase: Vec<bool>,
+    var_inc: f64,
+    unsat: bool,
+}
 
 /// The CDCL solver. Clauses may be added between [`SatSolver::solve`]
 /// calls (incremental use by the DPLL(T) loop).
@@ -77,6 +139,16 @@ pub struct SatSolver {
     var_inc: f64,
     /// Top-level (level-0) conflict detected while adding clauses.
     unsat: bool,
+    /// Stamped "seen" buffer reused by conflict analysis (no per-conflict
+    /// allocation on the OMT hot path).
+    seen: Vec<u32>,
+    seen_stamp: u32,
+    /// Failed assumption subset of the last `solve_under` Unsat verdict.
+    last_core: Vec<Lit>,
+    /// Assertion-trail checkpoints.
+    frames: Vec<SatFrame>,
+    /// Cumulative effort counters.
+    pub stats: SatStats,
 }
 
 impl SatSolver {
@@ -102,6 +174,7 @@ impl SatSolver {
         self.reason.push(None);
         self.level.push(0);
         self.activity.push(0.0);
+        self.seen.push(0);
         self.watches.push(Vec::new());
         self.watches.push(Vec::new());
         v
@@ -166,6 +239,69 @@ impl SatSolver {
         }
     }
 
+    /// Checkpoints the clause set, variable count, level-0 trail and the
+    /// heuristic state. The matching [`SatSolver::pop`] restores all of
+    /// it exactly — including VSIDS activity and saved phases — so search
+    /// behaviour after a pop is indistinguishable from a solver that
+    /// never saw the popped clauses.
+    pub fn push(&mut self) {
+        self.backtrack_to(0);
+        self.frames.push(SatFrame {
+            n_vars: self.n_vars,
+            clauses: self.clauses.clone(),
+            trail_len: self.trail.len(),
+            activity: self.activity.clone(),
+            phase: self.phase.clone(),
+            var_inc: self.var_inc,
+            unsat: self.unsat,
+        });
+    }
+
+    /// Undoes everything since the matching [`SatSolver::push`]: clauses
+    /// (original *and* learned — learnts may resolve on popped clauses,
+    /// so keeping any would be unsound), variables, level-0 facts, and
+    /// the heuristic state. Effort counters in [`SatSolver::stats`] are
+    /// deliberately kept.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no matching `push` exists.
+    pub fn pop(&mut self) {
+        let f = self.frames.pop().expect("pop without matching push");
+        self.backtrack_to(0);
+        while self.trail.len() > f.trail_len {
+            let l = self.trail.pop().expect("non-empty");
+            self.assign[l.var()] = UNASSIGNED;
+            self.reason[l.var()] = None;
+        }
+        self.qhead = self.trail.len();
+        self.clauses = f.clauses;
+        self.n_vars = f.n_vars;
+        self.assign.truncate(f.n_vars);
+        self.reason.truncate(f.n_vars);
+        self.level.truncate(f.n_vars);
+        self.seen.truncate(f.n_vars);
+        self.activity = f.activity;
+        self.phase = f.phase;
+        self.var_inc = f.var_inc;
+        self.unsat = f.unsat;
+        // Rebuild the watch lists over the surviving clauses: stored
+        // clauses always watch positions 0 and 1.
+        self.watches.truncate(2 * f.n_vars);
+        for w in &mut self.watches {
+            w.clear();
+        }
+        for (i, c) in self.clauses.iter().enumerate() {
+            self.watches[c[0].index()].push(i);
+            self.watches[c[1].index()].push(i);
+        }
+    }
+
+    /// Current push depth.
+    pub fn depth(&self) -> usize {
+        self.frames.len()
+    }
+
     fn enqueue(&mut self, l: Lit, reason: Option<usize>) -> bool {
         match self.value(l) {
             0 => false,
@@ -187,6 +323,7 @@ impl SatSolver {
         while self.qhead < self.trail.len() {
             let p = self.trail[self.qhead];
             self.qhead += 1;
+            self.stats.propagations += 1;
             let false_lit = p.negated();
             let mut i = 0;
             // Take the watch list to sidestep aliasing; rebuild as we go.
@@ -194,7 +331,7 @@ impl SatSolver {
             while i < watch.len() {
                 let ci = watch[i];
                 // Ensure false_lit is at position 1.
-                let (w0, w1) = (self.clauses[ci][0], self.clauses[ci][1]);
+                let w0 = self.clauses[ci][0];
                 if w0 == false_lit {
                     self.clauses[ci].swap(0, 1);
                 }
@@ -226,7 +363,6 @@ impl SatSolver {
                     return Some(ci);
                 }
                 i += 1;
-                let _ = w1;
             }
             self.watches[false_lit.index()] = watch;
         }
@@ -247,11 +383,23 @@ impl SatSolver {
         self.var_inc /= 0.95;
     }
 
+    fn next_stamp(&mut self) -> u32 {
+        self.seen_stamp = self.seen_stamp.wrapping_add(1);
+        if self.seen_stamp == 0 {
+            // Wrapped: invalidate all stale stamps once.
+            for s in &mut self.seen {
+                *s = 0;
+            }
+            self.seen_stamp = 1;
+        }
+        self.seen_stamp
+    }
+
     /// First-UIP conflict analysis. Returns (learnt clause, backjump level).
     fn analyze(&mut self, mut conflict: usize) -> (Vec<Lit>, u32) {
         let cur_level = self.trail_lim.len() as u32;
         let mut learnt: Vec<Lit> = Vec::new();
-        let mut seen = vec![false; self.n_vars];
+        let stamp = self.next_stamp();
         let mut counter = 0usize;
         let mut trail_idx = self.trail.len();
         let mut asserting: Option<Lit> = None;
@@ -265,8 +413,8 @@ impl SatSolver {
                     continue;
                 }
                 let v = q.var();
-                if !seen[v] && self.level[v] > 0 {
-                    seen[v] = true;
+                if self.seen[v] != stamp && self.level[v] > 0 {
+                    self.seen[v] = stamp;
                     self.bump(v);
                     if self.level[v] >= cur_level {
                         counter += 1;
@@ -278,12 +426,12 @@ impl SatSolver {
             // Find the next seen literal on the trail.
             loop {
                 trail_idx -= 1;
-                if seen[self.trail[trail_idx].var()] {
+                if self.seen[self.trail[trail_idx].var()] == stamp {
                     break;
                 }
             }
             let p = self.trail[trail_idx];
-            seen[p.var()] = false;
+            self.seen[p.var()] = 0;
             counter -= 1;
             if counter == 0 {
                 asserting = Some(p);
@@ -311,6 +459,52 @@ impl SatSolver {
         (learnt, back_level)
     }
 
+    /// Computes the subset of assumptions responsible for forcing
+    /// `failed` false, by walking reasons down the trail. Result (the
+    /// failing assumption literals, `failed` included) lands in
+    /// `last_core`.
+    fn analyze_final(&mut self, failed: Lit) {
+        self.last_core.clear();
+        self.last_core.push(failed);
+        if self.trail_lim.is_empty() {
+            // ¬failed is a level-0 fact: the core is `failed` alone.
+            return;
+        }
+        let stamp = self.next_stamp();
+        self.seen[failed.var()] = stamp;
+        for i in (self.trail_lim[0]..self.trail.len()).rev() {
+            let l = self.trail[i];
+            let v = l.var();
+            if self.seen[v] != stamp {
+                continue;
+            }
+            match self.reason[v] {
+                // A decision above level 0 during the assumption phase is
+                // an assumption — including `¬failed` itself when the
+                // opposite polarity was assumed earlier.
+                None => {
+                    self.last_core.push(l);
+                }
+                Some(cr) => {
+                    for idx in 0..self.clauses[cr].len() {
+                        let q = self.clauses[cr][idx];
+                        if q.var() != v && self.level[q.var()] > 0 {
+                            self.seen[q.var()] = stamp;
+                        }
+                    }
+                }
+            }
+            self.seen[v] = 0;
+        }
+    }
+
+    /// The failed assumption subset of the most recent
+    /// [`SatSolver::solve_under`] `Unsat` verdict (empty when the clause
+    /// set itself is unsatisfiable with no assumptions involved).
+    pub fn last_conflict_core(&self) -> &[Lit] {
+        &self.last_core
+    }
+
     fn backtrack_to(&mut self, level: usize) {
         while self.trail_lim.len() > level {
             let lim = self.trail_lim.pop().expect("non-empty");
@@ -320,12 +514,7 @@ impl SatSolver {
                 self.reason[l.var()] = None;
             }
         }
-        self.qhead = self.trail.len().min(self.qhead);
-        if self.trail_lim.is_empty() {
-            self.qhead = self.qhead.min(self.trail.len());
-        }
-        // Re-propagate from scratch is unnecessary: trail below `level` is
-        // untouched and fully propagated.
+        // Trail below `level` is untouched and fully propagated.
         self.qhead = self.trail.len();
     }
 
@@ -349,6 +538,19 @@ impl SatSolver {
 
     /// Solves the current clause set.
     pub fn solve(&mut self) -> SatVerdict {
+        self.solve_under(&[])
+    }
+
+    /// Solves the current clause set under `assumptions`, without
+    /// asserting them: the solver branches on each assumption first (in
+    /// order) and reports `Unsat` as soon as one is falsified —
+    /// [`SatSolver::last_conflict_core`] then names the failing subset.
+    /// Learned clauses never resolve on an assumption as a premise-free
+    /// fact (assumptions enter as decisions), so everything learned under
+    /// one assumption set remains valid for the next — the mechanism the
+    /// OMT binary search uses to share work across probes.
+    pub fn solve_under(&mut self, assumptions: &[Lit]) -> SatVerdict {
+        self.last_core.clear();
         if self.unsat {
             return SatVerdict::Unsat;
         }
@@ -380,6 +582,7 @@ impl SatSolver {
                     self.watches[learnt[0].index()].push(ci);
                     self.watches[learnt[1].index()].push(ci);
                     self.clauses.push(learnt);
+                    self.stats.learned += 1;
                     let ok = self.enqueue(asserting, Some(ci));
                     debug_assert!(ok, "asserting literal must be enqueueable");
                 }
@@ -390,8 +593,29 @@ impl SatSolver {
                 conflicts_until_restart -= 1;
                 if conflicts_until_restart == 0 {
                     restarts += 1;
+                    self.stats.restarts += 1;
                     conflicts_until_restart = luby(restarts) * 100;
                     self.backtrack_to(0);
+                }
+            } else if self.trail_lim.len() < assumptions.len() {
+                // Take the next assumption as a pseudo-decision.
+                let a = assumptions[self.trail_lim.len()];
+                match self.value(a) {
+                    1 => {
+                        // Already implied: open an empty level so the
+                        // level index keeps matching the assumption index.
+                        self.trail_lim.push(self.trail.len());
+                    }
+                    0 => {
+                        self.analyze_final(a);
+                        self.backtrack_to(0);
+                        return SatVerdict::Unsat;
+                    }
+                    _ => {
+                        self.trail_lim.push(self.trail.len());
+                        let ok = self.enqueue(a, None);
+                        debug_assert!(ok, "assumption was unassigned");
+                    }
                 }
             } else {
                 match self.decide() {
@@ -400,6 +624,7 @@ impl SatSolver {
                         return SatVerdict::Sat(model);
                     }
                     Some(l) => {
+                        self.stats.decisions += 1;
                         self.trail_lim.push(self.trail.len());
                         let ok = self.enqueue(l, None);
                         debug_assert!(ok, "decision variable was unassigned");
@@ -594,5 +819,179 @@ mod tests {
                 (b, v) => panic!("disagreement: brute {b}, solver {v:?}\n{clauses:?}"),
             }
         }
+    }
+
+    // ----- assumptions ---------------------------------------------------
+
+    #[test]
+    fn assumptions_do_not_assert() {
+        // (a -> b), assume ¬b: a must be false; afterwards the solver is
+        // still free to pick b.
+        let mut s = solver_with(2, &[&[-1, 2]]);
+        let SatVerdict::Sat(m) = s.solve_under(&lits(&[-2])) else {
+            panic!("sat under ¬b")
+        };
+        assert!(!m[0] && !m[1]);
+        let SatVerdict::Sat(m) = s.solve_under(&lits(&[1])) else {
+            panic!("sat under a")
+        };
+        assert!(m[0] && m[1]);
+    }
+
+    #[test]
+    fn failed_assumptions_reported_with_core() {
+        // x1 & (x1 -> x2); assuming ¬x2 is unsat, core must name ¬x2.
+        let mut s = solver_with(2, &[&[1], &[-1, 2]]);
+        assert_eq!(s.solve_under(&lits(&[-2])), SatVerdict::Unsat);
+        assert!(s.last_conflict_core().contains(&Lit::neg(1)));
+        // The clause set itself stays satisfiable.
+        assert!(matches!(s.solve(), SatVerdict::Sat(_)));
+        assert!(s.last_conflict_core().is_empty());
+    }
+
+    #[test]
+    fn conflicting_assumption_pair_names_both_in_core() {
+        // No clauses at all: assumptions [a, ¬a] must fail with a core
+        // naming both polarities — {¬a} alone would be satisfiable.
+        let mut s = solver_with(1, &[]);
+        assert_eq!(
+            s.solve_under(&[Lit::pos(0), Lit::neg(0)]),
+            SatVerdict::Unsat
+        );
+        let mut core = s.last_conflict_core().to_vec();
+        core.sort();
+        assert_eq!(core, vec![Lit::pos(0), Lit::neg(0)]);
+    }
+
+    #[test]
+    fn learned_clauses_survive_between_assumption_calls() {
+        // Pigeonhole body + selector s (var 7) guarding nothing: repeated
+        // unsat probes under the same assumptions must not grow learning
+        // without bound, and verdicts stay stable.
+        let var = |i: usize, j: usize| (i * 2 + j + 1) as i32;
+        let mut clauses: Vec<Vec<i32>> = Vec::new();
+        for i in 0..3 {
+            clauses.push(vec![var(i, 0), var(i, 1), 7]);
+        }
+        for j in 0..2 {
+            for a in 0..3 {
+                for b in (a + 1)..3 {
+                    clauses.push(vec![-var(a, j), -var(b, j)]);
+                }
+            }
+        }
+        let refs: Vec<&[i32]> = clauses.iter().map(|c| c.as_slice()).collect();
+        let mut s = solver_with(7, &refs);
+        assert_eq!(s.solve_under(&lits(&[-7])), SatVerdict::Unsat);
+        let learned_once = s.stats.learned;
+        assert_eq!(s.solve_under(&lits(&[-7])), SatVerdict::Unsat);
+        // Second identical probe reuses the first probe's learning.
+        assert!(s.stats.learned <= learned_once * 2);
+        assert!(matches!(s.solve_under(&lits(&[7])), SatVerdict::Sat(_)));
+    }
+
+    // ----- push / pop ----------------------------------------------------
+
+    #[test]
+    fn push_pop_restores_satisfiability() {
+        let mut s = solver_with(2, &[&[1, 2]]);
+        s.push();
+        s.add_clause(&lits(&[-1]));
+        s.add_clause(&lits(&[-2]));
+        assert_eq!(s.solve(), SatVerdict::Unsat);
+        s.pop();
+        assert!(matches!(s.solve(), SatVerdict::Sat(_)));
+    }
+
+    #[test]
+    fn pop_removes_variables_and_level0_facts() {
+        let mut s = solver_with(1, &[]);
+        s.push();
+        let v = s.new_var();
+        s.add_clause(&[Lit::pos(v)]);
+        s.add_clause(&[Lit::neg(v), Lit::pos(0)]);
+        let SatVerdict::Sat(m) = s.solve() else {
+            panic!()
+        };
+        assert!(m[0] && m[v]);
+        s.pop();
+        assert_eq!(s.n_vars(), 1);
+        // Var 0 is free again: both polarities satisfiable.
+        assert!(matches!(s.solve_under(&[Lit::neg(0)]), SatVerdict::Sat(_)));
+        assert!(matches!(s.solve_under(&[Lit::pos(0)]), SatVerdict::Sat(_)));
+    }
+
+    #[test]
+    fn pop_replays_identically_to_fresh_solver() {
+        // Solve the same instance (a) on a fresh solver, (b) after a
+        // push/solve/pop detour: models must match bit for bit.
+        let base: &[&[i32]] = &[&[1, 2, -3], &[-1, 3], &[2, 3], &[-2, -3, 4]];
+        let extra: &[&[i32]] = &[&[-4], &[3, 4]];
+        let instance: &[&[i32]] = &[&[1, -2], &[2, 3, 4], &[-3, -4]];
+
+        let mut fresh = solver_with(4, base);
+        let mut detoured = solver_with(4, base);
+        detoured.push();
+        for c in extra {
+            detoured.add_clause(&lits(c));
+        }
+        let _ = detoured.solve();
+        detoured.pop();
+
+        fresh.push();
+        detoured.push();
+        for c in instance {
+            fresh.add_clause(&lits(c));
+            detoured.add_clause(&lits(c));
+        }
+        assert_eq!(fresh.solve(), detoured.solve());
+    }
+
+    #[test]
+    fn pop_restores_clause_internal_literal_order() {
+        // Propagation permutes literal order inside surviving clauses
+        // while hunting for new watches; pop must undo that too, or the
+        // post-pop watch traversal diverges from a fresh solver's.
+        let mut s = solver_with(4, &[&[1, 2, 3], &[1, 4], &[2, -3, 4]]);
+        let before = s.clauses.clone();
+        s.push();
+        s.add_clause(&lits(&[-1]));
+        s.add_clause(&lits(&[-2]));
+        let _ = s.solve();
+        // Precondition: the detour really permuted a pre-push clause
+        // (otherwise this test is vacuous).
+        assert_ne!(s.clauses[..before.len()], before[..], "detour was a no-op");
+        s.pop();
+        assert_eq!(s.clauses, before);
+    }
+
+    #[test]
+    fn pop_restores_unsat_flag() {
+        let mut s = solver_with(1, &[]);
+        s.push();
+        s.add_clause(&lits(&[1]));
+        s.add_clause(&lits(&[-1]));
+        assert_eq!(s.solve(), SatVerdict::Unsat);
+        s.pop();
+        assert!(matches!(s.solve(), SatVerdict::Sat(_)));
+    }
+
+    #[test]
+    fn stats_count_effort() {
+        let mut s = solver_with(6, &[]);
+        let var = |i: usize, j: usize| i * 2 + j;
+        for i in 0..3 {
+            s.add_clause(&[Lit::pos(var(i, 0)), Lit::pos(var(i, 1))]);
+        }
+        for j in 0..2 {
+            for a in 0..3 {
+                for b in (a + 1)..3 {
+                    s.add_clause(&[Lit::neg(var(a, j)), Lit::neg(var(b, j))]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SatVerdict::Unsat);
+        assert!(s.stats.propagations > 0);
+        assert!(s.stats.decisions > 0 || s.stats.learned > 0);
     }
 }

@@ -6,6 +6,15 @@
 //! (symbolic infinitesimal ε); Bland's rule guarantees termination; an
 //! infeasibility is explained by the set of asserted bound ids in the
 //! violated row, which the DPLL(T) driver turns into a blocking clause.
+//!
+//! The procedure is packaged two ways: the stateless [`check`] (decide
+//! one conjunction from scratch) and the *persistent* [`Simplex`], which
+//! the DPLL(T) driver owns across calls. [`Simplex::check_assignment`]
+//! re-asserts the bound set of each candidate Boolean assignment but
+//! keeps the tableau — columns, slack definitions and, crucially, the
+//! pivoted basis — from the previous call, so consecutive checks inside
+//! one OMT search warm-start from the last feasible basis instead of
+//! re-pivoting from the origin.
 
 use std::cmp::Ordering;
 use std::collections::HashMap;
@@ -134,10 +143,25 @@ pub enum SimplexResult {
     Infeasible(Vec<usize>),
 }
 
-struct Tableau {
-    /// Total columns = original vars + one slack per distinct form.
-    n_total: usize,
-    /// For basic variables: their row as dense-ish map col -> coeff
+/// Persistent simplex state: columns for every real variable and slack
+/// (one per distinct multi-term linear form) seen so far, the current
+/// basis (`rows`), values, and the bounds asserted by the most recent
+/// [`Simplex::check_assignment`] call.
+///
+/// Column indices are allocated on first sight, interleaving variables
+/// and slacks; `var_col`/`col_var` keep the two spaces mapped. The basis
+/// survives between calls — that persistence *is* the warm start.
+#[derive(Debug, Clone, Default)]
+pub struct Simplex {
+    /// Total columns allocated.
+    n_cols: usize,
+    /// Real-variable index -> column (`usize::MAX` = not yet allocated).
+    var_col: Vec<usize>,
+    /// Column -> real-variable index (`None` for slack columns).
+    col_var: Vec<Option<usize>>,
+    /// Distinct multi-term linear form (sorted by var) -> slack column.
+    form_slack: HashMap<Vec<(Rat, usize)>, usize>,
+    /// For basic columns: their row as dense-ish map col -> coeff
     /// (only over nonbasic columns).
     rows: HashMap<usize, HashMap<usize, Rat>>,
     value: Vec<DeltaRat>,
@@ -145,9 +169,76 @@ struct Tableau {
     upper: Vec<Option<(DeltaRat, usize)>>,
 }
 
-impl Tableau {
+impl Simplex {
+    /// Creates an empty tableau.
+    pub fn new() -> Simplex {
+        Simplex::default()
+    }
+
     fn is_basic(&self, v: usize) -> bool {
         self.rows.contains_key(&v)
+    }
+
+    fn new_col(&mut self, var: Option<usize>) -> usize {
+        let c = self.n_cols;
+        self.n_cols += 1;
+        self.col_var.push(var);
+        self.value.push(DeltaRat::ZERO);
+        self.lower.push(None);
+        self.upper.push(None);
+        c
+    }
+
+    fn var_column(&mut self, v: usize) -> usize {
+        if v >= self.var_col.len() {
+            self.var_col.resize(v + 1, usize::MAX);
+        }
+        if self.var_col[v] == usize::MAX {
+            self.var_col[v] = self.new_col(Some(v));
+        }
+        self.var_col[v]
+    }
+
+    /// Column deciding a bound on `expr`: a single positive-unit term
+    /// binds the variable's own column; any other form gets (or reuses)
+    /// a slack column whose defining row is expressed over the *current*
+    /// nonbasic columns (substituting rows of already-basic variables,
+    /// so the new definition composes with prior pivots).
+    fn column_for(&mut self, expr: &[(Rat, usize)]) -> usize {
+        if expr.len() == 1 && expr[0].0 == Rat::ONE {
+            return self.var_column(expr[0].1);
+        }
+        let mut key: Vec<(Rat, usize)> = expr.to_vec();
+        key.sort_by_key(|&(_, v)| v);
+        if let Some(&c) = self.form_slack.get(&key) {
+            return c;
+        }
+        let mut row: HashMap<usize, Rat> = HashMap::new();
+        // Iterate a copy: `var_column` needs `&mut self` inside the body.
+        for (c, v) in key.clone() {
+            let col = self.var_column(v);
+            if let Some(brow) = self.rows.get(&col) {
+                let brow = brow.clone();
+                for (&k, &a) in &brow {
+                    let entry = row.entry(k).or_insert(Rat::ZERO);
+                    *entry = *entry + c * a;
+                    if entry.is_zero() {
+                        row.remove(&k);
+                    }
+                }
+            } else {
+                let entry = row.entry(col).or_insert(Rat::ZERO);
+                *entry = *entry + c;
+                if entry.is_zero() {
+                    row.remove(&col);
+                }
+            }
+        }
+        let s = self.new_col(None);
+        self.form_slack.insert(key, s);
+        self.value[s] = self.row_value(&row);
+        self.rows.insert(s, row);
+        s
     }
 
     /// Recomputes a basic variable's value from its row.
@@ -242,201 +333,198 @@ impl Tableau {
 /// }
 /// ```
 pub fn check(bounds: &[BoundConstraint]) -> SimplexResult {
-    // Map each distinct linear form to a column (original var or slack).
-    let mut max_var = 0usize;
-    for b in bounds {
-        for &(_, v) in &b.expr {
-            max_var = max_var.max(v + 1);
-        }
-    }
-    let mut n_total = max_var;
-    let mut form_slack: HashMap<Vec<(Rat, usize)>, usize> = HashMap::new();
-    let mut slack_rows: Vec<(usize, HashMap<usize, Rat>)> = Vec::new();
-
-    // Column for a bound: single positive-unit term binds the var itself.
-    let mut column_of = Vec::with_capacity(bounds.len());
-    for b in bounds {
-        if b.expr.len() == 1 && b.expr[0].0 == Rat::ONE {
-            column_of.push(b.expr[0].1);
-            continue;
-        }
-        let mut key = b.expr.clone();
-        key.sort_by_key(|&(_, v)| v);
-        let col = *form_slack.entry(key.clone()).or_insert_with(|| {
-            let s = n_total;
-            n_total += 1;
-            let row: HashMap<usize, Rat> = key.iter().map(|&(c, v)| (v, c)).collect();
-            slack_rows.push((s, row));
-            s
-        });
-        column_of.push(col);
-    }
-
-    let mut t = Tableau {
-        n_total,
-        rows: slack_rows.into_iter().collect(),
-        value: vec![DeltaRat::ZERO; n_total],
-        lower: vec![None; n_total],
-        upper: vec![None; n_total],
-    };
-
-    // Assert bounds, detecting immediate lower>upper conflicts.
-    for (b, &col) in bounds.iter().zip(&column_of) {
-        match b.kind {
-            BoundKind::Lower => {
-                if let Some((u, uid)) = t.upper[col] {
-                    if b.bound > u {
-                        return SimplexResult::Infeasible(vec![b.id, uid]);
-                    }
-                }
-                if t.lower[col].is_none_or(|(l, _)| b.bound > l) {
-                    t.lower[col] = Some((b.bound, b.id));
-                }
-            }
-            BoundKind::Upper => {
-                if let Some((l, lid)) = t.lower[col] {
-                    if b.bound < l {
-                        return SimplexResult::Infeasible(vec![lid, b.id]);
-                    }
-                }
-                if t.upper[col].is_none_or(|(u, _)| b.bound < u) {
-                    t.upper[col] = Some((b.bound, b.id));
-                }
-            }
-        }
-    }
-
-    // Initialize nonbasic values inside their bounds.
-    for v in 0..t.n_total {
-        if t.is_basic(v) {
-            continue;
-        }
-        t.value[v] = match (t.lower[v], t.upper[v]) {
-            (Some((l, _)), _) => l,
-            (None, Some((u, _))) => u,
-            (None, None) => DeltaRat::ZERO,
-        };
-    }
-    let basics: Vec<usize> = t.rows.keys().copied().collect();
-    for b in basics {
-        let row = t.rows[&b].clone();
-        t.value[b] = t.row_value(&row);
-    }
-
-    // Main Bland-rule loop.
-    loop {
-        // Smallest-index basic variable violating a bound.
-        let mut violated: Option<(usize, bool)> = None; // (var, too_low)
-        let mut basic_sorted: Vec<usize> = t.rows.keys().copied().collect();
-        basic_sorted.sort_unstable();
-        for &b in &basic_sorted {
-            if let Some((l, _)) = t.lower[b] {
-                if t.value[b] < l {
-                    violated = Some((b, true));
-                    break;
-                }
-            }
-            if let Some((u, _)) = t.upper[b] {
-                if t.value[b] > u {
-                    violated = Some((b, false));
-                    break;
-                }
-            }
-        }
-        let Some((bi, too_low)) = violated else {
-            // Feasible: concretize ε and return original-variable values.
-            return SimplexResult::Feasible(concretize(&t, max_var));
-        };
-
-        let row = t.rows[&bi].clone();
-        let mut cols: Vec<usize> = row.keys().copied().collect();
-        cols.sort_unstable();
-        let mut pivot_col: Option<usize> = None;
-        for &j in &cols {
-            let a = row[&j];
-            let can = if too_low {
-                // Need to increase bi.
-                (a.is_positive() && t.upper[j].is_none_or(|(u, _)| t.value[j] < u))
-                    || (a.is_negative() && t.lower[j].is_none_or(|(l, _)| t.value[j] > l))
-            } else {
-                // Need to decrease bi.
-                (a.is_positive() && t.lower[j].is_none_or(|(l, _)| t.value[j] > l))
-                    || (a.is_negative() && t.upper[j].is_none_or(|(u, _)| t.value[j] < u))
-            };
-            if can {
-                pivot_col = Some(j);
-                break;
-            }
-        }
-
-        match pivot_col {
-            Some(nj) => {
-                let target = if too_low {
-                    t.lower[bi].expect("violated lower").0
-                } else {
-                    t.upper[bi].expect("violated upper").0
-                };
-                t.pivot_and_update(bi, nj, target);
-            }
-            None => {
-                // Conflict: violated bound of bi plus the limiting bounds of
-                // every nonbasic in the row.
-                let mut ids = Vec::new();
-                if too_low {
-                    ids.push(t.lower[bi].expect("violated lower").1);
-                    for &j in &cols {
-                        let a = row[&j];
-                        if a.is_positive() {
-                            ids.push(t.upper[j].expect("limited above").1);
-                        } else {
-                            ids.push(t.lower[j].expect("limited below").1);
-                        }
-                    }
-                } else {
-                    ids.push(t.upper[bi].expect("violated upper").1);
-                    for &j in &cols {
-                        let a = row[&j];
-                        if a.is_positive() {
-                            ids.push(t.lower[j].expect("limited below").1);
-                        } else {
-                            ids.push(t.upper[j].expect("limited above").1);
-                        }
-                    }
-                }
-                ids.sort_unstable();
-                ids.dedup();
-                return SimplexResult::Infeasible(ids);
-            }
-        }
-    }
+    Simplex::new().check_assignment(bounds)
 }
 
-/// Chooses a concrete ε small enough that all strict bounds stay strict,
-/// then maps the delta-valued assignment to plain rationals.
-fn concretize(t: &Tableau, n_original: usize) -> HashMap<usize, Rat> {
-    let mut eps = Rat::ONE;
-    for v in 0..t.n_total {
-        let val = t.value[v];
-        if let Some((l, _)) = t.lower[v] {
-            // need val.r + val.d e >= l.r + l.d e  =>  (val.d - l.d) e >= l.r - val.r
-            let dd = val.d - l.d;
-            let rr = val.r - l.r;
-            if dd.is_negative() && rr.is_positive() {
-                eps = eps.min(rr / (-dd));
+impl Simplex {
+    /// Decides the conjunction of `bounds`, warm-starting from whatever
+    /// basis previous calls left behind. Bounds are re-asserted from
+    /// scratch each call (they follow the Boolean assignment under
+    /// test); columns, slack definitions and pivots persist.
+    ///
+    /// Nonbasic values already inside their new bounds keep their
+    /// position; out-of-range ones are clamped to the violated side.
+    /// With an unchanged or mildly-shifted bound set — consecutive
+    /// probes of one OMT binary search — the subsequent Bland loop then
+    /// starts at (or next to) the previous feasible point.
+    pub fn check_assignment(&mut self, bounds: &[BoundConstraint]) -> SimplexResult {
+        // Retract every bound from the previous call.
+        for b in &mut self.lower {
+            *b = None;
+        }
+        for b in &mut self.upper {
+            *b = None;
+        }
+
+        // Assert bounds, detecting immediate lower>upper conflicts.
+        for b in bounds {
+            let col = self.column_for(&b.expr);
+            match b.kind {
+                BoundKind::Lower => {
+                    if let Some((u, uid)) = self.upper[col] {
+                        if b.bound > u {
+                            return SimplexResult::Infeasible(vec![b.id, uid]);
+                        }
+                    }
+                    if self.lower[col].is_none_or(|(l, _)| b.bound > l) {
+                        self.lower[col] = Some((b.bound, b.id));
+                    }
+                }
+                BoundKind::Upper => {
+                    if let Some((l, lid)) = self.lower[col] {
+                        if b.bound < l {
+                            return SimplexResult::Infeasible(vec![lid, b.id]);
+                        }
+                    }
+                    if self.upper[col].is_none_or(|(u, _)| b.bound < u) {
+                        self.upper[col] = Some((b.bound, b.id));
+                    }
+                }
             }
         }
-        if let Some((u, _)) = t.upper[v] {
-            let dd = u.d - val.d;
-            let rr = u.r - val.r;
-            if dd.is_negative() && rr.is_positive() {
-                eps = eps.min(rr / (-dd));
+
+        // Move nonbasic values inside their bounds, keeping in-range
+        // values where they are (the warm start).
+        for v in 0..self.n_cols {
+            if self.is_basic(v) {
+                continue;
+            }
+            if let Some((l, _)) = self.lower[v] {
+                if self.value[v] < l {
+                    self.value[v] = l;
+                    continue;
+                }
+            }
+            if let Some((u, _)) = self.upper[v] {
+                if self.value[v] > u {
+                    self.value[v] = u;
+                }
+            }
+        }
+        let basics: Vec<usize> = self.rows.keys().copied().collect();
+        for b in basics {
+            let row = self.rows.remove(&b).expect("exists");
+            self.value[b] = self.row_value(&row);
+            self.rows.insert(b, row);
+        }
+
+        // Main Bland-rule loop.
+        loop {
+            // Smallest-index basic variable violating a bound.
+            let mut violated: Option<(usize, bool)> = None; // (var, too_low)
+            let mut basic_sorted: Vec<usize> = self.rows.keys().copied().collect();
+            basic_sorted.sort_unstable();
+            for &b in &basic_sorted {
+                if let Some((l, _)) = self.lower[b] {
+                    if self.value[b] < l {
+                        violated = Some((b, true));
+                        break;
+                    }
+                }
+                if let Some((u, _)) = self.upper[b] {
+                    if self.value[b] > u {
+                        violated = Some((b, false));
+                        break;
+                    }
+                }
+            }
+            let Some((bi, too_low)) = violated else {
+                // Feasible: concretize ε and return original-variable values.
+                return SimplexResult::Feasible(self.concretize());
+            };
+
+            let row = self.rows[&bi].clone();
+            let mut cols: Vec<usize> = row.keys().copied().collect();
+            cols.sort_unstable();
+            let mut pivot_col: Option<usize> = None;
+            for &j in &cols {
+                let a = row[&j];
+                let can = if too_low {
+                    // Need to increase bi.
+                    (a.is_positive() && self.upper[j].is_none_or(|(u, _)| self.value[j] < u))
+                        || (a.is_negative() && self.lower[j].is_none_or(|(l, _)| self.value[j] > l))
+                } else {
+                    // Need to decrease bi.
+                    (a.is_positive() && self.lower[j].is_none_or(|(l, _)| self.value[j] > l))
+                        || (a.is_negative() && self.upper[j].is_none_or(|(u, _)| self.value[j] < u))
+                };
+                if can {
+                    pivot_col = Some(j);
+                    break;
+                }
+            }
+
+            match pivot_col {
+                Some(nj) => {
+                    let target = if too_low {
+                        self.lower[bi].expect("violated lower").0
+                    } else {
+                        self.upper[bi].expect("violated upper").0
+                    };
+                    self.pivot_and_update(bi, nj, target);
+                }
+                None => {
+                    // Conflict: violated bound of bi plus the limiting bounds of
+                    // every nonbasic in the row.
+                    let mut ids = Vec::new();
+                    if too_low {
+                        ids.push(self.lower[bi].expect("violated lower").1);
+                        for &j in &cols {
+                            let a = row[&j];
+                            if a.is_positive() {
+                                ids.push(self.upper[j].expect("limited above").1);
+                            } else {
+                                ids.push(self.lower[j].expect("limited below").1);
+                            }
+                        }
+                    } else {
+                        ids.push(self.upper[bi].expect("violated upper").1);
+                        for &j in &cols {
+                            let a = row[&j];
+                            if a.is_positive() {
+                                ids.push(self.lower[j].expect("limited below").1);
+                            } else {
+                                ids.push(self.upper[j].expect("limited above").1);
+                            }
+                        }
+                    }
+                    ids.sort_unstable();
+                    ids.dedup();
+                    return SimplexResult::Infeasible(ids);
+                }
             }
         }
     }
-    let eps = eps * Rat::new(1, 2);
-    (0..n_original)
-        .map(|v| (v, t.value[v].concretize(eps)))
-        .collect()
+
+    /// Chooses a concrete ε small enough that all strict bounds stay
+    /// strict, then maps the delta-valued assignment of the *variable*
+    /// columns (slacks skipped) to plain rationals.
+    fn concretize(&self) -> HashMap<usize, Rat> {
+        let mut eps = Rat::ONE;
+        for v in 0..self.n_cols {
+            let val = self.value[v];
+            if let Some((l, _)) = self.lower[v] {
+                // need val.r + val.d e >= l.r + l.d e
+                //   =>  (val.d - l.d) e >= l.r - val.r
+                let dd = val.d - l.d;
+                let rr = val.r - l.r;
+                if dd.is_negative() && rr.is_positive() {
+                    eps = eps.min(rr / (-dd));
+                }
+            }
+            if let Some((u, _)) = self.upper[v] {
+                let dd = u.d - val.d;
+                let rr = u.r - val.r;
+                if dd.is_negative() && rr.is_positive() {
+                    eps = eps.min(rr / (-dd));
+                }
+            }
+        }
+        let eps = eps * Rat::new(1, 2);
+        (0..self.n_cols)
+            .filter_map(|c| self.col_var[c].map(|v| (v, self.value[c].concretize(eps))))
+            .collect()
+    }
 }
 
 #[cfg(test)]

@@ -2,8 +2,8 @@ use std::collections::HashMap;
 
 use crate::ast::{Atom, BoolVar, Formula, LinExpr, RealVar, Rel};
 use crate::cnf::{strip_expr, Encoder};
-use crate::sat::{Lit, SatVerdict};
-use crate::simplex::{check, BoundConstraint, BoundKind, DeltaRat, SimplexResult};
+use crate::sat::{Lit, SatStats, SatVerdict};
+use crate::simplex::{BoundConstraint, BoundKind, DeltaRat, Simplex, SimplexResult};
 use crate::Rat;
 
 /// A satisfying assignment.
@@ -45,18 +45,44 @@ pub enum SatResult {
     Unsat,
 }
 
+/// Checkpoint for [`Solver::pop`].
+#[derive(Debug, Clone)]
+struct SolverFrame {
+    n_reals: usize,
+    n_bools: usize,
+    simplex: Simplex,
+}
+
 /// The lazy DPLL(T) SMT solver for QF_LRA + Booleans.
 ///
 /// Asserted formulas are Tseitin-encoded; the CDCL core enumerates Boolean
 /// skeleton models; the simplex theory solver validates the implied
 /// conjunction of linear bounds, contributing blocking clauses built from
 /// its infeasibility explanations until the loop converges.
+///
+/// The solver is incremental end to end:
+///
+/// - [`Solver::check_under`] decides the assertions under *assumption*
+///   literals without asserting them, retaining everything the CDCL core
+///   learns for later calls;
+/// - the simplex tableau persists between checks, warm-starting each
+///   theory validation from the previous feasible basis;
+/// - [`Solver::push`]/[`Solver::pop`] checkpoint the whole stack
+///   (clauses, variables, atom registry, tableau, heuristics), and `pop`
+///   restores it *exactly* — a popped solver continues byte-for-byte
+///   like a fresh one that never saw the popped assertions, which is what
+///   lets the attack scheduler reuse one solver across windows while
+///   keeping schedules identical to the fresh-solver path;
+/// - [`Solver::maximize`] runs its whole objective binary search inside
+///   this one solver, guarding each probe with a fresh assumption
+///   literal instead of cloning.
 #[derive(Debug, Default, Clone)]
 pub struct Solver {
     enc: Encoder,
     n_reals: usize,
     n_bools: usize,
-    real_names: Vec<String>,
+    simplex: Simplex,
+    frames: Vec<SolverFrame>,
     /// Statistics: theory conflicts encountered across `check` calls.
     pub theory_conflicts: u64,
 }
@@ -71,15 +97,14 @@ impl Solver {
     }
 
     /// Allocates a real-valued theory variable.
-    pub fn new_real(&mut self, name: impl Into<String>) -> RealVar {
+    pub fn new_real(&mut self) -> RealVar {
         let v = RealVar(self.n_reals);
         self.n_reals += 1;
-        self.real_names.push(name.into());
         v
     }
 
     /// Allocates a propositional variable.
-    pub fn new_bool(&mut self, _name: impl Into<String>) -> BoolVar {
+    pub fn new_bool(&mut self) -> BoolVar {
         let v = BoolVar(self.n_bools);
         self.n_bools += 1;
         v
@@ -90,19 +115,62 @@ impl Solver {
         self.enc.assert_formula(&f);
     }
 
+    /// Cumulative CDCL effort counters (decisions, propagations, learned
+    /// clauses, restarts). Like [`Solver::theory_conflicts`] they measure
+    /// work done and survive [`Solver::pop`].
+    pub fn sat_stats(&self) -> SatStats {
+        self.enc.sat.stats
+    }
+
+    /// Checkpoints the assertion stack: formulas asserted and variables
+    /// created after `push` are removed again by the matching
+    /// [`Solver::pop`], which also restores the SAT heuristics and the
+    /// simplex basis to their checkpointed state.
+    pub fn push(&mut self) {
+        self.enc.push();
+        self.frames.push(SolverFrame {
+            n_reals: self.n_reals,
+            n_bools: self.n_bools,
+            simplex: self.simplex.clone(),
+        });
+    }
+
+    /// Restores the state of the matching [`Solver::push`]. Statistics
+    /// counters are kept (they measure effort, not state).
+    ///
+    /// # Panics
+    ///
+    /// Panics when no matching `push` exists.
+    pub fn pop(&mut self) {
+        let f = self.frames.pop().expect("pop without matching push");
+        self.n_reals = f.n_reals;
+        self.n_bools = f.n_bools;
+        self.simplex = f.simplex;
+        self.enc.pop();
+    }
+
     /// Decides the asserted conjunction. Returns a model when satisfiable.
     pub fn check(&mut self) -> Option<Model> {
+        self.check_under(&[])
+    }
+
+    /// Decides the asserted conjunction under `assumptions` (SAT-level
+    /// literals, typically guards created by [`Solver::maximize`])
+    /// without asserting them. Theory blocking clauses discovered along
+    /// the way are valid lemmas and stay for later calls.
+    pub fn check_under(&mut self, assumptions: &[Lit]) -> Option<Model> {
         loop {
-            let SatVerdict::Sat(assignment) = self.enc.sat.solve() else {
+            let SatVerdict::Sat(assignment) = self.enc.sat.solve_under(assumptions) else {
                 return None;
             };
-            // Gather asserted theory literals.
+            // Gather asserted theory literals (registration order — the
+            // deterministic column-allocation order in the simplex).
             let mut bounds: Vec<BoundConstraint> = Vec::new();
             for (sat_var, atom) in self.enc.registered_atoms() {
                 let positive = assignment[sat_var];
                 bounds.push(atom_to_bound(atom, positive, sat_var));
             }
-            match check(&bounds) {
+            match self.simplex.check_assignment(&bounds) {
                 SimplexResult::Feasible(reals) => {
                     let mut bools = HashMap::new();
                     for b in 0..self.n_bools {
@@ -144,6 +212,27 @@ impl Solver {
     /// `lo`/`hi` bracket the objective; `tol` is the termination gap.
     /// Returns the best model found and its objective value, or `None`
     /// when the constraints are unsatisfiable.
+    ///
+    /// The whole search runs inside this one solver: each probe asserts
+    /// `guard → objective ≥ mid` for a fresh guard literal and solves
+    /// under the assumption `guard`, so clauses learned by one probe
+    /// carry to the next and the simplex warm-starts from the previous
+    /// feasible basis. Successful probes assert their guard permanently
+    /// (monotone strengthening); failed guards are permanently disabled.
+    ///
+    /// # Bracket contract
+    ///
+    /// The bracket is a *search range*, not a constraint. When the first
+    /// feasible model's objective already reaches or exceeds `hi` — a
+    /// stale caller-supplied bracket — the search space is empty and the
+    /// base model is returned as-is; the returned objective may then
+    /// exceed `hi`. (Formerly this case silently clamped `hi` upward,
+    /// hiding the collapsed bracket; same result, now a documented
+    /// contract with a regression test.)
+    ///
+    /// On return the strengthening assertions remain: callers that need
+    /// the original assertion set afterwards should bracket the call in
+    /// [`Solver::push`]/[`Solver::pop`].
     pub fn maximize(
         &mut self,
         objective: &LinExpr,
@@ -155,24 +244,27 @@ impl Solver {
         let mut best_val = base_model.eval(objective).to_f64();
         let mut best_model = base_model;
         let mut lo = best_val.max(lo);
-        let mut hi = hi.max(lo);
+        let mut hi = hi;
         while hi - lo > tol {
             let mid = lo + (hi - lo) / 2.0;
-            let mut probe = self.clone();
-            probe.assert_formula(objective.ge(Rat::from_f64_approx(mid)));
-            match probe.check() {
+            // Fresh guard: guard -> objective >= mid.
+            let guard = Lit::pos(self.enc.sat.new_var());
+            let bound_lit = self.enc.encode(&objective.ge(Rat::from_f64_approx(mid)));
+            self.enc.sat.add_clause(&[guard.negated(), bound_lit]);
+            match self.check_under(&[guard]) {
                 Some(m) => {
                     let v = m.eval(objective).to_f64();
-                    self.theory_conflicts = probe.theory_conflicts;
                     if v > best_val {
                         best_val = v;
                         best_model = m;
                     }
                     lo = best_val.max(mid);
+                    // Keep the proven bound: later probes only go higher.
+                    self.enc.sat.add_clause(&[guard]);
                 }
                 None => {
-                    self.theory_conflicts = probe.theory_conflicts;
                     hi = mid;
+                    self.enc.sat.add_clause(&[guard.negated()]);
                 }
             }
         }
@@ -214,8 +306,8 @@ mod tests {
     #[test]
     fn pure_boolean_sat() {
         let mut s = Solver::new();
-        let a = s.new_bool("a");
-        let b = s.new_bool("b");
+        let a = s.new_bool();
+        let b = s.new_bool();
         s.assert_formula(Formula::or([Formula::Bool(a), Formula::Bool(b)]));
         s.assert_formula(Formula::not(Formula::Bool(a)));
         let m = s.check().expect("sat");
@@ -226,8 +318,8 @@ mod tests {
     #[test]
     fn linear_system_solved() {
         let mut s = Solver::new();
-        let x = s.new_real("x");
-        let y = s.new_real("y");
+        let x = s.new_real();
+        let y = s.new_real();
         s.assert_formula(LinExpr::var(x).plus(&LinExpr::var(y)).eq(10));
         s.assert_formula(LinExpr::var(x).minus(&LinExpr::var(y)).eq(4));
         let m = s.check().expect("sat");
@@ -238,8 +330,8 @@ mod tests {
     #[test]
     fn theory_conflict_forces_boolean_backtrack() {
         let mut s = Solver::new();
-        let x = s.new_real("x");
-        let p = s.new_bool("p");
+        let x = s.new_real();
+        let p = s.new_bool();
         // p -> x >= 5;  !p -> x >= 7;  x <= 6. Must pick p.
         s.assert_formula(Formula::implies(Formula::Bool(p), LinExpr::var(x).ge(5)));
         s.assert_formula(Formula::implies(
@@ -255,7 +347,7 @@ mod tests {
     #[test]
     fn unsat_conjunction() {
         let mut s = Solver::new();
-        let x = s.new_real("x");
+        let x = s.new_real();
         s.assert_formula(LinExpr::var(x).ge(5));
         s.assert_formula(LinExpr::var(x).le(4));
         assert!(s.check().is_none());
@@ -264,7 +356,7 @@ mod tests {
     #[test]
     fn disjunction_of_regions() {
         let mut s = Solver::new();
-        let x = s.new_real("x");
+        let x = s.new_real();
         // (x <= -10 or x >= 10) and -5 <= x <= 15  => x in [10, 15].
         s.assert_formula(Formula::or([
             LinExpr::var(x).le(-10),
@@ -279,7 +371,7 @@ mod tests {
     #[test]
     fn strict_inequalities() {
         let mut s = Solver::new();
-        let x = s.new_real("x");
+        let x = s.new_real();
         s.assert_formula(LinExpr::var(x).gt(0));
         s.assert_formula(LinExpr::var(x).lt(1));
         let m = s.check().expect("sat");
@@ -290,7 +382,7 @@ mod tests {
     #[test]
     fn strict_contradiction_unsat() {
         let mut s = Solver::new();
-        let x = s.new_real("x");
+        let x = s.new_real();
         s.assert_formula(LinExpr::var(x).gt(3));
         s.assert_formula(LinExpr::var(x).le(3));
         assert!(s.check().is_none());
@@ -299,7 +391,7 @@ mod tests {
     #[test]
     fn negated_equality_splits() {
         let mut s = Solver::new();
-        let x = s.new_real("x");
+        let x = s.new_real();
         s.assert_formula(Formula::not(LinExpr::var(x).eq(5)));
         s.assert_formula(LinExpr::var(x).ge(5));
         s.assert_formula(LinExpr::var(x).le(6));
@@ -310,8 +402,8 @@ mod tests {
     #[test]
     fn maximize_simple_lp() {
         let mut s = Solver::new();
-        let x = s.new_real("x");
-        let y = s.new_real("y");
+        let x = s.new_real();
+        let y = s.new_real();
         s.assert_formula(LinExpr::var(x).le(4));
         s.assert_formula(LinExpr::var(y).le(3));
         s.assert_formula(LinExpr::var(x).ge(0));
@@ -326,9 +418,9 @@ mod tests {
     fn maximize_with_boolean_choice() {
         // Choosing p gives reward 10, else 3; p forces cost x >= 8 <= budget.
         let mut s = Solver::new();
-        let p = s.new_bool("p");
-        let x = s.new_real("x");
-        let reward = s.new_real("reward");
+        let p = s.new_bool();
+        let x = s.new_real();
+        let reward = s.new_real();
         s.assert_formula(Formula::implies(
             Formula::Bool(p),
             Formula::and([LinExpr::var(reward).eq(10), LinExpr::var(x).ge(8)]),
@@ -348,10 +440,88 @@ mod tests {
     #[test]
     fn maximize_infeasible_returns_none() {
         let mut s = Solver::new();
-        let x = s.new_real("x");
+        let x = s.new_real();
         s.assert_formula(LinExpr::var(x).ge(1));
         s.assert_formula(LinExpr::var(x).le(0));
         assert!(s.maximize(&LinExpr::var(x), 0.0, 10.0, 1e-3).is_none());
+    }
+
+    #[test]
+    fn maximize_stale_hi_returns_base_model() {
+        // The caller's bracket tops out below the feasible region: the
+        // contract is to return the base model untouched — the reported
+        // objective exceeds `hi` rather than being silently clamped.
+        let mut s = Solver::new();
+        let x = s.new_real();
+        s.assert_formula(LinExpr::var(x).ge(10));
+        s.assert_formula(LinExpr::var(x).le(12));
+        let (v, m) = s.maximize(&LinExpr::var(x), 0.0, 5.0, 1e-3).expect("sat");
+        assert!(v >= 10.0 - 1e-9, "base objective {v}");
+        assert!(v > 5.0, "objective must be allowed to exceed the stale hi");
+        assert!(m.real(x) >= 10.0 - 1e-9);
+    }
+
+    #[test]
+    fn maximize_twice_under_push_pop() {
+        // After a push/maximize/pop round-trip the solver must answer a
+        // different objective exactly like a fresh solver would.
+        let mut s = Solver::new();
+        let x = s.new_real();
+        let y = s.new_real();
+        s.assert_formula(LinExpr::var(x).ge(0));
+        s.assert_formula(LinExpr::var(x).le(4));
+        s.assert_formula(LinExpr::var(y).ge(0));
+        s.assert_formula(LinExpr::var(y).le(3));
+
+        s.push();
+        let (vx, _) = s.maximize(&LinExpr::var(x), 0.0, 100.0, 1e-3).expect("sat");
+        s.pop();
+        s.push();
+        let (vy, _) = s.maximize(&LinExpr::var(y), 0.0, 100.0, 1e-3).expect("sat");
+        s.pop();
+        assert!((vx - 4.0).abs() < 0.01, "x max {vx}");
+        assert!((vy - 3.0).abs() < 0.01, "y max {vy}");
+        // And the un-popped assertions still admit both corners.
+        let m = s.check().expect("sat");
+        assert!(m.real(x) <= 4.0 + 1e-9 && m.real(y) <= 3.0 + 1e-9);
+    }
+
+    #[test]
+    fn push_pop_restores_assertions_and_variables() {
+        let mut s = Solver::new();
+        let x = s.new_real();
+        s.assert_formula(LinExpr::var(x).ge(0));
+        s.assert_formula(LinExpr::var(x).le(10));
+        s.push();
+        let y = s.new_real();
+        let p = s.new_bool();
+        s.assert_formula(Formula::implies(Formula::Bool(p), LinExpr::var(y).ge(100)));
+        s.assert_formula(Formula::Bool(p));
+        s.assert_formula(LinExpr::var(x).ge(7));
+        let m = s.check().expect("sat under pushed assertions");
+        assert!(m.real(x) >= 7.0 - 1e-9);
+        assert!(m.real(y) >= 100.0 - 1e-9);
+        s.pop();
+        // Pushed lower bound is gone; x can sit at 0 again.
+        s.assert_formula(LinExpr::var(x).le(3));
+        let m = s.check().expect("sat after pop");
+        assert!(m.real(x) <= 3.0 + 1e-9);
+    }
+
+    #[test]
+    fn check_under_guard_literals() {
+        let mut s = Solver::new();
+        let x = s.new_real();
+        s.assert_formula(LinExpr::var(x).ge(0));
+        s.assert_formula(LinExpr::var(x).le(10));
+        let g = Lit::pos(s.enc.sat.new_var());
+        let bound = s.enc.encode(&LinExpr::var(x).ge(8));
+        s.enc.sat.add_clause(&[g.negated(), bound]);
+        let m = s.check_under(&[g]).expect("sat under guard");
+        assert!(m.real(x) >= 8.0 - 1e-9);
+        // Without the guard the bound is not enforced.
+        let m = s.check().expect("sat");
+        assert!(m.real(x) >= -1e-9);
     }
 
     #[test]
@@ -359,8 +529,8 @@ mod tests {
         // Triangle (0,0)-(4,0)-(2,4) as half-planes over (a, b); point
         // inside must exist with b maximized at 4.
         let mut s = Solver::new();
-        let a = s.new_real("a");
-        let b = s.new_real("b");
+        let a = s.new_real();
+        let b = s.new_real();
         // y >= 0: -b <= 0
         s.assert_formula(LinExpr::var(b).ge(0));
         // right edge: from (4,0) to (2,4): 2x + y <= 8

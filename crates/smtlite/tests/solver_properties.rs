@@ -78,7 +78,7 @@ proptest! {
             let (lo, hi) = (a.min(b), a.max(b));
             // Every interval [lo, hi] here is non-empty by construction;
             // flip half of them to force emptiness.
-            let x = s.new_real("x");
+            let x = s.new_real();
             s.assert_formula(LinExpr::var(x).ge(lo));
             s.assert_formula(LinExpr::var(x).le(hi));
             vars.push((x, lo, hi));
@@ -101,7 +101,7 @@ proptest! {
     fn difference_cycle(ds in prop::collection::vec(-10i64..10, 2..6)) {
         let mut s = Solver::new();
         let n = ds.len();
-        let vars: Vec<_> = (0..n).map(|i| s.new_real(format!("x{i}"))).collect();
+        let vars: Vec<_> = (0..n).map(|_| s.new_real()).collect();
         // x_{i+1} >= x_i + d_i, cyclically.
         let mut total = 0i64;
         for (i, &d) in ds.iter().enumerate() {
@@ -122,8 +122,8 @@ proptest! {
     fn maximize_is_sound(caps in prop::collection::vec(0i64..20, 1..6)) {
         let mut s = Solver::new();
         let mut obj = LinExpr::constant(0);
-        for (i, &c) in caps.iter().enumerate() {
-            let x = s.new_real(format!("x{i}"));
+        for &c in &caps {
+            let x = s.new_real();
             s.assert_formula(LinExpr::var(x).ge(0));
             s.assert_formula(LinExpr::var(x).le(c));
             obj = obj.plus(&LinExpr::var(x));
@@ -139,10 +139,10 @@ proptest! {
     #[test]
     fn guarded_bounds(guards in prop::collection::vec(any::<bool>(), 1..6)) {
         let mut s = Solver::new();
-        let x = s.new_real("x");
+        let x = s.new_real();
         let mut forced_min = 0i64;
         for (i, &on) in guards.iter().enumerate() {
-            let p = s.new_bool(format!("p{i}"));
+            let p = s.new_bool();
             let bound = (i as i64 + 1) * 3;
             s.assert_formula(Formula::implies(
                 Formula::Bool(p),
