@@ -703,6 +703,8 @@ pub fn strategies(cx: &ScenarioCtx<'_>) -> Table {
             "sat_propagations",
             "sat_learned",
             "sat_restarts",
+            "sat_gcd",
+            "sat_live",
         ],
     );
     let registry = StrategyRegistry::builtin();
@@ -744,6 +746,8 @@ pub fn strategies(cx: &ScenarioCtx<'_>) -> Table {
             stats.sat_propagations += s.sat_propagations;
             stats.sat_learned += s.sat_learned;
             stats.sat_restarts += s.sat_restarts;
+            stats.sat_gc_clauses += s.sat_gc_clauses;
+            stats.sat_learnt_live = stats.sat_learnt_live.max(s.sat_learnt_live);
         }
         let sched = AttackSchedule::from_zone_rows(zones, &table);
         let stealthy = sched.validate(&adm, &cap, day).is_ok();
@@ -759,6 +763,8 @@ pub fn strategies(cx: &ScenarioCtx<'_>) -> Table {
             stats.sat_propagations.to_string(),
             stats.sat_learned.to_string(),
             stats.sat_restarts.to_string(),
+            stats.sat_gc_clauses.to_string(),
+            stats.sat_learnt_live.to_string(),
         ]);
     }
     t
@@ -1008,6 +1014,8 @@ pub fn fig11(cx: &ScenarioCtx<'_>) -> Table {
             "sat_propagations",
             "sat_learned",
             "sat_restarts",
+            "sat_gcd",
+            "sat_live",
         ],
     );
     /// One measurement of the span sweep: (a) a time-horizon point on an
@@ -1073,6 +1081,8 @@ pub fn fig11(cx: &ScenarioCtx<'_>) -> Table {
                 stats.sat_propagations.to_string(),
                 stats.sat_learned.to_string(),
                 stats.sat_restarts.to_string(),
+                stats.sat_gc_clauses.to_string(),
+                stats.sat_learnt_live.to_string(),
             ]
         }
         Sweep::Zones(n_zones) => {
@@ -1114,6 +1124,8 @@ pub fn fig11(cx: &ScenarioCtx<'_>) -> Table {
                 stats.sat_propagations.to_string(),
                 stats.sat_learned.to_string(),
                 stats.sat_restarts.to_string(),
+                stats.sat_gc_clauses.to_string(),
+                stats.sat_learnt_live.to_string(),
             ]
         }
     });

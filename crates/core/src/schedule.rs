@@ -248,6 +248,15 @@ pub struct WindowSolution {
     pub sat_learned: u64,
     /// CDCL restarts during the original solve.
     pub sat_restarts: u64,
+    /// Learnt clauses garbage-collected by the clause-DB reduction
+    /// during the original solve.
+    pub sat_gc_clauses: u64,
+    /// Learnt clauses carried through the end-of-window pop (carry mode
+    /// only; zero in the default replay-exact mode).
+    pub sat_carried: u64,
+    /// Live learnt clauses at the end of the window solve, before the
+    /// pop (gauge).
+    pub sat_learnt_live: u64,
 }
 
 /// Memoizes solved schedule fragments (SMT window solutions) across

@@ -57,6 +57,24 @@ pub struct SmtScheduler {
     /// a fresh solver per window — the slow reference path kept for the
     /// incremental-vs-fresh equivalence tests.
     pub reuse_solver: bool,
+    /// Retain window-agnostic learnt clauses *across* windows: the CDCL
+    /// core tags every learnt with the push depth its derivation depends
+    /// on, and the end-of-window pop keeps lemmas derived purely from
+    /// the span template (or from the theory over template variables).
+    ///
+    /// # Determinism contract
+    ///
+    /// Default (`false`): every pop is replay-exact, so schedules are
+    /// byte-identical to the `reuse_solver: false` reference path and
+    /// across thread counts. With carry on, later windows see lemmas
+    /// earlier windows learned, so the *search* (and thus tie-breaking
+    /// among equal-objective schedules) may diverge from the fresh path;
+    /// runs remain deterministic for a fixed configuration, per-window
+    /// objectives are unchanged (property-tested: equal rewards within
+    /// the OMT tolerance, schedules still valid/stealthy), and window
+    /// memoization is bypassed because a window's solution is no longer
+    /// a pure function of the window key.
+    pub carry_learnts: bool,
 }
 
 impl Default for SmtScheduler {
@@ -65,6 +83,7 @@ impl Default for SmtScheduler {
             horizon: 10,
             tol_microusd: 1.0,
             reuse_solver: true,
+            carry_learnts: false,
         }
     }
 }
@@ -90,6 +109,12 @@ pub struct SmtStats {
     pub sat_learned: u64,
     /// CDCL restarts.
     pub sat_restarts: u64,
+    /// Learnt clauses removed by the clause-DB reduction (GC).
+    pub sat_gc_clauses: u64,
+    /// Learnt clauses carried across window pops (carry mode only).
+    pub sat_carried: u64,
+    /// Peak live learnt-clause count observed at any window's end.
+    pub sat_learnt_live: u64,
 }
 
 impl SmtStats {
@@ -99,6 +124,9 @@ impl SmtStats {
         self.sat_propagations += w.sat_propagations;
         self.sat_learned += w.sat_learned;
         self.sat_restarts += w.sat_restarts;
+        self.sat_gc_clauses += w.sat_gc_clauses;
+        self.sat_carried += w.sat_carried;
+        self.sat_learnt_live = self.sat_learnt_live.max(w.sat_learnt_live);
     }
 }
 
@@ -136,8 +164,9 @@ struct WindowProblem<'a> {
 }
 
 impl WindowEncoder {
-    fn new(horizon: usize, n_zones: usize) -> WindowEncoder {
+    fn new(horizon: usize, n_zones: usize, carry_learnts: bool) -> WindowEncoder {
         let mut solver = Solver::new();
+        solver.set_carry_learnts(carry_learnts);
         let x: Vec<Vec<BoolVar>> = (0..horizon)
             .map(|_| (0..n_zones).map(|_| solver.new_bool()).collect())
             .collect();
@@ -282,6 +311,7 @@ impl WindowEncoder {
                 }
                 out
             });
+        let live = self.solver.live_learnts() as u64;
         self.solver.pop();
 
         let sat = self.solver.sat_stats().since(sat_before);
@@ -292,6 +322,9 @@ impl WindowEncoder {
             sat_propagations: sat.propagations,
             sat_learned: sat.learned,
             sat_restarts: sat.restarts,
+            sat_gc_clauses: sat.gc_clauses,
+            sat_carried: sat.carried,
+            sat_learnt_live: live,
         }
     }
 }
@@ -386,9 +419,9 @@ impl SmtScheduler {
             let encoder: &mut WindowEncoder = if self.reuse_solver {
                 encoders
                     .entry(horizon)
-                    .or_insert_with(|| WindowEncoder::new(horizon, n_zones))
+                    .or_insert_with(|| WindowEncoder::new(horizon, n_zones, self.carry_learnts))
             } else {
-                fresh_store.insert(WindowEncoder::new(horizon, n_zones))
+                fresh_store.insert(WindowEncoder::new(horizon, n_zones, self.carry_learnts))
             };
             let problem = WindowProblem {
                 o,
@@ -404,6 +437,10 @@ impl SmtScheduler {
                 can_extend: &can_extend,
                 has_future: &has_future,
             };
+            // In carry mode a window's solution depends on the lemmas
+            // carried in from earlier windows, so it is not a pure
+            // function of the window key: skip the memo entirely.
+            let memo = if self.carry_learnts { None } else { memo };
             let solution = match memo {
                 Some((m, prefix)) => {
                     // `until` only reaches the solver through the

@@ -77,6 +77,14 @@ impl WorkPool {
     /// the index (e.g. `ScenarioCtx::item_seed`), never from thread
     /// identity, and the output is byte-identical for every budget size —
     /// including zero, where the call degenerates to a serial map.
+    ///
+    /// A grant of exactly one helper slot is returned unused and the map
+    /// runs inline: on an oversubscribed or single-CPU host the spawn +
+    /// per-item synchronization of a lone helper costs more than the
+    /// second lane buys (the `strategies` exhibit measured *slower*
+    /// parallel than serial on the 1-CPU container), and the
+    /// `inline_and_pooled_par_map_byte_identical` test pins that both
+    /// paths produce identical output, so the cutover is free.
     pub fn par_map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
     where
         T: Sync,
@@ -84,8 +92,11 @@ impl WorkPool {
         F: Fn(usize, &T) -> R + Sync,
     {
         let n = items.len();
-        let helpers = if n > 1 { self.acquire_up_to(n - 1) } else { 0 };
-        if helpers == 0 {
+        let helpers = if n > 2 { self.acquire_up_to(n - 1) } else { 0 };
+        if helpers == 1 {
+            self.release(1);
+        }
+        if helpers <= 1 {
             return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
         }
         let mut slots: Vec<Option<R>> = Vec::new();
@@ -150,6 +161,36 @@ mod tests {
             assert_eq!(got, expect, "extra={extra}");
             assert_eq!(pool.available(), extra, "slots returned, extra={extra}");
         }
+    }
+
+    #[test]
+    fn single_slot_grant_runs_inline_and_returns_the_slot() {
+        let pool = WorkPool::new(1);
+        let items: Vec<usize> = (0..16).collect();
+        let main_thread = std::thread::current().id();
+        let got = pool.par_map(&items, |_, &x| {
+            // The lone helper slot must be declined: every item runs on
+            // the calling thread.
+            assert_eq!(std::thread::current().id(), main_thread);
+            x + 1
+        });
+        assert_eq!(got, (1..=16).collect::<Vec<_>>());
+        assert_eq!(pool.available(), 1, "declined slot must be returned");
+    }
+
+    #[test]
+    fn inline_and_pooled_par_map_byte_identical() {
+        // The same work item set must produce identical results whether
+        // the map runs inline (0 or 1 slot) or across real helpers.
+        let items: Vec<usize> = (0..64).collect();
+        let run = |extra: usize| {
+            let pool = WorkPool::new(extra);
+            pool.par_map(&items, |i, &x| format!("{i}:{}", x * 31))
+        };
+        let inline = run(0);
+        assert_eq!(inline, run(1), "single-slot (inline) path diverged");
+        assert_eq!(inline, run(3), "pooled path diverged");
+        assert_eq!(inline, run(16), "wide pooled path diverged");
     }
 
     #[test]

@@ -42,7 +42,9 @@ pub struct Encoder {
     /// a `Vec` so the theory-bound gathering in the DPLL(T) loop iterates
     /// deterministically (HashMap order would leak into simplex column
     /// allocation and conflict explanations, i.e. into the models).
-    atoms: Vec<(usize, Atom)>,
+    /// Crate-visible so the solver can borrow it alongside `sat` (the
+    /// theory hook reads atoms while the CDCL core searches).
+    pub(crate) atoms: Vec<(usize, Atom)>,
     /// SAT variable per user-facing Boolean variable.
     bool_vars: HashMap<usize, usize>,
     /// Cached constant-true literal.
@@ -116,12 +118,6 @@ impl Encoder {
         self.atom_vars.insert(key, v);
         self.atoms.push((v, a.clone()));
         v
-    }
-
-    /// All registered atoms with their SAT variables, in registration
-    /// order (deterministic).
-    pub fn registered_atoms(&self) -> impl Iterator<Item = (usize, &Atom)> {
-        self.atoms.iter().map(|(v, a)| (*v, a))
     }
 
     /// The SAT value of a user Boolean variable in a model, if allocated.
@@ -265,7 +261,7 @@ mod tests {
         let f2 = LinExpr::var(x).le(3);
         enc.assert_formula(&f1);
         enc.assert_formula(&f2);
-        assert_eq!(enc.registered_atoms().count(), 1);
+        assert_eq!(enc.atoms.len(), 1);
     }
 
     #[test]
@@ -273,7 +269,7 @@ mod tests {
         let mut enc = Encoder::new();
         let x = RealVar(0);
         enc.assert_formula(&LinExpr::var(x).eq(5));
-        assert_eq!(enc.registered_atoms().count(), 2);
+        assert_eq!(enc.atoms.len(), 2);
     }
 
     #[test]

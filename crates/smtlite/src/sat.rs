@@ -1,9 +1,11 @@
-//! A CDCL SAT solver: two-watched-literal propagation, first-UIP conflict
-//! learning, VSIDS-style variable activity, phase saving and Luby
-//! restarts. MiniSat-shaped, sized for the few-thousand-variable encodings
-//! the SHATTER attack windows produce.
+//! A CDCL(T) SAT core: two-watched-literal propagation, first-UIP
+//! conflict learning, a VSIDS order heap, phase saving, Luby restarts,
+//! a reducible learnt-clause database with activity/LBD garbage
+//! collection, and a theory hook for DPLL(T) integration. MiniSat-shaped,
+//! sized for the few-thousand-variable encodings the SHATTER attack
+//! windows produce.
 //!
-//! The solver is *incremental* along three axes the DPLL(T)/OMT drivers
+//! The solver is *incremental* along four axes the DPLL(T)/OMT drivers
 //! exploit:
 //!
 //! - clauses may be added between [`SatSolver::solve`] calls, and learned
@@ -12,12 +14,21 @@
 //! - [`SatSolver::solve_under`] decides the clause set under a list of
 //!   *assumption* literals without asserting them — the failed subset is
 //!   recoverable via [`SatSolver::last_conflict_core`];
+//! - [`SatSolver::solve_with`] additionally consults a [`Theory`] during
+//!   the search: theory conflicts are analyzed *in place* like Boolean
+//!   conflicts (no solve-from-scratch per blocking clause), and
+//!   theory-implied literals enter the trail through attached lemma
+//!   clauses;
 //! - [`SatSolver::push`]/[`SatSolver::pop`] checkpoint the assertion
 //!   trail: `pop` removes every clause and variable added since the
 //!   matching `push` and restores the heuristic state (activity, phase,
-//!   bump increment) byte-for-byte, so a popped solver replays exactly
-//!   like a fresh one — the property the scheduler's window memoization
-//!   and the incremental-vs-fresh equivalence tests rely on.
+//!   bump increments, clause activities, GC budget) byte-for-byte, so a
+//!   popped solver replays exactly like a fresh one — the property the
+//!   scheduler's window memoization and the incremental-vs-fresh
+//!   equivalence tests rely on. The opt-in
+//!   [`SatSolver::set_carry_learnts`] mode relaxes exact restoration to
+//!   retain learnt clauses whose derivations do not depend on the popped
+//!   frame (see [`SatSolver::pop`]).
 
 /// A literal: variable index with a sign.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -64,6 +75,62 @@ pub enum SatVerdict {
     Unsat,
 }
 
+/// View of the current (partial) assignment handed to a [`Theory`]
+/// consultation.
+pub struct TheoryView<'a> {
+    assign: &'a [i8],
+}
+
+impl TheoryView<'_> {
+    /// Value of a variable: `None` while unassigned.
+    pub fn value(&self, var: usize) -> Option<bool> {
+        match self.assign.get(var) {
+            Some(&UNASSIGNED) | None => None,
+            Some(&v) => Some(v == 1),
+        }
+    }
+
+    /// The literal of `var` that is currently true, if assigned.
+    pub fn asserted_lit(&self, var: usize) -> Option<Lit> {
+        self.value(var)
+            .map(|v| if v { Lit::pos(var) } else { Lit::neg(var) })
+    }
+}
+
+/// Outcome of a [`Theory`] consultation.
+#[derive(Debug, Clone)]
+pub enum TheoryResult {
+    /// The asserted literal set is theory-consistent and nothing new is
+    /// implied.
+    Ok,
+    /// Theory-implied literals: each entry is `(implied, premises)` where
+    /// every premise is currently true, `implied` is unassigned, and the
+    /// lemma `¬p₁ ∨ … ∨ ¬pₖ ∨ implied` is theory-valid. The solver
+    /// attaches each lemma as a (reducible) clause and enqueues the
+    /// implied literal with it as reason. `premises` must be non-empty
+    /// (a clause cannot watch a single literal); a premise-free theory
+    /// fact should be reported as a `Conflict` of the fact's negation
+    /// once that literal is actually asserted, or simply left to the
+    /// complete-assignment check. Empty-premise entries are skipped.
+    Implied(Vec<(Lit, Vec<Lit>)>),
+    /// The asserted literals named here (all currently true) are jointly
+    /// theory-infeasible; the solver learns their negation as a blocking
+    /// lemma and resolves the conflict in place.
+    Conflict(Vec<Lit>),
+}
+
+/// A theory solver consulted during CDCL search (DPLL(T)).
+///
+/// `consult` is called at decision checkpoints with the partial
+/// assignment (`complete == false`) and, mandatorily, whenever the
+/// Boolean assignment is total (`complete == true`) before `Sat` is
+/// returned. A complete consultation must not return
+/// [`TheoryResult::Implied`] (there is nothing left to imply).
+pub trait Theory {
+    /// Consults the theory against the current assignment.
+    fn consult(&mut self, view: TheoryView<'_>, complete: bool) -> TheoryResult;
+}
+
 /// Cumulative search-effort counters, never reset by [`SatSolver::pop`]
 /// (they measure work done, not state held). Surfaced through
 /// `SmtStats`/`WindowMemo` into the scalability exhibits.
@@ -73,11 +140,17 @@ pub struct SatStats {
     pub decisions: u64,
     /// Literals dequeued by unit propagation.
     pub propagations: u64,
+    /// Conflicts handled (Boolean and theory alike).
+    pub conflicts: u64,
     /// Learned clauses stored (unit learnts assert directly and are not
-    /// counted; stored learnts stay until the enclosing `pop`).
+    /// counted; stored learnts stay until GC'd or popped).
     pub learned: u64,
     /// Luby restarts performed.
     pub restarts: u64,
+    /// Learnt clauses removed by clause-database reduction.
+    pub gc_clauses: u64,
+    /// Learnt clauses retained through a `pop` in carry mode.
+    pub carried: u64,
 }
 
 impl SatStats {
@@ -87,37 +160,209 @@ impl SatStats {
         SatStats {
             decisions: self.decisions - earlier.decisions,
             propagations: self.propagations - earlier.propagations,
+            conflicts: self.conflicts - earlier.conflicts,
             learned: self.learned - earlier.learned,
             restarts: self.restarts - earlier.restarts,
+            gc_clauses: self.gc_clauses - earlier.gc_clauses,
+            carried: self.carried - earlier.carried,
         }
     }
 }
 
 const UNASSIGNED: i8 = -1;
 
-/// Checkpoint recorded by [`SatSolver::push`]; `pop` restores it exactly.
+/// Partial-assignment theory consultations run before a decision once
+/// this many decisions accumulated since the last consult.
+const THEORY_CONSULT_INTERVAL: u64 = 4;
+
+/// Initial learnt-clause budget before the first database reduction.
+const GC_INITIAL_BUDGET: usize = 250;
+
+/// Geometric growth of the learnt budget after each reduction (per mille).
+const GC_BUDGET_GROWTH_PERMILLE: usize = 1100;
+
+/// A stored clause: original (problem) clauses are permanent until the
+/// enclosing `pop`; learnt clauses (CDCL learnts and theory lemmas) are
+/// reducible by [`SatSolver`]'s garbage collector.
+#[derive(Debug, Clone, PartialEq)]
+struct Clause {
+    lits: Vec<Lit>,
+    /// Monotonic birth stamp: clause indices shift under GC compaction,
+    /// so "was this clause added after the push?" is judged by id
+    /// against the frame's watermark, never by vector position.
+    id: u64,
+    /// Reducible lemma (CDCL learnt or theory blocking/implication
+    /// clause) vs permanent problem clause.
+    learnt: bool,
+    /// Push depth this clause's derivation depends on: the frame depth at
+    /// which it was added (problem clauses), the maximum depth of the
+    /// clauses resolved to learn it (CDCL learnts), or the maximum
+    /// creation depth of its variables (theory lemmas, which are valid
+    /// independently of any clause). Carry mode keeps learnts whose depth
+    /// survives the pop.
+    depth: u32,
+    /// Bump-on-use activity driving reduction order.
+    activity: f64,
+    /// Literal-block distance (distinct decision levels) at learn time.
+    lbd: u32,
+}
+
+/// Indexed binary max-heap over variables, ordered by VSIDS activity with
+/// deterministic variable-index tie-breaking (lower index wins ties —
+/// the same total order the previous O(n) argmax scan implied). The heap
+/// may lag the assignment: assigned variables are skipped lazily by
+/// [`SatSolver::decide`] and re-inserted when the trail unwinds.
+#[derive(Debug, Clone, Default)]
+struct OrderHeap {
+    heap: Vec<u32>,
+    /// Variable -> heap position (`u32::MAX` = absent).
+    pos: Vec<u32>,
+}
+
+const ABSENT: u32 = u32::MAX;
+
+impl OrderHeap {
+    /// `a` orders strictly before `b` (higher activity, then lower index).
+    #[inline]
+    fn better(act: &[f64], a: u32, b: u32) -> bool {
+        let (aa, ab) = (act[a as usize], act[b as usize]);
+        aa > ab || (aa == ab && a < b)
+    }
+
+    fn contains(&self, v: usize) -> bool {
+        self.pos.get(v).is_some_and(|&p| p != ABSENT)
+    }
+
+    fn grow_to(&mut self, n_vars: usize) {
+        if self.pos.len() < n_vars {
+            self.pos.resize(n_vars, ABSENT);
+        }
+    }
+
+    fn sift_up(&mut self, act: &[f64], mut i: usize) {
+        let v = self.heap[i];
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if !Self::better(act, v, self.heap[parent]) {
+                break;
+            }
+            self.heap[i] = self.heap[parent];
+            self.pos[self.heap[i] as usize] = i as u32;
+            i = parent;
+        }
+        self.heap[i] = v;
+        self.pos[v as usize] = i as u32;
+    }
+
+    fn sift_down(&mut self, act: &[f64], mut i: usize) {
+        let v = self.heap[i];
+        let n = self.heap.len();
+        loop {
+            let l = 2 * i + 1;
+            if l >= n {
+                break;
+            }
+            let r = l + 1;
+            let c = if r < n && Self::better(act, self.heap[r], self.heap[l]) {
+                r
+            } else {
+                l
+            };
+            if !Self::better(act, self.heap[c], v) {
+                break;
+            }
+            self.heap[i] = self.heap[c];
+            self.pos[self.heap[i] as usize] = i as u32;
+            i = c;
+        }
+        self.heap[i] = v;
+        self.pos[v as usize] = i as u32;
+    }
+
+    /// Inserts `v` unless already present.
+    fn insert(&mut self, act: &[f64], v: usize) {
+        self.grow_to(v + 1);
+        if self.pos[v] != ABSENT {
+            return;
+        }
+        self.pos[v] = self.heap.len() as u32;
+        self.heap.push(v as u32);
+        self.sift_up(act, self.pos[v] as usize);
+    }
+
+    /// Removes and returns the best variable, or `None` when empty.
+    fn pop_max(&mut self, act: &[f64]) -> Option<usize> {
+        let best = *self.heap.first()?;
+        self.pos[best as usize] = ABSENT;
+        let last = self.heap.pop().expect("non-empty");
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.pos[last as usize] = 0;
+            self.sift_down(act, 0);
+        }
+        Some(best as usize)
+    }
+
+    /// Restores order after `v`'s activity increased.
+    fn bumped(&mut self, act: &[f64], v: usize) {
+        if self.contains(v) {
+            let p = self.pos[v] as usize;
+            self.sift_up(act, p);
+        }
+    }
+
+    /// Rebuilds the heap to contain exactly the variables `0..n_vars`.
+    /// Any valid heap layout yields the same `pop_max` sequence because
+    /// the comparison is a total order, so this is replay-safe.
+    fn rebuild(&mut self, act: &[f64], n_vars: usize) {
+        self.heap.clear();
+        self.pos.clear();
+        self.pos.resize(n_vars, ABSENT);
+        for v in 0..n_vars {
+            self.pos[v] = v as u32;
+            self.heap.push(v as u32);
+        }
+        for i in (0..n_vars / 2).rev() {
+            self.sift_down(act, i);
+        }
+    }
+}
+
+/// Checkpoint recorded by [`SatSolver::push`]; `pop` restores it exactly
+/// (default mode) or up to carried learnts (carry mode).
 #[derive(Debug, Clone)]
 struct SatFrame {
     n_vars: usize,
     /// Full snapshot of the clause database, not just its length:
     /// propagation permutes literal order *inside* surviving clauses
-    /// (watch maintenance swaps positions 0/1/k), and the replay
-    /// contract needs that order — it drives watch traversal — restored
-    /// too.
-    clauses: Vec<Vec<Lit>>,
+    /// (watch maintenance swaps positions 0/1/k), the garbage collector
+    /// compacts the vector, and clause activities/LBDs evolve; the
+    /// replay contract needs all of it restored.
+    clauses: Vec<Clause>,
     trail_len: usize,
+    /// Reason indices of the push-time (level-0) trail: a `reduce_db`
+    /// inside the frame compacts clause indices, so the reasons of
+    /// pre-push facts must be restored alongside the clause vector or
+    /// they dangle into the wrong clauses after the pop (the GC's
+    /// locked-clause set would then protect the wrong entries).
+    reason: Vec<Option<usize>>,
     activity: Vec<f64>,
     phase: Vec<bool>,
     var_inc: f64,
+    cla_inc: f64,
+    gc_budget: usize,
+    /// `next_clause_id` at push time: clauses with an id at or above
+    /// this watermark were added inside the frame.
+    clause_id_watermark: u64,
     unsat: bool,
 }
 
 /// The CDCL solver. Clauses may be added between [`SatSolver::solve`]
 /// calls (incremental use by the DPLL(T) loop).
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Clone)]
 pub struct SatSolver {
     n_vars: usize,
-    clauses: Vec<Vec<Lit>>,
+    clauses: Vec<Clause>,
     /// watches[lit] = clause indices watching `lit`.
     watches: Vec<Vec<usize>>,
     /// Per-variable value: 0 false, 1 true, -1 unassigned.
@@ -137,6 +382,24 @@ pub struct SatSolver {
     /// VSIDS activity.
     activity: Vec<f64>,
     var_inc: f64,
+    /// Decision order: activity-keyed max-heap over variables.
+    order: OrderHeap,
+    /// Clause-activity bump increment (learnt DB reduction order).
+    cla_inc: f64,
+    /// Live learnt clauses allowed before the next database reduction.
+    gc_budget: usize,
+    /// Birth stamp handed to the next stored clause.
+    next_clause_id: u64,
+    /// Live learnt-clause count (gauge).
+    n_learnts: usize,
+    /// Push depth each variable was created at (carry-mode tagging).
+    var_depth: Vec<u32>,
+    /// For variables assigned at level 0: the push depth their fact's
+    /// derivation depends on (set at enqueue time; read when conflict
+    /// analysis resolves a level-0 literal away).
+    fact_depth: Vec<u32>,
+    /// Retain pop-surviving learnts across `pop` (see [`SatSolver::pop`]).
+    carry_learnts: bool,
     /// Top-level (level-0) conflict detected while adding clauses.
     unsat: bool,
     /// Stamped "seen" buffer reused by conflict analysis (no per-conflict
@@ -151,18 +414,77 @@ pub struct SatSolver {
     pub stats: SatStats,
 }
 
+impl Default for SatSolver {
+    /// Same as [`SatSolver::new`]: an empty solver with live heuristic
+    /// increments. (A derived `Default` would zero `var_inc`/`cla_inc`
+    /// and the GC budget, silently disabling VSIDS and making the
+    /// reducer fire on every conflict — the exact misconfiguration the
+    /// embedding `Encoder::default()` used to hit.)
+    fn default() -> SatSolver {
+        SatSolver {
+            n_vars: 0,
+            clauses: Vec::new(),
+            watches: Vec::new(),
+            assign: Vec::new(),
+            phase: Vec::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            reason: Vec::new(),
+            level: Vec::new(),
+            activity: Vec::new(),
+            var_inc: 1.0,
+            order: OrderHeap::default(),
+            cla_inc: 1.0,
+            gc_budget: GC_INITIAL_BUDGET,
+            next_clause_id: 0,
+            n_learnts: 0,
+            var_depth: Vec::new(),
+            fact_depth: Vec::new(),
+            carry_learnts: false,
+            unsat: false,
+            seen: Vec::new(),
+            seen_stamp: 0,
+            last_core: Vec::new(),
+            frames: Vec::new(),
+            stats: SatStats::default(),
+        }
+    }
+}
+
 impl SatSolver {
     /// Creates an empty solver.
     pub fn new() -> SatSolver {
-        SatSolver {
-            var_inc: 1.0,
-            ..SatSolver::default()
-        }
+        SatSolver::default()
     }
 
     /// Number of variables allocated.
     pub fn n_vars(&self) -> usize {
         self.n_vars
+    }
+
+    /// Live learnt clauses currently stored (gauge; drops on GC and pop).
+    pub fn live_learnts(&self) -> usize {
+        self.n_learnts
+    }
+
+    /// Opt-in cross-frame learnt retention: [`SatSolver::pop`] keeps
+    /// learnt clauses whose derivation depth survives the pop instead of
+    /// dropping every clause added since the push. Sound (each survivor
+    /// is a consequence of surviving clauses or the theory alone) but
+    /// *not* replay-exact: a popped solver may search differently from a
+    /// fresh one, so callers relying on byte-identical replay must leave
+    /// this off (the default).
+    pub fn set_carry_learnts(&mut self, on: bool) {
+        self.carry_learnts = on;
+    }
+
+    /// Lowers the learnt-clause budget that triggers database reduction
+    /// (mainly for tests and microbenches that want to exercise GC on
+    /// small instances). The budget still grows geometrically after each
+    /// reduction.
+    pub fn set_gc_budget(&mut self, budget: usize) {
+        self.gc_budget = budget.max(1);
     }
 
     /// Allocates a fresh variable and returns its index.
@@ -175,22 +497,16 @@ impl SatSolver {
         self.level.push(0);
         self.activity.push(0.0);
         self.seen.push(0);
+        self.var_depth.push(self.frames.len() as u32);
+        self.fact_depth.push(0);
         self.watches.push(Vec::new());
         self.watches.push(Vec::new());
+        self.order.insert(&self.activity, v);
         v
     }
 
     fn value(&self, l: Lit) -> i8 {
-        match self.assign[l.var()] {
-            UNASSIGNED => UNASSIGNED,
-            v => {
-                if l.is_neg() {
-                    1 - v
-                } else {
-                    v
-                }
-            }
-        }
+        lit_value(&self.assign, l)
     }
 
     /// Adds a clause. Returns `false` when the solver becomes trivially
@@ -230,38 +546,71 @@ impl SatSolver {
                 true
             }
             _ => {
-                let idx = self.clauses.len();
-                self.watches[c[0].index()].push(idx);
-                self.watches[c[1].index()].push(idx);
-                self.clauses.push(c);
+                self.attach_clause(c, false, self.frames.len() as u32, 0);
                 true
             }
         }
     }
 
+    /// Stores a clause (watching positions 0 and 1) and returns its index.
+    fn attach_clause(&mut self, lits: Vec<Lit>, learnt: bool, depth: u32, lbd: u32) -> usize {
+        debug_assert!(lits.len() >= 2);
+        let idx = self.clauses.len();
+        self.watches[lits[0].index()].push(idx);
+        self.watches[lits[1].index()].push(idx);
+        if learnt {
+            self.n_learnts += 1;
+            self.stats.learned += 1;
+        }
+        let id = self.next_clause_id;
+        self.next_clause_id += 1;
+        self.clauses.push(Clause {
+            lits,
+            id,
+            learnt,
+            depth,
+            activity: 0.0,
+            lbd,
+        });
+        idx
+    }
+
     /// Checkpoints the clause set, variable count, level-0 trail and the
     /// heuristic state. The matching [`SatSolver::pop`] restores all of
-    /// it exactly — including VSIDS activity and saved phases — so search
-    /// behaviour after a pop is indistinguishable from a solver that
-    /// never saw the popped clauses.
+    /// it exactly — including VSIDS activity, saved phases, clause
+    /// activities and the GC budget — so search behaviour after a pop is
+    /// indistinguishable from a solver that never saw the popped clauses.
     pub fn push(&mut self) {
         self.backtrack_to(0);
         self.frames.push(SatFrame {
             n_vars: self.n_vars,
             clauses: self.clauses.clone(),
             trail_len: self.trail.len(),
+            reason: self.reason.clone(),
             activity: self.activity.clone(),
             phase: self.phase.clone(),
             var_inc: self.var_inc,
+            cla_inc: self.cla_inc,
+            gc_budget: self.gc_budget,
+            clause_id_watermark: self.next_clause_id,
             unsat: self.unsat,
         });
     }
 
-    /// Undoes everything since the matching [`SatSolver::push`]: clauses
-    /// (original *and* learned — learnts may resolve on popped clauses,
-    /// so keeping any would be unsound), variables, level-0 facts, and
-    /// the heuristic state. Effort counters in [`SatSolver::stats`] are
-    /// deliberately kept.
+    /// Undoes everything since the matching [`SatSolver::push`]: clauses,
+    /// variables, level-0 facts, and the heuristic state. Effort counters
+    /// in [`SatSolver::stats`] are deliberately kept.
+    ///
+    /// In the default mode every clause added since the push — original
+    /// *and* learned — is dropped: learnts may resolve on popped clauses,
+    /// so keeping an arbitrary one would be unsound, and dropping all of
+    /// them makes the pop replay-exact. With
+    /// [`SatSolver::set_carry_learnts`] enabled, learnt clauses whose
+    /// derivation depth is at most the restored frame depth (i.e. every
+    /// clause they were resolved from, or — for theory lemmas — every
+    /// variable they mention, already existed at push time) are retained:
+    /// they are consequences of the surviving clause set or of the theory
+    /// alone, so soundness holds, at the price of replay exactness.
     ///
     /// # Panics
     ///
@@ -275,15 +624,44 @@ impl SatSolver {
             self.reason[l.var()] = None;
         }
         self.qhead = self.trail.len();
+        let carried: Vec<Clause> = if self.carry_learnts {
+            let depth = self.frames.len() as u32;
+            // Judged by birth id, not vector position: an in-frame GC
+            // that removed pre-push learnts compacts the vector and
+            // slides in-frame clauses below the push-time length.
+            self.clauses
+                .iter()
+                .filter(|c| {
+                    c.id >= f.clause_id_watermark
+                        && c.learnt
+                        && c.depth <= depth
+                        && c.lits.iter().all(|l| l.var() < f.n_vars)
+                })
+                .cloned()
+                .collect()
+        } else {
+            Vec::new()
+        };
+        self.stats.carried += carried.len() as u64;
         self.clauses = f.clauses;
+        self.clauses.extend(carried);
+        self.n_learnts = self.clauses.iter().filter(|c| c.learnt).count();
         self.n_vars = f.n_vars;
         self.assign.truncate(f.n_vars);
-        self.reason.truncate(f.n_vars);
+        // Restore (not merely truncate) the reasons of the surviving
+        // level-0 facts: an in-frame `reduce_db` remapped them to the
+        // compacted clause indices, which the restored clause vector
+        // just invalidated.
+        self.reason = f.reason;
         self.level.truncate(f.n_vars);
         self.seen.truncate(f.n_vars);
+        self.var_depth.truncate(f.n_vars);
+        self.fact_depth.truncate(f.n_vars);
         self.activity = f.activity;
         self.phase = f.phase;
         self.var_inc = f.var_inc;
+        self.cla_inc = f.cla_inc;
+        self.gc_budget = f.gc_budget;
         self.unsat = f.unsat;
         // Rebuild the watch lists over the surviving clauses: stored
         // clauses always watch positions 0 and 1.
@@ -292,9 +670,12 @@ impl SatSolver {
             w.clear();
         }
         for (i, c) in self.clauses.iter().enumerate() {
-            self.watches[c[0].index()].push(i);
-            self.watches[c[1].index()].push(i);
+            self.watches[c.lits[0].index()].push(i);
+            self.watches[c.lits[1].index()].push(i);
         }
+        // The order heap follows the restored variable set; the total
+        // order (activity, index) makes any rebuild layout replay-safe.
+        self.order.rebuild(&self.activity, f.n_vars);
     }
 
     /// Current push depth.
@@ -308,6 +689,27 @@ impl SatSolver {
             1 => true,
             _ => {
                 let v = l.var();
+                // Level-0 assignments are *facts*; record the push depth
+                // their derivation depends on (conflict analysis folds it
+                // into learnts that resolve level-0 literals away, which
+                // carry mode needs to judge soundly). A reasoned fact
+                // inherits its clause's depth joined with the depths of
+                // the facts that made the clause unit; a reasonless fact
+                // conservatively takes the current frame depth — callers
+                // with a tighter derivation depth overwrite it.
+                if self.trail_lim.is_empty() {
+                    self.fact_depth[v] = match reason {
+                        Some(ci) => {
+                            let c = &self.clauses[ci];
+                            c.lits
+                                .iter()
+                                .filter(|q| q.var() != v)
+                                .map(|q| self.fact_depth[q.var()])
+                                .fold(c.depth, u32::max)
+                        }
+                        None => self.frames.len() as u32,
+                    };
+                }
                 self.assign[v] = i8::from(!l.is_neg());
                 self.phase[v] = !l.is_neg();
                 self.reason[v] = reason;
@@ -330,23 +732,25 @@ impl SatSolver {
             let mut watch = std::mem::take(&mut self.watches[false_lit.index()]);
             while i < watch.len() {
                 let ci = watch[i];
+                let lits = &mut self.clauses[ci].lits;
                 // Ensure false_lit is at position 1.
-                let w0 = self.clauses[ci][0];
-                if w0 == false_lit {
-                    self.clauses[ci].swap(0, 1);
+                if lits[0] == false_lit {
+                    lits.swap(0, 1);
                 }
-                let first = self.clauses[ci][0];
-                debug_assert_eq!(self.clauses[ci][1], false_lit);
+                let first = lits[0];
+                debug_assert_eq!(self.clauses[ci].lits[1], false_lit);
                 if self.value(first) == 1 {
                     i += 1;
                     continue;
                 }
                 // Look for a new literal to watch.
                 let mut moved = false;
-                for k in 2..self.clauses[ci].len() {
-                    if self.value(self.clauses[ci][k]) != 0 {
-                        self.clauses[ci].swap(1, k);
-                        let new_watch = self.clauses[ci][1];
+                let lits = &mut self.clauses[ci].lits;
+                for k in 2..lits.len() {
+                    let cand = lits[k];
+                    if lit_value(&self.assign, cand) != 0 {
+                        lits.swap(1, k);
+                        let new_watch = lits[1];
                         self.watches[new_watch.index()].push(ci);
                         watch.swap_remove(i);
                         moved = true;
@@ -376,11 +780,28 @@ impl SatSolver {
                 *a *= 1e-100;
             }
             self.var_inc *= 1e-100;
+            // Uniform rescale preserves the heap order.
+        }
+        self.order.bumped(&self.activity, var);
+    }
+
+    fn bump_clause(&mut self, ci: usize) {
+        let c = &mut self.clauses[ci];
+        if !c.learnt {
+            return;
+        }
+        c.activity += self.cla_inc;
+        if c.activity > 1e20 {
+            for c in &mut self.clauses {
+                c.activity *= 1e-20;
+            }
+            self.cla_inc *= 1e-20;
         }
     }
 
     fn decay(&mut self) {
         self.var_inc /= 0.95;
+        self.cla_inc /= 0.999;
     }
 
     fn next_stamp(&mut self) -> u32 {
@@ -395,18 +816,38 @@ impl SatSolver {
         self.seen_stamp
     }
 
-    /// First-UIP conflict analysis. Returns (learnt clause, backjump level).
-    fn analyze(&mut self, mut conflict: usize) -> (Vec<Lit>, u32) {
+    /// Number of distinct decision levels among `lits` (the LBD quality
+    /// measure driving reduction order; lower is better).
+    fn lbd(&mut self, lits: &[Lit]) -> u32 {
+        let stamp = self.next_stamp();
+        let mut n = 0u32;
+        for l in lits {
+            let lv = self.level[l.var()] as usize;
+            // Reuse the seen buffer indexed by level (levels < n_vars).
+            if lv < self.seen.len() && self.seen[lv] != stamp {
+                self.seen[lv] = stamp;
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// First-UIP conflict analysis. Returns (learnt clause, backjump
+    /// level, derivation depth = max depth of resolved clauses).
+    fn analyze(&mut self, mut conflict: usize) -> (Vec<Lit>, u32, u32) {
         let cur_level = self.trail_lim.len() as u32;
         let mut learnt: Vec<Lit> = Vec::new();
         let stamp = self.next_stamp();
         let mut counter = 0usize;
         let mut trail_idx = self.trail.len();
         let mut asserting: Option<Lit> = None;
+        let mut depth = 0u32;
 
         loop {
-            for idx in 0..self.clauses[conflict].len() {
-                let q = self.clauses[conflict][idx];
+            depth = depth.max(self.clauses[conflict].depth);
+            self.bump_clause(conflict);
+            for idx in 0..self.clauses[conflict].lits.len() {
+                let q = self.clauses[conflict].lits[idx];
                 // Skip the literal we just resolved on (it is asserted by
                 // this reason clause).
                 if asserting == Some(q) {
@@ -421,6 +862,13 @@ impl SatSolver {
                     } else {
                         learnt.push(q);
                     }
+                } else if self.level[v] == 0 {
+                    // The literal is resolved away against a level-0
+                    // fact, so the learnt implicitly depends on that
+                    // fact's derivation: fold its depth in, or carry
+                    // mode would retain learnts premised on facts a
+                    // deeper frame asserted.
+                    depth = depth.max(self.fact_depth[v]);
                 }
             }
             // Find the next seen literal on the trail.
@@ -456,7 +904,7 @@ impl SatSolver {
                 .expect("max exists");
             learnt.swap(1, mi);
         }
-        (learnt, back_level)
+        (learnt, back_level, depth)
     }
 
     /// Computes the subset of assumptions responsible for forcing
@@ -486,8 +934,8 @@ impl SatSolver {
                     self.last_core.push(l);
                 }
                 Some(cr) => {
-                    for idx in 0..self.clauses[cr].len() {
-                        let q = self.clauses[cr][idx];
+                    for idx in 0..self.clauses[cr].lits.len() {
+                        let q = self.clauses[cr].lits[idx];
                         if q.var() != v && self.level[q.var()] > 0 {
                             self.seen[q.var()] = stamp;
                         }
@@ -512,33 +960,279 @@ impl SatSolver {
                 let l = self.trail.pop().expect("non-empty");
                 self.assign[l.var()] = UNASSIGNED;
                 self.reason[l.var()] = None;
+                self.order.insert(&self.activity, l.var());
             }
         }
         // Trail below `level` is untouched and fully propagated.
         self.qhead = self.trail.len();
     }
 
+    /// Next decision literal: best unassigned variable off the order
+    /// heap (activity descending, index ascending), in its saved phase.
     fn decide(&mut self) -> Option<Lit> {
-        let mut best: Option<usize> = None;
-        for v in 0..self.n_vars {
-            if self.assign[v] == UNASSIGNED
-                && best.is_none_or(|b| self.activity[v] > self.activity[b])
-            {
-                best = Some(v);
+        while let Some(v) = self.order.pop_max(&self.activity) {
+            if self.assign[v] == UNASSIGNED {
+                return Some(if self.phase[v] {
+                    Lit::pos(v)
+                } else {
+                    Lit::neg(v)
+                });
             }
         }
-        best.map(|v| {
-            if self.phase[v] {
-                Lit::pos(v)
-            } else {
-                Lit::neg(v)
+        None
+    }
+
+    /// Reduces the learnt-clause database: removes the cold half of the
+    /// removable learnts (worst LBD first, then lowest activity), keeping
+    /// binary clauses and clauses locked as reasons of current
+    /// assignments. Rebuilds the watch lists and remaps reason indices
+    /// over the compacted database. Fully deterministic: the removal
+    /// order is a total order (lbd, activity, index).
+    fn reduce_db(&mut self) {
+        // Candidates: removable learnts, by index.
+        let mut cands: Vec<usize> = Vec::new();
+        let locked: Vec<bool> = {
+            let mut locked = vec![false; self.clauses.len()];
+            for v in 0..self.n_vars {
+                if self.assign[v] != UNASSIGNED {
+                    if let Some(ci) = self.reason[v] {
+                        locked[ci] = true;
+                    }
+                }
             }
-        })
+            locked
+        };
+        for (i, c) in self.clauses.iter().enumerate() {
+            if c.learnt && !locked[i] && c.lits.len() > 2 {
+                cands.push(i);
+            }
+        }
+        // Cold-first: high LBD, then low activity, then high index
+        // (younger clauses of equal merit go first — they have had the
+        // least time to prove themselves and keeping elders is cheaper
+        // for the remap).
+        cands.sort_by(|&a, &b| {
+            let (ca, cb) = (&self.clauses[a], &self.clauses[b]);
+            cb.lbd
+                .cmp(&ca.lbd)
+                .then(
+                    ca.activity
+                        .partial_cmp(&cb.activity)
+                        .expect("activities are finite"),
+                )
+                .then(b.cmp(&a))
+        });
+        let n_remove = cands.len() / 2;
+        if n_remove == 0 {
+            return;
+        }
+        let mut remove = vec![false; self.clauses.len()];
+        for &i in &cands[..n_remove] {
+            remove[i] = true;
+        }
+        // Compact, building the old->new index map.
+        let mut map: Vec<usize> = vec![usize::MAX; self.clauses.len()];
+        let mut kept: Vec<Clause> = Vec::with_capacity(self.clauses.len() - n_remove);
+        for (i, c) in std::mem::take(&mut self.clauses).into_iter().enumerate() {
+            if !remove[i] {
+                map[i] = kept.len();
+                kept.push(c);
+            }
+        }
+        self.clauses = kept;
+        self.n_learnts -= n_remove;
+        self.stats.gc_clauses += n_remove as u64;
+        // Remap reasons (locked clauses were never removed).
+        for ci in self.reason.iter_mut().flatten() {
+            debug_assert_ne!(map[*ci], usize::MAX, "locked clause GC'd");
+            *ci = map[*ci];
+        }
+        // Rebuild watches: stored clauses watch positions 0 and 1.
+        for w in &mut self.watches {
+            w.clear();
+        }
+        for (i, c) in self.clauses.iter().enumerate() {
+            self.watches[c.lits[0].index()].push(i);
+            self.watches[c.lits[1].index()].push(i);
+        }
+    }
+
+    /// Stores a learnt clause, watches it, enqueues the asserting literal
+    /// and pays the learnt-DB accounting. `lits[0]` must be the asserting
+    /// literal and `lits[1]` a max-level literal.
+    fn learn_and_assert(&mut self, lits: Vec<Lit>, depth: u32) {
+        debug_assert!(lits.len() >= 2);
+        let lbd = self.lbd(&lits);
+        let asserting = lits[0];
+        let ci = self.attach_clause(lits, true, depth, lbd);
+        self.bump_clause(ci);
+        let ok = self.enqueue(asserting, Some(ci));
+        debug_assert!(ok, "asserting literal must be enqueueable");
+    }
+
+    /// Handles a conflicting clause: analyzes, backjumps, asserts the
+    /// learnt, and runs the learnt-DB reduction when over budget.
+    /// Returns `false` when the conflict proves top-level unsatisfiability.
+    fn resolve_conflict(&mut self, conflict: usize) -> bool {
+        self.stats.conflicts += 1;
+        if self.trail_lim.is_empty() {
+            self.unsat = true;
+            return false;
+        }
+        let (learnt, back, depth) = self.analyze(conflict);
+        self.backtrack_to(back as usize);
+        if learnt.len() == 1 {
+            if !self.enqueue(learnt[0], None) {
+                self.unsat = true;
+                return false;
+            }
+            // Tighter than enqueue's conservative frame-depth default:
+            // the unit's provenance is the learnt's derivation depth.
+            self.fact_depth[learnt[0].var()] = depth;
+        } else {
+            self.learn_and_assert(learnt, depth);
+        }
+        self.decay();
+        if self.n_learnts >= self.gc_budget {
+            self.reduce_db();
+            // The +1 floors the integer growth for tiny (test-knob)
+            // budgets, keeping the documented geometric back-off.
+            self.gc_budget =
+                (self.gc_budget + 1).max(self.gc_budget * GC_BUDGET_GROWTH_PERMILLE / 1000);
+        }
+        true
+    }
+
+    /// Turns a theory conflict (the given literals are all true and
+    /// jointly infeasible) into an in-place Boolean conflict: learns the
+    /// blocking lemma, backtracks to its highest decision level, and
+    /// resolves it like any other conflict. Returns `false` on top-level
+    /// unsatisfiability.
+    fn resolve_theory_conflict(&mut self, asserted: &[Lit]) -> bool {
+        let mut clause: Vec<Lit> = asserted.iter().map(|l| l.negated()).collect();
+        debug_assert!(clause.iter().all(|&l| self.value(l) == 0));
+        if clause.is_empty() {
+            self.unsat = true;
+            return false;
+        }
+        let max_level = clause
+            .iter()
+            .map(|l| self.level[l.var()])
+            .max()
+            .expect("non-empty");
+        if max_level == 0 {
+            // Infeasible combination of level-0 facts: truly unsat.
+            self.stats.conflicts += 1;
+            self.unsat = true;
+            return false;
+        }
+        self.backtrack_to(max_level as usize);
+        if clause.len() == 1 {
+            // A unit theory lemma is a premise-free fact: assert it at
+            // level 0 (clauses cannot watch a single literal).
+            self.stats.conflicts += 1;
+            self.backtrack_to(0);
+            let ok = self.enqueue(clause[0], None);
+            if ok {
+                // Theory lemmas depend only on their variables' frames.
+                self.fact_depth[clause[0].var()] = self.lemma_depth(&clause);
+            }
+            if !ok || self.propagate().is_some() {
+                self.unsat = true;
+                return false;
+            }
+            return true;
+        }
+        // Watch two highest-level literals (positions 0/1) so the lemma
+        // behaves under future backtracking.
+        let mut order: Vec<usize> = (0..clause.len()).collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(self.level[clause[i].var()]));
+        let (i0, i1) = (order[0], order[1]);
+        clause.swap(0, i0);
+        clause.swap(1, if i1 == 0 { i0 } else { i1 });
+        let depth = self.lemma_depth(&clause);
+        let lbd = self.lbd(&clause);
+        let ci = self.attach_clause(clause, true, depth, lbd);
+        self.bump_clause(ci);
+        self.resolve_conflict(ci)
+    }
+
+    /// Derivation depth of a theory lemma: theory lemmas are valid
+    /// independently of any clause, so only the creation depth of the
+    /// variables they mention pins them to a frame.
+    fn lemma_depth(&self, lits: &[Lit]) -> u32 {
+        lits.iter()
+            .map(|l| self.var_depth[l.var()])
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Attaches theory-implied literals: for each `(lit, premises)` adds
+    /// the lemma `¬p₁ ∨ … ∨ ¬pₖ ∨ lit` and enqueues `lit` with it as
+    /// reason. If an implication arrives already falsified (the theory
+    /// implied both polarities — only possible for an inconsistent
+    /// premise set), the infeasible asserted set is returned for
+    /// [`SatSolver::resolve_theory_conflict`].
+    fn assert_implied(&mut self, implied: Vec<(Lit, Vec<Lit>)>) -> Option<Vec<Lit>> {
+        for (lit, premises) in implied {
+            if premises.is_empty() {
+                // Contract violation (see `TheoryResult::Implied`): a
+                // premise-free lemma cannot be watched; drop it — losing
+                // a propagation is sound.
+                debug_assert!(false, "theory implication without premises");
+                continue;
+            }
+            match self.value(lit) {
+                1 => continue, // an earlier implication already set it
+                0 => {
+                    // Premises are true yet `lit` is false: the asserted
+                    // set {premises..., ¬lit} is theory-infeasible.
+                    let mut asserted = premises;
+                    asserted.push(lit.negated());
+                    return Some(asserted);
+                }
+                _ => {}
+            }
+            let mut clause: Vec<Lit> = Vec::with_capacity(premises.len() + 1);
+            clause.push(lit);
+            clause.extend(premises.iter().map(|p| p.negated()));
+            debug_assert!(clause[1..].iter().all(|&l| self.value(l) == 0));
+            // Position 1 must hold a highest-level false literal so the
+            // watch pair stays sound under backtracking.
+            let mi = 1 + clause[1..]
+                .iter()
+                .enumerate()
+                .max_by_key(|(i, l)| (self.level[l.var()], std::cmp::Reverse(*i)))
+                .expect("premises non-empty")
+                .0;
+            clause.swap(1, mi);
+            let depth = self.lemma_depth(&clause);
+            let lbd = self.lbd(&clause);
+            let ci = self.attach_clause(clause, true, depth, lbd);
+            let ok = self.enqueue(lit, Some(ci));
+            debug_assert!(ok, "implied literal was unassigned");
+        }
+        None
+    }
+
+    /// Pays one conflict toward the Luby restart cadence: the r-th
+    /// restart fires after `luby(r) * 100` conflicts of run r — Boolean
+    /// and theory conflicts alike, so `stats.restarts` stays consistent
+    /// with `stats.conflicts` under DPLL(T) (pinned by the
+    /// `restart_cadence_follows_luby` test).
+    fn tick_restart(&mut self, rs: &mut RestartSchedule) {
+        rs.countdown -= 1;
+        if rs.countdown == 0 {
+            rs.run += 1;
+            self.stats.restarts += 1;
+            rs.countdown = luby(rs.run) * 100;
+            self.backtrack_to(0);
+        }
     }
 
     /// Solves the current clause set.
     pub fn solve(&mut self) -> SatVerdict {
-        self.solve_under(&[])
+        self.solve_with(&[], None)
     }
 
     /// Solves the current clause set under `assumptions`, without
@@ -550,6 +1244,21 @@ impl SatSolver {
     /// one assumption set remains valid for the next — the mechanism the
     /// OMT binary search uses to share work across probes.
     pub fn solve_under(&mut self, assumptions: &[Lit]) -> SatVerdict {
+        self.solve_with(assumptions, None)
+    }
+
+    /// Like [`SatSolver::solve_under`], consulting `theory` during the
+    /// search (DPLL(T)): at decision checkpoints the theory sees the
+    /// partial assignment and may report an infeasible subset (resolved
+    /// in place as a conflict, without restarting the search) or imply
+    /// literals (asserted into the trail through attached lemma clauses);
+    /// every complete Boolean assignment is theory-checked before `Sat`
+    /// is returned.
+    pub fn solve_with(
+        &mut self,
+        assumptions: &[Lit],
+        mut theory: Option<&mut dyn Theory>,
+    ) -> SatVerdict {
         self.last_core.clear();
         if self.unsat {
             return SatVerdict::Unsat;
@@ -561,42 +1270,14 @@ impl SatSolver {
             return SatVerdict::Unsat;
         }
 
-        let mut conflicts_until_restart = luby(1) * 100;
-        let mut restarts = 1u32;
+        let mut restart = RestartSchedule::new();
+        let mut decisions_since_consult = 0u64;
         loop {
             if let Some(conflict) = self.propagate() {
-                if self.trail_lim.is_empty() {
-                    self.unsat = true;
+                if !self.resolve_conflict(conflict) {
                     return SatVerdict::Unsat;
                 }
-                let (learnt, back) = self.analyze(conflict);
-                self.backtrack_to(back as usize);
-                let asserting = learnt[0];
-                if learnt.len() == 1 {
-                    if !self.enqueue(asserting, None) {
-                        self.unsat = true;
-                        return SatVerdict::Unsat;
-                    }
-                } else {
-                    let ci = self.clauses.len();
-                    self.watches[learnt[0].index()].push(ci);
-                    self.watches[learnt[1].index()].push(ci);
-                    self.clauses.push(learnt);
-                    self.stats.learned += 1;
-                    let ok = self.enqueue(asserting, Some(ci));
-                    debug_assert!(ok, "asserting literal must be enqueueable");
-                }
-                self.decay();
-                if conflicts_until_restart == 0 {
-                    continue;
-                }
-                conflicts_until_restart -= 1;
-                if conflicts_until_restart == 0 {
-                    restarts += 1;
-                    self.stats.restarts += 1;
-                    conflicts_until_restart = luby(restarts) * 100;
-                    self.backtrack_to(0);
-                }
+                self.tick_restart(&mut restart);
             } else if self.trail_lim.len() < assumptions.len() {
                 // Take the next assumption as a pseudo-decision.
                 let a = assumptions[self.trail_lim.len()];
@@ -618,19 +1299,97 @@ impl SatSolver {
                     }
                 }
             } else {
+                // Periodic theory checkpoint on the partial assignment.
+                if decisions_since_consult >= THEORY_CONSULT_INTERVAL {
+                    if let Some(t) = theory.as_deref_mut() {
+                        decisions_since_consult = 0;
+                        let view = TheoryView {
+                            assign: &self.assign,
+                        };
+                        match t.consult(view, false) {
+                            TheoryResult::Ok => {}
+                            TheoryResult::Conflict(asserted) => {
+                                if !self.resolve_theory_conflict(&asserted) {
+                                    return SatVerdict::Unsat;
+                                }
+                                self.tick_restart(&mut restart);
+                                continue;
+                            }
+                            TheoryResult::Implied(implied) => {
+                                if let Some(asserted) = self.assert_implied(implied) {
+                                    if !self.resolve_theory_conflict(&asserted) {
+                                        return SatVerdict::Unsat;
+                                    }
+                                    self.tick_restart(&mut restart);
+                                }
+                                continue;
+                            }
+                        }
+                    }
+                }
                 match self.decide() {
                     None => {
+                        // Complete assignment: mandatory theory check.
+                        if let Some(t) = theory.as_deref_mut() {
+                            decisions_since_consult = 0;
+                            let view = TheoryView {
+                                assign: &self.assign,
+                            };
+                            match t.consult(view, true) {
+                                TheoryResult::Ok => {}
+                                TheoryResult::Conflict(asserted) => {
+                                    if !self.resolve_theory_conflict(&asserted) {
+                                        return SatVerdict::Unsat;
+                                    }
+                                    self.tick_restart(&mut restart);
+                                    continue;
+                                }
+                                TheoryResult::Implied(_) => {
+                                    unreachable!("complete assignment implies nothing")
+                                }
+                            }
+                        }
                         let model = self.assign.iter().map(|&v| v == 1).collect();
                         return SatVerdict::Sat(model);
                     }
                     Some(l) => {
                         self.stats.decisions += 1;
+                        decisions_since_consult += 1;
                         self.trail_lim.push(self.trail.len());
                         let ok = self.enqueue(l, None);
                         debug_assert!(ok, "decision variable was unassigned");
                     }
                 }
             }
+        }
+    }
+}
+
+/// Value of literal `l` against an assignment slice: 0 false, 1 true,
+/// -1 unassigned. A free function so the propagation inner loop can
+/// evaluate candidates while a clause's literal vector is mutably
+/// borrowed (the `value` method delegates here).
+#[inline]
+fn lit_value(assign: &[i8], l: Lit) -> i8 {
+    match assign[l.var()] {
+        UNASSIGNED => UNASSIGNED,
+        v if l.is_neg() => 1 - v,
+        v => v,
+    }
+}
+
+/// Per-solve restart bookkeeping: the current Luby run index and the
+/// conflicts left before it ends.
+struct RestartSchedule {
+    run: u32,
+    countdown: u64,
+}
+
+impl RestartSchedule {
+    fn new() -> RestartSchedule {
+        RestartSchedule {
+            run: 1,
+            countdown: luby(1) * 100,
         }
     }
 }
@@ -675,6 +1434,23 @@ mod tests {
         s
     }
 
+    fn pigeonhole_clauses(pigeons: usize) -> (usize, Vec<Vec<i32>>) {
+        let holes = pigeons - 1;
+        let var = |i: usize, j: usize| (i * holes + j + 1) as i32;
+        let mut clauses: Vec<Vec<i32>> = Vec::new();
+        for i in 0..pigeons {
+            clauses.push((0..holes).map(|j| var(i, j)).collect());
+        }
+        for j in 0..holes {
+            for a in 0..pigeons {
+                for b in (a + 1)..pigeons {
+                    clauses.push(vec![-var(a, j), -var(b, j)]);
+                }
+            }
+        }
+        (pigeons * holes, clauses)
+    }
+
     #[test]
     fn trivial_sat() {
         let mut s = solver_with(2, &[&[1, 2]]);
@@ -712,21 +1488,9 @@ mod tests {
 
     #[test]
     fn pigeonhole_3_into_2_unsat() {
-        // p_{i,j}: pigeon i in hole j; vars 1..=6.
-        let var = |i: usize, j: usize| (i * 2 + j + 1) as i32;
-        let mut clauses: Vec<Vec<i32>> = Vec::new();
-        for i in 0..3 {
-            clauses.push(vec![var(i, 0), var(i, 1)]);
-        }
-        for j in 0..2 {
-            for a in 0..3 {
-                for b in (a + 1)..3 {
-                    clauses.push(vec![-var(a, j), -var(b, j)]);
-                }
-            }
-        }
+        let (n, clauses) = pigeonhole_clauses(3);
         let refs: Vec<&[i32]> = clauses.iter().map(|c| c.as_slice()).collect();
-        let mut s = solver_with(6, &refs);
+        let mut s = solver_with(n, &refs);
         assert_eq!(s.solve(), SatVerdict::Unsat);
     }
 
@@ -780,6 +1544,30 @@ mod tests {
     }
 
     #[test]
+    fn restart_cadence_follows_luby() {
+        // The r-th restart fires after 100*luby(r) conflicts of run r, so
+        // with C total conflicts the restart count is the largest R with
+        // sum_{i=1..R} 100*luby(i) <= C. Pigeonhole 7->6 produces enough
+        // conflicts to cross several Luby runs deterministically.
+        let (n, clauses) = pigeonhole_clauses(7);
+        let refs: Vec<&[i32]> = clauses.iter().map(|c| c.as_slice()).collect();
+        let mut s = solver_with(n, &refs);
+        assert_eq!(s.solve(), SatVerdict::Unsat);
+        let conflicts = s.stats.conflicts;
+        let mut expect = 0u64;
+        let mut budget = 0u64;
+        loop {
+            budget += luby(expect as u32 + 1) * 100;
+            if budget > conflicts {
+                break;
+            }
+            expect += 1;
+        }
+        assert!(conflicts > 100, "instance too easy to pin the cadence");
+        assert_eq!(s.stats.restarts, expect, "conflicts={conflicts}");
+    }
+
+    #[test]
     fn exhaustive_cross_check_small_random() {
         // Brute-force comparison on random 3-SAT instances with 8 vars.
         use rand::rngs::StdRng;
@@ -819,6 +1607,150 @@ mod tests {
                 (b, v) => panic!("disagreement: brute {b}, solver {v:?}\n{clauses:?}"),
             }
         }
+    }
+
+    // ----- order heap ----------------------------------------------------
+
+    #[test]
+    fn order_heap_pops_by_activity_then_index() {
+        let act = [1.0f64, 3.0, 3.0, 0.5, 2.0];
+        let mut h = OrderHeap::default();
+        for v in 0..act.len() {
+            h.insert(&act, v);
+        }
+        let mut got = Vec::new();
+        while let Some(v) = h.pop_max(&act) {
+            got.push(v);
+        }
+        // Activity descending; ties broken toward the smaller index.
+        assert_eq!(got, vec![1, 2, 4, 0, 3]);
+    }
+
+    #[test]
+    fn order_heap_rebuild_matches_incremental_inserts() {
+        let act = [0.25f64, 4.0, 1.0, 1.0, 0.0, 7.5];
+        let mut a = OrderHeap::default();
+        for v in [5, 2, 0, 3, 1, 4] {
+            a.insert(&act, v);
+        }
+        let mut b = OrderHeap::default();
+        b.rebuild(&act, act.len());
+        let drain = |mut h: OrderHeap| {
+            let mut out = Vec::new();
+            while let Some(v) = h.pop_max(&act) {
+                out.push(v);
+            }
+            out
+        };
+        assert_eq!(drain(a), drain(b));
+    }
+
+    // ----- clause-DB reduction -------------------------------------------
+
+    #[test]
+    fn gc_triggers_and_preserves_verdict() {
+        let (n, clauses) = pigeonhole_clauses(7);
+        let refs: Vec<&[i32]> = clauses.iter().map(|c| c.as_slice()).collect();
+        let mut tight = solver_with(n, &refs);
+        tight.set_gc_budget(10);
+        assert_eq!(tight.solve(), SatVerdict::Unsat);
+        assert!(tight.stats.gc_clauses > 0, "GC never ran");
+        assert!(tight.live_learnts() <= tight.stats.learned as usize);
+    }
+
+    #[test]
+    fn gc_keeps_locked_reasons_valid() {
+        // A satisfiable instance large enough to learn under a tight
+        // budget: GC between conflicts must never invalidate reasons.
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 30usize;
+        let clauses: Vec<Vec<i32>> = (0..120)
+            .map(|_| {
+                (0..3)
+                    .map(|_| {
+                        let v = rng.random_range(1..=n as i32);
+                        if rng.random::<bool>() {
+                            v
+                        } else {
+                            -v
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let refs: Vec<&[i32]> = clauses.iter().map(|c| c.as_slice()).collect();
+        let mut a = solver_with(n, &refs);
+        a.set_gc_budget(4);
+        let mut b = solver_with(n, &refs);
+        // Verdicts agree with and without aggressive GC.
+        assert_eq!(
+            matches!(a.solve(), SatVerdict::Sat(_)),
+            matches!(b.solve(), SatVerdict::Sat(_))
+        );
+    }
+
+    // ----- theory hook ---------------------------------------------------
+
+    /// Toy theory: variable 0 and variable 1 may never both be true.
+    struct AtMostOne;
+
+    impl Theory for AtMostOne {
+        fn consult(&mut self, view: TheoryView<'_>, _complete: bool) -> TheoryResult {
+            if view.value(0) == Some(true) && view.value(1) == Some(true) {
+                TheoryResult::Conflict(vec![Lit::pos(0), Lit::pos(1)])
+            } else {
+                TheoryResult::Ok
+            }
+        }
+    }
+
+    #[test]
+    fn theory_conflict_blocks_model() {
+        let mut s = solver_with(2, &[&[1], &[2, 1]]);
+        // Boolean part prefers both true; theory forbids it.
+        let SatVerdict::Sat(m) = s.solve_with(&[], Some(&mut AtMostOne)) else {
+            panic!("expected sat")
+        };
+        assert!(!(m[0] && m[1]));
+        assert!(m[0]);
+    }
+
+    #[test]
+    fn theory_conflict_on_forced_pair_is_unsat() {
+        let mut s = solver_with(2, &[&[1], &[2]]);
+        assert_eq!(s.solve_with(&[], Some(&mut AtMostOne)), SatVerdict::Unsat);
+    }
+
+    /// Toy propagating theory: asserting variable 0 implies variable 1.
+    struct ZeroImpliesOne;
+
+    impl Theory for ZeroImpliesOne {
+        fn consult(&mut self, view: TheoryView<'_>, complete: bool) -> TheoryResult {
+            if view.value(0) == Some(true) && view.value(1).is_none() {
+                assert!(!complete, "complete assignment leaves nothing unassigned");
+                return TheoryResult::Implied(vec![(Lit::pos(1), vec![Lit::pos(0)])]);
+            }
+            if view.value(0) == Some(true) && view.value(1) == Some(false) {
+                return TheoryResult::Conflict(vec![Lit::pos(0), Lit::neg(1)]);
+            }
+            TheoryResult::Ok
+        }
+    }
+
+    #[test]
+    fn theory_propagation_asserts_implied_literal() {
+        // 20 padding vars force a consult checkpoint between decisions.
+        let mut s = solver_with(22, &[&[1]]);
+        for v in 2..22 {
+            s.add_clause(&lits(&[v, -v])); // no-op tautologies, vars free
+        }
+        let SatVerdict::Sat(m) = s.solve_with(&[], Some(&mut ZeroImpliesOne)) else {
+            panic!("expected sat")
+        };
+        assert!(m[0]);
+        assert!(m[1], "theory implication must hold in the model");
     }
 
     // ----- assumptions ---------------------------------------------------
@@ -977,6 +1909,221 @@ mod tests {
     }
 
     #[test]
+    fn pop_restores_level0_reason_indices_after_inframe_gc() {
+        // Depth-0 state: pigeonhole learnts first (low clause indices),
+        // then a propagated level-0 fact whose reason index sits above
+        // them. A reduce_db inside the frame removes depth-0 learnts and
+        // remaps the fact's reason; pop must restore the push-time
+        // reason array alongside the clause vector, or the fact's reason
+        // dangles into the wrong clause.
+        // Depth-0 learnts on a solver that stays satisfiable: planted
+        // 3-SAT (every clause has a positive literal; all-true is a
+        // model) with default all-false phases forces early conflicts.
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 25usize;
+        let mut s = solver_with(n, &[]);
+        for _ in 0..150 {
+            let mut c: Vec<i32> = (0..3)
+                .map(|_| {
+                    let v = rng.random_range(1..=n as i32);
+                    if rng.random::<bool>() {
+                        v
+                    } else {
+                        -v
+                    }
+                })
+                .collect();
+            let planted: usize = rng.random_range(0..3);
+            c[planted] = c[planted].abs();
+            s.add_clause(&lits(&c));
+        }
+        assert!(matches!(s.solve(), SatVerdict::Sat(_)));
+        assert!(s.live_learnts() > 0, "depth-0 learnts required");
+        let u = s.new_var();
+        let w = s.new_var();
+        s.add_clause(&[Lit::neg(u), Lit::pos(w)]); // stored first...
+        s.add_clause(&[Lit::pos(u)]); // ...then u propagates w through it
+        assert!(s.reason[w].is_some(), "fact w must carry a reason");
+        s.push();
+        s.set_gc_budget(1); // reduce_db on every conflict inside the frame
+        let (m, clauses) = pigeonhole_clauses(6);
+        let base = s.n_vars();
+        for _ in 0..m {
+            s.new_var();
+        }
+        for c in &clauses {
+            let shifted: Vec<Lit> = c
+                .iter()
+                .map(|&l| {
+                    let v = base + (l.unsigned_abs() - 1) as usize;
+                    if l > 0 {
+                        Lit::pos(v)
+                    } else {
+                        Lit::neg(v)
+                    }
+                })
+                .collect();
+            s.add_clause(&shifted);
+        }
+        let gc_before = s.stats.gc_clauses;
+        assert_eq!(s.solve(), SatVerdict::Unsat);
+        assert!(s.stats.gc_clauses > gc_before, "in-frame GC never ran");
+        s.pop();
+        for v in 0..s.n_vars {
+            if s.assign[v] != UNASSIGNED {
+                if let Some(ci) = s.reason[v] {
+                    assert!(
+                        s.clauses[ci].lits.iter().any(|l| l.var() == v),
+                        "reason of var {v} points at a clause not containing it"
+                    );
+                }
+            }
+        }
+    }
+
+    // ----- carry mode ----------------------------------------------------
+
+    #[test]
+    fn carry_mode_keeps_base_depth_learnts() {
+        // Base (depth-0) instance that forces learning; the push adds
+        // nothing, so every learnt derives from depth 0 and survives the
+        // pop in carry mode.
+        let (n, clauses) = pigeonhole_clauses(5);
+        let refs: Vec<&[i32]> = clauses.iter().map(|c| c.as_slice()).collect();
+        let mut s = solver_with(n, &refs);
+        s.set_carry_learnts(true);
+        s.push();
+        assert_eq!(s.solve(), SatVerdict::Unsat);
+        let live = s.live_learnts();
+        assert!(live > 0, "expected learning");
+        s.pop();
+        assert_eq!(s.live_learnts(), live, "depth-0 learnts must survive");
+        assert_eq!(s.stats.carried, live as u64);
+        // The carried lemmas are consequences: verdict unchanged.
+        assert_eq!(s.solve(), SatVerdict::Unsat);
+    }
+
+    #[test]
+    fn default_mode_pop_drops_all_learnts() {
+        let (n, clauses) = pigeonhole_clauses(5);
+        let refs: Vec<&[i32]> = clauses.iter().map(|c| c.as_slice()).collect();
+        let mut s = solver_with(n, &refs);
+        s.push();
+        assert_eq!(s.solve(), SatVerdict::Unsat);
+        assert!(s.live_learnts() > 0);
+        s.pop();
+        assert_eq!(s.live_learnts(), 0);
+        assert_eq!(s.stats.carried, 0);
+    }
+
+    #[test]
+    fn carry_mode_folds_level0_fact_provenance() {
+        // The learnt (¬a ∨ ¬d) below is derived by resolving away ¬u
+        // against the level-0 fact u, which frame 1 asserted: its depth
+        // must be 1, so the pop drops it. (Regression: analyze used to
+        // skip level-0 literals without folding their fact's provenance,
+        // mis-tagging the learnt as depth 0 and carrying it — the
+        // post-pop probe then reported Unsat on a satisfiable set.)
+        let u = 1; // vars: u=1, d=2, a=3, b=4
+        let mut s = solver_with(4, &[&[-1, -2, -3, 4], &[-1, -2, -3, -4]]);
+        s.set_carry_learnts(true);
+        s.push();
+        s.add_clause(&lits(&[u]));
+        assert_eq!(s.solve_under(&lits(&[2, 3])), SatVerdict::Unsat);
+        s.pop();
+        // With u free again, assuming d ∧ a is satisfiable (u = false).
+        let SatVerdict::Sat(m) = s.solve_under(&lits(&[2, 3])) else {
+            panic!("carried a learnt premised on the popped fact u");
+        };
+        assert!(!m[0] && m[1] && m[2]);
+    }
+
+    #[test]
+    fn carry_survives_inframe_gc_of_prepush_learnts() {
+        // Pre-push learnts + an in-frame GC that removes some of them:
+        // post-push depth-0 learnts slide below the push-time vector
+        // length under compaction, so the carry filter must judge by
+        // birth id, not position. The invariant: after the pop, the live
+        // learnts are exactly the restored pre-push ones plus the
+        // carried count the stats report.
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 25usize;
+        let mut s = solver_with(n, &[]);
+        s.set_carry_learnts(true);
+        for _ in 0..150 {
+            let mut c: Vec<i32> = (0..3)
+                .map(|_| {
+                    let v = rng.random_range(1..=n as i32);
+                    if rng.random::<bool>() {
+                        v
+                    } else {
+                        -v
+                    }
+                })
+                .collect();
+            let planted: usize = rng.random_range(0..3);
+            c[planted] = c[planted].abs();
+            s.add_clause(&lits(&c));
+        }
+        assert!(matches!(s.solve(), SatVerdict::Sat(_)));
+        let pre_live = s.live_learnts();
+        assert!(pre_live > 0, "pre-push learnts required");
+        s.push();
+        s.set_gc_budget(1);
+        // Conflict-rich probes among the depth-0 clauses only: the
+        // learnts they produce have derivation depth 0 and are
+        // carry-eligible.
+        let gc_before = s.stats.gc_clauses;
+        for v in 0..6 {
+            let _ = s.solve_under(&[Lit::neg(v), Lit::neg((v + 7) % n), Lit::neg((v + 13) % n)]);
+        }
+        assert!(s.stats.gc_clauses > gc_before, "in-frame GC never ran");
+        let carried_before = s.stats.carried;
+        s.pop();
+        let carried = (s.stats.carried - carried_before) as usize;
+        assert!(carried > 0, "depth-0 learnts from the frame must carry");
+        assert_eq!(s.live_learnts(), pre_live + carried);
+        // The carried lemmas are consequences: still satisfiable.
+        assert!(matches!(s.solve(), SatVerdict::Sat(_)));
+    }
+
+    #[test]
+    fn carry_mode_drops_learnts_touching_popped_vars() {
+        // The learnts of a pushed pigeonhole instance mention pushed
+        // variables, so nothing can be carried out of the pop.
+        let mut s = solver_with(1, &[]);
+        s.set_carry_learnts(true);
+        s.push();
+        let (n, clauses) = pigeonhole_clauses(5);
+        let base = s.n_vars();
+        for _ in 0..n {
+            s.new_var();
+        }
+        for c in &clauses {
+            let shifted: Vec<Lit> = c
+                .iter()
+                .map(|&l| {
+                    let v = base + (l.unsigned_abs() - 1) as usize;
+                    if l > 0 {
+                        Lit::pos(v)
+                    } else {
+                        Lit::neg(v)
+                    }
+                })
+                .collect();
+            s.add_clause(&shifted);
+        }
+        assert_eq!(s.solve(), SatVerdict::Unsat);
+        s.pop();
+        assert_eq!(s.live_learnts(), 0);
+        assert!(matches!(s.solve(), SatVerdict::Sat(_)));
+    }
+
+    #[test]
     fn stats_count_effort() {
         let mut s = solver_with(6, &[]);
         let var = |i: usize, j: usize| i * 2 + j;
@@ -992,6 +2139,7 @@ mod tests {
         }
         assert_eq!(s.solve(), SatVerdict::Unsat);
         assert!(s.stats.propagations > 0);
+        assert!(s.stats.conflicts > 0);
         assert!(s.stats.decisions > 0 || s.stats.learned > 0);
     }
 }

@@ -134,6 +134,10 @@ pub struct BoundConstraint {
     pub id: usize,
 }
 
+/// A bound with the id of the atom that asserted it, as stored per
+/// column (`None` = unconstrained on that side).
+pub type AssertedBound = Option<(DeltaRat, usize)>;
+
 /// Result of a feasibility check.
 #[derive(Debug, Clone)]
 pub enum SimplexResult {
@@ -348,6 +352,34 @@ impl Simplex {
     /// probes of one OMT binary search — the subsequent Bland loop then
     /// starts at (or next to) the previous feasible point.
     pub fn check_assignment(&mut self, bounds: &[BoundConstraint]) -> SimplexResult {
+        match self.assert_and_solve(bounds) {
+            Some(ids) => SimplexResult::Infeasible(ids),
+            // Feasible: concretize ε and return original-variable values.
+            None => SimplexResult::Feasible(self.concretize()),
+        }
+    }
+
+    /// The tightest lower/upper bounds (with the asserting ids) currently
+    /// asserted on a column. Valid after [`Simplex::assert_and_solve`] /
+    /// [`Simplex::check_assignment`]; the DPLL(T) driver reads these to
+    /// propagate theory-implied bound literals — any feasible point keeps
+    /// the column's form within the returned interval. Resolve the column
+    /// once via [`Simplex::column_index`] and cache it.
+    pub(crate) fn asserted_bounds_at(&self, col: usize) -> (AssertedBound, AssertedBound) {
+        (self.lower[col], self.upper[col])
+    }
+
+    /// Resolves (allocating on first sight) the column of `expr`;
+    /// crate-visible so the DPLL(T) hook can cache the mapping.
+    pub(crate) fn column_index(&mut self, expr: &[(Rat, usize)]) -> usize {
+        self.column_for(expr)
+    }
+
+    /// [`Simplex::check_assignment`] without the model extraction: the
+    /// feasibility verdict alone (`None` = feasible), which is all the
+    /// partial-assignment theory checkpoints need. The feasible basis is
+    /// left in place for a later extraction or warm restart.
+    pub fn assert_and_solve(&mut self, bounds: &[BoundConstraint]) -> Option<Vec<usize>> {
         // Retract every bound from the previous call.
         for b in &mut self.lower {
             *b = None;
@@ -363,7 +395,7 @@ impl Simplex {
                 BoundKind::Lower => {
                     if let Some((u, uid)) = self.upper[col] {
                         if b.bound > u {
-                            return SimplexResult::Infeasible(vec![b.id, uid]);
+                            return Some(vec![b.id, uid]);
                         }
                     }
                     if self.lower[col].is_none_or(|(l, _)| b.bound > l) {
@@ -373,7 +405,7 @@ impl Simplex {
                 BoundKind::Upper => {
                     if let Some((l, lid)) = self.lower[col] {
                         if b.bound < l {
-                            return SimplexResult::Infeasible(vec![lid, b.id]);
+                            return Some(vec![lid, b.id]);
                         }
                     }
                     if self.upper[col].is_none_or(|(u, _)| b.bound < u) {
@@ -429,8 +461,8 @@ impl Simplex {
                 }
             }
             let Some((bi, too_low)) = violated else {
-                // Feasible: concretize ε and return original-variable values.
-                return SimplexResult::Feasible(self.concretize());
+                // Feasible; the basis stays for extraction or warm restart.
+                return None;
             };
 
             let row = self.rows[&bi].clone();
@@ -490,7 +522,7 @@ impl Simplex {
                     }
                     ids.sort_unstable();
                     ids.dedup();
-                    return SimplexResult::Infeasible(ids);
+                    return Some(ids);
                 }
             }
         }

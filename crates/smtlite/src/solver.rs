@@ -2,7 +2,7 @@ use std::collections::HashMap;
 
 use crate::ast::{Atom, BoolVar, Formula, LinExpr, RealVar, Rel};
 use crate::cnf::{strip_expr, Encoder};
-use crate::sat::{Lit, SatStats, SatVerdict};
+use crate::sat::{Lit, SatStats, SatVerdict, Theory, TheoryResult, TheoryView};
 use crate::simplex::{BoundConstraint, BoundKind, DeltaRat, Simplex, SimplexResult};
 use crate::Rat;
 
@@ -115,11 +115,27 @@ impl Solver {
         self.enc.assert_formula(&f);
     }
 
-    /// Cumulative CDCL effort counters (decisions, propagations, learned
-    /// clauses, restarts). Like [`Solver::theory_conflicts`] they measure
-    /// work done and survive [`Solver::pop`].
+    /// Cumulative CDCL effort counters (decisions, propagations,
+    /// conflicts, learned clauses, restarts, GC'd and carried clauses).
+    /// Like [`Solver::theory_conflicts`] they measure work done and
+    /// survive [`Solver::pop`].
     pub fn sat_stats(&self) -> SatStats {
         self.enc.sat.stats
+    }
+
+    /// Learnt clauses currently stored in the CDCL core (gauge).
+    pub fn live_learnts(&self) -> usize {
+        self.enc.sat.live_learnts()
+    }
+
+    /// Opt-in cross-frame learnt retention (see
+    /// [`crate::sat::SatSolver::set_carry_learnts`]): [`Solver::pop`]
+    /// then keeps learnt clauses whose derivation does not depend on the
+    /// popped assertions. Sound, but the solver no longer replays
+    /// byte-identically to one that never saw the popped frame — leave
+    /// off where exact replay matters.
+    pub fn set_carry_learnts(&mut self, on: bool) {
+        self.enc.sat.set_carry_learnts(on);
     }
 
     /// Checkpoints the assertion stack: formulas asserted and variables
@@ -156,53 +172,46 @@ impl Solver {
 
     /// Decides the asserted conjunction under `assumptions` (SAT-level
     /// literals, typically guards created by [`Solver::maximize`])
-    /// without asserting them. Theory blocking clauses discovered along
-    /// the way are valid lemmas and stay for later calls.
+    /// without asserting them.
+    ///
+    /// The CDCL core consults the simplex *during* the search (DPLL(T)
+    /// with early theory propagation) rather than only on complete
+    /// Boolean assignments: at decision checkpoints the partial bound
+    /// set is validated — an infeasible subset becomes an in-place
+    /// conflict instead of a solve-from-scratch blocking clause — and
+    /// bound literals implied by the asserted interval of their linear
+    /// form are pushed into the Boolean trail through binary lemma
+    /// clauses. All lemmas are theory-valid and persist for later calls
+    /// (as reducible learnts — the clause-DB GC may age them out).
     pub fn check_under(&mut self, assumptions: &[Lit]) -> Option<Model> {
-        loop {
-            let SatVerdict::Sat(assignment) = self.enc.sat.solve_under(assumptions) else {
-                return None;
-            };
-            // Gather asserted theory literals (registration order — the
-            // deterministic column-allocation order in the simplex).
-            let mut bounds: Vec<BoundConstraint> = Vec::new();
-            for (sat_var, atom) in self.enc.registered_atoms() {
-                let positive = assignment[sat_var];
-                bounds.push(atom_to_bound(atom, positive, sat_var));
-            }
-            match self.simplex.check_assignment(&bounds) {
-                SimplexResult::Feasible(reals) => {
-                    let mut bools = HashMap::new();
-                    for b in 0..self.n_bools {
-                        if let Some(v) = self.enc.bool_value(BoolVar(b), &assignment) {
-                            bools.insert(b, v);
-                        }
-                    }
-                    let reals = reals
-                        .into_iter()
-                        .filter(|(v, _)| *v < self.n_reals)
-                        .collect();
-                    return Some(Model { bools, reals });
-                }
-                SimplexResult::Infeasible(conflict_vars) => {
-                    self.theory_conflicts += 1;
-                    // Block this combination of theory literals.
-                    let clause: Vec<Lit> = conflict_vars
-                        .iter()
-                        .map(|&v| {
-                            if assignment[v] {
-                                Lit::neg(v)
-                            } else {
-                                Lit::pos(v)
-                            }
-                        })
-                        .collect();
-                    if !self.enc.sat.add_clause(&clause) {
-                        return None;
-                    }
-                }
+        let mut theory = SimplexTheory {
+            atoms: &self.enc.atoms,
+            simplex: &mut self.simplex,
+            conflicts: 0,
+            model: None,
+            bounds: Vec::new(),
+            atom_cols: Vec::new(),
+            last_assigned: usize::MAX,
+        };
+        let verdict = self.enc.sat.solve_with(assumptions, Some(&mut theory));
+        self.theory_conflicts += theory.conflicts;
+        let SatVerdict::Sat(assignment) = verdict else {
+            return None;
+        };
+        let reals = theory
+            .model
+            .take()
+            .expect("complete theory consult stores the model")
+            .into_iter()
+            .filter(|(v, _)| *v < self.n_reals)
+            .collect();
+        let mut bools = HashMap::new();
+        for b in 0..self.n_bools {
+            if let Some(v) = self.enc.bool_value(BoolVar(b), &assignment) {
+                bools.insert(b, v);
             }
         }
+        Some(Model { bools, reals })
     }
 
     /// Maximizes a linear objective subject to the asserted formulas, by
@@ -269,6 +278,110 @@ impl Solver {
             }
         }
         Some((best_val, best_model))
+    }
+}
+
+/// The DPLL(T) bridge handed to [`crate::sat::SatSolver::solve_with`]:
+/// owns the warm-started simplex for the duration of one check and maps
+/// between atom SAT variables and simplex bounds.
+struct SimplexTheory<'a> {
+    /// Registered atoms `(sat_var, atom)` in registration order.
+    atoms: &'a [(usize, Atom)],
+    simplex: &'a mut Simplex,
+    /// Theory conflicts found during this check.
+    conflicts: u64,
+    /// Feasible rational assignment from the last *complete* consult.
+    model: Option<HashMap<usize, Rat>>,
+    /// Reused bound buffer (no per-consult allocation).
+    bounds: Vec<BoundConstraint>,
+    /// Per atom (same order as `atoms`): its simplex column and its
+    /// positive-polarity upper bound, resolved lazily once per check —
+    /// the implied-bound scan then reads the column bounds directly
+    /// instead of re-building (clone + sort + hash) the linear form on
+    /// every consult.
+    atom_cols: Vec<(usize, DeltaRat)>,
+    /// Assigned-atom count at the previous consult: a cheap partial
+    /// fingerprint — if unchanged, the bound set is almost surely the
+    /// same and the (sound-to-skip) partial re-check is elided.
+    last_assigned: usize,
+}
+
+impl Theory for SimplexTheory<'_> {
+    fn consult(&mut self, view: TheoryView<'_>, complete: bool) -> TheoryResult {
+        // Fingerprint first, allocation after: skipped consults must not
+        // pay the bound-construction cost (atom_to_bound clones each
+        // atom's linear form).
+        let assigned = self
+            .atoms
+            .iter()
+            .filter(|&&(sat_var, _)| view.value(sat_var).is_some())
+            .count();
+        if !complete && assigned == self.last_assigned {
+            return TheoryResult::Ok;
+        }
+        self.last_assigned = assigned;
+        self.bounds.clear();
+        for &(sat_var, ref atom) in self.atoms {
+            if let Some(positive) = view.value(sat_var) {
+                self.bounds.push(atom_to_bound(atom, positive, sat_var));
+            }
+        }
+        let conflict_ids = if complete {
+            match self.simplex.check_assignment(&self.bounds) {
+                SimplexResult::Feasible(reals) => {
+                    self.model = Some(reals);
+                    return TheoryResult::Ok;
+                }
+                SimplexResult::Infeasible(ids) => Some(ids),
+            }
+        } else {
+            self.simplex.assert_and_solve(&self.bounds)
+        };
+        if let Some(ids) = conflict_ids {
+            self.conflicts += 1;
+            let asserted: Vec<Lit> = ids
+                .iter()
+                .map(|&v| view.asserted_lit(v).expect("conflict ids are asserted"))
+                .collect();
+            return TheoryResult::Conflict(asserted);
+        }
+        // Feasible partial set: propagate bound literals already decided
+        // by the asserted interval of their linear form. Any feasible
+        // point keeps each form within [l, u], so an unassigned atom
+        // `expr ≤ c` is true whenever u ≤ c (premise: the atom asserting
+        // u) and false whenever l > c (premise: the atom asserting l).
+        let mut implied: Vec<(Lit, Vec<Lit>)> = Vec::new();
+        for (i, &(sat_var, _)) in self.atoms.iter().enumerate() {
+            if view.value(sat_var).is_some() {
+                continue;
+            }
+            while self.atom_cols.len() <= i {
+                let (next_var, ref next_atom) = self.atoms[self.atom_cols.len()];
+                let b = atom_to_bound(next_atom, true, next_var);
+                let col = self.simplex.column_index(&b.expr);
+                self.atom_cols.push((col, b.bound));
+            }
+            let (col, atom_bound) = self.atom_cols[i];
+            let (lower, upper) = self.simplex.asserted_bounds_at(col);
+            if let Some((u, uid)) = upper {
+                if u <= atom_bound {
+                    let premise = view.asserted_lit(uid).expect("bound ids are asserted");
+                    implied.push((Lit::pos(sat_var), vec![premise]));
+                    continue;
+                }
+            }
+            if let Some((l, lid)) = lower {
+                if l > atom_bound {
+                    let premise = view.asserted_lit(lid).expect("bound ids are asserted");
+                    implied.push((Lit::neg(sat_var), vec![premise]));
+                }
+            }
+        }
+        if implied.is_empty() {
+            TheoryResult::Ok
+        } else {
+            TheoryResult::Implied(implied)
+        }
     }
 }
 
