@@ -274,10 +274,10 @@ impl HullAdm {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use shatter_dataset::{synthesize, HouseKind, SynthConfig};
+    use shatter_dataset::{synthesize, HouseSpec, SynthConfig};
 
     fn train(kind: AdmKind) -> (Dataset, HullAdm) {
-        let ds = synthesize(&SynthConfig::new(HouseKind::A, 15, 3));
+        let ds = synthesize(&SynthConfig::new(HouseSpec::aras_a(), 15, 3));
         let adm = HullAdm::train(&ds, kind);
         (ds, adm)
     }
@@ -306,7 +306,7 @@ mod tests {
     #[test]
     fn kmeans_hulls_cover_more_area_than_dbscan() {
         // Paper Fig. 6 / §III-A: K-Means clusters cover a larger area.
-        let ds = synthesize(&SynthConfig::new(HouseKind::A, 20, 3));
+        let ds = synthesize(&SynthConfig::new(HouseSpec::aras_a(), 20, 3));
         let db = HullAdm::train(&ds, AdmKind::default_dbscan());
         let km = HullAdm::train(&ds, AdmKind::default_kmeans());
         assert!(
@@ -381,8 +381,8 @@ mod tests {
 
     #[test]
     fn more_training_days_grow_coverage() {
-        let short = synthesize(&SynthConfig::new(HouseKind::A, 5, 3));
-        let long = synthesize(&SynthConfig::new(HouseKind::A, 25, 3));
+        let short = synthesize(&SynthConfig::new(HouseSpec::aras_a(), 5, 3));
+        let long = synthesize(&SynthConfig::new(HouseSpec::aras_a(), 25, 3));
         let a_short = HullAdm::train(&short, AdmKind::default_kmeans()).total_coverage_area();
         let a_long = HullAdm::train(&long, AdmKind::default_kmeans()).total_coverage_area();
         assert!(a_long > a_short);

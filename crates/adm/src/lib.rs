@@ -22,9 +22,9 @@
 //!
 //! ```
 //! use shatter_adm::{AdmKind, HullAdm};
-//! use shatter_dataset::{synthesize, HouseKind, SynthConfig};
+//! use shatter_dataset::{synthesize, HouseSpec, SynthConfig};
 //!
-//! let data = synthesize(&SynthConfig::new(HouseKind::A, 10, 1));
+//! let data = synthesize(&SynthConfig::new(HouseSpec::aras_a(), 10, 1));
 //! let adm = HullAdm::train(&data, AdmKind::default_dbscan());
 //! // Sleeping all night in the bedroom is a learned habit:
 //! use shatter_smarthome::{OccupantId, ZoneId};

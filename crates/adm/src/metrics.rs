@@ -85,7 +85,7 @@ mod tests {
     use crate::AdmKind;
     use shatter_dataset::attacks::{biota_attack_episodes, BiotaConfig};
     use shatter_dataset::episodes::extract_episodes;
-    use shatter_dataset::{synthesize, HouseKind, SynthConfig};
+    use shatter_dataset::{synthesize, HouseSpec, SynthConfig};
 
     #[test]
     fn metric_formulas() {
@@ -113,7 +113,7 @@ mod tests {
     #[test]
     fn adm_detects_most_biota_attacks() {
         // Paper §VII-A: the ADM flags 60–100% of BIoTA attack vectors.
-        let ds = synthesize(&SynthConfig::new(HouseKind::A, 25, 5));
+        let ds = synthesize(&SynthConfig::new(HouseSpec::aras_a(), 25, 5));
         let (train, test) = ds.split_at_day(20);
         let adm = HullAdm::train(&train, AdmKind::default_dbscan());
         let attacks = biota_attack_episodes(&train, &BiotaConfig::default());
@@ -128,7 +128,7 @@ mod tests {
         // Paper Table IV shape: partial-data attackers craft attacks closer
         // to the benign distribution, lowering detection scores.
         use shatter_dataset::attacks::AttackerKnowledge;
-        let ds = synthesize(&SynthConfig::new(HouseKind::A, 25, 5));
+        let ds = synthesize(&SynthConfig::new(HouseSpec::aras_a(), 25, 5));
         let (train, test) = ds.split_at_day(20);
         let adm = HullAdm::train(&train, AdmKind::default_dbscan());
         let benign = extract_episodes(&test);

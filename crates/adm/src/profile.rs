@@ -108,11 +108,11 @@ impl StayProfile {
 mod tests {
     use super::*;
     use crate::AdmKind;
-    use shatter_dataset::{synthesize, HouseKind, SynthConfig};
+    use shatter_dataset::{synthesize, HouseSpec, SynthConfig};
 
     #[test]
     fn out_of_range_arrival_has_no_stay() {
-        let ds = synthesize(&SynthConfig::new(HouseKind::A, 8, 3));
+        let ds = synthesize(&SynthConfig::new(HouseSpec::aras_a(), 8, 3));
         let adm = HullAdm::train(&ds, AdmKind::default_kmeans());
         let p = StayProfile::build(&adm, OccupantId(0), ZoneId(1), 10);
         assert_eq!(p.minutes(), 10);
@@ -123,7 +123,7 @@ mod tests {
 
     #[test]
     fn untrained_pair_profile_is_empty() {
-        let ds = synthesize(&SynthConfig::new(HouseKind::A, 5, 3));
+        let ds = synthesize(&SynthConfig::new(HouseSpec::aras_a(), 5, 3));
         let adm = HullAdm::train(&ds, AdmKind::default_kmeans());
         // Occupant 7 does not exist in the data.
         let p = StayProfile::build_day(&adm, OccupantId(7), ZoneId(1));

@@ -7,10 +7,10 @@ use std::hint::black_box;
 use shatter_adm::{AdmKind, HullAdm};
 use shatter_bench::common::HouseFixture;
 use shatter_dataset::episodes::extract_episodes;
-use shatter_dataset::HouseKind;
+use shatter_dataset::HouseSpec;
 
 fn bench_adm_training(c: &mut Criterion) {
-    let fx = HouseFixture::new(HouseKind::A, 15);
+    let fx = HouseFixture::new(&HouseSpec::aras_a(), 15);
     let episodes = extract_episodes(&fx.month);
     let mut group = c.benchmark_group("adm_training");
     group.sample_size(10);
@@ -34,7 +34,7 @@ fn bench_adm_training(c: &mut Criterion) {
 }
 
 fn bench_adm_query(c: &mut Criterion) {
-    let fx = HouseFixture::new(HouseKind::A, 15);
+    let fx = HouseFixture::new(&HouseSpec::aras_a(), 15);
     let adm = fx.adm(AdmKind::default_dbscan(), 15);
     let mut group = c.benchmark_group("adm_query");
     group.bench_function("within", |b| {

@@ -5,11 +5,11 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use shatter_bench::common::HouseFixture;
-use shatter_dataset::HouseKind;
+use shatter_dataset::HouseSpec;
 use shatter_hvac::{AshraeController, DchvacController};
 
 fn bench_controllers(c: &mut Criterion) {
-    let fx = HouseFixture::new(HouseKind::A, 2);
+    let fx = HouseFixture::new(&HouseSpec::aras_a(), 2);
     let day = &fx.month.days[0];
     let mut group = c.benchmark_group("controller_day_cost");
     group.sample_size(10);

@@ -14,11 +14,11 @@ use std::hint::black_box;
 use shatter_adm::AdmKind;
 use shatter_bench::common::HouseFixture;
 use shatter_core::{AttackerCapability, RewardTable, SmtScheduler};
-use shatter_dataset::HouseKind;
+use shatter_dataset::HouseSpec;
 use shatter_smarthome::OccupantId;
 
 fn bench_omt_window(c: &mut Criterion) {
-    let fx = HouseFixture::new(HouseKind::A, 12);
+    let fx = HouseFixture::new(&HouseSpec::aras_a(), 12);
     let adm = fx.adm(AdmKind::default_kmeans(), 10);
     let table = RewardTable::build(&fx.model);
     let cap = AttackerCapability::full(&fx.home);

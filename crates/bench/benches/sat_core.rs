@@ -11,6 +11,10 @@
 //! compaction + watch-rebuild + reason-remap path.
 //! `assumption_chain` re-probes one instance under alternating
 //! assumptions, the shape the OMT binary search pays per window.
+//! `minimize` times the analyze+ccmin loop on the conflict-dense
+//! pigeonhole shape and reports the minimized-literal count (the
+//! recursive self-subsumption pass must actually shrink clauses, not
+//! just burn cycles).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
@@ -102,10 +106,35 @@ fn bench_assumption_chain(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_minimization(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sat_core/minimize");
+    group.sample_size(10);
+    for n in [6usize, 7] {
+        // Surface the clause-shrink ratio once per size so the bench
+        // log shows what the ccmin pass buys, not just its cost.
+        let mut probe = pigeonhole(n);
+        assert_eq!(probe.solve(), SatVerdict::Unsat);
+        eprintln!(
+            "sat_core/minimize: pigeonhole {n}: {} literals minimized over {} learnts",
+            probe.stats.minimized, probe.stats.learned
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut s = pigeonhole(n);
+                assert_eq!(s.solve(), SatVerdict::Unsat);
+                assert!(s.stats.minimized > 0, "ccmin removed nothing");
+                black_box(s.stats.minimized)
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_decide_propagate,
     bench_gc_cycle,
-    bench_assumption_chain
+    bench_assumption_chain,
+    bench_minimization
 );
 criterion_main!(benches);

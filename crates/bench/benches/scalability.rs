@@ -8,12 +8,12 @@ use std::hint::black_box;
 use shatter_adm::AdmKind;
 use shatter_bench::common::HouseFixture;
 use shatter_core::{AttackerCapability, RewardTable, Scheduler, SmtScheduler, WindowDpScheduler};
-use shatter_dataset::HouseKind;
+use shatter_dataset::HouseSpec;
 use shatter_hvac::EnergyModel;
 use shatter_smarthome::{houses, OccupantId};
 
 fn bench_horizon(c: &mut Criterion) {
-    let fx = HouseFixture::new(HouseKind::A, 12);
+    let fx = HouseFixture::new(&HouseSpec::aras_a(), 12);
     let adm = fx.adm(AdmKind::default_kmeans(), 10);
     let table = RewardTable::build(&fx.model);
     let cap = AttackerCapability::full(&fx.home);
@@ -35,7 +35,7 @@ fn bench_horizon(c: &mut Criterion) {
 }
 
 fn bench_zones(c: &mut Criterion) {
-    let fx = HouseFixture::new(HouseKind::A, 12);
+    let fx = HouseFixture::new(&HouseSpec::aras_a(), 12);
     let adm = fx.adm(AdmKind::default_kmeans(), 10);
     let day = &fx.month.days[10];
     let mut group = c.benchmark_group("smt_zones");
@@ -56,7 +56,7 @@ fn bench_zones(c: &mut Criterion) {
 }
 
 fn bench_dp_full_day(c: &mut Criterion) {
-    let fx = HouseFixture::new(HouseKind::A, 12);
+    let fx = HouseFixture::new(&HouseSpec::aras_a(), 12);
     let adm = fx.adm(AdmKind::default_kmeans(), 10);
     let table = RewardTable::build(&fx.model);
     let cap = AttackerCapability::full(&fx.home);

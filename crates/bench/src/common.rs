@@ -7,11 +7,12 @@ pub use shatter_engine::{
 };
 
 use shatter_core::{WindowMemo, WindowSolution};
-use shatter_dataset::HouseKind;
+use shatter_dataset::HouseSpec;
 
-/// Dataset label in the paper's HAO1/HBO2 convention.
-pub fn dataset_label(kind: HouseKind, occupant: usize) -> String {
-    format!("{}O{}", kind.label(), occupant + 1)
+/// Dataset label in the paper's HAO1/HBO2 convention (generalized to any
+/// spec label: `"S6O3"` for occupant 3 of the 6-zone scaled home).
+pub fn dataset_label(spec: &HouseSpec, occupant: usize) -> String {
+    format!("{}O{}", spec.label, occupant + 1)
 }
 
 /// Adapter exposing the engine's [`FixtureCache::memo`] to the core

@@ -21,7 +21,7 @@ use shatter_core::{
 };
 use shatter_dataset::attacks::{biota_attack_episodes, AttackerKnowledge, BiotaConfig};
 use shatter_dataset::episodes::{extract_episodes, features_for, Episode};
-use shatter_dataset::HouseKind;
+use shatter_dataset::HouseSpec;
 use shatter_engine::{HouseFixture, ScenarioCtx, Table};
 use shatter_geometry::Point;
 use shatter_hvac::{AshraeController, DchvacController, EnergyModel};
@@ -46,36 +46,30 @@ fn adm_tag(kind: &AdmKind, train_days: usize) -> String {
 }
 
 /// Stable memo-key prefix for SMT window solutions: identifies the day
-/// trace (fixture + day index), the ADM and the reward table the windows
+/// trace ([`HouseFixture::cache_key`] = house spec signature + days +
+/// seed, plus the day index), the ADM and the reward table the windows
 /// are solved against. The scheduler appends the window span, boundary
 /// stay and capability signature itself.
 fn smt_prefix(fx: &HouseFixture, adm_tag: &str, table_tag: &str, day_idx: usize) -> String {
-    format!(
-        "smtw/{:?}/{}/{}/{adm_tag}/{table_tag}/{day_idx}",
-        fx.kind, fx.days, fx.seed
-    )
+    format!("smtw/{}/{adm_tag}/{table_tag}/{day_idx}", fx.cache_key())
 }
 
 /// Cached reward table of a fixture's energy model.
 fn reward_table(cx: &ScenarioCtx<'_>, fx: &HouseFixture) -> Arc<RewardTable> {
-    cx.cache.memo(
-        &format!("rtable/{:?}/{}/{}", fx.kind, fx.days, fx.seed),
-        || RewardTable::build(&fx.model),
-    )
+    cx.cache.memo(&format!("rtable/{}", fx.cache_key()), || {
+        RewardTable::build(&fx.model)
+    })
 }
 
 /// Cached benign per-day control costs ($) of a fixture's month.
 fn benign_day_costs(cx: &ScenarioCtx<'_>, fx: &HouseFixture) -> Arc<Vec<f64>> {
-    cx.cache.memo(
-        &format!("benign/{:?}/{}/{}", fx.kind, fx.days, fx.seed),
-        || {
-            fx.model
-                .dataset_costs(&DchvacController, &fx.month.days)
-                .iter()
-                .map(|c| c.total_usd())
-                .collect()
-        },
-    )
+    cx.cache.memo(&format!("benign/{}", fx.cache_key()), || {
+        fx.model
+            .dataset_costs(&DchvacController, &fx.month.days)
+            .iter()
+            .map(|c| c.total_usd())
+            .collect()
+    })
 }
 
 /// Cached attack schedule for one day of a fixture's month. The key
@@ -96,10 +90,8 @@ fn day_schedule(
 ) -> Arc<AttackSchedule> {
     cx.cache.memo(
         &format!(
-            "sched/{:?}/{}/{}/{adm_tag}/{strategy_key}/{:016x}/{day_idx}",
-            fx.kind,
-            fx.days,
-            fx.seed,
+            "sched/{}/{adm_tag}/{strategy_key}/{:016x}/{day_idx}",
+            fx.cache_key(),
             cap.signature()
         ),
         || scheduler.schedule(table, adm, cap, &fx.month.days[day_idx]),
@@ -114,8 +106,8 @@ pub fn fig3(cx: &ScenarioCtx<'_>) -> Table {
         "ASHRAE vs SHATTER control cost ($/day)",
         &["house", "day", "ashrae_usd", "dchvac_usd"],
     );
-    for kind in [HouseKind::A, HouseKind::B] {
-        let fx = cx.fixture(kind, days);
+    for spec in [HouseSpec::aras_a(), HouseSpec::aras_b()] {
+        let fx = cx.fixture(&spec, days);
         let ashrae = fx
             .model
             .dataset_costs(&AshraeController::default(), &fx.month.days);
@@ -126,20 +118,20 @@ pub fn fig3(cx: &ScenarioCtx<'_>) -> Table {
             a_total += a.total_usd();
             d_total += d.total_usd();
             t.push(vec![
-                format!("{kind:?}"),
+                spec.short.clone(),
                 day.to_string(),
                 fmt2(a.total_usd()),
                 fmt2(d.total_usd()),
             ]);
         }
         t.push(vec![
-            format!("{kind:?}"),
+            spec.short.clone(),
             "TOTAL".into(),
             fmt2(a_total),
             fmt2(d_total),
         ]);
         t.push(vec![
-            format!("{kind:?}"),
+            spec.short.clone(),
             "SAVINGS%".into(),
             String::new(),
             fmt2(100.0 * (1.0 - d_total / a_total)),
@@ -198,8 +190,9 @@ fn tuning_scores(points_by_zone: &[Vec<Point>], kind: &AdmKind) -> (f64, f64, f6
 /// Silhouette, Calinski-Harabasz vs DBSCAN `minPts` and K-Means `k`).
 pub fn fig4(cx: &ScenarioCtx<'_>) -> Table {
     let days = cx.days();
-    let fx = cx.fixture(HouseKind::A, days);
-    let eps = cx.episodes(HouseKind::A, days);
+    let house_a = HouseSpec::aras_a();
+    let fx = cx.fixture(&house_a, days);
+    let eps = cx.episodes(&house_a, days);
     let points_by_zone: Vec<Vec<Point>> = (0..fx.home.zones().len())
         .map(|z| {
             features_for(&eps, OccupantId(0), ZoneId(z))
@@ -281,8 +274,8 @@ pub fn fig5(cx: &ScenarioCtx<'_>) -> Table {
         .filter(|&d| d + 5 <= days)
         .collect();
     for kind_label in ["DBSCAN", "K-Means"] {
-        for house in [HouseKind::A, HouseKind::B] {
-            let fx = cx.fixture(house, days);
+        for house in [HouseSpec::aras_a(), HouseSpec::aras_b()] {
+            let fx = cx.fixture(&house, days);
             for occupant in 0..2usize {
                 for &td in &train_points {
                     let (train, test) = fx.month.split_at_day(td);
@@ -291,13 +284,13 @@ pub fn fig5(cx: &ScenarioCtx<'_>) -> Table {
                     } else {
                         AdmKind::default_kmeans()
                     };
-                    let adm = cx.adm(house, days, kind, td);
+                    let adm = cx.adm(&house, days, kind, td);
                     let attacks = biota_attack_episodes(&train, &BiotaConfig::default());
                     let benign = extract_episodes(&test);
                     let c = score_occupant(&adm, OccupantId(occupant), &benign, &attacks);
                     t.push(vec![
                         kind_label.into(),
-                        dataset_label(house, occupant),
+                        dataset_label(&house, occupant),
                         td.to_string(),
                         fmt2(100.0 * c.f1()),
                     ]);
@@ -312,7 +305,8 @@ pub fn fig5(cx: &ScenarioCtx<'_>) -> Table {
 /// coverage areas (K-Means hulls cover more area).
 pub fn fig6(cx: &ScenarioCtx<'_>) -> Table {
     let days = cx.days();
-    let fx = cx.fixture(HouseKind::A, days);
+    let house_a = HouseSpec::aras_a();
+    let fx = cx.fixture(&house_a, days);
     let mut t = Table::new(
         "fig6",
         "ADM cluster hulls (HAO1): vertices and coverage",
@@ -329,7 +323,7 @@ pub fn fig6(cx: &ScenarioCtx<'_>) -> Table {
         ("DBSCAN", AdmKind::default_dbscan()),
         ("K-Means", AdmKind::default_kmeans()),
     ] {
-        let adm = cx.adm(HouseKind::A, days, kind, days);
+        let adm = cx.adm(&house_a, days, kind, days);
         let mut area = 0.0;
         for z in 0..fx.home.zones().len() {
             let Some(zm) = adm.zone_model(OccupantId(0), ZoneId(z)) else {
@@ -366,8 +360,9 @@ pub fn fig6(cx: &ScenarioCtx<'_>) -> Table {
 #[allow(clippy::needless_range_loop)] // occupant index addresses schedules, names, triggers
 pub fn tab3(cx: &ScenarioCtx<'_>) -> Table {
     let days = 12;
-    let fx = cx.fixture(HouseKind::A, days);
-    let adm = cx.adm(HouseKind::A, days, AdmKind::default_kmeans(), 10);
+    let house_a = HouseSpec::aras_a();
+    let fx = cx.fixture(&house_a, days);
+    let adm = cx.adm(&house_a, days, AdmKind::default_kmeans(), 10);
     let table = reward_table(cx, &fx);
     let cap = AttackerCapability::full(&fx.home);
     let day = &fx.month.days[3]; // "day 4"
@@ -481,10 +476,10 @@ pub fn tab4(cx: &ScenarioCtx<'_>) -> Table {
         ("K-Means", AdmKind::default_kmeans()),
     ] {
         for knowledge in [AttackerKnowledge::All, AttackerKnowledge::half()] {
-            for house in [HouseKind::A, HouseKind::B] {
-                let fx = cx.fixture(house, days);
+            for house in [HouseSpec::aras_a(), HouseSpec::aras_b()] {
+                let fx = cx.fixture(&house, days);
                 let (train, test) = fx.month.split_at_day(train_days);
-                let adm = cx.adm(house, days, kind, train_days);
+                let adm = cx.adm(&house, days, kind, train_days);
                 let attacks = biota_attack_episodes(
                     &train,
                     &BiotaConfig {
@@ -501,7 +496,7 @@ pub fn tab4(cx: &ScenarioCtx<'_>) -> Table {
                             AttackerKnowledge::All => "All".into(),
                             AttackerKnowledge::Partial(_) => "Partial".into(),
                         },
-                        dataset_label(house, occupant),
+                        dataset_label(&house, occupant),
                         fmt2(c.accuracy()),
                         fmt2(c.precision()),
                         fmt2(c.recall()),
@@ -589,8 +584,10 @@ pub fn tab5(cx: &ScenarioCtx<'_>) -> Table {
             "detect_b",
         ],
     );
-    let fx_a = cx.fixture(HouseKind::A, days);
-    let fx_b = cx.fixture(HouseKind::B, days);
+    let house_a = HouseSpec::aras_a();
+    let house_b = HouseSpec::aras_b();
+    let fx_a = cx.fixture(&house_a, days);
+    let fx_b = cx.fixture(&house_b, days);
     let strategies = StrategyRegistry::builtin();
     // Month-scale sweep: the SMT scheduler is orders of magnitude slower
     // per day (Fig. 11) and is excluded here exactly as in the paper.
@@ -625,8 +622,8 @@ pub fn tab5(cx: &ScenarioCtx<'_>) -> Table {
         ("DBSCAN", AdmKind::default_dbscan()),
         ("K-Means", AdmKind::default_kmeans()),
     ] {
-        let def_a = cx.adm(HouseKind::A, days, kind, days);
-        let def_b = cx.adm(HouseKind::B, days, kind, days);
+        let def_a = cx.adm(&house_a, days, kind, days);
+        let def_b = cx.adm(&house_b, days, kind, days);
 
         // ADM-oblivious strategies (BIoTA's rules-based world): one row
         // each, independent of the defender's ADM choice.
@@ -652,8 +649,8 @@ pub fn tab5(cx: &ScenarioCtx<'_>) -> Table {
 
         for knowledge in ["All", "Partial"] {
             let atk_days = if knowledge == "All" { days } else { days / 2 };
-            let atk_a = cx.adm(HouseKind::A, days, kind, atk_days);
-            let atk_b = cx.adm(HouseKind::B, days, kind, atk_days);
+            let atk_a = cx.adm(&house_a, days, kind, atk_days);
+            let atk_b = cx.adm(&house_b, days, kind, atk_days);
             let atk_tag = adm_tag(&kind, atk_days);
             for entry in &month_scale {
                 let sched: &(dyn Scheduler + Sync) = &*entry.scheduler;
@@ -683,8 +680,9 @@ pub fn strategies(cx: &ScenarioCtx<'_>) -> Table {
     let days = 12;
     let day_idx = 10;
     let adm_kind = AdmKind::default_kmeans();
-    let fx = cx.fixture(HouseKind::A, days);
-    let adm = cx.adm(HouseKind::A, days, adm_kind, 10);
+    let house_a = HouseSpec::aras_a();
+    let fx = cx.fixture(&house_a, days);
+    let adm = cx.adm(&house_a, days, adm_kind, 10);
     let table = reward_table(cx, &fx);
     let cap = AttackerCapability::full(&fx.home);
     let day = &fx.month.days[day_idx];
@@ -785,10 +783,10 @@ pub fn fig10(cx: &ScenarioCtx<'_>) -> Table {
             "with_trig_usd",
         ],
     );
-    for kind in [HouseKind::A, HouseKind::B] {
-        let fx = cx.fixture(kind, days);
+    for kind in [HouseSpec::aras_a(), HouseSpec::aras_b()] {
+        let fx = cx.fixture(&kind, days);
         let adm_kind = AdmKind::default_dbscan();
-        let adm = cx.adm(kind, days, adm_kind, days);
+        let adm = cx.adm(&kind, days, adm_kind, days);
         let tag = adm_tag(&adm_kind, days);
         let cap = AttackerCapability::full(&fx.home);
         let table = reward_table(cx, &fx);
@@ -827,7 +825,7 @@ pub fn fig10(cx: &ScenarioCtx<'_>) -> Table {
             sums.1 += without.attacked_cost_usd;
             sums.2 += with.attacked_cost_usd;
             t.push(vec![
-                format!("{kind:?}"),
+                kind.short.clone(),
                 d.to_string(),
                 fmt2(without.benign_cost_usd),
                 fmt2(without.attacked_cost_usd),
@@ -835,14 +833,14 @@ pub fn fig10(cx: &ScenarioCtx<'_>) -> Table {
             ]);
         }
         t.push(vec![
-            format!("{kind:?}"),
+            kind.short.clone(),
             "TOTAL".into(),
             fmt2(sums.0),
             fmt2(sums.1),
             fmt2(sums.2),
         ]);
         t.push(vec![
-            format!("{kind:?}"),
+            kind.short.clone(),
             "TRIG_GAIN".into(),
             String::new(),
             String::new(),
@@ -919,33 +917,37 @@ pub fn tab6(cx: &ScenarioCtx<'_>) -> Table {
     // synthesis — the exhibit's entire cost — so they all go through one
     // par_map and the per-size maxima are folded from the ordered result.
     let all_zones = [ZoneId(1), ZoneId(2), ZoneId(3), ZoneId(4)];
-    let fx_a = cx.fixture(HouseKind::A, days);
-    let fx_b = cx.fixture(HouseKind::B, days);
+    let house_a = HouseSpec::aras_a();
+    let house_b = HouseSpec::aras_b();
+    let fx_a = cx.fixture(&house_a, days);
+    let fx_b = cx.fixture(&house_b, days);
     let adm_kind = AdmKind::default_dbscan();
-    let adm_a = cx.adm(HouseKind::A, days, adm_kind, days);
-    let adm_b = cx.adm(HouseKind::B, days, adm_kind, days);
+    let adm_a = cx.adm(&house_a, days, adm_kind, days);
+    let adm_b = cx.adm(&house_b, days, adm_kind, days);
     let tag = adm_tag(&adm_kind, days);
     let sizes = [4usize, 3, 2];
-    let mut cells: Vec<(usize, u32, HouseKind)> = Vec::new();
+    // (subset size, zone mask, house index into the fixture pair).
+    let mut cells: Vec<(usize, u32, usize)> = Vec::new();
     for &size in &sizes {
         for mask in 0u32..16 {
             if mask.count_ones() as usize == size {
-                for kind in [HouseKind::A, HouseKind::B] {
-                    cells.push((size, mask, kind));
+                for house in 0..2usize {
+                    cells.push((size, mask, house));
                 }
             }
         }
     }
-    let impacts = cx.par_map(&cells, |_, &(_, mask, kind)| {
+    let impacts = cx.par_map(&cells, |_, &(_, mask, house)| {
         let zones: Vec<ZoneId> = all_zones
             .iter()
             .enumerate()
             .filter(|(i, _)| mask >> i & 1 == 1)
             .map(|(_, z)| *z)
             .collect();
-        let (fx, adm) = match kind {
-            HouseKind::A => (&fx_a, &adm_a),
-            HouseKind::B => (&fx_b, &adm_b),
+        let (fx, adm) = if house == 0 {
+            (&fx_a, &adm_a)
+        } else {
+            (&fx_b, &adm_b)
         };
         let cap = AttackerCapability::full(&fx.home).with_zone_access(zones);
         triggering_impact(cx, fx, adm, &tag, &cap)
@@ -954,8 +956,8 @@ pub fn tab6(cx: &ScenarioCtx<'_>) -> Table {
         let mut best = (f64::NEG_INFINITY, f64::NEG_INFINITY);
         for (cell, impact) in cells.iter().zip(&impacts) {
             match cell {
-                (s, _, HouseKind::A) if *s == size => best.0 = best.0.max(*impact),
-                (s, _, HouseKind::B) if *s == size => best.1 = best.1.max(*impact),
+                (s, _, 0) if *s == size => best.0 = best.0.max(*impact),
+                (s, _, _) if *s == size => best.1 = best.1.max(*impact),
                 _ => {}
             }
         }
@@ -977,11 +979,13 @@ pub fn tab7(cx: &ScenarioCtx<'_>) -> Table {
     // "8": drop the livingroom/bedroom electronics; "3": highest-power trio.
     let eight: Vec<ApplianceId> = (3..11).map(ApplianceId).collect();
     let three: Vec<ApplianceId> = [4usize, 10, 5].into_iter().map(ApplianceId).collect();
-    let fx_a = cx.fixture(HouseKind::A, days);
-    let fx_b = cx.fixture(HouseKind::B, days);
+    let house_a = HouseSpec::aras_a();
+    let house_b = HouseSpec::aras_b();
+    let fx_a = cx.fixture(&house_a, days);
+    let fx_b = cx.fixture(&house_b, days);
     let adm_kind = AdmKind::default_dbscan();
-    let adm_a = cx.adm(HouseKind::A, days, adm_kind, days);
-    let adm_b = cx.adm(HouseKind::B, days, adm_kind, days);
+    let adm_a = cx.adm(&house_a, days, adm_kind, days);
+    let adm_b = cx.adm(&house_b, days, adm_kind, days);
     let tag = adm_tag(&adm_kind, days);
     for (label, set) in [("13", all), ("8", eight), ("3", three)] {
         let cap_a = AttackerCapability::full(&fx_a.home).with_appliance_access(set.clone());
@@ -1021,13 +1025,13 @@ pub fn fig11(cx: &ScenarioCtx<'_>) -> Table {
     /// One measurement of the span sweep: (a) a time-horizon point on an
     /// ARAS house, or (b) a zone-count point on the scaled home.
     enum Sweep {
-        Horizon(HouseKind, usize),
+        Horizon(HouseSpec, usize),
         Zones(usize),
     }
     let mut points: Vec<Sweep> = Vec::new();
-    for kind in [HouseKind::A, HouseKind::B] {
+    for kind in [HouseSpec::aras_a(), HouseSpec::aras_b()] {
         for horizon in [10usize, 14, 18, 22, 26] {
-            points.push(Sweep::Horizon(kind, horizon));
+            points.push(Sweep::Horizon(kind.clone(), horizon));
         }
     }
     for n_zones in [4usize, 8, 12, 16, 20, 24] {
@@ -1042,8 +1046,9 @@ pub fn fig11(cx: &ScenarioCtx<'_>) -> Table {
     // strategy shootout already committed) are lookups, not solves —
     // wall-clock columns then time the residual solver work, which is
     // exactly the engine's cost model for the suite.
-    let rows = cx.par_map(&points, |_, point| match *point {
+    let rows = cx.par_map(&points, |_, point| match point {
         Sweep::Horizon(kind, horizon) => {
+            let horizon = *horizon;
             let fx = cx.fixture(kind, 12);
             let adm = cx.adm(kind, 12, adm_kind, 10);
             let table = reward_table(cx, &fx);
@@ -1073,7 +1078,7 @@ pub fn fig11(cx: &ScenarioCtx<'_>) -> Table {
             vec![
                 "horizon".into(),
                 horizon.to_string(),
-                format!("{kind:?}"),
+                kind.short.clone(),
                 elapsed.as_millis().to_string(),
                 format!("{per_window_us:.0}"),
                 stats.theory_conflicts.to_string(),
@@ -1087,11 +1092,13 @@ pub fn fig11(cx: &ScenarioCtx<'_>) -> Table {
         }
         Sweep::Zones(n_zones) => {
             // (b) horizontal scaling: number of zones (lookback 10).
+            let n_zones = *n_zones;
             let home = houses::scaled_home(n_zones);
             let model = EnergyModel::standard(home.clone());
             let table = RewardTable::build(&model);
-            let fx = cx.fixture(HouseKind::A, 12);
-            let adm = cx.adm(HouseKind::A, 12, adm_kind, 10);
+            let house_a = HouseSpec::aras_a();
+            let fx = cx.fixture(&house_a, 12);
+            let adm = cx.adm(&house_a, 12, adm_kind, 10);
             let cap = AttackerCapability::full(&home);
             let day = &fx.month.days[day_idx];
             let sched = SmtScheduler::default();
@@ -1151,9 +1158,10 @@ pub fn ablation(cx: &ScenarioCtx<'_>) -> Table {
             "detect",
         ],
     );
-    let fx = cx.fixture(HouseKind::A, days);
+    let house_a = HouseSpec::aras_a();
+    let fx = cx.fixture(&house_a, days);
     let adm_kind = AdmKind::default_dbscan();
-    let adm = cx.adm(HouseKind::A, days, adm_kind, days);
+    let adm = cx.adm(&house_a, days, adm_kind, days);
     let cap = AttackerCapability::full(&fx.home);
     let table = reward_table(cx, &fx);
     let benign_costs = benign_day_costs(cx, &fx);
@@ -1244,7 +1252,7 @@ pub fn ablation(cx: &ScenarioCtx<'_>) -> Table {
             eps,
             ..DbscanParams::default()
         });
-        let tight = cx.adm(HouseKind::A, days, kind_eps, days);
+        let tight = cx.adm(&house_a, days, kind_eps, days);
         let sched = shatter_core::WindowDpScheduler::default();
         let (a, b, d) = run("dp", &sched, &tight, &adm_tag(&kind_eps, days), true);
         t.push(vec![
@@ -1307,6 +1315,234 @@ pub fn testbed(_cx: &ScenarioCtx<'_>) -> Table {
     t.push(vec![
         "rewritten_packets".into(),
         out.rewritten_packets.to_string(),
+    ]);
+    t
+}
+
+/// `scaled_homes` — house-size sweep: the DP attack evaluated on
+/// generated [`HouseSpec::scaled`] homes (6/10/16 zones, growing
+/// occupant counts with generated personas). This is the first workload
+/// off the opened house axis: nothing here is ARAS-specific — fixtures,
+/// ADM training and schedule memoization all key on the spec signature.
+pub fn scaled_homes(cx: &ScenarioCtx<'_>) -> Table {
+    let days = cx.days();
+    let shapes = [(6usize, 2usize), (10, 3), (16, 4)];
+    let mut t = Table::new(
+        "scaled_homes",
+        "House-size sweep: DP attack impact on scaled homes",
+        &[
+            "house",
+            "zones",
+            "occupants",
+            "benign_usd",
+            "attacked_usd",
+            "lift_pct",
+            "detect",
+        ],
+    );
+    let adm_kind = AdmKind::default_dbscan();
+    let tag = adm_tag(&adm_kind, days);
+    let sched = StrategyRegistry::builtin()
+        .get("dp")
+        .expect("builtin dp")
+        .scheduler
+        .clone();
+    for (n_zones, n_occupants) in shapes {
+        let spec = HouseSpec::scaled(n_zones, n_occupants);
+        let fx = cx.fixture(&spec, days);
+        let adm = cx.adm(&spec, days, adm_kind, days);
+        let table = reward_table(cx, &fx);
+        let benign_costs = benign_day_costs(cx, &fx);
+        let cap = AttackerCapability::full(&fx.home);
+        // Per-day cells are independent months of schedule synthesis;
+        // split them over the run's slot budget like tab5 does.
+        let per_day = cx.par_map(&fx.month.days, |d, day| {
+            let schedule = day_schedule(cx, &fx, &adm, &tag, "dp", &*sched, &cap, &table, d);
+            let out = impact::evaluate_day_with_schedule(
+                &fx.model,
+                &adm,
+                &cap,
+                day,
+                &schedule,
+                true,
+                Some(benign_costs[d]),
+            );
+            (
+                out.attacked_cost_usd,
+                out.benign_cost_usd,
+                out.detection_rate,
+            )
+        });
+        let mut attacked = 0.0;
+        let mut benign = 0.0;
+        let mut detect = 0.0;
+        for (a, b, det) in &per_day {
+            attacked += a;
+            benign += b;
+            detect += det;
+        }
+        detect /= per_day.len() as f64;
+        t.push(vec![
+            spec.short.clone(),
+            n_zones.to_string(),
+            n_occupants.to_string(),
+            fmt2(benign),
+            fmt2(attacked),
+            fmt2(100.0 * (attacked - benign) / benign),
+            fmt2(detect),
+        ]);
+    }
+    t
+}
+
+/// `capability_grid` — attacker-capability grid on House A: zone-subset
+/// profiles × injection timeslot windows. Each cell's schedules memoize
+/// under the capability's [`AttackerCapability::signature`], so cells
+/// sharing a capability with other exhibits (the full/all-day corner is
+/// exactly tab5's DP arm) are cache lookups.
+pub fn capability_grid(cx: &ScenarioCtx<'_>) -> Table {
+    let days = cx.days();
+    let house_a = HouseSpec::aras_a();
+    let fx = cx.fixture(&house_a, days);
+    let adm_kind = AdmKind::default_dbscan();
+    let adm = cx.adm(&house_a, days, adm_kind, days);
+    let tag = adm_tag(&adm_kind, days);
+    let table = reward_table(cx, &fx);
+    let benign_costs = benign_day_costs(cx, &fx);
+    let sched = StrategyRegistry::builtin()
+        .get("dp")
+        .expect("builtin dp")
+        .scheduler
+        .clone();
+    let zone_profiles: [(&str, &[usize]); 3] = [
+        ("all", &[1, 2, 3, 4]),
+        ("day-rooms", &[2, 3]),
+        ("night-rooms", &[1, 4]),
+    ];
+    let windows: [(&str, Option<(Minute, Minute)>); 3] = [
+        ("all-day", None),
+        ("work-hours", Some((540, 1020))),
+        ("evening", Some((1020, 1440))),
+    ];
+    let mut cells: Vec<(usize, usize)> = Vec::new();
+    for zi in 0..zone_profiles.len() {
+        for wi in 0..windows.len() {
+            cells.push((zi, wi));
+        }
+    }
+    let mut t = Table::new(
+        "capability_grid",
+        "Attacker-capability grid (House A): zone access x timeslot window",
+        &[
+            "zones",
+            "window",
+            "cap_sig",
+            "attacked_usd",
+            "lift_usd",
+            "detect",
+        ],
+    );
+    // Each grid cell is a month of schedule synthesis under its own
+    // capability; the 9 cells fan out over the pool and reduce in
+    // submission order.
+    let rows = cx.par_map(&cells, |_, &(zi, wi)| {
+        let (_, zones) = zone_profiles[zi];
+        let (_, window) = windows[wi];
+        let mut cap =
+            AttackerCapability::full(&fx.home).with_zone_access(zones.iter().map(|&z| ZoneId(z)));
+        if let Some((s, e)) = window {
+            cap = cap.with_timeslots(s, e);
+        }
+        let mut attacked = 0.0;
+        let mut benign = 0.0;
+        let mut detect = 0.0;
+        for (d, day) in fx.month.days.iter().enumerate() {
+            let schedule = day_schedule(cx, &fx, &adm, &tag, "dp", &*sched, &cap, &table, d);
+            let out = impact::evaluate_day_with_schedule(
+                &fx.model,
+                &adm,
+                &cap,
+                day,
+                &schedule,
+                true,
+                Some(benign_costs[d]),
+            );
+            attacked += out.attacked_cost_usd;
+            benign += out.benign_cost_usd;
+            detect += out.detection_rate;
+        }
+        detect /= fx.month.days.len() as f64;
+        (cap.signature(), attacked, attacked - benign, detect)
+    });
+    for (&(zi, wi), (sig, attacked, lift, detect)) in cells.iter().zip(rows) {
+        t.push(vec![
+            zone_profiles[zi].0.into(),
+            windows[wi].0.into(),
+            format!("{sig:016x}"),
+            fmt2(attacked),
+            fmt2(lift),
+            fmt2(detect),
+        ]);
+    }
+    t
+}
+
+/// `defense_sweep` — the paper's §VII-D closing argument as a scenario:
+/// rank every single-asset hardening step (zone sensors, appliance
+/// de-voicing) by removed attack impact, then a greedy 3-step hardening
+/// plan with its residual impact.
+pub fn defense_sweep(cx: &ScenarioCtx<'_>) -> Table {
+    let days = cx.days();
+    let house_a = HouseSpec::aras_a();
+    let fx = cx.fixture(&house_a, days);
+    let adm_kind = AdmKind::default_dbscan();
+    let train_days = (days * 5 / 6).max(1);
+    let adm = cx.adm(&house_a, days, adm_kind, train_days);
+    let cap = AttackerCapability::full(&fx.home);
+    let sched = shatter_core::WindowDpScheduler::default();
+    // Evaluate marginal values over the post-training tail (up to two
+    // days): ~70 restricted-capability impact evaluations, so the window
+    // is kept short like tab3's.
+    let eval_days = &fx.month.days[train_days.min(days - 1)..days.min(train_days + 2)];
+    let target_label = |target: &shatter_core::defense::HardeningTarget| -> String {
+        match *target {
+            shatter_core::defense::HardeningTarget::ZoneSensors(z) => {
+                format!("zone:{}", fx.home.zone(z).name)
+            }
+            shatter_core::defense::HardeningTarget::Appliance(a) => {
+                format!("appliance:{}", fx.home.appliance(a).name)
+            }
+        }
+    };
+    let mut t = Table::new(
+        "defense_sweep",
+        "Defense guide (House A): hardening ranked by removed attack impact",
+        &["section", "rank", "target", "impact_usd"],
+    );
+    let ranked = shatter_core::defense::rank_hardening(&fx.model, &adm, &cap, eval_days, &sched);
+    for (i, opt) in ranked.iter().enumerate() {
+        t.push(vec![
+            "rank".into(),
+            i.to_string(),
+            target_label(&opt.target),
+            fmt2(opt.impact_removed_usd),
+        ]);
+    }
+    let (plan, residual) =
+        shatter_core::defense::greedy_hardening_plan(&fx.model, &adm, &cap, eval_days, &sched, 3);
+    for (i, step) in plan.iter().enumerate() {
+        t.push(vec![
+            "plan".into(),
+            i.to_string(),
+            target_label(&step.target),
+            fmt2(step.impact_removed_usd),
+        ]);
+    }
+    t.push(vec![
+        "residual".into(),
+        String::new(),
+        "after-plan attack impact".into(),
+        fmt2(residual),
     ]);
     t
 }

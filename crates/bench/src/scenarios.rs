@@ -76,6 +76,26 @@ pub fn builtin_registry() -> Registry {
         FnScenario::new("ablation", "Design-choice ablations", exhibits::ablation)
             .describe("Horizon, trigger-awareness, ADM radius and battery sweeps (DESIGN.md §6)"),
     );
+    reg.register(
+        FnScenario::new("scaled_homes", "House-size sweep", exhibits::scaled_homes)
+            .describe("DP attack impact on generated scaled homes (6/10/16 zones, 2-4 occupants)"),
+    );
+    reg.register(
+        FnScenario::new(
+            "capability_grid",
+            "Attacker-capability grid",
+            exhibits::capability_grid,
+        )
+        .describe("Zone-subset x timeslot-window capability profiles on House A"),
+    );
+    reg.register(
+        FnScenario::new(
+            "defense_sweep",
+            "Defense hardening sweep",
+            exhibits::defense_sweep,
+        )
+        .describe("Ranked sensor/appliance hardening and a greedy plan (paper §VII-D)"),
+    );
     reg
 }
 
@@ -128,12 +148,15 @@ mod tests {
             "fig11",
             "testbed",
             "ablation",
+            "scaled_homes",
+            "capability_grid",
+            "defense_sweep",
         ] {
             let s = reg.get(id).unwrap_or_else(|| panic!("missing {id}"));
             assert!(!s.title().is_empty());
             assert!(!s.description().is_empty());
         }
-        assert_eq!(reg.len(), 14);
+        assert_eq!(reg.len(), 17);
         // Only the timing exhibit is non-deterministic.
         let nondet: Vec<String> = reg
             .all()

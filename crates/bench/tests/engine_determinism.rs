@@ -52,7 +52,14 @@ fn heavy_exhibits_byte_identical_across_pool_widths() {
     // intra-scenario parallelism (the suite-level test above mostly
     // saturates the budget with scenario workers instead).
     let reg = builtin_registry();
-    for id in ["tab5", "tab6", "strategies", "ablation"] {
+    for id in [
+        "tab5",
+        "tab6",
+        "strategies",
+        "ablation",
+        "scaled_homes",
+        "capability_grid",
+    ] {
         let one = |threads: usize| {
             let cache = FixtureCache::new();
             let scenarios = reg.select(&[id.to_string()]).expect("known id");

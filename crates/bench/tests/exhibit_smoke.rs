@@ -157,6 +157,58 @@ fn ablation_rows_cover_all_axes() {
 }
 
 #[test]
+fn scaled_homes_covers_shapes_and_attack_lifts_cost() {
+    let t = run_exhibit("scaled_homes", 4, 20);
+    assert_well_formed(&t);
+    for (zones, occupants) in [("6", "2"), ("10", "3"), ("16", "4")] {
+        let row = t
+            .rows
+            .iter()
+            .find(|r| r[1] == zones)
+            .unwrap_or_else(|| panic!("missing {zones}-zone row"));
+        assert_eq!(row[2], occupants);
+        let benign: f64 = row[3].parse().unwrap();
+        let attacked: f64 = row[4].parse().unwrap();
+        assert!(
+            attacked >= benign - 1e-9,
+            "{zones} zones: attacked {attacked} < benign {benign}"
+        );
+    }
+}
+
+#[test]
+fn capability_grid_full_corner_dominates() {
+    let t = run_exhibit("capability_grid", 4, 20);
+    assert_well_formed(&t);
+    assert_eq!(t.rows.len(), 9, "3 zone profiles x 3 windows");
+    let full = cell(&t, &[(0, "all"), (1, "all-day")], 4);
+    for row in &t.rows {
+        let lift: f64 = row[4].parse().unwrap();
+        // Restricting the attacker can only shed impact (small slack
+        // for scheduler tie-breaking).
+        assert!(
+            lift <= full + 0.25,
+            "{}x{} lift {lift} beats full-capability {full}",
+            row[0],
+            row[1]
+        );
+    }
+}
+
+#[test]
+fn defense_sweep_ranks_every_asset_and_plans() {
+    let t = run_exhibit("defense_sweep", 6, 20);
+    assert_well_formed(&t);
+    // 4 indoor zones + 13 appliances ranked.
+    assert_eq!(t.rows.iter().filter(|r| r[0] == "rank").count(), 17);
+    // The greedy plan stops at zero marginal value, so at smoke scale it
+    // may be empty — but never over budget.
+    assert!(t.rows.iter().filter(|r| r[0] == "plan").count() <= 3);
+    let residual = cell(&t, &[(0, "residual")], 3);
+    assert!(residual.is_finite());
+}
+
+#[test]
 fn fig4_reports_scores_for_small_minpts() {
     let t = run_exhibit("fig4", 10, 20);
     assert_well_formed(&t);

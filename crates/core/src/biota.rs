@@ -88,7 +88,7 @@ mod tests {
     use super::*;
     use crate::{Scheduler, WindowDpScheduler};
     use shatter_adm::AdmKind;
-    use shatter_dataset::{synthesize, HouseKind, SynthConfig};
+    use shatter_dataset::{synthesize, HouseSpec, SynthConfig};
     use shatter_hvac::EnergyModel;
     use shatter_smarthome::houses;
 
@@ -98,7 +98,7 @@ mod tests {
         RewardTable,
         AttackerCapability,
     ) {
-        let ds = synthesize(&SynthConfig::new(HouseKind::A, 12, 51));
+        let ds = synthesize(&SynthConfig::new(HouseSpec::aras_a(), 12, 51));
         let adm = HullAdm::train(&ds.prefix_days(10), AdmKind::default_dbscan());
         let model = EnergyModel::standard(houses::aras_house_a());
         let table = RewardTable::build(&model);

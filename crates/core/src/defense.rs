@@ -136,7 +136,7 @@ mod tests {
     use super::*;
     use crate::WindowDpScheduler;
     use shatter_adm::AdmKind;
-    use shatter_dataset::{synthesize, HouseKind, SynthConfig};
+    use shatter_dataset::{synthesize, HouseSpec, SynthConfig};
     use shatter_smarthome::houses;
 
     fn setup() -> (
@@ -146,7 +146,7 @@ mod tests {
         AttackerCapability,
     ) {
         let home = houses::aras_house_a();
-        let ds = synthesize(&SynthConfig::new(HouseKind::A, 12, 91));
+        let ds = synthesize(&SynthConfig::new(HouseSpec::aras_a(), 12, 91));
         let adm = HullAdm::train(&ds.prefix_days(10), AdmKind::default_dbscan());
         let model = EnergyModel::standard(home.clone());
         let cap = AttackerCapability::full(&home);

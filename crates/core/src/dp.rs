@@ -445,7 +445,7 @@ mod tests {
     use super::*;
     use crate::AttackSchedule;
     use shatter_adm::AdmKind;
-    use shatter_dataset::{synthesize, HouseKind, SynthConfig};
+    use shatter_dataset::{synthesize, HouseSpec, SynthConfig};
     use shatter_hvac::EnergyModel;
     use shatter_smarthome::houses;
 
@@ -455,7 +455,7 @@ mod tests {
         RewardTable,
         AttackerCapability,
     ) {
-        let ds = synthesize(&SynthConfig::new(HouseKind::A, 12, 21));
+        let ds = synthesize(&SynthConfig::new(HouseSpec::aras_a(), 12, 21));
         let adm = HullAdm::train(&ds.prefix_days(10), AdmKind::default_kmeans());
         let model = EnergyModel::standard(houses::aras_house_a());
         let table = RewardTable::build(&model);

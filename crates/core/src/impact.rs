@@ -170,7 +170,7 @@ mod tests {
     use super::*;
     use crate::{BiotaScheduler, GreedyScheduler, WindowDpScheduler};
     use shatter_adm::AdmKind;
-    use shatter_dataset::{synthesize, HouseKind, SynthConfig};
+    use shatter_dataset::{synthesize, HouseSpec, SynthConfig};
     use shatter_smarthome::houses;
 
     fn setup() -> (
@@ -180,7 +180,7 @@ mod tests {
         AttackerCapability,
     ) {
         let home = houses::aras_house_a();
-        let ds = synthesize(&SynthConfig::new(HouseKind::A, 12, 61));
+        let ds = synthesize(&SynthConfig::new(HouseSpec::aras_a(), 12, 61));
         let adm = HullAdm::train(&ds.prefix_days(10), AdmKind::default_kmeans());
         let model = EnergyModel::standard(home.clone());
         let cap = AttackerCapability::full(&home);

@@ -31,12 +31,12 @@
 //! ```
 //! use shatter_adm::{AdmKind, HullAdm};
 //! use shatter_core::{impact, AttackerCapability, WindowDpScheduler};
-//! use shatter_dataset::{synthesize, HouseKind, SynthConfig};
+//! use shatter_dataset::{synthesize, HouseSpec, SynthConfig};
 //! use shatter_hvac::EnergyModel;
 //! use shatter_smarthome::houses;
 //!
 //! let home = houses::aras_house_a();
-//! let data = synthesize(&SynthConfig::new(HouseKind::A, 10, 1));
+//! let data = synthesize(&SynthConfig::new(HouseSpec::aras_a(), 10, 1));
 //! let (train, test) = data.split_at_day(8);
 //! let adm = HullAdm::train(&train, AdmKind::default_dbscan());
 //! let model = EnergyModel::standard(home.clone());

@@ -122,7 +122,7 @@ mod tests {
     use crate::biota::detection_rate;
     use crate::{Scheduler, WindowDpScheduler};
     use shatter_adm::AdmKind;
-    use shatter_dataset::{synthesize, HouseKind, SynthConfig};
+    use shatter_dataset::{synthesize, HouseSpec, SynthConfig};
     use shatter_hvac::EnergyModel;
     use shatter_smarthome::houses;
 
@@ -132,7 +132,7 @@ mod tests {
         RewardTable,
         AttackerCapability,
     ) {
-        let ds = synthesize(&SynthConfig::new(HouseKind::A, 14, 17));
+        let ds = synthesize(&SynthConfig::new(HouseSpec::aras_a(), 14, 17));
         let adm = HullAdm::train(&ds.prefix_days(12), AdmKind::default_kmeans());
         let model = EnergyModel::standard(houses::aras_house_a());
         let table = RewardTable::build(&model);

@@ -355,13 +355,13 @@ pub trait Scheduler {
 mod tests {
     use super::*;
     use shatter_adm::AdmKind;
-    use shatter_dataset::{synthesize, HouseKind, SynthConfig};
+    use shatter_dataset::{synthesize, HouseSpec, SynthConfig};
     use shatter_hvac::EnergyModel;
     use shatter_smarthome::houses;
 
     #[test]
     fn identity_schedule_roundtrip() {
-        let ds = synthesize(&SynthConfig::new(HouseKind::A, 1, 8));
+        let ds = synthesize(&SynthConfig::new(HouseSpec::aras_a(), 1, 8));
         let s = AttackSchedule::from_actual(&ds.days[0]);
         assert_eq!(s.n_occupants(), 2);
         assert_eq!(s.divergence(&ds.days[0]), 0);
@@ -379,7 +379,7 @@ mod tests {
 
     #[test]
     fn identity_schedule_validates_with_full_cap() {
-        let ds = synthesize(&SynthConfig::new(HouseKind::A, 10, 8));
+        let ds = synthesize(&SynthConfig::new(HouseSpec::aras_a(), 10, 8));
         let adm = HullAdm::train(&ds, AdmKind::default_kmeans());
         let home = houses::aras_house_a();
         let cap = AttackerCapability::full(&home);
@@ -389,7 +389,7 @@ mod tests {
 
     #[test]
     fn implausible_activity_detected() {
-        let ds = synthesize(&SynthConfig::new(HouseKind::A, 3, 8));
+        let ds = synthesize(&SynthConfig::new(HouseSpec::aras_a(), 3, 8));
         let adm = HullAdm::train(&ds, AdmKind::default_kmeans());
         let home = houses::aras_house_a();
         let cap = AttackerCapability::full(&home);
@@ -406,7 +406,7 @@ mod tests {
 
     #[test]
     fn reward_matches_table() {
-        let ds = synthesize(&SynthConfig::new(HouseKind::A, 1, 8));
+        let ds = synthesize(&SynthConfig::new(HouseSpec::aras_a(), 1, 8));
         let model = EnergyModel::standard(houses::aras_house_a());
         let table = RewardTable::build(&model);
         let s = AttackSchedule::from_actual(&ds.days[0]);

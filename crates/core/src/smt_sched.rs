@@ -576,7 +576,7 @@ mod tests {
     use super::*;
     use crate::WindowDpScheduler;
     use shatter_adm::AdmKind;
-    use shatter_dataset::{synthesize, HouseKind, SynthConfig};
+    use shatter_dataset::{synthesize, HouseSpec, SynthConfig};
     use shatter_hvac::EnergyModel;
     use shatter_smarthome::houses;
 
@@ -586,7 +586,7 @@ mod tests {
         RewardTable,
         AttackerCapability,
     ) {
-        let ds = synthesize(&SynthConfig::new(HouseKind::A, 12, 71));
+        let ds = synthesize(&SynthConfig::new(HouseSpec::aras_a(), 12, 71));
         let adm = HullAdm::train(&ds.prefix_days(10), AdmKind::default_kmeans());
         let model = EnergyModel::standard(houses::aras_house_a());
         let table = RewardTable::build(&model);

@@ -119,7 +119,7 @@ mod tests {
     use super::*;
     use crate::{RewardTable, Scheduler, WindowDpScheduler};
     use shatter_adm::AdmKind;
-    use shatter_dataset::{synthesize, HouseKind, SynthConfig};
+    use shatter_dataset::{synthesize, HouseSpec, SynthConfig};
     use shatter_hvac::EnergyModel;
     use shatter_smarthome::houses;
 
@@ -131,7 +131,7 @@ mod tests {
         AttackerCapability,
     ) {
         let home = houses::aras_house_a();
-        let ds = synthesize(&SynthConfig::new(HouseKind::A, 12, 41));
+        let ds = synthesize(&SynthConfig::new(HouseSpec::aras_a(), 12, 41));
         let adm = HullAdm::train(&ds.prefix_days(10), AdmKind::default_kmeans());
         let model = EnergyModel::standard(home.clone());
         let table = RewardTable::build(&model);

@@ -17,12 +17,12 @@ use shatter_adm::{AdmKind, HullAdm};
 use shatter_core::{
     AttackSchedule, AttackerCapability, RewardTable, SmtScheduler, WindowMemo, WindowSolution,
 };
-use shatter_dataset::{synthesize, Dataset, HouseKind, SynthConfig};
+use shatter_dataset::{synthesize, Dataset, HouseSpec, SynthConfig};
 use shatter_hvac::EnergyModel;
 use shatter_smarthome::{houses, Minute, OccupantId, ZoneId};
 
 fn world(seed: u64) -> (Dataset, HullAdm, RewardTable, AttackerCapability) {
-    let ds = synthesize(&SynthConfig::new(HouseKind::A, 12, seed));
+    let ds = synthesize(&SynthConfig::new(HouseSpec::aras_a(), 12, seed));
     let adm = HullAdm::train(&ds.prefix_days(10), AdmKind::default_kmeans());
     let model = EnergyModel::standard(houses::aras_house_a());
     let table = RewardTable::build(&model);

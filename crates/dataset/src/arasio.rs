@@ -151,11 +151,11 @@ pub fn dataset_to_aras(ds: &Dataset) -> Vec<String> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{synthesize, HouseKind, SynthConfig};
+    use crate::{synthesize, HouseSpec, SynthConfig};
 
     #[test]
     fn line_shape() {
-        let ds = synthesize(&SynthConfig::new(HouseKind::A, 1, 2));
+        let ds = synthesize(&SynthConfig::new(HouseSpec::aras_a(), 1, 2));
         let text = day_to_aras(&ds.days[0]);
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines.len(), MINUTES_PER_DAY);
@@ -166,7 +166,7 @@ mod tests {
 
     #[test]
     fn roundtrip_preserves_activities_and_appliances() {
-        let ds = synthesize(&SynthConfig::new(HouseKind::A, 2, 5));
+        let ds = synthesize(&SynthConfig::new(HouseSpec::aras_a(), 2, 5));
         for day in &ds.days {
             let text = day_to_aras(day);
             let back = day_from_aras(&text, day.day).unwrap();
@@ -183,7 +183,7 @@ mod tests {
     fn zone_reconstruction_matches_generator_convention() {
         // The synthetic generator also places occupants via
         // default_zone_for, so the zone reconstruction is exact.
-        let ds = synthesize(&SynthConfig::new(HouseKind::B, 1, 9));
+        let ds = synthesize(&SynthConfig::new(HouseSpec::aras_b(), 1, 9));
         let day = &ds.days[0];
         let back = day_from_aras(&day_to_aras(day), 0).unwrap();
         assert_eq!(day.minutes, back.minutes);
@@ -191,7 +191,7 @@ mod tests {
 
     #[test]
     fn presence_bits_match_occupancy() {
-        let ds = synthesize(&SynthConfig::new(HouseKind::A, 1, 7));
+        let ds = synthesize(&SynthConfig::new(HouseSpec::aras_a(), 1, 7));
         for rec in &ds.days[0].minutes {
             let row = sensor_row(rec);
             #[allow(clippy::needless_range_loop)]

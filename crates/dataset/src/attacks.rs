@@ -109,8 +109,8 @@ fn observed_ranges(episodes: &[Episode], occupant: OccupantId, zone: ZoneId) -> 
 /// zone as long as possible" strategy of BIoTA's fixed-rule world.
 ///
 /// ```
-/// use shatter_dataset::{attacks::{biota_attack_episodes, BiotaConfig}, synthesize, HouseKind, SynthConfig};
-/// let train = synthesize(&SynthConfig::new(HouseKind::A, 10, 1));
+/// use shatter_dataset::{attacks::{biota_attack_episodes, BiotaConfig}, synthesize, HouseSpec, SynthConfig};
+/// let train = synthesize(&SynthConfig::new(HouseSpec::aras_a(), 10, 1));
 /// let attacks = biota_attack_episodes(&train, &BiotaConfig::default());
 /// assert!(!attacks.is_empty());
 /// ```
@@ -177,10 +177,10 @@ pub fn biota_attack_episodes(train: &Dataset, cfg: &BiotaConfig) -> Vec<Episode>
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{synthesize, HouseKind, SynthConfig};
+    use crate::{synthesize, HouseSpec, SynthConfig};
 
     fn train() -> Dataset {
-        synthesize(&SynthConfig::new(HouseKind::A, 10, 77))
+        synthesize(&SynthConfig::new(HouseSpec::aras_a(), 10, 77))
     }
 
     #[test]

@@ -206,11 +206,11 @@ pub fn read_csv(path: &Path, house: impl Into<String>) -> Result<Dataset, CsvErr
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{synthesize, HouseKind, SynthConfig};
+    use crate::{synthesize, HouseSpec, SynthConfig};
 
     #[test]
     fn csv_roundtrip() {
-        let ds = synthesize(&SynthConfig::new(HouseKind::A, 2, 4));
+        let ds = synthesize(&SynthConfig::new(HouseSpec::aras_a(), 2, 4));
         let text = to_csv_string(&ds);
         let back = from_csv_string(&text, ds.house.clone()).unwrap();
         assert_eq!(ds, back);
@@ -218,7 +218,7 @@ mod tests {
 
     #[test]
     fn rejects_truncated_rows() {
-        let ds = synthesize(&SynthConfig::new(HouseKind::A, 1, 4));
+        let ds = synthesize(&SynthConfig::new(HouseSpec::aras_a(), 1, 4));
         let mut text = to_csv_string(&ds);
         let cut = text.len() - 10;
         text.truncate(cut);
@@ -246,7 +246,7 @@ mod tests {
         let dir = std::env::temp_dir().join("shatter_csv_test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("ds.csv");
-        let ds = synthesize(&SynthConfig::new(HouseKind::B, 1, 9));
+        let ds = synthesize(&SynthConfig::new(HouseSpec::aras_b(), 1, 9));
         write_csv(&ds, &path).unwrap();
         let back = read_csv(&path, ds.house.clone()).unwrap();
         assert_eq!(ds, back);

@@ -45,8 +45,8 @@ impl Episode {
 /// the 1440-slot horizon).
 ///
 /// ```
-/// use shatter_dataset::{episodes::extract_episodes, synthesize, HouseKind, SynthConfig};
-/// let ds = synthesize(&SynthConfig::new(HouseKind::A, 2, 1));
+/// use shatter_dataset::{episodes::extract_episodes, synthesize, HouseSpec, SynthConfig};
+/// let ds = synthesize(&SynthConfig::new(HouseSpec::aras_a(), 2, 1));
 /// let eps = extract_episodes(&ds);
 /// assert!(!eps.is_empty());
 /// // Episodes within a day tile the full 1440 minutes per occupant.
@@ -102,12 +102,12 @@ pub fn features_for(episodes: &[Episode], occupant: OccupantId, zone: ZoneId) ->
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{synthesize, HouseKind, SynthConfig};
+    use crate::{synthesize, HouseSpec, SynthConfig};
     use shatter_smarthome::MINUTES_PER_DAY;
 
     #[test]
     fn episodes_tile_each_day() {
-        let ds = synthesize(&SynthConfig::new(HouseKind::A, 3, 21));
+        let ds = synthesize(&SynthConfig::new(HouseSpec::aras_a(), 3, 21));
         let eps = extract_episodes(&ds);
         for day in 0..3u32 {
             for o in 0..ds.n_occupants {
@@ -130,7 +130,7 @@ mod tests {
 
     #[test]
     fn consecutive_episodes_change_zone() {
-        let ds = synthesize(&SynthConfig::new(HouseKind::B, 2, 33));
+        let ds = synthesize(&SynthConfig::new(HouseSpec::aras_b(), 2, 33));
         let eps = extract_episodes(&ds);
         for w in eps.windows(2) {
             if w[0].day == w[1].day && w[0].occupant == w[1].occupant {
@@ -141,7 +141,7 @@ mod tests {
 
     #[test]
     fn features_for_filters() {
-        let ds = synthesize(&SynthConfig::new(HouseKind::A, 2, 5));
+        let ds = synthesize(&SynthConfig::new(HouseSpec::aras_a(), 2, 5));
         let eps = extract_episodes(&ds);
         let f = features_for(&eps, OccupantId(0), ZoneId(1));
         assert!(!f.is_empty());

@@ -23,9 +23,9 @@
 //! # Examples
 //!
 //! ```
-//! use shatter_dataset::{synthesize, HouseKind, SynthConfig};
+//! use shatter_dataset::{synthesize, HouseSpec, SynthConfig};
 //!
-//! let data = synthesize(&SynthConfig::new(HouseKind::A, 3, 42));
+//! let data = synthesize(&SynthConfig::new(HouseSpec::aras_a(), 3, 42));
 //! assert_eq!(data.days.len(), 3);
 //! assert_eq!(data.days[0].minutes.len(), 1440);
 //! ```
@@ -38,7 +38,9 @@ pub mod attacks;
 pub mod csvio;
 pub mod episodes;
 mod schema;
+pub mod spec;
 mod synth;
 
 pub use schema::{Dataset, DayTrace, MinuteRecord, OccupantState};
-pub use synth::{default_zone_for, synthesize, HouseKind, SynthConfig};
+pub use spec::{ActivityAnchors, HouseSpec, PersonaSpec};
+pub use synth::{default_zone_for, synthesize, SynthConfig};

@@ -3,34 +3,14 @@ use rand::{Rng, SeedableRng};
 
 use shatter_smarthome::{Activity, ZoneId, MINUTES_PER_DAY};
 
+use crate::spec::{HouseSpec, PersonaSpec};
 use crate::{Dataset, DayTrace, MinuteRecord, OccupantState};
 
-/// Which of the two ARAS evaluation houses to synthesize.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum HouseKind {
-    /// ARAS House A — occupants spend more time at home.
-    A,
-    /// ARAS House B — occupants are away for longer work blocks, giving the
-    /// paper's lower House-B control costs.
-    B,
-}
-
-impl HouseKind {
-    /// Dataset label prefix (`"HA"` / `"HB"`), matching the paper's
-    /// HAO1/HAO2/HBO1/HBO2 naming.
-    pub fn label(self) -> &'static str {
-        match self {
-            HouseKind::A => "HA",
-            HouseKind::B => "HB",
-        }
-    }
-}
-
 /// Configuration of the synthetic ARAS-schema generator.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SynthConfig {
-    /// Which house's behavioural parameters to use.
-    pub house: HouseKind,
+    /// Which house to synthesize: topology and per-occupant personas.
+    pub spec: HouseSpec,
     /// Number of days to generate (the paper uses a 30-day month).
     pub days: usize,
     /// RNG seed; identical configs produce identical datasets.
@@ -39,18 +19,20 @@ pub struct SynthConfig {
 
 impl SynthConfig {
     /// Creates a config.
-    pub fn new(house: HouseKind, days: usize, seed: u64) -> Self {
-        SynthConfig { house, days, seed }
+    pub fn new(spec: HouseSpec, days: usize, seed: u64) -> Self {
+        SynthConfig { spec, days, seed }
     }
 
     /// The standard month-long configuration used by the evaluation.
-    pub fn month(house: HouseKind, seed: u64) -> Self {
-        SynthConfig::new(house, 30, seed)
+    pub fn month(spec: HouseSpec, seed: u64) -> Self {
+        SynthConfig::new(spec, 30, seed)
     }
 }
 
 /// The canonical zone an activity takes place in, for the ARAS room layout
-/// (Outside, Bedroom, Livingroom, Kitchen, Bathroom).
+/// (Outside, Bedroom, Livingroom, Kitchen, Bathroom). Non-ARAS houses
+/// route this class through each persona's
+/// [`crate::spec::ActivityAnchors`].
 pub fn default_zone_for(activity: Activity) -> ZoneId {
     use Activity::*;
     match activity {
@@ -79,51 +61,6 @@ struct Segment {
     duration: u32,
 }
 
-/// Behavioural parameters for one occupant of one house.
-struct Persona {
-    wake_mean: f64,
-    work_prob_weekday: f64,
-    work_duration_mean: f64,
-    evening_tv_mean: f64,
-    shower_in_morning: bool,
-}
-
-fn persona(house: HouseKind, occupant: usize) -> Persona {
-    match (house, occupant) {
-        // House A occupant 1 ("Alice"): mostly home, studies.
-        (HouseKind::A, 0) => Persona {
-            wake_mean: 430.0,
-            work_prob_weekday: 0.30,
-            work_duration_mean: 310.0,
-            evening_tv_mean: 100.0,
-            shower_in_morning: false,
-        },
-        // House A occupant 2 ("Bob"): office worker.
-        (HouseKind::A, _) => Persona {
-            wake_mean: 395.0,
-            work_prob_weekday: 0.85,
-            work_duration_mean: 540.0,
-            evening_tv_mean: 80.0,
-            shower_in_morning: true,
-        },
-        // House B occupants are away longer (lower benign cost).
-        (HouseKind::B, 0) => Persona {
-            wake_mean: 410.0,
-            work_prob_weekday: 0.80,
-            work_duration_mean: 580.0,
-            evening_tv_mean: 70.0,
-            shower_in_morning: true,
-        },
-        (HouseKind::B, _) => Persona {
-            wake_mean: 380.0,
-            work_prob_weekday: 0.90,
-            work_duration_mean: 620.0,
-            evening_tv_mean: 60.0,
-            shower_in_morning: true,
-        },
-    }
-}
-
 /// Idle home activities to fill gaps with (livingroom-centric).
 const IDLE: [Activity; 5] = [
     Activity::WatchingTv,
@@ -142,9 +79,9 @@ fn idle_segment(rng: &mut StdRng) -> Segment {
 }
 
 /// Builds one occupant's full-day plan as a sequence of segments summing to
-/// exactly [`MINUTES_PER_DAY`] minutes.
-fn day_plan(rng: &mut StdRng, house: HouseKind, occupant: usize, day: u32) -> Vec<Segment> {
-    let p = persona(house, occupant);
+/// exactly [`MINUTES_PER_DAY`] minutes, driven entirely by the occupant's
+/// [`PersonaSpec`] parameters.
+fn day_plan(rng: &mut StdRng, p: &PersonaSpec, day: u32) -> Vec<Segment> {
     let weekend = matches!(day % 7, 5 | 6);
     let mut plan: Vec<Segment> = Vec::new();
     let mut t: u32 = 0;
@@ -368,12 +305,19 @@ fn day_plan(rng: &mut StdRng, house: HouseKind, occupant: usize, day: u32) -> Ve
 /// Appliance states are derived from occupant activity: an appliance is on
 /// during a minute iff some occupant in its zone performs one of its linked
 /// activities (the paper's activity–appliance relationship, §II reason 2).
+///
+/// # Panics
+///
+/// Panics when the spec's persona count does not match its home's
+/// occupant count.
 pub fn synthesize(config: &SynthConfig) -> Dataset {
-    let home = match config.house {
-        HouseKind::A => shatter_smarthome::houses::aras_house_a(),
-        HouseKind::B => shatter_smarthome::houses::aras_house_b(),
-    };
+    let home = config.spec.home.build();
     let n_occupants = home.occupants().len();
+    assert_eq!(
+        n_occupants,
+        config.spec.personas.len(),
+        "one persona per occupant"
+    );
     let n_appliances = home.appliances().len();
     let mut rng = StdRng::seed_from_u64(config.seed);
 
@@ -381,11 +325,11 @@ pub fn synthesize(config: &SynthConfig) -> Dataset {
     for day in 0..config.days as u32 {
         // Expand each occupant's plan into a per-minute state row.
         let mut states: Vec<Vec<OccupantState>> = Vec::with_capacity(n_occupants);
-        for o in 0..n_occupants {
-            let plan = day_plan(&mut rng, config.house, o, day);
+        for persona in &config.spec.personas {
+            let plan = day_plan(&mut rng, persona, day);
             let mut row = Vec::with_capacity(MINUTES_PER_DAY);
             for seg in plan {
-                let zone = default_zone_for(seg.activity);
+                let zone = persona.anchors.zone_for(seg.activity);
                 for _ in 0..seg.duration {
                     row.push(OccupantState {
                         zone,
@@ -435,20 +379,20 @@ mod tests {
 
     #[test]
     fn deterministic_for_same_seed() {
-        let c = SynthConfig::new(HouseKind::A, 2, 7);
+        let c = SynthConfig::new(HouseSpec::aras_a(), 2, 7);
         assert_eq!(synthesize(&c), synthesize(&c));
     }
 
     #[test]
     fn different_seeds_differ() {
-        let a = synthesize(&SynthConfig::new(HouseKind::A, 2, 1));
-        let b = synthesize(&SynthConfig::new(HouseKind::A, 2, 2));
+        let a = synthesize(&SynthConfig::new(HouseSpec::aras_a(), 2, 1));
+        let b = synthesize(&SynthConfig::new(HouseSpec::aras_a(), 2, 2));
         assert_ne!(a, b);
     }
 
     #[test]
     fn validates_and_has_shape() {
-        let d = synthesize(&SynthConfig::new(HouseKind::B, 4, 3));
+        let d = synthesize(&SynthConfig::new(HouseSpec::aras_b(), 4, 3));
         d.validate().unwrap();
         assert_eq!(d.days.len(), 4);
         assert_eq!(d.n_occupants, 2);
@@ -457,7 +401,7 @@ mod tests {
 
     #[test]
     fn occupants_sleep_at_night() {
-        let d = synthesize(&SynthConfig::month(HouseKind::A, 5));
+        let d = synthesize(&SynthConfig::month(HouseSpec::aras_a(), 5));
         // At 03:00 nearly every occupant-day should be asleep in the bedroom.
         let mut asleep = 0usize;
         let mut total = 0usize;
@@ -474,8 +418,8 @@ mod tests {
 
     #[test]
     fn house_b_more_away_time_than_a() {
-        let a = synthesize(&SynthConfig::month(HouseKind::A, 11));
-        let b = synthesize(&SynthConfig::month(HouseKind::B, 11));
+        let a = synthesize(&SynthConfig::month(HouseSpec::aras_a(), 11));
+        let b = synthesize(&SynthConfig::month(HouseSpec::aras_b(), 11));
         let away = |d: &Dataset| -> usize {
             d.days
                 .iter()
@@ -489,7 +433,7 @@ mod tests {
 
     #[test]
     fn appliances_track_linked_activities() {
-        let d = synthesize(&SynthConfig::new(HouseKind::A, 3, 9));
+        let d = synthesize(&SynthConfig::new(HouseSpec::aras_a(), 3, 9));
         let home = shatter_smarthome::houses::aras_house_a();
         for day in &d.days {
             for rec in &day.minutes {
@@ -507,7 +451,7 @@ mod tests {
 
     #[test]
     fn cooking_happens_in_kitchen_in_evening() {
-        let d = synthesize(&SynthConfig::month(HouseKind::A, 13));
+        let d = synthesize(&SynthConfig::month(HouseSpec::aras_a(), 13));
         let mut dinner_minutes = 0usize;
         for day in &d.days {
             for m in 1050..1250 {
@@ -520,5 +464,25 @@ mod tests {
             }
         }
         assert!(dinner_minutes > 100, "dinner minutes = {dinner_minutes}");
+    }
+
+    #[test]
+    fn scaled_house_synthesizes_n_occupants_across_anchor_zones() {
+        let spec = HouseSpec::scaled(10, 3);
+        let d = synthesize(&SynthConfig::new(spec.clone(), 3, 4));
+        d.validate().unwrap();
+        assert_eq!(d.n_occupants, 3);
+        // Each occupant sleeps in their own anchored bedroom at 03:00.
+        for day in &d.days {
+            for (o, os) in day.minutes[180].occupants.iter().enumerate() {
+                if os.activity == Activity::Sleeping {
+                    assert_eq!(os.zone, spec.personas[o].anchors.bedroom);
+                }
+            }
+        }
+        // Occupants use distinct bedrooms (10-zone home has 3 bedrooms).
+        let bedrooms: std::collections::BTreeSet<ZoneId> =
+            spec.personas.iter().map(|p| p.anchors.bedroom).collect();
+        assert_eq!(bedrooms.len(), 3);
     }
 }

@@ -1,11 +1,13 @@
 //! Shared evaluation fixtures and the memoizing [`FixtureCache`].
 //!
 //! Dataset synthesis, episode extraction and ADM training dominate the
-//! cost of every exhibit; the cache keys them by `(HouseKind, days,
-//! seed)` and `(dataset key, AdmKind, train_days)` respectively so a
-//! full-suite run pays each once. All entries are `Arc`-shared and the
+//! cost of every exhibit; the cache keys them by `(HouseSpec signature,
+//! days, seed)` and `(dataset key, AdmKind, train_days)` respectively so
+//! a full-suite run pays each once. All entries are `Arc`-shared and the
 //! cache is internally locked, so scenarios on parallel runner threads
-//! share one cache safely.
+//! share one cache safely. Any [`HouseSpec`] — the ARAS presets or a
+//! generated scaled home — caches the same way; nothing here enumerates
+//! houses.
 
 use std::any::Any;
 use std::collections::HashMap;
@@ -14,27 +16,25 @@ use std::sync::{Arc, Mutex};
 
 use shatter_adm::{AdmKind, HullAdm};
 use shatter_dataset::episodes::{extract_episodes, Episode};
-use shatter_dataset::{synthesize, Dataset, HouseKind, SynthConfig};
+use shatter_dataset::{synthesize, Dataset, HouseSpec, SynthConfig};
 use shatter_hvac::EnergyModel;
-use shatter_smarthome::{houses, Home};
+use shatter_smarthome::Home;
 
-/// Seed of the canonical House-A month.
-pub const HOUSE_A_SEED: u64 = 11;
+/// Seed of the canonical House-A month (same value as
+/// [`shatter_dataset::spec::ARAS_A_SEED`]).
+pub const HOUSE_A_SEED: u64 = shatter_dataset::spec::ARAS_A_SEED;
 /// Seed of the canonical House-B month.
-pub const HOUSE_B_SEED: u64 = 22;
+pub const HOUSE_B_SEED: u64 = shatter_dataset::spec::ARAS_B_SEED;
 
-/// Canonical dataset seed for a house.
-pub fn canonical_seed(kind: HouseKind) -> u64 {
-    match kind {
-        HouseKind::A => HOUSE_A_SEED,
-        HouseKind::B => HOUSE_B_SEED,
-    }
+/// Canonical dataset seed of a house spec.
+pub fn canonical_seed(spec: &HouseSpec) -> u64 {
+    spec.canonical_seed
 }
 
 /// The canonical evaluation fixture for one house.
 pub struct HouseFixture {
     /// House identity of this fixture.
-    pub kind: HouseKind,
+    pub spec: HouseSpec,
     /// Days synthesized.
     pub days: usize,
     /// Dataset seed used.
@@ -50,20 +50,17 @@ pub struct HouseFixture {
 impl HouseFixture {
     /// Builds the fixture for a house with the canonical seed, outside
     /// any cache (each call re-synthesizes).
-    pub fn new(kind: HouseKind, days: usize) -> HouseFixture {
-        HouseFixture::with_seed(kind, days, canonical_seed(kind))
+    pub fn new(spec: &HouseSpec, days: usize) -> HouseFixture {
+        HouseFixture::with_seed(spec, days, canonical_seed(spec))
     }
 
     /// Builds the fixture with an explicit dataset seed.
-    pub fn with_seed(kind: HouseKind, days: usize, seed: u64) -> HouseFixture {
-        let home = match kind {
-            HouseKind::A => houses::aras_house_a(),
-            HouseKind::B => houses::aras_house_b(),
-        };
-        let month = Arc::new(synthesize(&SynthConfig::new(kind, days, seed)));
+    pub fn with_seed(spec: &HouseSpec, days: usize, seed: u64) -> HouseFixture {
+        let home = spec.home.build();
+        let month = Arc::new(synthesize(&SynthConfig::new(spec.clone(), days, seed)));
         let model = EnergyModel::standard(home.clone());
         HouseFixture {
-            kind,
+            spec: spec.clone(),
             days,
             seed,
             home,
@@ -77,14 +74,33 @@ impl HouseFixture {
     pub fn adm(&self, kind: AdmKind, days: usize) -> HullAdm {
         HullAdm::train(&self.month.prefix_days(days), kind)
     }
+
+    /// Memo-key fragment fully identifying this fixture's dataset:
+    /// `"{label}-{spec signature:016x}/{days}/{seed}"`. Every schedule /
+    /// reward-table / benign-cost memo key embeds it, so two specs
+    /// sharing `days` and `seed` can never alias a cache entry.
+    pub fn cache_key(&self) -> String {
+        format!("{}/{}/{}", self.spec.cache_tag(), self.days, self.seed)
+    }
 }
 
 /// Key of one synthesized dataset.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 struct DatasetKey {
-    kind: HouseKind,
+    /// [`HouseSpec::signature`] of the house.
+    sig: u64,
     days: usize,
     seed: u64,
+}
+
+impl DatasetKey {
+    fn new(spec: &HouseSpec, days: usize, seed: u64) -> DatasetKey {
+        DatasetKey {
+            sig: spec.signature(),
+            days,
+            seed,
+        }
+    }
 }
 
 /// Hashable encoding of an [`AdmKind`] (f64 params by bit pattern).
@@ -203,10 +219,12 @@ impl FixtureCache {
     }
 
     /// Memoizes an arbitrary shared intermediate under a caller-chosen
-    /// key. The key must capture *all* inputs of `compute` (scenarios use
-    /// e.g. `"sched/{house}/{days}/{adm}/{strategy}/{cap:x}/{day}"` for
-    /// attack schedules). On a type mismatch for an existing key the
-    /// value is recomputed and replaced.
+    /// key. The key must capture *all* inputs of `compute` — scenarios
+    /// build keys on [`HouseFixture::cache_key`], which embeds the house
+    /// spec signature, days and seed (e.g.
+    /// `"sched/{fixture key}/{adm}/{strategy}/{cap:x}/{day}"` for attack
+    /// schedules). On a type mismatch for an existing key the value is
+    /// recomputed and replaced.
     pub fn memo<T, F>(&self, key: &str, compute: F) -> Arc<T>
     where
         T: Send + Sync + 'static,
@@ -237,14 +255,14 @@ impl FixtureCache {
         &self.memos[(crate::scenario::fnv1a(key) as usize) % MEMO_SHARDS]
     }
 
-    /// The canonical fixture for `(kind, days)` (canonical seed).
-    pub fn fixture(&self, kind: HouseKind, days: usize) -> Arc<HouseFixture> {
-        self.fixture_with_seed(kind, days, canonical_seed(kind))
+    /// The canonical fixture for `(spec, days)` (canonical seed).
+    pub fn fixture(&self, spec: &HouseSpec, days: usize) -> Arc<HouseFixture> {
+        self.fixture_with_seed(spec, days, canonical_seed(spec))
     }
 
-    /// The fixture for `(kind, days, seed)`.
-    pub fn fixture_with_seed(&self, kind: HouseKind, days: usize, seed: u64) -> Arc<HouseFixture> {
-        let key = DatasetKey { kind, days, seed };
+    /// The fixture for `(spec, days, seed)`.
+    pub fn fixture_with_seed(&self, spec: &HouseSpec, days: usize, seed: u64) -> Arc<HouseFixture> {
+        let key = DatasetKey::new(spec, days, seed);
         if !self.disabled {
             if let Some(fx) = self.fixtures.lock().expect("fixture cache lock").get(&key) {
                 self.hit();
@@ -255,7 +273,7 @@ impl FixtureCache {
         // this month is built, and a racing duplicate insert is benign
         // (identical content, last writer wins).
         self.miss();
-        let fx = Arc::new(HouseFixture::with_seed(kind, days, seed));
+        let fx = Arc::new(HouseFixture::with_seed(spec, days, seed));
         if !self.disabled {
             self.fixtures
                 .lock()
@@ -266,18 +284,23 @@ impl FixtureCache {
     }
 
     /// The dataset behind the canonical fixture.
-    pub fn dataset(&self, kind: HouseKind, days: usize) -> Arc<Dataset> {
-        Arc::clone(&self.fixture(kind, days).month)
+    pub fn dataset(&self, spec: &HouseSpec, days: usize) -> Arc<Dataset> {
+        Arc::clone(&self.fixture(spec, days).month)
     }
 
-    /// Extracted episodes of the canonical `(kind, days)` dataset.
-    pub fn episodes(&self, kind: HouseKind, days: usize) -> Arc<Vec<Episode>> {
-        self.episodes_with_seed(kind, days, canonical_seed(kind))
+    /// Extracted episodes of the canonical `(spec, days)` dataset.
+    pub fn episodes(&self, spec: &HouseSpec, days: usize) -> Arc<Vec<Episode>> {
+        self.episodes_with_seed(spec, days, canonical_seed(spec))
     }
 
-    /// Extracted episodes of the `(kind, days, seed)` dataset.
-    pub fn episodes_with_seed(&self, kind: HouseKind, days: usize, seed: u64) -> Arc<Vec<Episode>> {
-        let key = DatasetKey { kind, days, seed };
+    /// Extracted episodes of the `(spec, days, seed)` dataset.
+    pub fn episodes_with_seed(
+        &self,
+        spec: &HouseSpec,
+        days: usize,
+        seed: u64,
+    ) -> Arc<Vec<Episode>> {
+        let key = DatasetKey::new(spec, days, seed);
         if !self.disabled {
             if let Some(eps) = self.episodes.lock().expect("episode cache lock").get(&key) {
                 self.hit();
@@ -285,7 +308,7 @@ impl FixtureCache {
             }
         }
         self.miss();
-        let fx = self.fixture_with_seed(kind, days, seed);
+        let fx = self.fixture_with_seed(spec, days, seed);
         let eps = Arc::new(extract_episodes(&fx.month));
         if !self.disabled {
             self.episodes
@@ -296,30 +319,30 @@ impl FixtureCache {
         eps
     }
 
-    /// A trained ADM for the canonical `(kind, days)` dataset: `adm_kind`
+    /// A trained ADM for the canonical `(spec, days)` dataset: `adm_kind`
     /// trained on the first `train_days` days. Identical to
     /// `HouseFixture::adm` but memoized.
     pub fn adm(
         &self,
-        kind: HouseKind,
+        spec: &HouseSpec,
         days: usize,
         adm_kind: AdmKind,
         train_days: usize,
     ) -> Arc<HullAdm> {
-        self.adm_with_seed(kind, days, canonical_seed(kind), adm_kind, train_days)
+        self.adm_with_seed(spec, days, canonical_seed(spec), adm_kind, train_days)
     }
 
-    /// A trained ADM for the `(kind, days, seed)` dataset.
+    /// A trained ADM for the `(spec, days, seed)` dataset.
     pub fn adm_with_seed(
         &self,
-        kind: HouseKind,
+        spec: &HouseSpec,
         days: usize,
         seed: u64,
         adm_kind: AdmKind,
         train_days: usize,
     ) -> Arc<HullAdm> {
         let key = (
-            DatasetKey { kind, days, seed },
+            DatasetKey::new(spec, days, seed),
             adm_key(&adm_kind),
             train_days,
         );
@@ -330,7 +353,7 @@ impl FixtureCache {
             }
         }
         self.miss();
-        let fx = self.fixture_with_seed(kind, days, seed);
+        let fx = self.fixture_with_seed(spec, days, seed);
         let adm = Arc::new(fx.adm(adm_kind, train_days));
         if !self.disabled {
             self.adms
@@ -357,8 +380,8 @@ mod tests {
     #[test]
     fn fixture_is_cached() {
         let cache = FixtureCache::new();
-        let a = cache.fixture(HouseKind::A, 3);
-        let b = cache.fixture(HouseKind::A, 3);
+        let a = cache.fixture(&HouseSpec::aras_a(), 3);
+        let b = cache.fixture(&HouseSpec::aras_a(), 3);
         assert!(Arc::ptr_eq(&a, &b));
         let stats = cache.stats();
         assert_eq!((stats.hits, stats.misses), (1, 1));
@@ -367,21 +390,45 @@ mod tests {
     #[test]
     fn distinct_keys_distinct_entries() {
         let cache = FixtureCache::new();
-        let a = cache.fixture(HouseKind::A, 3);
-        let b = cache.fixture(HouseKind::B, 3);
-        let c = cache.fixture(HouseKind::A, 4);
+        let a = cache.fixture(&HouseSpec::aras_a(), 3);
+        let b = cache.fixture(&HouseSpec::aras_b(), 3);
+        let c = cache.fixture(&HouseSpec::aras_a(), 4);
         assert!(!Arc::ptr_eq(&a, &b));
         assert!(!Arc::ptr_eq(&a, &c));
         assert_eq!(cache.stats().misses, 3);
     }
 
     #[test]
+    fn specs_sharing_days_and_seed_never_alias() {
+        // Regression for the latent memo key-collision risk: two house
+        // specs with identical (days, seed) must resolve to different
+        // fixture-cache entries AND different memo-key prefixes.
+        let cache = FixtureCache::new();
+        let s6 = HouseSpec::scaled(6, 2);
+        let s10 = HouseSpec::scaled(10, 2);
+        let a = cache.fixture_with_seed(&s6, 3, 5);
+        let b = cache.fixture_with_seed(&s10, 3, 5);
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_ne!(a.month, b.month);
+        assert_ne!(a.cache_key(), b.cache_key());
+        // Same shape, different occupant count: still distinct.
+        let s6x3 = HouseSpec::scaled(6, 3);
+        let c = cache.fixture_with_seed(&s6x3, 3, 5);
+        assert_ne!(a.cache_key(), c.cache_key());
+        // ARAS A vs B forced onto the same seed: distinct too.
+        let fa = HouseFixture::with_seed(&HouseSpec::aras_a(), 2, 7);
+        let fb = HouseFixture::with_seed(&HouseSpec::aras_b(), 2, 7);
+        assert_ne!(fa.cache_key(), fb.cache_key());
+    }
+
+    #[test]
     fn cached_adm_matches_uncached_training() {
         let cache = FixtureCache::new();
-        let cached = cache.adm(HouseKind::A, 4, AdmKind::default_kmeans(), 3);
-        let again = cache.adm(HouseKind::A, 4, AdmKind::default_kmeans(), 3);
+        let spec = HouseSpec::aras_a();
+        let cached = cache.adm(&spec, 4, AdmKind::default_kmeans(), 3);
+        let again = cache.adm(&spec, 4, AdmKind::default_kmeans(), 3);
         assert!(Arc::ptr_eq(&cached, &again));
-        let fx = HouseFixture::new(HouseKind::A, 4);
+        let fx = HouseFixture::new(&spec, 4);
         let direct = fx.adm(AdmKind::default_kmeans(), 3);
         // HullAdm has no PartialEq and its Debug form iterates a hash
         // map; compare the learned geometry keyed and sorted instead.
@@ -413,18 +460,30 @@ mod tests {
         let y = off.memo("k1", || 2usize);
         assert_eq!((*x, *y), (1, 2));
         assert_eq!(off.stats().hits, 0);
-        let f1 = off.fixture(HouseKind::A, 2);
-        let f2 = off.fixture(HouseKind::A, 2);
+        let f1 = off.fixture(&HouseSpec::aras_a(), 2);
+        let f2 = off.fixture(&HouseSpec::aras_a(), 2);
         assert!(!Arc::ptr_eq(&f1, &f2));
     }
 
     #[test]
     fn episodes_cached_and_consistent() {
         let cache = FixtureCache::new();
-        let e1 = cache.episodes(HouseKind::B, 2);
-        let e2 = cache.episodes(HouseKind::B, 2);
+        let spec = HouseSpec::aras_b();
+        let e1 = cache.episodes(&spec, 2);
+        let e2 = cache.episodes(&spec, 2);
         assert!(Arc::ptr_eq(&e1, &e2));
-        let direct = extract_episodes(&HouseFixture::new(HouseKind::B, 2).month);
+        let direct = extract_episodes(&HouseFixture::new(&spec, 2).month);
         assert_eq!(*e1, direct);
+    }
+
+    #[test]
+    fn scaled_spec_fixtures_cache_like_preset_ones() {
+        let cache = FixtureCache::new();
+        let spec = HouseSpec::scaled(6, 3);
+        let a = cache.fixture(&spec, 2);
+        let b = cache.fixture(&spec, 2);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(a.home.occupants().len(), 3);
+        assert_eq!(a.month.n_occupants, 3);
     }
 }

@@ -19,7 +19,7 @@
 //!
 //! let mut reg = Registry::new();
 //! reg.register(FnScenario::new("hello", "Trivial scenario", |cx| {
-//!     let fx = cx.fixture(shatter_dataset::HouseKind::A, 2);
+//!     let fx = cx.fixture(&shatter_dataset::HouseSpec::aras_a(), 2);
 //!     let mut t = Table::new("hello", "Trivial scenario", &["days"]);
 //!     t.push(vec![fx.month.days.len().to_string()]);
 //!     t

@@ -157,13 +157,13 @@ pub fn run_scenarios(
 mod tests {
     use super::*;
     use crate::scenario::{FnScenario, Registry};
-    use shatter_dataset::HouseKind;
+    use shatter_dataset::HouseSpec;
 
     fn registry() -> Registry {
         let mut reg = Registry::new();
         for (i, id) in ["s1", "s2", "s3", "s4", "s5"].iter().enumerate() {
             reg.register(FnScenario::new(id, "probe", move |cx| {
-                let fx = cx.fixture(HouseKind::A, 2);
+                let fx = cx.fixture(&HouseSpec::aras_a(), 2);
                 let mut t = Table::new(id, "probe", &["seed", "days", "idx"]);
                 t.push(vec![
                     cx.seed.to_string(),

@@ -10,7 +10,7 @@ use std::sync::Arc;
 
 use shatter_adm::{AdmKind, HullAdm};
 use shatter_dataset::episodes::Episode;
-use shatter_dataset::{Dataset, HouseKind};
+use shatter_dataset::{Dataset, HouseSpec};
 
 use crate::fixtures::{FixtureCache, HouseFixture};
 use crate::pool::WorkPool;
@@ -90,41 +90,42 @@ impl ScenarioCtx<'_> {
         self.params.span
     }
 
-    /// Dataset seed for a house in this run: the canonical seed XORed
-    /// with the run's `base_seed`, so `--seed` regenerates every fixture
-    /// while `base_seed == 0` keeps the canonical months byte-stable.
-    pub fn dataset_seed(&self, kind: HouseKind) -> u64 {
-        crate::fixtures::canonical_seed(kind) ^ self.params.base_seed
+    /// Dataset seed for a house in this run: the spec's canonical seed
+    /// XORed with the run's `base_seed`, so `--seed` regenerates every
+    /// fixture while `base_seed == 0` keeps the canonical months
+    /// byte-stable.
+    pub fn dataset_seed(&self, spec: &HouseSpec) -> u64 {
+        crate::fixtures::canonical_seed(spec) ^ self.params.base_seed
     }
 
-    /// Cached fixture for `(kind, days)` under this run's dataset seed.
-    pub fn fixture(&self, kind: HouseKind, days: usize) -> Arc<HouseFixture> {
+    /// Cached fixture for `(spec, days)` under this run's dataset seed.
+    pub fn fixture(&self, spec: &HouseSpec, days: usize) -> Arc<HouseFixture> {
         self.cache
-            .fixture_with_seed(kind, days, self.dataset_seed(kind))
+            .fixture_with_seed(spec, days, self.dataset_seed(spec))
     }
 
-    /// Cached dataset for `(kind, days)` under this run's dataset seed.
-    pub fn dataset(&self, kind: HouseKind, days: usize) -> Arc<Dataset> {
-        Arc::clone(&self.fixture(kind, days).month)
+    /// Cached dataset for `(spec, days)` under this run's dataset seed.
+    pub fn dataset(&self, spec: &HouseSpec, days: usize) -> Arc<Dataset> {
+        Arc::clone(&self.fixture(spec, days).month)
     }
 
-    /// Cached episode extraction for this run's `(kind, days)` dataset.
-    pub fn episodes(&self, kind: HouseKind, days: usize) -> Arc<Vec<Episode>> {
+    /// Cached episode extraction for this run's `(spec, days)` dataset.
+    pub fn episodes(&self, spec: &HouseSpec, days: usize) -> Arc<Vec<Episode>> {
         self.cache
-            .episodes_with_seed(kind, days, self.dataset_seed(kind))
+            .episodes_with_seed(spec, days, self.dataset_seed(spec))
     }
 
     /// Cached ADM trained on the first `train_days` days of this run's
-    /// `(kind, days)` dataset.
+    /// `(spec, days)` dataset.
     pub fn adm(
         &self,
-        kind: HouseKind,
+        spec: &HouseSpec,
         days: usize,
         adm_kind: AdmKind,
         train_days: usize,
     ) -> Arc<HullAdm> {
         self.cache
-            .adm_with_seed(kind, days, self.dataset_seed(kind), adm_kind, train_days)
+            .adm_with_seed(spec, days, self.dataset_seed(spec), adm_kind, train_days)
     }
 }
 

@@ -219,7 +219,7 @@ impl EnergyModel {
 mod tests {
     use super::*;
     use crate::{AshraeController, DchvacController};
-    use shatter_dataset::{synthesize, HouseKind, OccupantState, SynthConfig};
+    use shatter_dataset::{synthesize, HouseSpec, OccupantState, SynthConfig};
     use shatter_smarthome::houses;
 
     fn model() -> EnergyModel {
@@ -261,13 +261,10 @@ mod tests {
     #[test]
     fn ashrae_costs_roughly_double_dchvac() {
         // Paper Fig. 3: proposed controller is ~48–53% cheaper.
-        for (kind, seed) in [(HouseKind::A, 3u64), (HouseKind::B, 4)] {
-            let home = match kind {
-                HouseKind::A => houses::aras_house_a(),
-                HouseKind::B => houses::aras_house_b(),
-            };
+        for (kind, seed) in [(HouseSpec::aras_a(), 3u64), (HouseSpec::aras_b(), 4)] {
+            let home = kind.home.build();
             let m = EnergyModel::standard(home);
-            let data = synthesize(&SynthConfig::new(kind, 5, seed));
+            let data = synthesize(&SynthConfig::new(kind.clone(), 5, seed));
             let dchvac: f64 = m
                 .dataset_costs(&DchvacController, &data.days)
                 .iter()
@@ -290,7 +287,7 @@ mod tests {
     fn benign_daily_cost_in_paper_range() {
         // Paper Fig. 3/10: single-digit dollars per day for House A.
         let m = model();
-        let data = synthesize(&SynthConfig::new(HouseKind::A, 5, 9));
+        let data = synthesize(&SynthConfig::new(HouseSpec::aras_a(), 5, 9));
         for d in m.dataset_costs(&DchvacController, &data.days) {
             let usd = d.total_usd();
             assert!((1.0..15.0).contains(&usd), "daily cost {usd}");
@@ -345,7 +342,7 @@ mod tests {
     #[test]
     fn day_cost_consistent_with_minutes() {
         let m = model();
-        let data = synthesize(&SynthConfig::new(HouseKind::A, 1, 2));
+        let data = synthesize(&SynthConfig::new(HouseSpec::aras_a(), 1, 2));
         let dc = m.day_cost(&DchvacController, &data.days[0]);
         assert_eq!(dc.minutes.len(), 1440);
         // Costs bounded by kWh × max price.
@@ -358,7 +355,7 @@ mod tests {
     #[test]
     fn battery_reduces_peak_cost() {
         let home = houses::aras_house_a();
-        let data = synthesize(&SynthConfig::new(HouseKind::A, 1, 2));
+        let data = synthesize(&SynthConfig::new(HouseSpec::aras_a(), 1, 2));
         let mut cheap = EnergyModel::standard(home.clone());
         cheap.pricing.battery_kwh = 5.0;
         let mut none = EnergyModel::standard(home);

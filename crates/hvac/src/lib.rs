@@ -20,12 +20,12 @@
 //! # Examples
 //!
 //! ```
-//! use shatter_dataset::{synthesize, HouseKind, SynthConfig};
+//! use shatter_dataset::{synthesize, HouseSpec, SynthConfig};
 //! use shatter_hvac::{DchvacController, EnergyModel};
 //! use shatter_smarthome::houses;
 //!
 //! let home = houses::aras_house_a();
-//! let data = synthesize(&SynthConfig::new(HouseKind::A, 1, 7));
+//! let data = synthesize(&SynthConfig::new(HouseSpec::aras_a(), 1, 7));
 //! let model = EnergyModel::standard(home);
 //! let cost = model.day_cost(&DchvacController, &data.days[0]);
 //! assert!(cost.total_usd() > 0.0);

@@ -5,8 +5,13 @@
 //!   appliances (the paper's Table VII attacker controls "13 Appliances").
 //! - [`scaled_home`]: a parameterized home with `n` indoor zones used by the
 //!   horizontal-scalability study (paper Fig. 11b).
+//!
+//! These are thin wrappers over the declarative [`HomeSpec`] constructors
+//! in [`crate::spec`]; write a new spec (not a new function here) to add
+//! a house.
 
-use crate::{Activity, Appliance, ApplianceId, Home, Occupant, OccupantId, Zone, ZoneId};
+use crate::spec::HomeSpec;
+use crate::{Home, ZoneId};
 
 /// Zone index of the Outside pseudo-zone (`Z-0`).
 pub const OUTSIDE: ZoneId = ZoneId(0);
@@ -19,188 +24,40 @@ pub const KITCHEN: ZoneId = ZoneId(3);
 /// Zone index of the Bathroom (`Z-4`).
 pub const BATHROOM: ZoneId = ZoneId(4);
 
-use Activity::*;
-
-type ApplianceDef = (&'static str, ZoneId, f64, f64, Vec<Activity>, bool);
-
-fn thirteen_appliances() -> Vec<Appliance> {
-    // (name, zone, watts, heat fraction, linked activities, audible)
-    let defs: Vec<ApplianceDef> = vec![
-        ("Television", LIVINGROOM, 120.0, 0.9, vec![WatchingTv], true),
-        (
-            "Computer",
-            LIVINGROOM,
-            200.0,
-            0.9,
-            vec![UsingInternet, Studying],
-            false,
-        ),
-        (
-            "Music System",
-            LIVINGROOM,
-            80.0,
-            0.9,
-            vec![ListeningToMusic, HavingGuest],
-            true,
-        ),
-        (
-            "Microwave",
-            KITCHEN,
-            1100.0,
-            0.35,
-            vec![
-                PreparingBreakfast,
-                PreparingLunch,
-                PreparingDinner,
-                HavingSnack,
-            ],
-            true,
-        ),
-        (
-            "Oven",
-            KITCHEN,
-            2150.0,
-            0.45,
-            vec![PreparingLunch, PreparingDinner],
-            false,
-        ),
-        (
-            "Kettle",
-            KITCHEN,
-            1500.0,
-            0.25,
-            vec![PreparingBreakfast, HavingSnack],
-            true,
-        ),
-        (
-            "Toaster",
-            KITCHEN,
-            900.0,
-            0.4,
-            vec![PreparingBreakfast],
-            true,
-        ),
-        (
-            "Dishwasher",
-            KITCHEN,
-            1200.0,
-            0.3,
-            vec![WashingDishes],
-            true,
-        ),
-        (
-            "Coffee Maker",
-            KITCHEN,
-            1000.0,
-            0.3,
-            vec![PreparingBreakfast, HavingSnack],
-            true,
-        ),
-        ("Washer", BATHROOM, 500.0, 0.2, vec![Laundry], true),
-        ("Dryer", BATHROOM, 3000.0, 0.5, vec![Laundry], true),
-        (
-            "Hair Dryer",
-            BATHROOM,
-            1800.0,
-            0.6,
-            vec![HavingShower, Shaving],
-            true,
-        ),
-        (
-            "Bedroom TV",
-            BEDROOM,
-            90.0,
-            0.9,
-            vec![WatchingTv, Napping],
-            true,
-        ),
-    ];
-    defs.into_iter()
-        .enumerate()
-        .map(|(i, (name, zone, w, hf, acts, audible))| {
-            Appliance::new(ApplianceId(i), name, zone, w, hf, acts, audible)
-        })
-        .collect()
-}
-
-fn aras_house(name: &str, volumes: [f64; 4], occupant_names: [&str; 2]) -> Home {
-    let mut b = Home::builder(name)
-        .zone(Zone::outside(OUTSIDE))
-        .zone(Zone::indoor(BEDROOM, "Bedroom", volumes[0], 3))
-        .zone(Zone::indoor(LIVINGROOM, "Livingroom", volumes[1], 6))
-        .zone(Zone::indoor(KITCHEN, "Kitchen", volumes[2], 4))
-        .zone(Zone::indoor(BATHROOM, "Bathroom", volumes[3], 2))
-        .occupant(Occupant::adult(OccupantId(0), occupant_names[0]))
-        .occupant(Occupant::adult(OccupantId(1), occupant_names[1]));
-    for a in thirteen_appliances() {
-        b = b.appliance(a);
-    }
-    b.build().expect("preset home is valid")
-}
-
 /// ARAS House A: a two-occupant apartment with four indoor zones and the
 /// 13-appliance complement used throughout the paper's evaluation.
 pub fn aras_house_a() -> Home {
-    aras_house(
-        "ARAS House A",
-        [1080.0, 1920.0, 840.0, 480.0],
-        ["Alice", "Bob"],
-    )
+    HomeSpec::aras_a().build()
 }
 
 /// ARAS House B: the second evaluation home; slightly smaller zones and
 /// occupants who spend more time away (reflected in the dataset generator),
 /// which yields the paper's lower House-B costs.
 pub fn aras_house_b() -> Home {
-    aras_house(
-        "ARAS House B",
-        [960.0, 1680.0, 720.0, 420.0],
-        ["Carol", "Dave"],
-    )
+    HomeSpec::aras_b().build()
 }
 
 /// A parameterized home with `n_zones` conditioned zones for the horizontal
 /// scalability study (paper Fig. 11b). Zone `0` is Outside; indoor zones
 /// cycle through the four ARAS room archetypes.
 ///
+/// Since the `HouseSpec` refactor, appliances stay with their room
+/// archetype and round-robin across its zone copies (see
+/// [`HomeSpec::scaled`]). For `n_zones >= 5` this differs from the old
+/// positional remap that parked all 13 appliances in `Z-1..Z-4`, so the
+/// fig11b zone-sweep instances are not comparable across that change.
+///
 /// # Panics
 ///
 /// Panics if `n_zones == 0`.
 pub fn scaled_home(n_zones: usize) -> Home {
-    assert!(n_zones > 0, "need at least one indoor zone");
-    let archetypes = [
-        ("Bedroom", 1080.0),
-        ("Livingroom", 1920.0),
-        ("Kitchen", 840.0),
-        ("Bathroom", 480.0),
-    ];
-    let mut b =
-        Home::builder(format!("Scaled home ({n_zones} zones)")).zone(Zone::outside(OUTSIDE));
-    for i in 0..n_zones {
-        let (kind, vol) = archetypes[i % archetypes.len()];
-        b = b.zone(Zone::indoor(
-            ZoneId(i + 1),
-            format!("{kind}-{}", i + 1),
-            vol,
-            4,
-        ));
-    }
-    b = b
-        .occupant(Occupant::adult(OccupantId(0), "Alice"))
-        .occupant(Occupant::adult(OccupantId(1), "Bob"));
-    for (i, mut a) in thirteen_appliances().into_iter().enumerate() {
-        // Remap appliances onto the available zones.
-        let z = (a.zone.index() - 1) % n_zones + 1;
-        a.zone = ZoneId(z);
-        a.id = ApplianceId(i);
-        b = b.appliance(a);
-    }
-    b.build().expect("scaled home is valid")
+    HomeSpec::scaled(n_zones, 2).build()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::OccupantId;
 
     #[test]
     fn house_a_shape() {

@@ -37,6 +37,7 @@ pub mod houses;
 mod ids;
 mod metabolic;
 mod occupant;
+pub mod spec;
 mod zone;
 
 pub use activity::{Activity, ACTIVITY_COUNT};

@@ -151,6 +151,9 @@ pub struct SatStats {
     pub gc_clauses: u64,
     /// Learnt clauses retained through a `pop` in carry mode.
     pub carried: u64,
+    /// Literals removed from first-UIP clauses by recursive
+    /// self-subsumption before install (learnt-clause minimization).
+    pub minimized: u64,
 }
 
 impl SatStats {
@@ -165,6 +168,7 @@ impl SatStats {
             restarts: self.restarts - earlier.restarts,
             gc_clauses: self.gc_clauses - earlier.gc_clauses,
             carried: self.carried - earlier.carried,
+            minimized: self.minimized - earlier.minimized,
         }
     }
 }
@@ -406,6 +410,14 @@ pub struct SatSolver {
     /// allocation on the OMT hot path).
     seen: Vec<u32>,
     seen_stamp: u32,
+    /// Stamped per-conflict memo for learnt-clause minimization:
+    /// variables proven redundant under the current analysis stamp.
+    min_removable: Vec<u32>,
+    /// Variables proven non-redundant under the current stamp.
+    min_poison: Vec<u32>,
+    /// Reusable DFS stack for `lit_redundant` (cleared per call, so
+    /// conflict analysis stays allocation-free after warm-up).
+    min_stack: Vec<(Lit, usize, usize)>,
     /// Failed assumption subset of the last `solve_under` Unsat verdict.
     last_core: Vec<Lit>,
     /// Assertion-trail checkpoints.
@@ -445,6 +457,9 @@ impl Default for SatSolver {
             unsat: false,
             seen: Vec::new(),
             seen_stamp: 0,
+            min_removable: Vec::new(),
+            min_poison: Vec::new(),
+            min_stack: Vec::new(),
             last_core: Vec::new(),
             frames: Vec::new(),
             stats: SatStats::default(),
@@ -497,6 +512,8 @@ impl SatSolver {
         self.level.push(0);
         self.activity.push(0.0);
         self.seen.push(0);
+        self.min_removable.push(0);
+        self.min_poison.push(0);
         self.var_depth.push(self.frames.len() as u32);
         self.fact_depth.push(0);
         self.watches.push(Vec::new());
@@ -655,6 +672,8 @@ impl SatSolver {
         self.reason = f.reason;
         self.level.truncate(f.n_vars);
         self.seen.truncate(f.n_vars);
+        self.min_removable.truncate(f.n_vars);
+        self.min_poison.truncate(f.n_vars);
         self.var_depth.truncate(f.n_vars);
         self.fact_depth.truncate(f.n_vars);
         self.activity = f.activity;
@@ -807,8 +826,15 @@ impl SatSolver {
     fn next_stamp(&mut self) -> u32 {
         self.seen_stamp = self.seen_stamp.wrapping_add(1);
         if self.seen_stamp == 0 {
-            // Wrapped: invalidate all stale stamps once.
-            for s in &mut self.seen {
+            // Wrapped: invalidate all stale stamps once — including the
+            // ccmin memo buffers, or an eons-old removable/poison entry
+            // would match the reused stamp and fake a redundancy proof.
+            for s in self
+                .seen
+                .iter_mut()
+                .chain(&mut self.min_removable)
+                .chain(&mut self.min_poison)
+            {
                 *s = 0;
             }
             self.seen_stamp = 1;
@@ -891,6 +917,23 @@ impl SatSolver {
         let uip = asserting.expect("loop sets asserting").negated();
         learnt.insert(0, uip);
 
+        // Learnt-clause minimization: recursive self-subsumption drops
+        // tail literals whose reason antecedents are all already in the
+        // clause (`seen`-stamped), level-0 facts, or themselves
+        // redundant — MiniSat's ccmin. The depths of every reason clause
+        // a removal proof resolves through fold into the learnt's
+        // derivation depth, keeping carry-mode retention sound.
+        let mut kept = 1usize;
+        for i in 1..learnt.len() {
+            let l = learnt[i];
+            if self.reason[l.var()].is_none() || !self.lit_redundant(l, stamp, &mut depth) {
+                learnt[kept] = l;
+                kept += 1;
+            }
+        }
+        self.stats.minimized += (learnt.len() - kept) as u64;
+        learnt.truncate(kept);
+
         let back_level = learnt[1..]
             .iter()
             .map(|l| self.level[l.var()])
@@ -905,6 +948,67 @@ impl SatSolver {
             learnt.swap(1, mi);
         }
         (learnt, back_level, depth)
+    }
+
+    /// Whether learnt-clause literal `p` is redundant: every antecedent
+    /// of its reason clause is already in the learnt clause (stamped in
+    /// `seen`), a level-0 fact, or recursively redundant. Iterative DFS
+    /// over the reason graph with per-conflict memoization (`stamp`ed
+    /// removable/poison buffers). Folds the depth of every reason clause
+    /// a successful proof uses — and the `fact_depth` of resolved
+    /// level-0 facts — into `depth`.
+    fn lit_redundant(&mut self, p: Lit, stamp: u32, depth: &mut u32) -> bool {
+        if self.min_removable[p.var()] == stamp {
+            return true;
+        }
+        if self.min_poison[p.var()] == stamp {
+            return false;
+        }
+        let Some(cr) = self.reason[p.var()] else {
+            return false;
+        };
+        // DFS frames: (literal being proven redundant, its reason
+        // clause, next antecedent position to examine). The stack is
+        // solver-owned scratch so minimization allocates nothing after
+        // warm-up.
+        self.min_stack.clear();
+        self.min_stack.push((p, cr, 0));
+        loop {
+            let Some(&mut (lit, cr, ref mut next)) = self.min_stack.last_mut() else {
+                return true;
+            };
+            if *next >= self.clauses[cr].lits.len() {
+                // Every antecedent accounted for: `lit` is redundant.
+                *depth = (*depth).max(self.clauses[cr].depth);
+                self.min_removable[lit.var()] = stamp;
+                self.min_stack.pop();
+                continue;
+            }
+            let q = self.clauses[cr].lits[*next];
+            *next += 1;
+            let v = q.var();
+            if v == lit.var() {
+                // The literal this reason clause asserts.
+                continue;
+            }
+            if self.level[v] == 0 {
+                *depth = (*depth).max(self.fact_depth[v]);
+                continue;
+            }
+            if self.seen[v] == stamp || self.min_removable[v] == stamp {
+                continue;
+            }
+            if self.min_poison[v] == stamp || self.reason[v].is_none() {
+                // Reached a decision (or a known dead end): the whole
+                // proof path under construction is non-redundant.
+                for &(l, _, _) in &self.min_stack {
+                    self.min_poison[l.var()] = stamp;
+                }
+                return false;
+            }
+            let rcr = self.reason[v].expect("checked above");
+            self.min_stack.push((q, rcr, 0));
+        }
     }
 
     /// Computes the subset of assumptions responsible for forcing
@@ -1449,6 +1553,52 @@ mod tests {
             }
         }
         (pigeons * holes, clauses)
+    }
+
+    #[test]
+    fn minimization_fires_on_pigeonhole_and_preserves_verdicts() {
+        // Pigeonhole conflicts produce first-UIP clauses with redundant
+        // chain literals; the recursive minimizer must remove some and
+        // the verdict must stay Unsat.
+        let (n, clauses) = pigeonhole_clauses(7);
+        let refs: Vec<&[i32]> = clauses.iter().map(|c| c.as_slice()).collect();
+        let mut s = solver_with(n, &refs);
+        assert_eq!(s.solve(), SatVerdict::Unsat);
+        assert!(
+            s.stats.minimized > 0,
+            "no literals minimized across {} conflicts",
+            s.stats.conflicts
+        );
+        // Satisfiable side: a chain instance where every learnt clause
+        // shrinks to its essence still yields a model.
+        let mut c = solver_with(
+            6,
+            &[
+                &[1, 2],
+                &[-1, 3],
+                &[-2, 3],
+                &[-3, 4],
+                &[-4, 5],
+                &[-5, 6],
+                &[-3, -6, 5],
+            ],
+        );
+        let SatVerdict::Sat(m) = c.solve() else {
+            panic!("expected sat")
+        };
+        assert!(m[0] || m[1]);
+    }
+
+    #[test]
+    fn minimized_counter_survives_since_snapshots() {
+        let (n, clauses) = pigeonhole_clauses(6);
+        let refs: Vec<&[i32]> = clauses.iter().map(|c| c.as_slice()).collect();
+        let mut s = solver_with(n, &refs);
+        let before = s.stats;
+        assert_eq!(s.solve(), SatVerdict::Unsat);
+        let delta = s.stats.since(before);
+        assert_eq!(delta.minimized, s.stats.minimized);
+        assert!(delta.learned > 0);
     }
 
     #[test]

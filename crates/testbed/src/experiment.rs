@@ -17,7 +17,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use shatter_dataset::{synthesize, DayTrace, HouseKind, SynthConfig};
+use shatter_dataset::{synthesize, DayTrace, HouseSpec, SynthConfig};
 use shatter_smarthome::{houses, Home, ZoneId};
 
 use crate::broker::{Broker, Intercept};
@@ -204,7 +204,7 @@ fn run_replay(
 /// hour benign and attacked, and reports the energy increment.
 pub fn run_validation(cfg: &ValidationConfig) -> ValidationOutcome {
     let home = houses::aras_house_a();
-    let data = synthesize(&SynthConfig::new(HouseKind::A, 5, cfg.seed));
+    let data = synthesize(&SynthConfig::new(HouseSpec::aras_a(), 5, cfg.seed));
     let day = &data.days[3];
 
     // Learn the (load -> duty) dynamics, as the paper does.

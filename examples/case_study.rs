@@ -11,13 +11,13 @@ use shatter::analytics::{
     trigger, AttackSchedule, AttackerCapability, GreedyScheduler, RewardTable, Scheduler,
     WindowDpScheduler,
 };
-use shatter::dataset::{synthesize, HouseKind, SynthConfig};
+use shatter::dataset::{synthesize, HouseSpec, SynthConfig};
 use shatter::hvac::EnergyModel;
 use shatter::smarthome::{houses, OccupantId};
 
 fn main() {
     let home = houses::aras_house_a();
-    let month = synthesize(&SynthConfig::new(HouseKind::A, 12, 11));
+    let month = synthesize(&SynthConfig::new(HouseSpec::aras_a(), 12, 11));
     let adm = HullAdm::train(&month.prefix_days(10), AdmKind::default_kmeans());
     let model = EnergyModel::standard(home.clone());
     let table = RewardTable::build(&model);

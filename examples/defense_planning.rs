@@ -8,7 +8,7 @@
 
 use shatter::adm::{AdmKind, HullAdm};
 use shatter::analytics::{impact, AttackerCapability, WindowDpScheduler};
-use shatter::dataset::{synthesize, HouseKind, SynthConfig};
+use shatter::dataset::{synthesize, HouseSpec, SynthConfig};
 use shatter::hvac::EnergyModel;
 use shatter::smarthome::{houses, ApplianceId, ZoneId};
 
@@ -25,7 +25,7 @@ fn monthly_impact(
 
 fn main() {
     let home = houses::aras_house_a();
-    let month = synthesize(&SynthConfig::new(HouseKind::A, 12, 42));
+    let month = synthesize(&SynthConfig::new(HouseSpec::aras_a(), 12, 42));
     let adm = HullAdm::train(&month.prefix_days(10), AdmKind::default_dbscan());
     let model = EnergyModel::standard(home.clone());
     let eval_days = &month.days[10..12];

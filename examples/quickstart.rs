@@ -8,7 +8,7 @@
 
 use shatter::adm::{AdmKind, HullAdm};
 use shatter::analytics::{impact, AttackerCapability, WindowDpScheduler};
-use shatter::dataset::{synthesize, HouseKind, SynthConfig};
+use shatter::dataset::{synthesize, HouseSpec, SynthConfig};
 use shatter::hvac::EnergyModel;
 use shatter::smarthome::houses;
 
@@ -24,7 +24,7 @@ fn main() {
     );
 
     // 2. A month of per-minute occupant behaviour (seeded, reproducible).
-    let month = synthesize(&SynthConfig::month(HouseKind::A, 42));
+    let month = synthesize(&SynthConfig::month(HouseSpec::aras_a(), 42));
     println!(
         "Synthesized {} days of ARAS-schema behaviour",
         month.days.len()

@@ -7,12 +7,12 @@ use shatter::analytics::{
     GreedyScheduler, Scheduler, SmtScheduler, WindowDpScheduler,
 };
 use shatter::dataset::episodes::extract_episodes;
-use shatter::dataset::{synthesize, HouseKind, SynthConfig};
+use shatter::dataset::{synthesize, HouseSpec, SynthConfig};
 use shatter::hvac::{DchvacController, EnergyModel};
-use shatter::smarthome::{houses, OccupantId, MINUTES_PER_DAY};
+use shatter::smarthome::{OccupantId, MINUTES_PER_DAY};
 
 fn fixture(
-    house: HouseKind,
+    house: HouseSpec,
     seed: u64,
 ) -> (
     EnergyModel,
@@ -20,10 +20,7 @@ fn fixture(
     HullAdm,
     AttackerCapability,
 ) {
-    let home = match house {
-        HouseKind::A => houses::aras_house_a(),
-        HouseKind::B => houses::aras_house_b(),
-    };
+    let home = house.home.build();
     let ds = synthesize(&SynthConfig::new(house, 14, seed));
     let adm = HullAdm::train(&ds.prefix_days(12), AdmKind::default_kmeans());
     let model = EnergyModel::standard(home.clone());
@@ -33,9 +30,9 @@ fn fixture(
 
 #[test]
 fn dp_attack_is_stealthy_across_seeds_and_houses() {
-    for house in [HouseKind::A, HouseKind::B] {
+    for house in [HouseSpec::aras_a(), HouseSpec::aras_b()] {
         for seed in [1u64, 2, 3] {
-            let (model, ds, adm, cap) = fixture(house, seed);
+            let (model, ds, adm, cap) = fixture(house.clone(), seed);
             let table = shatter::analytics::RewardTable::build(&model);
             for day in &ds.days[12..14] {
                 let sched = WindowDpScheduler::default().schedule(&table, &adm, &cap, day);
@@ -51,7 +48,7 @@ fn dp_attack_is_stealthy_across_seeds_and_houses() {
 fn attack_cost_ordering_matches_paper_table5() {
     // BIoTA (no ADM) >= SHATTER >= benign; BIoTA heavily detected,
     // SHATTER essentially undetected.
-    let (model, ds, adm, cap) = fixture(HouseKind::A, 7);
+    let (model, ds, adm, cap) = fixture(HouseSpec::aras_a(), 7);
     let days = &ds.days[12..14];
     let biota = impact::evaluate_days(&model, &adm, &cap, days, &BiotaScheduler, false);
     let shatter = impact::evaluate_days(
@@ -79,7 +76,7 @@ fn attack_cost_ordering_matches_paper_table5() {
 fn occupant_count_is_conserved_by_every_scheduler() {
     // Paper Eq. 13/18: every occupant is reported in exactly one zone per
     // slot, so total reported presence equals total actual presence.
-    let (model, ds, adm, cap) = fixture(HouseKind::B, 9);
+    let (model, ds, adm, cap) = fixture(HouseSpec::aras_b(), 9);
     let table = shatter::analytics::RewardTable::build(&model);
     let day = &ds.days[12];
     for sched in [
@@ -96,7 +93,7 @@ fn occupant_count_is_conserved_by_every_scheduler() {
 
 #[test]
 fn smt_and_dp_windows_agree_on_committed_value() {
-    let (model, ds, adm, cap) = fixture(HouseKind::A, 4);
+    let (model, ds, adm, cap) = fixture(HouseSpec::aras_a(), 4);
     let table = shatter::analytics::RewardTable::build(&model);
     let day = &ds.days[12];
     let (smt_row, stats) =
@@ -124,7 +121,7 @@ fn smt_and_dp_windows_agree_on_committed_value() {
 
 #[test]
 fn triggering_never_decreases_cost_and_stays_unnoticed() {
-    let (model, ds, adm, cap) = fixture(HouseKind::A, 12);
+    let (model, ds, adm, cap) = fixture(HouseSpec::aras_a(), 12);
     let day = &ds.days[13];
     let without = impact::evaluate_day(
         &model,
@@ -143,7 +140,7 @@ fn triggering_never_decreases_cost_and_stays_unnoticed() {
 fn benign_trace_raises_no_alarm_for_kmeans_adm() {
     // K-Means clusters every training point; a benign trace from the
     // training distribution should pass almost entirely.
-    let (_, ds, adm, _) = fixture(HouseKind::A, 3);
+    let (_, ds, adm, _) = fixture(HouseSpec::aras_a(), 3);
     let eps = extract_episodes(&ds.prefix_days(12));
     let bad = adm.inconsistent_episodes(&eps);
     assert!(bad.is_empty(), "{} training episodes flagged", bad.len());
@@ -151,7 +148,7 @@ fn benign_trace_raises_no_alarm_for_kmeans_adm() {
 
 #[test]
 fn identity_attack_costs_exactly_benign() {
-    let (model, ds, adm, _) = fixture(HouseKind::A, 5);
+    let (model, ds, adm, _) = fixture(HouseSpec::aras_a(), 5);
     let day = &ds.days[12];
     let identity = AttackSchedule::from_actual(day);
     assert_eq!(detection_rate(&adm, &identity, day), 0.0);
@@ -168,7 +165,7 @@ fn identity_attack_costs_exactly_benign() {
 #[test]
 fn restricted_capabilities_shrink_impact_monotonically() {
     use shatter::smarthome::ZoneId;
-    let (model, ds, adm, full) = fixture(HouseKind::A, 8);
+    let (model, ds, adm, full) = fixture(HouseSpec::aras_a(), 8);
     let days = &ds.days[12..14];
     let sched = WindowDpScheduler::default();
     let impact_of = |cap: &AttackerCapability| -> f64 {

@@ -5,7 +5,7 @@ use proptest::prelude::*;
 use shatter::adm::{AdmKind, HullAdm};
 use shatter::analytics::{trigger, AttackerCapability, RewardTable, Scheduler, WindowDpScheduler};
 use shatter::dataset::episodes::extract_episodes;
-use shatter::dataset::{synthesize, HouseKind, SynthConfig};
+use shatter::dataset::{synthesize, HouseSpec, SynthConfig};
 use shatter::hvac::{DchvacController, EnergyModel};
 use shatter::smarthome::{houses, MINUTES_PER_DAY};
 
@@ -16,7 +16,7 @@ proptest! {
     /// or mirrors genuine behaviour — across random seeds and houses.
     #[test]
     fn dp_schedules_are_always_stealthy(seed in 0u64..500, house_a in any::<bool>()) {
-        let house = if house_a { HouseKind::A } else { HouseKind::B };
+        let house = if house_a { HouseSpec::aras_a() } else { HouseSpec::aras_b() };
         let home = if house_a { houses::aras_house_a() } else { houses::aras_house_b() };
         let ds = synthesize(&SynthConfig::new(house, 12, seed));
         let adm = HullAdm::train(&ds.prefix_days(10), AdmKind::default_kmeans());
@@ -33,7 +33,7 @@ proptest! {
     #[test]
     fn attacked_cost_at_least_benign(seed in 0u64..200) {
         let home = houses::aras_house_a();
-        let ds = synthesize(&SynthConfig::new(HouseKind::A, 12, seed));
+        let ds = synthesize(&SynthConfig::new(HouseSpec::aras_a(), 12, seed));
         let adm = HullAdm::train(&ds.prefix_days(10), AdmKind::default_kmeans());
         let model = EnergyModel::standard(home.clone());
         let cap = AttackerCapability::full(&home);
@@ -56,7 +56,7 @@ proptest! {
     #[test]
     fn trigger_plan_invariants(seed in 0u64..200) {
         let home = houses::aras_house_a();
-        let ds = synthesize(&SynthConfig::new(HouseKind::A, 12, seed));
+        let ds = synthesize(&SynthConfig::new(HouseSpec::aras_a(), 12, seed));
         let adm = HullAdm::train(&ds.prefix_days(10), AdmKind::default_kmeans());
         let model = EnergyModel::standard(home.clone());
         let table = RewardTable::build(&model);
@@ -80,7 +80,7 @@ proptest! {
     #[test]
     fn day_cost_decomposition(seed in 0u64..200) {
         let home = houses::aras_house_a();
-        let ds = synthesize(&SynthConfig::new(HouseKind::A, 2, seed));
+        let ds = synthesize(&SynthConfig::new(HouseSpec::aras_a(), 2, seed));
         let model = EnergyModel::standard(home);
         let dc = model.day_cost(&DchvacController, &ds.days[0]);
         prop_assert_eq!(dc.minutes.len(), MINUTES_PER_DAY);
@@ -94,7 +94,7 @@ proptest! {
     /// training a model from them covers the training data (K-Means).
     #[test]
     fn episode_partition_and_coverage(seed in 0u64..200, days in 2usize..6) {
-        let ds = synthesize(&SynthConfig::new(HouseKind::B, days, seed));
+        let ds = synthesize(&SynthConfig::new(HouseSpec::aras_b(), days, seed));
         let eps = extract_episodes(&ds);
         for d in 0..days as u32 {
             for o in 0..ds.n_occupants {
