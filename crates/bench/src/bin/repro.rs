@@ -13,6 +13,11 @@
 //! repro --baseline BENCH_engine.json --days 6 --span 20
 //! repro --baseline ci.json --gate-against BENCH_engine.json  # perf gate
 //! ```
+//!
+//! Setting `SHATTER_EXACT_SIMPLEX=1` (or `true`) runs every SMT window
+//! through the forced-exact rational simplex instead of the certified
+//! float fast path — schedules and exhibit verdicts are byte-identical
+//! either way; only the `float_piv`/`fb` effort columns change.
 
 use std::path::PathBuf;
 

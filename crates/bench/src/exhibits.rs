@@ -703,6 +703,8 @@ pub fn strategies(cx: &ScenarioCtx<'_>) -> Table {
             "sat_restarts",
             "sat_gcd",
             "sat_live",
+            "float_piv",
+            "fb",
         ],
     );
     let registry = StrategyRegistry::builtin();
@@ -746,6 +748,8 @@ pub fn strategies(cx: &ScenarioCtx<'_>) -> Table {
             stats.sat_restarts += s.sat_restarts;
             stats.sat_gc_clauses += s.sat_gc_clauses;
             stats.sat_learnt_live = stats.sat_learnt_live.max(s.sat_learnt_live);
+            stats.float_pivots += s.float_pivots;
+            stats.exact_fallbacks += s.exact_fallbacks;
         }
         let sched = AttackSchedule::from_zone_rows(zones, &table);
         let stealthy = sched.validate(&adm, &cap, day).is_ok();
@@ -763,6 +767,8 @@ pub fn strategies(cx: &ScenarioCtx<'_>) -> Table {
             stats.sat_restarts.to_string(),
             stats.sat_gc_clauses.to_string(),
             stats.sat_learnt_live.to_string(),
+            stats.float_pivots.to_string(),
+            stats.exact_fallbacks.to_string(),
         ]);
     }
     t
@@ -1020,6 +1026,8 @@ pub fn fig11(cx: &ScenarioCtx<'_>) -> Table {
             "sat_restarts",
             "sat_gcd",
             "sat_live",
+            "float_piv",
+            "fb",
         ],
     );
     /// One measurement of the span sweep: (a) a time-horizon point on an
@@ -1088,6 +1096,8 @@ pub fn fig11(cx: &ScenarioCtx<'_>) -> Table {
                 stats.sat_restarts.to_string(),
                 stats.sat_gc_clauses.to_string(),
                 stats.sat_learnt_live.to_string(),
+                stats.float_pivots.to_string(),
+                stats.exact_fallbacks.to_string(),
             ]
         }
         Sweep::Zones(n_zones) => {
@@ -1133,6 +1143,8 @@ pub fn fig11(cx: &ScenarioCtx<'_>) -> Table {
                 stats.sat_restarts.to_string(),
                 stats.sat_gc_clauses.to_string(),
                 stats.sat_learnt_live.to_string(),
+                stats.float_pivots.to_string(),
+                stats.exact_fallbacks.to_string(),
             ]
         }
     });

@@ -257,6 +257,12 @@ pub struct WindowSolution {
     /// Live learnt clauses at the end of the window solve, before the
     /// pop (gauge).
     pub sat_learnt_live: u64,
+    /// Simplex pivots the original solve ran through the certified f64
+    /// fast path.
+    pub float_pivots: u64,
+    /// Simplex comparisons that landed inside the float error margin and
+    /// fell back to exact rational arithmetic during the original solve.
+    pub exact_fallbacks: u64,
 }
 
 /// Memoizes solved schedule fragments (SMT window solutions) across

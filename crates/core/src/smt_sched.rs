@@ -5,7 +5,7 @@ use shatter_adm::{HullAdm, StayProfile};
 use shatter_dataset::DayTrace;
 use shatter_smarthome::{Minute, OccupantId, ZoneId, MINUTES_PER_DAY};
 use shatter_smt::ast::{BoolVar, Formula, LinExpr, RealVar};
-use shatter_smt::{Rat, Solver};
+use shatter_smt::{NumericMode, Rat, Solver};
 
 use crate::schedule::{Scheduler, WindowMemo, WindowSolution};
 use crate::{AttackerCapability, RewardTable};
@@ -75,6 +75,15 @@ pub struct SmtScheduler {
     /// memoization is bypassed because a window's solution is no longer
     /// a pure function of the window key.
     pub carry_learnts: bool,
+    /// Run the simplex in forced-exact mode
+    /// ([`NumericMode::ExactOnly`]) instead of the certified float fast
+    /// path. Schedules are byte-identical either way (the fast path
+    /// re-certifies every verdict exactly); the knob keeps the pure
+    /// rational reference pipeline runnable end to end. The default
+    /// honours the `SHATTER_EXACT_SIMPLEX` environment variable (`1` or
+    /// `true`), which is how `repro` exposes it. Window memo keys carry
+    /// the mode, so replayed effort counters always match it.
+    pub force_exact: bool,
 }
 
 impl Default for SmtScheduler {
@@ -84,8 +93,17 @@ impl Default for SmtScheduler {
             tol_microusd: 1.0,
             reuse_solver: true,
             carry_learnts: false,
+            force_exact: exact_simplex_env(),
         }
     }
+}
+
+/// True when the `SHATTER_EXACT_SIMPLEX` environment variable asks for
+/// the forced-exact simplex reference pipeline (`"1"` or `"true"`).
+fn exact_simplex_env() -> bool {
+    std::env::var("SHATTER_EXACT_SIMPLEX")
+        .map(|v| v == "1" || v.eq_ignore_ascii_case("true"))
+        .unwrap_or(false)
 }
 
 /// Statistics of one full-schedule synthesis, for the scalability study.
@@ -115,6 +133,11 @@ pub struct SmtStats {
     pub sat_carried: u64,
     /// Peak live learnt-clause count observed at any window's end.
     pub sat_learnt_live: u64,
+    /// Simplex pivots run through the certified f64 fast path.
+    pub float_pivots: u64,
+    /// Simplex comparisons that fell back to exact rational arithmetic
+    /// (inside the float error margin, or at a certification point).
+    pub exact_fallbacks: u64,
 }
 
 impl SmtStats {
@@ -127,6 +150,8 @@ impl SmtStats {
         self.sat_gc_clauses += w.sat_gc_clauses;
         self.sat_carried += w.sat_carried;
         self.sat_learnt_live = self.sat_learnt_live.max(w.sat_learnt_live);
+        self.float_pivots += w.float_pivots;
+        self.exact_fallbacks += w.exact_fallbacks;
     }
 }
 
@@ -164,9 +189,17 @@ struct WindowProblem<'a> {
 }
 
 impl WindowEncoder {
-    fn new(horizon: usize, n_zones: usize, carry_learnts: bool) -> WindowEncoder {
+    fn new(
+        horizon: usize,
+        n_zones: usize,
+        carry_learnts: bool,
+        force_exact: bool,
+    ) -> WindowEncoder {
         let mut solver = Solver::new();
         solver.set_carry_learnts(carry_learnts);
+        if force_exact {
+            solver.set_numeric_mode(NumericMode::ExactOnly);
+        }
         let x: Vec<Vec<BoolVar>> = (0..horizon)
             .map(|_| (0..n_zones).map(|_| solver.new_bool()).collect())
             .collect();
@@ -188,6 +221,7 @@ impl WindowEncoder {
         debug_assert_eq!(self.x.len(), p.horizon, "encoder span mismatch");
         let conflicts_before = self.solver.theory_conflicts;
         let sat_before = self.solver.sat_stats();
+        let simplex_before = self.solver.simplex_stats();
         self.solver.push();
 
         let x = &self.x;
@@ -315,6 +349,7 @@ impl WindowEncoder {
         self.solver.pop();
 
         let sat = self.solver.sat_stats().since(sat_before);
+        let spx = self.solver.simplex_stats().since(simplex_before);
         WindowSolution {
             zones,
             theory_conflicts: self.solver.theory_conflicts - conflicts_before,
@@ -325,6 +360,8 @@ impl WindowEncoder {
             sat_gc_clauses: sat.gc_clauses,
             sat_carried: sat.carried,
             sat_learnt_live: live,
+            float_pivots: spx.float_pivots,
+            exact_fallbacks: spx.exact_fallbacks,
         }
     }
 }
@@ -417,11 +454,16 @@ impl SmtScheduler {
             stats.windows += 1;
             let mut fresh_store = None;
             let encoder: &mut WindowEncoder = if self.reuse_solver {
-                encoders
-                    .entry(horizon)
-                    .or_insert_with(|| WindowEncoder::new(horizon, n_zones, self.carry_learnts))
+                encoders.entry(horizon).or_insert_with(|| {
+                    WindowEncoder::new(horizon, n_zones, self.carry_learnts, self.force_exact)
+                })
             } else {
-                fresh_store.insert(WindowEncoder::new(horizon, n_zones, self.carry_learnts))
+                fresh_store.insert(WindowEncoder::new(
+                    horizon,
+                    n_zones,
+                    self.carry_learnts,
+                    self.force_exact,
+                ))
             };
             let problem = WindowProblem {
                 o,
@@ -447,16 +489,21 @@ impl SmtScheduler {
                     // final-window distinction, so the flag (not the span)
                     // keys it — shared interior windows hit across spans.
                     let is_final = u8::from(w + horizon >= until);
+                    // Schedules are mode-independent, but the replayed
+                    // effort counters (float pivots, exact fallbacks)
+                    // are not: the mode marker keeps cached fragments
+                    // honest about how they were solved.
+                    let ex = if self.force_exact { "/ex" } else { "" };
                     let key = match boundary {
                         Some((bz, ba)) => format!(
-                            "{prefix}/o{}/w{w}+{horizon}/b{}:{ba}/c{:016x}/f{is_final}/tol{}",
+                            "{prefix}/o{}/w{w}+{horizon}/b{}:{ba}/c{:016x}/f{is_final}/tol{}{ex}",
                             o.index(),
                             bz.index(),
                             cap.signature(),
                             self.tol_microusd,
                         ),
                         None => format!(
-                            "{prefix}/o{}/w{w}+{horizon}/b-/c{:016x}/f{is_final}/tol{}",
+                            "{prefix}/o{}/w{w}+{horizon}/b-/c{:016x}/f{is_final}/tol{}{ex}",
                             o.index(),
                             cap.signature(),
                             self.tol_microusd,

@@ -50,6 +50,7 @@ pub mod sat;
 pub mod simplex;
 mod solver;
 
-pub use rational::Rat;
+pub use rational::{Rat, RatOverflow};
 pub use sat::SatStats;
+pub use simplex::{NumericMode, SimplexStats};
 pub use solver::{Model, SatResult, Solver};

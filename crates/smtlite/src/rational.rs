@@ -2,6 +2,21 @@ use std::cmp::Ordering;
 use std::fmt;
 use std::ops::{Add, Div, Mul, Neg, Sub};
 
+/// Error returned by the checked [`Rat`] operations when a result does
+/// not fit `i128`. The simplex routes its pivot arithmetic through the
+/// checked ops so a pathological (huge-coefficient) instance degrades
+/// into a reported error instead of panicking mid-scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RatOverflow;
+
+impl fmt::Display for RatOverflow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rational arithmetic overflow (result exceeds i128)")
+    }
+}
+
+impl std::error::Error for RatOverflow {}
+
 /// An exact rational number over `i128`.
 ///
 /// Always stored normalized: `gcd(num, den) == 1`, `den > 0`. The simplex
@@ -10,9 +25,12 @@ use std::ops::{Add, Div, Mul, Neg, Sub};
 ///
 /// # Panics
 ///
-/// Arithmetic panics on `i128` overflow (checked internally). The SHATTER
-/// encodings use small coefficients (minutes, half-plane coefficients from
-/// minute-scale hulls), far inside the safe range.
+/// The operator impls (`+`, `-`, `*`, `/`) panic on `i128` overflow
+/// (checked internally). The SHATTER encodings use small coefficients
+/// (minutes, half-plane coefficients from minute-scale hulls), far inside
+/// the safe range. Callers that must survive adversarial magnitudes use
+/// the non-panicking [`Rat::try_add`] / [`Rat::try_sub`] /
+/// [`Rat::try_mul`] / [`Rat::try_div`] instead.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Rat {
     num: i128,
@@ -121,6 +139,51 @@ impl Rat {
             panic!("rational arithmetic overflow");
         };
         Rat::new(n, d)
+    }
+
+    fn try_checked(num: Option<i128>, den: Option<i128>) -> Result<Rat, RatOverflow> {
+        match (num, den) {
+            (Some(n), Some(d)) => Ok(Rat::new(n, d)),
+            _ => Err(RatOverflow),
+        }
+    }
+
+    /// Non-panicking addition: `Err(RatOverflow)` if the result cannot be
+    /// represented over `i128`.
+    pub fn try_add(self, rhs: Rat) -> Result<Rat, RatOverflow> {
+        let g = gcd(self.den, rhs.den).max(1);
+        let lb = self.den / g;
+        let rb = rhs.den / g;
+        Rat::try_checked(
+            self.num
+                .checked_mul(rb)
+                .and_then(|x| rhs.num.checked_mul(lb).and_then(|y| x.checked_add(y))),
+            self.den.checked_mul(rb),
+        )
+    }
+
+    /// Non-panicking subtraction; see [`Rat::try_add`].
+    pub fn try_sub(self, rhs: Rat) -> Result<Rat, RatOverflow> {
+        self.try_add(-rhs)
+    }
+
+    /// Non-panicking multiplication; see [`Rat::try_add`].
+    pub fn try_mul(self, rhs: Rat) -> Result<Rat, RatOverflow> {
+        let g1 = gcd(self.num, rhs.den).max(1);
+        let g2 = gcd(rhs.num, self.den).max(1);
+        Rat::try_checked(
+            (self.num / g1).checked_mul(rhs.num / g2),
+            (self.den / g2).checked_mul(rhs.den / g1),
+        )
+    }
+
+    /// Non-panicking division. Returns `Err(RatOverflow)` on overflow.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rhs` is zero (a logic error, not a magnitude one).
+    pub fn try_div(self, rhs: Rat) -> Result<Rat, RatOverflow> {
+        self.try_mul(rhs.recip())
     }
 }
 
@@ -271,6 +334,43 @@ mod tests {
         assert_eq!(Rat::int(5).to_string(), "5");
         assert_eq!(Rat::new(1, 2).to_string(), "1/2");
         assert_eq!(Rat::new(-3, 6).to_string(), "-1/2");
+    }
+
+    #[test]
+    fn checked_ops_agree_with_panicking_ops_in_range() {
+        let vals = [Rat::new(1, 3), Rat::new(-7, 5), Rat::int(12), Rat::ZERO];
+        for &a in &vals {
+            for &b in &vals {
+                assert_eq!(a.try_add(b), Ok(a + b));
+                assert_eq!(a.try_sub(b), Ok(a - b));
+                assert_eq!(a.try_mul(b), Ok(a * b));
+                if !b.is_zero() {
+                    assert_eq!(a.try_div(b), Ok(a / b));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn checked_ops_report_overflow_on_near_overflow_coefficients() {
+        // Coprime near-max numerator/denominator pairs: any cross product
+        // blows past i128. The panicking path would abort the process;
+        // the checked path must surface RatOverflow instead.
+        let huge = Rat::new(i128::MAX - 1, 3);
+        let tiny = Rat::new(2, i128::MAX - 24); // i128::MAX - 24 is coprime to 2
+        assert_eq!(huge.try_mul(huge), Err(RatOverflow));
+        assert_eq!(huge.try_add(tiny), Err(RatOverflow));
+        assert_eq!(huge.try_sub(-tiny), Err(RatOverflow));
+        assert_eq!(huge.try_div(tiny), Err(RatOverflow));
+        // Same magnitudes stay fine when the gcd reduction rescues them.
+        assert_eq!(huge.try_sub(huge), Ok(Rat::ZERO));
+        assert_eq!(huge.try_div(huge), Ok(Rat::ONE));
+    }
+
+    #[test]
+    #[should_panic(expected = "reciprocal of zero")]
+    fn try_div_by_zero_panics() {
+        let _ = Rat::ONE.try_div(Rat::ZERO);
     }
 
     #[test]

@@ -185,12 +185,15 @@ const GC_INITIAL_BUDGET: usize = 250;
 /// Geometric growth of the learnt budget after each reduction (per mille).
 const GC_BUDGET_GROWTH_PERMILLE: usize = 1100;
 
-/// A stored clause: original (problem) clauses are permanent until the
-/// enclosing `pop`; learnt clauses (CDCL learnts and theory lemmas) are
-/// reducible by [`SatSolver`]'s garbage collector.
-#[derive(Debug, Clone, PartialEq)]
-struct Clause {
-    lits: Vec<Lit>,
+/// Header of one clause stored in the flat [`ClauseDb`] arena: everything
+/// about the clause except its literals, which live at
+/// `data[start..start + len]` of the owning database.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct ClauseHdr {
+    /// Offset of the first literal in the shared literal arena.
+    start: u32,
+    /// Number of literals.
+    len: u32,
     /// Monotonic birth stamp: clause indices shift under GC compaction,
     /// so "was this clause added after the push?" is judged by id
     /// against the frame's watermark, never by vector position.
@@ -209,6 +212,71 @@ struct Clause {
     activity: f64,
     /// Literal-block distance (distinct decision levels) at learn time.
     lbd: u32,
+}
+
+/// Arena-backed clause database: all literals live contiguously in one
+/// shared `Vec<Lit>` with per-clause [`ClauseHdr`] offsets, instead of
+/// one heap `Vec` per clause. Storing a clause extends the arena;
+/// snapshotting the whole database (every [`SatSolver::push`]) is two
+/// flat memcpys; dropping or restoring it never walks clauses. The
+/// garbage collector rebuilds both vectors compactly, so dead literals
+/// do not accumulate.
+#[derive(Debug, Clone, Default, PartialEq)]
+struct ClauseDb {
+    data: Vec<Lit>,
+    heads: Vec<ClauseHdr>,
+}
+
+impl ClauseDb {
+    fn len(&self) -> usize {
+        self.heads.len()
+    }
+
+    /// Appends a fresh clause, returning nothing — the caller already
+    /// knows its index is `len() - 1`.
+    fn push(&mut self, lits: &[Lit], id: u64, learnt: bool, depth: u32, lbd: u32) {
+        let start = self.data.len() as u32;
+        self.data.extend_from_slice(lits);
+        self.heads.push(ClauseHdr {
+            start,
+            len: lits.len() as u32,
+            id,
+            learnt,
+            depth,
+            activity: 0.0,
+            lbd,
+        });
+    }
+
+    /// Appends a clause carrying an existing header (id, activity, LBD,
+    /// depth all preserved) — used by carry-mode `pop` and GC compaction.
+    fn push_carried(&mut self, lits: &[Lit], hdr: ClauseHdr) {
+        let start = self.data.len() as u32;
+        self.data.extend_from_slice(lits);
+        self.heads.push(ClauseHdr {
+            start,
+            len: lits.len() as u32,
+            ..hdr
+        });
+    }
+
+    fn hdr(&self, ci: usize) -> &ClauseHdr {
+        &self.heads[ci]
+    }
+
+    fn hdr_mut(&mut self, ci: usize) -> &mut ClauseHdr {
+        &mut self.heads[ci]
+    }
+
+    fn lits(&self, ci: usize) -> &[Lit] {
+        let h = &self.heads[ci];
+        &self.data[h.start as usize..(h.start + h.len) as usize]
+    }
+
+    fn lits_mut(&mut self, ci: usize) -> &mut [Lit] {
+        let h = self.heads[ci];
+        &mut self.data[h.start as usize..(h.start + h.len) as usize]
+    }
 }
 
 /// Indexed binary max-heap over variables, ordered by VSIDS activity with
@@ -340,9 +408,11 @@ struct SatFrame {
     /// Full snapshot of the clause database, not just its length:
     /// propagation permutes literal order *inside* surviving clauses
     /// (watch maintenance swaps positions 0/1/k), the garbage collector
-    /// compacts the vector, and clause activities/LBDs evolve; the
-    /// replay contract needs all of it restored.
-    clauses: Vec<Clause>,
+    /// compacts the arena, and clause activities/LBDs evolve; the
+    /// replay contract needs all of it restored. Thanks to the flat
+    /// [`ClauseDb`] layout this snapshot is two memcpys, not a
+    /// clause-by-clause deep clone.
+    clauses: ClauseDb,
     trail_len: usize,
     /// Reason indices of the push-time (level-0) trail: a `reduce_db`
     /// inside the frame compacts clause indices, so the reasons of
@@ -366,7 +436,7 @@ struct SatFrame {
 #[derive(Debug, Clone)]
 pub struct SatSolver {
     n_vars: usize,
-    clauses: Vec<Clause>,
+    clauses: ClauseDb,
     /// watches[lit] = clause indices watching `lit`.
     watches: Vec<Vec<usize>>,
     /// Per-variable value: 0 false, 1 true, -1 unassigned.
@@ -435,7 +505,7 @@ impl Default for SatSolver {
     fn default() -> SatSolver {
         SatSolver {
             n_vars: 0,
-            clauses: Vec::new(),
+            clauses: ClauseDb::default(),
             watches: Vec::new(),
             assign: Vec::new(),
             phase: Vec::new(),
@@ -563,14 +633,15 @@ impl SatSolver {
                 true
             }
             _ => {
-                self.attach_clause(c, false, self.frames.len() as u32, 0);
+                let depth = self.frames.len() as u32;
+                self.attach_clause(&c, false, depth, 0);
                 true
             }
         }
     }
 
     /// Stores a clause (watching positions 0 and 1) and returns its index.
-    fn attach_clause(&mut self, lits: Vec<Lit>, learnt: bool, depth: u32, lbd: u32) -> usize {
+    fn attach_clause(&mut self, lits: &[Lit], learnt: bool, depth: u32, lbd: u32) -> usize {
         debug_assert!(lits.len() >= 2);
         let idx = self.clauses.len();
         self.watches[lits[0].index()].push(idx);
@@ -581,14 +652,7 @@ impl SatSolver {
         }
         let id = self.next_clause_id;
         self.next_clause_id += 1;
-        self.clauses.push(Clause {
-            lits,
-            id,
-            learnt,
-            depth,
-            activity: 0.0,
-            lbd,
-        });
+        self.clauses.push(lits, id, learnt, depth, lbd);
         idx
     }
 
@@ -641,28 +705,25 @@ impl SatSolver {
             self.reason[l.var()] = None;
         }
         self.qhead = self.trail.len();
-        let carried: Vec<Clause> = if self.carry_learnts {
+        let popped = std::mem::replace(&mut self.clauses, f.clauses);
+        if self.carry_learnts {
             let depth = self.frames.len() as u32;
-            // Judged by birth id, not vector position: an in-frame GC
-            // that removed pre-push learnts compacts the vector and
+            // Judged by birth id, not arena position: an in-frame GC
+            // that removed pre-push learnts compacts the database and
             // slides in-frame clauses below the push-time length.
-            self.clauses
-                .iter()
-                .filter(|c| {
-                    c.id >= f.clause_id_watermark
-                        && c.learnt
-                        && c.depth <= depth
-                        && c.lits.iter().all(|l| l.var() < f.n_vars)
-                })
-                .cloned()
-                .collect()
-        } else {
-            Vec::new()
-        };
-        self.stats.carried += carried.len() as u64;
-        self.clauses = f.clauses;
-        self.clauses.extend(carried);
-        self.n_learnts = self.clauses.iter().filter(|c| c.learnt).count();
+            for ci in 0..popped.len() {
+                let h = *popped.hdr(ci);
+                if h.id >= f.clause_id_watermark
+                    && h.learnt
+                    && h.depth <= depth
+                    && popped.lits(ci).iter().all(|l| l.var() < f.n_vars)
+                {
+                    self.stats.carried += 1;
+                    self.clauses.push_carried(popped.lits(ci), h);
+                }
+            }
+        }
+        self.n_learnts = self.clauses.heads.iter().filter(|h| h.learnt).count();
         self.n_vars = f.n_vars;
         self.assign.truncate(f.n_vars);
         // Restore (not merely truncate) the reasons of the surviving
@@ -688,9 +749,10 @@ impl SatSolver {
         for w in &mut self.watches {
             w.clear();
         }
-        for (i, c) in self.clauses.iter().enumerate() {
-            self.watches[c.lits[0].index()].push(i);
-            self.watches[c.lits[1].index()].push(i);
+        for i in 0..self.clauses.len() {
+            let l = self.clauses.lits(i);
+            self.watches[l[0].index()].push(i);
+            self.watches[l[1].index()].push(i);
         }
         // The order heap follows the restored variable set; the total
         // order (activity, index) makes any rebuild layout replay-safe.
@@ -719,12 +781,13 @@ impl SatSolver {
                 if self.trail_lim.is_empty() {
                     self.fact_depth[v] = match reason {
                         Some(ci) => {
-                            let c = &self.clauses[ci];
-                            c.lits
+                            let depth = self.clauses.hdr(ci).depth;
+                            self.clauses
+                                .lits(ci)
                                 .iter()
                                 .filter(|q| q.var() != v)
                                 .map(|q| self.fact_depth[q.var()])
-                                .fold(c.depth, u32::max)
+                                .fold(depth, u32::max)
                         }
                         None => self.frames.len() as u32,
                     };
@@ -751,20 +814,20 @@ impl SatSolver {
             let mut watch = std::mem::take(&mut self.watches[false_lit.index()]);
             while i < watch.len() {
                 let ci = watch[i];
-                let lits = &mut self.clauses[ci].lits;
+                let lits = self.clauses.lits_mut(ci);
                 // Ensure false_lit is at position 1.
                 if lits[0] == false_lit {
                     lits.swap(0, 1);
                 }
                 let first = lits[0];
-                debug_assert_eq!(self.clauses[ci].lits[1], false_lit);
+                debug_assert_eq!(self.clauses.lits(ci)[1], false_lit);
                 if self.value(first) == 1 {
                     i += 1;
                     continue;
                 }
                 // Look for a new literal to watch.
                 let mut moved = false;
-                let lits = &mut self.clauses[ci].lits;
+                let lits = self.clauses.lits_mut(ci);
                 for k in 2..lits.len() {
                     let cand = lits[k];
                     if lit_value(&self.assign, cand) != 0 {
@@ -805,14 +868,13 @@ impl SatSolver {
     }
 
     fn bump_clause(&mut self, ci: usize) {
-        let c = &mut self.clauses[ci];
-        if !c.learnt {
+        if !self.clauses.hdr(ci).learnt {
             return;
         }
-        c.activity += self.cla_inc;
-        if c.activity > 1e20 {
-            for c in &mut self.clauses {
-                c.activity *= 1e-20;
+        self.clauses.hdr_mut(ci).activity += self.cla_inc;
+        if self.clauses.hdr(ci).activity > 1e20 {
+            for h in &mut self.clauses.heads {
+                h.activity *= 1e-20;
             }
             self.cla_inc *= 1e-20;
         }
@@ -870,10 +932,10 @@ impl SatSolver {
         let mut depth = 0u32;
 
         loop {
-            depth = depth.max(self.clauses[conflict].depth);
+            depth = depth.max(self.clauses.hdr(conflict).depth);
             self.bump_clause(conflict);
-            for idx in 0..self.clauses[conflict].lits.len() {
-                let q = self.clauses[conflict].lits[idx];
+            for idx in 0..self.clauses.hdr(conflict).len as usize {
+                let q = self.clauses.lits(conflict)[idx];
                 // Skip the literal we just resolved on (it is asserted by
                 // this reason clause).
                 if asserting == Some(q) {
@@ -977,14 +1039,14 @@ impl SatSolver {
             let Some(&mut (lit, cr, ref mut next)) = self.min_stack.last_mut() else {
                 return true;
             };
-            if *next >= self.clauses[cr].lits.len() {
+            if *next >= self.clauses.hdr(cr).len as usize {
                 // Every antecedent accounted for: `lit` is redundant.
-                *depth = (*depth).max(self.clauses[cr].depth);
+                *depth = (*depth).max(self.clauses.hdr(cr).depth);
                 self.min_removable[lit.var()] = stamp;
                 self.min_stack.pop();
                 continue;
             }
-            let q = self.clauses[cr].lits[*next];
+            let q = self.clauses.lits(cr)[*next];
             *next += 1;
             let v = q.var();
             if v == lit.var() {
@@ -1038,8 +1100,8 @@ impl SatSolver {
                     self.last_core.push(l);
                 }
                 Some(cr) => {
-                    for idx in 0..self.clauses[cr].lits.len() {
-                        let q = self.clauses[cr].lits[idx];
+                    for idx in 0..self.clauses.hdr(cr).len as usize {
+                        let q = self.clauses.lits(cr)[idx];
                         if q.var() != v && self.level[q.var()] > 0 {
                             self.seen[q.var()] = stamp;
                         }
@@ -1106,8 +1168,8 @@ impl SatSolver {
             }
             locked
         };
-        for (i, c) in self.clauses.iter().enumerate() {
-            if c.learnt && !locked[i] && c.lits.len() > 2 {
+        for (i, h) in self.clauses.heads.iter().enumerate() {
+            if h.learnt && !locked[i] && h.len > 2 {
                 cands.push(i);
             }
         }
@@ -1116,7 +1178,7 @@ impl SatSolver {
         // least time to prove themselves and keeping elders is cheaper
         // for the remap).
         cands.sort_by(|&a, &b| {
-            let (ca, cb) = (&self.clauses[a], &self.clauses[b]);
+            let (ca, cb) = (self.clauses.hdr(a), self.clauses.hdr(b));
             cb.lbd
                 .cmp(&ca.lbd)
                 .then(
@@ -1134,13 +1196,19 @@ impl SatSolver {
         for &i in &cands[..n_remove] {
             remove[i] = true;
         }
-        // Compact, building the old->new index map.
-        let mut map: Vec<usize> = vec![usize::MAX; self.clauses.len()];
-        let mut kept: Vec<Clause> = Vec::with_capacity(self.clauses.len() - n_remove);
-        for (i, c) in std::mem::take(&mut self.clauses).into_iter().enumerate() {
+        // Compact, building the old->new index map. Rebuilding into a
+        // fresh arena drops the dead literal runs too — GC is the one
+        // place the flat buffer is ever re-packed.
+        let old = std::mem::take(&mut self.clauses);
+        let mut map: Vec<usize> = vec![usize::MAX; old.len()];
+        let mut kept = ClauseDb {
+            data: Vec::with_capacity(old.data.len()),
+            heads: Vec::with_capacity(old.len() - n_remove),
+        };
+        for i in 0..old.len() {
             if !remove[i] {
                 map[i] = kept.len();
-                kept.push(c);
+                kept.push_carried(old.lits(i), *old.hdr(i));
             }
         }
         self.clauses = kept;
@@ -1155,18 +1223,19 @@ impl SatSolver {
         for w in &mut self.watches {
             w.clear();
         }
-        for (i, c) in self.clauses.iter().enumerate() {
-            self.watches[c.lits[0].index()].push(i);
-            self.watches[c.lits[1].index()].push(i);
+        for i in 0..self.clauses.len() {
+            let l = self.clauses.lits(i);
+            self.watches[l[0].index()].push(i);
+            self.watches[l[1].index()].push(i);
         }
     }
 
     /// Stores a learnt clause, watches it, enqueues the asserting literal
     /// and pays the learnt-DB accounting. `lits[0]` must be the asserting
     /// literal and `lits[1]` a max-level literal.
-    fn learn_and_assert(&mut self, lits: Vec<Lit>, depth: u32) {
+    fn learn_and_assert(&mut self, lits: &[Lit], depth: u32) {
         debug_assert!(lits.len() >= 2);
-        let lbd = self.lbd(&lits);
+        let lbd = self.lbd(lits);
         let asserting = lits[0];
         let ci = self.attach_clause(lits, true, depth, lbd);
         self.bump_clause(ci);
@@ -1194,7 +1263,7 @@ impl SatSolver {
             // the unit's provenance is the learnt's derivation depth.
             self.fact_depth[learnt[0].var()] = depth;
         } else {
-            self.learn_and_assert(learnt, depth);
+            self.learn_and_assert(&learnt, depth);
         }
         self.decay();
         if self.n_learnts >= self.gc_budget {
@@ -1256,7 +1325,7 @@ impl SatSolver {
         clause.swap(1, if i1 == 0 { i0 } else { i1 });
         let depth = self.lemma_depth(&clause);
         let lbd = self.lbd(&clause);
-        let ci = self.attach_clause(clause, true, depth, lbd);
+        let ci = self.attach_clause(&clause, true, depth, lbd);
         self.bump_clause(ci);
         self.resolve_conflict(ci)
     }
@@ -1312,7 +1381,7 @@ impl SatSolver {
             clause.swap(1, mi);
             let depth = self.lemma_depth(&clause);
             let lbd = self.lbd(&clause);
-            let ci = self.attach_clause(clause, true, depth, lbd);
+            let ci = self.attach_clause(&clause, true, depth, lbd);
             let ok = self.enqueue(lit, Some(ci));
             debug_assert!(ok, "implied literal was unassigned");
         }
@@ -2042,7 +2111,8 @@ mod tests {
         let _ = s.solve();
         // Precondition: the detour really permuted a pre-push clause
         // (otherwise this test is vacuous).
-        assert_ne!(s.clauses[..before.len()], before[..], "detour was a no-op");
+        let permuted = (0..before.len()).any(|i| s.clauses.lits(i) != before.lits(i));
+        assert!(permuted, "detour was a no-op");
         s.pop();
         assert_eq!(s.clauses, before);
     }
@@ -2125,7 +2195,7 @@ mod tests {
             if s.assign[v] != UNASSIGNED {
                 if let Some(ci) = s.reason[v] {
                     assert!(
-                        s.clauses[ci].lits.iter().any(|l| l.var() == v),
+                        s.clauses.lits(ci).iter().any(|l| l.var() == v),
                         "reason of var {v} points at a clause not containing it"
                     );
                 }

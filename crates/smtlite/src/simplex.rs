@@ -15,11 +15,40 @@
 //! pivoted basis — from the previous call, so consecutive checks inside
 //! one OMT search warm-start from the last feasible basis instead of
 //! re-pivoting from the origin.
+//!
+//! # Two-phase numerics
+//!
+//! All tableau state lives in exact `i128` rationals — the ground truth
+//! that certifies every verdict and extracted model. On top of them the
+//! solver maintains `f64` *mirrors* of each column value and asserted
+//! bound (standard parts only), refreshed from the exact values whenever
+//! those change. Mirrors are never produced by chained float arithmetic,
+//! so each carries a relative error below `2⁻⁵¹`. Every hot comparison
+//! (bound-conflict detection, nonbasic clamping, violation scan, pivot
+//! eligibility) first compares the mirrors with the magnitude-scaled
+//! margin `(|a| + |b| + 1)·10⁻¹²`: outside the margin the float sign
+//! provably equals the exact sign (the margin dwarfs the combined mirror
+//! error), so the decision is certified without touching the rationals;
+//! inside the margin — including every exact tie, where the ε parts
+//! decide — the comparison falls back to the exact path and is counted
+//! in [`SimplexStats::exact_fallbacks`]. Verdicts, conflict
+//! explanations, pivot sequences and models are therefore bit-for-bit
+//! identical to [`NumericMode::ExactOnly`], which skips the float layer
+//! entirely.
+//!
+//! Tableau rows are sorted sparse vectors recycled through an internal
+//! arena: pivoting merges rows into buffers drawn from a free list
+//! instead of allocating, so warm-started windows stop hitting the
+//! allocator. Row arithmetic goes through the checked `Rat` ops; an
+//! `i128` overflow surfaces as [`RatOverflow`] from the `try_*` entry
+//! points (the tableau is then poisoned until the owner restores a
+//! consistent clone or starts fresh) instead of panicking mid-scenario.
 
 use std::cmp::Ordering;
 use std::collections::HashMap;
 use std::ops::{Add, Mul, Neg, Sub};
 
+use crate::rational::RatOverflow;
 use crate::Rat;
 
 /// A rational extended with a symbolic infinitesimal: `r + d·ε`.
@@ -56,6 +85,27 @@ impl DeltaRat {
     /// Concretizes with a specific ε value.
     pub fn concretize(self, eps: Rat) -> Rat {
         self.r + self.d * eps
+    }
+
+    fn try_add_dr(self, o: DeltaRat) -> Result<DeltaRat, RatOverflow> {
+        Ok(DeltaRat {
+            r: self.r.try_add(o.r)?,
+            d: self.d.try_add(o.d)?,
+        })
+    }
+
+    fn try_sub_dr(self, o: DeltaRat) -> Result<DeltaRat, RatOverflow> {
+        Ok(DeltaRat {
+            r: self.r.try_sub(o.r)?,
+            d: self.d.try_sub(o.d)?,
+        })
+    }
+
+    fn try_mul_rat(self, c: Rat) -> Result<DeltaRat, RatOverflow> {
+        Ok(DeltaRat {
+            r: self.r.try_mul(c)?,
+            d: self.d.try_mul(c)?,
+        })
     }
 }
 
@@ -147,6 +197,136 @@ pub enum SimplexResult {
     Infeasible(Vec<usize>),
 }
 
+/// Numeric strategy for the simplex comparisons.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum NumericMode {
+    /// Compare `f64` mirrors first; fall back to exact rationals whenever
+    /// a comparison lands inside the certified error margin. The default.
+    #[default]
+    FloatFirst,
+    /// Skip the float layer: every comparison runs on exact rationals.
+    /// The reference path; verdicts are identical by construction.
+    ExactOnly,
+}
+
+/// Counters describing how the two-phase numeric pipeline behaved.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimplexStats {
+    /// Total pivots performed (identical across numeric modes).
+    pub pivots: u64,
+    /// Pivots performed while the float fast path was active.
+    pub float_pivots: u64,
+    /// Comparisons that landed inside the float error margin and were
+    /// re-certified on exact rationals.
+    pub exact_fallbacks: u64,
+}
+
+impl SimplexStats {
+    /// Counter deltas since an earlier snapshot.
+    pub fn since(self, before: SimplexStats) -> SimplexStats {
+        SimplexStats {
+            pivots: self.pivots.saturating_sub(before.pivots),
+            float_pivots: self.float_pivots.saturating_sub(before.float_pivots),
+            exact_fallbacks: self.exact_fallbacks.saturating_sub(before.exact_fallbacks),
+        }
+    }
+}
+
+/// A tableau row: nonzero coefficients over nonbasic columns, sorted by
+/// column index.
+type SparseRow = Vec<(usize, Rat)>;
+
+/// Free-list arena recycling row buffers across pivots: a pivot releases
+/// the rows it rewrites and draws replacements from here, so steady-state
+/// pivoting performs no heap allocation.
+#[derive(Debug, Default)]
+struct RowArena {
+    free: Vec<SparseRow>,
+}
+
+impl RowArena {
+    fn alloc(&mut self) -> SparseRow {
+        self.free.pop().unwrap_or_default()
+    }
+
+    fn release(&mut self, mut row: SparseRow) {
+        row.clear();
+        self.free.push(row);
+    }
+}
+
+// Cloning a tableau (DPLL(T) push frames) does not drag spare buffers
+// along: the clone starts with an empty free list.
+impl Clone for RowArena {
+    fn clone(&self) -> RowArena {
+        RowArena::default()
+    }
+}
+
+/// Float-first comparison of two exact values through their mirrors.
+/// `Some(ordering)` is returned only when the mirrors are separated by
+/// more than the worst-case combined mirror error (each mirror is one
+/// `i128 → f64` conversion pair plus one division, relative error below
+/// `2⁻⁵¹` ≈ `4.4·10⁻¹⁶`, which the `10⁻¹²` margin dwarfs), so the float
+/// ordering provably equals the exact one; `None` means "too close —
+/// certify exactly".
+fn float_cmp(fa: f64, fb: f64) -> Option<Ordering> {
+    let margin = (fa.abs() + fb.abs() + 1.0) * 1e-12;
+    let d = fa - fb;
+    if d > margin {
+        Some(Ordering::Greater)
+    } else if d < -margin {
+        Some(Ordering::Less)
+    } else {
+        None
+    }
+}
+
+/// `dst = a + scale·b`, where `a` skips its entry at column `skip`
+/// (`usize::MAX` to keep all). Both inputs are sorted sparse rows; the
+/// output is sorted and zero-free. Linear-time merge, no allocation
+/// beyond `dst`'s (recycled) capacity.
+fn merge_axpy(
+    dst: &mut SparseRow,
+    a: &[(usize, Rat)],
+    skip: usize,
+    scale: Rat,
+    b: &[(usize, Rat)],
+) -> Result<(), RatOverflow> {
+    dst.clear();
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() || j < b.len() {
+        if i < a.len() && a[i].0 == skip {
+            i += 1;
+            continue;
+        }
+        let ka = a.get(i).map_or(usize::MAX, |&(k, _)| k);
+        let kb = b.get(j).map_or(usize::MAX, |&(k, _)| k);
+        match ka.cmp(&kb) {
+            Ordering::Less => {
+                dst.push(a[i]);
+                i += 1;
+            }
+            Ordering::Greater => {
+                let c = scale.try_mul(b[j].1)?;
+                if !c.is_zero() {
+                    dst.push((kb, c));
+                }
+                j += 1;
+            }
+            Ordering::Equal => {
+                let c = a[i].1.try_add(scale.try_mul(b[j].1)?)?;
+                if !c.is_zero() {
+                    dst.push((ka, c));
+                }
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Persistent simplex state: columns for every real variable and slack
 /// (one per distinct multi-term linear form) seen so far, the current
 /// basis (`rows`), values, and the bounds asserted by the most recent
@@ -165,12 +345,25 @@ pub struct Simplex {
     col_var: Vec<Option<usize>>,
     /// Distinct multi-term linear form (sorted by var) -> slack column.
     form_slack: HashMap<Vec<(Rat, usize)>, usize>,
-    /// For basic columns: their row as dense-ish map col -> coeff
-    /// (only over nonbasic columns).
-    rows: HashMap<usize, HashMap<usize, Rat>>,
+    /// Basic columns' defining rows over nonbasic columns (`None` =
+    /// nonbasic), indexed by column — index order *is* Bland order.
+    rows: Vec<Option<SparseRow>>,
     value: Vec<DeltaRat>,
-    lower: Vec<Option<(DeltaRat, usize)>>,
-    upper: Vec<Option<(DeltaRat, usize)>>,
+    lower: Vec<AssertedBound>,
+    upper: Vec<AssertedBound>,
+    /// `f64` mirrors of `value[·].r`, refreshed on every exact write.
+    fvalue: Vec<f64>,
+    /// Mirrors of the asserted bound standard parts; meaningful only
+    /// while the matching `lower`/`upper` entry is `Some`.
+    flower: Vec<f64>,
+    fupper: Vec<f64>,
+    arena: RowArena,
+    mode: NumericMode,
+    stats: SimplexStats,
+    /// Set when an overflow aborted mid-pivot: the tableau invariants no
+    /// longer hold, so every `try_*` call refuses until the owner
+    /// restores a consistent clone or starts fresh.
+    poisoned: bool,
 }
 
 impl Simplex {
@@ -179,17 +372,84 @@ impl Simplex {
         Simplex::default()
     }
 
+    /// Selects the numeric strategy for subsequent calls. Verdicts,
+    /// models and pivot sequences do not depend on the mode; only the
+    /// counters and the wall clock do. Safe to flip between calls on a
+    /// live tableau.
+    pub fn set_numeric_mode(&mut self, mode: NumericMode) {
+        self.mode = mode;
+    }
+
+    /// The active numeric strategy.
+    pub fn numeric_mode(&self) -> NumericMode {
+        self.mode
+    }
+
+    /// Cumulative two-phase pipeline counters.
+    pub fn stats(&self) -> SimplexStats {
+        self.stats
+    }
+
+    /// Overwrites the counters — the DPLL(T) driver uses this to carry
+    /// them across push/pop frame restores.
+    pub(crate) fn set_stats(&mut self, stats: SimplexStats) {
+        self.stats = stats;
+    }
+
     fn is_basic(&self, v: usize) -> bool {
-        self.rows.contains_key(&v)
+        self.rows[v].is_some()
+    }
+
+    fn set_value(&mut self, c: usize, v: DeltaRat) {
+        self.value[c] = v;
+        self.fvalue[c] = v.r.to_f64();
+    }
+
+    /// The certified comparison: float mirrors first (in
+    /// [`NumericMode::FloatFirst`]), exact rationals inside the margin.
+    fn cmp_dr(&mut self, a: DeltaRat, fa: f64, b: DeltaRat, fb: f64) -> Ordering {
+        if self.mode == NumericMode::FloatFirst {
+            if let Some(o) = float_cmp(fa, fb) {
+                return o;
+            }
+            self.stats.exact_fallbacks += 1;
+        }
+        a.cmp(&b)
+    }
+
+    /// Whether nonbasic `j` can still move up (strictly below its upper
+    /// bound, or unbounded above).
+    fn below_upper(&mut self, j: usize) -> bool {
+        match self.upper[j] {
+            None => true,
+            Some((u, _)) => {
+                self.cmp_dr(self.value[j], self.fvalue[j], u, self.fupper[j]) == Ordering::Less
+            }
+        }
+    }
+
+    /// Whether nonbasic `j` can still move down (strictly above its
+    /// lower bound, or unbounded below).
+    fn above_lower(&mut self, j: usize) -> bool {
+        match self.lower[j] {
+            None => true,
+            Some((l, _)) => {
+                self.cmp_dr(self.value[j], self.fvalue[j], l, self.flower[j]) == Ordering::Greater
+            }
+        }
     }
 
     fn new_col(&mut self, var: Option<usize>) -> usize {
         let c = self.n_cols;
         self.n_cols += 1;
         self.col_var.push(var);
+        self.rows.push(None);
         self.value.push(DeltaRat::ZERO);
+        self.fvalue.push(0.0);
         self.lower.push(None);
         self.upper.push(None);
+        self.flower.push(0.0);
+        self.fupper.push(0.0);
         c
     }
 
@@ -208,100 +468,110 @@ impl Simplex {
     /// a slack column whose defining row is expressed over the *current*
     /// nonbasic columns (substituting rows of already-basic variables,
     /// so the new definition composes with prior pivots).
-    fn column_for(&mut self, expr: &[(Rat, usize)]) -> usize {
+    fn try_column_for(&mut self, expr: &[(Rat, usize)]) -> Result<usize, RatOverflow> {
         if expr.len() == 1 && expr[0].0 == Rat::ONE {
-            return self.var_column(expr[0].1);
+            return Ok(self.var_column(expr[0].1));
         }
         let mut key: Vec<(Rat, usize)> = expr.to_vec();
         key.sort_by_key(|&(_, v)| v);
         if let Some(&c) = self.form_slack.get(&key) {
-            return c;
+            return Ok(c);
         }
-        let mut row: HashMap<usize, Rat> = HashMap::new();
-        // Iterate a copy: `var_column` needs `&mut self` inside the body.
-        for (c, v) in key.clone() {
+        // Resolve (allocating) every variable column up front, then
+        // accumulate Σ c·(column or its defining row) by sorted merges,
+        // ping-ponging between two recycled buffers.
+        let mut terms: Vec<(Rat, usize)> = Vec::with_capacity(key.len());
+        for &(c, v) in &key {
             let col = self.var_column(v);
-            if let Some(brow) = self.rows.get(&col) {
-                let brow = brow.clone();
-                for (&k, &a) in &brow {
-                    let entry = row.entry(k).or_insert(Rat::ZERO);
-                    *entry = *entry + c * a;
-                    if entry.is_zero() {
-                        row.remove(&k);
-                    }
-                }
-            } else {
-                let entry = row.entry(col).or_insert(Rat::ZERO);
-                *entry = *entry + c;
-                if entry.is_zero() {
-                    row.remove(&col);
-                }
-            }
+            terms.push((c, col));
         }
+        let mut acc = self.arena.alloc();
+        let mut next = self.arena.alloc();
+        for (c, col) in terms {
+            let unit = [(col, Rat::ONE)];
+            let term: &[(usize, Rat)] = match self.rows[col].as_deref() {
+                Some(r) => r,
+                None => &unit,
+            };
+            merge_axpy(&mut next, &acc, usize::MAX, c, term)?;
+            std::mem::swap(&mut acc, &mut next);
+        }
+        self.arena.release(next);
+        let v = self.try_row_value(&acc)?;
         let s = self.new_col(None);
         self.form_slack.insert(key, s);
-        self.value[s] = self.row_value(&row);
-        self.rows.insert(s, row);
-        s
+        self.set_value(s, v);
+        self.rows[s] = Some(acc);
+        Ok(s)
     }
 
     /// Recomputes a basic variable's value from its row.
-    fn row_value(&self, row: &HashMap<usize, Rat>) -> DeltaRat {
+    fn try_row_value(&self, row: &[(usize, Rat)]) -> Result<DeltaRat, RatOverflow> {
         let mut v = DeltaRat::ZERO;
-        for (&c, &a) in row {
-            v = v + self.value[c] * a;
+        for &(c, a) in row {
+            v = v.try_add_dr(self.value[c].try_mul_rat(a)?)?;
         }
-        v
+        Ok(v)
     }
 
-    /// Pivot basic `bi` with nonbasic `nj`, then set `bi`'s value to
-    /// `target` by adjusting `nj`.
-    fn pivot_and_update(&mut self, bi: usize, nj: usize, target: DeltaRat) {
-        let row = self.rows.remove(&bi).expect("bi is basic");
-        let a_ij = row[&nj];
-        let theta = (target - self.value[bi]) * a_ij.recip();
-        self.value[nj] = self.value[nj] + theta;
-        self.value[bi] = target;
+    /// Pivot basic `bi` (whose row the caller already detached) with
+    /// nonbasic `nj`, then set `bi`'s value to `target` by adjusting
+    /// `nj`. Affected basic values move incrementally (`Δx_b = a_bj·θ`)
+    /// instead of being recomputed from scratch.
+    fn try_pivot_with_row(
+        &mut self,
+        bi: usize,
+        nj: usize,
+        row: SparseRow,
+        target: DeltaRat,
+    ) -> Result<(), RatOverflow> {
+        let idx = row
+            .binary_search_by_key(&nj, |&(k, _)| k)
+            .expect("nj in row");
+        let a_ij = row[idx].1;
+        let inv = a_ij.recip();
+        let theta = target.try_sub_dr(self.value[bi])?.try_mul_rat(inv)?;
+        let vnj = self.value[nj].try_add_dr(theta)?;
+        self.set_value(nj, vnj);
+        self.set_value(bi, target);
 
-        // Express nj in terms of bi and the rest of the row:
-        // bi = Σ a_k x_k  =>  nj = bi/a_ij - Σ_{k≠j} (a_k/a_ij) x_k
-        let mut new_row: HashMap<usize, Rat> = HashMap::new();
-        new_row.insert(bi, a_ij.recip());
-        for (&k, &a) in &row {
+        // nj = bi/a_ij − Σ_{k≠j} (a_k/a_ij)·x_k, as a sorted row.
+        let neg_inv = -inv;
+        let mut new_row = self.arena.alloc();
+        for &(k, a) in &row {
             if k != nj {
-                let c = -(a / a_ij);
-                if !c.is_zero() {
-                    new_row.insert(k, c);
-                }
+                new_row.push((k, a.try_mul(neg_inv)?));
             }
         }
+        let pos = new_row
+            .binary_search_by_key(&bi, |&(k, _)| k)
+            .expect_err("bi was basic, absent from its own row");
+        new_row.insert(pos, (bi, inv));
+        self.arena.release(row);
 
-        // Substitute into every other row containing nj, and refresh values.
-        let basics: Vec<usize> = self.rows.keys().copied().collect();
-        for b in basics {
-            let a_bj = match self.rows[&b].get(&nj) {
-                Some(&c) => c,
-                None => continue,
+        // Substitute into every other row containing nj; each affected
+        // basic moves by a_bj·θ.
+        for b in 0..self.n_cols {
+            let Some(r) = self.rows[b].as_deref() else {
+                continue;
             };
-            let r = self.rows.get_mut(&b).expect("exists");
-            r.remove(&nj);
-            for (&k, &c) in &new_row {
-                let entry = r.entry(k).or_insert(Rat::ZERO);
-                *entry = *entry + a_bj * c;
-                if entry.is_zero() {
-                    r.remove(&k);
-                }
-            }
-            self.value[b] = self.value[b] + DeltaRat::standard(Rat::ZERO); // no-op; recomputed below
+            let Ok(ri) = r.binary_search_by_key(&nj, |&(k, _)| k) else {
+                continue;
+            };
+            let a_bj = r[ri].1;
+            let mut dst = self.arena.alloc();
+            merge_axpy(&mut dst, r, nj, a_bj, &new_row)?;
+            let old = self.rows[b].replace(dst).expect("basic");
+            self.arena.release(old);
+            let vb = self.value[b].try_add_dr(theta.try_mul_rat(a_bj)?)?;
+            self.set_value(b, vb);
         }
-        // Update basic values directly: x_b changes by a_bj * theta.
-        // (Done via full recomputation for robustness.)
-        self.rows.insert(nj, new_row);
-        let basics: Vec<usize> = self.rows.keys().copied().collect();
-        for b in basics {
-            let row = self.rows[&b].clone();
-            self.value[b] = self.row_value(&row);
+        self.rows[nj] = Some(new_row);
+        self.stats.pivots += 1;
+        if self.mode == NumericMode::FloatFirst {
+            self.stats.float_pivots += 1;
         }
+        Ok(())
     }
 }
 
@@ -351,12 +621,29 @@ impl Simplex {
     /// With an unchanged or mildly-shifted bound set — consecutive
     /// probes of one OMT binary search — the subsequent Bland loop then
     /// starts at (or next to) the previous feasible point.
+    ///
+    /// # Panics
+    ///
+    /// Panics on `i128` overflow; use [`Simplex::try_check_assignment`]
+    /// to degrade gracefully instead.
     pub fn check_assignment(&mut self, bounds: &[BoundConstraint]) -> SimplexResult {
-        match self.assert_and_solve(bounds) {
+        self.try_check_assignment(bounds)
+            .expect("rational arithmetic overflow")
+    }
+
+    /// [`Simplex::check_assignment`] that reports `i128` overflow as
+    /// [`RatOverflow`] instead of panicking. After an error the tableau
+    /// is poisoned: every further `try_*` call returns `Err` until the
+    /// owner replaces it (e.g. restoring a pre-error clone).
+    pub fn try_check_assignment(
+        &mut self,
+        bounds: &[BoundConstraint],
+    ) -> Result<SimplexResult, RatOverflow> {
+        Ok(match self.try_assert_and_solve(bounds)? {
             Some(ids) => SimplexResult::Infeasible(ids),
             // Feasible: concretize ε and return original-variable values.
             None => SimplexResult::Feasible(self.concretize()),
-        }
+        })
     }
 
     /// The tightest lower/upper bounds (with the asserting ids) currently
@@ -372,14 +659,49 @@ impl Simplex {
     /// Resolves (allocating on first sight) the column of `expr`;
     /// crate-visible so the DPLL(T) hook can cache the mapping.
     pub(crate) fn column_index(&mut self, expr: &[(Rat, usize)]) -> usize {
-        self.column_for(expr)
+        self.try_column_for(expr)
+            .expect("rational arithmetic overflow")
     }
 
     /// [`Simplex::check_assignment`] without the model extraction: the
     /// feasibility verdict alone (`None` = feasible), which is all the
     /// partial-assignment theory checkpoints need. The feasible basis is
     /// left in place for a later extraction or warm restart.
+    ///
+    /// # Panics
+    ///
+    /// Panics on `i128` overflow; use [`Simplex::try_assert_and_solve`]
+    /// to degrade gracefully instead.
     pub fn assert_and_solve(&mut self, bounds: &[BoundConstraint]) -> Option<Vec<usize>> {
+        self.try_assert_and_solve(bounds)
+            .expect("rational arithmetic overflow")
+    }
+
+    /// [`Simplex::assert_and_solve`] that reports `i128` overflow as
+    /// [`RatOverflow`] instead of panicking; see
+    /// [`Simplex::try_check_assignment`] for the poisoning contract.
+    pub fn try_assert_and_solve(
+        &mut self,
+        bounds: &[BoundConstraint],
+    ) -> Result<Option<Vec<usize>>, RatOverflow> {
+        if self.poisoned {
+            return Err(RatOverflow);
+        }
+        match self.solve_core(bounds) {
+            Ok(r) => Ok(r),
+            Err(e) => {
+                // A pivot aborted halfway: the tableau invariants no
+                // longer hold, so refuse all further use.
+                self.poisoned = true;
+                Err(e)
+            }
+        }
+    }
+
+    fn solve_core(
+        &mut self,
+        bounds: &[BoundConstraint],
+    ) -> Result<Option<Vec<usize>>, RatOverflow> {
         // Retract every bound from the previous call.
         for b in &mut self.lower {
             *b = None;
@@ -390,26 +712,41 @@ impl Simplex {
 
         // Assert bounds, detecting immediate lower>upper conflicts.
         for b in bounds {
-            let col = self.column_for(&b.expr);
+            let col = self.try_column_for(&b.expr)?;
+            let fb = b.bound.r.to_f64();
             match b.kind {
                 BoundKind::Lower => {
                     if let Some((u, uid)) = self.upper[col] {
-                        if b.bound > u {
-                            return Some(vec![b.id, uid]);
+                        if self.cmp_dr(b.bound, fb, u, self.fupper[col]) == Ordering::Greater {
+                            return Ok(Some(vec![b.id, uid]));
                         }
                     }
-                    if self.lower[col].is_none_or(|(l, _)| b.bound > l) {
+                    let tighter = match self.lower[col] {
+                        None => true,
+                        Some((l, _)) => {
+                            self.cmp_dr(b.bound, fb, l, self.flower[col]) == Ordering::Greater
+                        }
+                    };
+                    if tighter {
                         self.lower[col] = Some((b.bound, b.id));
+                        self.flower[col] = fb;
                     }
                 }
                 BoundKind::Upper => {
                     if let Some((l, lid)) = self.lower[col] {
-                        if b.bound < l {
-                            return Some(vec![lid, b.id]);
+                        if self.cmp_dr(b.bound, fb, l, self.flower[col]) == Ordering::Less {
+                            return Ok(Some(vec![lid, b.id]));
                         }
                     }
-                    if self.upper[col].is_none_or(|(u, _)| b.bound < u) {
+                    let tighter = match self.upper[col] {
+                        None => true,
+                        Some((u, _)) => {
+                            self.cmp_dr(b.bound, fb, u, self.fupper[col]) == Ordering::Less
+                        }
+                    };
+                    if tighter {
                         self.upper[col] = Some((b.bound, b.id));
+                        self.fupper[col] = fb;
                     }
                 }
             }
@@ -422,39 +759,48 @@ impl Simplex {
                 continue;
             }
             if let Some((l, _)) = self.lower[v] {
-                if self.value[v] < l {
-                    self.value[v] = l;
+                if self.cmp_dr(self.value[v], self.fvalue[v], l, self.flower[v]) == Ordering::Less {
+                    self.set_value(v, l);
                     continue;
                 }
             }
             if let Some((u, _)) = self.upper[v] {
-                if self.value[v] > u {
-                    self.value[v] = u;
+                if self.cmp_dr(self.value[v], self.fvalue[v], u, self.fupper[v])
+                    == Ordering::Greater
+                {
+                    self.set_value(v, u);
                 }
             }
         }
-        let basics: Vec<usize> = self.rows.keys().copied().collect();
-        for b in basics {
-            let row = self.rows.remove(&b).expect("exists");
-            self.value[b] = self.row_value(&row);
-            self.rows.insert(b, row);
+        for b in 0..self.n_cols {
+            let Some(row) = self.rows[b].take() else {
+                continue;
+            };
+            let v = self.try_row_value(&row);
+            self.rows[b] = Some(row);
+            self.set_value(b, v?);
         }
 
-        // Main Bland-rule loop.
+        // Main Bland-rule loop: smallest-index violated basic, then
+        // smallest-index eligible nonbasic in its (sorted) row.
         loop {
-            // Smallest-index basic variable violating a bound.
-            let mut violated: Option<(usize, bool)> = None; // (var, too_low)
-            let mut basic_sorted: Vec<usize> = self.rows.keys().copied().collect();
-            basic_sorted.sort_unstable();
-            for &b in &basic_sorted {
+            let mut violated: Option<(usize, bool)> = None; // (col, too_low)
+            for b in 0..self.n_cols {
+                if !self.is_basic(b) {
+                    continue;
+                }
                 if let Some((l, _)) = self.lower[b] {
-                    if self.value[b] < l {
+                    if self.cmp_dr(self.value[b], self.fvalue[b], l, self.flower[b])
+                        == Ordering::Less
+                    {
                         violated = Some((b, true));
                         break;
                     }
                 }
                 if let Some((u, _)) = self.upper[b] {
-                    if self.value[b] > u {
+                    if self.cmp_dr(self.value[b], self.fvalue[b], u, self.fupper[b])
+                        == Ordering::Greater
+                    {
                         violated = Some((b, false));
                         break;
                     }
@@ -462,23 +808,20 @@ impl Simplex {
             }
             let Some((bi, too_low)) = violated else {
                 // Feasible; the basis stays for extraction or warm restart.
-                return None;
+                return Ok(None);
             };
 
-            let row = self.rows[&bi].clone();
-            let mut cols: Vec<usize> = row.keys().copied().collect();
-            cols.sort_unstable();
+            let row = self.rows[bi].take().expect("bi is basic");
             let mut pivot_col: Option<usize> = None;
-            for &j in &cols {
-                let a = row[&j];
+            for &(j, a) in &row {
                 let can = if too_low {
                     // Need to increase bi.
-                    (a.is_positive() && self.upper[j].is_none_or(|(u, _)| self.value[j] < u))
-                        || (a.is_negative() && self.lower[j].is_none_or(|(l, _)| self.value[j] > l))
+                    (a.is_positive() && self.below_upper(j))
+                        || (a.is_negative() && self.above_lower(j))
                 } else {
                     // Need to decrease bi.
-                    (a.is_positive() && self.lower[j].is_none_or(|(l, _)| self.value[j] > l))
-                        || (a.is_negative() && self.upper[j].is_none_or(|(u, _)| self.value[j] < u))
+                    (a.is_positive() && self.above_lower(j))
+                        || (a.is_negative() && self.below_upper(j))
                 };
                 if can {
                     pivot_col = Some(j);
@@ -493,16 +836,15 @@ impl Simplex {
                     } else {
                         self.upper[bi].expect("violated upper").0
                     };
-                    self.pivot_and_update(bi, nj, target);
+                    self.try_pivot_with_row(bi, nj, row, target)?;
                 }
                 None => {
-                    // Conflict: violated bound of bi plus the limiting bounds of
-                    // every nonbasic in the row.
+                    // Conflict: violated bound of bi plus the limiting
+                    // bounds of every nonbasic in the row.
                     let mut ids = Vec::new();
                     if too_low {
                         ids.push(self.lower[bi].expect("violated lower").1);
-                        for &j in &cols {
-                            let a = row[&j];
+                        for &(j, a) in &row {
                             if a.is_positive() {
                                 ids.push(self.upper[j].expect("limited above").1);
                             } else {
@@ -511,8 +853,7 @@ impl Simplex {
                         }
                     } else {
                         ids.push(self.upper[bi].expect("violated upper").1);
-                        for &j in &cols {
-                            let a = row[&j];
+                        for &(j, a) in &row {
                             if a.is_positive() {
                                 ids.push(self.lower[j].expect("limited below").1);
                             } else {
@@ -520,9 +861,10 @@ impl Simplex {
                             }
                         }
                     }
+                    self.rows[bi] = Some(row);
                     ids.sort_unstable();
                     ids.dedup();
-                    return Some(ids);
+                    return Ok(Some(ids));
                 }
             }
         }
@@ -747,5 +1089,161 @@ mod tests {
             upper(vec![(1, 0)], 4, 1),
         ]);
         assert!(m[&0] * Rat::new(1, 2) + m[&1] * Rat::new(1, 4) >= Rat::int(10));
+    }
+
+    // ---- two-phase numeric pipeline ------------------------------------
+
+    /// Instances that actually pivot, reused by the mode-equivalence
+    /// checks.
+    fn pivoting_instances() -> Vec<Vec<BoundConstraint>> {
+        vec![
+            vec![
+                upper(vec![(1, 0), (1, 1)], 4, 0),
+                lower(vec![(1, 0)], 1, 1),
+                lower(vec![(1, 1)], 2, 2),
+            ],
+            vec![
+                upper(vec![(1, 0), (-1, 1)], 0, 0),
+                lower(vec![(1, 0), (-1, 1)], 0, 1),
+                upper(vec![(1, 1), (-1, 2)], 0, 2),
+                lower(vec![(1, 1), (-1, 2)], 0, 3),
+                lower(vec![(1, 2)], 5, 4),
+                upper(vec![(1, 0)], 5, 5),
+            ],
+            vec![
+                upper(vec![(1, 0), (1, 1)], 3, 0),
+                lower(vec![(1, 0)], 2, 1),
+                lower(vec![(1, 1)], 2, 2),
+            ],
+            vec![
+                upper(vec![(1, 0), (-1, 1)], -1, 0),
+                upper(vec![(1, 1), (-1, 2)], -1, 1),
+                upper(vec![(1, 2), (-1, 0)], -1, 2),
+            ],
+        ]
+    }
+
+    #[test]
+    fn modes_agree_bit_for_bit_and_pivot_identically() {
+        for bounds in pivoting_instances() {
+            let mut fast = Simplex::new();
+            let mut exact = Simplex::new();
+            exact.set_numeric_mode(NumericMode::ExactOnly);
+            let rf = fast.check_assignment(&bounds);
+            let re = exact.check_assignment(&bounds);
+            match (rf, re) {
+                (SimplexResult::Feasible(a), SimplexResult::Feasible(b)) => assert_eq!(a, b),
+                (SimplexResult::Infeasible(a), SimplexResult::Infeasible(b)) => assert_eq!(a, b),
+                (a, b) => panic!("verdicts diverged: {a:?} vs {b:?}"),
+            }
+            // The float layer changes no decision: identical pivot
+            // sequences, hence identical counts.
+            assert_eq!(fast.stats().pivots, exact.stats().pivots);
+            assert_eq!(fast.stats().float_pivots, fast.stats().pivots);
+            assert_eq!(exact.stats().float_pivots, 0);
+        }
+    }
+
+    #[test]
+    fn near_tie_falls_back_to_exact_and_stays_correct() {
+        // 10⁻¹⁵ vs 0 sits inside the float margin (~10⁻¹²): the float
+        // layer must refuse to decide and the exact layer must still
+        // separate them.
+        let tiny = Rat::new(1, 1_000_000_000_000_000);
+        let bounds = vec![
+            BoundConstraint {
+                expr: vec![(Rat::ONE, 0)],
+                bound: DeltaRat::standard(tiny),
+                kind: BoundKind::Lower,
+                id: 0,
+            },
+            BoundConstraint {
+                expr: vec![(Rat::ONE, 0)],
+                bound: DeltaRat::standard(Rat::ZERO),
+                kind: BoundKind::Upper,
+                id: 1,
+            },
+        ];
+        let mut s = Simplex::new();
+        let r = s.check_assignment(&bounds);
+        let SimplexResult::Infeasible(ids) = r else {
+            panic!("x >= 1e-15 and x <= 0 must be infeasible");
+        };
+        assert_eq!(ids, vec![0, 1]);
+        assert!(
+            s.stats().exact_fallbacks > 0,
+            "margin must force a fallback"
+        );
+    }
+
+    #[test]
+    fn exact_ties_on_eps_parts_fall_back() {
+        // Strict vs non-strict at the same standard value: floats see a
+        // tie, the ε parts decide. The fallback keeps it correct.
+        let mut s = Simplex::new();
+        let r = s.check_assignment(&[
+            upper(vec![(1, 0)], 2, 0),
+            BoundConstraint {
+                expr: vec![(Rat::ONE, 0)],
+                bound: DeltaRat::plus_eps(Rat::int(2)),
+                kind: BoundKind::Lower,
+                id: 1,
+            },
+        ]);
+        assert!(matches!(r, SimplexResult::Infeasible(_)));
+        assert!(s.stats().exact_fallbacks > 0);
+    }
+
+    #[test]
+    fn overflow_degrades_to_error_and_poisons() {
+        // Clamping both variables to near-i128::MAX makes the slack
+        // recomputation overflow. The checked path reports it; the
+        // tableau then refuses further work instead of computing on a
+        // half-updated basis.
+        let huge = i128::MAX - 1;
+        let bounds = vec![
+            upper(vec![(1, 0), (1, 1)], 0, 0),
+            lower(vec![(1, 0)], huge, 1),
+            lower(vec![(1, 1)], huge, 2),
+        ];
+        let mut s = Simplex::new();
+        assert_eq!(s.try_assert_and_solve(&bounds), Err(RatOverflow));
+        assert_eq!(s.try_assert_and_solve(&[]), Err(RatOverflow));
+        // A pre-error clone is unaffected.
+        let mut fresh = Simplex::new();
+        assert!(fresh
+            .try_assert_and_solve(&[lower(vec![(1, 0)], 1, 0)])
+            .is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "rational arithmetic overflow")]
+    fn overflow_panics_via_legacy_entry_point() {
+        let huge = i128::MAX - 1;
+        let mut s = Simplex::new();
+        s.assert_and_solve(&[
+            upper(vec![(1, 0), (1, 1)], 0, 0),
+            lower(vec![(1, 0)], huge, 1),
+            lower(vec![(1, 1)], huge, 2),
+        ]);
+    }
+
+    #[test]
+    fn warm_restart_reuses_arena_rows() {
+        // Re-solving shifted bound sets on one tableau must keep
+        // verdicts correct while pivots recycle row buffers (smoke: the
+        // second call is where releases from the first get reused).
+        let mut s = Simplex::new();
+        for shift in 0..6i128 {
+            // The slack starts below its lower bound, so every call
+            // pivots it against a variable column.
+            let r = s.check_assignment(&[
+                lower(vec![(1, 0), (1, 1)], 5 + shift, 0),
+                upper(vec![(1, 0)], 3 + shift, 1),
+                upper(vec![(1, 1)], 3, 2),
+            ]);
+            assert!(matches!(r, SimplexResult::Feasible(_)), "shift {shift}");
+        }
+        assert!(s.stats().pivots > 0);
     }
 }

@@ -3,7 +3,9 @@ use std::collections::HashMap;
 use crate::ast::{Atom, BoolVar, Formula, LinExpr, RealVar, Rel};
 use crate::cnf::{strip_expr, Encoder};
 use crate::sat::{Lit, SatStats, SatVerdict, Theory, TheoryResult, TheoryView};
-use crate::simplex::{BoundConstraint, BoundKind, DeltaRat, Simplex, SimplexResult};
+use crate::simplex::{
+    BoundConstraint, BoundKind, DeltaRat, NumericMode, Simplex, SimplexResult, SimplexStats,
+};
 use crate::Rat;
 
 /// A satisfying assignment.
@@ -128,6 +130,28 @@ impl Solver {
         self.enc.sat.live_learnts()
     }
 
+    /// Cumulative simplex pivot counters (total pivots, float-first
+    /// pivots, exact fallbacks). Like [`Solver::sat_stats`] they measure
+    /// work done and survive [`Solver::pop`].
+    pub fn simplex_stats(&self) -> SimplexStats {
+        self.simplex.stats()
+    }
+
+    /// Selects the simplex numeric pipeline (see
+    /// [`crate::simplex::NumericMode`]): the certified float fast path
+    /// (default) or the forced-exact reference path. Both produce
+    /// bit-for-bit identical verdicts and models; the knob exists so the
+    /// reference path stays runnable end to end. Survives
+    /// [`Solver::push`]/[`Solver::pop`].
+    pub fn set_numeric_mode(&mut self, mode: NumericMode) {
+        self.simplex.set_numeric_mode(mode);
+    }
+
+    /// The currently selected simplex numeric pipeline.
+    pub fn numeric_mode(&self) -> NumericMode {
+        self.simplex.numeric_mode()
+    }
+
     /// Opt-in cross-frame learnt retention (see
     /// [`crate::sat::SatSolver::set_carry_learnts`]): [`Solver::pop`]
     /// then keeps learnt clauses whose derivation does not depend on the
@@ -161,7 +185,14 @@ impl Solver {
         let f = self.frames.pop().expect("pop without matching push");
         self.n_reals = f.n_reals;
         self.n_bools = f.n_bools;
+        // The checkpointed tableau replaces the live one, but the pivot
+        // counters measure effort (not state) and the numeric mode is a
+        // user knob — both survive the restore.
+        let stats = self.simplex.stats();
+        let mode = self.simplex.numeric_mode();
         self.simplex = f.simplex;
+        self.simplex.set_stats(stats);
+        self.simplex.set_numeric_mode(mode);
         self.enc.pop();
     }
 
@@ -635,6 +666,41 @@ mod tests {
         // Without the guard the bound is not enforced.
         let m = s.check().expect("sat");
         assert!(m.real(x) >= -1e-9);
+    }
+
+    #[test]
+    fn numeric_modes_agree_and_mode_survives_pop() {
+        // The float fast path must reproduce the exact path bit for bit:
+        // same models, same pivot counts; and the mode knob plus the
+        // effort counters survive a push/pop round-trip.
+        let mut fast = Solver::new();
+        let mut exact = Solver::new();
+        exact.set_numeric_mode(NumericMode::ExactOnly);
+        for s in [&mut fast, &mut exact] {
+            let x = s.new_real();
+            let y = s.new_real();
+            s.assert_formula(LinExpr::var(x).plus(&LinExpr::var(y)).ge(5));
+            s.assert_formula(LinExpr::var(x).le(3));
+            s.assert_formula(LinExpr::var(y).le(3));
+        }
+        let mf = fast.check().expect("sat");
+        let me = exact.check().expect("sat");
+        assert_eq!(mf.real_exact(RealVar(0)), me.real_exact(RealVar(0)));
+        assert_eq!(mf.real_exact(RealVar(1)), me.real_exact(RealVar(1)));
+        let (sf, se) = (fast.simplex_stats(), exact.simplex_stats());
+        assert_eq!(sf.pivots, se.pivots, "modes must pivot identically");
+        assert!(sf.pivots > 0, "instance must exercise pivoting");
+        assert_eq!(sf.float_pivots, sf.pivots);
+        assert_eq!(se.float_pivots, 0);
+
+        let before = exact.simplex_stats();
+        exact.push();
+        let x = RealVar(0);
+        exact.assert_formula(LinExpr::var(x).ge(1));
+        exact.check().expect("sat");
+        exact.pop();
+        assert_eq!(exact.numeric_mode(), NumericMode::ExactOnly);
+        assert!(exact.simplex_stats().pivots >= before.pivots);
     }
 
     #[test]

@@ -5,7 +5,7 @@ use proptest::prelude::*;
 
 use shatter_smt::ast::{Formula, LinExpr};
 use shatter_smt::sat::{Lit, SatSolver, SatVerdict};
-use shatter_smt::{Rat, Solver};
+use shatter_smt::{NumericMode, Rat, Solver};
 
 // ---------- SAT layer -----------------------------------------------------
 
@@ -254,5 +254,89 @@ proptest! {
         s.assert_formula(LinExpr::var(x).le(100));
         let m = s.check().expect("always satisfiable");
         prop_assert!(m.real(x) >= forced_min as f64 - 1e-9);
+    }
+}
+
+// ---------- Numeric-mode equivalence ---------------------------------------
+
+proptest! {
+    /// The certified float fast path must reproduce the forced-exact
+    /// reference bit for bit: same verdicts, same exact models, same
+    /// objective bits, same pivot counts — across random guarded-bound
+    /// instances with an OMT maximize on top.
+    #[test]
+    fn numeric_modes_agree_byte_for_byte(
+        caps in prop::collection::vec((1i64..20, any::<bool>()), 1..6),
+    ) {
+        let run = |mode: NumericMode| {
+            let mut s = Solver::new();
+            s.set_numeric_mode(mode);
+            let mut obj = LinExpr::constant(0);
+            let mut vars = Vec::new();
+            for &(c, guarded) in &caps {
+                let x = s.new_real();
+                s.assert_formula(LinExpr::var(x).ge(0));
+                if guarded {
+                    // p -> x <= c, and ¬p forces the tighter cap c/2.
+                    let p = s.new_bool();
+                    s.assert_formula(Formula::implies(
+                        Formula::Bool(p),
+                        LinExpr::var(x).le(c),
+                    ));
+                    s.assert_formula(Formula::or([
+                        Formula::Bool(p),
+                        LinExpr::var(x).le(c / 2),
+                    ]));
+                } else {
+                    s.assert_formula(LinExpr::var(x).le(c));
+                }
+                obj = obj.plus(&LinExpr::var(x));
+                vars.push(x);
+            }
+            let hi = caps.iter().map(|&(c, _)| c).sum::<i64>() as f64 + 5.0;
+            let best = s.maximize(&obj, 0.0, hi, 1e-3).map(|(v, m)| {
+                (
+                    v.to_bits(),
+                    vars.iter().map(|&x| m.real_exact(x)).collect::<Vec<Rat>>(),
+                )
+            });
+            (best, s.simplex_stats())
+        };
+        let (fast, fstats) = run(NumericMode::FloatFirst);
+        let (exact, estats) = run(NumericMode::ExactOnly);
+        prop_assert_eq!(fast, exact, "modes diverged on objective or model");
+        prop_assert_eq!(fstats.pivots, estats.pivots, "pivot sequences diverged");
+        prop_assert_eq!(estats.float_pivots, 0);
+        prop_assert_eq!(fstats.float_pivots, fstats.pivots);
+    }
+
+    /// Near-tie regime: bound pairs differing by ~1e-15 land inside the
+    /// float comparison margin, so the fast path must take the exact
+    /// fallback — and still agree with the forced-exact verdict and the
+    /// hand-computed feasibility.
+    #[test]
+    fn near_tie_regime_falls_back_to_exact(
+        a in -1000i64..1000,
+        delta in -2i64..3i64,
+        k in 1i64..4,
+    ) {
+        const D: i128 = 1_000_000_000_000_000;
+        let run = |mode: NumericMode| {
+            let mut s = Solver::new();
+            s.set_numeric_mode(mode);
+            let x = s.new_real();
+            // a/(kD) <= x <= (a+delta)/(kD): feasible iff delta >= 0,
+            // decided by comparisons ~1e-15 apart — far inside the
+            // ~1e-12 float margin.
+            s.assert_formula(LinExpr::var(x).ge(Rat::new(a as i128, k as i128 * D)));
+            s.assert_formula(LinExpr::var(x).le(Rat::new((a + delta) as i128, k as i128 * D)));
+            (s.check().map(|m| m.real_exact(x)), s.simplex_stats())
+        };
+        let (fast, fstats) = run(NumericMode::FloatFirst);
+        let (exact, estats) = run(NumericMode::ExactOnly);
+        prop_assert_eq!(&fast, &exact, "modes diverged");
+        prop_assert_eq!(fast.is_some(), delta >= 0);
+        prop_assert_eq!(fstats.pivots, estats.pivots);
+        prop_assert!(fstats.exact_fallbacks > 0, "near-tie comparison must fall back");
     }
 }
