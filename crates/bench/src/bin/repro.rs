@@ -7,17 +7,28 @@
 //! repro [--list] [--only ID[,ID...]] [--threads N] [--serial]
 //!       [--days N] [--span N] [--seed N]
 //!       [--json] [--no-text] [--out DIR] [--no-csv]
-//!       [--baseline PATH] [--gate-against PATH] [exhibit...]
+//!       [--baseline PATH] [--gate-against PATH]
+//!       [--inject PLAN] [--budget SPEC] [--keep-going] [--fail-fast]
+//!       [exhibit...]
 //! repro                 # full suite, parallel, text + CSV
 //! repro --only tab5,fig10 --threads 4 --json
 //! repro --baseline BENCH_engine.json --days 6 --span 20
 //! repro --baseline ci.json --gate-against BENCH_engine.json  # perf gate
+//! repro --inject 'fig3/scenario.run/panic' fig3 tab5         # chaos run
 //! ```
 //!
 //! Setting `SHATTER_EXACT_SIMPLEX=1` (or `true`) runs every SMT window
 //! through the forced-exact rational simplex instead of the certified
 //! float fast path — schedules and exhibit verdicts are byte-identical
 //! either way; only the `float_piv`/`fb` effort columns change.
+//!
+//! Dependability: a panicking scenario is isolated to a `FAILED` row and
+//! the rest of the suite still runs (`--fail-fast` stops instead); the
+//! exit code is 1 when any scenario failed. `--inject` installs a
+//! deterministic fault plan (`SHATTER_FAULTS` syntax:
+//! `scenario/site/kind[@hit]`, comma-separated) and `--budget` caps
+//! solver effort per SMT window (`SHATTER_BUDGET` syntax:
+//! `conflicts=N,pivots=N,probes=N`) with anytime degradation.
 
 use std::path::PathBuf;
 
@@ -27,6 +38,7 @@ use shatter_engine::runner::run_scenarios;
 use shatter_engine::{
     CsvReporter, FixtureCache, JsonLinesReporter, Reporter, RunConfig, RunParams, TextReporter,
 };
+use shatter_smt::Budget;
 
 struct Options {
     list: bool,
@@ -41,6 +53,9 @@ struct Options {
     out: PathBuf,
     baseline: Option<PathBuf>,
     gate_against: Option<PathBuf>,
+    inject: Option<String>,
+    budget: Option<String>,
+    fail_fast: bool,
 }
 
 /// Fraction by which the measured serial suite wall-clock may exceed the
@@ -65,7 +80,10 @@ fn die(msg: &str) -> ! {
     std::process::exit(2);
 }
 
-fn parse_args(known_ids: &[String]) -> Options {
+/// Parses the command line, collecting *every* problem instead of dying
+/// on the first: a caller with several typos sees them all in one round
+/// trip before the nonzero usage exit.
+fn parse_args(known_ids: &[String]) -> Result<Options, Vec<String>> {
     let mut opts = Options {
         list: false,
         wanted: Vec::new(),
@@ -79,52 +97,93 @@ fn parse_args(known_ids: &[String]) -> Options {
         out: PathBuf::from("results"),
         baseline: None,
         gate_against: None,
+        inject: None,
+        budget: None,
+        fail_fast: false,
     };
+    let mut errors: Vec<String> = Vec::new();
+    fn next_num(
+        args: &mut dyn Iterator<Item = String>,
+        what: &str,
+        errors: &mut Vec<String>,
+    ) -> usize {
+        args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+            errors.push(format!("{what} needs a number"));
+            0
+        })
+    }
+    fn next_value(
+        args: &mut dyn Iterator<Item = String>,
+        what: &str,
+        needs: &str,
+        errors: &mut Vec<String>,
+    ) -> Option<String> {
+        let v = args.next();
+        if v.is_none() {
+            errors.push(format!("{what} needs {needs}"));
+        }
+        v
+    }
     let mut args = std::env::args().skip(1);
-    let next_num = |args: &mut dyn Iterator<Item = String>, what: &str| -> usize {
-        args.next()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or_else(|| die(&format!("{what} needs a number")))
-    };
     while let Some(a) = args.next() {
         match a.as_str() {
             "--list" => opts.list = true,
             "--only" => {
-                let ids = args.next().unwrap_or_else(|| die("--only needs ids"));
-                opts.wanted
-                    .extend(ids.split(',').map(|s| s.trim().to_string()));
+                if let Some(ids) = next_value(&mut args, "--only", "ids", &mut errors) {
+                    opts.wanted
+                        .extend(ids.split(',').map(|s| s.trim().to_string()));
+                }
             }
-            "--threads" => opts.threads = next_num(&mut args, "--threads"),
+            "--threads" => opts.threads = next_num(&mut args, "--threads", &mut errors),
             "--serial" => opts.threads = 1,
-            "--days" => opts.days = next_num(&mut args, "--days"),
-            "--span" => opts.span = next_num(&mut args, "--span"),
+            "--days" => opts.days = next_num(&mut args, "--days", &mut errors),
+            "--span" => opts.span = next_num(&mut args, "--span", &mut errors),
             // --seed offsets every dataset seed (XORed into the canonical
             // per-house seeds), regenerating the synthetic months.
-            "--seed" => opts.seed = next_num(&mut args, "--seed") as u64,
+            "--seed" => opts.seed = next_num(&mut args, "--seed", &mut errors) as u64,
             "--json" => opts.json = true,
             "--no-text" => opts.text = false,
             "--no-csv" => opts.csv = false,
             "--out" => {
-                opts.out = PathBuf::from(args.next().unwrap_or_else(|| die("--out needs a path")));
+                if let Some(p) = next_value(&mut args, "--out", "a path", &mut errors) {
+                    opts.out = PathBuf::from(p);
+                }
             }
             "--baseline" => {
-                opts.baseline = Some(PathBuf::from(
-                    args.next()
-                        .unwrap_or_else(|| die("--baseline needs a path")),
-                ));
+                opts.baseline =
+                    next_value(&mut args, "--baseline", "a path", &mut errors).map(PathBuf::from);
             }
             "--gate-against" => {
-                opts.gate_against = Some(PathBuf::from(
-                    args.next()
-                        .unwrap_or_else(|| die("--gate-against needs a path")),
-                ));
+                opts.gate_against = next_value(&mut args, "--gate-against", "a path", &mut errors)
+                    .map(PathBuf::from);
             }
+            "--inject" => {
+                if let Some(plan) = next_value(&mut args, "--inject", "a fault plan", &mut errors) {
+                    if let Err(e) = shatter_faults::parse_plan(&plan) {
+                        errors.push(format!("--inject: {e}"));
+                    }
+                    opts.inject = Some(plan);
+                }
+            }
+            "--budget" => {
+                if let Some(spec) = next_value(&mut args, "--budget", "a budget spec", &mut errors)
+                {
+                    if let Err(e) = Budget::parse(&spec) {
+                        errors.push(format!("--budget: {e}"));
+                    }
+                    opts.budget = Some(spec);
+                }
+            }
+            "--keep-going" => opts.fail_fast = false,
+            "--fail-fast" => opts.fail_fast = true,
             "all" => opts.wanted.extend(known_ids.iter().cloned()),
             "--help" | "-h" => {
                 println!(
                     "usage: repro [--list] [--only ID[,ID...]] [--threads N] [--serial]\n\
                      \x20            [--days N] [--span N] [--seed N] [--json] [--no-text]\n\
-                     \x20            [--out DIR] [--no-csv] [--baseline PATH] [exhibit...]"
+                     \x20            [--out DIR] [--no-csv] [--baseline PATH]\n\
+                     \x20            [--inject PLAN] [--budget SPEC] [--keep-going] [--fail-fast]\n\
+                     \x20            [exhibit...]"
                 );
                 println!("exhibits: {}", known_ids.join(" "));
                 std::process::exit(0);
@@ -132,16 +191,38 @@ fn parse_args(known_ids: &[String]) -> Options {
             other if known_ids.iter().any(|id| id == other) => {
                 opts.wanted.push(other.to_string());
             }
-            other => die(&format!("unknown argument {other:?} (try --help)")),
+            other => errors.push(format!("unknown argument {other:?} (try --help)")),
         }
     }
-    opts
+    if errors.is_empty() {
+        Ok(opts)
+    } else {
+        Err(errors)
+    }
 }
 
 fn main() {
     let registry = builtin_registry();
     let ids = registry.ids();
-    let opts = parse_args(&ids);
+    let opts = match parse_args(&ids) {
+        Ok(opts) => opts,
+        Err(errors) => {
+            for e in &errors {
+                eprintln!("repro: {e}");
+            }
+            std::process::exit(2);
+        }
+    };
+
+    if let Some(plan) = &opts.inject {
+        // Validated during parsing; installing can only re-succeed.
+        shatter_faults::install_str(plan).unwrap_or_else(|e| die(&format!("--inject: {e}")));
+    }
+    if let Some(spec) = &opts.budget {
+        // SmtScheduler::default reads SHATTER_BUDGET, so exporting the
+        // (already-validated) spec reaches every window the run solves.
+        std::env::set_var("SHATTER_BUDGET", spec);
+    }
 
     if opts.list {
         println!("{:<12} {:<38} description", "id", "title");
@@ -154,9 +235,13 @@ fn main() {
     let scenarios = if opts.wanted.is_empty() {
         registry.all()
     } else {
-        registry
-            .select(&opts.wanted)
-            .unwrap_or_else(|bad| die(&format!("unknown exhibit {bad:?} (try --list)")))
+        registry.select(&opts.wanted).unwrap_or_else(|bad| {
+            for id in &bad {
+                eprintln!("repro: unknown exhibit {id:?}");
+            }
+            eprintln!("repro: known exhibits: {} (try --list)", ids.join(" "));
+            std::process::exit(2);
+        })
     };
 
     let cfg = RunConfig {
@@ -166,6 +251,7 @@ fn main() {
             span: opts.span,
             base_seed: opts.seed,
         },
+        fail_fast: opts.fail_fast,
     };
 
     if let Some(path) = &opts.baseline {
@@ -247,5 +333,17 @@ fn main() {
         if let Err(e) = r.finish(&outcome) {
             die(&format!("reporter error: {e}"));
         }
+    }
+
+    // A failed scenario never aborts the suite (unless --fail-fast), but
+    // it must fail the invocation.
+    if outcome.any_failed() {
+        let failed: Vec<&str> = outcome.failures().iter().map(|r| r.id.as_str()).collect();
+        eprintln!(
+            "repro: {} scenario(s) FAILED: {}",
+            failed.len(),
+            failed.join(" ")
+        );
+        std::process::exit(1);
     }
 }

@@ -750,6 +750,16 @@ pub fn strategies(cx: &ScenarioCtx<'_>) -> Table {
             stats.sat_learnt_live = stats.sat_learnt_live.max(s.sat_learnt_live);
             stats.float_pivots += s.float_pivots;
             stats.exact_fallbacks += s.exact_fallbacks;
+            stats.degraded_windows += s.degraded_windows;
+            stats.retried_windows += s.retried_windows;
+        }
+        // Budget-degraded windows surface on the run status, not as a
+        // table column — clean-run tables stay byte-identical.
+        if stats.degraded_windows > 0 {
+            cx.health.note_degraded(format!(
+                "strategies/{}: {} budget-degraded SMT window(s)",
+                entry.key, stats.degraded_windows
+            ));
         }
         let sched = AttackSchedule::from_zone_rows(zones, &table);
         let stealthy = sched.validate(&adm, &cap, day).is_ok();
@@ -1083,6 +1093,12 @@ pub fn fig11(cx: &ScenarioCtx<'_>) -> Table {
             );
             let elapsed = start.elapsed();
             let per_window_us = elapsed.as_micros() as f64 / stats.windows.max(1) as f64;
+            if stats.degraded_windows > 0 {
+                cx.health.note_degraded(format!(
+                    "fig11 horizon={horizon} house {}: {} budget-degraded SMT window(s)",
+                    kind.short, stats.degraded_windows
+                ));
+            }
             vec![
                 "horizon".into(),
                 horizon.to_string(),
@@ -1130,6 +1146,12 @@ pub fn fig11(cx: &ScenarioCtx<'_>) -> Table {
             );
             let elapsed = start.elapsed();
             let per_window_us = elapsed.as_micros() as f64 / stats.windows.max(1) as f64;
+            if stats.degraded_windows > 0 {
+                cx.health.note_degraded(format!(
+                    "fig11 zones={n_zones}: {} budget-degraded SMT window(s)",
+                    stats.degraded_windows
+                ));
+            }
             vec![
                 "zones".into(),
                 n_zones.to_string(),

@@ -116,12 +116,17 @@ pub fn run_exhibit(id: &str, days: usize, span: usize) -> Table {
         span,
         ..RunParams::default()
     };
-    let cfg = RunConfig { threads: 1, params };
+    let cfg = RunConfig {
+        threads: 1,
+        params,
+        fail_fast: false,
+    };
     let cx = ScenarioCtx {
         cache: &cache,
         params: cfg.params,
         seed: shatter_engine::scenario::scenario_seed(id, params.base_seed),
         pool: shatter_engine::WorkPool::serial(),
+        health: shatter_engine::HealthSink::new(),
     };
     scenario.run(&cx)
 }

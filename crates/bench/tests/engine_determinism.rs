@@ -14,6 +14,7 @@ fn quick_cfg(threads: usize) -> RunConfig {
             span: 10,
             base_seed: 0,
         },
+        fail_fast: false,
     }
 }
 

@@ -69,5 +69,6 @@ pub use dp::WindowDpScheduler;
 pub use greedy::GreedyScheduler;
 pub use reward::{plausible_activities, RewardTable};
 pub use schedule::{AttackSchedule, ScheduleError, Scheduler, WindowMemo, WindowSolution};
+pub use shatter_smt::Budget;
 pub use smt_sched::{SmtScheduler, SmtStats};
 pub use strategy::{SharedScheduler, StrategyEntry, StrategyRegistry};

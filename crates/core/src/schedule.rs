@@ -263,6 +263,17 @@ pub struct WindowSolution {
     /// Simplex comparisons that landed inside the float error margin and
     /// fell back to exact rational arithmetic during the original solve.
     pub exact_fallbacks: u64,
+    /// The window stopped early — a resource budget ran out (the zones,
+    /// when present, are the best verified so far rather than proven
+    /// optimal) or the tableau degraded and the fallback row was used.
+    pub degraded: bool,
+    /// The window was re-solved on the forced-exact pipeline after the
+    /// float fast path hit a rational overflow.
+    pub retried: bool,
+    /// A rational overflow poisoned the window's tableau. Transient
+    /// marker consumed by the scheduler's exact-retry logic; a memoized
+    /// fragment never carries it (retries happen before caching).
+    pub overflow: bool,
 }
 
 /// Memoizes solved schedule fragments (SMT window solutions) across

@@ -3,9 +3,10 @@ use std::sync::Arc;
 
 use shatter_adm::{HullAdm, StayProfile};
 use shatter_dataset::DayTrace;
+use shatter_faults::FaultKind;
 use shatter_smarthome::{Minute, OccupantId, ZoneId, MINUTES_PER_DAY};
 use shatter_smt::ast::{BoolVar, Formula, LinExpr, RealVar};
-use shatter_smt::{NumericMode, Rat, Solver};
+use shatter_smt::{Budget, HaltCause, NumericMode, OmtOutcome, Rat, Solver};
 
 use crate::schedule::{Scheduler, WindowMemo, WindowSolution};
 use crate::{AttackerCapability, RewardTable};
@@ -84,6 +85,18 @@ pub struct SmtScheduler {
     /// `true`), which is how `repro` exposes it. Window memo keys carry
     /// the mode, so replayed effort counters always match it.
     pub force_exact: bool,
+    /// Per-window resource budget in deterministic effort units
+    /// (conflicts / pivots / OMT probes — never wall time). Re-installed
+    /// at the start of every window solve, so each window gets the same
+    /// allowance regardless of what earlier windows consumed. A window
+    /// that exhausts its budget degrades — it commits the best schedule
+    /// verified so far, or falls back to mirroring actual behaviour —
+    /// and is counted in [`SmtStats::degraded_windows`]; it never hangs
+    /// or panics. The default honours the `SHATTER_BUDGET` environment
+    /// variable (`conflicts=N,pivots=N,probes=N`), which is how `repro
+    /// --budget` exposes it. Budgeted runs key their window-memo entries
+    /// separately from unbudgeted ones.
+    pub budget: Option<Budget>,
 }
 
 impl Default for SmtScheduler {
@@ -94,6 +107,7 @@ impl Default for SmtScheduler {
             reuse_solver: true,
             carry_learnts: false,
             force_exact: exact_simplex_env(),
+            budget: budget_env(),
         }
     }
 }
@@ -104,6 +118,20 @@ fn exact_simplex_env() -> bool {
     std::env::var("SHATTER_EXACT_SIMPLEX")
         .map(|v| v == "1" || v.eq_ignore_ascii_case("true"))
         .unwrap_or(false)
+}
+
+/// Per-window budget from the `SHATTER_BUDGET` environment variable
+/// (`conflicts=N,pivots=N,probes=N`), `None` when unset or empty.
+///
+/// # Panics
+///
+/// Panics on a malformed spec — a silently ignored budget would report
+/// optimal-looking results that were never bounded.
+fn budget_env() -> Option<Budget> {
+    let spec = std::env::var("SHATTER_BUDGET").ok()?;
+    let budget =
+        Budget::parse(&spec).unwrap_or_else(|e| panic!("invalid SHATTER_BUDGET {spec:?}: {e}"));
+    (!budget.is_unlimited()).then_some(budget)
 }
 
 /// Statistics of one full-schedule synthesis, for the scalability study.
@@ -138,10 +166,18 @@ pub struct SmtStats {
     /// Simplex comparisons that fell back to exact rational arithmetic
     /// (inside the float error margin, or at a certification point).
     pub exact_fallbacks: u64,
+    /// Windows that stopped early on budget exhaustion or numeric
+    /// degradation and committed a best-so-far (or fallback) row.
+    pub degraded_windows: u64,
+    /// Windows re-solved on the forced-exact pipeline after the float
+    /// fast path overflowed.
+    pub retried_windows: u64,
 }
 
 impl SmtStats {
     fn absorb_window(&mut self, w: &WindowSolution) {
+        self.degraded_windows += u64::from(w.degraded);
+        self.retried_windows += u64::from(w.retried);
         self.theory_conflicts += w.theory_conflicts;
         self.sat_decisions += w.sat_decisions;
         self.sat_propagations += w.sat_propagations;
@@ -183,6 +219,8 @@ struct WindowProblem<'a> {
     boundary: Option<(ZoneId, u32)>,
     day_end: usize,
     tol_microusd: f64,
+    /// Per-window resource budget, re-installed before the OMT search.
+    budget: Option<Budget>,
     in_range: &'a dyn Fn(ZoneId, u32, u32) -> bool,
     can_extend: &'a dyn Fn(ZoneId, u32, u32) -> bool,
     has_future: &'a dyn Fn(ZoneId, usize) -> bool,
@@ -217,6 +255,27 @@ impl WindowEncoder {
     /// template. Solver effort (theory conflicts + SAT counters) goes
     /// into the returned [`WindowSolution`] so memo hits can replay it.
     fn solve_window(&mut self, p: &WindowProblem<'_>) -> WindowSolution {
+        // Fault-injection site "smt.window": fires before any solver
+        // state is touched, so an injected halt degrades this window
+        // exactly like a real one and leaves the encoder reusable.
+        if let Some(kind) = shatter_faults::hit("smt.window") {
+            match kind {
+                FaultKind::Panic => shatter_faults::panic_now("smt.window"),
+                FaultKind::Overflow => {
+                    return WindowSolution {
+                        degraded: true,
+                        overflow: true,
+                        ..WindowSolution::default()
+                    }
+                }
+                FaultKind::Budget => {
+                    return WindowSolution {
+                        degraded: true,
+                        ..WindowSolution::default()
+                    }
+                }
+            }
+        }
         let n_zones = p.table.n_zones();
         debug_assert_eq!(self.x.len(), p.horizon, "encoder span mismatch");
         let conflicts_before = self.solver.theory_conflicts;
@@ -332,20 +391,37 @@ impl WindowEncoder {
             objective = objective.plus(&LinExpr::var(y));
         }
 
-        let zones = self
-            .solver
-            .maximize(&objective, 0.0, hi, p.tol_microusd)
-            .map(|(_, model)| {
-                let mut out = Vec::with_capacity(p.horizon);
-                for t in w..w + p.horizon {
-                    let z = (0..n_zones)
-                        .find(|&z| model.bool(x[t - w][z]))
-                        .expect("exactly-one guarantees a zone");
-                    out.push(ZoneId(z));
+        // Fresh per-window allowance: the caps are absolute ceilings of
+        // "cumulative counter now + max", so a reused solver never bills
+        // this window for effort earlier windows spent.
+        if let Some(budget) = p.budget {
+            self.solver.set_budget(budget);
+        }
+        let (model, degraded, overflow) =
+            match self
+                .solver
+                .maximize_budgeted(&objective, 0.0, hi, p.tol_microusd)
+            {
+                OmtOutcome::Optimal { model, .. } => (Some(model), false, false),
+                OmtOutcome::Degraded { model, cause, .. } => {
+                    (Some(model), true, cause == HaltCause::Overflow)
                 }
-                out
-            });
+                OmtOutcome::Unsat => (None, false, false),
+                OmtOutcome::Halted(cause) => (None, true, cause == HaltCause::Overflow),
+            };
+        let zones = model.map(|model| {
+            let mut out = Vec::with_capacity(p.horizon);
+            for t in w..w + p.horizon {
+                let z = (0..n_zones)
+                    .find(|&z| model.bool(x[t - w][z]))
+                    .expect("exactly-one guarantees a zone");
+                out.push(ZoneId(z));
+            }
+            out
+        });
         let live = self.solver.live_learnts() as u64;
+        // The pop restores the checkpointed template state — including a
+        // clean tableau after an overflow poisoned this window's.
         self.solver.pop();
 
         let sat = self.solver.sat_stats().since(sat_before);
@@ -362,8 +438,27 @@ impl WindowEncoder {
             sat_learnt_live: live,
             float_pivots: spx.float_pivots,
             exact_fallbacks: spx.exact_fallbacks,
+            degraded,
+            retried: false,
+            overflow,
         }
     }
+}
+
+/// Folds the effort counters of a failed (overflowed) window attempt
+/// into its exact retry's solution, so retried windows report the full
+/// cost of both passes.
+fn merge_effort(into: &mut WindowSolution, failed: &WindowSolution) {
+    into.theory_conflicts += failed.theory_conflicts;
+    into.sat_decisions += failed.sat_decisions;
+    into.sat_propagations += failed.sat_propagations;
+    into.sat_learned += failed.sat_learned;
+    into.sat_restarts += failed.sat_restarts;
+    into.sat_gc_clauses += failed.sat_gc_clauses;
+    into.sat_carried += failed.sat_carried;
+    into.sat_learnt_live = into.sat_learnt_live.max(failed.sat_learnt_live);
+    into.float_pivots += failed.float_pivots;
+    into.exact_fallbacks += failed.exact_fallbacks;
 }
 
 impl SmtScheduler {
@@ -439,6 +534,20 @@ impl SmtScheduler {
         let has_future = |z: ZoneId, t: usize| -> bool { profiles[z.index()].has_future(t) };
 
         let n_zones = table.n_zones();
+        // Budgeted runs may commit different (best-so-far) rows, so their
+        // fragments must never alias the unbudgeted cache entries.
+        let budget_key = match self.budget {
+            Some(b) if !b.is_unlimited() => {
+                let f = |o: Option<u64>| o.map_or_else(|| "-".to_string(), |n| n.to_string());
+                format!(
+                    "/bu{}:{}:{}",
+                    f(b.max_conflicts),
+                    f(b.max_pivots),
+                    f(b.max_probes)
+                )
+            }
+            _ => String::new(),
+        };
         let mut stats = SmtStats::default();
         let mut zones: Vec<ZoneId> = Vec::with_capacity(until);
         // Boundary stay carried between windows: None before the first slot.
@@ -475,14 +584,41 @@ impl SmtScheduler {
                 boundary,
                 day_end: until,
                 tol_microusd: self.tol_microusd,
+                budget: self.budget.filter(|b| !b.is_unlimited()),
                 in_range: &in_range,
                 can_extend: &can_extend,
                 has_future: &has_future,
+            };
+            // One window solve with the overflow-retry policy: when the
+            // float fast path overflows (poisoning its tableau), the
+            // window is retried once on a fresh forced-exact encoder
+            // before the fallback row is accepted. The transient
+            // `overflow` marker is consumed here — cached fragments
+            // never carry it.
+            let run = |encoder: &mut WindowEncoder| -> WindowSolution {
+                let mut sol = encoder.solve_window(&problem);
+                if sol.overflow && !self.force_exact {
+                    let mut exact = WindowEncoder::new(horizon, n_zones, self.carry_learnts, true);
+                    let mut retry = exact.solve_window(&problem);
+                    retry.retried = true;
+                    merge_effort(&mut retry, &sol);
+                    sol = retry;
+                }
+                sol.overflow = false;
+                sol
             };
             // In carry mode a window's solution depends on the lemmas
             // carried in from earlier windows, so it is not a pure
             // function of the window key: skip the memo entirely.
             let memo = if self.carry_learnts { None } else { memo };
+            // Fault-targeted scenarios bypass the shared memo outright:
+            // injected degradations must neither pollute the cache nor
+            // replay fragments a clean scenario stored.
+            let memo = if shatter_faults::scenario_armed() {
+                None
+            } else {
+                memo
+            };
             let solution = match memo {
                 Some((m, prefix)) => {
                     // `until` only reaches the solver through the
@@ -496,14 +632,14 @@ impl SmtScheduler {
                     let ex = if self.force_exact { "/ex" } else { "" };
                     let key = match boundary {
                         Some((bz, ba)) => format!(
-                            "{prefix}/o{}/w{w}+{horizon}/b{}:{ba}/c{:016x}/f{is_final}/tol{}{ex}",
+                            "{prefix}/o{}/w{w}+{horizon}/b{}:{ba}/c{:016x}/f{is_final}/tol{}{ex}{budget_key}",
                             o.index(),
                             bz.index(),
                             cap.signature(),
                             self.tol_microusd,
                         ),
                         None => format!(
-                            "{prefix}/o{}/w{w}+{horizon}/b-/c{:016x}/f{is_final}/tol{}{ex}",
+                            "{prefix}/o{}/w{w}+{horizon}/b-/c{:016x}/f{is_final}/tol{}{ex}{budget_key}",
                             o.index(),
                             cap.signature(),
                             self.tol_microusd,
@@ -512,9 +648,9 @@ impl SmtScheduler {
                     // The fragment stores the solver effort alongside the
                     // zones: a cache hit replays the original counters
                     // instead of reporting zero.
-                    m.window(&key, &mut || encoder.solve_window(&problem))
+                    m.window(&key, &mut || run(&mut *encoder))
                 }
-                None => encoder.solve_window(&problem),
+                None => run(encoder),
             };
             stats.absorb_window(&solution);
             match solution.zones {
@@ -667,6 +803,107 @@ mod tests {
                 s = t;
             }
         }
+    }
+
+    #[test]
+    fn injected_pivot_overflow_degrades_never_panics_in_both_modes() {
+        // Satellite: a forced mid-pivot overflow inside a scheduled
+        // window must degrade (exact retry on the float path, fallback
+        // row on the forced-exact path) — never panic — in both numeric
+        // modes.
+        let (ds, adm, table, cap) = setup();
+        let day = &ds.days[10];
+        for force_exact in [false, true] {
+            let scope = if force_exact {
+                "smt-overflow-exact"
+            } else {
+                "smt-overflow-float"
+            };
+            shatter_faults::install(vec![shatter_faults::FaultSpec {
+                scenario: scope.to_string(),
+                site: "simplex.pivot".to_string(),
+                kind: FaultKind::Overflow,
+                hit: 0,
+            }]);
+            let sched = SmtScheduler {
+                force_exact,
+                budget: None,
+                ..SmtScheduler::default()
+            };
+            let (row, stats) = shatter_faults::with_scenario(scope, || {
+                sched.schedule_occupant(OccupantId(0), &table, &adm, &cap, day, 60)
+            });
+            assert_eq!(row.len(), 60);
+            if force_exact {
+                // No cheaper pipeline left to retry with: the poisoned
+                // window falls back to mirroring actual behaviour.
+                assert!(stats.degraded_windows >= 1, "exact path must degrade");
+                assert!(stats.fallbacks >= 1);
+            } else {
+                // The float path retries the poisoned window on a fresh
+                // forced-exact encoder; the one-shot fault has already
+                // fired, so the retry completes the window.
+                assert!(stats.retried_windows >= 1, "float path must retry");
+            }
+        }
+    }
+
+    #[test]
+    fn exhausted_budget_degrades_to_fallback_rows() {
+        // A zero budget halts every window before its base model: each
+        // one degrades to mirroring actual behaviour — deterministic,
+        // no hang, no panic.
+        let (ds, adm, table, cap) = setup();
+        let day = &ds.days[10];
+        let sched = SmtScheduler {
+            budget: Some(Budget {
+                max_conflicts: Some(0),
+                max_pivots: Some(0),
+                max_probes: Some(0),
+            }),
+            ..SmtScheduler::default()
+        };
+        let (row, stats) = sched.schedule_occupant(OccupantId(0), &table, &adm, &cap, day, 60);
+        assert_eq!(row.len(), 60);
+        // Every window either degrades on the exhausted budget or (rarely)
+        // resolves Unsat during constraint assertion, before the budget
+        // gate is ever consulted — a genuine verdict, not a degradation.
+        // Both commit the fallback row.
+        assert!(
+            stats.degraded_windows >= 1,
+            "zero budget must degrade windows"
+        );
+        assert_eq!(stats.fallbacks, stats.windows);
+        for (t, &z) in row.iter().enumerate() {
+            assert_eq!(z, day.minutes[t].occupants[0].zone);
+        }
+    }
+
+    #[test]
+    fn generous_budget_matches_unbudgeted_schedule() {
+        // Budgets are absolute effort ceilings: one the solver never
+        // reaches must leave the schedule byte-identical to the
+        // unbudgeted run.
+        let (ds, adm, table, cap) = setup();
+        let day = &ds.days[10];
+        let free = SmtScheduler {
+            budget: None,
+            ..SmtScheduler::default()
+        };
+        let capped = SmtScheduler {
+            budget: Some(Budget {
+                max_conflicts: Some(10_000_000),
+                max_pivots: Some(100_000_000),
+                max_probes: Some(10_000),
+            }),
+            ..SmtScheduler::default()
+        };
+        let (row_free, _) = free.schedule_occupant(OccupantId(0), &table, &adm, &cap, day, 60);
+        let (row_capped, stats) =
+            capped.schedule_occupant(OccupantId(0), &table, &adm, &cap, day, 60);
+        assert_eq!(row_free, row_capped);
+        assert_eq!(stats.degraded_windows, 0);
+        assert_eq!(stats.retried_windows, 0);
     }
 
     #[test]

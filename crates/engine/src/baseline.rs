@@ -112,6 +112,7 @@ pub fn measure(scenarios: &[Arc<dyn Scenario>], cfg: &RunConfig) -> Baseline {
             &RunConfig {
                 threads: 1,
                 params: cfg.params,
+                fail_fast: cfg.fail_fast,
             },
         );
         serial.push(one.reports.into_iter().next().expect("one report"));

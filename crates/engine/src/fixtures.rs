@@ -175,6 +175,23 @@ pub struct FixtureCache {
 /// Number of lock shards backing [`FixtureCache::memo`].
 const MEMO_SHARDS: usize = 16;
 
+/// Locks a cache map, panicking with the lookup context on poisoning.
+///
+/// Only pure `HashMap` operations run under cache locks (all expensive
+/// computation happens outside them), so a poisoned lock indicates a
+/// panic inside the map machinery itself. If that ever happens, the
+/// panic names the map and the cache key involved, and the runner's
+/// fault isolation turns it into a per-scenario `Failed` report instead
+/// of tearing down the suite.
+fn lock_map<'a, T>(
+    lock: &'a Mutex<T>,
+    map: &str,
+    key: &dyn std::fmt::Debug,
+) -> std::sync::MutexGuard<'a, T> {
+    lock.lock()
+        .unwrap_or_else(|_| panic!("{map} cache lock poisoned at key {key:?}"))
+}
+
 impl Default for FixtureCache {
     fn default() -> FixtureCache {
         FixtureCache {
@@ -232,7 +249,7 @@ impl FixtureCache {
     {
         let shard = self.memo_shard(key);
         if !self.disabled {
-            if let Some(v) = shard.lock().expect("memo cache lock").get(key) {
+            if let Some(v) = lock_map(shard, "memo", &key).get(key) {
                 if let Ok(t) = Arc::clone(v).downcast::<T>() {
                     self.hit();
                     return t;
@@ -242,7 +259,7 @@ impl FixtureCache {
         self.miss();
         let t = Arc::new(compute());
         if !self.disabled {
-            shard.lock().expect("memo cache lock").insert(
+            lock_map(shard, "memo", &key).insert(
                 key.to_string(),
                 Arc::clone(&t) as Arc<dyn Any + Send + Sync>,
             );
@@ -264,7 +281,7 @@ impl FixtureCache {
     pub fn fixture_with_seed(&self, spec: &HouseSpec, days: usize, seed: u64) -> Arc<HouseFixture> {
         let key = DatasetKey::new(spec, days, seed);
         if !self.disabled {
-            if let Some(fx) = self.fixtures.lock().expect("fixture cache lock").get(&key) {
+            if let Some(fx) = lock_map(&self.fixtures, "fixture", &key).get(&key) {
                 self.hit();
                 return Arc::clone(fx);
             }
@@ -275,10 +292,7 @@ impl FixtureCache {
         self.miss();
         let fx = Arc::new(HouseFixture::with_seed(spec, days, seed));
         if !self.disabled {
-            self.fixtures
-                .lock()
-                .expect("fixture cache lock")
-                .insert(key, Arc::clone(&fx));
+            lock_map(&self.fixtures, "fixture", &key).insert(key, Arc::clone(&fx));
         }
         fx
     }
@@ -302,7 +316,7 @@ impl FixtureCache {
     ) -> Arc<Vec<Episode>> {
         let key = DatasetKey::new(spec, days, seed);
         if !self.disabled {
-            if let Some(eps) = self.episodes.lock().expect("episode cache lock").get(&key) {
+            if let Some(eps) = lock_map(&self.episodes, "episode", &key).get(&key) {
                 self.hit();
                 return Arc::clone(eps);
             }
@@ -311,10 +325,7 @@ impl FixtureCache {
         let fx = self.fixture_with_seed(spec, days, seed);
         let eps = Arc::new(extract_episodes(&fx.month));
         if !self.disabled {
-            self.episodes
-                .lock()
-                .expect("episode cache lock")
-                .insert(key, Arc::clone(&eps));
+            lock_map(&self.episodes, "episode", &key).insert(key, Arc::clone(&eps));
         }
         eps
     }
@@ -347,7 +358,7 @@ impl FixtureCache {
             train_days,
         );
         if !self.disabled {
-            if let Some(adm) = self.adms.lock().expect("adm cache lock").get(&key) {
+            if let Some(adm) = lock_map(&self.adms, "adm", &key).get(&key) {
                 self.hit();
                 return Arc::clone(adm);
             }
@@ -356,10 +367,7 @@ impl FixtureCache {
         let fx = self.fixture_with_seed(spec, days, seed);
         let adm = Arc::new(fx.adm(adm_kind, train_days));
         if !self.disabled {
-            self.adms
-                .lock()
-                .expect("adm cache lock")
-                .insert(key, Arc::clone(&adm));
+            lock_map(&self.adms, "adm", &key).insert(key, Arc::clone(&adm));
         }
         adm
     }

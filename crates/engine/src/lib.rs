@@ -48,6 +48,6 @@ pub mod table;
 pub use fixtures::{CacheStats, FixtureCache, HouseFixture, HOUSE_A_SEED, HOUSE_B_SEED};
 pub use pool::WorkPool;
 pub use report::{CsvReporter, JsonLinesReporter, Reporter, TextReporter};
-pub use runner::{RunConfig, RunOutcome, ScenarioReport};
-pub use scenario::{FnScenario, Registry, RunParams, Scenario, ScenarioCtx};
+pub use runner::{RunConfig, RunOutcome, ScenarioReport, ScenarioStatus};
+pub use scenario::{FnScenario, HealthSink, Registry, RunParams, Scenario, ScenarioCtx};
 pub use table::{write_csv, Table};

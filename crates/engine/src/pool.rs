@@ -14,8 +14,23 @@
 //! helpers the budget lends at that moment: output is byte-identical
 //! across `--threads` settings (and across racing sibling scenarios).
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
+
+/// Returns borrowed slots on drop — including during a panic unwind, so
+/// a panicking work item can never leak its helpers out of the budget
+/// (the leak would starve, and eventually deadlock, sibling scenarios).
+struct SlotGuard<'a> {
+    pool: &'a WorkPool,
+    n: usize,
+}
+
+impl Drop for SlotGuard<'_> {
+    fn drop(&mut self) {
+        self.pool.release(self.n);
+    }
+}
 
 /// Shared budget of borrowable helper slots. Cloning is cheap and all
 /// clones draw on the same budget.
@@ -85,6 +100,15 @@ impl WorkPool {
     /// parallel than serial on the 1-CPU container), and the
     /// `inline_and_pooled_par_map_byte_identical` test pins that both
     /// paths produce identical output, so the cutover is free.
+    ///
+    /// # Fault isolation
+    ///
+    /// Every work item runs under `catch_unwind`: a panicking item stops
+    /// further pickup, the borrowed helper slots go back to the budget
+    /// (guard-backed — returned even while the panic unwinds), and the
+    /// *first* panic payload is re-raised on the caller once all workers
+    /// have parked. A panic can therefore never leak slots or strand
+    /// sibling scenarios waiting on the shared budget.
     pub fn par_map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
     where
         T: Sync,
@@ -99,18 +123,37 @@ impl WorkPool {
         if helpers <= 1 {
             return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
         }
+        let guard = SlotGuard {
+            pool: self,
+            n: helpers,
+        };
         let mut slots: Vec<Option<R>> = Vec::new();
         slots.resize_with(n, || None);
+        let panicked: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
         {
             let next = AtomicUsize::new(0);
+            let stop = AtomicBool::new(false);
             let slots_shared = Mutex::new(&mut slots);
             let worker = || loop {
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= n {
                     break;
                 }
-                let r = f(i, &items[i]);
-                slots_shared.lock().expect("par_map result lock")[i] = Some(r);
+                match catch_unwind(AssertUnwindSafe(|| f(i, &items[i]))) {
+                    Ok(r) => {
+                        slots_shared.lock().unwrap_or_else(|e| e.into_inner())[i] = Some(r);
+                    }
+                    Err(payload) => {
+                        stop.store(true, Ordering::Relaxed);
+                        let mut first = panicked.lock().unwrap_or_else(|e| e.into_inner());
+                        if first.is_none() {
+                            *first = Some(payload);
+                        }
+                    }
+                }
             };
             std::thread::scope(|scope| {
                 for _ in 0..helpers {
@@ -121,7 +164,10 @@ impl WorkPool {
                 worker();
             });
         }
-        self.release(helpers);
+        drop(guard);
+        if let Some(payload) = panicked.into_inner().unwrap_or_else(|e| e.into_inner()) {
+            resume_unwind(payload);
+        }
         slots
             .into_iter()
             .map(|r| r.expect("par_map slot filled"))
@@ -206,6 +252,34 @@ mod tests {
             live.fetch_sub(1, Ordering::SeqCst);
         });
         assert!(peak.load(Ordering::SeqCst) <= 3);
+    }
+
+    #[test]
+    fn panicking_item_returns_every_slot_and_repropagates() {
+        // Regression: a panicking worker used to unwind through
+        // `thread::scope` past the release call, leaking its helper
+        // slots from the shared budget for the rest of the process.
+        let pool = WorkPool::new(3);
+        let items: Vec<usize> = (0..64).collect();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.par_map(&items, |_, &x| {
+                if x == 7 {
+                    panic!("injected item failure");
+                }
+                x
+            })
+        }));
+        let payload = result.expect_err("panic must propagate to the caller");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .unwrap_or("<non-str payload>");
+        assert_eq!(msg, "injected item failure");
+        assert_eq!(pool.available(), 3, "budget must be whole after a panic");
+        // The pool stays usable: the same call shape succeeds afterwards.
+        let ok = pool.par_map(&items, |_, &x| x * 2);
+        assert_eq!(ok[63], 126);
+        assert_eq!(pool.available(), 3);
     }
 
     #[test]

@@ -4,8 +4,8 @@
 use std::io::{self, Write};
 use std::path::{Path, PathBuf};
 
-use crate::runner::{RunOutcome, ScenarioReport};
-use crate::table::{json_string, write_csv};
+use crate::runner::{RunOutcome, ScenarioReport, ScenarioStatus};
+use crate::table::{json_string, write_csv, Table};
 
 /// A sink consuming scenario reports as they are emitted, plus a final
 /// run summary.
@@ -42,15 +42,46 @@ impl<W: Write> TextReporter<W> {
 impl<W: Write> Reporter for TextReporter<W> {
     fn scenario(&mut self, report: &ScenarioReport) -> io::Result<()> {
         writeln!(self.w, "{}", report.table.render())?;
-        writeln!(
-            self.w,
-            "[{}] {:.2}s\n",
-            report.id,
-            report.wall.as_secs_f64()
-        )
+        // An Ok scenario renders exactly as before the dependability
+        // layer existed: the status suffix appears only on non-Ok rows,
+        // keeping clean-run output byte-identical.
+        match &report.status {
+            ScenarioStatus::Ok => writeln!(
+                self.w,
+                "[{}] {:.2}s\n",
+                report.id,
+                report.wall.as_secs_f64()
+            ),
+            ScenarioStatus::Degraded { notes } => writeln!(
+                self.w,
+                "[{}] {:.2}s — DEGRADED: {}\n",
+                report.id,
+                report.wall.as_secs_f64(),
+                notes.join("; ")
+            ),
+            ScenarioStatus::Failed { cause } => writeln!(
+                self.w,
+                "[{}] {:.2}s — FAILED: {}\n",
+                report.id,
+                report.wall.as_secs_f64(),
+                cause
+            ),
+        }
     }
 
     fn finish(&mut self, outcome: &RunOutcome) -> io::Result<()> {
+        // Recap of non-Ok scenarios first (nothing extra on clean runs).
+        for report in &outcome.reports {
+            match &report.status {
+                ScenarioStatus::Ok => {}
+                ScenarioStatus::Degraded { notes } => {
+                    writeln!(self.w, "DEGRADED {}: {}", report.id, notes.join("; "))?;
+                }
+                ScenarioStatus::Failed { cause } => {
+                    writeln!(self.w, "FAILED {}: {}", report.id, cause)?;
+                }
+            }
+        }
         writeln!(
             self.w,
             "ran {} scenarios in {:.2}s wall ({:.2}s scenario-seconds) on {} thread(s); \
@@ -88,6 +119,31 @@ impl Reporter for CsvReporter {
         self.written.push(path);
         Ok(())
     }
+
+    fn finish(&mut self, outcome: &RunOutcome) -> io::Result<()> {
+        // Machine-readable status roll-up alongside the exhibit CSVs;
+        // the per-exhibit files themselves are untouched by statuses.
+        let mut status = Table::new(
+            "run_status",
+            "Per-scenario run status",
+            &["scenario", "status", "detail"],
+        );
+        for report in &outcome.reports {
+            let detail = match &report.status {
+                ScenarioStatus::Ok => String::new(),
+                ScenarioStatus::Degraded { notes } => notes.join("; "),
+                ScenarioStatus::Failed { cause } => cause.clone(),
+            };
+            status.push(vec![
+                report.id.clone(),
+                report.status.label().to_string(),
+                detail,
+            ]);
+        }
+        let path = write_csv(&status, &self.dir)?;
+        self.written.push(path);
+        Ok(())
+    }
 }
 
 /// Emits one JSON object per scenario (JSON lines), then a summary
@@ -105,9 +161,19 @@ impl<W: Write> JsonLinesReporter<W> {
 
 impl<W: Write> Reporter for JsonLinesReporter<W> {
     fn scenario(&mut self, report: &ScenarioReport) -> io::Result<()> {
+        let status = match &report.status {
+            ScenarioStatus::Ok => "\"status\":\"ok\"".to_string(),
+            ScenarioStatus::Degraded { notes } => {
+                let notes: Vec<String> = notes.iter().map(|n| json_string(n)).collect();
+                format!("\"status\":\"degraded\",\"notes\":[{}]", notes.join(","))
+            }
+            ScenarioStatus::Failed { cause } => {
+                format!("\"status\":\"failed\",\"cause\":{}", json_string(cause))
+            }
+        };
         writeln!(
             self.w,
-            "{{\"kind\":\"scenario\",\"id\":{},\"title\":{},\"deterministic\":{},\"wall_s\":{:.6},\"table\":{}}}",
+            "{{\"kind\":\"scenario\",\"id\":{},\"title\":{},\"deterministic\":{},\"wall_s\":{:.6},{status},\"table\":{}}}",
             json_string(&report.id),
             json_string(&report.title),
             report.deterministic,
@@ -147,6 +213,7 @@ mod tests {
                 deterministic: true,
                 wall: Duration::from_millis(1500),
                 table: t,
+                status: ScenarioStatus::Ok,
             }],
             total_wall: Duration::from_secs(2),
             cache: CacheStats { hits: 3, misses: 1 },
@@ -181,7 +248,73 @@ mod tests {
         let lines: Vec<&str> = s.lines().collect();
         assert_eq!(lines.len(), 2);
         assert!(lines[0].starts_with("{\"kind\":\"scenario\",\"id\":\"x\""));
+        assert!(lines[0].contains("\"status\":\"ok\""));
         assert!(lines[1].contains("\"kind\":\"summary\""));
         assert!(lines[1].contains("\"cache_hits\":3"));
+    }
+
+    #[test]
+    fn non_ok_statuses_render_in_text_and_json() {
+        let mut out = outcome();
+        out.reports[0].status = ScenarioStatus::Failed {
+            cause: "boom".into(),
+        };
+        let mut degraded = out.reports[0].clone();
+        degraded.id = "y".into();
+        degraded.status = ScenarioStatus::Degraded {
+            notes: vec!["budget exhausted".into()],
+        };
+        out.reports.push(degraded);
+
+        let mut buf = Vec::new();
+        {
+            let mut r = TextReporter::new(&mut buf);
+            for report in &out.reports {
+                r.scenario(report).unwrap();
+            }
+            r.finish(&out).unwrap();
+        }
+        let s = String::from_utf8(buf).unwrap();
+        assert!(s.contains("— FAILED: boom"));
+        assert!(s.contains("— DEGRADED: budget exhausted"));
+        assert!(s.contains("FAILED x: boom"));
+        assert!(s.contains("DEGRADED y: budget exhausted"));
+
+        let mut buf = Vec::new();
+        {
+            let mut r = JsonLinesReporter::new(&mut buf);
+            for report in &out.reports {
+                r.scenario(report).unwrap();
+            }
+        }
+        let s = String::from_utf8(buf).unwrap();
+        assert!(s.contains("\"status\":\"failed\",\"cause\":\"boom\""));
+        assert!(s.contains("\"status\":\"degraded\",\"notes\":[\"budget exhausted\"]"));
+    }
+
+    #[test]
+    fn csv_reporter_writes_run_status_rollup() {
+        let mut out = outcome();
+        out.reports[0].status = ScenarioStatus::Degraded {
+            notes: vec!["partial".into()],
+        };
+        let dir = std::env::temp_dir().join(format!(
+            "shatter-report-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut r = CsvReporter::new(&dir);
+        r.scenario(&out.reports[0]).unwrap();
+        r.finish(&out).unwrap();
+        let status_path = r
+            .written
+            .iter()
+            .find(|p| p.file_name().is_some_and(|n| n == "run_status.csv"))
+            .expect("run_status.csv written");
+        let body = std::fs::read_to_string(status_path).unwrap();
+        assert!(body.contains("scenario,status,detail"));
+        assert!(body.contains("x,degraded,partial"));
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -7,13 +7,16 @@
 //! same deterministic seed it would get in a serial run — output is
 //! therefore byte-identical across `--threads` settings.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use shatter_faults::FaultKind;
+
 use crate::fixtures::{CacheStats, FixtureCache};
 use crate::pool::WorkPool;
-use crate::scenario::{scenario_seed, RunParams, Scenario, ScenarioCtx};
+use crate::scenario::{scenario_seed, HealthSink, RunParams, Scenario, ScenarioCtx};
 use crate::table::Table;
 
 /// Runner configuration.
@@ -23,6 +26,11 @@ pub struct RunConfig {
     pub threads: usize,
     /// Parameters forwarded to every scenario.
     pub params: RunParams,
+    /// Stop submitting new scenarios after the first failure. The
+    /// default (`false`, "keep going") runs the whole suite and reports
+    /// every failure at the end — a crashing scenario never takes the
+    /// rest of the evaluation down with it.
+    pub fail_fast: bool,
 }
 
 impl RunConfig {
@@ -38,6 +46,48 @@ impl RunConfig {
     }
 }
 
+/// How one scenario finished.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScenarioStatus {
+    /// Ran to completion with exact results.
+    Ok,
+    /// Ran to completion, but parts of the result are best-effort
+    /// (e.g. solver windows that exhausted their deterministic budget).
+    Degraded {
+        /// Deduplicated degradation notes from the scenario's
+        /// [`HealthSink`], in first-report order.
+        notes: Vec<String>,
+    },
+    /// The scenario panicked; its table is a placeholder and the run's
+    /// exit code must be nonzero.
+    Failed {
+        /// The panic message (or a marker for non-string payloads).
+        cause: String,
+    },
+}
+
+impl ScenarioStatus {
+    /// Lowercase status word used by the reporters (`ok` / `degraded` /
+    /// `failed`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            ScenarioStatus::Ok => "ok",
+            ScenarioStatus::Degraded { .. } => "degraded",
+            ScenarioStatus::Failed { .. } => "failed",
+        }
+    }
+
+    /// Whether the scenario failed outright.
+    pub fn is_failed(&self) -> bool {
+        matches!(self, ScenarioStatus::Failed { .. })
+    }
+
+    /// Whether the scenario completed with exact results.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, ScenarioStatus::Ok)
+    }
+}
+
 /// One executed scenario.
 #[derive(Debug, Clone)]
 pub struct ScenarioReport {
@@ -49,14 +99,19 @@ pub struct ScenarioReport {
     pub deterministic: bool,
     /// Wall-clock of this scenario's `run`.
     pub wall: Duration,
-    /// The produced exhibit.
+    /// The produced exhibit (a one-row placeholder when `status` is
+    /// [`ScenarioStatus::Failed`]).
     pub table: Table,
+    /// How the scenario finished.
+    pub status: ScenarioStatus,
 }
 
 /// Result of a full runner invocation.
 #[derive(Debug, Clone)]
 pub struct RunOutcome {
-    /// Per-scenario reports in submission order.
+    /// Per-scenario reports in submission order. With
+    /// [`RunConfig::fail_fast`], scenarios skipped after the first
+    /// failure are simply absent.
     pub reports: Vec<ScenarioReport>,
     /// Wall-clock of the whole run (parallel section).
     pub total_wall: Duration,
@@ -71,6 +126,30 @@ impl RunOutcome {
     pub fn scenario_wall_sum(&self) -> Duration {
         self.reports.iter().map(|r| r.wall).sum()
     }
+
+    /// Reports whose scenario failed.
+    pub fn failures(&self) -> Vec<&ScenarioReport> {
+        self.reports
+            .iter()
+            .filter(|r| r.status.is_failed())
+            .collect()
+    }
+
+    /// Whether any scenario failed (drives the `repro` exit code).
+    pub fn any_failed(&self) -> bool {
+        self.reports.iter().any(|r| r.status.is_failed())
+    }
+}
+
+/// Human-readable message from a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
 }
 
 fn run_one(
@@ -79,20 +158,61 @@ fn run_one(
     params: RunParams,
     pool: &WorkPool,
 ) -> ScenarioReport {
+    let id = scenario.id().to_string();
+    let health = HealthSink::new();
     let cx = ScenarioCtx {
         cache,
         params,
         seed: scenario_seed(scenario.id(), params.base_seed),
         pool: pool.clone(),
+        health: health.clone(),
     };
     let start = Instant::now();
-    let table = scenario.run(&cx);
+    // Fault isolation: the scenario runs inside its fault scope (so
+    // per-scenario injection rules match) and under `catch_unwind` — a
+    // panicking scenario becomes a Failed report instead of tearing the
+    // worker (and the whole suite) down.
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        shatter_faults::with_scenario(&id, || {
+            if let Some(kind) = shatter_faults::hit("scenario.run") {
+                match kind {
+                    FaultKind::Panic => shatter_faults::panic_now("scenario.run"),
+                    // The runner has no solver to exhaust or overflow:
+                    // the non-panic kinds degrade the scenario instead.
+                    FaultKind::Overflow | FaultKind::Budget => cx
+                        .health
+                        .note_degraded(format!("injected {} at scenario.run", kind.name())),
+                }
+            }
+            scenario.run(&cx)
+        })
+    }));
+    let wall = start.elapsed();
+    let (table, status) = match result {
+        Ok(table) => {
+            let status = if health.is_degraded() {
+                ScenarioStatus::Degraded {
+                    notes: health.notes(),
+                }
+            } else {
+                ScenarioStatus::Ok
+            };
+            (table, status)
+        }
+        Err(payload) => {
+            let cause = panic_message(payload.as_ref());
+            let mut placeholder = Table::new(&id, scenario.title(), &["error"]);
+            placeholder.push(vec![cause.clone()]);
+            (placeholder, ScenarioStatus::Failed { cause })
+        }
+    };
     ScenarioReport {
-        id: scenario.id().to_string(),
+        id,
         title: scenario.title().to_string(),
         deterministic: scenario.deterministic(),
-        wall: start.elapsed(),
+        wall,
         table,
+        status,
     }
 }
 
@@ -115,10 +235,20 @@ pub fn run_scenarios(
 
     let mut slots: Vec<Option<ScenarioReport>> = Vec::new();
     slots.resize_with(scenarios.len(), || None);
+    // Set by the first failure under fail-fast: already-running
+    // scenarios finish, queued ones are skipped (their slots stay empty).
+    let stop = AtomicBool::new(false);
 
     if threads <= 1 {
         for (i, s) in scenarios.iter().enumerate() {
-            slots[i] = Some(run_one(s.as_ref(), cache, cfg.params, &pool));
+            if stop.load(Ordering::Relaxed) {
+                break;
+            }
+            let report = run_one(s.as_ref(), cache, cfg.params, &pool);
+            if cfg.fail_fast && report.status.is_failed() {
+                stop.store(true, Ordering::Relaxed);
+            }
+            slots[i] = Some(report);
         }
     } else {
         let next = AtomicUsize::new(0);
@@ -126,13 +256,20 @@ pub fn run_scenarios(
         std::thread::scope(|scope| {
             for _ in 0..threads {
                 scope.spawn(|| loop {
+                    if stop.load(Ordering::Relaxed) {
+                        pool.release(1);
+                        break;
+                    }
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     let Some(s) = scenarios.get(i) else {
                         pool.release(1);
                         break;
                     };
                     let report = run_one(s.as_ref(), cache, cfg.params, &pool);
-                    slots_shared.lock().expect("runner result lock")[i] = Some(report);
+                    if cfg.fail_fast && report.status.is_failed() {
+                        stop.store(true, Ordering::Relaxed);
+                    }
+                    slots_shared.lock().unwrap_or_else(|e| e.into_inner())[i] = Some(report);
                 });
             }
         });
@@ -140,10 +277,7 @@ pub fn run_scenarios(
 
     let after = cache.stats();
     RunOutcome {
-        reports: slots
-            .into_iter()
-            .map(|r| r.expect("every scenario slot filled"))
-            .collect(),
+        reports: slots.into_iter().flatten().collect(),
         total_wall: start.elapsed(),
         cache: CacheStats {
             hits: after.hits - before.hits,
@@ -211,6 +345,113 @@ mod tests {
         assert!(parallel.cache.misses >= 1);
         assert_eq!(serial.cache.misses, 1);
         assert_eq!(serial.cache.hits, 4);
+    }
+
+    fn panicking(id: &'static str) -> FnScenario {
+        FnScenario::new(id, "chaos probe", move |_cx| -> Table {
+            panic!("chaos boom in {id}")
+        })
+    }
+
+    #[test]
+    fn panicking_scenario_is_isolated_and_suite_completes() {
+        // Keep-going default: the panic becomes one Failed report and
+        // every other scenario still runs — serially and in parallel.
+        for threads in [1, 3] {
+            let mut reg = registry();
+            reg.register(panicking("boom"));
+            let cache = crate::FixtureCache::new();
+            let out = run_scenarios(
+                &reg.all(),
+                &cache,
+                &RunConfig {
+                    threads,
+                    ..Default::default()
+                },
+            );
+            assert_eq!(out.reports.len(), 6);
+            assert!(out.any_failed());
+            let failures = out.failures();
+            assert_eq!(failures.len(), 1);
+            assert_eq!(failures[0].id, "boom");
+            match &failures[0].status {
+                ScenarioStatus::Failed { cause } => {
+                    assert_eq!(cause, "chaos boom in boom");
+                }
+                other => panic!("expected Failed, got {other:?}"),
+            }
+            // The placeholder table carries the cause for the reporters.
+            assert_eq!(failures[0].table.rows, vec![vec!["chaos boom in boom"]]);
+            assert!(out.reports.iter().filter(|r| r.status.is_ok()).count() >= 5);
+        }
+    }
+
+    #[test]
+    fn fail_fast_skips_scenarios_after_the_first_failure() {
+        let mut reg = Registry::new();
+        reg.register(panicking("first"));
+        for id in ["second", "third"] {
+            reg.register(FnScenario::new(id, "probe", move |_cx| {
+                Table::new(id, "probe", &["v"])
+            }));
+        }
+        let cache = crate::FixtureCache::new();
+        let out = run_scenarios(
+            &reg.all(),
+            &cache,
+            &RunConfig {
+                threads: 1,
+                fail_fast: true,
+                ..Default::default()
+            },
+        );
+        assert_eq!(out.reports.len(), 1);
+        assert!(out.reports[0].status.is_failed());
+    }
+
+    #[test]
+    fn health_notes_surface_as_deduplicated_degraded_status() {
+        let mut reg = Registry::new();
+        reg.register(FnScenario::new("soft", "probe", |cx| {
+            cx.health.note_degraded("window budget exhausted");
+            cx.health.note_degraded("window budget exhausted");
+            cx.health.note_degraded("tableau overflow");
+            Table::new("soft", "probe", &["v"])
+        }));
+        let cache = crate::FixtureCache::new();
+        let out = run_scenarios(&reg.all(), &cache, &RunConfig::default());
+        assert!(!out.any_failed());
+        match &out.reports[0].status {
+            ScenarioStatus::Degraded { notes } => {
+                assert_eq!(notes, &["window budget exhausted", "tableau overflow"]);
+            }
+            other => panic!("expected Degraded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn injected_scenario_fault_hits_only_its_target() {
+        // The plan is keyed to the "chaos-target" scenario id, so the
+        // sibling scenario (and every other test in this process) is
+        // untouched; the rule fires exactly once.
+        shatter_faults::install_str("chaos-target/scenario.run/panic").unwrap();
+        let mut reg = Registry::new();
+        reg.register(FnScenario::new("chaos-target", "probe", |_cx| {
+            Table::new("chaos-target", "probe", &["v"])
+        }));
+        reg.register(FnScenario::new("chaos-bystander", "probe", |_cx| {
+            Table::new("chaos-bystander", "probe", &["v"])
+        }));
+        let cache = crate::FixtureCache::new();
+        let out = run_scenarios(&reg.all(), &cache, &RunConfig::default());
+        assert_eq!(out.reports.len(), 2);
+        match &out.reports[0].status {
+            ScenarioStatus::Failed { cause } => {
+                assert_eq!(cause, "injected fault: panic at scenario.run");
+            }
+            other => panic!("expected injected failure, got {other:?}"),
+        }
+        assert!(out.reports[1].status.is_ok());
     }
 
     #[test]

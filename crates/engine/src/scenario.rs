@@ -6,7 +6,7 @@
 //! per-scenario RNG seed, so the same registry run with any thread count
 //! yields identical tables.
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use shatter_adm::{AdmKind, HullAdm};
 use shatter_dataset::episodes::Episode;
@@ -37,6 +37,49 @@ impl Default for RunParams {
     }
 }
 
+/// Thread-safe collector of degradation notes for one scenario run.
+///
+/// Scenario code calls [`HealthSink::note_degraded`] when a result is
+/// best-effort rather than exact — e.g. solver windows that exhausted
+/// their deterministic budget — and the runner turns a non-empty sink
+/// into `ScenarioStatus::Degraded` on the scenario's report. Cloning is
+/// cheap; clones share the note list (so `par_map` workers can report).
+#[derive(Clone, Debug, Default)]
+pub struct HealthSink {
+    notes: Arc<Mutex<Vec<String>>>,
+}
+
+impl HealthSink {
+    /// An empty sink.
+    pub fn new() -> HealthSink {
+        HealthSink::default()
+    }
+
+    /// Records one degradation note (deduplicated exact-match, so
+    /// per-cell loops can report the same condition without flooding).
+    pub fn note_degraded(&self, note: impl Into<String>) {
+        let note = note.into();
+        let mut notes = self.notes.lock().unwrap_or_else(|e| e.into_inner());
+        if !notes.contains(&note) {
+            notes.push(note);
+        }
+    }
+
+    /// All notes recorded so far, in first-report order.
+    pub fn notes(&self) -> Vec<String> {
+        self.notes.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
+    /// Whether any degradation was reported.
+    pub fn is_degraded(&self) -> bool {
+        !self
+            .notes
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .is_empty()
+    }
+}
+
 /// Execution context handed to [`Scenario::run`].
 pub struct ScenarioCtx<'a> {
     /// The shared fixture cache.
@@ -48,6 +91,9 @@ pub struct ScenarioCtx<'a> {
     /// Slot budget shared with the runner for intra-scenario parallelism
     /// (see [`ScenarioCtx::par_map`]).
     pub pool: WorkPool,
+    /// Degradation reporting channel: notes recorded here surface as the
+    /// scenario's `Degraded` status in the run report.
+    pub health: HealthSink,
 }
 
 impl ScenarioCtx<'_> {
@@ -63,7 +109,14 @@ impl ScenarioCtx<'_> {
         R: Send,
         F: Fn(usize, &T) -> R + Sync,
     {
-        self.pool.par_map(items, f)
+        // Helper threads are fresh OS threads with empty fault TLS:
+        // re-establish the submitting thread's scenario scope inside
+        // each worker so per-scenario fault rules keep matching (and
+        // their hit counters stay deterministic in serial runs).
+        let scope = shatter_faults::current_scenario();
+        self.pool.par_map(items, |i, t| {
+            shatter_faults::scoped(scope.as_deref(), || f(i, t))
+        })
     }
 
     /// Deterministic seed for parallel work item `index`: a splitmix64
@@ -264,12 +317,17 @@ impl Registry {
     ///
     /// # Errors
     ///
-    /// Returns the first unknown id.
-    pub fn select(&self, ids: &[String]) -> Result<Vec<Arc<dyn Scenario>>, String> {
+    /// Returns *every* unknown id (in request order, deduplicated), so a
+    /// caller with several typos sees them all in one round trip.
+    pub fn select(&self, ids: &[String]) -> Result<Vec<Arc<dyn Scenario>>, Vec<String>> {
+        let mut unknown: Vec<String> = Vec::new();
         for id in ids {
-            if self.get(id).is_none() {
-                return Err(id.clone());
+            if self.get(id).is_none() && !unknown.contains(id) {
+                unknown.push(id.clone());
             }
+        }
+        if !unknown.is_empty() {
+            return Err(unknown);
         }
         Ok(self
             .items
@@ -330,8 +388,8 @@ mod tests {
             .expect("known ids");
         let ids: Vec<&str> = sel.iter().map(|s| s.id()).collect();
         assert_eq!(ids, ["a", "c"]);
-        match reg.select(&["zzz".to_string()]) {
-            Err(bad) => assert_eq!(bad, "zzz"),
+        match reg.select(&["zzz".to_string(), "a".to_string(), "yyy".to_string()]) {
+            Err(bad) => assert_eq!(bad, ["zzz", "yyy"], "every unknown id is reported"),
             Ok(_) => panic!("unknown id accepted"),
         }
     }

@@ -1,0 +1,98 @@
+//! Deterministic resource budgets for the solver stack.
+//!
+//! Budgets are counted in *deterministic* effort units — CDCL conflicts,
+//! simplex pivots, OMT probes — never wall time, so a budgeted run makes
+//! the same decisions on every machine and thread count: either a window
+//! finishes identically everywhere, or it degrades identically
+//! everywhere.
+
+/// Per-solve resource limits (`None` = unlimited). Thread one through
+/// [`crate::Solver::set_budget`]; exhaustion surfaces as
+/// [`crate::HaltCause`] through [`crate::Solver::check_full`] /
+/// [`crate::Solver::maximize_budgeted`] instead of a hang or a panic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Budget {
+    /// CDCL conflicts allowed across the solve (all probes combined).
+    pub max_conflicts: Option<u64>,
+    /// Simplex pivots allowed across the solve.
+    pub max_pivots: Option<u64>,
+    /// OMT binary-search probes allowed per `maximize_budgeted` call.
+    pub max_probes: Option<u64>,
+}
+
+impl Budget {
+    /// No limits — identical to running without a budget.
+    pub const UNLIMITED: Budget = Budget {
+        max_conflicts: None,
+        max_pivots: None,
+        max_probes: None,
+    };
+
+    /// Whether every limit is unset.
+    pub fn is_unlimited(&self) -> bool {
+        *self == Budget::UNLIMITED
+    }
+
+    /// Parses a `conflicts=N,pivots=N,probes=N` spec (any subset, any
+    /// order), the syntax of the `SHATTER_BUDGET` environment variable
+    /// and `repro --budget`.
+    pub fn parse(spec: &str) -> Result<Budget, String> {
+        let mut budget = Budget::UNLIMITED;
+        for part in spec.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("bad budget term {part:?} (expected key=N)"))?;
+            let n: u64 = value
+                .trim()
+                .parse()
+                .map_err(|_| format!("bad budget value in {part:?}"))?;
+            match key.trim() {
+                "conflicts" => budget.max_conflicts = Some(n),
+                "pivots" => budget.max_pivots = Some(n),
+                "probes" => budget.max_probes = Some(n),
+                other => {
+                    return Err(format!(
+                        "unknown budget key {other:?} (expected conflicts|pivots|probes)"
+                    ))
+                }
+            }
+        }
+        Ok(budget)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_full_and_partial_specs() {
+        assert_eq!(
+            Budget::parse("conflicts=100,pivots=2000,probes=8").unwrap(),
+            Budget {
+                max_conflicts: Some(100),
+                max_pivots: Some(2000),
+                max_probes: Some(8),
+            }
+        );
+        assert_eq!(
+            Budget::parse(" pivots=5 ").unwrap(),
+            Budget {
+                max_pivots: Some(5),
+                ..Budget::UNLIMITED
+            }
+        );
+        assert!(Budget::parse("").unwrap().is_unlimited());
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        assert!(Budget::parse("conflicts").is_err());
+        assert!(Budget::parse("conflicts=x").is_err());
+        assert!(Budget::parse("walltime=9").is_err());
+    }
+}

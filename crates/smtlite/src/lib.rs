@@ -44,13 +44,15 @@
 #![warn(missing_docs)]
 
 pub mod ast;
+mod budget;
 mod cnf;
 mod rational;
 pub mod sat;
 pub mod simplex;
 mod solver;
 
+pub use budget::Budget;
 pub use rational::{Rat, RatOverflow};
 pub use sat::SatStats;
-pub use simplex::{NumericMode, SimplexStats};
-pub use solver::{Model, SatResult, Solver};
+pub use simplex::{NumericMode, SimplexHalt, SimplexStats};
+pub use solver::{CheckOutcome, HaltCause, Model, OmtOutcome, SatResult, Solver};

@@ -73,6 +73,11 @@ pub enum SatVerdict {
     Sat(Vec<bool>),
     /// Unsatisfiable.
     Unsat,
+    /// Undecided: the deterministic conflict budget ran out, or the
+    /// theory reported [`TheoryResult::Halt`]. The solver backtracked to
+    /// level 0 and remains usable — everything learned so far persists,
+    /// so a re-solve with a larger budget resumes the search.
+    Unknown,
 }
 
 /// View of the current (partial) assignment handed to a [`Theory`]
@@ -117,6 +122,10 @@ pub enum TheoryResult {
     /// theory-infeasible; the solver learns their negation as a blocking
     /// lemma and resolves the conflict in place.
     Conflict(Vec<Lit>),
+    /// The theory solver cannot continue (its own resource budget ran
+    /// out, or its state degraded — e.g. a poisoned tableau). The search
+    /// stops immediately with [`SatVerdict::Unknown`].
+    Halt,
 }
 
 /// A theory solver consulted during CDCL search (DPLL(T)).
@@ -492,6 +501,10 @@ pub struct SatSolver {
     last_core: Vec<Lit>,
     /// Assertion-trail checkpoints.
     frames: Vec<SatFrame>,
+    /// Absolute cap on `stats.conflicts` (`None` = unlimited): the
+    /// search returns [`SatVerdict::Unknown`] once cumulative conflicts
+    /// reach it. Deterministic — conflicts, never wall time.
+    conflict_limit: Option<u64>,
     /// Cumulative effort counters.
     pub stats: SatStats,
 }
@@ -532,6 +545,7 @@ impl Default for SatSolver {
             min_stack: Vec::new(),
             last_core: Vec::new(),
             frames: Vec::new(),
+            conflict_limit: None,
             stats: SatStats::default(),
         }
     }
@@ -570,6 +584,15 @@ impl SatSolver {
     /// reduction.
     pub fn set_gc_budget(&mut self, budget: usize) {
         self.gc_budget = budget.max(1);
+    }
+
+    /// Caps cumulative conflicts at `limit` (absolute, against
+    /// [`SatSolver::stats`]; `None` lifts the cap). When the cap is hit
+    /// mid-search the solver backtracks to level 0 and returns
+    /// [`SatVerdict::Unknown`]; learned clauses persist, so re-solving
+    /// with a larger cap resumes rather than restarts.
+    pub fn set_conflict_limit(&mut self, limit: Option<u64>) {
+        self.conflict_limit = limit;
     }
 
     /// Allocates a fresh variable and returns its index.
@@ -1446,6 +1469,14 @@ impl SatSolver {
         let mut restart = RestartSchedule::new();
         let mut decisions_since_consult = 0u64;
         loop {
+            // Deterministic budget gate: checked once per loop turn, so
+            // the cut lands at the same conflict on every machine.
+            if let Some(limit) = self.conflict_limit {
+                if self.stats.conflicts >= limit {
+                    self.backtrack_to(0);
+                    return SatVerdict::Unknown;
+                }
+            }
             if let Some(conflict) = self.propagate() {
                 if !self.resolve_conflict(conflict) {
                     return SatVerdict::Unsat;
@@ -1497,6 +1528,10 @@ impl SatSolver {
                                 }
                                 continue;
                             }
+                            TheoryResult::Halt => {
+                                self.backtrack_to(0);
+                                return SatVerdict::Unknown;
+                            }
                         }
                     }
                 }
@@ -1519,6 +1554,10 @@ impl SatSolver {
                                 }
                                 TheoryResult::Implied(_) => {
                                     unreachable!("complete assignment implies nothing")
+                                }
+                                TheoryResult::Halt => {
+                                    self.backtrack_to(0);
+                                    return SatVerdict::Unknown;
                                 }
                             }
                         }
@@ -1826,6 +1865,32 @@ mod tests {
                 (b, v) => panic!("disagreement: brute {b}, solver {v:?}\n{clauses:?}"),
             }
         }
+    }
+
+    // ----- conflict budget -----------------------------------------------
+
+    #[test]
+    fn conflict_budget_returns_unknown_and_lifting_it_resumes() {
+        // Pigeonhole 3→2: unsat, and the proof needs conflicts.
+        let clauses: Vec<&[i32]> = vec![
+            &[1, 2],
+            &[3, 4],
+            &[5, 6],
+            &[-1, -3],
+            &[-1, -5],
+            &[-3, -5],
+            &[-2, -4],
+            &[-2, -6],
+            &[-4, -6],
+        ];
+        let mut s = solver_with(6, &clauses);
+        s.set_conflict_limit(Some(0));
+        assert_eq!(s.solve(), SatVerdict::Unknown);
+        // The solver stays usable: the cap is absolute against
+        // cumulative stats, and lifting it finishes the proof.
+        s.set_conflict_limit(None);
+        assert_eq!(s.solve(), SatVerdict::Unsat);
+        assert!(s.stats.conflicts > 0);
     }
 
     // ----- order heap ----------------------------------------------------

@@ -40,9 +40,12 @@
 //! arena: pivoting merges rows into buffers drawn from a free list
 //! instead of allocating, so warm-started windows stop hitting the
 //! allocator. Row arithmetic goes through the checked `Rat` ops; an
-//! `i128` overflow surfaces as [`RatOverflow`] from the `try_*` entry
-//! points (the tableau is then poisoned until the owner restores a
-//! consistent clone or starts fresh) instead of panicking mid-scenario.
+//! `i128` overflow surfaces as [`SimplexHalt::Overflow`] from the
+//! `try_*` entry points (the tableau is then poisoned until the owner
+//! restores a consistent clone or starts fresh) instead of panicking
+//! mid-scenario, and a deterministic pivot budget
+//! ([`Simplex::set_pivot_limit`]) surfaces as [`SimplexHalt::Budget`]
+//! between pivots, leaving the tableau valid.
 
 use std::cmp::Ordering;
 use std::collections::HashMap;
@@ -50,6 +53,33 @@ use std::ops::{Add, Mul, Neg, Sub};
 
 use crate::rational::RatOverflow;
 use crate::Rat;
+
+/// Why a `try_*` simplex call stopped without a verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimplexHalt {
+    /// `i128` rational arithmetic overflowed mid-pivot; the tableau is
+    /// poisoned until the owner restores a consistent clone.
+    Overflow,
+    /// The deterministic pivot budget ran out *between* pivots. The
+    /// tableau stays consistent (not poisoned): re-solving after raising
+    /// or clearing the limit continues from the current basis.
+    Budget,
+}
+
+impl From<RatOverflow> for SimplexHalt {
+    fn from(_: RatOverflow) -> SimplexHalt {
+        SimplexHalt::Overflow
+    }
+}
+
+/// The panic the legacy (non-`try_`) entry points raise on a halt; the
+/// overflow message is a long-standing contract other layers match on.
+fn halt_panic(halt: SimplexHalt) -> ! {
+    match halt {
+        SimplexHalt::Overflow => panic!("rational arithmetic overflow"),
+        SimplexHalt::Budget => panic!("simplex pivot budget exhausted"),
+    }
+}
 
 /// A rational extended with a symbolic infinitesimal: `r + d·ε`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -364,6 +394,10 @@ pub struct Simplex {
     /// longer hold, so every `try_*` call refuses until the owner
     /// restores a consistent clone or starts fresh.
     poisoned: bool,
+    /// Absolute cap on `stats.pivots` (`None` = unlimited): the Bland
+    /// loop halts with [`SimplexHalt::Budget`] before the pivot that
+    /// would exceed it. Deterministic — pivots, never wall time.
+    pivot_limit: Option<u64>,
 }
 
 impl Simplex {
@@ -394,6 +428,20 @@ impl Simplex {
     /// them across push/pop frame restores.
     pub(crate) fn set_stats(&mut self, stats: SimplexStats) {
         self.stats = stats;
+    }
+
+    /// Caps cumulative pivots at `limit` (absolute, against
+    /// [`Simplex::stats`]; `None` lifts the cap). Exhaustion halts the
+    /// solve with [`SimplexHalt::Budget`] between pivots — the tableau
+    /// stays valid. Like the numeric mode, the cap is a knob, not state:
+    /// the DPLL(T) driver carries it across push/pop restores.
+    pub fn set_pivot_limit(&mut self, limit: Option<u64>) {
+        self.pivot_limit = limit;
+    }
+
+    /// The active absolute pivot cap.
+    pub fn pivot_limit(&self) -> Option<u64> {
+        self.pivot_limit
     }
 
     fn is_basic(&self, v: usize) -> bool {
@@ -624,21 +672,22 @@ impl Simplex {
     ///
     /// # Panics
     ///
-    /// Panics on `i128` overflow; use [`Simplex::try_check_assignment`]
-    /// to degrade gracefully instead.
+    /// Panics on `i128` overflow or pivot-budget exhaustion; use
+    /// [`Simplex::try_check_assignment`] to degrade gracefully instead.
     pub fn check_assignment(&mut self, bounds: &[BoundConstraint]) -> SimplexResult {
         self.try_check_assignment(bounds)
-            .expect("rational arithmetic overflow")
+            .unwrap_or_else(|halt| halt_panic(halt))
     }
 
-    /// [`Simplex::check_assignment`] that reports `i128` overflow as
-    /// [`RatOverflow`] instead of panicking. After an error the tableau
-    /// is poisoned: every further `try_*` call returns `Err` until the
-    /// owner replaces it (e.g. restoring a pre-error clone).
+    /// [`Simplex::check_assignment`] that reports `i128` overflow (or an
+    /// exhausted pivot budget) as [`SimplexHalt`] instead of panicking.
+    /// After an *overflow* the tableau is poisoned: every further `try_*`
+    /// call returns `Err` until the owner replaces it (e.g. restoring a
+    /// pre-error clone). A *budget* halt does not poison.
     pub fn try_check_assignment(
         &mut self,
         bounds: &[BoundConstraint],
-    ) -> Result<SimplexResult, RatOverflow> {
+    ) -> Result<SimplexResult, SimplexHalt> {
         Ok(match self.try_assert_and_solve(bounds)? {
             Some(ids) => SimplexResult::Infeasible(ids),
             // Feasible: concretize ε and return original-variable values.
@@ -670,30 +719,33 @@ impl Simplex {
     ///
     /// # Panics
     ///
-    /// Panics on `i128` overflow; use [`Simplex::try_assert_and_solve`]
-    /// to degrade gracefully instead.
+    /// Panics on `i128` overflow or pivot-budget exhaustion; use
+    /// [`Simplex::try_assert_and_solve`] to degrade gracefully instead.
     pub fn assert_and_solve(&mut self, bounds: &[BoundConstraint]) -> Option<Vec<usize>> {
         self.try_assert_and_solve(bounds)
-            .expect("rational arithmetic overflow")
+            .unwrap_or_else(|halt| halt_panic(halt))
     }
 
-    /// [`Simplex::assert_and_solve`] that reports `i128` overflow as
-    /// [`RatOverflow`] instead of panicking; see
-    /// [`Simplex::try_check_assignment`] for the poisoning contract.
+    /// [`Simplex::assert_and_solve`] that reports `i128` overflow (or an
+    /// exhausted pivot budget) as [`SimplexHalt`] instead of panicking;
+    /// see [`Simplex::try_check_assignment`] for the poisoning contract.
     pub fn try_assert_and_solve(
         &mut self,
         bounds: &[BoundConstraint],
-    ) -> Result<Option<Vec<usize>>, RatOverflow> {
+    ) -> Result<Option<Vec<usize>>, SimplexHalt> {
         if self.poisoned {
-            return Err(RatOverflow);
+            return Err(SimplexHalt::Overflow);
         }
         match self.solve_core(bounds) {
             Ok(r) => Ok(r),
-            Err(e) => {
-                // A pivot aborted halfway: the tableau invariants no
-                // longer hold, so refuse all further use.
-                self.poisoned = true;
-                Err(e)
+            Err(halt) => {
+                if halt == SimplexHalt::Overflow {
+                    // A pivot aborted halfway: the tableau invariants no
+                    // longer hold, so refuse all further use. (A budget
+                    // halt stops *between* pivots — the tableau is fine.)
+                    self.poisoned = true;
+                }
+                Err(halt)
             }
         }
     }
@@ -701,7 +753,7 @@ impl Simplex {
     fn solve_core(
         &mut self,
         bounds: &[BoundConstraint],
-    ) -> Result<Option<Vec<usize>>, RatOverflow> {
+    ) -> Result<Option<Vec<usize>>, SimplexHalt> {
         // Retract every bound from the previous call.
         for b in &mut self.lower {
             *b = None;
@@ -831,6 +883,32 @@ impl Simplex {
 
             match pivot_col {
                 Some(nj) => {
+                    // Budget gate and fault-injection site, both landing
+                    // *between* pivots so a halt leaves a valid tableau
+                    // (except an injected overflow, which poisons like a
+                    // real one). Injection counts in pivot attempts — a
+                    // deterministic unit — so a rule fires at the same
+                    // pivot in every serial run and in both numeric modes.
+                    if let Some(limit) = self.pivot_limit {
+                        if self.stats.pivots >= limit {
+                            self.rows[bi] = Some(row);
+                            return Err(SimplexHalt::Budget);
+                        }
+                    }
+                    if let Some(kind) = shatter_faults::hit("simplex.pivot") {
+                        match kind {
+                            shatter_faults::FaultKind::Panic => {
+                                shatter_faults::panic_now("simplex.pivot")
+                            }
+                            shatter_faults::FaultKind::Overflow => {
+                                return Err(SimplexHalt::Overflow)
+                            }
+                            shatter_faults::FaultKind::Budget => {
+                                self.rows[bi] = Some(row);
+                                return Err(SimplexHalt::Budget);
+                            }
+                        }
+                    }
                     let target = if too_low {
                         self.lower[bi].expect("violated lower").0
                     } else {
@@ -1207,8 +1285,8 @@ mod tests {
             lower(vec![(1, 1)], huge, 2),
         ];
         let mut s = Simplex::new();
-        assert_eq!(s.try_assert_and_solve(&bounds), Err(RatOverflow));
-        assert_eq!(s.try_assert_and_solve(&[]), Err(RatOverflow));
+        assert_eq!(s.try_assert_and_solve(&bounds), Err(SimplexHalt::Overflow));
+        assert_eq!(s.try_assert_and_solve(&[]), Err(SimplexHalt::Overflow));
         // A pre-error clone is unaffected.
         let mut fresh = Simplex::new();
         assert!(fresh
@@ -1226,6 +1304,70 @@ mod tests {
             lower(vec![(1, 0)], huge, 1),
             lower(vec![(1, 1)], huge, 2),
         ]);
+    }
+
+    #[test]
+    fn pivot_budget_halts_between_pivots_without_poisoning() {
+        // x + y >= 5, x <= 3, y <= 3 needs at least one pivot. A zero
+        // budget halts before the first pivot; the tableau stays valid,
+        // so lifting the cap finishes the same solve from where it
+        // stopped.
+        let bounds = vec![
+            lower(vec![(1, 0), (1, 1)], 5, 0),
+            upper(vec![(1, 0)], 3, 1),
+            upper(vec![(1, 1)], 3, 2),
+        ];
+        let mut s = Simplex::new();
+        s.set_pivot_limit(Some(0));
+        assert_eq!(s.try_assert_and_solve(&bounds), Err(SimplexHalt::Budget));
+        s.set_pivot_limit(None);
+        assert_eq!(
+            s.try_assert_and_solve(&bounds),
+            Ok(None),
+            "budget halt must not poison the tableau"
+        );
+        assert!(s.stats().pivots > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "simplex pivot budget exhausted")]
+    fn budget_panics_via_legacy_entry_point() {
+        let mut s = Simplex::new();
+        s.set_pivot_limit(Some(0));
+        s.assert_and_solve(&[
+            lower(vec![(1, 0), (1, 1)], 5, 0),
+            upper(vec![(1, 0)], 3, 1),
+            upper(vec![(1, 1)], 3, 2),
+        ]);
+    }
+
+    #[test]
+    fn injected_overflow_poisons_like_a_real_one() {
+        shatter_faults::install(vec![shatter_faults::FaultSpec {
+            scenario: "simplex-inject-test".into(),
+            site: "simplex.pivot".into(),
+            kind: shatter_faults::FaultKind::Overflow,
+            hit: 0,
+        }]);
+        let bounds = vec![
+            lower(vec![(1, 0), (1, 1)], 5, 0),
+            upper(vec![(1, 0)], 3, 1),
+            upper(vec![(1, 1)], 3, 2),
+        ];
+        shatter_faults::with_scenario("simplex-inject-test", || {
+            let mut s = Simplex::new();
+            assert_eq!(s.try_assert_and_solve(&bounds), Err(SimplexHalt::Overflow));
+            assert_eq!(
+                s.try_assert_and_solve(&[]),
+                Err(SimplexHalt::Overflow),
+                "injected overflow must poison"
+            );
+            // The rule fired once; a fresh tableau in the same scope
+            // completes untouched (the ExactOnly-retry contract).
+            let mut retry = Simplex::new();
+            retry.set_numeric_mode(NumericMode::ExactOnly);
+            assert_eq!(retry.try_assert_and_solve(&bounds), Ok(None));
+        });
     }
 
     #[test]

@@ -1,10 +1,12 @@
 use std::collections::HashMap;
 
 use crate::ast::{Atom, BoolVar, Formula, LinExpr, RealVar, Rel};
+use crate::budget::Budget;
 use crate::cnf::{strip_expr, Encoder};
 use crate::sat::{Lit, SatStats, SatVerdict, Theory, TheoryResult, TheoryView};
 use crate::simplex::{
-    BoundConstraint, BoundKind, DeltaRat, NumericMode, Simplex, SimplexResult, SimplexStats,
+    BoundConstraint, BoundKind, DeltaRat, NumericMode, Simplex, SimplexHalt, SimplexResult,
+    SimplexStats,
 };
 use crate::Rat;
 
@@ -47,6 +49,83 @@ pub enum SatResult {
     Unsat,
 }
 
+/// Why a budget-aware solve stopped early.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HaltCause {
+    /// The CDCL conflict budget ([`Budget::max_conflicts`]) ran out.
+    Conflicts,
+    /// The simplex pivot budget ([`Budget::max_pivots`]) ran out.
+    Pivots,
+    /// The OMT probe budget ([`Budget::max_probes`]) ran out.
+    Probes,
+    /// `i128` rational arithmetic overflowed; the tableau is poisoned
+    /// until a [`Solver::pop`] restores a pre-overflow checkpoint.
+    Overflow,
+}
+
+impl From<SimplexHalt> for HaltCause {
+    fn from(halt: SimplexHalt) -> HaltCause {
+        match halt {
+            SimplexHalt::Overflow => HaltCause::Overflow,
+            SimplexHalt::Budget => HaltCause::Pivots,
+        }
+    }
+}
+
+/// Outcome of [`Solver::check_full`]: a `check` that distinguishes
+/// budget exhaustion and numeric degradation from unsatisfiability.
+#[derive(Debug, Clone)]
+pub enum CheckOutcome {
+    /// Satisfiable with a model.
+    Sat(Model),
+    /// Unsatisfiable.
+    Unsat,
+    /// Undecided: the search halted early for the given cause. The
+    /// solver remains usable (after [`HaltCause::Overflow`], once the
+    /// enclosing frame is popped).
+    Halted(HaltCause),
+}
+
+/// Outcome of [`Solver::maximize_budgeted`] — the anytime OMT contract:
+/// exhaustion degrades to the best verified model instead of hanging.
+#[derive(Debug, Clone)]
+pub enum OmtOutcome {
+    /// The binary search converged below `tol`.
+    Optimal {
+        /// Objective value of the returned model.
+        value: f64,
+        /// The optimal model.
+        model: Model,
+    },
+    /// A budget ran out (or the tableau degraded) mid-search: the best
+    /// model proven feasible *before* the halt, marked with the cause.
+    Degraded {
+        /// Objective value of the best-so-far model.
+        value: f64,
+        /// The best model found before the halt.
+        model: Model,
+        /// Why the search stopped early.
+        cause: HaltCause,
+    },
+    /// The assertions are unsatisfiable (no budget involved).
+    Unsat,
+    /// The search halted before proving any model feasible.
+    Halted(HaltCause),
+}
+
+/// The panic legacy (budget-unaware) entry points raise when a halt
+/// surfaces under them; the overflow message is the long-standing
+/// contract of the pre-budget API.
+fn halted_panic(cause: HaltCause) -> ! {
+    match cause {
+        HaltCause::Overflow => panic!("rational arithmetic overflow"),
+        other => panic!(
+            "solver halted ({other:?}) under a budget-unaware entry point; \
+             use check_full/maximize_budgeted with Solver::set_budget"
+        ),
+    }
+}
+
 /// Checkpoint for [`Solver::pop`].
 #[derive(Debug, Clone)]
 struct SolverFrame {
@@ -85,6 +164,8 @@ pub struct Solver {
     n_bools: usize,
     simplex: Simplex,
     frames: Vec<SolverFrame>,
+    /// OMT probe cap from the active [`Budget`] (`None` = unlimited).
+    probe_limit: Option<u64>,
     /// Statistics: theory conflicts encountered across `check` calls.
     pub theory_conflicts: u64,
 }
@@ -152,6 +233,31 @@ impl Solver {
         self.simplex.numeric_mode()
     }
 
+    /// Installs `budget` for subsequent solves. Limits are counted in
+    /// deterministic effort units *from this point*: each cap is applied
+    /// as an absolute ceiling of `current cumulative counter + max`, so
+    /// calling `set_budget` per window gives every window the same
+    /// allowance regardless of how much earlier windows consumed.
+    /// Exhaustion surfaces through [`Solver::check_full`] /
+    /// [`Solver::maximize_budgeted`] as [`CheckOutcome::Halted`] /
+    /// [`OmtOutcome::Degraded`]; the budget-unaware entry points panic
+    /// instead. [`Budget::UNLIMITED`] lifts all limits.
+    pub fn set_budget(&mut self, budget: Budget) {
+        let conflicts = self.enc.sat.stats.conflicts;
+        self.enc
+            .sat
+            .set_conflict_limit(budget.max_conflicts.map(|m| conflicts.saturating_add(m)));
+        let pivots = self.simplex.stats().pivots;
+        self.simplex
+            .set_pivot_limit(budget.max_pivots.map(|m| pivots.saturating_add(m)));
+        self.probe_limit = budget.max_probes;
+    }
+
+    /// Lifts all resource limits (same as `set_budget(Budget::UNLIMITED)`).
+    pub fn clear_budget(&mut self) {
+        self.set_budget(Budget::UNLIMITED);
+    }
+
     /// Opt-in cross-frame learnt retention (see
     /// [`crate::sat::SatSolver::set_carry_learnts`]): [`Solver::pop`]
     /// then keeps learnt clauses whose derivation does not depend on the
@@ -186,13 +292,15 @@ impl Solver {
         self.n_reals = f.n_reals;
         self.n_bools = f.n_bools;
         // The checkpointed tableau replaces the live one, but the pivot
-        // counters measure effort (not state) and the numeric mode is a
-        // user knob — both survive the restore.
+        // counters measure effort (not state) and the numeric mode and
+        // pivot budget are user knobs — all survive the restore.
         let stats = self.simplex.stats();
         let mode = self.simplex.numeric_mode();
+        let pivot_limit = self.simplex.pivot_limit();
         self.simplex = f.simplex;
         self.simplex.set_stats(stats);
         self.simplex.set_numeric_mode(mode);
+        self.simplex.set_pivot_limit(pivot_limit);
         self.enc.pop();
     }
 
@@ -214,20 +322,47 @@ impl Solver {
     /// form are pushed into the Boolean trail through binary lemma
     /// clauses. All lemmas are theory-valid and persist for later calls
     /// (as reducible learnts — the clause-DB GC may age them out).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the solve halts early — an active [`Budget`] runs
+    /// out, or rational arithmetic overflows. Budget-aware callers use
+    /// [`Solver::check_full`] instead.
     pub fn check_under(&mut self, assumptions: &[Lit]) -> Option<Model> {
+        match self.check_full(assumptions) {
+            CheckOutcome::Sat(m) => Some(m),
+            CheckOutcome::Unsat => None,
+            CheckOutcome::Halted(cause) => halted_panic(cause),
+        }
+    }
+
+    /// [`Solver::check_under`] with halts reified instead of panicking:
+    /// budget exhaustion and rational overflow come back as
+    /// [`CheckOutcome::Halted`], leaving the solver usable (the CDCL
+    /// core backtracks to level zero; an overflow-poisoned tableau needs
+    /// the enclosing [`Solver::pop`] to restore a clean checkpoint).
+    pub fn check_full(&mut self, assumptions: &[Lit]) -> CheckOutcome {
         let mut theory = SimplexTheory {
             atoms: &self.enc.atoms,
             simplex: &mut self.simplex,
             conflicts: 0,
             model: None,
+            halt: None,
             bounds: Vec::new(),
             atom_cols: Vec::new(),
             last_assigned: usize::MAX,
         };
         let verdict = self.enc.sat.solve_with(assumptions, Some(&mut theory));
         self.theory_conflicts += theory.conflicts;
-        let SatVerdict::Sat(assignment) = verdict else {
-            return None;
+        let halt = theory.halt;
+        let assignment = match verdict {
+            SatVerdict::Sat(assignment) => assignment,
+            SatVerdict::Unsat => return CheckOutcome::Unsat,
+            // Unknown without a theory halt means the CDCL conflict
+            // budget ran out.
+            SatVerdict::Unknown => {
+                return CheckOutcome::Halted(halt.unwrap_or(HaltCause::Conflicts))
+            }
         };
         let reals = theory
             .model
@@ -242,7 +377,7 @@ impl Solver {
                 bools.insert(b, v);
             }
         }
-        Some(Model { bools, reals })
+        CheckOutcome::Sat(Model { bools, reals })
     }
 
     /// Maximizes a linear objective subject to the asserted formulas, by
@@ -273,6 +408,14 @@ impl Solver {
     /// On return the strengthening assertions remain: callers that need
     /// the original assertion set afterwards should bracket the call in
     /// [`Solver::push`]/[`Solver::pop`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when the search halts before any model is proven feasible
+    /// (active [`Budget`] exhausted on the base check, or rational
+    /// overflow). Budget-aware callers use
+    /// [`Solver::maximize_budgeted`], which degrades to the best
+    /// verified model instead.
     pub fn maximize(
         &mut self,
         objective: &LinExpr,
@@ -280,19 +423,55 @@ impl Solver {
         hi: f64,
         tol: f64,
     ) -> Option<(f64, Model)> {
-        let base_model = self.check()?;
+        match self.maximize_budgeted(objective, lo, hi, tol) {
+            OmtOutcome::Optimal { value, model } | OmtOutcome::Degraded { value, model, .. } => {
+                Some((value, model))
+            }
+            OmtOutcome::Unsat => None,
+            OmtOutcome::Halted(cause) => halted_panic(cause),
+        }
+    }
+
+    /// [`Solver::maximize`] with the anytime contract made explicit.
+    /// Runs the same guarded binary search, but counts each probe
+    /// against [`Budget::max_probes`] and reifies halts: when any limit
+    /// runs out (or the tableau overflows) mid-search, the best model
+    /// *proven feasible so far* is returned as [`OmtOutcome::Degraded`]
+    /// with the cause, rather than the search hanging or panicking. A
+    /// halt before the first feasible model is [`OmtOutcome::Halted`].
+    pub fn maximize_budgeted(
+        &mut self,
+        objective: &LinExpr,
+        lo: f64,
+        hi: f64,
+        tol: f64,
+    ) -> OmtOutcome {
+        let base_model = match self.check_full(&[]) {
+            CheckOutcome::Sat(m) => m,
+            CheckOutcome::Unsat => return OmtOutcome::Unsat,
+            CheckOutcome::Halted(cause) => return OmtOutcome::Halted(cause),
+        };
         let mut best_val = base_model.eval(objective).to_f64();
         let mut best_model = base_model;
         let mut lo = best_val.max(lo);
         let mut hi = hi;
+        let mut probes = 0u64;
+        let mut halt = None;
         while hi - lo > tol {
+            if let Some(limit) = self.probe_limit {
+                if probes >= limit {
+                    halt = Some(HaltCause::Probes);
+                    break;
+                }
+            }
+            probes += 1;
             let mid = lo + (hi - lo) / 2.0;
             // Fresh guard: guard -> objective >= mid.
             let guard = Lit::pos(self.enc.sat.new_var());
             let bound_lit = self.enc.encode(&objective.ge(Rat::from_f64_approx(mid)));
             self.enc.sat.add_clause(&[guard.negated(), bound_lit]);
-            match self.check_under(&[guard]) {
-                Some(m) => {
+            match self.check_full(&[guard]) {
+                CheckOutcome::Sat(m) => {
                     let v = m.eval(objective).to_f64();
                     if v > best_val {
                         best_val = v;
@@ -302,13 +481,30 @@ impl Solver {
                     // Keep the proven bound: later probes only go higher.
                     self.enc.sat.add_clause(&[guard]);
                 }
-                None => {
+                CheckOutcome::Unsat => {
                     hi = mid;
                     self.enc.sat.add_clause(&[guard.negated()]);
                 }
+                CheckOutcome::Halted(cause) => {
+                    // Anytime degradation: the probe's answer is unknown,
+                    // so disable its guard and stop with best-so-far.
+                    self.enc.sat.add_clause(&[guard.negated()]);
+                    halt = Some(cause);
+                    break;
+                }
             }
         }
-        Some((best_val, best_model))
+        match halt {
+            Some(cause) => OmtOutcome::Degraded {
+                value: best_val,
+                model: best_model,
+                cause,
+            },
+            None => OmtOutcome::Optimal {
+                value: best_val,
+                model: best_model,
+            },
+        }
     }
 }
 
@@ -323,6 +519,8 @@ struct SimplexTheory<'a> {
     conflicts: u64,
     /// Feasible rational assignment from the last *complete* consult.
     model: Option<HashMap<usize, Rat>>,
+    /// Why the simplex halted this check, when it did ([`TheoryResult::Halt`]).
+    halt: Option<HaltCause>,
     /// Reused bound buffer (no per-consult allocation).
     bounds: Vec<BoundConstraint>,
     /// Per atom (same order as `atoms`): its simplex column and its
@@ -358,15 +556,25 @@ impl Theory for SimplexTheory<'_> {
             }
         }
         let conflict_ids = if complete {
-            match self.simplex.check_assignment(&self.bounds) {
-                SimplexResult::Feasible(reals) => {
+            match self.simplex.try_check_assignment(&self.bounds) {
+                Ok(SimplexResult::Feasible(reals)) => {
                     self.model = Some(reals);
                     return TheoryResult::Ok;
                 }
-                SimplexResult::Infeasible(ids) => Some(ids),
+                Ok(SimplexResult::Infeasible(ids)) => Some(ids),
+                Err(halt) => {
+                    self.halt = Some(halt.into());
+                    return TheoryResult::Halt;
+                }
             }
         } else {
-            self.simplex.assert_and_solve(&self.bounds)
+            match self.simplex.try_assert_and_solve(&self.bounds) {
+                Ok(ids) => ids,
+                Err(halt) => {
+                    self.halt = Some(halt.into());
+                    return TheoryResult::Halt;
+                }
+            }
         };
         if let Some(ids) = conflict_ids {
             self.conflicts += 1;
@@ -603,6 +811,71 @@ mod tests {
         assert!(v >= 10.0 - 1e-9, "base objective {v}");
         assert!(v > 5.0, "objective must be allowed to exceed the stale hi");
         assert!(m.real(x) >= 10.0 - 1e-9);
+    }
+
+    #[test]
+    fn conflict_budget_halts_and_lifting_it_resumes() {
+        let mut s = Solver::new();
+        let a = s.new_bool();
+        let b = s.new_bool();
+        s.assert_formula(Formula::or([Formula::Bool(a), Formula::Bool(b)]));
+        s.set_budget(Budget {
+            max_conflicts: Some(0),
+            ..Budget::UNLIMITED
+        });
+        assert!(matches!(
+            s.check_full(&[]),
+            CheckOutcome::Halted(HaltCause::Conflicts)
+        ));
+        s.clear_budget();
+        assert!(matches!(s.check_full(&[]), CheckOutcome::Sat(_)));
+    }
+
+    #[test]
+    fn pivot_budget_halts_check_full_without_poisoning() {
+        let mut s = Solver::new();
+        let x = s.new_real();
+        let y = s.new_real();
+        s.assert_formula(LinExpr::var(x).plus(&LinExpr::var(y)).eq(10));
+        s.assert_formula(LinExpr::var(x).minus(&LinExpr::var(y)).eq(4));
+        s.set_budget(Budget {
+            max_pivots: Some(0),
+            ..Budget::UNLIMITED
+        });
+        assert!(matches!(
+            s.check_full(&[]),
+            CheckOutcome::Halted(HaltCause::Pivots)
+        ));
+        // A pivot-budget halt lands between pivots: no poison, and the
+        // same solver finishes once the budget is lifted.
+        s.clear_budget();
+        let m = match s.check_full(&[]) {
+            CheckOutcome::Sat(m) => m,
+            other => panic!("expected sat after lifting the budget, got {other:?}"),
+        };
+        assert!((m.real(x) - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn probe_budget_degrades_to_base_model() {
+        let mut s = Solver::new();
+        let x = s.new_real();
+        s.assert_formula(LinExpr::var(x).ge(0));
+        s.assert_formula(LinExpr::var(x).le(4));
+        s.set_budget(Budget {
+            max_probes: Some(0),
+            ..Budget::UNLIMITED
+        });
+        match s.maximize_budgeted(&LinExpr::var(x), 0.0, 100.0, 1e-3) {
+            OmtOutcome::Degraded { value, cause, .. } => {
+                assert_eq!(cause, HaltCause::Probes);
+                assert!(value <= 4.0 + 1e-9, "best-so-far stays feasible: {value}");
+            }
+            other => panic!("expected degraded best-so-far, got {other:?}"),
+        }
+        s.clear_budget();
+        let (v, _) = s.maximize(&LinExpr::var(x), 0.0, 100.0, 1e-3).expect("sat");
+        assert!((v - 4.0).abs() < 0.01);
     }
 
     #[test]

@@ -60,6 +60,7 @@ proptest! {
                 }
             }
             SatVerdict::Unsat => prop_assert!(!expected, "solver UNSAT, brute force SAT"),
+            SatVerdict::Unknown => prop_assert!(false, "unbudgeted solve returned Unknown"),
         }
     }
 }
@@ -105,6 +106,7 @@ proptest! {
                 }
             }
             SatVerdict::Unsat => prop_assert!(!expected, "GC solver UNSAT, brute force SAT"),
+            SatVerdict::Unknown => prop_assert!(false, "unbudgeted solve returned Unknown"),
         }
         // And the default-budget solver agrees (differently-searched,
         // same verdict).
