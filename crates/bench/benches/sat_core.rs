@@ -15,6 +15,12 @@
 //! pigeonhole shape and reports the minimized-literal count (the
 //! recursive self-subsumption pass must actually shrink clauses, not
 //! just burn cycles).
+//! `binary_propagation` probes a pure implication-cascade instance, so
+//! the wall tracks the binary adjacency layer (len-2 clauses propagate
+//! from compact `(other, clause)` lists before any long-watch work).
+//! `push_pop_restore` opens and closes assertion frames around an
+//! unsatisfiable subproblem, timing the incremental order-heap repair
+//! the pop path performs instead of a full rebuild.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
@@ -22,12 +28,17 @@ use std::hint::black_box;
 use shatter_smt::sat::{Lit, SatSolver, SatVerdict};
 
 fn pigeonhole(pigeons: usize) -> SatSolver {
-    let holes = pigeons - 1;
     let mut s = SatSolver::new();
-    let var = |i: usize, j: usize| i * holes + j;
-    for _ in 0..pigeons * holes {
-        s.new_var();
-    }
+    add_pigeonhole(&mut s, pigeons);
+    s
+}
+
+/// Adds an N-pigeon pigeonhole subproblem over fresh variables (so it
+/// can also be asserted inside a push frame of a larger instance).
+fn add_pigeonhole(s: &mut SatSolver, pigeons: usize) {
+    let holes = pigeons - 1;
+    let base: Vec<usize> = (0..pigeons * holes).map(|_| s.new_var()).collect();
+    let var = |i: usize, j: usize| base[i * holes + j];
     for i in 0..pigeons {
         let clause: Vec<Lit> = (0..holes).map(|j| Lit::pos(var(i, j))).collect();
         s.add_clause(&clause);
@@ -39,7 +50,6 @@ fn pigeonhole(pigeons: usize) -> SatSolver {
             }
         }
     }
-    s
 }
 
 /// A satisfiable padded instance with a guard selector: probing it under
@@ -130,11 +140,69 @@ fn bench_minimization(c: &mut Criterion) {
     group.finish();
 }
 
+/// K disjoint binary implication chains hanging off one root literal:
+/// assuming the root enqueues K·L implied literals purely through the
+/// binary adjacency layer.
+fn binary_cascade(chains: usize, len: usize) -> (SatSolver, Lit) {
+    let mut s = SatSolver::new();
+    let root = Lit::pos(s.new_var());
+    for _ in 0..chains {
+        let mut prev = root;
+        for _ in 0..len {
+            let next = Lit::pos(s.new_var());
+            s.add_clause(&[prev.negated(), next]);
+            prev = next;
+        }
+    }
+    (s, root)
+}
+
+fn bench_binary_propagation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sat_core/binary_propagation");
+    group.sample_size(10);
+    group.bench_function("cascade_64x256_probes_x20", |b| {
+        let (mut s, root) = binary_cascade(64, 256);
+        b.iter(|| {
+            for i in 0..20 {
+                let a = if i % 2 == 0 { root } else { root.negated() };
+                assert!(matches!(s.solve_under(&[a]), SatVerdict::Sat(_)));
+            }
+            assert!(s.stats.bin_props > 0, "binary layer never propagated");
+            black_box(s.stats.bin_props)
+        })
+    });
+    group.finish();
+}
+
+fn bench_push_pop_restore(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sat_core/push_pop_restore");
+    group.sample_size(10);
+    group.bench_function("guarded500_ph5_frames_x20", |b| {
+        // A large ambient heap (1501 vars) makes the pop-time repair
+        // cost visible; each frame's refuted subproblem reorders
+        // activities before the pop restores the outer state.
+        let (mut s, guard) = guarded_chain(500);
+        assert!(matches!(s.solve_under(&[guard]), SatVerdict::Sat(_)));
+        b.iter(|| {
+            for _ in 0..20 {
+                s.push();
+                add_pigeonhole(&mut s, 5);
+                assert_eq!(s.solve(), SatVerdict::Unsat);
+                s.pop();
+            }
+            black_box(s.stats.conflicts)
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_decide_propagate,
     bench_gc_cycle,
     bench_assumption_chain,
-    bench_minimization
+    bench_minimization,
+    bench_binary_propagation,
+    bench_push_pop_restore
 );
 criterion_main!(benches);

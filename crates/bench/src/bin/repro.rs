@@ -8,7 +8,8 @@
 //!       [--days N] [--span N] [--seed N]
 //!       [--json] [--no-text] [--out DIR] [--no-csv]
 //!       [--baseline PATH] [--gate-against PATH]
-//!       [--inject PLAN] [--budget SPEC] [--keep-going] [--fail-fast]
+//!       [--inject PLAN] [--budget SPEC] [--portfolio N]
+//!       [--keep-going] [--fail-fast]
 //!       [exhibit...]
 //! repro                 # full suite, parallel, text + CSV
 //! repro --only tab5,fig10 --threads 4 --json
@@ -29,6 +30,11 @@
 //! `scenario/site/kind[@hit]`, comma-separated) and `--budget` caps
 //! solver effort per SMT window (`SHATTER_BUDGET` syntax:
 //! `conflicts=N,pivots=N,probes=N`) with anytime degradation.
+//!
+//! `--portfolio N` (`SHATTER_PORTFOLIO`) races N diversified solver
+//! configurations on hard SMT windows, first finisher wins with a
+//! deterministic tie-break — tables stay byte-identical to a serial
+//! `--portfolio 0` run; only wall-clock and effort columns change.
 
 use std::path::PathBuf;
 
@@ -55,6 +61,7 @@ struct Options {
     gate_against: Option<PathBuf>,
     inject: Option<String>,
     budget: Option<String>,
+    portfolio: Option<usize>,
     fail_fast: bool,
 }
 
@@ -99,6 +106,7 @@ fn parse_args(known_ids: &[String]) -> Result<Options, Vec<String>> {
         gate_against: None,
         inject: None,
         budget: None,
+        portfolio: None,
         fail_fast: false,
     };
     let mut errors: Vec<String> = Vec::new();
@@ -174,6 +182,7 @@ fn parse_args(known_ids: &[String]) -> Result<Options, Vec<String>> {
                     opts.budget = Some(spec);
                 }
             }
+            "--portfolio" => opts.portfolio = Some(next_num(&mut args, "--portfolio", &mut errors)),
             "--keep-going" => opts.fail_fast = false,
             "--fail-fast" => opts.fail_fast = true,
             "all" => opts.wanted.extend(known_ids.iter().cloned()),
@@ -182,8 +191,8 @@ fn parse_args(known_ids: &[String]) -> Result<Options, Vec<String>> {
                     "usage: repro [--list] [--only ID[,ID...]] [--threads N] [--serial]\n\
                      \x20            [--days N] [--span N] [--seed N] [--json] [--no-text]\n\
                      \x20            [--out DIR] [--no-csv] [--baseline PATH]\n\
-                     \x20            [--inject PLAN] [--budget SPEC] [--keep-going] [--fail-fast]\n\
-                     \x20            [exhibit...]"
+                     \x20            [--inject PLAN] [--budget SPEC] [--portfolio N]\n\
+                     \x20            [--keep-going] [--fail-fast] [exhibit...]"
                 );
                 println!("exhibits: {}", known_ids.join(" "));
                 std::process::exit(0);
@@ -222,6 +231,12 @@ fn main() {
         // SmtScheduler::default reads SHATTER_BUDGET, so exporting the
         // (already-validated) spec reaches every window the run solves.
         std::env::set_var("SHATTER_BUDGET", spec);
+    }
+    if let Some(n) = opts.portfolio {
+        // Same route as --budget: SmtScheduler::default reads
+        // SHATTER_PORTFOLIO, so every scheduler the exhibits build
+        // races hard windows across n diversified configurations.
+        std::env::set_var("SHATTER_PORTFOLIO", n.to_string());
     }
 
     if opts.list {

@@ -705,6 +705,9 @@ pub fn strategies(cx: &ScenarioCtx<'_>) -> Table {
             "sat_live",
             "float_piv",
             "fb",
+            "bin_props",
+            "phase_resets",
+            "pf_wins",
         ],
     );
     let registry = StrategyRegistry::builtin();
@@ -721,8 +724,11 @@ pub fn strategies(cx: &ScenarioCtx<'_>) -> Table {
             cells.push((ei, o));
         }
     }
+    // Hard SMT windows additionally race portfolio attempts through the
+    // same slot budget (nested fan-out; a zero surplus runs them inline).
+    let exec = cx.batch_executor();
     let rows = cx.par_map(&cells, |_, &(ei, o)| {
-        entries[ei].scheduler.schedule_occupant_zones_memo_stats(
+        entries[ei].scheduler.schedule_occupant_zones_batched(
             OccupantId(o),
             &table,
             &adm,
@@ -730,6 +736,7 @@ pub fn strategies(cx: &ScenarioCtx<'_>) -> Table {
             day,
             &memo,
             &prefix,
+            &exec,
         )
     });
     for (ei, entry) in entries.iter().enumerate() {
@@ -752,6 +759,9 @@ pub fn strategies(cx: &ScenarioCtx<'_>) -> Table {
             stats.exact_fallbacks += s.exact_fallbacks;
             stats.degraded_windows += s.degraded_windows;
             stats.retried_windows += s.retried_windows;
+            stats.bin_props += s.bin_props;
+            stats.phase_resets += s.phase_resets;
+            stats.portfolio_wins += s.portfolio_wins;
         }
         // Budget-degraded windows surface on the run status, not as a
         // table column — clean-run tables stay byte-identical.
@@ -779,6 +789,9 @@ pub fn strategies(cx: &ScenarioCtx<'_>) -> Table {
             stats.sat_learnt_live.to_string(),
             stats.float_pivots.to_string(),
             stats.exact_fallbacks.to_string(),
+            stats.bin_props.to_string(),
+            stats.phase_resets.to_string(),
+            stats.portfolio_wins.to_string(),
         ]);
     }
     t
@@ -1038,6 +1051,9 @@ pub fn fig11(cx: &ScenarioCtx<'_>) -> Table {
             "sat_live",
             "float_piv",
             "fb",
+            "bin_props",
+            "phase_resets",
+            "pf_wins",
         ],
     );
     /// One measurement of the span sweep: (a) a time-horizon point on an
@@ -1058,6 +1074,9 @@ pub fn fig11(cx: &ScenarioCtx<'_>) -> Table {
     let day_idx = 10;
     let adm_kind = AdmKind::default_kmeans();
     let memo = EngineWindowMemo(cx.cache);
+    // Hard windows inside a sweep point race portfolio attempts through
+    // the run's shared slot budget (nested under the point-level fan-out).
+    let exec = cx.batch_executor();
     // Every sweep point is an independent solver run; rows come back in
     // submission order. Window solutions flow through the fixture cache,
     // so re-solved spans (e.g. the horizon-10 House-A windows the
@@ -1082,7 +1101,7 @@ pub fn fig11(cx: &ScenarioCtx<'_>) -> Table {
             // isolates the per-window encoding blow-up (the paper's
             // lookback-time axis).
             let start = Instant::now();
-            let (_, stats) = sched.schedule_occupant_memo(
+            let (_, stats) = sched.schedule_occupant_memo_exec(
                 OccupantId(0),
                 &table,
                 &adm,
@@ -1090,6 +1109,7 @@ pub fn fig11(cx: &ScenarioCtx<'_>) -> Table {
                 day,
                 span,
                 Some((&memo, &prefix)),
+                &exec,
             );
             let elapsed = start.elapsed();
             let per_window_us = elapsed.as_micros() as f64 / stats.windows.max(1) as f64;
@@ -1114,6 +1134,9 @@ pub fn fig11(cx: &ScenarioCtx<'_>) -> Table {
                 stats.sat_learnt_live.to_string(),
                 stats.float_pivots.to_string(),
                 stats.exact_fallbacks.to_string(),
+                stats.bin_props.to_string(),
+                stats.phase_resets.to_string(),
+                stats.portfolio_wins.to_string(),
             ]
         }
         Sweep::Zones(n_zones) => {
@@ -1135,7 +1158,7 @@ pub fn fig11(cx: &ScenarioCtx<'_>) -> Table {
                 day_idx,
             );
             let start = Instant::now();
-            let (_, stats) = sched.schedule_occupant_memo(
+            let (_, stats) = sched.schedule_occupant_memo_exec(
                 OccupantId(0),
                 &table,
                 &adm,
@@ -1143,6 +1166,7 @@ pub fn fig11(cx: &ScenarioCtx<'_>) -> Table {
                 day,
                 span,
                 Some((&memo, &prefix)),
+                &exec,
             );
             let elapsed = start.elapsed();
             let per_window_us = elapsed.as_micros() as f64 / stats.windows.max(1) as f64;
@@ -1167,6 +1191,9 @@ pub fn fig11(cx: &ScenarioCtx<'_>) -> Table {
                 stats.sat_learnt_live.to_string(),
                 stats.float_pivots.to_string(),
                 stats.exact_fallbacks.to_string(),
+                stats.bin_props.to_string(),
+                stats.phase_resets.to_string(),
+                stats.portfolio_wins.to_string(),
             ]
         }
     });

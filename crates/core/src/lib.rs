@@ -68,7 +68,10 @@ pub use capability::AttackerCapability;
 pub use dp::WindowDpScheduler;
 pub use greedy::GreedyScheduler;
 pub use reward::{plausible_activities, RewardTable};
-pub use schedule::{AttackSchedule, ScheduleError, Scheduler, WindowMemo, WindowSolution};
+pub use schedule::{
+    schedule_day_batched, AttackSchedule, BatchExecutor, ScheduleError, Scheduler, SerialExecutor,
+    WindowMemo, WindowSolution,
+};
 pub use shatter_smt::Budget;
 pub use smt_sched::{SmtScheduler, SmtStats};
 pub use strategy::{SharedScheduler, StrategyEntry, StrategyRegistry};

@@ -46,7 +46,7 @@ pub mod scenario;
 pub mod table;
 
 pub use fixtures::{CacheStats, FixtureCache, HouseFixture, HOUSE_A_SEED, HOUSE_B_SEED};
-pub use pool::WorkPool;
+pub use pool::{PoolExecutor, WorkPool};
 pub use report::{CsvReporter, JsonLinesReporter, Reporter, TextReporter};
 pub use runner::{RunConfig, RunOutcome, ScenarioReport, ScenarioStatus};
 pub use scenario::{FnScenario, HealthSink, Registry, RunParams, Scenario, ScenarioCtx};

@@ -163,6 +163,13 @@ pub struct SatStats {
     /// Literals removed from first-UIP clauses by recursive
     /// self-subsumption before install (learnt-clause minimization).
     pub minimized: u64,
+    /// Literals implied through the binary implication layer (adjacency
+    /// lists over two-literal clauses, propagated before long clauses).
+    pub bin_props: u64,
+    /// Saved-phase resets performed on restart
+    /// ([`SearchConfig::phase_reset_on_restart`]; zero on the default
+    /// configuration).
+    pub phase_resets: u64,
 }
 
 impl SatStats {
@@ -178,6 +185,68 @@ impl SatStats {
             gc_clauses: self.gc_clauses - earlier.gc_clauses,
             carried: self.carried - earlier.carried,
             minimized: self.minimized - earlier.minimized,
+            bin_props: self.bin_props - earlier.bin_props,
+            phase_resets: self.phase_resets - earlier.phase_resets,
+        }
+    }
+}
+
+/// Search-heuristic configuration knobs diversifying otherwise-identical
+/// solvers for portfolio racing. Every knob is deterministic (no
+/// randomness, no wall time): a fixed configuration always produces the
+/// same search, so racing configs and taking the winner by a
+/// deterministic tie-break keeps results byte-identical regardless of
+/// wall-clock interleaving. [`SearchConfig::default`] is the historical
+/// behaviour; set a config *before* allocating variables (the initial
+/// phase applies at variable creation).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SearchConfig {
+    /// Initial (and reset) saved phase of fresh variables.
+    pub default_phase: bool,
+    /// Reset every saved phase to `default_phase` on restart, trading
+    /// phase memory for diversification (counted in
+    /// [`SatStats::phase_resets`]).
+    pub phase_reset_on_restart: bool,
+    /// Conflicts per Luby unit: the r-th restart fires after
+    /// `luby(r) * restart_scale` conflicts.
+    pub restart_scale: u64,
+    /// VSIDS bump growth divisor (`var_inc /= var_decay` per conflict);
+    /// closer to 1.0 keeps old activity relevant longer.
+    pub var_decay: f64,
+}
+
+impl Default for SearchConfig {
+    fn default() -> SearchConfig {
+        SearchConfig {
+            default_phase: false,
+            phase_reset_on_restart: false,
+            restart_scale: 100,
+            var_decay: 0.95,
+        }
+    }
+}
+
+impl SearchConfig {
+    /// The `index`-th diversified portfolio member: 0 is the default
+    /// configuration, 1 inverts the initial phase, 2 resets phases on a
+    /// faster restart cadence, 3 decays VSIDS slower on a slower cadence.
+    pub fn diversified(index: usize) -> SearchConfig {
+        match index % 4 {
+            1 => SearchConfig {
+                default_phase: true,
+                ..SearchConfig::default()
+            },
+            2 => SearchConfig {
+                phase_reset_on_restart: true,
+                restart_scale: 50,
+                ..SearchConfig::default()
+            },
+            3 => SearchConfig {
+                var_decay: 0.99,
+                restart_scale: 150,
+                ..SearchConfig::default()
+            },
+            _ => SearchConfig::default(),
         }
     }
 }
@@ -394,7 +463,11 @@ impl OrderHeap {
 
     /// Rebuilds the heap to contain exactly the variables `0..n_vars`.
     /// Any valid heap layout yields the same `pop_max` sequence because
-    /// the comparison is a total order, so this is replay-safe.
+    /// the comparison is a total order, so this is replay-safe. Kept as
+    /// the reference implementation the incremental [`OrderHeap::restore`]
+    /// is checked against (`order_heap_restore_matches_rebuild`); `pop`
+    /// itself now restores incrementally.
+    #[cfg(test)]
     fn rebuild(&mut self, act: &[f64], n_vars: usize) {
         self.heap.clear();
         self.pos.clear();
@@ -404,6 +477,41 @@ impl OrderHeap {
             self.heap.push(v as u32);
         }
         for i in (0..n_vars / 2).rev() {
+            self.sift_down(act, i);
+        }
+    }
+
+    /// Incrementally restores the heap to cover exactly `0..n_vars` after
+    /// a frame pop: drops entries for popped variables, re-admits
+    /// variables that were absent (assigned inside the frame), and
+    /// repairs the order with one Floyd heapify pass. A full pass over
+    /// the *entries* is unavoidable — the pop restores the whole activity
+    /// array, re-keying every element at once — but unlike
+    /// [`OrderHeap::rebuild`] this reuses the surviving layout instead of
+    /// resetting to the identity permutation, so the heapify starts
+    /// mostly ordered and the position table is never reallocated.
+    /// Replay-safe for the same reason rebuild is: (activity, index) is a
+    /// total order, so every valid heap layout yields the same `pop_max`
+    /// sequence.
+    fn restore(&mut self, act: &[f64], n_vars: usize) {
+        self.pos.truncate(n_vars);
+        let mut k = 0usize;
+        for i in 0..self.heap.len() {
+            let v = self.heap[i];
+            if (v as usize) < n_vars {
+                self.heap[k] = v;
+                self.pos[v as usize] = k as u32;
+                k += 1;
+            }
+        }
+        self.heap.truncate(k);
+        for v in 0..n_vars {
+            if self.pos[v] == ABSENT {
+                self.pos[v] = self.heap.len() as u32;
+                self.heap.push(v as u32);
+            }
+        }
+        for i in (0..self.heap.len() / 2).rev() {
             self.sift_down(act, i);
         }
     }
@@ -446,8 +554,19 @@ struct SatFrame {
 pub struct SatSolver {
     n_vars: usize,
     clauses: ClauseDb,
-    /// watches[lit] = clause indices watching `lit`.
+    /// watches[lit] = clause indices watching `lit` (clauses of length
+    /// ≥ 3 only; binary clauses live in `bin_watches`).
     watches: Vec<Vec<usize>>,
+    /// Binary implication layer: `bin_watches[lit]` holds `(other, ci)`
+    /// for every two-literal clause `{lit, other}` (index `ci` in the
+    /// clause database). When `lit` becomes false, `other` is implied
+    /// with `ci` as its reason — a direct adjacency lookup with no watch
+    /// hunt and no literal swapping. Theory propagation emits
+    /// predominantly binary bound-chain lemmas, which is why they get a
+    /// dedicated graph; it is propagated exhaustively before the long
+    /// clauses of the same trail literal. Derived state: rebuilt (never
+    /// snapshotted) on `pop` and GC, exactly like `watches`.
+    bin_watches: Vec<Vec<(Lit, usize)>>,
     /// Per-variable value: 0 false, 1 true, -1 unassigned.
     assign: Vec<i8>,
     /// Saved phase for decision polarity.
@@ -505,6 +624,8 @@ pub struct SatSolver {
     /// search returns [`SatVerdict::Unknown`] once cumulative conflicts
     /// reach it. Deterministic — conflicts, never wall time.
     conflict_limit: Option<u64>,
+    /// Heuristic diversification knobs (portfolio racing).
+    config: SearchConfig,
     /// Cumulative effort counters.
     pub stats: SatStats,
 }
@@ -520,6 +641,7 @@ impl Default for SatSolver {
             n_vars: 0,
             clauses: ClauseDb::default(),
             watches: Vec::new(),
+            bin_watches: Vec::new(),
             assign: Vec::new(),
             phase: Vec::new(),
             trail: Vec::new(),
@@ -546,6 +668,7 @@ impl Default for SatSolver {
             last_core: Vec::new(),
             frames: Vec::new(),
             conflict_limit: None,
+            config: SearchConfig::default(),
             stats: SatStats::default(),
         }
     }
@@ -595,12 +718,23 @@ impl SatSolver {
         self.conflict_limit = limit;
     }
 
+    /// Installs diversification knobs (see [`SearchConfig`]). Call before
+    /// allocating variables: `default_phase` applies at variable
+    /// creation, and a mid-search swap would break replay determinism.
+    pub fn set_search_config(&mut self, config: SearchConfig) {
+        debug_assert!(
+            config.restart_scale > 0 && config.var_decay > 0.0 && config.var_decay <= 1.0,
+            "degenerate search config"
+        );
+        self.config = config;
+    }
+
     /// Allocates a fresh variable and returns its index.
     pub fn new_var(&mut self) -> usize {
         let v = self.n_vars;
         self.n_vars += 1;
         self.assign.push(UNASSIGNED);
-        self.phase.push(false);
+        self.phase.push(self.config.default_phase);
         self.reason.push(None);
         self.level.push(0);
         self.activity.push(0.0);
@@ -611,6 +745,8 @@ impl SatSolver {
         self.fact_depth.push(0);
         self.watches.push(Vec::new());
         self.watches.push(Vec::new());
+        self.bin_watches.push(Vec::new());
+        self.bin_watches.push(Vec::new());
         self.order.insert(&self.activity, v);
         v
     }
@@ -663,12 +799,18 @@ impl SatSolver {
         }
     }
 
-    /// Stores a clause (watching positions 0 and 1) and returns its index.
+    /// Stores a clause and returns its index. Length-2 clauses enter the
+    /// binary implication graph; longer ones watch positions 0 and 1.
     fn attach_clause(&mut self, lits: &[Lit], learnt: bool, depth: u32, lbd: u32) -> usize {
         debug_assert!(lits.len() >= 2);
         let idx = self.clauses.len();
-        self.watches[lits[0].index()].push(idx);
-        self.watches[lits[1].index()].push(idx);
+        if lits.len() == 2 {
+            self.bin_watches[lits[0].index()].push((lits[1], idx));
+            self.bin_watches[lits[1].index()].push((lits[0], idx));
+        } else {
+            self.watches[lits[0].index()].push(idx);
+            self.watches[lits[1].index()].push(idx);
+        }
         if learnt {
             self.n_learnts += 1;
             self.stats.learned += 1;
@@ -766,20 +908,33 @@ impl SatSolver {
         self.cla_inc = f.cla_inc;
         self.gc_budget = f.gc_budget;
         self.unsat = f.unsat;
-        // Rebuild the watch lists over the surviving clauses: stored
-        // clauses always watch positions 0 and 1.
+        // Rebuild the watch lists over the surviving clauses: binary
+        // clauses re-enter the implication graph, longer ones watch
+        // positions 0 and 1.
         self.watches.truncate(2 * f.n_vars);
+        self.bin_watches.truncate(2 * f.n_vars);
         for w in &mut self.watches {
+            w.clear();
+        }
+        for w in &mut self.bin_watches {
             w.clear();
         }
         for i in 0..self.clauses.len() {
             let l = self.clauses.lits(i);
-            self.watches[l[0].index()].push(i);
-            self.watches[l[1].index()].push(i);
+            if l.len() == 2 {
+                self.bin_watches[l[0].index()].push((l[1], i));
+                self.bin_watches[l[1].index()].push((l[0], i));
+            } else {
+                self.watches[l[0].index()].push(i);
+                self.watches[l[1].index()].push(i);
+            }
         }
-        // The order heap follows the restored variable set; the total
-        // order (activity, index) makes any rebuild layout replay-safe.
-        self.order.rebuild(&self.activity, f.n_vars);
+        // The order heap follows the restored variable set; the restored
+        // activity array re-keys it wholesale, so the incremental restore
+        // heapifies in place rather than rebuilding from the identity
+        // layout (the total order (activity, index) makes either
+        // replay-safe — pinned by `order_heap_restore_matches_rebuild`).
+        self.order.restore(&self.activity, f.n_vars);
     }
 
     /// Current push depth.
@@ -832,6 +987,24 @@ impl SatSolver {
             self.qhead += 1;
             self.stats.propagations += 1;
             let false_lit = p.negated();
+            // Binary pass first: every two-literal clause with a literal
+            // just falsified resolves by adjacency lookup — no watch
+            // hunt, no literal swap, no list surgery (the graph is
+            // static during propagation, so a conflict needs no restore).
+            let mut k = 0;
+            while k < self.bin_watches[false_lit.index()].len() {
+                let (other, ci) = self.bin_watches[false_lit.index()][k];
+                k += 1;
+                match lit_value(&self.assign, other) {
+                    1 => {}
+                    0 => return Some(ci),
+                    _ => {
+                        self.stats.bin_props += 1;
+                        let ok = self.enqueue(other, Some(ci));
+                        debug_assert!(ok, "unassigned literal must enqueue");
+                    }
+                }
+            }
             let mut i = 0;
             // Take the watch list to sidestep aliasing; rebuild as we go.
             let mut watch = std::mem::take(&mut self.watches[false_lit.index()]);
@@ -904,7 +1077,7 @@ impl SatSolver {
     }
 
     fn decay(&mut self) {
-        self.var_inc /= 0.95;
+        self.var_inc /= self.config.var_decay;
         self.cla_inc /= 0.999;
     }
 
@@ -1242,14 +1415,24 @@ impl SatSolver {
             debug_assert_ne!(map[*ci], usize::MAX, "locked clause GC'd");
             *ci = map[*ci];
         }
-        // Rebuild watches: stored clauses watch positions 0 and 1.
+        // Rebuild watches over the compacted indices: binary clauses
+        // (never GC candidates, but their indices shifted) re-enter the
+        // implication graph, longer clauses watch positions 0 and 1.
         for w in &mut self.watches {
+            w.clear();
+        }
+        for w in &mut self.bin_watches {
             w.clear();
         }
         for i in 0..self.clauses.len() {
             let l = self.clauses.lits(i);
-            self.watches[l[0].index()].push(i);
-            self.watches[l[1].index()].push(i);
+            if l.len() == 2 {
+                self.bin_watches[l[0].index()].push((l[1], i));
+                self.bin_watches[l[1].index()].push((l[0], i));
+            } else {
+                self.watches[l[0].index()].push(i);
+                self.watches[l[1].index()].push(i);
+            }
         }
     }
 
@@ -1412,17 +1595,27 @@ impl SatSolver {
     }
 
     /// Pays one conflict toward the Luby restart cadence: the r-th
-    /// restart fires after `luby(r) * 100` conflicts of run r — Boolean
-    /// and theory conflicts alike, so `stats.restarts` stays consistent
-    /// with `stats.conflicts` under DPLL(T) (pinned by the
-    /// `restart_cadence_follows_luby` test).
+    /// restart fires after `luby(r) * restart_scale` conflicts of run r
+    /// (scale 100 by default) — Boolean and theory conflicts alike, so
+    /// `stats.restarts` stays consistent with `stats.conflicts` under
+    /// DPLL(T) (pinned by the `restart_cadence_follows_luby` test).
     fn tick_restart(&mut self, rs: &mut RestartSchedule) {
         rs.countdown -= 1;
         if rs.countdown == 0 {
             rs.run += 1;
             self.stats.restarts += 1;
-            rs.countdown = luby(rs.run) * 100;
+            rs.countdown = luby(rs.run) * self.config.restart_scale;
             self.backtrack_to(0);
+            if self.config.phase_reset_on_restart {
+                // Diversification: forget every saved phase (assigned
+                // variables included — their phase is rewritten on the
+                // next enqueue anyway, so one wholesale reset is sound).
+                self.stats.phase_resets += 1;
+                let d = self.config.default_phase;
+                for ph in &mut self.phase {
+                    *ph = d;
+                }
+            }
         }
     }
 
@@ -1466,7 +1659,7 @@ impl SatSolver {
             return SatVerdict::Unsat;
         }
 
-        let mut restart = RestartSchedule::new();
+        let mut restart = RestartSchedule::new(self.config.restart_scale);
         let mut decisions_since_consult = 0u64;
         loop {
             // Deterministic budget gate: checked once per loop turn, so
@@ -1598,10 +1791,10 @@ struct RestartSchedule {
 }
 
 impl RestartSchedule {
-    fn new() -> RestartSchedule {
+    fn new(scale: u64) -> RestartSchedule {
         RestartSchedule {
             run: 1,
-            countdown: luby(1) * 100,
+            countdown: luby(1) * scale,
         }
     }
 }
@@ -2426,5 +2619,201 @@ mod tests {
         assert!(s.stats.propagations > 0);
         assert!(s.stats.conflicts > 0);
         assert!(s.stats.decisions > 0 || s.stats.learned > 0);
+    }
+
+    // ----- binary implication layer --------------------------------------
+
+    #[test]
+    fn binary_chain_propagates_through_bin_layer() {
+        // A pure implication chain 1 -> 2 -> ... -> 6 rooted in a unit
+        // fact: every enqueue past the root flows through the binary
+        // adjacency lists, not the two-watched scheme. The unit goes in
+        // last — `add_clause` propagates facts eagerly and would
+        // otherwise shorten each binary to a unit before attachment.
+        let mut s = solver_with(6, &[&[-1, 2], &[-2, 3], &[-3, 4], &[-4, 5], &[-5, 6], &[1]]);
+        match s.solve() {
+            SatVerdict::Sat(model) => assert!(model.iter().all(|&b| b)),
+            v => panic!("expected Sat, got {v:?}"),
+        }
+        assert_eq!(s.stats.bin_props, 5, "five binary-implied enqueues");
+        assert_eq!(s.stats.decisions, 0, "chain needs no decisions");
+    }
+
+    #[test]
+    fn binary_conflict_detected_and_analyzed() {
+        // With all-false default phases the first decision is ¬1, which
+        // the binary chain ¬1 -> 3 -> 4 -> 1 refutes; first-UIP analysis
+        // over purely binary reasons must learn the flip and land on the
+        // model with 1 true.
+        let mut s = solver_with(4, &[&[1, 3], &[-3, 4], &[-4, 1], &[-1, 2]]);
+        match s.solve() {
+            SatVerdict::Sat(model) => assert!(model[0] && model[1]),
+            v => panic!("expected Sat, got {v:?}"),
+        }
+        assert!(s.stats.conflicts > 0, "decision must be refuted");
+        assert!(s.stats.bin_props > 0);
+    }
+
+    #[test]
+    fn binary_layer_survives_push_pop() {
+        // Binary clauses added inside a frame must vanish on pop, and
+        // pre-push binaries must keep propagating afterwards.
+        let mut s = solver_with(3, &[&[-1, 2], &[-2, 3]]);
+        s.push();
+        s.add_clause(&lits(&[1]));
+        s.add_clause(&lits(&[-3]));
+        assert_eq!(s.solve(), SatVerdict::Unsat);
+        s.pop();
+        s.push();
+        let before = s.stats.bin_props;
+        s.add_clause(&lits(&[1]));
+        match s.solve() {
+            SatVerdict::Sat(model) => assert!(model.iter().all(|&b| b)),
+            v => panic!("expected Sat, got {v:?}"),
+        }
+        assert!(s.stats.bin_props >= before + 2, "pre-push chain must fire");
+        s.pop();
+    }
+
+    #[test]
+    fn binary_layer_survives_gc_compaction() {
+        // reduce_db rebuilds both watch schemes over compacted clause
+        // indices; a GC-heavy Unsat run followed by continued use would
+        // crash or mispropagate if binary entries dangled.
+        let (n, clauses) = pigeonhole_clauses(7);
+        let refs: Vec<&[i32]> = clauses.iter().map(|c| c.as_slice()).collect();
+        let mut s = solver_with(n, &refs);
+        s.set_gc_budget(10);
+        assert_eq!(s.solve(), SatVerdict::Unsat);
+        assert!(s.stats.gc_clauses > 0, "GC never ran");
+        assert!(s.stats.bin_props > 0, "hole-exclusion binaries must fire");
+    }
+
+    // ----- search configuration ------------------------------------------
+
+    #[test]
+    fn diversified_configs_agree_on_verdicts() {
+        // The portfolio contract: every diversified configuration is a
+        // complete solver, so verdicts agree on both polarities.
+        let (n, clauses) = pigeonhole_clauses(6);
+        let refs: Vec<&[i32]> = clauses.iter().map(|c| c.as_slice()).collect();
+        for i in 0..4 {
+            let mut s = SatSolver::new();
+            s.set_search_config(SearchConfig::diversified(i));
+            for _ in 0..n {
+                s.new_var();
+            }
+            for c in &refs {
+                s.add_clause(&lits(c));
+            }
+            assert_eq!(s.solve(), SatVerdict::Unsat, "config {i}");
+
+            let mut t = SatSolver::new();
+            t.set_search_config(SearchConfig::diversified(i));
+            for _ in 0..4 {
+                t.new_var();
+            }
+            for c in [&[1, -2][..], &[2, 3, 4], &[-3, -4]] {
+                t.add_clause(&lits(c));
+            }
+            assert!(matches!(t.solve(), SatVerdict::Sat(_)), "config {i}");
+        }
+    }
+
+    #[test]
+    fn phase_resets_fire_only_when_configured() {
+        let (n, clauses) = pigeonhole_clauses(7);
+        let refs: Vec<&[i32]> = clauses.iter().map(|c| c.as_slice()).collect();
+        let run = |cfg: SearchConfig| {
+            let mut s = SatSolver::new();
+            s.set_search_config(cfg);
+            for _ in 0..n {
+                s.new_var();
+            }
+            for c in &refs {
+                s.add_clause(&lits(c));
+            }
+            assert_eq!(s.solve(), SatVerdict::Unsat);
+            s.stats
+        };
+        let default = run(SearchConfig::default());
+        assert_eq!(default.phase_resets, 0);
+        let resetting = run(SearchConfig::diversified(2));
+        assert!(resetting.restarts > 0, "instance too easy to restart");
+        assert_eq!(resetting.phase_resets, resetting.restarts);
+    }
+
+    #[test]
+    fn restart_scale_changes_cadence() {
+        // diversified(2) halves the Luby scale, so the same conflict
+        // budget crosses more restarts than the default cadence.
+        let (n, clauses) = pigeonhole_clauses(7);
+        let refs: Vec<&[i32]> = clauses.iter().map(|c| c.as_slice()).collect();
+        let run = |cfg: SearchConfig| {
+            let mut s = SatSolver::new();
+            s.set_search_config(cfg);
+            for _ in 0..n {
+                s.new_var();
+            }
+            for c in &refs {
+                s.add_clause(&lits(c));
+            }
+            assert_eq!(s.solve(), SatVerdict::Unsat);
+            s.stats
+        };
+        let slow = run(SearchConfig::default());
+        let fast = run(SearchConfig {
+            restart_scale: 50,
+            ..SearchConfig::default()
+        });
+        assert!(
+            fast.restarts > slow.restarts,
+            "fast={} slow={}",
+            fast.restarts,
+            slow.restarts
+        );
+    }
+
+    // ----- order-heap restore ---------------------------------------------
+
+    #[test]
+    fn order_heap_restore_matches_rebuild() {
+        // `restore` must land on the same pop_max drain as the reference
+        // full rebuild from any surviving layout: arbitrary insert
+        // orders, popped subsets, duplicate activities (tie-breaking),
+        // and shrunken variable ranges.
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(41);
+        for round in 0..200 {
+            let total = rng.random_range(1..30usize);
+            let act: Vec<f64> = (0..total)
+                .map(|_| f64::from(rng.random_range(0..6u32)))
+                .collect();
+            let mut h = OrderHeap::default();
+            let mut order: Vec<usize> = (0..total).collect();
+            for i in (1..order.len()).rev() {
+                order.swap(i, rng.random_range(0..=i));
+            }
+            for &v in &order {
+                h.insert(&act, v);
+            }
+            for _ in 0..rng.random_range(0..=total) {
+                h.pop_max(&act);
+            }
+            let n_vars = rng.random_range(1..=total);
+            let mut restored = h.clone();
+            restored.restore(&act, n_vars);
+            let mut rebuilt = h;
+            rebuilt.rebuild(&act, n_vars);
+            let drain = |mut h: OrderHeap| {
+                let mut out = Vec::new();
+                while let Some(v) = h.pop_max(&act) {
+                    out.push(v);
+                }
+                out
+            };
+            assert_eq!(drain(restored), drain(rebuilt), "round {round}");
+        }
     }
 }

@@ -3,7 +3,7 @@ use std::collections::HashMap;
 use crate::ast::{Atom, BoolVar, Formula, LinExpr, RealVar, Rel};
 use crate::budget::Budget;
 use crate::cnf::{strip_expr, Encoder};
-use crate::sat::{Lit, SatStats, SatVerdict, Theory, TheoryResult, TheoryView};
+use crate::sat::{Lit, SatStats, SatVerdict, SearchConfig, Theory, TheoryResult, TheoryView};
 use crate::simplex::{
     BoundConstraint, BoundKind, DeltaRat, NumericMode, Simplex, SimplexHalt, SimplexResult,
     SimplexStats,
@@ -266,6 +266,16 @@ impl Solver {
     /// off where exact replay matters.
     pub fn set_carry_learnts(&mut self, on: bool) {
         self.enc.sat.set_carry_learnts(on);
+    }
+
+    /// Selects the CDCL search configuration (see
+    /// [`crate::sat::SearchConfig`]): initial phase polarity, phase reset
+    /// on restart, restart cadence scale and VSIDS decay. Portfolio
+    /// callers diversify racing solvers with
+    /// [`SearchConfig::diversified`]. Set this before asserting formulas
+    /// — `default_phase` applies to variables as they are created.
+    pub fn set_search_config(&mut self, config: SearchConfig) {
+        self.enc.sat.set_search_config(config);
     }
 
     /// Checkpoints the assertion stack: formulas asserted and variables
