@@ -9,6 +9,8 @@
 //!       [--json] [--no-text] [--out DIR] [--no-csv]
 //!       [--baseline PATH] [--gate-against PATH]
 //!       [--inject PLAN] [--budget SPEC] [--portfolio N]
+//!       [--fleet N] [--resume DIR] [--journal DIR]
+//!       [--house-budget SPEC] [--fleet-retries N]
 //!       [--keep-going] [--fail-fast]
 //!       [exhibit...]
 //! repro                 # full suite, parallel, text + CSV
@@ -16,7 +18,21 @@
 //! repro --baseline BENCH_engine.json --days 6 --span 20
 //! repro --baseline ci.json --gate-against BENCH_engine.json  # perf gate
 //! repro --inject 'fig3/scenario.run/panic' fig3 tab5         # chaos run
+//! repro --fleet 100 --threads 8           # crash-safe fleet, journaled
+//! repro --resume results/fleet-journal    # continue an interrupted fleet
 //! ```
+//!
+//! `--fleet N` evaluates N deterministically generated homes under one
+//! shared work-pool budget, journaling every completed house to
+//! `--journal DIR` (default `<out>/fleet-journal`) through the durable
+//! `shatter-store` record format. A killed run — power loss, `kill -9`,
+//! injected crash — is continued with `--resume DIR`: the run
+//! configuration is reconstructed from the journal's manifest, valid
+//! records are replayed verbatim (never recomputed) and only
+//! missing/failed houses run; the final tables are byte-identical to an
+//! uninterrupted run. `--house-budget` sets the per-house deterministic
+//! effort watchdog (same syntax as `--budget`) and `--fleet-retries`
+//! bounds retries before a crashing house is quarantined.
 //!
 //! Setting `SHATTER_EXACT_SIMPLEX=1` (or `true`) runs every SMT window
 //! through the forced-exact rational simplex instead of the certified
@@ -38,6 +54,7 @@
 
 use std::path::PathBuf;
 
+use shatter_bench::fleet::{FleetPolicy, FleetScenario};
 use shatter_bench::scenarios::builtin_registry;
 use shatter_engine::baseline::measure;
 use shatter_engine::runner::run_scenarios;
@@ -63,6 +80,11 @@ struct Options {
     budget: Option<String>,
     portfolio: Option<usize>,
     fail_fast: bool,
+    fleet: Option<usize>,
+    resume: Option<PathBuf>,
+    journal: Option<PathBuf>,
+    house_budget: Option<String>,
+    fleet_retries: Option<u32>,
 }
 
 /// Fraction by which the measured serial suite wall-clock may exceed the
@@ -108,6 +130,11 @@ fn parse_args(known_ids: &[String]) -> Result<Options, Vec<String>> {
         budget: None,
         portfolio: None,
         fail_fast: false,
+        fleet: None,
+        resume: None,
+        journal: None,
+        house_budget: None,
+        fleet_retries: None,
     };
     let mut errors: Vec<String> = Vec::new();
     fn next_num(
@@ -183,6 +210,29 @@ fn parse_args(known_ids: &[String]) -> Result<Options, Vec<String>> {
                 }
             }
             "--portfolio" => opts.portfolio = Some(next_num(&mut args, "--portfolio", &mut errors)),
+            "--fleet" => opts.fleet = Some(next_num(&mut args, "--fleet", &mut errors)),
+            "--resume" => {
+                opts.resume = next_value(&mut args, "--resume", "a journal dir", &mut errors)
+                    .map(PathBuf::from);
+            }
+            "--journal" => {
+                opts.journal =
+                    next_value(&mut args, "--journal", "a dir", &mut errors).map(PathBuf::from);
+            }
+            "--house-budget" => {
+                if let Some(spec) =
+                    next_value(&mut args, "--house-budget", "a budget spec", &mut errors)
+                {
+                    if let Err(e) = Budget::parse(&spec) {
+                        errors.push(format!("--house-budget: {e}"));
+                    }
+                    opts.house_budget = Some(spec);
+                }
+            }
+            "--fleet-retries" => {
+                opts.fleet_retries =
+                    Some(next_num(&mut args, "--fleet-retries", &mut errors) as u32);
+            }
             "--keep-going" => opts.fail_fast = false,
             "--fail-fast" => opts.fail_fast = true,
             "all" => opts.wanted.extend(known_ids.iter().cloned()),
@@ -192,6 +242,8 @@ fn parse_args(known_ids: &[String]) -> Result<Options, Vec<String>> {
                      \x20            [--days N] [--span N] [--seed N] [--json] [--no-text]\n\
                      \x20            [--out DIR] [--no-csv] [--baseline PATH]\n\
                      \x20            [--inject PLAN] [--budget SPEC] [--portfolio N]\n\
+                     \x20            [--fleet N] [--resume DIR] [--journal DIR]\n\
+                     \x20            [--house-budget SPEC] [--fleet-retries N]\n\
                      \x20            [--keep-going] [--fail-fast] [exhibit...]"
                 );
                 println!("exhibits: {}", known_ids.join(" "));
@@ -211,9 +263,9 @@ fn parse_args(known_ids: &[String]) -> Result<Options, Vec<String>> {
 }
 
 fn main() {
-    let registry = builtin_registry();
+    let mut registry = builtin_registry();
     let ids = registry.ids();
-    let opts = match parse_args(&ids) {
+    let mut opts = match parse_args(&ids) {
         Ok(opts) => opts,
         Err(errors) => {
             for e in &errors {
@@ -237,6 +289,63 @@ fn main() {
         // SHATTER_PORTFOLIO, so every scheduler the exhibits build
         // races hard windows across n diversified configurations.
         std::env::set_var("SHATTER_PORTFOLIO", n.to_string());
+    }
+
+    // Crash-safe fleet wiring. --resume reconstructs the interrupted
+    // run's configuration from the journal's manifest — the manifest
+    // wins over any CLI params, so replayed records address the exact
+    // same houses — and --fleet registers the journaled fleet scenario.
+    if opts.resume.is_some() && opts.fleet.is_some() {
+        die("--resume reconstructs the fleet from the journal manifest; drop --fleet");
+    }
+    if let Some(dir) = opts.resume.clone() {
+        let entries = shatter_store::read_manifest(&dir).unwrap_or_else(|e| {
+            die(&format!(
+                "--resume: reading {}: {e}",
+                dir.join(shatter_store::MANIFEST_NAME).display()
+            ))
+        });
+        let field = |key: &str| -> String {
+            shatter_store::manifest_value(&entries, key)
+                .unwrap_or_else(|| die(&format!("--resume: manifest has no {key:?} entry")))
+                .to_string()
+        };
+        let num = |key: &str| -> usize {
+            field(key)
+                .parse()
+                .unwrap_or_else(|_| die(&format!("--resume: bad {key:?} in manifest")))
+        };
+        opts.fleet = Some(num("fleet"));
+        opts.days = num("days");
+        opts.span = num("span");
+        opts.seed = field("seed")
+            .parse()
+            .unwrap_or_else(|_| die("--resume: bad \"seed\" in manifest"));
+        opts.house_budget = Some(field("house_budget"));
+        opts.fleet_retries = Some(num("retries") as u32);
+        opts.journal = Some(dir);
+    }
+    if let Some(n) = opts.fleet {
+        let mut policy = FleetPolicy::default();
+        if let Some(spec) = &opts.house_budget {
+            policy.house_budget =
+                Budget::parse(spec).unwrap_or_else(|e| die(&format!("--house-budget: {e}")));
+        }
+        if let Some(r) = opts.fleet_retries {
+            policy.max_retries = r;
+        }
+        let dir = opts
+            .journal
+            .clone()
+            .unwrap_or_else(|| opts.out.join("fleet-journal"));
+        registry.register(
+            FleetScenario::new("fleet", n)
+                .with_policy(policy)
+                .with_journal(dir),
+        );
+        if opts.wanted.is_empty() {
+            opts.wanted.push("fleet".to_string());
+        }
     }
 
     if opts.list {

@@ -30,7 +30,7 @@ use shatter_testbed::experiment::{run_validation, ValidationConfig};
 
 use crate::common::{dataset_label, EngineWindowMemo};
 
-fn fmt2(x: f64) -> String {
+pub(crate) fn fmt2(x: f64) -> String {
     format!("{x:.2}")
 }
 fn fmt3(x: f64) -> String {
@@ -38,7 +38,7 @@ fn fmt3(x: f64) -> String {
 }
 
 /// Stable memo-key fragment describing a trained ADM configuration.
-fn adm_tag(kind: &AdmKind, train_days: usize) -> String {
+pub(crate) fn adm_tag(kind: &AdmKind, train_days: usize) -> String {
     match kind {
         AdmKind::Dbscan(p) => format!("dbscan:{}:{}@{train_days}", p.eps, p.min_pts),
         AdmKind::KMeans(p) => format!("kmeans:{}:{}:{}@{train_days}", p.k, p.max_iter, p.seed),
@@ -50,19 +50,24 @@ fn adm_tag(kind: &AdmKind, train_days: usize) -> String {
 /// seed, plus the day index), the ADM and the reward table the windows
 /// are solved against. The scheduler appends the window span, boundary
 /// stay and capability signature itself.
-fn smt_prefix(fx: &HouseFixture, adm_tag: &str, table_tag: &str, day_idx: usize) -> String {
+pub(crate) fn smt_prefix(
+    fx: &HouseFixture,
+    adm_tag: &str,
+    table_tag: &str,
+    day_idx: usize,
+) -> String {
     format!("smtw/{}/{adm_tag}/{table_tag}/{day_idx}", fx.cache_key())
 }
 
 /// Cached reward table of a fixture's energy model.
-fn reward_table(cx: &ScenarioCtx<'_>, fx: &HouseFixture) -> Arc<RewardTable> {
+pub(crate) fn reward_table(cx: &ScenarioCtx<'_>, fx: &HouseFixture) -> Arc<RewardTable> {
     cx.cache.memo(&format!("rtable/{}", fx.cache_key()), || {
         RewardTable::build(&fx.model)
     })
 }
 
 /// Cached benign per-day control costs ($) of a fixture's month.
-fn benign_day_costs(cx: &ScenarioCtx<'_>, fx: &HouseFixture) -> Arc<Vec<f64>> {
+pub(crate) fn benign_day_costs(cx: &ScenarioCtx<'_>, fx: &HouseFixture) -> Arc<Vec<f64>> {
     cx.cache.memo(&format!("benign/{}", fx.cache_key()), || {
         fx.model
             .dataset_costs(&DchvacController, &fx.month.days)
@@ -77,7 +82,7 @@ fn benign_day_costs(cx: &ScenarioCtx<'_>, fx: &HouseFixture) -> Arc<Vec<f64>> {
 /// triggering on/off comparisons and overlapping exhibits synthesize
 /// each schedule once.
 #[allow(clippy::too_many_arguments)]
-fn day_schedule(
+pub(crate) fn day_schedule(
     cx: &ScenarioCtx<'_>,
     fx: &HouseFixture,
     adm: &HullAdm,

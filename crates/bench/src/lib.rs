@@ -12,6 +12,7 @@
 
 pub mod common;
 pub mod exhibits;
+pub mod fleet;
 pub mod scenarios;
 
 pub use common::{write_csv, Table};

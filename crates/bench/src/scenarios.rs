@@ -96,6 +96,10 @@ pub fn builtin_registry() -> Registry {
         )
         .describe("Ranked sensor/appliance hardening and a greedy plan (paper §VII-D)"),
     );
+    // Small un-journaled fleet so the crash-safe evaluation path is
+    // exercised by every full-suite run; `repro --fleet N` registers
+    // the journaled, arbitrarily-sized variant on top of this.
+    reg.register(crate::fleet::FleetScenario::new("fleet_smoke", 6));
     reg
 }
 
@@ -156,12 +160,13 @@ mod tests {
             "scaled_homes",
             "capability_grid",
             "defense_sweep",
+            "fleet_smoke",
         ] {
             let s = reg.get(id).unwrap_or_else(|| panic!("missing {id}"));
             assert!(!s.title().is_empty());
             assert!(!s.description().is_empty());
         }
-        assert_eq!(reg.len(), 17);
+        assert_eq!(reg.len(), 18);
         // Only the timing exhibit is non-deterministic.
         let nondet: Vec<String> = reg
             .all()

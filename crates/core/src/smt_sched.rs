@@ -391,7 +391,9 @@ impl WindowEncoder {
                         ..WindowSolution::default()
                     }
                 }
-                FaultKind::Budget => {
+                // A window solve has no real I/O; `io` degrades like
+                // budget exhaustion.
+                FaultKind::Budget | FaultKind::Io => {
                     return WindowSolution {
                         degraded: true,
                         ..WindowSolution::default()

@@ -72,10 +72,12 @@ impl Baseline {
         ));
         out.push_str(&format!("  \"speedup\": {:.2},\n", self.speedup()));
         out.push_str(&format!(
-            "  \"cache\": {{\"hits\": {}, \"misses\": {}, \"hit_rate\": {:.3}}},\n",
+            "  \"cache\": {{\"hits\": {}, \"misses\": {}, \"hit_rate\": {}}},\n",
             self.cache.hits,
             self.cache.misses,
-            self.cache.hit_rate()
+            self.cache
+                .hit_rate()
+                .map_or_else(|| "null".to_string(), |r| format!("{r:.3}"))
         ));
         out.push_str("  \"scenarios\": [\n");
         for (i, e) in self.entries.iter().enumerate() {

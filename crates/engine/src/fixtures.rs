@@ -139,14 +139,12 @@ pub struct CacheStats {
 }
 
 impl CacheStats {
-    /// Hit fraction in `[0, 1]` (`0` when empty).
-    pub fn hit_rate(&self) -> f64 {
+    /// Hit fraction in `[0, 1]`, or `None` before any lookup — an empty
+    /// cache has no rate, and reporting it as `0.0` used to make a
+    /// fresh run indistinguishable from a 100%-miss run.
+    pub fn hit_rate(&self) -> Option<f64> {
         let total = self.hits + self.misses;
-        if total == 0 {
-            0.0
-        } else {
-            self.hits as f64 / total as f64
-        }
+        (total > 0).then(|| self.hits as f64 / total as f64)
     }
 }
 
@@ -384,6 +382,17 @@ impl FixtureCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn hit_rate_distinguishes_empty_from_all_miss() {
+        assert_eq!(CacheStats::default().hit_rate(), None);
+        assert_eq!(CacheStats { hits: 0, misses: 4 }.hit_rate(), Some(0.0));
+        assert_eq!(
+            CacheStats { hits: 2, misses: 1 }.hit_rate(),
+            Some(2.0 / 3.0)
+        );
+        assert_eq!(CacheStats { hits: 5, misses: 0 }.hit_rate(), Some(1.0));
+    }
 
     #[test]
     fn fixture_is_cached() {

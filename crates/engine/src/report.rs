@@ -126,7 +126,7 @@ impl Reporter for CsvReporter {
         let mut status = Table::new(
             "run_status",
             "Per-scenario run status",
-            &["scenario", "status", "detail"],
+            &["scenario", "status", "retried", "quarantined", "detail"],
         );
         for report in &outcome.reports {
             let detail = match &report.status {
@@ -137,6 +137,8 @@ impl Reporter for CsvReporter {
             status.push(vec![
                 report.id.clone(),
                 report.status.label().to_string(),
+                report.retried.to_string(),
+                report.quarantined.to_string(),
                 detail,
             ]);
         }
@@ -214,6 +216,8 @@ mod tests {
                 wall: Duration::from_millis(1500),
                 table: t,
                 status: ScenarioStatus::Ok,
+                retried: 0,
+                quarantined: 0,
             }],
             total_wall: Duration::from_secs(2),
             cache: CacheStats { hits: 3, misses: 1 },
@@ -304,6 +308,8 @@ mod tests {
             std::thread::current().id()
         ));
         std::fs::create_dir_all(&dir).unwrap();
+        out.reports[0].retried = 2;
+        out.reports[0].quarantined = 1;
         let mut r = CsvReporter::new(&dir);
         r.scenario(&out.reports[0]).unwrap();
         r.finish(&out).unwrap();
@@ -313,8 +319,8 @@ mod tests {
             .find(|p| p.file_name().is_some_and(|n| n == "run_status.csv"))
             .expect("run_status.csv written");
         let body = std::fs::read_to_string(status_path).unwrap();
-        assert!(body.contains("scenario,status,detail"));
-        assert!(body.contains("x,degraded,partial"));
+        assert!(body.contains("scenario,status,retried,quarantined,detail"));
+        assert!(body.contains("x,degraded,2,1,partial"));
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -104,6 +104,11 @@ pub struct ScenarioReport {
     pub table: Table,
     /// How the scenario finished.
     pub status: ScenarioStatus,
+    /// Work items (fleet houses) that completed only after a retry,
+    /// from the scenario's [`HealthSink`].
+    pub retried: u64,
+    /// Work items quarantined after exhausting their retry budget.
+    pub quarantined: u64,
 }
 
 /// Result of a full runner invocation.
@@ -177,9 +182,9 @@ fn run_one(
             if let Some(kind) = shatter_faults::hit("scenario.run") {
                 match kind {
                     FaultKind::Panic => shatter_faults::panic_now("scenario.run"),
-                    // The runner has no solver to exhaust or overflow:
-                    // the non-panic kinds degrade the scenario instead.
-                    FaultKind::Overflow | FaultKind::Budget => cx
+                    // The runner has no solver to exhaust or I/O to
+                    // tear: the non-panic kinds degrade the scenario.
+                    FaultKind::Overflow | FaultKind::Budget | FaultKind::Io => cx
                         .health
                         .note_degraded(format!("injected {} at scenario.run", kind.name())),
                 }
@@ -213,6 +218,8 @@ fn run_one(
         wall,
         table,
         status,
+        retried: health.retried(),
+        quarantined: health.quarantined(),
     }
 }
 

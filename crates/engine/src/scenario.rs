@@ -6,6 +6,7 @@
 //! per-scenario RNG seed, so the same registry run with any thread count
 //! yields identical tables.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use shatter_adm::{AdmKind, HullAdm};
@@ -47,12 +48,37 @@ impl Default for RunParams {
 #[derive(Clone, Debug, Default)]
 pub struct HealthSink {
     notes: Arc<Mutex<Vec<String>>>,
+    retried: Arc<AtomicU64>,
+    quarantined: Arc<AtomicU64>,
 }
 
 impl HealthSink {
     /// An empty sink.
     pub fn new() -> HealthSink {
         HealthSink::default()
+    }
+
+    /// Counts work items (fleet houses) that needed at least one retry
+    /// before completing. Surfaces in `run_status.csv`'s `retried`
+    /// column.
+    pub fn add_retried(&self, n: u64) {
+        self.retried.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Counts work items quarantined after exhausting their retry
+    /// budget. Surfaces in `run_status.csv`'s `quarantined` column.
+    pub fn add_quarantined(&self, n: u64) {
+        self.quarantined.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Items retried so far.
+    pub fn retried(&self) -> u64 {
+        self.retried.load(Ordering::Relaxed)
+    }
+
+    /// Items quarantined so far.
+    pub fn quarantined(&self) -> u64 {
+        self.quarantined.load(Ordering::Relaxed)
     }
 
     /// Records one degradation note (deduplicated exact-match, so

@@ -17,10 +17,17 @@
 //! SHATTER_FAULTS='fig3/scenario.run/panic,strategies/smt.window/budget@2'
 //! ```
 //!
-//! `kind` is one of `panic`, `overflow`, `budget`; `scenario` may be `*`
-//! to match any scenario (including code running outside a scenario
-//! scope). With no plan installed every entry point is a single relaxed
-//! atomic load, so clean runs pay nothing and stay byte-identical.
+//! `kind` is one of `panic`, `overflow`, `budget`, `io`; `scenario` may
+//! be `*` to match any scenario (including code running outside a
+//! scenario scope). With no plan installed every entry point is a single
+//! relaxed atomic load, so clean runs pay nothing and stay
+//! byte-identical.
+//!
+//! Site catalog: `scenario.run` (runner, before the scenario body),
+//! `smt.window` (per SMT window solve), `simplex.pivot` (per simplex
+//! pivot), `fleet.house` (per-house fleet evaluation, inside the retry
+//! loop), `store.write` (journal record write; `io` tears the write,
+//! `panic` crashes mid-fleet).
 //!
 //! The current scenario travels in thread-local state: the runner wraps
 //! each scenario in [`with_scenario`], and `ScenarioCtx::par_map`
@@ -48,16 +55,21 @@ pub enum FaultKind {
     Overflow,
     /// Behave as if the site exhausted its deterministic budget.
     Budget,
+    /// Behave as if the site's I/O went wrong: `store.write` produces a
+    /// torn (truncated, checksum-failing) record; sites without real
+    /// I/O degrade like `budget`.
+    Io,
 }
 
 impl FaultKind {
     /// Lowercase plan-syntax name of the kind (`panic` / `overflow` /
-    /// `budget`).
+    /// `budget` / `io`).
     pub fn name(self) -> &'static str {
         match self {
             FaultKind::Panic => "panic",
             FaultKind::Overflow => "overflow",
             FaultKind::Budget => "budget",
+            FaultKind::Io => "io",
         }
     }
 
@@ -66,8 +78,9 @@ impl FaultKind {
             "panic" => Ok(FaultKind::Panic),
             "overflow" => Ok(FaultKind::Overflow),
             "budget" => Ok(FaultKind::Budget),
+            "io" => Ok(FaultKind::Io),
             other => Err(format!(
-                "unknown fault kind {other:?} (expected panic|overflow|budget)"
+                "unknown fault kind {other:?} (expected panic|overflow|budget|io)"
             )),
         }
     }
@@ -292,6 +305,14 @@ mod tests {
                 },
             ]
         );
+    }
+
+    #[test]
+    fn parse_io_kind() {
+        let specs = parse_plan("fleet/store.write/io@4").unwrap();
+        assert_eq!(specs[0].kind, FaultKind::Io);
+        assert_eq!(specs[0].hit, 4);
+        assert_eq!(FaultKind::Io.name(), "io");
     }
 
     #[test]

@@ -33,6 +33,38 @@ impl Budget {
         *self == Budget::UNLIMITED
     }
 
+    /// This budget with every set limit multiplied by `factor`
+    /// (saturating) — the deterministic escalation step of the fleet
+    /// retry policy: attempt `k` re-runs a failed house under
+    /// `escalated(2^k)`, so retries make identical decisions on every
+    /// machine and thread count.
+    pub fn escalated(self, factor: u64) -> Budget {
+        let scale = |limit: Option<u64>| limit.map(|n| n.saturating_mul(factor));
+        Budget {
+            max_conflicts: scale(self.max_conflicts),
+            max_pivots: scale(self.max_pivots),
+            max_probes: scale(self.max_probes),
+        }
+    }
+
+    /// Canonical `conflicts=N,pivots=N,probes=N` spec string of this
+    /// budget (set limits only; empty for [`Budget::UNLIMITED`]).
+    /// Round-trips through [`Budget::parse`]; fleet manifests and
+    /// per-window memo keys embed it.
+    pub fn to_spec(&self) -> String {
+        let mut parts = Vec::new();
+        if let Some(n) = self.max_conflicts {
+            parts.push(format!("conflicts={n}"));
+        }
+        if let Some(n) = self.max_pivots {
+            parts.push(format!("pivots={n}"));
+        }
+        if let Some(n) = self.max_probes {
+            parts.push(format!("probes={n}"));
+        }
+        parts.join(",")
+    }
+
     /// Parses a `conflicts=N,pivots=N,probes=N` spec (any subset, any
     /// order), the syntax of the `SHATTER_BUDGET` environment variable
     /// and `repro --budget`.
@@ -87,6 +119,46 @@ mod tests {
             }
         );
         assert!(Budget::parse("").unwrap().is_unlimited());
+    }
+
+    #[test]
+    fn escalates_set_limits_only() {
+        let b = Budget {
+            max_conflicts: Some(100),
+            max_pivots: None,
+            max_probes: Some(8),
+        };
+        assert_eq!(
+            b.escalated(4),
+            Budget {
+                max_conflicts: Some(400),
+                max_pivots: None,
+                max_probes: Some(32),
+            }
+        );
+        assert_eq!(
+            Budget {
+                max_conflicts: Some(u64::MAX / 2),
+                ..Budget::UNLIMITED
+            }
+            .escalated(8)
+            .max_conflicts,
+            Some(u64::MAX),
+            "escalation saturates instead of wrapping"
+        );
+        assert!(Budget::UNLIMITED.escalated(16).is_unlimited());
+    }
+
+    #[test]
+    fn spec_string_roundtrips() {
+        let b = Budget {
+            max_conflicts: Some(100),
+            max_pivots: Some(2000),
+            max_probes: None,
+        };
+        assert_eq!(b.to_spec(), "conflicts=100,pivots=2000");
+        assert_eq!(Budget::parse(&b.to_spec()).unwrap(), b);
+        assert_eq!(Budget::UNLIMITED.to_spec(), "");
     }
 
     #[test]

@@ -903,7 +903,9 @@ impl Simplex {
                             shatter_faults::FaultKind::Overflow => {
                                 return Err(SimplexHalt::Overflow)
                             }
-                            shatter_faults::FaultKind::Budget => {
+                            // No real I/O at a pivot; `io` halts like
+                            // budget exhaustion.
+                            shatter_faults::FaultKind::Budget | shatter_faults::FaultKind::Io => {
                                 self.rows[bi] = Some(row);
                                 return Err(SimplexHalt::Budget);
                             }
