@@ -271,6 +271,90 @@ impl HullAdm {
     }
 }
 
+/// Blob-store serialization of a trained ADM (the disk tier under the
+/// engine's fixture cache). Model entries are written in sorted
+/// (occupant, zone) order so the bytes are deterministic regardless of
+/// `HashMap` iteration order; hull vertices travel as exact `f64` bit
+/// patterns and are re-validated through [`Hull::from_ccw_vertices`]
+/// on decode — a blob whose geometry no longer validates is damage,
+/// not data. The lazy profile cache is a derivative of the models and
+/// is not persisted; a deserialized ADM starts cold, like a clone.
+impl shatter_store::Blob for HullAdm {
+    const TAG: &'static str = "hull-adm/1";
+
+    fn encode(&self, w: &mut shatter_store::wire::Writer) {
+        match self.kind {
+            AdmKind::Dbscan(p) => {
+                w.u8(0);
+                w.f64(p.eps);
+                w.usize(p.min_pts);
+            }
+            AdmKind::KMeans(p) => {
+                w.u8(1);
+                w.usize(p.k);
+                w.usize(p.max_iter);
+                w.u64(p.seed);
+            }
+        }
+        let mut keys: Vec<&(OccupantId, ZoneId)> = self.models.keys().collect();
+        keys.sort();
+        w.usize(keys.len());
+        for key in keys {
+            let model = &self.models[key];
+            w.u32(key.0 .0 as u32);
+            w.u32(key.1 .0 as u32);
+            w.usize(model.n_points);
+            w.usize(model.hulls.len());
+            for hull in &model.hulls {
+                w.usize(hull.vertices().len());
+                for p in hull.vertices() {
+                    w.f64(p.x);
+                    w.f64(p.y);
+                }
+            }
+        }
+    }
+
+    fn decode(r: &mut shatter_store::wire::Reader<'_>) -> Option<Self> {
+        let kind = match r.u8()? {
+            0 => AdmKind::Dbscan(DbscanParams {
+                eps: r.f64()?,
+                min_pts: r.usize()?,
+            }),
+            1 => AdmKind::KMeans(KMeansParams {
+                k: r.usize()?,
+                max_iter: r.usize()?,
+                seed: r.u64()?,
+            }),
+            _ => return None,
+        };
+        let n_models = r.seq_len()?;
+        let mut models = HashMap::with_capacity(n_models);
+        for _ in 0..n_models {
+            let key = (OccupantId(r.u32()? as usize), ZoneId(r.u32()? as usize));
+            let n_points = r.usize()?;
+            let n_hulls = r.seq_len()?;
+            let mut hulls = Vec::with_capacity(n_hulls);
+            for _ in 0..n_hulls {
+                let n_vertices = r.seq_len()?;
+                let mut vertices = Vec::with_capacity(n_vertices);
+                for _ in 0..n_vertices {
+                    vertices.push(Point::new(r.f64()?, r.f64()?));
+                }
+                hulls.push(Hull::from_ccw_vertices(vertices).ok()?);
+            }
+            if models.insert(key, ZoneModel { hulls, n_points }).is_some() {
+                return None; // duplicate key: damage
+            }
+        }
+        Some(HullAdm {
+            kind,
+            models,
+            profiles: Mutex::new(HashMap::new()),
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -386,5 +470,69 @@ mod tests {
         let a_short = HullAdm::train(&short, AdmKind::default_kmeans()).total_coverage_area();
         let a_long = HullAdm::train(&long, AdmKind::default_kmeans()).total_coverage_area();
         assert!(a_long > a_short);
+    }
+
+    /// One model's geometry as bit patterns: hulls × vertices × (x, y).
+    type HullBits = Vec<Vec<(u64, u64)>>;
+
+    /// Geometry-exact view of an ADM for round-trip comparison: sorted
+    /// model keys with point counts and hull vertex bit patterns.
+    fn geometry_bits(adm: &HullAdm) -> Vec<((usize, usize), usize, HullBits)> {
+        let mut out: Vec<_> = adm
+            .models()
+            .map(|(&(o, z), m)| {
+                (
+                    (o.0, z.0),
+                    m.n_points,
+                    m.hulls
+                        .iter()
+                        .map(|h| {
+                            h.vertices()
+                                .iter()
+                                .map(|p| (p.x.to_bits(), p.y.to_bits()))
+                                .collect()
+                        })
+                        .collect(),
+                )
+            })
+            .collect();
+        out.sort();
+        out
+    }
+
+    #[test]
+    fn blob_roundtrip_preserves_geometry_and_decisions() {
+        use shatter_store::Blob;
+        for kind in [AdmKind::default_dbscan(), AdmKind::default_kmeans()] {
+            let (ds, adm) = train(kind);
+            let bytes = adm.to_blob();
+            let back = HullAdm::from_blob(&bytes).expect("decode");
+            assert_eq!(back.kind(), adm.kind());
+            assert_eq!(geometry_bits(&back), geometry_bits(&adm));
+            // Sorted-key encoding makes the bytes themselves canonical.
+            assert_eq!(back.to_blob(), bytes);
+            // Same anomaly decisions on the training episodes.
+            let eps = extract_episodes(&ds);
+            assert_eq!(
+                adm.inconsistent_episodes(&eps).len(),
+                back.inconsistent_episodes(&eps).len()
+            );
+        }
+    }
+
+    #[test]
+    fn damaged_adm_blob_is_none() {
+        use shatter_store::Blob;
+        let (_, adm) = train(AdmKind::default_dbscan());
+        let bytes = adm.to_blob();
+        assert_eq!(
+            HullAdm::from_blob(&bytes[..bytes.len() - 1]).map(|_| ()),
+            None
+        );
+        // An unknown algorithm discriminant (first byte after the
+        // 8-byte length prefix + 10-byte tag) is version skew.
+        let mut evil = bytes.clone();
+        evil[18] = 0xff;
+        assert!(HullAdm::from_blob(&evil).is_none());
     }
 }

@@ -9,8 +9,9 @@
 //!       [--json] [--no-text] [--out DIR] [--no-csv]
 //!       [--baseline PATH] [--gate-against PATH]
 //!       [--inject PLAN] [--budget SPEC] [--portfolio N]
-//!       [--fleet N] [--resume DIR] [--journal DIR]
+//!       [--fleet N] [--sample K] [--resume DIR] [--journal DIR]
 //!       [--house-budget SPEC] [--fleet-retries N]
+//!       [--store DIR] [--cache-mb N]
 //!       [--keep-going] [--fail-fast]
 //!       [exhibit...]
 //! repro                 # full suite, parallel, text + CSV
@@ -20,7 +21,19 @@
 //! repro --inject 'fig3/scenario.run/panic' fig3 tab5         # chaos run
 //! repro --fleet 100 --threads 8           # crash-safe fleet, journaled
 //! repro --resume results/fleet-journal    # continue an interrupted fleet
+//! repro --store results/store --fleet 24  # persist fixtures across runs
 //! ```
+//!
+//! `--store DIR` (env `SHATTER_STORE`) puts a content-addressed disk
+//! tier under the fixture cache: datasets, episodes, trained ADMs,
+//! reward tables and window solutions computed by one run are replayed
+//! by the next, so a warm run produces byte-identical tables several
+//! times faster. `--cache-mb N` (env `SHATTER_CACHE_MB`) bounds the
+//! in-RAM tier; eviction is deterministic (insertion order, never
+//! wall-clock) and evicted entries refault through the disk tier — a
+//! perf knob, never a correctness event. `--sample K` evaluates a
+//! deterministic strided K-of-N subset of a `--fleet N` run whose
+//! journal records stay verbatim-compatible with the exhaustive run.
 //!
 //! `--fleet N` evaluates N deterministically generated homes under one
 //! shared work-pool budget, journaling every completed house to
@@ -81,10 +94,13 @@ struct Options {
     portfolio: Option<usize>,
     fail_fast: bool,
     fleet: Option<usize>,
+    sample: Option<usize>,
     resume: Option<PathBuf>,
     journal: Option<PathBuf>,
     house_budget: Option<String>,
     fleet_retries: Option<u32>,
+    store: Option<PathBuf>,
+    cache_mb: Option<u64>,
 }
 
 /// Fraction by which the measured serial suite wall-clock may exceed the
@@ -131,10 +147,15 @@ fn parse_args(known_ids: &[String]) -> Result<Options, Vec<String>> {
         portfolio: None,
         fail_fast: false,
         fleet: None,
+        sample: None,
         resume: None,
         journal: None,
         house_budget: None,
         fleet_retries: None,
+        store: std::env::var_os("SHATTER_STORE").map(PathBuf::from),
+        cache_mb: std::env::var("SHATTER_CACHE_MB")
+            .ok()
+            .and_then(|v| v.parse().ok()),
     };
     let mut errors: Vec<String> = Vec::new();
     fn next_num(
@@ -211,6 +232,14 @@ fn parse_args(known_ids: &[String]) -> Result<Options, Vec<String>> {
             }
             "--portfolio" => opts.portfolio = Some(next_num(&mut args, "--portfolio", &mut errors)),
             "--fleet" => opts.fleet = Some(next_num(&mut args, "--fleet", &mut errors)),
+            "--sample" => opts.sample = Some(next_num(&mut args, "--sample", &mut errors)),
+            "--store" => {
+                opts.store =
+                    next_value(&mut args, "--store", "a dir", &mut errors).map(PathBuf::from);
+            }
+            "--cache-mb" => {
+                opts.cache_mb = Some(next_num(&mut args, "--cache-mb", &mut errors) as u64);
+            }
             "--resume" => {
                 opts.resume = next_value(&mut args, "--resume", "a journal dir", &mut errors)
                     .map(PathBuf::from);
@@ -242,8 +271,9 @@ fn parse_args(known_ids: &[String]) -> Result<Options, Vec<String>> {
                      \x20            [--days N] [--span N] [--seed N] [--json] [--no-text]\n\
                      \x20            [--out DIR] [--no-csv] [--baseline PATH]\n\
                      \x20            [--inject PLAN] [--budget SPEC] [--portfolio N]\n\
-                     \x20            [--fleet N] [--resume DIR] [--journal DIR]\n\
+                     \x20            [--fleet N] [--sample K] [--resume DIR] [--journal DIR]\n\
                      \x20            [--house-budget SPEC] [--fleet-retries N]\n\
+                     \x20            [--store DIR] [--cache-mb N]\n\
                      \x20            [--keep-going] [--fail-fast] [exhibit...]"
                 );
                 println!("exhibits: {}", known_ids.join(" "));
@@ -323,7 +353,22 @@ fn main() {
             .unwrap_or_else(|_| die("--resume: bad \"seed\" in manifest"));
         opts.house_budget = Some(field("house_budget"));
         opts.fleet_retries = Some(num("retries") as u32);
+        // Present only when the interrupted run was sampled; exhaustive
+        // manifests predating the entry resume unchanged.
+        opts.sample = shatter_store::manifest_value(&entries, "sample").map(|v| {
+            v.parse()
+                .unwrap_or_else(|_| die("--resume: bad \"sample\" in manifest"))
+        });
         opts.journal = Some(dir);
+    }
+    if let Some(k) = opts.sample {
+        match opts.fleet {
+            None => die("--sample K only applies to --fleet N runs"),
+            Some(n) if k == 0 || k > n => {
+                die(&format!("--sample {k} must be in 1..={n} (the fleet size)"))
+            }
+            Some(_) => {}
+        }
     }
     if let Some(n) = opts.fleet {
         let mut policy = FleetPolicy::default();
@@ -338,11 +383,13 @@ fn main() {
             .journal
             .clone()
             .unwrap_or_else(|| opts.out.join("fleet-journal"));
-        registry.register(
-            FleetScenario::new("fleet", n)
-                .with_policy(policy)
-                .with_journal(dir),
-        );
+        let mut scenario = FleetScenario::new("fleet", n)
+            .with_policy(policy)
+            .with_journal(dir);
+        if let Some(k) = opts.sample {
+            scenario = scenario.with_sample(k);
+        }
+        registry.register(scenario);
         if opts.wanted.is_empty() {
             opts.wanted.push("fleet".to_string());
         }
@@ -435,7 +482,15 @@ fn main() {
         cfg.effective_threads()
     );
 
-    let cache = FixtureCache::new();
+    let mut cache = FixtureCache::new();
+    if let Some(dir) = &opts.store {
+        let store = shatter_store::BlobStore::open(dir, shatter_engine::disk_schema_sig())
+            .unwrap_or_else(|e| die(&format!("--store: opening {}: {e}", dir.display())));
+        cache = cache.with_disk(store);
+    }
+    if let Some(mb) = opts.cache_mb {
+        cache = cache.with_memory_budget(mb * 1024 * 1024);
+    }
     let outcome = run_scenarios(&scenarios, &cache, &cfg);
 
     let mut reporters: Vec<Box<dyn Reporter>> = Vec::new();

@@ -15,14 +15,15 @@ pub fn dataset_label(spec: &HouseSpec, occupant: usize) -> String {
     format!("{}O{}", spec.label, occupant + 1)
 }
 
-/// Adapter exposing the engine's [`FixtureCache::memo`] to the core
-/// schedulers' [`WindowMemo`] hook, so SMT window solutions are shared
-/// across exhibits (the span sweep of fig11 re-solves the windows the
-/// strategy shootout already committed).
+/// Adapter exposing the engine's [`FixtureCache::memo_blob`] to the
+/// core schedulers' [`WindowMemo`] hook, so SMT window solutions are
+/// shared across exhibits (the span sweep of fig11 re-solves the
+/// windows the strategy shootout already committed) and, when the cache
+/// has a disk tier, across runs.
 pub struct EngineWindowMemo<'a>(pub &'a FixtureCache);
 
 impl WindowMemo for EngineWindowMemo<'_> {
     fn window(&self, key: &str, compute: &mut dyn FnMut() -> WindowSolution) -> WindowSolution {
-        (*self.0.memo(key, compute)).clone()
+        (*self.0.memo_blob(key, compute)).clone()
     }
 }

@@ -59,22 +59,25 @@ pub(crate) fn smt_prefix(
     format!("smtw/{}/{adm_tag}/{table_tag}/{day_idx}", fx.cache_key())
 }
 
-/// Cached reward table of a fixture's energy model.
+/// Cached reward table of a fixture's energy model (disk-tiered when
+/// the cache has a blob store).
 pub(crate) fn reward_table(cx: &ScenarioCtx<'_>, fx: &HouseFixture) -> Arc<RewardTable> {
-    cx.cache.memo(&format!("rtable/{}", fx.cache_key()), || {
-        RewardTable::build(&fx.model)
-    })
+    cx.cache
+        .memo_blob(&format!("rtable/{}", fx.cache_key()), || {
+            RewardTable::build(&fx.model)
+        })
 }
 
 /// Cached benign per-day control costs ($) of a fixture's month.
 pub(crate) fn benign_day_costs(cx: &ScenarioCtx<'_>, fx: &HouseFixture) -> Arc<Vec<f64>> {
-    cx.cache.memo(&format!("benign/{}", fx.cache_key()), || {
-        fx.model
-            .dataset_costs(&DchvacController, &fx.month.days)
-            .iter()
-            .map(|c| c.total_usd())
-            .collect()
-    })
+    cx.cache
+        .memo_blob(&format!("benign/{}", fx.cache_key()), || {
+            fx.model
+                .dataset_costs(&DchvacController, &fx.month.days)
+                .iter()
+                .map(|c| c.total_usd())
+                .collect()
+        })
 }
 
 /// Cached attack schedule for one day of a fixture's month. The key
@@ -93,7 +96,7 @@ pub(crate) fn day_schedule(
     table: &RewardTable,
     day_idx: usize,
 ) -> Arc<AttackSchedule> {
-    cx.cache.memo(
+    cx.cache.memo_blob(
         &format!(
             "sched/{}/{adm_tag}/{strategy_key}/{:016x}/{day_idx}",
             fx.cache_key(),

@@ -28,11 +28,11 @@ use std::time::Instant;
 use shatter_adm::AdmKind;
 use shatter_core::{impact, AttackerCapability, SmtScheduler, StrategyRegistry};
 use shatter_dataset::HouseSpec;
-use shatter_engine::{RunParams, Scenario, ScenarioCtx, Table};
+use shatter_engine::{FixtureCache, RunParams, Scenario, ScenarioCtx, Table};
 use shatter_faults::FaultKind;
 use shatter_smarthome::OccupantId;
 use shatter_smt::Budget;
-use shatter_store::Journal;
+use shatter_store::{BlobStore, Journal};
 
 use crate::common::EngineWindowMemo;
 use crate::exhibits::{adm_tag, benign_day_costs, day_schedule, fmt2, reward_table, smt_prefix};
@@ -88,8 +88,27 @@ impl Default for FleetPolicy {
 pub struct FleetConfig {
     /// Number of generated houses to evaluate.
     pub n_houses: usize,
+    /// Evaluate only a deterministic strided sample of `K` houses out
+    /// of `n_houses` (`None` = exhaustive). Sampled houses keep their
+    /// fleet index, so their journal keys — and the config signature —
+    /// are identical to the exhaustive run's: a sampled pass pre-warms
+    /// the journal the full run later replays.
+    pub sample: Option<usize>,
     /// Per-house robustness policy.
     pub policy: FleetPolicy,
+}
+
+/// The house indices a fleet run evaluates: all of `0..n_houses`, or a
+/// deterministic strided sample of `k` of them (`j * n / k` for `j` in
+/// `0..k` — distinct and strictly increasing whenever `k <= n`).
+pub fn sampled_indices(n_houses: usize, sample: Option<usize>) -> Vec<usize> {
+    match sample {
+        Some(k) if k < n_houses => {
+            let k = k.max(1);
+            (0..k).map(|j| j * n_houses / k).collect()
+        }
+        _ => (0..n_houses).collect(),
+    }
 }
 
 /// Counters of one fleet run (stderr/summary only — never table
@@ -344,7 +363,8 @@ pub fn run_fleet(
     let replayed = AtomicU64::new(0);
     let retried = AtomicU64::new(0);
     let quarantined = AtomicU64::new(0);
-    let indices: Vec<usize> = (0..cfg.n_houses).collect();
+    let indices = sampled_indices(cfg.n_houses, cfg.sample);
+    let total = indices.len();
     let rows = cx.par_map(&indices, |_, &i| {
         let key = house_key(i, &cx.params);
         let cells = match journal.and_then(|j| j.get(&key)).and_then(|p| decode_row(&p)) {
@@ -379,13 +399,13 @@ pub fn run_fleet(
             }
         };
         let n_done = done.fetch_add(1, Ordering::Relaxed) + 1;
-        let stride = (cfg.n_houses / 16).max(1) as u64;
-        if n_done.is_multiple_of(stride) || n_done == cfg.n_houses as u64 {
+        let stride = (total / 16).max(1) as u64;
+        if n_done.is_multiple_of(stride) || n_done == total as u64 {
             let dt = start.elapsed().as_secs_f64().max(1e-9);
             let cs = cx.cache.stats();
             eprintln!(
                 "fleet: {n_done}/{} homes ({:.1} homes/s) cache {}h/{}m journal {} replayed, {} retried, {} quarantined",
-                cfg.n_houses,
+                total,
                 n_done as f64 / dt,
                 cs.hits - cache_before.hits,
                 cs.misses - cache_before.misses,
@@ -413,10 +433,10 @@ pub fn run_fleet(
         t,
         FleetOutcome {
             journal_hits: n_replayed,
-            computed: cfg.n_houses as u64 - n_replayed,
+            computed: total as u64 - n_replayed,
             retried: n_retried,
             quarantined: n_quarantined,
-            homes_per_sec: cfg.n_houses as f64 / start.elapsed().as_secs_f64().max(1e-9),
+            homes_per_sec: total as f64 / start.elapsed().as_secs_f64().max(1e-9),
         },
     )
 }
@@ -441,10 +461,19 @@ impl FleetScenario {
             ),
             cfg: FleetConfig {
                 n_houses,
+                sample: None,
                 policy: FleetPolicy::default(),
             },
             journal_dir: None,
         }
+    }
+
+    /// Evaluates only a deterministic strided sample of `k` houses (see
+    /// [`sampled_indices`]); journal keys stay those of the exhaustive
+    /// run.
+    pub fn with_sample(mut self, k: usize) -> FleetScenario {
+        self.cfg.sample = Some(k);
+        self
     }
 
     /// Overrides the per-house policy.
@@ -502,7 +531,7 @@ impl Scenario for FleetScenario {
         eprintln!(
             "fleet: {} homes at {:.1} homes/s ({} replayed from journal, {} computed, \
              {} retried, {} quarantined, {} journal record(s) written)",
-            self.cfg.n_houses,
+            sampled_indices(self.cfg.n_houses, self.cfg.sample).len(),
             out.homes_per_sec,
             out.journal_hits,
             out.computed,
@@ -514,6 +543,83 @@ impl Scenario for FleetScenario {
     }
 }
 
+/// The pinned fleet-scaling exhibit: measured homes/sec at several
+/// fleet sizes, cold (empty blob store) versus warm (a second run over
+/// the store the cold leg just filled). Each leg gets a private
+/// [`FixtureCache`] over the same on-disk store and a fresh
+/// [`HealthSink`], so the warm leg's speedup comes purely from the disk
+/// tier — exactly what a second `repro --fleet N --store DIR` pays.
+/// Timing columns make this exhibit nondeterministic by construction;
+/// the `disk_hits` column is the deterministic witness that the warm
+/// leg actually replayed fixtures instead of recomputing them.
+pub fn fleet_scaling(cx: &ScenarioCtx<'_>) -> Table {
+    let sizes = [2usize, 4, 8];
+    // Clamp the horizon so the largest fleet stays exhibit-scale.
+    let params = RunParams {
+        days: cx.params.days.min(4),
+        ..cx.params
+    };
+    let root = std::env::temp_dir().join(format!(
+        "shatter-fleet-scaling-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let mut t = Table::new(
+        "fleet_scaling",
+        "Fleet throughput vs size: cold vs disk-warm fixture store",
+        &[
+            "fleet",
+            "cold_s",
+            "cold_homes_s",
+            "warm_s",
+            "warm_homes_s",
+            "warmup_x",
+            "disk_hits",
+        ],
+    );
+    for &n in &sizes {
+        let store_dir = root.join(format!("n{n}"));
+        let cfg = FleetConfig {
+            n_houses: n,
+            sample: None,
+            policy: FleetPolicy::default(),
+        };
+        let mut wall = [0.0f64; 2];
+        let mut disk_hits = 0;
+        for (leg, slot) in wall.iter_mut().enumerate() {
+            let store = BlobStore::open(&store_dir, shatter_engine::disk_schema_sig())
+                .unwrap_or_else(|e| panic!("opening scaling store {}: {e}", store_dir.display()));
+            let cache = FixtureCache::new().with_disk(store);
+            // Both legs run serially on a private context: the curve
+            // measures the disk tier, not thread-count luck.
+            let inner = ScenarioCtx {
+                cache: &cache,
+                params,
+                seed: cx.seed,
+                pool: shatter_engine::WorkPool::serial(),
+                health: shatter_engine::HealthSink::new(),
+            };
+            let start = Instant::now();
+            let _ = run_fleet(&inner, &cfg, None);
+            *slot = start.elapsed().as_secs_f64().max(1e-9);
+            if leg == 1 {
+                disk_hits = cache.stats().disk_hits;
+            }
+        }
+        t.push(vec![
+            n.to_string(),
+            format!("{:.3}", wall[0]),
+            format!("{:.1}", n as f64 / wall[0]),
+            format!("{:.3}", wall[1]),
+            format!("{:.1}", n as f64 / wall[1]),
+            format!("{:.2}", wall[0] / wall[1]),
+            disk_hits.to_string(),
+        ]);
+    }
+    std::fs::remove_dir_all(&root).ok();
+    t
+}
+
 /// Manifest entries persisted next to the journal records so `repro
 /// --resume <dir>` reconstructs the exact run configuration.
 pub fn manifest_entries(
@@ -521,7 +627,7 @@ pub fn manifest_entries(
     params: &RunParams,
     config_sig: u64,
 ) -> Vec<(String, String)> {
-    vec![
+    let mut entries = vec![
         ("version".into(), "1".into()),
         ("fleet".into(), cfg.n_houses.to_string()),
         ("days".into(), params.days.to_string()),
@@ -530,7 +636,14 @@ pub fn manifest_entries(
         ("house_budget".into(), cfg.policy.house_budget.to_spec()),
         ("retries".into(), cfg.policy.max_retries.to_string()),
         ("config_sig".into(), format!("{config_sig:016x}")),
-    ]
+    ];
+    // A sampled run records its stride so a later `--resume` can
+    // reproduce it; the entry is absent on exhaustive runs, keeping
+    // their manifests byte-identical to pre-sampling versions.
+    if let Some(k) = cfg.sample {
+        entries.push(("sample".into(), k.to_string()));
+    }
+    entries
 }
 
 #[cfg(test)]
@@ -582,6 +695,7 @@ mod tests {
         };
         let cfg = FleetConfig {
             n_houses: 8,
+            sample: None,
             policy: FleetPolicy::default(),
         };
         let base = config_signature(&cfg, &params);
@@ -604,6 +718,51 @@ mod tests {
         };
         assert_ne!(base, config_signature(&cfg, &seed));
         assert_eq!(base, config_signature(&cfg, &params));
+    }
+
+    #[test]
+    fn sampled_indices_are_strided_distinct_and_journal_compatible() {
+        // Exhaustive when sample is absent or covers the fleet.
+        assert_eq!(sampled_indices(4, None), vec![0, 1, 2, 3]);
+        assert_eq!(sampled_indices(4, Some(4)), vec![0, 1, 2, 3]);
+        assert_eq!(sampled_indices(4, Some(99)), vec![0, 1, 2, 3]);
+        // Strided: k evenly spread indices, always including house 0.
+        assert_eq!(sampled_indices(24, Some(3)), vec![0, 8, 16]);
+        assert_eq!(sampled_indices(10, Some(4)), vec![0, 2, 5, 7]);
+        for n in [1usize, 7, 24, 100] {
+            for k in 1..=n {
+                let idx = sampled_indices(n, Some(k));
+                assert_eq!(idx.len(), k);
+                assert!(idx.windows(2).all(|w| w[0] < w[1]), "strictly increasing");
+                assert!(idx.iter().all(|&i| i < n));
+            }
+        }
+        // The sample never changes the config signature: sampled and
+        // exhaustive runs share one journal.
+        let params = RunParams {
+            days: 3,
+            span: 20,
+            base_seed: 0,
+        };
+        let full = FleetConfig {
+            n_houses: 24,
+            sample: None,
+            policy: FleetPolicy::default(),
+        };
+        let sampled = FleetConfig {
+            sample: Some(6),
+            ..full
+        };
+        assert_eq!(
+            config_signature(&full, &params),
+            config_signature(&sampled, &params)
+        );
+        // But the manifest records the stride for `--resume`.
+        let sig = config_signature(&sampled, &params);
+        let entries = manifest_entries(&sampled, &params, sig);
+        assert!(entries.contains(&("sample".into(), "6".into())));
+        let entries = manifest_entries(&full, &params, sig);
+        assert!(!entries.iter().any(|(k, _)| k == "sample"));
     }
 
     #[test]

@@ -100,6 +100,17 @@ pub fn builtin_registry() -> Registry {
     // exercised by every full-suite run; `repro --fleet N` registers
     // the journaled, arbitrarily-sized variant on top of this.
     reg.register(crate::fleet::FleetScenario::new("fleet_smoke", 6));
+    reg.register(
+        FnScenario::new(
+            "fleet_scaling",
+            "Fleet throughput vs size (cold vs warm store)",
+            crate::fleet::fleet_scaling,
+        )
+        .describe(
+            "Measured homes/sec per fleet size, cold vs disk-warm fixture store (timing output)",
+        )
+        .nondeterministic(),
+    );
     reg
 }
 
@@ -161,19 +172,20 @@ mod tests {
             "capability_grid",
             "defense_sweep",
             "fleet_smoke",
+            "fleet_scaling",
         ] {
             let s = reg.get(id).unwrap_or_else(|| panic!("missing {id}"));
             assert!(!s.title().is_empty());
             assert!(!s.description().is_empty());
         }
-        assert_eq!(reg.len(), 18);
-        // Only the timing exhibit is non-deterministic.
+        assert_eq!(reg.len(), 19);
+        // Only the timing exhibits are non-deterministic.
         let nondet: Vec<String> = reg
             .all()
             .iter()
             .filter(|s| !s.deterministic())
             .map(|s| s.id().to_string())
             .collect();
-        assert_eq!(nondet, ["fig11"]);
+        assert_eq!(nondet, ["fig11", "fleet_scaling"]);
     }
 }

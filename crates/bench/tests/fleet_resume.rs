@@ -28,6 +28,7 @@ fn params() -> RunParams {
 fn cfg() -> FleetConfig {
     FleetConfig {
         n_houses: N_HOUSES,
+        sample: None,
         policy: FleetPolicy::default(),
     }
 }

@@ -56,6 +56,7 @@ pub mod defense;
 mod dp;
 mod greedy;
 pub mod impact;
+mod persist;
 pub mod realtime;
 mod reward;
 mod schedule;

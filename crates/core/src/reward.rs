@@ -155,6 +155,149 @@ impl RewardTable {
     }
 }
 
+/// Blob-store serialization (the disk tier under the engine's memo).
+/// Rates travel as exact `f64` bit patterns; the prefix-sum table is a
+/// derivative and is recomputed on decode with the same summation
+/// order as [`RewardTable::build`], so a deserialized table is
+/// field-for-field bit-identical to a rebuilt one.
+impl shatter_store::Blob for RewardTable {
+    const TAG: &'static str = "reward-table/1";
+
+    fn encode(&self, w: &mut shatter_store::wire::Writer) {
+        w.usize(self.n_zones);
+        w.usize(self.rate.len());
+        for per_zone in &self.rate {
+            w.usize(per_zone.len());
+            for row in per_zone {
+                w.usize(row.len());
+                for &v in row {
+                    w.f64(v);
+                }
+            }
+        }
+        for per_zone in &self.best_activity {
+            for row in per_zone {
+                for &a in row {
+                    w.u8(a.code());
+                }
+            }
+        }
+        w.usize(self.appliance_rate.len());
+        for row in &self.appliance_rate {
+            w.usize(row.len());
+            for &v in row {
+                w.f64(v);
+            }
+        }
+        for &z in &self.appliance_zone {
+            w.u32(z.0 as u32);
+        }
+        for linked in &self.appliance_linked {
+            w.usize(linked.len());
+            for &a in linked {
+                w.u8(a.code());
+            }
+        }
+    }
+
+    fn decode(r: &mut shatter_store::wire::Reader<'_>) -> Option<Self> {
+        let n_zones = r.usize()?;
+        let n_occupants = r.seq_len()?;
+        let mut rate = Vec::with_capacity(n_occupants);
+        let mut dims = Vec::with_capacity(n_occupants);
+        for _ in 0..n_occupants {
+            let nz = r.seq_len()?;
+            let mut per_zone = Vec::with_capacity(nz);
+            let mut zdims = Vec::with_capacity(nz);
+            for _ in 0..nz {
+                let nt = r.seq_len()?;
+                if nt != MINUTES_PER_DAY {
+                    return None;
+                }
+                let mut row = Vec::with_capacity(nt);
+                for _ in 0..nt {
+                    row.push(r.f64()?);
+                }
+                zdims.push(nt);
+                per_zone.push(row);
+            }
+            dims.push(zdims);
+            per_zone_len_check(&per_zone, n_zones)?;
+            rate.push(per_zone);
+        }
+        let mut best_activity = Vec::with_capacity(n_occupants);
+        for zdims in &dims {
+            let mut per_zone = Vec::with_capacity(zdims.len());
+            for &nt in zdims {
+                let mut row = Vec::with_capacity(nt);
+                for _ in 0..nt {
+                    row.push(Activity::from_code(r.u8()?)?);
+                }
+                per_zone.push(row);
+            }
+            best_activity.push(per_zone);
+        }
+        let n_appliances = r.seq_len()?;
+        let mut appliance_rate = Vec::with_capacity(n_appliances);
+        for _ in 0..n_appliances {
+            let nt = r.seq_len()?;
+            if nt != MINUTES_PER_DAY {
+                return None;
+            }
+            let mut row = Vec::with_capacity(nt);
+            for _ in 0..nt {
+                row.push(r.f64()?);
+            }
+            appliance_rate.push(row);
+        }
+        let mut appliance_zone = Vec::with_capacity(n_appliances);
+        for _ in 0..n_appliances {
+            appliance_zone.push(ZoneId(r.u32()? as usize));
+        }
+        let mut appliance_linked = Vec::with_capacity(n_appliances);
+        for _ in 0..n_appliances {
+            let n = r.seq_len()?;
+            let mut linked = Vec::with_capacity(n);
+            for _ in 0..n {
+                linked.push(Activity::from_code(r.u8()?)?);
+            }
+            appliance_linked.push(linked);
+        }
+        // Recompute the prefix sums exactly as `build` does (same
+        // operation order ⇒ same bits).
+        let prefix = rate
+            .iter()
+            .map(|per_zone| {
+                per_zone
+                    .iter()
+                    .map(|r| {
+                        let mut p = vec![0.0; MINUTES_PER_DAY + 1];
+                        for t in 0..MINUTES_PER_DAY {
+                            p[t + 1] = p[t] + r[t];
+                        }
+                        p
+                    })
+                    .collect()
+            })
+            .collect();
+        Some(RewardTable {
+            n_zones,
+            rate,
+            prefix,
+            best_activity,
+            appliance_rate,
+            appliance_zone,
+            appliance_linked,
+        })
+    }
+}
+
+/// Rejects a decoded per-occupant rate block whose zone count differs
+/// from the declared `n_zones` (shape damage).
+fn per_zone_len_check(per_zone: &[Vec<f64>], n_zones: usize) -> Option<()> {
+    (per_zone.len() == n_zones).then_some(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -199,6 +342,35 @@ mod tests {
         let model = EnergyModel::standard(houses::aras_house_a());
         let table = RewardTable::build(&model);
         assert_eq!(table.stay_reward(OccupantId(0), ZoneId(0), 0, 1440), 0.0);
+    }
+
+    #[test]
+    fn blob_roundtrip_is_bit_identical() {
+        use shatter_store::Blob;
+        let model = EnergyModel::standard(houses::aras_house_a());
+        let table = RewardTable::build(&model);
+        let bytes = table.to_blob();
+        let back = RewardTable::from_blob(&bytes).expect("decode");
+        assert_eq!(back.to_blob(), bytes, "canonical re-encode");
+        assert_eq!(back.n_zones(), table.n_zones());
+        assert_eq!(back.n_appliances(), table.n_appliances());
+        for z in 0..table.n_zones() {
+            for t in (0..1440).step_by(97) {
+                let (o, z) = (OccupantId(0), ZoneId(z));
+                assert_eq!(back.rate(o, z, t).to_bits(), table.rate(o, z, t).to_bits());
+                assert_eq!(back.best_activity(o, z, t), table.best_activity(o, z, t));
+            }
+            // Prefix sums were recomputed, not stored — still bit-equal.
+            let (o, z) = (OccupantId(0), ZoneId(z));
+            assert_eq!(
+                back.stay_reward(o, z, 13, 1201).to_bits(),
+                table.stay_reward(o, z, 13, 1201).to_bits()
+            );
+        }
+        assert_eq!(
+            RewardTable::from_blob(&bytes[..bytes.len() - 2]).map(|_| ()),
+            None
+        );
     }
 
     #[test]

@@ -37,10 +37,12 @@ pub mod arasio;
 pub mod attacks;
 pub mod csvio;
 pub mod episodes;
+mod persist;
 mod schema;
 pub mod spec;
 mod synth;
 
+pub use persist::{episodes_from_blob, episodes_to_blob};
 pub use schema::{Dataset, DayTrace, MinuteRecord, OccupantState};
 pub use spec::{ActivityAnchors, HouseSpec, PersonaSpec};
 pub use synth::{default_zone_for, synthesize, SynthConfig};

@@ -1,0 +1,185 @@
+//! Blob-store serialization of datasets and episode sets (the disk
+//! tier under the engine's fixture cache).
+//!
+//! Encodings are versioned via [`Blob::TAG`]; a tag bump makes every
+//! old blob decode to `None` (a recompute), never to a wrong value.
+//! Occupant-minute states are packed as `(u32 zone, u8 activity-code)`
+//! and appliance states as a bitmask, so a 30-day month with four
+//! occupants stays well under a megabyte.
+
+use shatter_smarthome::{Activity, OccupantId, ZoneId, MINUTES_PER_DAY};
+use shatter_store::wire::{Reader, Writer};
+use shatter_store::Blob;
+
+use crate::episodes::Episode;
+use crate::{Dataset, DayTrace, MinuteRecord, OccupantState};
+
+impl Blob for Dataset {
+    const TAG: &'static str = "dataset/1";
+
+    fn encode(&self, w: &mut Writer) {
+        w.str(&self.house);
+        w.usize(self.n_occupants);
+        w.usize(self.n_appliances);
+        w.usize(self.days.len());
+        let mask_len = self.n_appliances.div_ceil(8);
+        for day in &self.days {
+            w.u32(day.day);
+            w.usize(day.minutes.len());
+            for rec in &day.minutes {
+                for occ in &rec.occupants {
+                    w.u32(occ.zone.0 as u32);
+                    w.u8(occ.activity.code());
+                }
+                let mut mask = vec![0u8; mask_len];
+                for (i, &on) in rec.appliances.iter().enumerate() {
+                    if on {
+                        mask[i / 8] |= 1 << (i % 8);
+                    }
+                }
+                for b in mask {
+                    w.u8(b);
+                }
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Option<Self> {
+        let house = r.str()?.to_string();
+        let n_occupants = r.usize()?;
+        let n_appliances = r.usize()?;
+        let n_days = r.seq_len()?;
+        let mask_len = n_appliances.div_ceil(8);
+        let mut days = Vec::with_capacity(n_days);
+        for _ in 0..n_days {
+            let day = r.u32()?;
+            let n_minutes = r.usize()?;
+            if n_minutes != MINUTES_PER_DAY {
+                return None;
+            }
+            let mut minutes = Vec::with_capacity(n_minutes);
+            for _ in 0..n_minutes {
+                let mut occupants = Vec::with_capacity(n_occupants);
+                for _ in 0..n_occupants {
+                    let zone = ZoneId(r.u32()? as usize);
+                    let activity = Activity::from_code(r.u8()?)?;
+                    occupants.push(OccupantState { zone, activity });
+                }
+                let mut appliances = Vec::with_capacity(n_appliances);
+                for i in 0..mask_len {
+                    let byte = r.u8()?;
+                    for bit in 0..8 {
+                        if i * 8 + bit < n_appliances {
+                            appliances.push(byte & (1 << bit) != 0);
+                        }
+                    }
+                }
+                minutes.push(MinuteRecord {
+                    occupants,
+                    appliances,
+                });
+            }
+            days.push(DayTrace { day, minutes });
+        }
+        let ds = Dataset {
+            house,
+            n_occupants,
+            n_appliances,
+            days,
+        };
+        // Structural invariants are part of the format: a blob that
+        // decodes but fails validation is damage, not data.
+        ds.validate().ok()?;
+        Some(ds)
+    }
+}
+
+/// Envelope tag of an episode-set blob (`Vec<Episode>` is foreign to
+/// the `Blob` trait, so the set travels through these free functions).
+const EPISODES_TAG: &str = "episodes/1";
+
+/// Serializes an episode set as a tagged blob.
+pub fn episodes_to_blob(episodes: &[Episode]) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.str(EPISODES_TAG);
+    w.usize(episodes.len());
+    for ep in episodes {
+        w.u32(ep.occupant.0 as u32);
+        w.u32(ep.zone.0 as u32);
+        w.u32(ep.day);
+        w.u32(ep.arrival);
+        w.u32(ep.stay);
+    }
+    w.into_bytes()
+}
+
+/// Deserializes an episode-set blob; `None` on any damage.
+pub fn episodes_from_blob(bytes: &[u8]) -> Option<Vec<Episode>> {
+    let mut r = Reader::new(bytes);
+    if r.str()? != EPISODES_TAG {
+        return None;
+    }
+    let n = r.seq_len()?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(Episode {
+            occupant: OccupantId(r.u32()? as usize),
+            zone: ZoneId(r.u32()? as usize),
+            day: r.u32()?,
+            arrival: r.u32()?,
+            stay: r.u32()?,
+        });
+    }
+    r.finished().then_some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::HouseSpec;
+    use crate::{synthesize, SynthConfig};
+
+    #[test]
+    fn dataset_roundtrip_is_exact() {
+        let ds = synthesize(&SynthConfig::new(HouseSpec::aras_a(), 3, 42));
+        let bytes = ds.to_blob();
+        let back = Dataset::from_blob(&bytes).expect("decode");
+        assert_eq!(back, ds);
+        // Determinism of the encoding itself (byte-identical re-encode).
+        assert_eq!(back.to_blob(), bytes);
+    }
+
+    #[test]
+    fn truncated_dataset_blob_is_none() {
+        let ds = synthesize(&SynthConfig::new(HouseSpec::aras_a(), 1, 7));
+        let bytes = ds.to_blob();
+        assert_eq!(Dataset::from_blob(&bytes[..bytes.len() - 3]), None);
+        assert_eq!(Dataset::from_blob(b"garbage"), None);
+    }
+
+    #[test]
+    fn episodes_roundtrip() {
+        let eps = vec![
+            Episode {
+                occupant: OccupantId(1),
+                zone: ZoneId(4),
+                day: 2,
+                arrival: 610,
+                stay: 55,
+            },
+            Episode {
+                occupant: OccupantId(0),
+                zone: ZoneId(0),
+                day: 0,
+                arrival: 0,
+                stay: 1440,
+            },
+        ];
+        assert_eq!(episodes_from_blob(&episodes_to_blob(&eps)), Some(eps));
+    }
+
+    #[test]
+    fn wrong_tag_is_rejected() {
+        assert_eq!(Dataset::from_blob(&episodes_to_blob(&[])), None);
+    }
+}

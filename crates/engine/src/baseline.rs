@@ -72,9 +72,11 @@ impl Baseline {
         ));
         out.push_str(&format!("  \"speedup\": {:.2},\n", self.speedup()));
         out.push_str(&format!(
-            "  \"cache\": {{\"hits\": {}, \"misses\": {}, \"hit_rate\": {}}},\n",
+            "  \"cache\": {{\"hits\": {}, \"misses\": {}, \"disk_hits\": {}, \"evictions\": {}, \"hit_rate\": {}}},\n",
             self.cache.hits,
             self.cache.misses,
+            self.cache.disk_hits,
+            self.cache.evictions,
             self.cache
                 .hit_rate()
                 .map_or_else(|| "null".to_string(), |r| format!("{r:.3}"))
@@ -165,6 +167,7 @@ mod tests {
             cache: CacheStats {
                 hits: 10,
                 misses: 5,
+                ..CacheStats::default()
             },
             entries: vec![BaselineEntry {
                 id: "fig3".into(),

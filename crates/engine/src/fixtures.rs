@@ -9,16 +9,40 @@
 //! generated scaled home — caches the same way; nothing here enumerates
 //! houses.
 
+//! A [`BlobStore`] disk tier can sit underneath the whole cache
+//! ([`FixtureCache::with_disk`]): misses serialize and persist what
+//! they computed, and a warm second run deserializes datasets, episode
+//! sets, trained ADMs and memoized intermediates instead of recomputing
+//! them — with byte-identical results, because every payload travels
+//! through the exact (bit-pattern) wire codec. Independently, a RAM
+//! budget ([`FixtureCache::with_memory_budget`]) bounds resident bytes
+//! with deterministic insertion-order eviction; evicted entries
+//! refault through the disk tier (or recompute), so eviction moves
+//! counters and wall-clock only, never results.
+
 use std::any::Any;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use shatter_adm::{AdmKind, HullAdm};
 use shatter_dataset::episodes::{extract_episodes, Episode};
-use shatter_dataset::{synthesize, Dataset, HouseSpec, SynthConfig};
+use shatter_dataset::{
+    episodes_from_blob, episodes_to_blob, synthesize, Dataset, HouseSpec, SynthConfig,
+};
 use shatter_hvac::EnergyModel;
 use shatter_smarthome::Home;
+use shatter_store::{Blob, BlobStore};
+
+/// Schema string behind every fixture-store blob; bump when any
+/// persisted encoding changes incompatibly (old blobs are then
+/// discarded lazily instead of misdecoded).
+pub const DISK_SCHEMA: &str = "shatter-fixture-store-v1";
+
+/// The [`BlobStore`] schema signature for [`FixtureCache`] disk tiers.
+pub fn disk_schema_sig() -> u64 {
+    shatter_store::fnv::fnv1a_str(DISK_SCHEMA)
+}
 
 /// Seed of the canonical House-A month (same value as
 /// [`shatter_dataset::spec::ARAS_A_SEED`]).
@@ -132,19 +156,26 @@ fn adm_key(kind: &AdmKind) -> AdmKey {
 /// Hit/miss counters of a [`FixtureCache`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
-    /// Lookups served from the cache.
+    /// Lookups served from the in-RAM tier.
     pub hits: u64,
     /// Lookups that computed and stored a fresh entry.
     pub misses: u64,
+    /// Lookups served by deserializing a disk-tier blob.
+    pub disk_hits: u64,
+    /// Entries evicted from RAM under the memory budget. A perf
+    /// counter, never a correctness event: evicted entries refault
+    /// through the disk tier or recompute.
+    pub evictions: u64,
 }
 
 impl CacheStats {
-    /// Hit fraction in `[0, 1]`, or `None` before any lookup — an empty
-    /// cache has no rate, and reporting it as `0.0` used to make a
-    /// fresh run indistinguishable from a 100%-miss run.
+    /// Hit fraction in `[0, 1]` (disk hits count as hits), or `None`
+    /// before any lookup — an empty cache has no rate, and reporting
+    /// it as `0.0` used to make a fresh run indistinguishable from a
+    /// 100%-miss run.
     pub fn hit_rate(&self) -> Option<f64> {
-        let total = self.hits + self.misses;
-        (total > 0).then(|| self.hits as f64 / total as f64)
+        let total = self.hits + self.disk_hits + self.misses;
+        (total > 0).then(|| (self.hits + self.disk_hits) as f64 / total as f64)
     }
 }
 
@@ -168,10 +199,37 @@ pub struct FixtureCache {
     disabled: bool,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// Optional disk tier; misses persist, refaults deserialize.
+    disk: Option<BlobStore>,
+    disk_hits: AtomicU64,
+    /// Optional RAM budget in bytes (serialized sizes, a deliberate
+    /// proxy for resident heap). `None` = unbounded.
+    budget_bytes: Option<u64>,
+    resident_bytes: AtomicU64,
+    evictions: AtomicU64,
+    /// Insertion-ordered eviction ledger over every budget-charged
+    /// entry. Lock ordering: ledger before any map lock, never the
+    /// reverse.
+    ledger: Mutex<VecDeque<LedgerEntry>>,
 }
 
 /// Number of lock shards backing [`FixtureCache::memo`].
 const MEMO_SHARDS: usize = 16;
+
+/// Identifies one budget-charged cache entry for eviction.
+#[derive(Debug, Clone)]
+enum Resident {
+    Fixture(DatasetKey),
+    Episodes(DatasetKey),
+    Adm(DatasetKey, AdmKey, usize),
+    Memo(String),
+}
+
+#[derive(Debug)]
+struct LedgerEntry {
+    handle: Resident,
+    bytes: u64,
+}
 
 /// Locks a cache map, panicking with the lookup context on poisoning.
 ///
@@ -200,6 +258,12 @@ impl Default for FixtureCache {
             disabled: false,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            disk: None,
+            disk_hits: AtomicU64::new(0),
+            budget_bytes: None,
+            resident_bytes: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            ledger: Mutex::default(),
         }
     }
 }
@@ -225,12 +289,79 @@ impl FixtureCache {
         self.disabled
     }
 
+    /// Attaches a disk tier: misses persist what they computed, and
+    /// refaults (cold-start or post-eviction) deserialize from disk
+    /// instead of recomputing.
+    pub fn with_disk(mut self, store: BlobStore) -> FixtureCache {
+        self.disk = Some(store);
+        self
+    }
+
+    /// Bounds resident cache bytes (serialized sizes). When an insert
+    /// pushes the total past the budget, the oldest charged entries
+    /// are evicted in insertion order until it fits again.
+    pub fn with_memory_budget(mut self, bytes: u64) -> FixtureCache {
+        self.budget_bytes = Some(bytes);
+        self
+    }
+
+    /// The attached disk tier, if any (for stats reporting).
+    pub fn disk(&self) -> Option<&BlobStore> {
+        self.disk.as_ref()
+    }
+
     fn hit(&self) {
         self.hits.fetch_add(1, Ordering::Relaxed);
     }
 
     fn miss(&self) {
         self.misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn disk_hit(&self) {
+        self.disk_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Whether inserts must serialize their value (for the disk tier,
+    /// the budget's size accounting, or both).
+    fn wants_blob_bytes(&self) -> bool {
+        self.disk.is_some() || self.budget_bytes.is_some()
+    }
+
+    /// Charges a freshly inserted entry against the RAM budget and
+    /// evicts from the front of the ledger until the budget holds.
+    /// Call *without* holding any map lock (the eviction loop takes
+    /// them). No-op when no budget is configured.
+    fn charge(&self, handle: Resident, bytes: u64) {
+        let Some(budget) = self.budget_bytes else {
+            return;
+        };
+        let mut ledger = lock_map(&self.ledger, "ledger", &"push");
+        self.resident_bytes.fetch_add(bytes, Ordering::Relaxed);
+        ledger.push_back(LedgerEntry { handle, bytes });
+        while self.resident_bytes.load(Ordering::Relaxed) > budget {
+            let Some(oldest) = ledger.pop_front() else {
+                break;
+            };
+            match &oldest.handle {
+                Resident::Fixture(k) => {
+                    lock_map(&self.fixtures, "fixture", k).remove(k);
+                }
+                Resident::Episodes(k) => {
+                    lock_map(&self.episodes, "episode", k).remove(k);
+                }
+                Resident::Adm(d, a, t) => {
+                    let k = (*d, *a, *t);
+                    lock_map(&self.adms, "adm", &k).remove(&k);
+                }
+                Resident::Memo(key) => {
+                    lock_map(self.memo_shard(key), "memo", key).remove(key);
+                }
+            }
+            self.resident_bytes
+                .fetch_sub(oldest.bytes, Ordering::Relaxed);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Memoizes an arbitrary shared intermediate under a caller-chosen
@@ -265,6 +396,65 @@ impl FixtureCache {
         t
     }
 
+    /// Like [`FixtureCache::memo`] for [`Blob`]-serializable values:
+    /// additionally backed by the disk tier (when attached) and
+    /// charged against the RAM budget (when configured). The key
+    /// contract is identical — and doubly load-bearing here, because
+    /// the key is also the blob's durable content address across runs.
+    pub fn memo_blob<T, F>(&self, key: &str, compute: F) -> Arc<T>
+    where
+        T: Blob + Send + Sync + 'static,
+        F: FnOnce() -> T,
+    {
+        let shard = self.memo_shard(key);
+        if !self.disabled {
+            if let Some(v) = lock_map(shard, "memo", &key).get(key) {
+                if let Ok(t) = Arc::clone(v).downcast::<T>() {
+                    self.hit();
+                    return t;
+                }
+            }
+            if let Some(disk) = &self.disk {
+                if let Some((t, bytes)) = disk.get_blob_sized::<T>(key) {
+                    self.disk_hit();
+                    let t = Arc::new(t);
+                    if lock_map(shard, "memo", &key)
+                        .insert(
+                            key.to_string(),
+                            Arc::clone(&t) as Arc<dyn Any + Send + Sync>,
+                        )
+                        .is_none()
+                    {
+                        self.charge(Resident::Memo(key.to_string()), bytes as u64);
+                    }
+                    return t;
+                }
+            }
+        }
+        self.miss();
+        let t = Arc::new(compute());
+        if !self.disabled {
+            let mut bytes = 0u64;
+            if self.wants_blob_bytes() {
+                let blob = t.to_blob();
+                bytes = blob.len() as u64;
+                if let Some(disk) = &self.disk {
+                    disk.put(key, &blob).ok();
+                }
+            }
+            if lock_map(shard, "memo", &key)
+                .insert(
+                    key.to_string(),
+                    Arc::clone(&t) as Arc<dyn Any + Send + Sync>,
+                )
+                .is_none()
+            {
+                self.charge(Resident::Memo(key.to_string()), bytes);
+            }
+        }
+        t
+    }
+
     /// The lock shard responsible for a memo key (FNV-1a of the key).
     fn memo_shard(&self, key: &str) -> &Mutex<HashMap<String, Arc<dyn Any + Send + Sync>>> {
         &self.memos[(crate::scenario::fnv1a(key) as usize) % MEMO_SHARDS]
@@ -284,13 +474,59 @@ impl FixtureCache {
                 return Arc::clone(fx);
             }
         }
+        // Disk tier: a persisted month deserializes bit-exactly; only
+        // the home/model (cheap, deterministic) are rebuilt.
+        let disk_key = format!("fixture/{}/{}/{}", spec.cache_tag(), days, seed);
+        if !self.disabled {
+            if let Some(disk) = &self.disk {
+                if let Some((month, bytes)) = disk.get_blob_sized::<Dataset>(&disk_key) {
+                    let home = spec.home.build();
+                    // The blob checksum guards bytes, not meaning: a
+                    // month that does not match its own key's shape is
+                    // damage and must not be trusted.
+                    if month.days.len() == days && month.n_occupants == home.occupants().len() {
+                        self.disk_hit();
+                        let model = EnergyModel::standard(home.clone());
+                        let fx = Arc::new(HouseFixture {
+                            spec: spec.clone(),
+                            days,
+                            seed,
+                            home,
+                            month: Arc::new(month),
+                            model,
+                        });
+                        if lock_map(&self.fixtures, "fixture", &key)
+                            .insert(key, Arc::clone(&fx))
+                            .is_none()
+                        {
+                            self.charge(Resident::Fixture(key), bytes as u64);
+                        }
+                        return fx;
+                    }
+                    disk.discard(&disk_key);
+                }
+            }
+        }
         // Synthesize outside the lock: other keys stay available while
         // this month is built, and a racing duplicate insert is benign
         // (identical content, last writer wins).
         self.miss();
         let fx = Arc::new(HouseFixture::with_seed(spec, days, seed));
         if !self.disabled {
-            lock_map(&self.fixtures, "fixture", &key).insert(key, Arc::clone(&fx));
+            let mut bytes = 0u64;
+            if self.wants_blob_bytes() {
+                let blob = fx.month.to_blob();
+                bytes = blob.len() as u64;
+                if let Some(disk) = &self.disk {
+                    disk.put(&disk_key, &blob).ok();
+                }
+            }
+            if lock_map(&self.fixtures, "fixture", &key)
+                .insert(key, Arc::clone(&fx))
+                .is_none()
+            {
+                self.charge(Resident::Fixture(key), bytes);
+            }
         }
         fx
     }
@@ -319,11 +555,45 @@ impl FixtureCache {
                 return Arc::clone(eps);
             }
         }
+        let disk_key = format!("episodes/{}/{}/{}", spec.cache_tag(), days, seed);
+        if !self.disabled {
+            if let Some(disk) = &self.disk {
+                if let Some(raw) = disk.get(&disk_key) {
+                    match episodes_from_blob(&raw) {
+                        Some(eps) => {
+                            self.disk_hit();
+                            let eps = Arc::new(eps);
+                            if lock_map(&self.episodes, "episode", &key)
+                                .insert(key, Arc::clone(&eps))
+                                .is_none()
+                            {
+                                self.charge(Resident::Episodes(key), raw.len() as u64);
+                            }
+                            return eps;
+                        }
+                        None => disk.discard(&disk_key),
+                    }
+                }
+            }
+        }
         self.miss();
         let fx = self.fixture_with_seed(spec, days, seed);
         let eps = Arc::new(extract_episodes(&fx.month));
         if !self.disabled {
-            lock_map(&self.episodes, "episode", &key).insert(key, Arc::clone(&eps));
+            let mut bytes = 0u64;
+            if self.wants_blob_bytes() {
+                let blob = episodes_to_blob(&eps);
+                bytes = blob.len() as u64;
+                if let Some(disk) = &self.disk {
+                    disk.put(&disk_key, &blob).ok();
+                }
+            }
+            if lock_map(&self.episodes, "episode", &key)
+                .insert(key, Arc::clone(&eps))
+                .is_none()
+            {
+                self.charge(Resident::Episodes(key), bytes);
+            }
         }
         eps
     }
@@ -350,22 +620,58 @@ impl FixtureCache {
         adm_kind: AdmKind,
         train_days: usize,
     ) -> Arc<HullAdm> {
-        let key = (
-            DatasetKey::new(spec, days, seed),
-            adm_key(&adm_kind),
-            train_days,
-        );
+        let ak = adm_key(&adm_kind);
+        let key = (DatasetKey::new(spec, days, seed), ak, train_days);
         if !self.disabled {
             if let Some(adm) = lock_map(&self.adms, "adm", &key).get(&key) {
                 self.hit();
                 return Arc::clone(adm);
             }
         }
+        let disk_key = format!(
+            "adm/{}/{}/{}/k{}-{:016x}-{:016x}-{:016x}/{}",
+            spec.cache_tag(),
+            days,
+            seed,
+            ak.tag,
+            ak.a,
+            ak.b,
+            ak.c,
+            train_days
+        );
+        if !self.disabled {
+            if let Some(disk) = &self.disk {
+                if let Some((adm, bytes)) = disk.get_blob_sized::<HullAdm>(&disk_key) {
+                    self.disk_hit();
+                    let adm = Arc::new(adm);
+                    if lock_map(&self.adms, "adm", &key)
+                        .insert(key, Arc::clone(&adm))
+                        .is_none()
+                    {
+                        self.charge(Resident::Adm(key.0, key.1, key.2), bytes as u64);
+                    }
+                    return adm;
+                }
+            }
+        }
         self.miss();
         let fx = self.fixture_with_seed(spec, days, seed);
         let adm = Arc::new(fx.adm(adm_kind, train_days));
         if !self.disabled {
-            lock_map(&self.adms, "adm", &key).insert(key, Arc::clone(&adm));
+            let mut bytes = 0u64;
+            if self.wants_blob_bytes() {
+                let blob = adm.to_blob();
+                bytes = blob.len() as u64;
+                if let Some(disk) = &self.disk {
+                    disk.put(&disk_key, &blob).ok();
+                }
+            }
+            if lock_map(&self.adms, "adm", &key)
+                .insert(key, Arc::clone(&adm))
+                .is_none()
+            {
+                self.charge(Resident::Adm(key.0, key.1, key.2), bytes);
+            }
         }
         adm
     }
@@ -375,6 +681,8 @@ impl FixtureCache {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
         }
     }
 }
@@ -386,12 +694,17 @@ mod tests {
     #[test]
     fn hit_rate_distinguishes_empty_from_all_miss() {
         assert_eq!(CacheStats::default().hit_rate(), None);
-        assert_eq!(CacheStats { hits: 0, misses: 4 }.hit_rate(), Some(0.0));
-        assert_eq!(
-            CacheStats { hits: 2, misses: 1 }.hit_rate(),
-            Some(2.0 / 3.0)
-        );
-        assert_eq!(CacheStats { hits: 5, misses: 0 }.hit_rate(), Some(1.0));
+        let stats = |hits, misses, disk_hits| CacheStats {
+            hits,
+            misses,
+            disk_hits,
+            evictions: 0,
+        };
+        assert_eq!(stats(0, 4, 0).hit_rate(), Some(0.0));
+        assert_eq!(stats(2, 1, 0).hit_rate(), Some(2.0 / 3.0));
+        assert_eq!(stats(5, 0, 0).hit_rate(), Some(1.0));
+        // A disk hit is a hit: it avoided the recompute.
+        assert_eq!(stats(1, 1, 2).hit_rate(), Some(0.75));
     }
 
     #[test]
@@ -469,7 +782,14 @@ mod tests {
         assert!(Arc::ptr_eq(&a, &b));
         let other = cache.memo("k2", || 7usize);
         assert_eq!(*other, 7);
-        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 2 });
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 2,
+                ..CacheStats::default()
+            }
+        );
 
         let off = FixtureCache::disabled();
         assert!(off.is_disabled());

@@ -85,13 +85,15 @@ impl<W: Write> Reporter for TextReporter<W> {
         writeln!(
             self.w,
             "ran {} scenarios in {:.2}s wall ({:.2}s scenario-seconds) on {} thread(s); \
-             fixture cache: {} hits / {} misses",
+             fixture cache: {} hits / {} misses ({} disk hits, {} evictions)",
             outcome.reports.len(),
             outcome.total_wall.as_secs_f64(),
             outcome.scenario_wall_sum().as_secs_f64(),
             outcome.threads,
             outcome.cache.hits,
             outcome.cache.misses,
+            outcome.cache.disk_hits,
+            outcome.cache.evictions,
         )
     }
 }
@@ -187,13 +189,15 @@ impl<W: Write> Reporter for JsonLinesReporter<W> {
     fn finish(&mut self, outcome: &RunOutcome) -> io::Result<()> {
         writeln!(
             self.w,
-            "{{\"kind\":\"summary\",\"scenarios\":{},\"wall_s\":{:.6},\"scenario_wall_sum_s\":{:.6},\"threads\":{},\"cache_hits\":{},\"cache_misses\":{}}}",
+            "{{\"kind\":\"summary\",\"scenarios\":{},\"wall_s\":{:.6},\"scenario_wall_sum_s\":{:.6},\"threads\":{},\"cache_hits\":{},\"cache_misses\":{},\"cache_disk_hits\":{},\"cache_evictions\":{}}}",
             outcome.reports.len(),
             outcome.total_wall.as_secs_f64(),
             outcome.scenario_wall_sum().as_secs_f64(),
             outcome.threads,
             outcome.cache.hits,
             outcome.cache.misses,
+            outcome.cache.disk_hits,
+            outcome.cache.evictions,
         )
     }
 }
@@ -220,7 +224,12 @@ mod tests {
                 quarantined: 0,
             }],
             total_wall: Duration::from_secs(2),
-            cache: CacheStats { hits: 3, misses: 1 },
+            cache: CacheStats {
+                hits: 3,
+                misses: 1,
+                disk_hits: 2,
+                evictions: 1,
+            },
             threads: 2,
         }
     }
@@ -236,7 +245,7 @@ mod tests {
         }
         let s = String::from_utf8(buf).unwrap();
         assert!(s.contains("== x — X probe =="));
-        assert!(s.contains("3 hits / 1 misses"));
+        assert!(s.contains("3 hits / 1 misses (2 disk hits, 1 evictions)"));
     }
 
     #[test]
@@ -255,6 +264,8 @@ mod tests {
         assert!(lines[0].contains("\"status\":\"ok\""));
         assert!(lines[1].contains("\"kind\":\"summary\""));
         assert!(lines[1].contains("\"cache_hits\":3"));
+        assert!(lines[1].contains("\"cache_disk_hits\":2"));
+        assert!(lines[1].contains("\"cache_evictions\":1"));
     }
 
     #[test]

@@ -289,6 +289,8 @@ pub fn run_scenarios(
         cache: CacheStats {
             hits: after.hits - before.hits,
             misses: after.misses - before.misses,
+            disk_hits: after.disk_hits - before.disk_hits,
+            evictions: after.evictions - before.evictions,
         },
         threads,
     }

@@ -391,13 +391,10 @@ impl Registry {
 }
 
 /// FNV-1a hash of a string (also shards the fixture cache's memo map).
+/// Delegates to the workspace's single pinned implementation in
+/// `shatter-store` — scenario seeds are content addresses too.
 pub(crate) fn fnv1a(s: &str) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in s.bytes() {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x100_0000_01b3);
-    }
-    h
+    shatter_store::fnv::fnv1a_str(s)
 }
 
 /// FNV-1a hash of a scenario id, mixed with the base seed to give each

@@ -26,8 +26,10 @@
 //! Site catalog: `scenario.run` (runner, before the scenario body),
 //! `smt.window` (per SMT window solve), `simplex.pivot` (per simplex
 //! pivot), `fleet.house` (per-house fleet evaluation, inside the retry
-//! loop), `store.write` (journal record write; `io` tears the write,
-//! `panic` crashes mid-fleet).
+//! loop), `store.write` (journal record / blob write; `io` tears the
+//! write, `panic` crashes mid-fleet), `store.read` (blob-store read;
+//! `io` treats the cached blob as damaged — deleted, counted as
+//! discarded, and recomputed by the caller).
 //!
 //! The current scenario travels in thread-local state: the runner wraps
 //! each scenario in [`with_scenario`], and `ScenarioCtx::par_map`

@@ -32,6 +32,13 @@
 //! (truncated record bytes at the final path — exactly what the
 //! checksum must catch), an injected `panic` simulates a process crash
 //! mid-fleet.
+//!
+//! The same record format, reused with magic `SHATTERB1` and lazy
+//! per-read validation, backs the [`BlobStore`] — the disk tier under
+//! the engine's `FixtureCache` (see [`blob`]). Typed payloads travel
+//! through the explicit [`wire`] codec via the [`Blob`] trait, and
+//! every content address in the workspace uses the single FNV-1a
+//! implementation in [`fnv`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -45,22 +52,19 @@ use std::sync::Mutex;
 
 use shatter_faults::FaultKind;
 
-/// Magic tag opening every record file; the trailing `1` is the format
-/// version.
+pub mod blob;
+pub mod fnv;
+pub mod wire;
+
+pub use blob::{Blob, BlobStats, BlobStore};
+pub use fnv::{fnv1a_bytes, fnv1a_str};
+
+/// Magic tag opening every journal record file; the trailing `1` is
+/// the format version.
 const MAGIC: &str = "SHATTERJ1";
 
 /// Name of the run-manifest file inside a journal directory.
 pub const MANIFEST_NAME: &str = "manifest.txt";
-
-/// FNV-1a hash of a byte string (the checksum and key-address hash).
-pub fn fnv1a_bytes(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x100_0000_01b3);
-    }
-    h
-}
 
 /// Counters describing a journal's life so far.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -125,7 +129,7 @@ impl Journal {
             if !name.starts_with('r') || !name.ends_with(".rec") {
                 continue;
             }
-            match parse_record(&path, config_sig) {
+            match parse_record(&path, MAGIC, config_sig, record_file_name) {
                 Some((key, payload)) => {
                     records.insert(key, payload);
                     loaded += 1;
@@ -198,7 +202,7 @@ impl Journal {
     ///
     /// Returns any I/O error from the write, sync or rename.
     pub fn put(&self, key: &str, payload: &[u8]) -> io::Result<()> {
-        let bytes = encode_record(self.config_sig, key, payload);
+        let bytes = encode_record(MAGIC, self.config_sig, key, payload);
         let final_path = self.dir.join(record_file_name(key));
         match shatter_faults::hit("store.write") {
             Some(FaultKind::Panic) => shatter_faults::panic_now("store.write"),
@@ -273,10 +277,11 @@ fn record_file_name(key: &str) -> String {
     format!("r{:016x}.rec", fnv1a_bytes(key.as_bytes()))
 }
 
-/// Serializes one record.
-fn encode_record(config_sig: u64, key: &str, payload: &[u8]) -> Vec<u8> {
+/// Serializes one record (shared by [`Journal`] and [`BlobStore`];
+/// the magic distinguishes the two on disk).
+pub(crate) fn encode_record(magic: &str, config_sig: u64, key: &str, payload: &[u8]) -> Vec<u8> {
     let mut bytes = format!(
-        "{MAGIC} {config_sig:016x} {} {:016x}\n{key}\n",
+        "{magic} {config_sig:016x} {} {:016x}\n{key}\n",
         payload.len(),
         fnv1a_bytes(payload)
     )
@@ -287,12 +292,17 @@ fn encode_record(config_sig: u64, key: &str, payload: &[u8]) -> Vec<u8> {
 
 /// Validates and decodes one record file; `None` means damaged /
 /// foreign / differently-configured (caller discards).
-fn parse_record(path: &Path, config_sig: u64) -> Option<(String, Vec<u8>)> {
+pub(crate) fn parse_record(
+    path: &Path,
+    magic: &str,
+    config_sig: u64,
+    file_name_for: fn(&str) -> String,
+) -> Option<(String, Vec<u8>)> {
     let bytes = fs::read(path).ok()?;
     let header_end = bytes.iter().position(|&b| b == b'\n')?;
     let header = std::str::from_utf8(&bytes[..header_end]).ok()?;
     let mut parts = header.split(' ');
-    if parts.next()? != MAGIC {
+    if parts.next()? != magic {
         return None;
     }
     let sig = u64::from_str_radix(parts.next()?, 16).ok()?;
@@ -314,7 +324,7 @@ fn parse_record(path: &Path, config_sig: u64) -> Option<(String, Vec<u8>)> {
     }
     // The file must sit at its key's content address (a copied or
     // renamed record is foreign).
-    if path.file_name().and_then(|n| n.to_str()) != Some(record_file_name(&key).as_str()) {
+    if path.file_name().and_then(|n| n.to_str()) != Some(file_name_for(&key).as_str()) {
         return None;
     }
     Some((key, payload.to_vec()))
